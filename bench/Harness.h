@@ -1,0 +1,125 @@
+//===- Harness.h - Shared benchmark-harness helpers -------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common plumbing for the Table-1 / Figure-6 harnesses: the corpus
+/// layout (one directory per paper suite) and per-routine runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_BENCH_HARNESS_H
+#define VCDRYAD_BENCH_HARNESS_H
+
+#include "verifier/Verifier.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace vcdbench {
+
+struct Suite {
+  const char *Label; ///< Table-1 row label.
+  const char *Dir;   ///< Directory under benchmarks/.
+};
+
+/// The paper's Table-1 blocks.
+inline const std::vector<Suite> &stdDsSuites() {
+  static const std::vector<Suite> S = {
+      {"Singly-linked list", "sll"},
+      {"Sorted list", "sorted"},
+      {"Doubly-linked list", "dll"},
+      {"Circular list", "circular"},
+      {"BST", "bst"},
+      {"Treap", "treap"},
+      {"AVL-tree", "avl"},
+      {"Tree traversals", "traversal"},
+  };
+  return S;
+}
+
+inline const std::vector<Suite> &realWorldSuites() {
+  static const std::vector<Suite> S = {
+      {"glib/gslist.c Singly-linked list", "glib_gslist"},
+      {"glib/glist.c Doubly-linked list", "glib_glist"},
+      {"OpenBSD Queue", "openbsd_queue"},
+      {"ExpressOS MemoryRegion", "expressos"},
+  };
+  return S;
+}
+
+inline const std::vector<Suite> &competitionSuites() {
+  static const std::vector<Suite> S = {
+      {"SV-COMP Heap Manipulation", "svcomp"},
+      {"GRASShopper Singly-Linked List", "gh_sll"},
+      {"GRASShopper Singly-Linked List (rec)", "gh_sll_rec"},
+      {"GRASShopper Doubly-Linked List", "gh_dll"},
+      {"GRASShopper Sorted List I", "gh_sorted1"},
+      {"GRASShopper Sorted List II", "gh_sorted2"},
+      {"AFWP Singly- and Doubly-Linked List", "afwp"},
+  };
+  return S;
+}
+
+inline std::vector<std::string> suiteFiles(const Suite &S) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Out;
+  fs::path Dir = fs::path(VCDRYAD_BENCHMARK_DIR) / S.Dir;
+  if (!fs::exists(Dir))
+    return Out;
+  for (const auto &E : fs::directory_iterator(Dir))
+    if (E.is_regular_file() && E.path().extension() == ".c")
+      Out.push_back(E.path().string());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+/// Runs one benchmark file; returns per-function results.
+inline vcdryad::verifier::ProgramResult
+runFile(const std::string &Path, unsigned TimeoutMs = 420000) {
+  vcdryad::verifier::VerifyOptions Opts;
+  Opts.TimeoutMs = TimeoutMs;
+  vcdryad::verifier::Verifier V(Opts);
+  return V.verifyFile(Path);
+}
+
+/// Prints one Table-1 style block for a set of suites. Returns the
+/// number of failed routines.
+inline int printTableBlock(const std::vector<Suite> &Suites) {
+  int Failures = 0;
+  std::printf("%-40s %-30s %9s %6s  %s\n", "Benchmark", "Routine",
+              "Time (s)", "VCs", "Result");
+  std::printf("%.*s\n", 100,
+              "-----------------------------------------------------------"
+              "-----------------------------------------");
+  for (const Suite &S : Suites) {
+    bool First = true;
+    for (const std::string &File : suiteFiles(S)) {
+      vcdryad::verifier::ProgramResult R = runFile(File);
+      if (!R.Ok) {
+        std::printf("%-40s %-30s frontend error:\n%s\n",
+                    First ? S.Label : "", File.c_str(), R.Error.c_str());
+        ++Failures;
+        First = false;
+        continue;
+      }
+      for (const auto &F : R.Functions) {
+        std::printf("%-40s %-30s %9.2f %6u  %s\n", First ? S.Label : "",
+                    F.Name.c_str(), F.TimeMs / 1000.0, F.NumVCs,
+                    F.Verified ? "verified" : "FAILED");
+        std::fflush(stdout);
+        Failures += F.Verified ? 0 : 1;
+        First = false;
+      }
+    }
+  }
+  return Failures;
+}
+
+} // namespace vcdbench
+
+#endif // VCDRYAD_BENCH_HARNESS_H

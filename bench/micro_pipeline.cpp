@@ -1,0 +1,85 @@
+//===- micro_pipeline.cpp - Per-stage pipeline microbenchmarks -------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+// Times each stage of the verification pipeline on a representative
+// benchmark (SLL reverse): parse, normalize, instrument, translate,
+// passify, VC generation. Useful for spotting regressions in the
+// non-solver part of the tool.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Normalize.h"
+#include "cfront/Parser.h"
+#include "instr/Instrument.h"
+#include "support/StringUtil.h"
+#include "verifier/FuncTranslator.h"
+#include "vir/Passify.h"
+#include "vir/WpGen.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace vcdryad;
+
+namespace {
+
+const std::string &sourceText() {
+  static std::string Src = [] {
+    std::string Path =
+        std::string(VCDRYAD_BENCHMARK_DIR) + "/sll/reverse_iter.c";
+    auto Content = readFile(Path);
+    DiagnosticEngine Diag;
+    size_t Slash = Path.find_last_of('/');
+    return cfront::preprocess(*Content, Path.substr(0, Slash), Diag);
+  }();
+  return Src;
+}
+
+void BM_Lex(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticEngine Diag;
+    benchmark::DoNotOptimize(cfront::lex(sourceText(), Diag));
+  }
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticEngine Diag;
+    benchmark::DoNotOptimize(cfront::parseProgram(sourceText(), Diag));
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_NormalizeAndInstrument(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticEngine Diag;
+    auto Prog = cfront::parseProgram(sourceText(), Diag);
+    cfront::normalizeProgram(*Prog, Diag);
+    instr::InstrOptions Opts;
+    instr::instrumentProgram(*Prog, Opts, Diag);
+    benchmark::DoNotOptimize(Prog);
+  }
+}
+BENCHMARK(BM_NormalizeAndInstrument);
+
+void BM_TranslatePassifyVCGen(benchmark::State &State) {
+  DiagnosticEngine Diag;
+  auto Prog = cfront::parseProgram(sourceText(), Diag);
+  cfront::normalizeProgram(*Prog, Diag);
+  instr::InstrOptions IOpts;
+  instr::instrumentProgram(*Prog, IOpts, Diag);
+  const cfront::FuncDecl *F = Prog->Funcs.front().get();
+  for (auto _ : State) {
+    verifier::TranslateOptions TOpts;
+    vir::Procedure P =
+        verifier::translateFunction(*F, *Prog, TOpts, Diag);
+    vir::Procedure Q = vir::passify(P);
+    benchmark::DoNotOptimize(vir::generateVCs(Q));
+  }
+}
+BENCHMARK(BM_TranslatePassifyVCGen);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+//===- table1_competition.cpp - Table 1, competition suites ----------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+// Reproduces the "verification competition / related tools" block of
+// Table 1: SV-COMP heap manipulation, the GRASShopper suites and the
+// AFWP suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+int main() {
+  std::printf("Table 1 (block 3/3): SV-COMP, GRASShopper, AFWP\n\n");
+  int Failures = vcdbench::printTableBlock(vcdbench::competitionSuites());
+  std::printf("\n%s\n", Failures ? "SOME ROUTINES FAILED"
+                                 : "all routines verified");
+  return Failures ? 1 : 0;
+}

@@ -1,0 +1,18 @@
+//===- table1_real_world.cpp - Table 1, real-world code --------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+// Reproduces the "real world" block of Table 1: Glib singly/doubly
+// linked lists, the OpenBSD queue and ExpressOS memory regions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+int main() {
+  std::printf("Table 1 (block 2/3): real-world routines\n\n");
+  int Failures = vcdbench::printTableBlock(vcdbench::realWorldSuites());
+  std::printf("\n%s\n", Failures ? "SOME ROUTINES FAILED"
+                                 : "all routines verified");
+  return Failures ? 1 : 0;
+}

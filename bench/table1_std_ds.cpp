@@ -1,0 +1,19 @@
+//===- table1_std_ds.cpp - Table 1, standard data structures ---------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+// Reproduces the "standard data structures" block of Table 1:
+// verification time per routine for singly-linked, sorted, doubly-
+// linked and circular lists, BSTs, treaps, AVL trees and traversals.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+int main() {
+  std::printf("Table 1 (block 1/3): standard data structures\n\n");
+  int Failures = vcdbench::printTableBlock(vcdbench::stdDsSuites());
+  std::printf("\n%s\n", Failures ? "SOME ROUTINES FAILED"
+                                 : "all routines verified");
+  return Failures ? 1 : 0;
+}

@@ -1,0 +1,12 @@
+// AFWP DLL_fix: repair all prev pointers of a next-chain.
+#include "../include/dll.h"
+
+void DLL_fix(struct dnode *x, struct dnode *p)
+  _(requires nlist(x))
+  _(ensures dll(x, p))
+{
+  if (x == NULL)
+    return;
+  x->prev = p;
+  DLL_fix(x->next, x);
+}

@@ -1,0 +1,23 @@
+// AFWP DLL_splice: splice list y into x right after x's head.
+#include "../include/dll.h"
+
+void DLL_splice(struct dnode *x, struct dnode *p, struct dnode *y)
+  _(requires (dll(x, p) && x != nil) * dll(y, nil))
+  _(ensures dll(x, p))
+  _(ensures dkeys(x) == (old(dkeys(x)) union old(dkeys(y))))
+{
+  if (y == NULL)
+    return;
+  struct dnode *t = x->next;
+  struct dnode *yn = y->next;
+  x->next = y;
+  y->prev = x;
+  if (yn != NULL) {
+    yn->prev = NULL;
+  }
+  y->next = t;
+  if (t != NULL) {
+    t->prev = y;
+  }
+  DLL_splice(y, x, yn);
+}

@@ -1,0 +1,19 @@
+// AFWP SLL_create: build a list of n nodes in a loop.
+#include "../include/sll.h"
+
+struct node *SLL_create(int n)
+  _(ensures list(result))
+{
+  struct node *x = NULL;
+  int i = 0;
+  while (i < n)
+    _(invariant list(x))
+  {
+    struct node *s = (struct node *) malloc(sizeof(struct node));
+    s->next = x;
+    s->key = i;
+    x = s;
+    i = i + 1;
+  }
+  return x;
+}

@@ -1,0 +1,19 @@
+// AFWP SLL_delete: remove the first node with key k.
+#include "../include/sll.h"
+
+struct node *SLL_delete(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) subset old(keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->key == k) {
+    struct node *t = x->next;
+    free(x);
+    return t;
+  }
+  struct node *t2 = SLL_delete(x->next, k);
+  x->next = t2;
+  return x;
+}

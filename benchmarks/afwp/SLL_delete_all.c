@@ -1,0 +1,18 @@
+// AFWP SLL_delete_all: remove every node with key k.
+#include "../include/sll.h"
+
+struct node *SLL_delete_all(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) setminus singleton(k)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *t = SLL_delete_all(x->next, k);
+  if (x->key == k) {
+    free(x);
+    return t;
+  }
+  x->next = t;
+  return x;
+}

@@ -1,0 +1,18 @@
+// AFWP SLL_filter.
+#include "../include/sll.h"
+
+struct node *SLL_filter(struct node *x, int v)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) setminus singleton(v)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *t = SLL_filter(x->next, v);
+  if (x->key == v) {
+    free(x);
+    return t;
+  }
+  x->next = t;
+  return x;
+}

@@ -1,0 +1,15 @@
+// AFWP SLL_find.
+#include "../include/sll.h"
+
+int SLL_find(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(x) && keys(x) == old(keys(x)))
+  _(ensures (result == 1 && k in keys(x)) ||
+            (result == 0 && !(k in keys(x))))
+{
+  if (x == NULL)
+    return 0;
+  if (x->key == k)
+    return 1;
+  return SLL_find(x->next, k);
+}

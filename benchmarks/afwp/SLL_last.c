@@ -1,0 +1,15 @@
+// AFWP SLL_last.
+#include "../include/sll.h"
+
+struct node *SLL_last(struct node *x)
+  _(requires list(x))
+  _(ensures list(x) && keys(x) == old(keys(x)))
+  _(ensures (x == nil && result == nil) ||
+            (x != nil && result != nil && result->next == nil))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->next == NULL)
+    return x;
+  return SLL_last(x->next);
+}

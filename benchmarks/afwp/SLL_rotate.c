@@ -1,0 +1,27 @@
+// AFWP SLL_rotate: move the head node to the tail.
+#include "../include/sll.h"
+
+struct node *SLL_rotate(struct node *x)
+  _(requires list(x) && x != nil)
+  _(ensures list(result))
+  _(ensures keys(result) == old(keys(x)))
+{
+  struct node *h = x;
+  struct node *t = x->next;
+  if (t == NULL)
+    return x;
+  h->next = NULL;
+  struct node *cur = t;
+  struct node *nx = cur->next;
+  while (nx != NULL)
+    _(invariant ((lseg(t, cur) * (cur |-> && cur->next == nx)) *
+                 list(nx)) * (h |-> && h->next == nil))
+    _(invariant (((lseg_keys(t, cur) union singleton(cur->key)) union
+                  keys(nx)) union singleton(h->key)) == old(keys(x)))
+  {
+    cur = nx;
+    nx = cur->next;
+  }
+  cur->next = h;
+  return t;
+}

@@ -1,0 +1,14 @@
+// AFWP SLL_swap: exchange the first two nodes.
+#include "../include/sll.h"
+
+struct node *SLL_swap(struct node *x)
+  _(requires list(x) && x != nil && x->next != nil)
+  _(ensures list(result))
+  _(ensures keys(result) == old(keys(x)))
+{
+  struct node *s = x->next;
+  struct node *r = s->next;
+  s->next = x;
+  x->next = r;
+  return s;
+}

@@ -1,0 +1,167 @@
+// AVL rebalance: the root's subtrees are AVL and within 2 of each
+// other (the post-insertion/deletion state); one single or double
+// rotation restores balance. The root's height field is recomputed.
+#include "../include/avl.h"
+
+struct anode *avl_balance(struct anode *x)
+  _(requires x != nil)
+  _(requires (x |->) * (avl(x->l) && akeys(x->l) < x->key)
+                     * (avl(x->r) && x->key < akeys(x->r)))
+  _(requires rheight(x->l) <= rheight(x->r) + 2 &&
+             rheight(x->r) <= rheight(x->l) + 2)
+  _(ensures avl(result) && result != nil)
+  _(ensures akeys(result) ==
+            ((singleton(old(x->key)) union old(akeys(x->l))) union
+             old(akeys(x->r))))
+  _(ensures rheight(result) <=
+            ((old(rheight(x->l)) >= old(rheight(x->r)))
+                 ? (old(rheight(x->l)) + 1)
+                 : (old(rheight(x->r)) + 1)))
+  _(ensures ((old(rheight(x->l)) >= old(rheight(x->r)))
+                 ? old(rheight(x->l))
+                 : old(rheight(x->r))) <= rheight(result))
+{
+  struct anode *l = x->l;
+  struct anode *r = x->r;
+  int hl = 0;
+  if (l != NULL) {
+    hl = l->height;
+  }
+  int hr = 0;
+  if (r != NULL) {
+    hr = r->height;
+  }
+  if (hl > hr + 1) {
+    // Left-heavy by two: l is a real node.
+    struct anode *ll = l->l;
+    struct anode *lr = l->r;
+    int hll = 0;
+    if (ll != NULL) {
+      hll = ll->height;
+    }
+    int hlr = 0;
+    if (lr != NULL) {
+      hlr = lr->height;
+    }
+    if (hll >= hlr) {
+      // Single right rotation.
+      x->l = lr;
+      if (hlr >= hr) {
+        x->height = hlr + 1;
+      } else {
+        x->height = hr + 1;
+      }
+      l->r = x;
+      int hx = x->height;
+      if (hll >= hx) {
+        l->height = hll + 1;
+      } else {
+        l->height = hx + 1;
+      }
+      return l;
+    }
+    // Double rotation (left-right): lr is a real node.
+    struct anode *lrl = lr->l;
+    struct anode *lrr = lr->r;
+    l->r = lrl;
+    int hlrl = 0;
+    if (lrl != NULL) {
+      hlrl = lrl->height;
+    }
+    if (hll >= hlrl) {
+      l->height = hll + 1;
+    } else {
+      l->height = hlrl + 1;
+    }
+    x->l = lrr;
+    int hlrr = 0;
+    if (lrr != NULL) {
+      hlrr = lrr->height;
+    }
+    if (hlrr >= hr) {
+      x->height = hlrr + 1;
+    } else {
+      x->height = hr + 1;
+    }
+    lr->l = l;
+    lr->r = x;
+    int hl2 = l->height;
+    int hx2 = x->height;
+    if (hl2 >= hx2) {
+      lr->height = hl2 + 1;
+    } else {
+      lr->height = hx2 + 1;
+    }
+    return lr;
+  }
+  if (hr > hl + 1) {
+    // Right-heavy by two: r is a real node.
+    struct anode *rl = r->l;
+    struct anode *rr = r->r;
+    int hrl = 0;
+    if (rl != NULL) {
+      hrl = rl->height;
+    }
+    int hrr = 0;
+    if (rr != NULL) {
+      hrr = rr->height;
+    }
+    if (hrr >= hrl) {
+      // Single left rotation.
+      x->r = rl;
+      if (hl >= hrl) {
+        x->height = hl + 1;
+      } else {
+        x->height = hrl + 1;
+      }
+      r->l = x;
+      int hx = x->height;
+      if (hrr >= hx) {
+        r->height = hrr + 1;
+      } else {
+        r->height = hx + 1;
+      }
+      return r;
+    }
+    // Double rotation (right-left): rl is a real node.
+    struct anode *rll = rl->l;
+    struct anode *rlr = rl->r;
+    r->l = rlr;
+    int hrlr = 0;
+    if (rlr != NULL) {
+      hrlr = rlr->height;
+    }
+    if (hrr >= hrlr) {
+      r->height = hrr + 1;
+    } else {
+      r->height = hrlr + 1;
+    }
+    x->r = rll;
+    int hrll = 0;
+    if (rll != NULL) {
+      hrll = rll->height;
+    }
+    if (hl >= hrll) {
+      x->height = hl + 1;
+    } else {
+      x->height = hrll + 1;
+    }
+    rl->l = x;
+    rl->r = r;
+    int hx2 = x->height;
+    int hr2 = r->height;
+    if (hx2 >= hr2) {
+      rl->height = hx2 + 1;
+    } else {
+      rl->height = hr2 + 1;
+    }
+    return rl;
+  }
+  // Already balanced: recompute the cached height.
+  if (hl >= hr) {
+    x->height = hl + 1;
+  } else {
+    x->height = hr + 1;
+  }
+  return x;
+}

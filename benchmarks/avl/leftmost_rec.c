@@ -1,0 +1,16 @@
+// AVL leftmost (minimum) lookup.
+#include "../include/avl.h"
+
+struct anode *leftmost_rec(struct anode *x)
+  _(requires avl(x))
+  _(ensures avl(x) && akeys(x) == old(akeys(x)))
+  _(ensures (x == nil && result == nil) ||
+            (x != nil && result != nil && result->key in akeys(x) &&
+             result->key <= akeys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->l == NULL)
+    return x;
+  return leftmost_rec(x->l);
+}

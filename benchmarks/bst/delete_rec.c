@@ -1,0 +1,38 @@
+// BST delete (recursive): removes k if present.
+#include "../include/bst.h"
+
+struct bnode *bst_merge(struct bnode *l, struct bnode *r)
+  _(requires (bst(l) * bst(r)) && bkeys(l) < bkeys(r))
+  _(ensures bst(result))
+  _(ensures bkeys(result) == (old(bkeys(l)) union old(bkeys(r))))
+{
+  if (l == NULL)
+    return r;
+  struct bnode *t = bst_merge(l->r, r);
+  l->r = t;
+  return l;
+}
+
+struct bnode *bst_delete_rec(struct bnode *x, int k)
+  _(requires bst(x))
+  _(ensures bst(result))
+  _(ensures bkeys(result) == (old(bkeys(x)) setminus singleton(k)))
+{
+  if (x == NULL)
+    return NULL;
+  if (k < x->key) {
+    struct bnode *tl = bst_delete_rec(x->l, k);
+    x->l = tl;
+    return x;
+  }
+  if (k > x->key) {
+    struct bnode *tr = bst_delete_rec(x->r, k);
+    x->r = tr;
+    return x;
+  }
+  struct bnode *lc = x->l;
+  struct bnode *rc = x->r;
+  struct bnode *m = bst_merge(lc, rc);
+  free(x);
+  return m;
+}

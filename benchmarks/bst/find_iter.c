@@ -1,0 +1,36 @@
+// BST membership test (iterative descent). The invariant speaks about
+// the current subtree with pure() — the loop never mutates the heap,
+// so the function heaplet stays pinned by the precondition.
+#include "../include/bst.h"
+
+int bst_find_iter(struct bnode *x, int k)
+  _(requires bst(x))
+  _(ensures bst(x) && bkeys(x) == old(bkeys(x)))
+  _(ensures (result == 1 && k in bkeys(x)) ||
+            (result == 0 && !(k in bkeys(x))))
+{
+  struct bnode *cur = x;
+  int found = 0;
+  int stop = 0;
+  while (stop == 0 && cur != NULL)
+    _(invariant (stop == 0 && found == 0 && pure(bst(cur)) &&
+                 ((k in bkeys(x) && k in bkeys(cur)) ||
+                  (!(k in bkeys(x)) && !(k in bkeys(cur))))) ||
+                (stop == 1 && found == 1 && k in bkeys(x)) ||
+                (stop == 1 && found == 0 && !(k in bkeys(x))))
+  {
+    if (cur->key == k) {
+      found = 1;
+      stop = 1;
+    } else {
+      if (k < cur->key) {
+        cur = cur->l;
+      } else {
+        cur = cur->r;
+      }
+    }
+  }
+  if (found == 1)
+    return 1;
+  return 0;
+}

@@ -1,0 +1,17 @@
+// BST membership test (recursive).
+#include "../include/bst.h"
+
+int bst_find_rec(struct bnode *x, int k)
+  _(requires bst(x))
+  _(ensures bst(x) && bkeys(x) == old(bkeys(x)))
+  _(ensures (result == 1 && k in bkeys(x)) ||
+            (result == 0 && !(k in bkeys(x))))
+{
+  if (x == NULL)
+    return 0;
+  if (x->key == k)
+    return 1;
+  if (k < x->key)
+    return bst_find_rec(x->l, k);
+  return bst_find_rec(x->r, k);
+}

@@ -1,0 +1,24 @@
+// BST insertion (recursive) — Figure 3 of the paper.
+#include "../include/bst.h"
+
+struct bnode *bst_insert_rec(struct bnode *x, int k)
+  _(requires bst(x) && !(k in bkeys(x)))
+  _(ensures bst(result))
+  _(ensures bkeys(result) == (old(bkeys(x)) union singleton(k)))
+{
+  if (x == NULL) {
+    struct bnode *leaf = (struct bnode *) malloc(sizeof(struct bnode));
+    leaf->key = k;
+    leaf->l = NULL;
+    leaf->r = NULL;
+    return leaf;
+  }
+  if (k < x->key) {
+    struct bnode *tmp = bst_insert_rec(x->l, k);
+    x->l = tmp;
+    return x;
+  }
+  struct bnode *tmp2 = bst_insert_rec(x->r, k);
+  x->r = tmp2;
+  return x;
+}

@@ -1,0 +1,27 @@
+// BST remove-root (recursive), via merging the ordered subtrees.
+#include "../include/bst.h"
+
+struct bnode *bst_merge(struct bnode *l, struct bnode *r)
+  _(requires (bst(l) * bst(r)) && bkeys(l) < bkeys(r))
+  _(ensures bst(result))
+  _(ensures bkeys(result) == (old(bkeys(l)) union old(bkeys(r))))
+{
+  if (l == NULL)
+    return r;
+  struct bnode *t = bst_merge(l->r, r);
+  l->r = t;
+  return l;
+}
+
+struct bnode *bst_remove_root_rec(struct bnode *x)
+  _(requires bst(x) && x != nil)
+  _(ensures bst(result))
+  _(ensures bkeys(result) ==
+            (old(bkeys(x)) setminus singleton(old(x->key))))
+{
+  struct bnode *lc = x->l;
+  struct bnode *rc = x->r;
+  struct bnode *m = bst_merge(lc, rc);
+  free(x);
+  return m;
+}

@@ -1,0 +1,33 @@
+// Circular list delete-back: walk to the next-to-last node and free
+// the node that closes the cycle.
+#include "../include/circular.h"
+
+void cl_delete_back_rec(struct node *cur, struct node *head)
+  _(requires lseg(cur, head) && cur != nil && cur != head)
+  _(requires cur->next != head)
+  _(ensures lseg(cur, head))
+  _(ensures lseg_keys(cur, head) subset old(lseg_keys(cur, head)))
+{
+  struct node *t = cur->next;
+  struct node *u = t->next;
+  if (u == head) {
+    cur->next = head;
+    free(t);
+    return;
+  }
+  cl_delete_back_rec(t, head);
+}
+
+void delete_back(struct node *x)
+  _(requires cl(x) && x != nil && x->next != x)
+  _(ensures cl(x))
+  _(ensures ckeys(x) subset old(ckeys(x)))
+{
+  struct node *t = x->next;
+  if (t->next == x) {
+    x->next = x;
+    free(t);
+    return;
+  }
+  cl_delete_back_rec(t, x);
+}

@@ -1,0 +1,13 @@
+// Circular list delete-front: unlink and free the node after the head.
+#include "../include/circular.h"
+
+void delete_front(struct node *x)
+  _(requires cl(x) && x != nil && x->next != x)
+  _(ensures cl(x))
+  _(ensures ckeys(x) subset old(ckeys(x)))
+{
+  struct node *t = x->next;
+  struct node *u = t->next;
+  x->next = u;
+  free(t);
+}

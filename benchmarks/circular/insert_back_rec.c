@@ -1,0 +1,36 @@
+// Circular list insert-back: walk to the node closing the cycle and
+// splice a fresh node before the head link.
+#include "../include/circular.h"
+
+void cl_insert_back_rec(struct node *cur, struct node *head, int k)
+  _(requires lseg(cur, head) && cur != nil && cur != head)
+  _(ensures lseg(cur, head))
+  _(ensures lseg_keys(cur, head) ==
+            (old(lseg_keys(cur, head)) union singleton(k)))
+{
+  struct node *t = cur->next;
+  if (t == head) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->key = k;
+    n->next = head;
+    cur->next = n;
+    return;
+  }
+  cl_insert_back_rec(t, head, k);
+}
+
+void insert_back(struct node *x, int k)
+  _(requires cl(x) && x != nil)
+  _(ensures cl(x))
+  _(ensures ckeys(x) == (old(ckeys(x)) union singleton(k)))
+{
+  struct node *t = x->next;
+  if (t == x) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->key = k;
+    n->next = x;
+    x->next = n;
+    return;
+  }
+  cl_insert_back_rec(t, x, k);
+}

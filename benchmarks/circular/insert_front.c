@@ -1,0 +1,13 @@
+// Circular list insert-front: link a fresh node right after the head.
+#include "../include/circular.h"
+
+void insert_front(struct node *x, int k)
+  _(requires cl(x) && x != nil)
+  _(ensures cl(x))
+  _(ensures ckeys(x) == (old(ckeys(x)) union singleton(k)))
+{
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->key = k;
+  n->next = x->next;
+  x->next = n;
+}

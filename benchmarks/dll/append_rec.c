@@ -1,0 +1,18 @@
+// DLL append (recursive): splice list y after list x.
+#include "../include/dll.h"
+
+struct dnode *append_rec(struct dnode *x, struct dnode *p, struct dnode *y)
+  _(requires dll(x, p) * dll(y, nil))
+  _(ensures dll(result, p))
+  _(ensures dkeys(result) == (old(dkeys(x)) union old(dkeys(y))))
+{
+  if (x == NULL) {
+    if (y != NULL) {
+      y->prev = p;
+    }
+    return y;
+  }
+  struct dnode *t = append_rec(x->next, x, y);
+  x->next = t;
+  return x;
+}

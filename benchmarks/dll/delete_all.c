@@ -1,0 +1,23 @@
+// DLL delete-all (recursive): removes and frees every node with key k.
+#include "../include/dll.h"
+
+struct dnode *delete_all(struct dnode *x, struct dnode *p, int k)
+  _(requires dll(x, p))
+  _(ensures dll(result, p))
+  _(ensures dkeys(result) == (old(dkeys(x)) setminus singleton(k)))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->key == k) {
+    struct dnode *t = x->next;
+    struct dnode *r = delete_all(t, x, k);
+    free(x);
+    if (r != NULL) {
+      r->prev = p;
+    }
+    return r;
+  }
+  struct dnode *t2 = delete_all(x->next, x, k);
+  x->next = t2;
+  return x;
+}

@@ -1,0 +1,19 @@
+// DLL insert-back (recursive).
+#include "../include/dll.h"
+
+struct dnode *insert_back_rec(struct dnode *x, struct dnode *p, int k)
+  _(requires dll(x, p))
+  _(ensures dll(result, p))
+  _(ensures dkeys(result) == (old(dkeys(x)) union singleton(k)))
+{
+  if (x == NULL) {
+    struct dnode *n = (struct dnode *) malloc(sizeof(struct dnode));
+    n->next = NULL;
+    n->prev = p;
+    n->key = k;
+    return n;
+  }
+  struct dnode *t = insert_back_rec(x->next, x, k);
+  x->next = t;
+  return x;
+}

@@ -1,0 +1,35 @@
+// DLL meld: merge two lists by ascending head keys.
+#include "../include/dll.h"
+
+struct dnode *meld(struct dnode *x, struct dnode *y)
+  _(requires dll(x, nil) * dll(y, nil))
+  _(ensures dll(result, nil))
+  _(ensures dkeys(result) == (old(dkeys(x)) union old(dkeys(y))))
+{
+  if (x == NULL)
+    return y;
+  if (y == NULL)
+    return x;
+  if (x->key <= y->key) {
+    struct dnode *xn = x->next;
+    if (xn != NULL) {
+      xn->prev = NULL;
+    }
+    struct dnode *t = meld(xn, y);
+    x->next = t;
+    if (t != NULL) {
+      t->prev = x;
+    }
+    return x;
+  }
+  struct dnode *yn = y->next;
+  if (yn != NULL) {
+    yn->prev = NULL;
+  }
+  struct dnode *t2 = meld(x, yn);
+  y->next = t2;
+  if (t2 != NULL) {
+    t2->prev = y;
+  }
+  return y;
+}

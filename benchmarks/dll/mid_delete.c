@@ -1,0 +1,16 @@
+// DLL delete the node after the head.
+#include "../include/dll.h"
+
+void mid_delete(struct dnode *x)
+  _(requires dll(x, nil) && x != nil && x->next != nil)
+  _(ensures dll(x, nil))
+  _(ensures dkeys(x) subset old(dkeys(x)))
+{
+  struct dnode *t = x->next;
+  struct dnode *u = t->next;
+  x->next = u;
+  if (u != NULL) {
+    u->prev = x;
+  }
+  free(t);
+}

@@ -1,0 +1,18 @@
+// DLL insert after the head node.
+#include "../include/dll.h"
+
+void mid_insert(struct dnode *x, int k)
+  _(requires dll(x, nil) && x != nil)
+  _(ensures dll(x, nil))
+  _(ensures dkeys(x) == (old(dkeys(x)) union singleton(k)))
+{
+  struct dnode *n = (struct dnode *) malloc(sizeof(struct dnode));
+  struct dnode *t = x->next;
+  n->next = t;
+  n->prev = x;
+  n->key = k;
+  x->next = n;
+  if (t != NULL) {
+    t->prev = n;
+  }
+}

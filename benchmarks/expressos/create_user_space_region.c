@@ -1,0 +1,18 @@
+// Allocate and link a fresh user-space region (with backing file).
+#include "../include/memreg.h"
+
+struct memreg *create_user_space_region(struct memreg *x, int s, int e,
+                                        int fid)
+  _(requires mrlist(x) && s <= e)
+  _(ensures mrlist(result))
+  _(ensures starts(result) == (old(starts(x)) union singleton(s)))
+{
+  struct memreg *r = (struct memreg *) malloc(sizeof(struct memreg));
+  struct file *f = (struct file *) malloc(sizeof(struct file));
+  f->id = fid;
+  r->bf = f;
+  r->start = s;
+  r->end = e;
+  r->next = x;
+  return r;
+}

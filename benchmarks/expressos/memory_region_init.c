@@ -1,0 +1,13 @@
+// Initialize a region object over a raw cell.
+#include "../include/memreg.h"
+
+void memory_region_init(struct memreg *r, int s, int e)
+  _(requires (r |->) * file1(r->bf))
+  _(requires s <= e)
+  _(ensures mrlist(r))
+  _(ensures r->start == s && r->end == e)
+{
+  r->start = s;
+  r->end = e;
+  r->next = NULL;
+}

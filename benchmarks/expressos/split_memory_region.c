@@ -1,0 +1,17 @@
+// Split the head region at m into [s, m) and [m, e).
+#include "../include/memreg.h"
+
+void split_memory_region(struct memreg *x, int m)
+  _(requires mrlist(x) && x != nil)
+  _(requires x->start <= m && m <= x->end)
+  _(ensures mrlist(x))
+  _(ensures starts(x) == (old(starts(x)) union singleton(m)))
+{
+  struct memreg *r = (struct memreg *) malloc(sizeof(struct memreg));
+  r->bf = NULL;
+  r->start = m;
+  r->end = x->end;
+  r->next = x->next;
+  x->end = m;
+  x->next = r;
+}

@@ -1,0 +1,18 @@
+// GRASShopper dl_copy.
+#include "../include/dll.h"
+
+struct dnode *dl_copy(struct dnode *x, struct dnode *p, struct dnode *cp)
+  _(requires dll(x, p))
+  _(ensures dll(x, p) * dll(result, cp))
+  _(ensures dkeys(x) == old(dkeys(x)))
+  _(ensures dkeys(result) == old(dkeys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  struct dnode *c = (struct dnode *) malloc(sizeof(struct dnode));
+  c->key = x->key;
+  c->prev = cp;
+  struct dnode *rest = dl_copy(x->next, x, c);
+  c->next = rest;
+  return c;
+}

@@ -1,0 +1,18 @@
+// GRASShopper dl_dispose (iterative).
+#include "../include/dll.h"
+
+void dl_dispose(struct dnode *x)
+  _(requires dll(x, nil))
+  _(ensures emp)
+{
+  struct dnode *cur = x;
+  struct dnode *p = NULL;
+  while (cur != NULL)
+    _(invariant dll(cur, p))
+  {
+    struct dnode *t = cur->next;
+    p = cur;
+    free(cur);
+    cur = t;
+  }
+}

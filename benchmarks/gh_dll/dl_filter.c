@@ -1,0 +1,23 @@
+// GRASShopper dl_filter: drop every node with key v (recursive).
+#include "../include/dll.h"
+
+struct dnode *dl_filter(struct dnode *x, struct dnode *p, int v)
+  _(requires dll(x, p))
+  _(ensures dll(result, p))
+  _(ensures dkeys(result) == (old(dkeys(x)) setminus singleton(v)))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->key == v) {
+    struct dnode *t = x->next;
+    struct dnode *r = dl_filter(t, x, v);
+    free(x);
+    if (r != NULL) {
+      r->prev = p;
+    }
+    return r;
+  }
+  struct dnode *t2 = dl_filter(x->next, x, v);
+  x->next = t2;
+  return x;
+}

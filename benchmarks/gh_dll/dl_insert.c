@@ -1,0 +1,17 @@
+// GRASShopper dl_insert (push front).
+#include "../include/dll.h"
+
+struct dnode *dl_insert(struct dnode *x, int k)
+  _(requires dll(x, nil))
+  _(ensures dll(result, nil))
+  _(ensures dkeys(result) == (old(dkeys(x)) union singleton(k)))
+{
+  struct dnode *n = (struct dnode *) malloc(sizeof(struct dnode));
+  n->next = x;
+  n->prev = NULL;
+  n->key = k;
+  if (x != NULL) {
+    x->prev = n;
+  }
+  return n;
+}

@@ -1,0 +1,23 @@
+// GRASShopper dl_remove: drop the first node with key v (recursive).
+#include "../include/dll.h"
+
+struct dnode *dl_remove(struct dnode *x, struct dnode *p, int v)
+  _(requires dll(x, p))
+  _(ensures dll(result, p))
+  _(ensures dkeys(result) subset old(dkeys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->key == v) {
+    struct dnode *t = x->next;
+    struct dnode *r = t;
+    if (t != NULL) {
+      t->prev = p;
+    }
+    free(x);
+    return r;
+  }
+  struct dnode *t2 = dl_remove(x->next, x, v);
+  x->next = t2;
+  return x;
+}

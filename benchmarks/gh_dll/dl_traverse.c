@@ -1,0 +1,11 @@
+// GRASShopper dl_traverse (recursive read-only walk).
+#include "../include/dll.h"
+
+void dl_traverse(struct dnode *x, struct dnode *p)
+  _(requires dll(x, p))
+  _(ensures dll(x, p) && dkeys(x) == old(dkeys(x)))
+{
+  if (x == NULL)
+    return;
+  dl_traverse(x->next, x);
+}

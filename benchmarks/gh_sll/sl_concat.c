@@ -1,0 +1,25 @@
+// GRASShopper sl_concat: walk to the tail of x, attach y.
+#include "../include/sll.h"
+
+struct node *sl_concat(struct node *x, struct node *y)
+  _(requires list(x) * list(y))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union old(keys(y))))
+{
+  if (x == NULL)
+    return y;
+  struct node *cur = x;
+  struct node *nx = cur->next;
+  while (nx != NULL)
+    _(invariant ((lseg(x, cur) * (cur |-> && cur->next == nx)) *
+                 list(nx)) * list(y))
+    _(invariant keys(x) ==
+        ((lseg_keys(x, cur) union singleton(cur->key)) union keys(nx)))
+    _(invariant keys(y) == old(keys(y)) && keys(x) == old(keys(x)))
+  {
+    cur = nx;
+    nx = cur->next;
+  }
+  cur->next = y;
+  return x;
+}

@@ -1,0 +1,32 @@
+// GRASShopper sl_copy: iterative copy with a tail pointer.
+#include "../include/sll.h"
+
+struct node *sl_copy(struct node *x)
+  _(requires list(x))
+  _(ensures list(x) * list(result))
+  _(ensures keys(x) == old(keys(x)) && keys(result) == old(keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *c = (struct node *) malloc(sizeof(struct node));
+  c->key = x->key;
+  c->next = NULL;
+  struct node *src = x->next;
+  struct node *last = c;
+  while (src != NULL)
+    _(invariant ((lseg(x, src) * list(src)) *
+                 (lseg(c, last) * (last |-> && last->next == nil))))
+    _(invariant (lseg_keys(x, src) union keys(src)) == old(keys(x)))
+    _(invariant (lseg_keys(c, last) union singleton(last->key)) ==
+                lseg_keys(x, src))
+    _(invariant keys(x) == old(keys(x)))
+  {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->key = src->key;
+    n->next = NULL;
+    last->next = n;
+    last = n;
+    src = src->next;
+  }
+  return c;
+}

@@ -1,0 +1,16 @@
+// GRASShopper sl_dispose (iterative free-all).
+#include "../include/sll.h"
+
+void sl_dispose(struct node *x)
+  _(requires list(x))
+  _(ensures emp)
+{
+  struct node *cur = x;
+  while (cur != NULL)
+    _(invariant list(cur))
+  {
+    struct node *t = cur->next;
+    free(cur);
+    cur = t;
+  }
+}

@@ -1,0 +1,41 @@
+// GRASShopper sl_filter: drop every node with key v (iterative).
+#include "../include/sll.h"
+
+struct node *sl_filter(struct node *x, int v)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) setminus singleton(v)))
+{
+  struct node *h = x;
+  while (h != NULL && h->key == v)
+    _(invariant list(h))
+    _(invariant (keys(h) setminus singleton(v)) ==
+                (old(keys(x)) setminus singleton(v)))
+  {
+    struct node *t = h->next;
+    free(h);
+    h = t;
+  }
+  if (h == NULL)
+    return NULL;
+  struct node *prev = h;
+  struct node *cur = h->next;
+  while (cur != NULL)
+    _(invariant (lseg(h, prev) * ((prev |-> && prev->next == cur &&
+                 prev->key != v) * list(cur))))
+    _(invariant !(v in lseg_keys(h, prev)))
+    _(invariant ((lseg_keys(h, prev) union singleton(prev->key)) union
+                 (keys(cur) setminus singleton(v))) ==
+                (old(keys(x)) setminus singleton(v)))
+  {
+    struct node *t = cur->next;
+    if (cur->key == v) {
+      prev->next = t;
+      free(cur);
+    } else {
+      prev = cur;
+    }
+    cur = t;
+  }
+  return h;
+}

@@ -1,0 +1,28 @@
+// GRASShopper sl_insert: insert at the tail (iterative).
+#include "../include/sll.h"
+
+struct node *sl_insert(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union singleton(k)))
+{
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->next = NULL;
+  n->key = k;
+  if (x == NULL)
+    return n;
+  struct node *cur = x;
+  struct node *nx = cur->next;
+  while (nx != NULL)
+    _(invariant ((lseg(x, cur) * (cur |-> && cur->next == nx)) *
+                 list(nx)) * (n |-> && n->next == nil && n->key == k))
+    _(invariant keys(x) ==
+        ((lseg_keys(x, cur) union singleton(cur->key)) union keys(nx)))
+    _(invariant keys(x) == old(keys(x)))
+  {
+    cur = nx;
+    nx = cur->next;
+  }
+  cur->next = n;
+  return x;
+}

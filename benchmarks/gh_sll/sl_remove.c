@@ -1,0 +1,34 @@
+// GRASShopper sl_remove: unlink/free the first node with key v.
+#include "../include/sll.h"
+
+struct node *sl_remove(struct node *x, int v)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) subset old(keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->key == v) {
+    struct node *t = x->next;
+    free(x);
+    return t;
+  }
+  struct node *prev = x;
+  struct node *cur = x->next;
+  while (cur != NULL && cur->key != v)
+    _(invariant (lseg(x, prev) * ((prev |-> && prev->next == cur) *
+                 list(cur))))
+    _(invariant keys(x) ==
+        ((lseg_keys(x, prev) union singleton(prev->key)) union keys(cur)))
+    _(invariant keys(x) == old(keys(x)))
+  {
+    prev = cur;
+    cur = cur->next;
+  }
+  if (cur != NULL) {
+    struct node *t2 = cur->next;
+    prev->next = t2;
+    free(cur);
+  }
+  return x;
+}

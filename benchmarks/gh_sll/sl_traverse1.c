@@ -1,0 +1,15 @@
+// GRASShopper sl_traverse1: read-only walk.
+#include "../include/sll.h"
+
+void sl_traverse1(struct node *x)
+  _(requires list(x))
+  _(ensures list(x) && keys(x) == old(keys(x)))
+{
+  struct node *cur = x;
+  while (cur != NULL)
+    _(invariant (lseg(x, cur) * list(cur)))
+    _(invariant keys(x) == (lseg_keys(x, cur) union keys(cur)))
+  {
+    cur = cur->next;
+  }
+}

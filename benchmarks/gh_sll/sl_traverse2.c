@@ -1,0 +1,18 @@
+// GRASShopper sl_traverse2: walk keeping a trailing pointer.
+#include "../include/sll.h"
+
+void sl_traverse2(struct node *x)
+  _(requires list(x) && x != nil)
+  _(ensures list(x) && keys(x) == old(keys(x)))
+{
+  struct node *cur = x;
+  struct node *nx = cur->next;
+  while (nx != NULL)
+    _(invariant (lseg(x, cur) * (cur |-> && cur->next == nx)) * list(nx))
+    _(invariant keys(x) ==
+        ((lseg_keys(x, cur) union singleton(cur->key)) union keys(nx)))
+  {
+    cur = nx;
+    nx = cur->next;
+  }
+}

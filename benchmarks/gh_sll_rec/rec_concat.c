@@ -1,0 +1,14 @@
+// GRASShopper rec_concat.
+#include "../include/sll.h"
+
+struct node *rec_concat(struct node *x, struct node *y)
+  _(requires list(x) * list(y))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union old(keys(y))))
+{
+  if (x == NULL)
+    return y;
+  struct node *t = rec_concat(x->next, y);
+  x->next = t;
+  return x;
+}

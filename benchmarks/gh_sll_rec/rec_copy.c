@@ -1,0 +1,16 @@
+// GRASShopper rec_copy.
+#include "../include/sll.h"
+
+struct node *rec_copy(struct node *x)
+  _(requires list(x))
+  _(ensures list(x) * list(result))
+  _(ensures keys(x) == old(keys(x)) && keys(result) == old(keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *c = (struct node *) malloc(sizeof(struct node));
+  c->key = x->key;
+  struct node *rest = rec_copy(x->next);
+  c->next = rest;
+  return c;
+}

@@ -1,0 +1,13 @@
+// GRASShopper rec_dispose.
+#include "../include/sll.h"
+
+void rec_dispose(struct node *x)
+  _(requires list(x))
+  _(ensures emp)
+{
+  if (x == NULL)
+    return;
+  struct node *t = x->next;
+  free(x);
+  rec_dispose(t);
+}

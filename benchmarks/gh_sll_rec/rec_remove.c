@@ -1,0 +1,19 @@
+// GRASShopper rec_remove: drop the first node with key v.
+#include "../include/sll.h"
+
+struct node *rec_remove(struct node *x, int v)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) subset old(keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->key == v) {
+    struct node *t = x->next;
+    free(x);
+    return t;
+  }
+  struct node *t2 = rec_remove(x->next, v);
+  x->next = t2;
+  return x;
+}

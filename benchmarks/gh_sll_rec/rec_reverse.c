@@ -1,0 +1,14 @@
+// GRASShopper rec_reverse (accumulator style).
+#include "../include/sll.h"
+
+struct node *rec_reverse(struct node *x, struct node *acc)
+  _(requires list(x) * list(acc))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union old(keys(acc))))
+{
+  if (x == NULL)
+    return acc;
+  struct node *t = x->next;
+  x->next = acc;
+  return rec_reverse(t, x);
+}

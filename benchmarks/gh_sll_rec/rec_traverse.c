@@ -1,0 +1,11 @@
+// GRASShopper rec_traverse.
+#include "../include/sll.h"
+
+void rec_traverse(struct node *x)
+  _(requires list(x))
+  _(ensures list(x) && keys(x) == old(keys(x)))
+{
+  if (x == NULL)
+    return;
+  rec_traverse(x->next);
+}

@@ -1,0 +1,52 @@
+// GRASShopper merge_sort_rec.
+#include "../include/sorted.h"
+
+struct node *msr_split(struct node *x)
+  _(requires list(x))
+  _(ensures list(x) * list(result))
+  _(ensures old(keys(x)) == (keys(x) union keys(result)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *second = x->next;
+  if (second == NULL)
+    return NULL;
+  x->next = second->next;
+  struct node *rest = msr_split(x->next);
+  second->next = rest;
+  return second;
+}
+
+struct node *msr_merge(struct node *x, struct node *y)
+  _(requires slist(x) * slist(y))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(x)) union old(keys(y))))
+{
+  if (x == NULL)
+    return y;
+  if (y == NULL)
+    return x;
+  if (x->key <= y->key) {
+    struct node *t = msr_merge(x->next, y);
+    x->next = t;
+    return x;
+  }
+  struct node *t2 = msr_merge(x, y->next);
+  y->next = t2;
+  return y;
+}
+
+struct node *merge_sort_rec(struct node *x)
+  _(requires list(x))
+  _(ensures slist(result))
+  _(ensures keys(result) == old(keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->next == NULL)
+    return x;
+  struct node *half = msr_split(x);
+  struct node *a = merge_sort_rec(x);
+  struct node *b = merge_sort_rec(half);
+  return msr_merge(a, b);
+}

@@ -1,0 +1,15 @@
+// GRASShopper sls_concat: concatenate ordered sorted lists.
+#include "../include/sorted.h"
+
+struct node *sls_concat(struct node *x, struct node *y)
+  _(requires slist(x) * slist(y))
+  _(requires keys(x) <= keys(y))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(x)) union old(keys(y))))
+{
+  if (x == NULL)
+    return y;
+  struct node *t = sls_concat(x->next, y);
+  x->next = t;
+  return x;
+}

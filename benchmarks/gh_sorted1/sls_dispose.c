@@ -1,0 +1,16 @@
+// GRASShopper sls_dispose.
+#include "../include/sorted.h"
+
+void sls_dispose(struct node *x)
+  _(requires slist(x))
+  _(ensures emp)
+{
+  struct node *cur = x;
+  while (cur != NULL)
+    _(invariant slist(cur))
+  {
+    struct node *t = cur->next;
+    free(cur);
+    cur = t;
+  }
+}

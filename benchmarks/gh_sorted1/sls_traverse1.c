@@ -1,0 +1,16 @@
+// GRASShopper sls_traverse1.
+#include "../include/sorted.h"
+
+void sls_traverse1(struct node *x)
+  _(requires slist(x))
+  _(ensures slist(x) && keys(x) == old(keys(x)))
+{
+  struct node *cur = x;
+  while (cur != NULL)
+    _(invariant (slseg(x, cur) * slist(cur)))
+    _(invariant keys(x) == (lseg_keys(x, cur) union keys(cur)))
+    _(invariant lseg_keys(x, cur) <= keys(cur))
+  {
+    cur = cur->next;
+  }
+}

@@ -1,0 +1,11 @@
+// GRASShopper sls_traverse2 (recursive).
+#include "../include/sorted.h"
+
+void sls_traverse2(struct node *x)
+  _(requires slist(x))
+  _(ensures slist(x) && keys(x) == old(keys(x)))
+{
+  if (x == NULL)
+    return;
+  sls_traverse2(x->next);
+}

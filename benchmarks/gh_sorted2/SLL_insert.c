@@ -1,0 +1,16 @@
+// GRASShopper SLL_insert: insert a fresh node into a sorted list.
+#include "../include/sorted.h"
+
+struct node *SLL_insert(struct node *x, struct node *n)
+  _(requires slist(x) * (n |->))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(x)) union singleton(old(n->key))))
+{
+  if (x == NULL || n->key <= x->key) {
+    n->next = x;
+    return n;
+  }
+  struct node *t = SLL_insert(x->next, n);
+  x->next = t;
+  return x;
+}

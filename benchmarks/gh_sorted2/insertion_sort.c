@@ -1,0 +1,35 @@
+// GRASShopper insertion_sort: iterative, re-inserting each node.
+#include "../include/sorted.h"
+
+struct node *ins_node(struct node *s, struct node *n)
+  _(requires slist(s) * (n |->))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(s)) union singleton(old(n->key))))
+{
+  if (s == NULL || n->key <= s->key) {
+    n->next = s;
+    return n;
+  }
+  struct node *t = ins_node(s->next, n);
+  s->next = t;
+  return s;
+}
+
+struct node *insertion_sort(struct node *x)
+  _(requires list(x))
+  _(ensures slist(result))
+  _(ensures keys(result) == old(keys(x)))
+{
+  struct node *sorted = NULL;
+  struct node *cur = x;
+  while (cur != NULL)
+    _(invariant list(cur) * slist(sorted))
+    _(invariant (keys(cur) union keys(sorted)) == old(keys(x)))
+  {
+    struct node *t = cur->next;
+    struct node *s2 = ins_node(sorted, cur);
+    sorted = s2;
+    cur = t;
+  }
+  return sorted;
+}

@@ -1,0 +1,18 @@
+// GRASShopper merge_sort_split: detach alternating nodes.
+#include "../include/sorted.h"
+
+struct node *merge_sort_split(struct node *x)
+  _(requires list(x))
+  _(ensures list(x) * list(result))
+  _(ensures old(keys(x)) == (keys(x) union keys(result)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *second = x->next;
+  if (second == NULL)
+    return NULL;
+  x->next = second->next;
+  struct node *rest = merge_sort_split(x->next);
+  second->next = rest;
+  return second;
+}

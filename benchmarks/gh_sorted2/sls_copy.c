@@ -1,0 +1,16 @@
+// GRASShopper sls_copy: a copy of a sorted list is sorted.
+#include "../include/sorted.h"
+
+struct node *sls_copy(struct node *x)
+  _(requires slist(x))
+  _(ensures slist(x) * slist(result))
+  _(ensures keys(x) == old(keys(x)) && keys(result) == old(keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *c = (struct node *) malloc(sizeof(struct node));
+  c->key = x->key;
+  struct node *rest = sls_copy(x->next);
+  c->next = rest;
+  return c;
+}

@@ -1,0 +1,33 @@
+// GRASShopper sls_double_all: double every key into a fresh sorted
+// list. Uses a derived "doubled" key-set definition and one axiom
+// relating the bounds of keys and doubled keys.
+#include "../include/sorted.h"
+
+_(dryad
+  function intset doubled(struct node *x) =
+      (x == nil) ? emptyset
+                 : (singleton(x->key + x->key) union doubled(x->next));
+
+  axiom (struct node *x)
+      true ==> heaplet doubled(x) == heaplet list(x);
+  axiom (struct node *x, int k)
+      k <= keys(x) ==> (k + k) <= doubled(x);
+)
+
+struct node *sls_double_all(struct node *x)
+  _(requires slist(x))
+  _(ensures slist(x) * slist(result))
+  _(ensures keys(x) == old(keys(x)))
+  _(ensures keys(result) == old(doubled(x)))
+  _(ensures (x == nil && result == nil) ||
+            (x != nil && result != nil &&
+             result->key == (old(x->key) + old(x->key))))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *c = (struct node *) malloc(sizeof(struct node));
+  c->key = x->key + x->key;
+  struct node *rest = sls_double_all(x->next);
+  c->next = rest;
+  return c;
+}

@@ -1,0 +1,18 @@
+// GRASShopper sls_filter: drop all occurrences, keep sorted.
+#include "../include/sorted.h"
+
+struct node *sls_filter(struct node *x, int v)
+  _(requires slist(x))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(x)) setminus singleton(v)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *t = sls_filter(x->next, v);
+  if (x->key == v) {
+    free(x);
+    return t;
+  }
+  x->next = t;
+  return x;
+}

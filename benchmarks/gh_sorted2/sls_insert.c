@@ -1,0 +1,18 @@
+// GRASShopper sls_insert.
+#include "../include/sorted.h"
+
+struct node *sls_insert(struct node *x, int k)
+  _(requires slist(x))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(x)) union singleton(k)))
+{
+  if (x == NULL || k <= x->key) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->next = x;
+    n->key = k;
+    return n;
+  }
+  struct node *t = sls_insert(x->next, k);
+  x->next = t;
+  return x;
+}

@@ -1,0 +1,16 @@
+// GRASShopper sls_pairwise_sum: zip two lists with +.
+#include "../include/sorted.h"
+
+struct node *sls_pairwise_sum(struct node *x, struct node *y)
+  _(requires list(x) * list(y))
+  _(ensures (list(x) * list(y)) * list(result))
+  _(ensures keys(x) == old(keys(x)) && keys(y) == old(keys(y)))
+{
+  if (x == NULL || y == NULL)
+    return NULL;
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->key = x->key + y->key;
+  struct node *rest = sls_pairwise_sum(x->next, y->next);
+  n->next = rest;
+  return n;
+}

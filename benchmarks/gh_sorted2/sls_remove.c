@@ -1,0 +1,19 @@
+// GRASShopper sls_remove: drop the first occurrence, keep sorted.
+#include "../include/sorted.h"
+
+struct node *sls_remove(struct node *x, int v)
+  _(requires slist(x))
+  _(ensures slist(result))
+  _(ensures keys(result) subset old(keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->key == v) {
+    struct node *t = x->next;
+    free(x);
+    return t;
+  }
+  struct node *t2 = sls_remove(x->next, v);
+  x->next = t2;
+  return x;
+}

@@ -1,0 +1,15 @@
+// g_list_find.
+#include "../include/dll.h"
+
+struct dnode *g_list_find(struct dnode *x, struct dnode *p, int k)
+  _(requires dll(x, p))
+  _(ensures dll(x, p) && dkeys(x) == old(dkeys(x)))
+  _(ensures (result == nil && !(k in dkeys(x))) ||
+            (result != nil && result->key == k && k in dkeys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->key == k)
+    return x;
+  return g_list_find(x->next, x, k);
+}

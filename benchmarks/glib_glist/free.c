@@ -1,0 +1,13 @@
+// g_list_free.
+#include "../include/dll.h"
+
+void g_list_free(struct dnode *x, struct dnode *p)
+  _(requires dll(x, p))
+  _(ensures emp)
+{
+  if (x == NULL)
+    return;
+  struct dnode *t = x->next;
+  free(x);
+  g_list_free(t, x);
+}

@@ -1,0 +1,18 @@
+// g_list_index.
+#include "../include/dll.h"
+
+int g_list_index(struct dnode *x, struct dnode *p, int k)
+  _(requires dll(x, p))
+  _(ensures dll(x, p) && dkeys(x) == old(dkeys(x)))
+  _(ensures (result >= 0 && k in dkeys(x)) ||
+            (result == 0 - 1 && !(k in dkeys(x))))
+{
+  if (x == NULL)
+    return 0 - 1;
+  if (x->key == k)
+    return 0;
+  int r = g_list_index(x->next, x, k);
+  if (r == 0 - 1)
+    return 0 - 1;
+  return r + 1;
+}

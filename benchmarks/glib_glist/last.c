@@ -1,0 +1,15 @@
+// g_list_last.
+#include "../include/dll.h"
+
+struct dnode *g_list_last(struct dnode *x, struct dnode *p)
+  _(requires dll(x, p))
+  _(ensures dll(x, p) && dkeys(x) == old(dkeys(x)))
+  _(ensures (x == nil && result == nil) ||
+            (x != nil && result != nil && result->next == nil))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->next == NULL)
+    return x;
+  return g_list_last(x->next, x);
+}

@@ -1,0 +1,13 @@
+// g_list_length.
+#include "../include/dll.h"
+
+int g_list_length(struct dnode *x, struct dnode *p)
+  _(requires dll(x, p))
+  _(ensures dll(x, p) && dkeys(x) == old(dkeys(x)))
+  _(ensures result >= 0)
+{
+  if (x == NULL)
+    return 0;
+  int n = g_list_length(x->next, x);
+  return n + 1;
+}

@@ -1,0 +1,14 @@
+// g_list_nth.
+#include "../include/dll.h"
+
+struct dnode *g_list_nth(struct dnode *x, struct dnode *p, int n)
+  _(requires dll(x, p))
+  _(ensures dll(x, p) && dkeys(x) == old(dkeys(x)))
+  _(ensures result == nil || result in heaplet dll(x, p))
+{
+  if (x == NULL)
+    return NULL;
+  if (n <= 0)
+    return x;
+  return g_list_nth(x->next, x, n - 1);
+}

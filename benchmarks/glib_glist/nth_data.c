@@ -1,0 +1,18 @@
+// g_list_nth_data.
+#include "../include/dll.h"
+
+int g_list_nth_data(struct dnode *x, struct dnode *p, int n)
+  _(requires dll(x, p))
+  _(ensures dll(x, p) && dkeys(x) == old(dkeys(x)))
+  _(ensures result == 0 || result in dkeys(x))
+{
+  if (x == NULL)
+    return 0;
+  if (n <= 0) {
+    int k = x->key;
+    if (k == 0)
+      return 0;
+    return k;
+  }
+  return g_list_nth_data(x->next, x, n - 1);
+}

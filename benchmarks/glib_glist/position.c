@@ -1,0 +1,17 @@
+// g_list_position.
+#include "../include/dll.h"
+
+int g_list_position(struct dnode *x, struct dnode *p, struct dnode *link)
+  _(requires dll(x, p))
+  _(ensures dll(x, p) && dkeys(x) == old(dkeys(x)))
+  _(ensures result >= 0 - 1)
+{
+  if (x == NULL)
+    return 0 - 1;
+  if (x == link)
+    return 0;
+  int r = g_list_position(x->next, x, link);
+  if (r == 0 - 1)
+    return 0 - 1;
+  return r + 1;
+}

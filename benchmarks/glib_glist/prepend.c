@@ -1,0 +1,17 @@
+// g_list_prepend.
+#include "../include/dll.h"
+
+struct dnode *g_list_prepend(struct dnode *x, int k)
+  _(requires dll(x, nil))
+  _(ensures dll(result, nil))
+  _(ensures dkeys(result) == (old(dkeys(x)) union singleton(k)))
+{
+  struct dnode *n = (struct dnode *) malloc(sizeof(struct dnode));
+  n->next = x;
+  n->prev = NULL;
+  n->key = k;
+  if (x != NULL) {
+    x->prev = n;
+  }
+  return n;
+}

@@ -1,0 +1,28 @@
+// g_list_reverse: iterative unlink-and-push reversal.
+#include "../include/dll.h"
+
+struct dnode *g_list_reverse(struct dnode *x)
+  _(requires dll(x, nil))
+  _(ensures dll(result, nil))
+  _(ensures dkeys(result) == old(dkeys(x)))
+{
+  struct dnode *rev = NULL;
+  struct dnode *cur = x;
+  while (cur != NULL)
+    _(invariant dll(cur, nil) * dll(rev, nil))
+    _(invariant (dkeys(cur) union dkeys(rev)) == old(dkeys(x)))
+  {
+    struct dnode *t = cur->next;
+    if (t != NULL) {
+      t->prev = NULL;
+    }
+    cur->next = rev;
+    cur->prev = NULL;
+    if (rev != NULL) {
+      rev->prev = cur;
+    }
+    rev = cur;
+    cur = t;
+  }
+  return rev;
+}

@@ -1,0 +1,18 @@
+// g_slist_append: add one key at the tail.
+#include "../include/sll.h"
+
+struct node *g_slist_append(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union singleton(k)))
+{
+  if (x == NULL) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->next = NULL;
+    n->key = k;
+    return n;
+  }
+  struct node *t = g_slist_append(x->next, k);
+  x->next = t;
+  return x;
+}

@@ -1,0 +1,14 @@
+// g_slist_concat: destructive append of two lists.
+#include "../include/sll.h"
+
+struct node *g_slist_concat(struct node *x, struct node *y)
+  _(requires list(x) * list(y))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union old(keys(y))))
+{
+  if (x == NULL)
+    return y;
+  struct node *t = g_slist_concat(x->next, y);
+  x->next = t;
+  return x;
+}

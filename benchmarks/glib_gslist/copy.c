@@ -1,0 +1,17 @@
+// g_slist_copy: fresh copy sharing no cells with the source.
+#include "../include/sll.h"
+
+struct node *g_slist_copy(struct node *x)
+  _(requires list(x))
+  _(ensures list(x) * list(result))
+  _(ensures keys(x) == old(keys(x)))
+  _(ensures keys(result) == old(keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *c = (struct node *) malloc(sizeof(struct node));
+  c->key = x->key;
+  struct node *rest = g_slist_copy(x->next);
+  c->next = rest;
+  return c;
+}

@@ -1,0 +1,16 @@
+// g_slist_delete_link: unlink and free a given node.
+#include "../include/sll.h"
+
+struct node *g_slist_delete_link(struct node *x, struct node *link)
+  _(requires (lseg(x, link) * (link |->)) * list(link->next))
+  _(ensures list(result))
+{
+  if (x == link) {
+    struct node *r = link->next;
+    free(link);
+    return r;
+  }
+  struct node *t = g_slist_delete_link(x->next, link);
+  x->next = t;
+  return x;
+}

@@ -1,0 +1,15 @@
+// g_slist_find: return the first node holding k, or NULL.
+#include "../include/sll.h"
+
+struct node *g_slist_find(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(x) && keys(x) == old(keys(x)))
+  _(ensures (result == nil && !(k in keys(x))) ||
+            (result != nil && result->key == k && k in keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->key == k)
+    return x;
+  return g_slist_find(x->next, k);
+}

@@ -1,0 +1,13 @@
+// g_slist_free: dispose the whole list.
+#include "../include/sll.h"
+
+void g_slist_free(struct node *x)
+  _(requires list(x))
+  _(ensures emp)
+{
+  if (x == NULL)
+    return;
+  struct node *t = x->next;
+  free(x);
+  g_slist_free(t);
+}

@@ -1,0 +1,18 @@
+// g_slist_index: index of the first occurrence of k (-1 if absent).
+#include "../include/sll.h"
+
+int g_slist_index(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(x) && keys(x) == old(keys(x)))
+  _(ensures (result >= 0 && k in keys(x)) ||
+            (result == 0 - 1 && !(k in keys(x))))
+{
+  if (x == NULL)
+    return 0 - 1;
+  if (x->key == k)
+    return 0;
+  int p = g_slist_index(x->next, k);
+  if (p == 0 - 1)
+    return 0 - 1;
+  return p + 1;
+}

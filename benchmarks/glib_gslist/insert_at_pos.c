@@ -1,0 +1,18 @@
+// g_slist_insert: insert at a given position (clamped to the tail).
+#include "../include/sll.h"
+
+struct node *g_slist_insert_at_pos(struct node *x, int pos, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union singleton(k)))
+{
+  if (x == NULL || pos <= 0) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->next = x;
+    n->key = k;
+    return n;
+  }
+  struct node *t = g_slist_insert_at_pos(x->next, pos - 1, k);
+  x->next = t;
+  return x;
+}

@@ -1,0 +1,18 @@
+// g_slist_insert_before: insert k before the first node holding v.
+#include "../include/sll.h"
+
+struct node *g_slist_insert_before(struct node *x, int v, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union singleton(k)))
+{
+  if (x == NULL || x->key == v) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->next = x;
+    n->key = k;
+    return n;
+  }
+  struct node *t = g_slist_insert_before(x->next, v, k);
+  x->next = t;
+  return x;
+}

@@ -1,0 +1,15 @@
+// g_slist_last: return the final node.
+#include "../include/sll.h"
+
+struct node *g_slist_last(struct node *x)
+  _(requires list(x))
+  _(ensures list(x) && keys(x) == old(keys(x)))
+  _(ensures (x == nil && result == nil) ||
+            (x != nil && result != nil && result->next == nil))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->next == NULL)
+    return x;
+  return g_slist_last(x->next);
+}

@@ -1,0 +1,13 @@
+// g_slist_length.
+#include "../include/sll.h"
+
+int g_slist_length(struct node *x)
+  _(requires list(x))
+  _(ensures list(x) && keys(x) == old(keys(x)))
+  _(ensures result >= 0)
+{
+  if (x == NULL)
+    return 0;
+  int n = g_slist_length(x->next);
+  return n + 1;
+}

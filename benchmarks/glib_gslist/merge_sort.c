@@ -1,0 +1,52 @@
+// g_slist_sort: top-down merge sort with alternating split.
+#include "../include/sorted.h"
+
+struct node *split_alt(struct node *x)
+  _(requires list(x))
+  _(ensures list(x) * list(result))
+  _(ensures old(keys(x)) == (keys(x) union keys(result)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *second = x->next;
+  if (second == NULL)
+    return NULL;
+  x->next = second->next;
+  struct node *rest = split_alt(x->next);
+  second->next = rest;
+  return second;
+}
+
+struct node *ms_merge(struct node *x, struct node *y)
+  _(requires slist(x) * slist(y))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(x)) union old(keys(y))))
+{
+  if (x == NULL)
+    return y;
+  if (y == NULL)
+    return x;
+  if (x->key <= y->key) {
+    struct node *t = ms_merge(x->next, y);
+    x->next = t;
+    return x;
+  }
+  struct node *t2 = ms_merge(x, y->next);
+  y->next = t2;
+  return y;
+}
+
+struct node *merge_sort(struct node *x)
+  _(requires list(x))
+  _(ensures slist(result))
+  _(ensures keys(result) == old(keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->next == NULL)
+    return x;
+  struct node *half = split_alt(x);
+  struct node *a = merge_sort(x);
+  struct node *b = merge_sort(half);
+  return ms_merge(a, b);
+}

@@ -1,0 +1,21 @@
+// g_slist_merge: merge two sorted lists.
+#include "../include/sorted.h"
+
+struct node *merge_sorted_lists(struct node *x, struct node *y)
+  _(requires slist(x) * slist(y))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(x)) union old(keys(y))))
+{
+  if (x == NULL)
+    return y;
+  if (y == NULL)
+    return x;
+  if (x->key <= y->key) {
+    struct node *t = merge_sorted_lists(x->next, y);
+    x->next = t;
+    return x;
+  }
+  struct node *t2 = merge_sorted_lists(x, y->next);
+  y->next = t2;
+  return y;
+}

@@ -1,0 +1,14 @@
+// g_slist_nth: the n-th node (NULL past the end).
+#include "../include/sll.h"
+
+struct node *g_slist_nth(struct node *x, int n)
+  _(requires list(x))
+  _(ensures list(x) && keys(x) == old(keys(x)))
+  _(ensures result == nil || result in heaplet list(x))
+{
+  if (x == NULL)
+    return NULL;
+  if (n <= 0)
+    return x;
+  return g_slist_nth(x->next, n - 1);
+}

@@ -1,0 +1,18 @@
+// g_slist_nth_data: the n-th key (0 past the end).
+#include "../include/sll.h"
+
+int g_slist_nth_data(struct node *x, int n)
+  _(requires list(x))
+  _(ensures list(x) && keys(x) == old(keys(x)))
+  _(ensures result == 0 || result in keys(x))
+{
+  if (x == NULL)
+    return 0;
+  if (n <= 0) {
+    int k = x->key;
+    if (k == 0)
+      return 0;
+    return k;
+  }
+  return g_slist_nth_data(x->next, n - 1);
+}

@@ -1,0 +1,17 @@
+// g_slist_position: index of a given node (-1 if absent).
+#include "../include/sll.h"
+
+int g_slist_position(struct node *x, struct node *link)
+  _(requires list(x))
+  _(ensures list(x) && keys(x) == old(keys(x)))
+  _(ensures result >= 0 - 1)
+{
+  if (x == NULL)
+    return 0 - 1;
+  if (x == link)
+    return 0;
+  int p = g_slist_position(x->next, link);
+  if (p == 0 - 1)
+    return 0 - 1;
+  return p + 1;
+}

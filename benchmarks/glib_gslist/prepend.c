@@ -1,0 +1,13 @@
+// g_slist_prepend.
+#include "../include/sll.h"
+
+struct node *g_slist_prepend(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union singleton(k)))
+{
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->next = x;
+  n->key = k;
+  return n;
+}

@@ -1,0 +1,19 @@
+// g_slist_remove: unlink and free the first node holding k.
+#include "../include/sll.h"
+
+struct node *g_slist_remove(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) subset old(keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  if (x->key == k) {
+    struct node *t = x->next;
+    free(x);
+    return t;
+  }
+  struct node *t2 = g_slist_remove(x->next, k);
+  x->next = t2;
+  return x;
+}

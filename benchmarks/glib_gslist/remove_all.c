@@ -1,0 +1,18 @@
+// g_slist_remove_all: unlink and free every node holding k.
+#include "../include/sll.h"
+
+struct node *g_slist_remove_all(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) setminus singleton(k)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *t = g_slist_remove_all(x->next, k);
+  if (x->key == k) {
+    free(x);
+    return t;
+  }
+  x->next = t;
+  return x;
+}

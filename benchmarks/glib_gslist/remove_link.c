@@ -1,0 +1,16 @@
+// g_slist_remove_link: unlink a given node (kept, self-linked to nil).
+#include "../include/sll.h"
+
+struct node *g_slist_remove_link(struct node *x, struct node *link)
+  _(requires (lseg(x, link) * (link |->)) * list(link->next))
+  _(ensures list(result) * (link |-> && link->next == nil))
+{
+  if (x == link) {
+    struct node *r = link->next;
+    link->next = NULL;
+    return r;
+  }
+  struct node *t = g_slist_remove_link(x->next, link);
+  x->next = t;
+  return x;
+}

@@ -1,0 +1,52 @@
+// AVL tree: height-balanced binary search tree. The height field
+// caches the real (recursive) height; the balance condition bounds
+// sibling height difference by one.
+
+struct anode {
+  struct anode *l;
+  struct anode *r;
+  int key;
+  int height;
+};
+
+_(dryad
+  function intset akeys(struct anode *x) =
+      (x == nil)
+          ? emptyset
+          : ((singleton(x->key) union akeys(x->l)) union akeys(x->r));
+
+  function int rheight(struct anode *x) =
+      (x == nil)
+          ? 0
+          : ((rheight(x->l) >= rheight(x->r)) ? (rheight(x->l) + 1)
+                                              : (rheight(x->r) + 1));
+
+  predicate avl(struct anode *x) =
+      (x == nil && emp) ||
+      ((x |-> && x->height == rheight(x) &&
+        rheight(x->l) <= rheight(x->r) + 1 &&
+        rheight(x->r) <= rheight(x->l) + 1)
+       * (avl(x->l) && akeys(x->l) < x->key)
+       * (avl(x->r) && x->key < akeys(x->r)));
+
+  // A BST with cached heights but no balance requirement: the
+  // intermediate shape that rebalancing repairs.
+  predicate htree(struct anode *x) =
+      (x == nil && emp) ||
+      ((x |-> && x->height == rheight(x))
+       * (htree(x->l) && akeys(x->l) < x->key)
+       * (htree(x->r) && x->key < akeys(x->r)));
+
+  axiom (struct anode *x)
+      true ==> heaplet akeys(x) == heaplet avl(x) &&
+               heaplet rheight(x) == heaplet avl(x) &&
+               heaplet htree(x) == heaplet avl(x);
+
+  // Balance implies the weaker shape.
+  axiom (struct anode *x)
+      avl(x) ==> htree(x);
+
+  // Heights are non-negative.
+  axiom (struct anode *x)
+      true ==> rheight(x) >= 0;
+)

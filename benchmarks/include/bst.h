@@ -1,0 +1,24 @@
+// Binary search tree: DRYAD definitions and axioms (the paper's
+// running example, Section 2). Keys are strictly ordered, so the tree
+// stores a set without duplicates.
+
+struct bnode {
+  struct bnode *l;
+  struct bnode *r;
+  int key;
+};
+
+_(dryad
+  function intset bkeys(struct bnode *x) =
+      (x == nil)
+          ? emptyset
+          : ((singleton(x->key) union bkeys(x->l)) union bkeys(x->r));
+
+  predicate bst(struct bnode *x) =
+      (x == nil && emp) ||
+      (x |-> * (bst(x->l) && bkeys(x->l) < x->key)
+            * (bst(x->r) && x->key < bkeys(x->r)));
+
+  axiom (struct bnode *x)
+      true ==> heaplet bkeys(x) == heaplet bst(x);
+)

@@ -1,0 +1,54 @@
+// Circular singly-linked list: DRYAD definitions and axioms.
+//
+// cl(x)     - x heads a circular list (each node's next eventually
+//             returns to x); nil is the empty circular list.
+// ckeys(x)  - the keys stored on the cycle.
+// lseg      - acyclic segments, used to "cut" the cycle at the head.
+
+struct node {
+  struct node *next;
+  int key;
+};
+
+_(dryad
+  predicate lseg(struct node *x, struct node *y) =
+      (x == y && emp) || (x != y && x |-> * lseg(x->next, y));
+
+  function intset lseg_keys(struct node *x, struct node *y) =
+      (x == y) ? emptyset
+               : (singleton(x->key) union lseg_keys(x->next, y));
+
+  predicate cl(struct node *x) =
+      (x == nil && emp) || (x |-> * lseg(x->next, x));
+
+  function intset ckeys(struct node *x) =
+      (x == nil) ? emptyset
+                 : (singleton(x->key) union lseg_keys(x->next, x));
+
+  axiom (struct node *x, struct node *y)
+      true ==> heaplet lseg_keys(x, y) == heaplet lseg(x, y);
+  axiom (struct node *x)
+      true ==> heaplet ckeys(x) == heaplet cl(x);
+
+  // A segment never contains its end point.
+  axiom (struct node *x, struct node *y)
+      lseg(x, y) ==> !(y in heaplet lseg(x, y));
+
+  // Segment extension by one tail node.
+  axiom (struct node *x, struct node *y, struct node *z)
+      lseg(x, y) && y != nil && y->next == z && z != y &&
+      !(y in heaplet lseg(x, y)) && !(z in heaplet lseg(x, y))
+      ==> lseg(x, z) &&
+          heaplet lseg(x, z) == (heaplet lseg(x, y) union singleton(y)) &&
+          lseg_keys(x, z) == (lseg_keys(x, y) union singleton(y->key));
+
+  // Segment composition (segment + segment).
+  axiom (struct node *x, struct node *y, struct node *z)
+      lseg(x, y) && lseg(y, z) &&
+      disjoint(heaplet lseg(x, y), heaplet lseg(y, z)) &&
+      !(z in heaplet lseg(x, y))
+      ==> lseg(x, z) &&
+          heaplet lseg(x, z) ==
+              (heaplet lseg(x, y) union heaplet lseg(y, z)) &&
+          lseg_keys(x, z) == (lseg_keys(x, y) union lseg_keys(y, z));
+)

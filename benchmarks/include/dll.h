@@ -1,0 +1,34 @@
+// Doubly-linked list: DRYAD definitions and axioms.
+//
+// dll(x, p)  - a doubly-linked list headed at x whose head's prev
+//              pointer is p (nil for a full list).
+// dkeys(x)   - the keys stored along the next-chain.
+
+struct dnode {
+  struct dnode *next;
+  struct dnode *prev;
+  int key;
+};
+
+_(dryad
+  predicate dll(struct dnode *x, struct dnode *p) =
+      (x == nil && emp) ||
+      ((x |-> && x->prev == p) * dll(x->next, x));
+
+  function intset dkeys(struct dnode *x) =
+      (x == nil) ? emptyset : (singleton(x->key) union dkeys(x->next));
+
+  // Shape and data definitions share their heap domain. The heaplet
+  // of dll is independent of the expected-prev parameter.
+  axiom (struct dnode *x, struct dnode *p)
+      true ==> heaplet dkeys(x) == heaplet dll(x, p);
+)
+
+_(dryad
+  // A next-chain with arbitrary prev pointers (input of DLL_fix).
+  predicate nlist(struct dnode *x) =
+      (x == nil && emp) || (x |-> * nlist(x->next));
+
+  axiom (struct dnode *x, struct dnode *p)
+      true ==> heaplet nlist(x) == heaplet dll(x, p);
+)

@@ -1,0 +1,30 @@
+// ExpressOS-style process address-space regions: a list of memory
+// regions, each owning a nested backing-file object — the nested
+// struct case the paper contrasts against the toy language of [32].
+
+struct file {
+  int id;
+};
+
+struct memreg {
+  struct memreg *next;
+  struct file *bf;
+  int start;
+  int end;
+};
+
+_(dryad
+  predicate file1(struct file *f) =
+      (f == nil && emp) || f |->;
+
+  predicate mrlist(struct memreg *x) =
+      (x == nil && emp) ||
+      ((x |-> && x->start <= x->end) * file1(x->bf) * mrlist(x->next));
+
+  function intset starts(struct memreg *x) =
+      (x == nil) ? emptyset
+                 : (singleton(x->start) union starts(x->next));
+
+  axiom (struct memreg *x)
+      true ==> heaplet starts(x) subset heaplet mrlist(x);
+)

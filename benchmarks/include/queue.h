@@ -1,0 +1,42 @@
+// OpenBSD-style simple queue: a header holding first/last pointers
+// over a nil-terminated chain of entries.
+
+struct qnode {
+  struct qnode *next;
+  int key;
+};
+
+struct queue {
+  struct qnode *first;
+  struct qnode *last;
+};
+
+_(dryad
+  predicate lseg(struct qnode *x, struct qnode *y) =
+      (x == y && emp) || (x != y && x |-> * lseg(x->next, y));
+
+  function intset lseg_keys(struct qnode *x, struct qnode *y) =
+      (x == y) ? emptyset
+               : (singleton(x->key) union lseg_keys(x->next, y));
+
+  predicate wfq(struct queue *q) =
+      (q |-> && q->first == nil && q->last == nil) ||
+      ((q |-> && q->last != nil) * lseg(q->first, q->last) *
+       (q->last |-> && q->last->next == nil));
+
+  function intset qkeys(struct queue *q) =
+      (q->first == nil)
+          ? emptyset
+          : (lseg_keys(q->first, q->last) union singleton(q->last->key));
+
+  axiom (struct qnode *x, struct qnode *y)
+      true ==> heaplet lseg_keys(x, y) == heaplet lseg(x, y);
+  axiom (struct qnode *x, struct qnode *y)
+      lseg(x, y) ==> !(y in heaplet lseg(x, y));
+  axiom (struct qnode *x, struct qnode *y, struct qnode *z)
+      lseg(x, y) && y != nil && y->next == z && z != y &&
+      !(y in heaplet lseg(x, y)) && !(z in heaplet lseg(x, y))
+      ==> lseg(x, z) &&
+          heaplet lseg(x, z) == (heaplet lseg(x, y) union singleton(y)) &&
+          lseg_keys(x, z) == (lseg_keys(x, y) union singleton(y->key));
+)

@@ -1,0 +1,54 @@
+// Singly-linked list: DRYAD definitions and data-structure axioms.
+//
+// list(x)        - x heads a nil-terminated acyclic list.
+// keys(x)        - the set of keys stored in list(x).
+// lseg(x, y)     - a list segment from x up to (excluding) y.
+// lseg_keys(x,y) - the keys stored in the segment.
+//
+// The axioms relate segments to full lists (composition) and extend a
+// segment by one node at its tail (reverse unfolding), as in Section
+// 4.3 of the paper.
+
+struct node {
+  struct node *next;
+  int key;
+};
+
+_(dryad
+  predicate list(struct node *x) =
+      (x == nil && emp) || (x |-> * list(x->next));
+
+  function intset keys(struct node *x) =
+      (x == nil) ? emptyset : (singleton(x->key) union keys(x->next));
+
+  predicate lseg(struct node *x, struct node *y) =
+      (x == y && emp) || (x != y && x |-> * lseg(x->next, y));
+
+  function intset lseg_keys(struct node *x, struct node *y) =
+      (x == y) ? emptyset
+               : (singleton(x->key) union lseg_keys(x->next, y));
+
+  // The data and shape definitions traverse the same cells.
+  axiom (struct node *x)
+      true ==> heaplet keys(x) == heaplet list(x);
+  axiom (struct node *x, struct node *y)
+      true ==> heaplet lseg_keys(x, y) == heaplet lseg(x, y);
+
+  // A segment never contains its end point.
+  axiom (struct node *x, struct node *y)
+      lseg(x, y) ==> !(y in heaplet lseg(x, y));
+
+  axiom (struct node *x, struct node *y)
+      lseg(x, y) && list(y) &&
+      disjoint(heaplet lseg(x, y), heaplet list(y))
+      ==> list(x) &&
+          heaplet list(x) == (heaplet lseg(x, y) union heaplet list(y)) &&
+          keys(x) == (lseg_keys(x, y) union keys(y));
+
+  axiom (struct node *x, struct node *y, struct node *z)
+      lseg(x, y) && y != nil && y->next == z && z != y &&
+      !(y in heaplet lseg(x, y)) && !(z in heaplet lseg(x, y))
+      ==> lseg(x, z) &&
+          heaplet lseg(x, z) == (heaplet lseg(x, y) union singleton(y)) &&
+          lseg_keys(x, z) == (lseg_keys(x, y) union singleton(y->key));
+)

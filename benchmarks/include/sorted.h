@@ -1,0 +1,91 @@
+// Sorted singly-linked list: DRYAD definitions and axioms.
+//
+// slist(x)          - sorted nil-terminated list.
+// slseg(x, y)       - sorted segment from x up to (excluding) y.
+// keys / lseg_keys  - key sets (shared shape with plain lists).
+// list(x)           - plain list (for routines that break sortedness).
+
+struct node {
+  struct node *next;
+  int key;
+};
+
+_(dryad
+  predicate list(struct node *x) =
+      (x == nil && emp) || (x |-> * list(x->next));
+
+  function intset keys(struct node *x) =
+      (x == nil) ? emptyset : (singleton(x->key) union keys(x->next));
+
+  predicate slist(struct node *x) =
+      (x == nil && emp) ||
+      (x |-> * (slist(x->next) && x->key <= keys(x->next)));
+
+  predicate lseg(struct node *x, struct node *y) =
+      (x == y && emp) || (x != y && x |-> * lseg(x->next, y));
+
+  function intset lseg_keys(struct node *x, struct node *y) =
+      (x == y) ? emptyset
+               : (singleton(x->key) union lseg_keys(x->next, y));
+
+  predicate slseg(struct node *x, struct node *y) =
+      (x == y && emp) ||
+      (x != y &&
+       x |-> * (slseg(x->next, y) && x->key <= lseg_keys(x->next, y)));
+
+  // Shape/data definitions share their heap domains.
+  axiom (struct node *x)
+      true ==> heaplet keys(x) == heaplet list(x) &&
+               heaplet slist(x) == heaplet list(x);
+  axiom (struct node *x, struct node *y)
+      true ==> heaplet lseg_keys(x, y) == heaplet lseg(x, y) &&
+               heaplet slseg(x, y) == heaplet lseg(x, y);
+
+  // A sorted list is a list.
+  axiom (struct node *x)
+      slist(x) ==> list(x);
+  axiom (struct node *x, struct node *y)
+      slseg(x, y) ==> lseg(x, y);
+
+
+  // A segment never contains its end point.
+  axiom (struct node *x, struct node *y)
+      lseg(x, y) ==> !(y in heaplet lseg(x, y));
+
+  axiom (struct node *x, struct node *y)
+      slseg(x, y) ==> !(y in heaplet lseg(x, y));
+
+  // Segment composition.
+  axiom (struct node *x, struct node *y)
+      lseg(x, y) && list(y) &&
+      disjoint(heaplet lseg(x, y), heaplet list(y))
+      ==> list(x) &&
+          heaplet list(x) == (heaplet lseg(x, y) union heaplet list(y)) &&
+          keys(x) == (lseg_keys(x, y) union keys(y));
+
+  // Sorted segment composition.
+  axiom (struct node *x, struct node *y)
+      slseg(x, y) && slist(y) &&
+      disjoint(heaplet lseg(x, y), heaplet list(y)) &&
+      lseg_keys(x, y) <= keys(y)
+      ==> slist(x) &&
+          heaplet list(x) == (heaplet lseg(x, y) union heaplet list(y)) &&
+          keys(x) == (lseg_keys(x, y) union keys(y));
+
+  // Segment extension by one tail node.
+  axiom (struct node *x, struct node *y, struct node *z)
+      lseg(x, y) && y != nil && y->next == z && z != y &&
+      !(y in heaplet lseg(x, y)) && !(z in heaplet lseg(x, y))
+      ==> lseg(x, z) &&
+          heaplet lseg(x, z) == (heaplet lseg(x, y) union singleton(y)) &&
+          lseg_keys(x, z) == (lseg_keys(x, y) union singleton(y->key));
+
+  // Sorted segment extension by one tail node.
+  axiom (struct node *x, struct node *y, struct node *z)
+      slseg(x, y) && y != nil && y->next == z && z != y &&
+      !(y in heaplet lseg(x, y)) && !(z in heaplet lseg(x, y)) &&
+      lseg_keys(x, y) <= y->key
+      ==> slseg(x, z) &&
+          heaplet lseg(x, z) == (heaplet lseg(x, y) union singleton(y)) &&
+          lseg_keys(x, z) == (lseg_keys(x, y) union singleton(y->key));
+)

@@ -1,0 +1,31 @@
+// Treap: binary search tree on keys, max-heap on priorities.
+
+struct tnode {
+  struct tnode *l;
+  struct tnode *r;
+  int key;
+  int prio;
+};
+
+_(dryad
+  function intset tkeys(struct tnode *x) =
+      (x == nil)
+          ? emptyset
+          : ((singleton(x->key) union tkeys(x->l)) union tkeys(x->r));
+
+  function intset tprios(struct tnode *x) =
+      (x == nil)
+          ? emptyset
+          : ((singleton(x->prio) union tprios(x->l)) union tprios(x->r));
+
+  predicate treap(struct tnode *x) =
+      (x == nil && emp) ||
+      (x |-> * (treap(x->l) && tkeys(x->l) < x->key &&
+                tprios(x->l) <= x->prio)
+            * (treap(x->r) && x->key < tkeys(x->r) &&
+               tprios(x->r) <= x->prio));
+
+  axiom (struct tnode *x)
+      true ==> heaplet tkeys(x) == heaplet treap(x) &&
+               heaplet tprios(x) == heaplet treap(x);
+)

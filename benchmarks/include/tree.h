@@ -1,0 +1,33 @@
+// Plain binary tree plus an output list, for traversal routines.
+
+struct tree {
+  struct tree *l;
+  struct tree *r;
+  int key;
+};
+
+struct node {
+  struct node *next;
+  int key;
+};
+
+_(dryad
+  predicate tr(struct tree *x) =
+      (x == nil && emp) || (x |-> * tr(x->l) * tr(x->r));
+
+  function intset trkeys(struct tree *x) =
+      (x == nil)
+          ? emptyset
+          : ((singleton(x->key) union trkeys(x->l)) union trkeys(x->r));
+
+  predicate list(struct node *x) =
+      (x == nil && emp) || (x |-> * list(x->next));
+
+  function intset keys(struct node *x) =
+      (x == nil) ? emptyset : (singleton(x->key) union keys(x->next));
+
+  axiom (struct tree *x)
+      true ==> heaplet trkeys(x) == heaplet tr(x);
+  axiom (struct node *x)
+      true ==> heaplet keys(x) == heaplet list(x);
+)

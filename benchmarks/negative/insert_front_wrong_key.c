@@ -1,0 +1,13 @@
+// NEGATIVE: stores k+1 but claims to have inserted k.
+#include "../include/sll.h"
+
+struct node *insert_front_bug(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union singleton(k)))
+{
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->next = x;
+  n->key = k + 1;
+  return n;
+}

@@ -1,0 +1,20 @@
+// NEGATIVE: the loop invariant is too weak (forgets list(rev)),
+// so the postcondition cannot be established.
+#include "../include/sll.h"
+
+struct node *reverse_weak(struct node *x)
+  _(requires list(x))
+  _(ensures list(result))
+{
+  struct node *rev = NULL;
+  struct node *cur = x;
+  while (cur != NULL)
+    _(invariant list(cur))
+  {
+    struct node *tmp = cur->next;
+    cur->next = rev;
+    rev = cur;
+    cur = tmp;
+  }
+  return rev;
+}

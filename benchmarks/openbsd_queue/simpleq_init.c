@@ -1,0 +1,10 @@
+// SIMPLEQ_INIT.
+#include "../include/queue.h"
+
+void simpleq_init(struct queue *q)
+  _(requires q |->)
+  _(ensures wfq(q) && qkeys(q) == emptyset)
+{
+  q->first = NULL;
+  q->last = NULL;
+}

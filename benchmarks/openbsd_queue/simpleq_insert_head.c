@@ -1,0 +1,18 @@
+// SIMPLEQ_INSERT_HEAD.
+#include "../include/queue.h"
+
+void simpleq_insert_head(struct queue *q, int k)
+  _(requires wfq(q))
+  _(ensures wfq(q))
+  _(ensures qkeys(q) == (old(qkeys(q)) union singleton(k)))
+{
+  struct qnode *n = (struct qnode *) malloc(sizeof(struct qnode));
+  n->key = k;
+  struct qnode *f = q->first;
+  n->next = f;
+  q->first = n;
+  if (f == NULL) {
+    q->last = n;
+    n->next = NULL;
+  }
+}

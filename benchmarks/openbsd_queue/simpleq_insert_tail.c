@@ -1,0 +1,20 @@
+// SIMPLEQ_INSERT_TAIL.
+#include "../include/queue.h"
+
+void simpleq_insert_tail(struct queue *q, int k)
+  _(requires wfq(q))
+  _(ensures wfq(q))
+  _(ensures qkeys(q) == (old(qkeys(q)) union singleton(k)))
+{
+  struct qnode *n = (struct qnode *) malloc(sizeof(struct qnode));
+  n->key = k;
+  n->next = NULL;
+  struct qnode *l = q->last;
+  if (l == NULL) {
+    q->first = n;
+    q->last = n;
+    return;
+  }
+  l->next = n;
+  q->last = n;
+}

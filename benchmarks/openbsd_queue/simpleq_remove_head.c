@@ -1,0 +1,19 @@
+// SIMPLEQ_REMOVE_HEAD.
+#include "../include/queue.h"
+
+void simpleq_remove_head(struct queue *q)
+  _(requires wfq(q) && q->first != nil)
+  _(ensures wfq(q))
+  _(ensures qkeys(q) subset old(qkeys(q)))
+{
+  struct qnode *f = q->first;
+  if (f == q->last) {
+    q->first = NULL;
+    q->last = NULL;
+    free(f);
+    return;
+  }
+  struct qnode *t = f->next;
+  q->first = t;
+  free(f);
+}

@@ -1,0 +1,14 @@
+// SLL append (recursive): destructively appends list y after list x.
+#include "../include/sll.h"
+
+struct node *append_rec(struct node *x, struct node *y)
+  _(requires list(x) * list(y))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union old(keys(y))))
+{
+  if (x == NULL)
+    return y;
+  struct node *t = append_rec(x->next, y);
+  x->next = t;
+  return x;
+}

@@ -1,0 +1,17 @@
+// SLL copy (recursive): builds a fresh list with the same keys.
+#include "../include/sll.h"
+
+struct node *copy_rec(struct node *x)
+  _(requires list(x))
+  _(ensures list(x) * list(result))
+  _(ensures keys(x) == old(keys(x)))
+  _(ensures keys(result) == old(keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *c = (struct node *) malloc(sizeof(struct node));
+  c->key = x->key;
+  struct node *rest = copy_rec(x->next);
+  c->next = rest;
+  return c;
+}

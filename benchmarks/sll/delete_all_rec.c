@@ -1,0 +1,18 @@
+// SLL delete-all (recursive): removes and frees every node with key k.
+#include "../include/sll.h"
+
+struct node *delete_all_rec(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) setminus singleton(k)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *t = delete_all_rec(x->next, k);
+  if (x->key == k) {
+    free(x);
+    return t;
+  }
+  x->next = t;
+  return x;
+}

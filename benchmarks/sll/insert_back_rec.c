@@ -1,0 +1,18 @@
+// SLL insert-back (recursive): append a single key at the tail.
+#include "../include/sll.h"
+
+struct node *insert_back_rec(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union singleton(k)))
+{
+  if (x == NULL) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->next = NULL;
+    n->key = k;
+    return n;
+  }
+  struct node *t = insert_back_rec(x->next, k);
+  x->next = t;
+  return x;
+}

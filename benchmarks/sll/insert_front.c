@@ -1,0 +1,13 @@
+// SLL insert-front: allocate a node and link it before the head.
+#include "../include/sll.h"
+
+struct node *insert_front(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union singleton(k)))
+{
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->next = x;
+  n->key = k;
+  return n;
+}

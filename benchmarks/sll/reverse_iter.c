@@ -1,0 +1,21 @@
+// SLL in-place reversal (iterative).
+#include "../include/sll.h"
+
+struct node *reverse_iter(struct node *x)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == old(keys(x)))
+{
+  struct node *rev = NULL;
+  struct node *cur = x;
+  while (cur != NULL)
+    _(invariant list(cur) * list(rev))
+    _(invariant (keys(cur) union keys(rev)) == old(keys(x)))
+  {
+    struct node *tmp = cur->next;
+    cur->next = rev;
+    rev = cur;
+    cur = tmp;
+  }
+  return rev;
+}

@@ -1,0 +1,15 @@
+// Concatenate two sorted lists whose key ranges are ordered.
+#include "../include/sorted.h"
+
+struct node *concat_sorted(struct node *x, struct node *y)
+  _(requires slist(x) * slist(y))
+  _(requires keys(x) <= keys(y))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(x)) union old(keys(y))))
+{
+  if (x == NULL)
+    return y;
+  struct node *t = concat_sorted(x->next, y);
+  x->next = t;
+  return x;
+}

@@ -1,0 +1,18 @@
+// Sorted list delete-all (recursive): removes every node with key k.
+#include "../include/sorted.h"
+
+struct node *delete_all_rec(struct node *x, int k)
+  _(requires slist(x))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(x)) setminus singleton(k)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *t = delete_all_rec(x->next, k);
+  if (x->key == k) {
+    free(x);
+    return t;
+  }
+  x->next = t;
+  return x;
+}

@@ -1,0 +1,22 @@
+// Return the last (maximal) node of a non-empty sorted list.
+#include "../include/sorted.h"
+
+struct node *find_last(struct node *x)
+  _(requires slist(x) && x != nil)
+  _(ensures slist(x) && keys(x) == old(keys(x)))
+  _(ensures result != nil && keys(x) <= result->key)
+  _(ensures result->key in keys(x))
+{
+  struct node *cur = x;
+  struct node *nx = cur->next;
+  while (nx != NULL)
+    _(invariant slseg(x, cur) * (slist(cur) && cur != nil))
+    _(invariant nx == cur->next)
+    _(invariant lseg_keys(x, cur) <= cur->key)
+    _(invariant keys(x) == (lseg_keys(x, cur) union keys(cur)))
+  {
+    cur = nx;
+    nx = cur->next;
+  }
+  return cur;
+}

@@ -1,0 +1,17 @@
+// Sorted list membership (recursive): early exit on larger keys.
+#include "../include/sorted.h"
+
+int find_rec(struct node *x, int k)
+  _(requires slist(x))
+  _(ensures slist(x) && keys(x) == old(keys(x)))
+  _(ensures (result == 1 && k in keys(x)) ||
+            (result == 0 && !(k in keys(x))))
+{
+  if (x == NULL)
+    return 0;
+  if (x->key == k)
+    return 1;
+  if (k < x->key)
+    return 0;
+  return find_rec(x->next, k);
+}

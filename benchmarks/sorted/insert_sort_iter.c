@@ -1,0 +1,33 @@
+// Sorted insertion (iterative): walk to the insertion point, splice.
+#include "../include/sorted.h"
+
+struct node *insert_sort_iter(struct node *x, int k)
+  _(requires slist(x))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(x)) union singleton(k)))
+{
+  if (x == NULL || k <= x->key) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->next = x;
+    n->key = k;
+    return n;
+  }
+  struct node *prev = x;
+  struct node *cur = x->next;
+  while (cur != NULL && cur->key < k)
+    _(invariant slseg(x, prev) *
+        ((prev |-> && prev->next == cur && prev->key < k) *
+         (slist(cur) && prev->key <= keys(cur))))
+    _(invariant lseg_keys(x, prev) <= prev->key)
+    _(invariant keys(x) ==
+        ((lseg_keys(x, prev) union singleton(prev->key)) union keys(cur)))
+  {
+    prev = cur;
+    cur = cur->next;
+  }
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->next = cur;
+  n->key = k;
+  prev->next = n;
+  return x;
+}

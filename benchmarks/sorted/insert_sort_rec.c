@@ -1,0 +1,24 @@
+// Sorted list insertion (recursive): keeps the list sorted.
+#include "../include/sorted.h"
+
+struct node *insert_sort_rec(struct node *x, int k)
+  _(requires slist(x))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(x)) union singleton(k)))
+{
+  if (x == NULL) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->next = NULL;
+    n->key = k;
+    return n;
+  }
+  if (k <= x->key) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->next = x;
+    n->key = k;
+    return n;
+  }
+  struct node *t = insert_sort_rec(x->next, k);
+  x->next = t;
+  return x;
+}

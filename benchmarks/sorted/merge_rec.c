@@ -1,0 +1,21 @@
+// Merge two sorted lists (recursive).
+#include "../include/sorted.h"
+
+struct node *merge_rec(struct node *x, struct node *y)
+  _(requires slist(x) * slist(y))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(x)) union old(keys(y))))
+{
+  if (x == NULL)
+    return y;
+  if (y == NULL)
+    return x;
+  if (x->key <= y->key) {
+    struct node *t = merge_rec(x->next, y);
+    x->next = t;
+    return x;
+  }
+  struct node *t2 = merge_rec(x, y->next);
+  y->next = t2;
+  return y;
+}

@@ -1,0 +1,106 @@
+// Quicksort on lists: partition (by copying around the head pivot),
+// sort both sides, join. The partition key-sets are themselves
+// recursive DRYAD definitions related to keys() by axioms.
+#include "../include/sorted.h"
+
+_(dryad
+  function intset keys_lt(struct node *x, int p) =
+      (x == nil) ? emptyset
+                 : ((x->key < p)
+                        ? (singleton(x->key) union keys_lt(x->next, p))
+                        : keys_lt(x->next, p));
+
+  function intset keys_ge(struct node *x, int p) =
+      (x == nil) ? emptyset
+                 : ((x->key >= p)
+                        ? (singleton(x->key) union keys_ge(x->next, p))
+                        : keys_ge(x->next, p));
+
+  axiom (struct node *x, int p)
+      true ==> heaplet keys_lt(x, p) == heaplet list(x) &&
+               heaplet keys_ge(x, p) == heaplet list(x);
+  axiom (struct node *x, int p)
+      true ==> keys_lt(x, p) < p &&
+               p <= keys_ge(x, p) &&
+               keys(x) == (keys_lt(x, p) union keys_ge(x, p));
+)
+
+struct node *copy_lt(struct node *x, int p)
+  _(requires list(x))
+  _(ensures list(x) * list(result))
+  _(ensures keys(x) == old(keys(x)))
+  _(ensures keys(result) == old(keys_lt(x, p)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *rest = copy_lt(x->next, p);
+  if (x->key < p) {
+    struct node *c = (struct node *) malloc(sizeof(struct node));
+    c->key = x->key;
+    c->next = rest;
+    return c;
+  }
+  return rest;
+}
+
+struct node *copy_ge(struct node *x, int p)
+  _(requires list(x))
+  _(ensures list(x) * list(result))
+  _(ensures keys(x) == old(keys(x)))
+  _(ensures keys(result) == old(keys_ge(x, p)))
+{
+  if (x == NULL)
+    return NULL;
+  struct node *rest = copy_ge(x->next, p);
+  if (x->key >= p) {
+    struct node *c = (struct node *) malloc(sizeof(struct node));
+    c->key = x->key;
+    c->next = rest;
+    return c;
+  }
+  return rest;
+}
+
+void dispose(struct node *x)
+  _(requires list(x))
+  _(ensures emp)
+{
+  if (x == NULL)
+    return;
+  struct node *t = x->next;
+  free(x);
+  dispose(t);
+}
+
+struct node *qs_concat(struct node *x, struct node *y)
+  _(requires slist(x) * slist(y))
+  _(requires keys(x) <= keys(y))
+  _(ensures slist(result))
+  _(ensures keys(result) == (old(keys(x)) union old(keys(y))))
+{
+  if (x == NULL)
+    return y;
+  struct node *t = qs_concat(x->next, y);
+  x->next = t;
+  return x;
+}
+
+struct node *quick_sort(struct node *x)
+  _(requires list(x))
+  _(ensures slist(result))
+  _(ensures keys(result) == old(keys(x)))
+{
+  if (x == NULL)
+    return NULL;
+  int p = x->key;
+  struct node *rest = x->next;
+  struct node *lo = copy_lt(rest, p);
+  struct node *hi = copy_ge(rest, p);
+  dispose(rest);
+  struct node *slo = quick_sort(lo);
+  struct node *shi = quick_sort(hi);
+  x->next = shi;
+  struct node *right = x;
+  struct node *out = qs_concat(slo, right);
+  return out;
+}

@@ -1,0 +1,12 @@
+// SV-COMP: allocate one slave node (allocation cannot fail here).
+#include "../include/dll.h"
+
+struct dnode *alloc_or_die_slave()
+  _(ensures (result |->) && result->next == nil && result->prev == nil)
+{
+  struct dnode *n = (struct dnode *) malloc(sizeof(struct dnode));
+  n->next = NULL;
+  n->prev = NULL;
+  n->key = 0;
+  return n;
+}

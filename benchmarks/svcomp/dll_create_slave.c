@@ -1,0 +1,23 @@
+// SV-COMP: build a slave list of n nodes (loop).
+#include "../include/dll.h"
+
+struct dnode *dll_create_slave(int n)
+  _(ensures dll(result, nil))
+{
+  struct dnode *x = NULL;
+  int i = 0;
+  while (i < n)
+    _(invariant dll(x, nil))
+  {
+    struct dnode *s = (struct dnode *) malloc(sizeof(struct dnode));
+    s->next = x;
+    s->prev = NULL;
+    s->key = i;
+    if (x != NULL) {
+      x->prev = s;
+    }
+    x = s;
+    i = i + 1;
+  }
+  return x;
+}

@@ -1,0 +1,13 @@
+// SV-COMP: destroy the slave list.
+#include "../include/dll.h"
+
+void dll_destroy_slave(struct dnode *x, struct dnode *p)
+  _(requires dll(x, p))
+  _(ensures emp)
+{
+  if (x == NULL)
+    return;
+  struct dnode *t = x->next;
+  free(x);
+  dll_destroy_slave(t, x);
+}

@@ -1,0 +1,17 @@
+// SV-COMP: push a fresh slave onto the doubly-linked slave list.
+#include "../include/dll.h"
+
+struct dnode *dll_insert_slave(struct dnode *x, int k)
+  _(requires dll(x, nil))
+  _(ensures dll(result, nil))
+  _(ensures dkeys(result) == (old(dkeys(x)) union singleton(k)))
+{
+  struct dnode *n = (struct dnode *) malloc(sizeof(struct dnode));
+  n->next = x;
+  n->prev = NULL;
+  n->key = k;
+  if (x != NULL) {
+    x->prev = n;
+  }
+  return n;
+}

@@ -1,0 +1,16 @@
+// SV-COMP: unlink the entry after the head.
+#include "../include/dll.h"
+
+void list_del(struct dnode *h)
+  _(requires dll(h, nil) && h != nil && h->next != nil)
+  _(ensures dll(h, nil))
+  _(ensures dkeys(h) subset old(dkeys(h)))
+{
+  struct dnode *t = h->next;
+  struct dnode *u = t->next;
+  h->next = u;
+  if (u != NULL) {
+    u->prev = h;
+  }
+  free(t);
+}

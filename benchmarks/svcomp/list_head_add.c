@@ -1,0 +1,18 @@
+// SV-COMP: add an entry right after the head.
+#include "../include/dll.h"
+
+void list_head_add(struct dnode *h, int k)
+  _(requires dll(h, nil) && h != nil)
+  _(ensures dll(h, nil))
+  _(ensures dkeys(h) == (old(dkeys(h)) union singleton(k)))
+{
+  struct dnode *n = (struct dnode *) malloc(sizeof(struct dnode));
+  struct dnode *t = h->next;
+  n->next = t;
+  n->prev = h;
+  n->key = k;
+  h->next = n;
+  if (t != NULL) {
+    t->prev = n;
+  }
+}

@@ -1,0 +1,10 @@
+// SV-COMP: initialize a list head.
+#include "../include/dll.h"
+
+void list_head_init(struct dnode *h)
+  _(requires h |->)
+  _(ensures dll(h, nil) && h->next == nil)
+{
+  h->next = NULL;
+  h->prev = NULL;
+}

@@ -1,0 +1,18 @@
+// Collect the tree's keys into a list (inorder visit order).
+#include "../include/tree.h"
+
+struct node *inorder_rec(struct tree *t, struct node *acc)
+  _(requires tr(t) * list(acc))
+  _(ensures tr(t) * list(result))
+  _(ensures trkeys(t) == old(trkeys(t)))
+  _(ensures keys(result) == (old(trkeys(t)) union old(keys(acc))))
+{
+  if (t == NULL)
+    return acc;
+  struct node *a1 = inorder_rec(t->l, acc);
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->key = t->key;
+  n->next = a1;
+  struct node *a2 = inorder_rec(t->r, n);
+  return a2;
+}

@@ -1,0 +1,18 @@
+// Destructively flatten a tree into a list (inorder), freeing nodes.
+#include "../include/tree.h"
+
+struct node *inorder_tree_to_list_rec(struct tree *t, struct node *acc)
+  _(requires tr(t) * list(acc))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(trkeys(t)) union old(keys(acc))))
+{
+  if (t == NULL)
+    return acc;
+  struct node *r1 = inorder_tree_to_list_rec(t->r, acc);
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->key = t->key;
+  n->next = r1;
+  struct node *r2 = inorder_tree_to_list_rec(t->l, n);
+  free(t);
+  return r2;
+}

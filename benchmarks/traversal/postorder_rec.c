@@ -1,0 +1,18 @@
+// Collect the tree's keys into a list (postorder visit order).
+#include "../include/tree.h"
+
+struct node *postorder_rec(struct tree *t, struct node *acc)
+  _(requires tr(t) * list(acc))
+  _(ensures tr(t) * list(result))
+  _(ensures trkeys(t) == old(trkeys(t)))
+  _(ensures keys(result) == (old(trkeys(t)) union old(keys(acc))))
+{
+  if (t == NULL)
+    return acc;
+  struct node *a1 = postorder_rec(t->l, acc);
+  struct node *a2 = postorder_rec(t->r, a1);
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->key = t->key;
+  n->next = a2;
+  return n;
+}

@@ -1,0 +1,18 @@
+// Collect the tree's keys into a list (preorder visit order).
+#include "../include/tree.h"
+
+struct node *preorder_rec(struct tree *t, struct node *acc)
+  _(requires tr(t) * list(acc))
+  _(ensures tr(t) * list(result))
+  _(ensures trkeys(t) == old(trkeys(t)))
+  _(ensures keys(result) == (old(trkeys(t)) union old(keys(acc))))
+{
+  if (t == NULL)
+    return acc;
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->key = t->key;
+  n->next = acc;
+  struct node *a1 = preorder_rec(t->l, n);
+  struct node *a2 = preorder_rec(t->r, a1);
+  return a2;
+}

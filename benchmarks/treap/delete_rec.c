@@ -1,0 +1,47 @@
+// Treap delete (recursive): removes k if present, re-merging subtrees.
+#include "../include/treap.h"
+
+struct tnode *treap_merge(struct tnode *l, struct tnode *r)
+  _(requires (treap(l) * treap(r)) && tkeys(l) < tkeys(r))
+  _(ensures treap(result))
+  _(ensures tkeys(result) == (old(tkeys(l)) union old(tkeys(r))))
+  _(ensures tprios(result) == (old(tprios(l)) union old(tprios(r))))
+{
+  if (l == NULL)
+    return r;
+  if (r == NULL)
+    return l;
+  if (l->prio >= r->prio) {
+    struct tnode *t = treap_merge(l->r, r);
+    l->r = t;
+    return l;
+  }
+  struct tnode *t2 = treap_merge(l, r->l);
+  r->l = t2;
+  return r;
+}
+
+struct tnode *treap_delete_rec(struct tnode *x, int k)
+  _(requires treap(x))
+  _(ensures treap(result))
+  _(ensures tkeys(result) == (old(tkeys(x)) setminus singleton(k)))
+  _(ensures tprios(result) subset old(tprios(x)))
+{
+  if (x == NULL)
+    return NULL;
+  if (k < x->key) {
+    struct tnode *tl = treap_delete_rec(x->l, k);
+    x->l = tl;
+    return x;
+  }
+  if (k > x->key) {
+    struct tnode *tr = treap_delete_rec(x->r, k);
+    x->r = tr;
+    return x;
+  }
+  struct tnode *lc = x->l;
+  struct tnode *rc = x->r;
+  struct tnode *m = treap_merge(lc, rc);
+  free(x);
+  return m;
+}

@@ -1,0 +1,18 @@
+// Treap membership test (recursive) — searches by key only.
+#include "../include/treap.h"
+
+int treap_find_rec(struct tnode *x, int k)
+  _(requires treap(x))
+  _(ensures treap(x) && tkeys(x) == old(tkeys(x)))
+  _(ensures tprios(x) == old(tprios(x)))
+  _(ensures (result == 1 && k in tkeys(x)) ||
+            (result == 0 && !(k in tkeys(x))))
+{
+  if (x == NULL)
+    return 0;
+  if (x->key == k)
+    return 1;
+  if (k < x->key)
+    return treap_find_rec(x->l, k);
+  return treap_find_rec(x->r, k);
+}

@@ -1,0 +1,45 @@
+// Treap insertion (recursive) with rotations to restore the heap
+// property along the insertion path. The last ensures clause is the
+// strengthened induction hypothesis: if the fresh node bubbled up to
+// the subtree root, its children carry only pre-existing priorities.
+#include "../include/treap.h"
+
+struct tnode *treap_insert_rec(struct tnode *x, int k, int p)
+  _(requires treap(x) && !(k in tkeys(x)) && !(p in tprios(x)))
+  _(ensures treap(result) && result != nil)
+  _(ensures tkeys(result) == (old(tkeys(x)) union singleton(k)))
+  _(ensures tprios(result) == (old(tprios(x)) union singleton(p)))
+  _(ensures (result->prio == p &&
+             ((tprios(result->l) union tprios(result->r)) subset
+              old(tprios(x)))) ||
+            result->prio != p)
+{
+  if (x == NULL) {
+    struct tnode *leaf = (struct tnode *) malloc(sizeof(struct tnode));
+    leaf->key = k;
+    leaf->prio = p;
+    leaf->l = NULL;
+    leaf->r = NULL;
+    return leaf;
+  }
+  if (k < x->key) {
+    struct tnode *t = treap_insert_rec(x->l, k, p);
+    if (t->prio > x->prio) {
+      struct tnode *m = t->r;
+      x->l = m;
+      t->r = x;
+      return t;
+    }
+    x->l = t;
+    return x;
+  }
+  struct tnode *t2 = treap_insert_rec(x->r, k, p);
+  if (t2->prio > x->prio) {
+    struct tnode *m2 = t2->l;
+    x->r = m2;
+    t2->l = x;
+    return t2;
+  }
+  x->r = t2;
+  return x;
+}

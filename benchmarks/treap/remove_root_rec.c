@@ -1,0 +1,35 @@
+// Treap remove-root via priority-ordered merge.
+#include "../include/treap.h"
+
+struct tnode *treap_merge(struct tnode *l, struct tnode *r)
+  _(requires (treap(l) * treap(r)) && tkeys(l) < tkeys(r))
+  _(ensures treap(result))
+  _(ensures tkeys(result) == (old(tkeys(l)) union old(tkeys(r))))
+  _(ensures tprios(result) == (old(tprios(l)) union old(tprios(r))))
+{
+  if (l == NULL)
+    return r;
+  if (r == NULL)
+    return l;
+  if (l->prio >= r->prio) {
+    struct tnode *t = treap_merge(l->r, r);
+    l->r = t;
+    return l;
+  }
+  struct tnode *t2 = treap_merge(l, r->l);
+  r->l = t2;
+  return r;
+}
+
+struct tnode *treap_remove_root_rec(struct tnode *x)
+  _(requires treap(x) && x != nil)
+  _(ensures treap(result))
+  _(ensures tkeys(result) ==
+            (old(tkeys(x)) setminus singleton(old(x->key))))
+{
+  struct tnode *lc = x->l;
+  struct tnode *rc = x->r;
+  struct tnode *m = treap_merge(lc, rc);
+  free(x);
+  return m;
+}

@@ -1,0 +1,171 @@
+//===- Ast.cpp - Mini-C abstract syntax ------------------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Ast.h"
+
+using namespace vcdryad;
+using namespace vcdryad::cfront;
+
+std::string CType::str() const {
+  switch (K) {
+  case Int:
+    return "int";
+  case Void:
+    return "void";
+  case Ptr:
+    return "struct " + (Pointee ? Pointee->Name : "?") + " *";
+  }
+  return "?";
+}
+
+static const char *binOpStr(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add:
+    return "+";
+  case BinOp::Sub:
+    return "-";
+  case BinOp::Eq:
+    return "==";
+  case BinOp::Ne:
+    return "!=";
+  case BinOp::Lt:
+    return "<";
+  case BinOp::Le:
+    return "<=";
+  case BinOp::Gt:
+    return ">";
+  case BinOp::Ge:
+    return ">=";
+  case BinOp::LAnd:
+    return "&&";
+  case BinOp::LOr:
+    return "||";
+  }
+  return "?";
+}
+
+std::string Expr::str() const {
+  switch (Kind) {
+  case ExprKind::Var:
+    return Name;
+  case ExprKind::IntLit:
+    return std::to_string(IntVal);
+  case ExprKind::Null:
+    return "NULL";
+  case ExprKind::FieldAccess:
+    return Args[0]->str() + "->" + Name;
+  case ExprKind::Unary:
+    return (UOp == UnOp::Not ? "!" : "-") + Args[0]->str();
+  case ExprKind::Binary:
+    return "(" + Args[0]->str() + " " + binOpStr(BOp) + " " +
+           Args[1]->str() + ")";
+  case ExprKind::Call: {
+    std::string Out = Name + "(";
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Args[I]->str();
+    }
+    return Out + ")";
+  }
+  case ExprKind::Malloc:
+    return "malloc(sizeof(struct " +
+           (MallocStruct ? MallocStruct->Name : "?") + "))";
+  }
+  return "?";
+}
+
+std::string Stmt::str(unsigned Indent) const {
+  std::string Pad(Indent, ' ');
+  switch (Kind) {
+  case StmtKind::Block: {
+    std::string Out = Pad + "{\n";
+    for (const StmtRef &S : Stmts)
+      Out += S->str(Indent + 2);
+    return Out + Pad + "}\n";
+  }
+  case StmtKind::Decl: {
+    std::string Out = Pad + DeclTy.str() + " " + DeclName;
+    if (Rhs)
+      Out += " = " + Rhs->str();
+    return Out + ";\n";
+  }
+  case StmtKind::Assign:
+    return Pad + Lhs->str() + " = " + Rhs->str() + ";\n";
+  case StmtKind::If: {
+    std::string Out = Pad + "if (" + Cond->str() + ")\n";
+    Out += Then->str(Indent + 2);
+    if (Else) {
+      Out += Pad + "else\n";
+      Out += Else->str(Indent + 2);
+    }
+    return Out;
+  }
+  case StmtKind::While: {
+    std::string Out = Pad + "while (" + Cond->str() + ")\n";
+    for (const dryad::FormulaRef &Inv : Invariants)
+      Out += Pad + "  _(invariant " + Inv->str() + ")\n";
+    Out += Then->str(Indent + 2);
+    return Out;
+  }
+  case StmtKind::Return:
+    return Pad + (Rhs ? "return " + Rhs->str() : std::string("return")) +
+           ";\n";
+  case StmtKind::ExprStmt:
+    return Pad + Rhs->str() + ";\n";
+  case StmtKind::Free:
+    return Pad + "free(" + Rhs->str() + ");\n";
+  case StmtKind::Assert:
+    return Pad + "_(assert " + Spec->str() + ")\n";
+  case StmtKind::Assume:
+    return Pad + "_(assume " + Spec->str() + ")\n";
+  case StmtKind::GhostAssume:
+    return Pad + "_(ghost assume " + Ghost->str() +
+           (GhostComment.empty() ? "" : "  /* " + GhostComment + " */") +
+           ")\n";
+  case StmtKind::GhostAssign:
+    return Pad + "_(ghost " + GhostVar + " := " + Ghost->str() +
+           (GhostComment.empty() ? "" : "  /* " + GhostComment + " */") +
+           ")\n";
+  case StmtKind::GhostHavoc:
+    return Pad + "_(ghost havoc " + GhostVar + ")\n";
+  }
+  return Pad + "?;\n";
+}
+
+std::string FuncDecl::str() const {
+  std::string Out = RetTy.str() + " " + Name + "(";
+  for (size_t I = 0; I != Params.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Params[I].Ty.str() + " " + Params[I].Name;
+  }
+  Out += ")\n";
+  for (const dryad::FormulaRef &R : Requires)
+    Out += "  _(requires " + R->str() + ")\n";
+  for (const dryad::FormulaRef &E : Ensures)
+    Out += "  _(ensures " + E->str() + ")\n";
+  if (Body)
+    Out += Body->str(0);
+  else
+    Out += "  ;\n";
+  return Out;
+}
+
+std::string Program::str() const {
+  std::string Out;
+  for (const auto &S : Structs) {
+    Out += "struct " + S->Name + " {\n";
+    for (const FieldDecl &F : S->Fields)
+      Out += "  " + F.Ty.str() + " " + F.Name + ";\n";
+    Out += "};\n\n";
+  }
+  for (const auto &F : Funcs) {
+    Out += F->str();
+    Out += "\n";
+  }
+  return Out;
+}

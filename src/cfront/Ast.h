@@ -1,0 +1,219 @@
+//===- Ast.h - Mini-C abstract syntax ---------------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST of the C subset VCDRYAD supports (Section 4 of the paper):
+/// structs, typed pointers, mathematical ints, malloc/free, functions,
+/// if/while/return — no pointer arithmetic, no function pointers, no
+/// casts other than the malloc idiom. Specifications (contracts, loop
+/// invariants, inline assertions) are DRYAD formulas attached to the
+/// AST, and ghost statements inserted by the natural-proof
+/// instrumentation are first-class statement nodes so the instrumented
+/// program can be printed and its annotations counted (Figure 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_CFRONT_AST_H
+#define VCDRYAD_CFRONT_AST_H
+
+#include "dryad/Spec.h"
+#include "support/SourceLoc.h"
+#include "vir/LExpr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace cfront {
+
+//===----------------------------------------------------------------------===//
+// Types and declarations
+//===----------------------------------------------------------------------===//
+
+struct StructDecl;
+
+/// A C type of the supported subset.
+struct CType {
+  enum Kind { Int, Void, Ptr } K = Int;
+  const StructDecl *Pointee = nullptr; ///< For Ptr.
+
+  static CType mkInt() { return {Int, nullptr}; }
+  static CType mkVoid() { return {Void, nullptr}; }
+  static CType mkPtr(const StructDecl *S) { return {Ptr, S}; }
+
+  bool isPtr() const { return K == Ptr; }
+  bool isInt() const { return K == Int; }
+  bool isVoid() const { return K == Void; }
+  bool operator==(const CType &RHS) const = default;
+
+  std::string str() const;
+};
+
+struct FieldDecl {
+  std::string Name;
+  CType Ty;
+  SourceLoc Loc;
+};
+
+struct StructDecl {
+  std::string Name;
+  std::vector<FieldDecl> Fields;
+  SourceLoc Loc;
+
+  const FieldDecl *findField(const std::string &F) const {
+    for (const FieldDecl &FD : Fields)
+      if (FD.Name == F)
+        return &FD;
+    return nullptr;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind {
+  Var,
+  IntLit,
+  Null,
+  FieldAccess, ///< base->field.
+  Unary,
+  Binary,
+  Call,   ///< Function call (as expression or statement).
+  Malloc, ///< malloc(sizeof(struct T)), optionally cast.
+};
+
+enum class UnOp { Not, Neg };
+enum class BinOp { Add, Sub, Eq, Ne, Lt, Le, Gt, Ge, LAnd, LOr };
+
+struct Expr;
+using ExprRef = std::shared_ptr<Expr>;
+
+struct Expr {
+  ExprKind Kind;
+  CType Ty;
+  std::string Name; ///< Var / field / callee name.
+  int64_t IntVal = 0;
+  UnOp UOp = UnOp::Not;
+  BinOp BOp = BinOp::Add;
+  std::vector<ExprRef> Args; ///< Operands / call arguments.
+  const StructDecl *MallocStruct = nullptr;
+  SourceLoc Loc;
+
+  explicit Expr(ExprKind K) : Kind(K) {}
+
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind {
+  Block,
+  Decl,   ///< Local variable declaration with optional init.
+  Assign, ///< lvalue = expr (lvalue: Var or FieldAccess).
+  If,
+  While,
+  Return,
+  ExprStmt, ///< A call used as a statement.
+  Free,     ///< free(v).
+  Assert,   ///< _(assert F) — user proof obligation.
+  Assume,   ///< _(assume F) — user assumption.
+  // Ghost statements synthesized by the natural-proof instrumentation
+  // (Figure 5). They carry VIR expressions directly.
+  GhostAssume, ///< assume <LExpr>.
+  GhostAssign, ///< ghost var := <LExpr>.
+  GhostHavoc,  ///< havoc ghost var.
+};
+
+struct Stmt;
+using StmtRef = std::shared_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind Kind;
+  SourceLoc Loc;
+
+  // Block.
+  std::vector<StmtRef> Stmts;
+  // Decl.
+  std::string DeclName;
+  CType DeclTy;
+  // Decl init / Assign rhs / Return value / ExprStmt / Free argument.
+  ExprRef Rhs;
+  // Assign lhs.
+  ExprRef Lhs;
+  // If / While condition.
+  ExprRef Cond;
+  // If branches; While body.
+  StmtRef Then;
+  StmtRef Else;
+  // While invariants.
+  std::vector<dryad::FormulaRef> Invariants;
+  // Assert / Assume formula.
+  dryad::FormulaRef Spec;
+  // Ghost statements.
+  std::string GhostVar;
+  vir::Sort GhostSort = vir::Sort::Bool;
+  vir::LExprRef Ghost;
+  std::string GhostComment; ///< Why the ghost fact was emitted.
+
+  explicit Stmt(StmtKind K) : Kind(K) {}
+
+  std::string str(unsigned Indent = 0) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Functions and programs
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  std::string Name;
+  CType Ty;
+  SourceLoc Loc;
+};
+
+struct FuncDecl {
+  std::string Name;
+  CType RetTy;
+  std::vector<ParamDecl> Params;
+  std::vector<dryad::FormulaRef> Requires;
+  std::vector<dryad::FormulaRef> Ensures;
+  StmtRef Body; ///< Null for declarations without bodies.
+  SourceLoc Loc;
+
+  std::string str() const;
+};
+
+/// A parsed translation unit: struct shapes (C view and logic view),
+/// the DRYAD definition table with axioms, and the functions.
+struct Program {
+  std::vector<std::unique_ptr<StructDecl>> Structs;
+  dryad::StructTable LogicStructs;
+  dryad::DefTable Defs;
+  std::vector<std::unique_ptr<FuncDecl>> Funcs;
+
+  const StructDecl *findStruct(const std::string &Name) const {
+    for (const auto &S : Structs)
+      if (S->Name == Name)
+        return S.get();
+    return nullptr;
+  }
+  FuncDecl *findFunc(const std::string &Name) const {
+    for (const auto &F : Funcs)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+
+  std::string str() const;
+};
+
+} // namespace cfront
+} // namespace vcdryad
+
+#endif // VCDRYAD_CFRONT_AST_H

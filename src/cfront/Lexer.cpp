@@ -1,0 +1,301 @@
+//===- Lexer.cpp - Tokenizer for mini-C plus DRYAD specs -------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Lexer.h"
+
+#include "support/StringUtil.h"
+
+#include <cctype>
+#include <set>
+
+using namespace vcdryad;
+using namespace vcdryad::cfront;
+
+namespace {
+
+class LexerImpl {
+public:
+  LexerImpl(const std::string &Source, DiagnosticEngine &Diag)
+      : Src(Source), Diag(Diag) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Out;
+    for (;;) {
+      skipTrivia();
+      Token T = next();
+      Out.push_back(T);
+      if (T.Kind == Tok::Eof)
+        break;
+    }
+    return Out;
+  }
+
+private:
+  const std::string &Src;
+  DiagnosticEngine &Diag;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+
+  char bump() {
+    char C = peek();
+    ++Pos;
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  void skipTrivia() {
+    for (;;) {
+      char C = peek();
+      if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+        bump();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (peek() && peek() != '\n')
+          bump();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        bump();
+        bump();
+        while (peek() && !(peek() == '*' && peek(1) == '/'))
+          bump();
+        if (peek()) {
+          bump();
+          bump();
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(Tok K) {
+    Token T;
+    T.Kind = K;
+    T.Loc = {Line, Col};
+    return T;
+  }
+
+  Token next() {
+    SourceLoc Loc{Line, Col};
+    char C = peek();
+    if (C == '\0') {
+      Token T = make(Tok::Eof);
+      T.Loc = Loc;
+      return T;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_')
+        Text += bump();
+      // "_(": the spec-island opener.
+      if (Text == "_" && peek() == '(') {
+        bump();
+        Token T;
+        T.Kind = Tok::SpecOpen;
+        T.Loc = Loc;
+        return T;
+      }
+      Token T;
+      T.Kind = Tok::Ident;
+      T.Text = std::move(Text);
+      T.Loc = Loc;
+      return T;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t V = 0;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        V = V * 10 + (bump() - '0');
+      Token T;
+      T.Kind = Tok::IntLit;
+      T.IntVal = V;
+      T.Loc = Loc;
+      return T;
+    }
+    auto Two = [&](char A, char B) { return C == A && peek(1) == B; };
+    Token T;
+    T.Loc = Loc;
+    if (Two('=', '=') && peek(2) == '>') {
+      bump();
+      bump();
+      bump();
+      T.Kind = Tok::FatArrow;
+      return T;
+    }
+    if (Two('=', '=')) {
+      bump();
+      bump();
+      T.Kind = Tok::EqEq;
+      return T;
+    }
+    if (Two('!', '=')) {
+      bump();
+      bump();
+      T.Kind = Tok::NotEq;
+      return T;
+    }
+    if (Two('<', '=')) {
+      bump();
+      bump();
+      T.Kind = Tok::Le;
+      return T;
+    }
+    if (Two('>', '=')) {
+      bump();
+      bump();
+      T.Kind = Tok::Ge;
+      return T;
+    }
+    if (Two('&', '&')) {
+      bump();
+      bump();
+      T.Kind = Tok::AndAnd;
+      return T;
+    }
+    if (Two('|', '|')) {
+      bump();
+      bump();
+      T.Kind = Tok::OrOr;
+      return T;
+    }
+    if (Two('-', '>')) {
+      bump();
+      bump();
+      T.Kind = Tok::Arrow;
+      return T;
+    }
+    if (C == '|' && peek(1) == '-' && peek(2) == '>') {
+      bump();
+      bump();
+      bump();
+      T.Kind = Tok::PointsTo;
+      return T;
+    }
+    bump();
+    switch (C) {
+    case '(':
+      T.Kind = Tok::LParen;
+      return T;
+    case ')':
+      T.Kind = Tok::RParen;
+      return T;
+    case '{':
+      T.Kind = Tok::LBrace;
+      return T;
+    case '}':
+      T.Kind = Tok::RBrace;
+      return T;
+    case ';':
+      T.Kind = Tok::Semi;
+      return T;
+    case ',':
+      T.Kind = Tok::Comma;
+      return T;
+    case '*':
+      T.Kind = Tok::Star;
+      return T;
+    case '+':
+      T.Kind = Tok::Plus;
+      return T;
+    case '-':
+      T.Kind = Tok::Minus;
+      return T;
+    case '!':
+      T.Kind = Tok::Bang;
+      return T;
+    case '=':
+      T.Kind = Tok::Assign;
+      return T;
+    case '<':
+      T.Kind = Tok::Lt;
+      return T;
+    case '>':
+      T.Kind = Tok::Gt;
+      return T;
+    case '?':
+      T.Kind = Tok::Question;
+      return T;
+    case ':':
+      T.Kind = Tok::Colon;
+      return T;
+    default:
+      Diag.error(Loc, std::string("unexpected character '") + C + "'");
+      return next();
+    }
+  }
+};
+
+static void preprocessInto(const std::string &Source,
+                           const std::string &BaseDir,
+                           std::set<std::string> &Seen, std::string &Out,
+                           DiagnosticEngine &Diag) {
+  size_t Pos = 0;
+  while (Pos < Source.size()) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Source.size();
+    std::string_view Line(Source.data() + Pos, End - Pos);
+    std::string_view Trimmed = trim(Line);
+    if (startsWith(Trimmed, "#include")) {
+      size_t Q1 = Trimmed.find('"');
+      size_t Q2 = Q1 == std::string_view::npos
+                      ? std::string_view::npos
+                      : Trimmed.find('"', Q1 + 1);
+      if (Q2 == std::string_view::npos) {
+        Diag.error({}, "malformed #include directive: " +
+                           std::string(Trimmed));
+      } else {
+        std::string Rel(Trimmed.substr(Q1 + 1, Q2 - Q1 - 1));
+        std::string Path = BaseDir.empty() || Rel.starts_with("/")
+                               ? Rel
+                               : BaseDir + "/" + Rel;
+        if (Seen.insert(Path).second) {
+          auto Content = readFile(Path);
+          if (!Content) {
+            Diag.error({}, "cannot open include file '" + Path + "'");
+          } else {
+            size_t Slash = Path.find_last_of('/');
+            std::string SubDir =
+                Slash == std::string::npos ? "" : Path.substr(0, Slash);
+            preprocessInto(*Content, SubDir, Seen, Out, Diag);
+          }
+        }
+      }
+    } else {
+      Out.append(Line);
+    }
+    Out += '\n';
+    Pos = End + 1;
+  }
+}
+
+} // namespace
+
+std::vector<Token> cfront::lex(const std::string &Source,
+                               DiagnosticEngine &Diag) {
+  return LexerImpl(Source, Diag).run();
+}
+
+std::string cfront::preprocess(const std::string &Source,
+                               const std::string &BaseDir,
+                               DiagnosticEngine &Diag) {
+  std::string Out;
+  std::set<std::string> Seen;
+  preprocessInto(Source, BaseDir, Seen, Out, Diag);
+  return Out;
+}

@@ -1,0 +1,84 @@
+//===- Lexer.h - Tokenizer for mini-C plus DRYAD specs ----------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One token stream serves both the C program text and the `_(...)`
+/// specification islands; the parser decides which grammar applies.
+/// A tiny `#include "..."` preprocessor (textual splicing, include
+/// guards by path) lets the benchmark corpus share DRYAD definition
+/// preludes per data-structure family.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_CFRONT_LEXER_H
+#define VCDRYAD_CFRONT_LEXER_H
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace cfront {
+
+enum class Tok {
+  Ident,
+  IntLit,
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Semi,
+  Comma,
+  Arrow,    ///< ->
+  Star,     ///< *
+  Plus,
+  Minus,
+  Bang,     ///< !
+  Assign,   ///< =
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AndAnd,
+  OrOr,
+  Question,
+  Colon,
+  PointsTo, ///< |->
+  FatArrow, ///< ==>
+  SpecOpen, ///< _(
+  Eof,
+};
+
+struct Token {
+  Tok Kind = Tok::Eof;
+  std::string Text; ///< Identifier spelling.
+  int64_t IntVal = 0;
+  SourceLoc Loc;
+
+  bool is(Tok K) const { return Kind == K; }
+  bool isIdent(std::string_view S) const {
+    return Kind == Tok::Ident && Text == S;
+  }
+};
+
+/// Tokenizes \p Source. Lexical errors are reported to \p Diag; the
+/// returned vector always ends with an Eof token.
+std::vector<Token> lex(const std::string &Source, DiagnosticEngine &Diag);
+
+/// Expands `#include "file"` directives of \p Source textually,
+/// resolving relative to \p BaseDir; each file is included at most
+/// once. Unresolvable includes are reported to \p Diag.
+std::string preprocess(const std::string &Source, const std::string &BaseDir,
+                       DiagnosticEngine &Diag);
+
+} // namespace cfront
+} // namespace vcdryad
+
+#endif // VCDRYAD_CFRONT_LEXER_H

@@ -1,0 +1,364 @@
+//===- Normalize.cpp - Dereference flattening -------------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Normalize.h"
+
+#include <cassert>
+
+using namespace vcdryad;
+using namespace vcdryad::cfront;
+
+namespace {
+
+class Normalizer {
+public:
+  explicit Normalizer(DiagnosticEngine &Diag) : Diag(Diag) {}
+
+  void run(FuncDecl &F) {
+    if (!F.Body)
+      return;
+    F.Body = normalizeBlock(F.Body);
+  }
+
+private:
+  DiagnosticEngine &Diag;
+  unsigned TempCounter = 0;
+
+  ExprRef mkExpr(ExprKind K, CType Ty, SourceLoc L) {
+    auto E = std::make_shared<Expr>(K);
+    E->Ty = Ty;
+    E->Loc = L;
+    return E;
+  }
+
+  StmtRef mkStmt(StmtKind K, SourceLoc L) {
+    auto S = std::make_shared<Stmt>(K);
+    S->Loc = L;
+    return S;
+  }
+
+  /// Declares a fresh temp of type \p Ty, emits `t = Init` and returns
+  /// a reference to t.
+  ExprRef hoist(ExprRef Init, std::vector<StmtRef> &Pre) {
+    std::string Name = "$t" + std::to_string(TempCounter++);
+    StmtRef Decl = mkStmt(StmtKind::Decl, Init->Loc);
+    Decl->DeclName = Name;
+    Decl->DeclTy = Init->Ty;
+    Pre.push_back(Decl);
+    StmtRef Assign = mkStmt(StmtKind::Assign, Init->Loc);
+    ExprRef Var = mkExpr(ExprKind::Var, Init->Ty, Init->Loc);
+    Var->Name = Name;
+    Assign->Lhs = Var;
+    Assign->Rhs = std::move(Init);
+    Pre.push_back(Assign);
+    ExprRef Ref = mkExpr(ExprKind::Var, Var->Ty, Var->Loc);
+    Ref->Name = Name;
+    return Ref;
+  }
+
+  static bool isAtom(const Expr &E) {
+    return E.Kind == ExprKind::Var || E.Kind == ExprKind::IntLit ||
+           E.Kind == ExprKind::Null;
+  }
+
+  /// True when evaluating \p E touches neither the heap nor a callee.
+  static bool exprIsPure(const Expr &E) {
+    if (E.Kind == ExprKind::FieldAccess || E.Kind == ExprKind::Call ||
+        E.Kind == ExprKind::Malloc)
+      return false;
+    for (const ExprRef &A : E.Args)
+      if (!exprIsPure(*A))
+        return false;
+    return true;
+  }
+
+  /// An int truth value of \p E: `e != 0` for ints, `e != NULL` for
+  /// pointers; comparisons pass through.
+  ExprRef truthOf(ExprRef E) {
+    if (E->Ty.isInt() && E->Kind == ExprKind::Binary &&
+        E->BOp != BinOp::Add && E->BOp != BinOp::Sub)
+      return E;
+    ExprRef Cmp = mkExpr(ExprKind::Binary, CType::mkInt(), E->Loc);
+    Cmp->BOp = BinOp::Ne;
+    ExprRef Zero;
+    if (E->Ty.isPtr()) {
+      Zero = mkExpr(ExprKind::Null, CType::mkPtr(nullptr), E->Loc);
+    } else {
+      Zero = mkExpr(ExprKind::IntLit, CType::mkInt(), E->Loc);
+    }
+    Cmp->Args = {std::move(E), std::move(Zero)};
+    return Cmp;
+  }
+
+  /// Rewrites \p E to an atom (Var/IntLit/Null), hoisting as needed.
+  ExprRef atomize(ExprRef E, std::vector<StmtRef> &Pre) {
+    E = purify(std::move(E), Pre);
+    if (isAtom(*E))
+      return E;
+    return hoist(std::move(E), Pre);
+  }
+
+  /// Rewrites \p E to a heap-free, call-free expression: every
+  /// dereference, call and malloc is hoisted into a temp.
+  ExprRef purify(ExprRef E, std::vector<StmtRef> &Pre) {
+    switch (E->Kind) {
+    case ExprKind::Var:
+    case ExprKind::IntLit:
+    case ExprKind::Null:
+      return E;
+    case ExprKind::FieldAccess: {
+      ExprRef Base = atomize(E->Args[0], Pre);
+      ExprRef FA = mkExpr(ExprKind::FieldAccess, E->Ty, E->Loc);
+      FA->Name = E->Name;
+      FA->Args = {std::move(Base)};
+      return hoist(std::move(FA), Pre);
+    }
+    case ExprKind::Call: {
+      ExprRef Call = mkExpr(ExprKind::Call, E->Ty, E->Loc);
+      Call->Name = E->Name;
+      for (const ExprRef &A : E->Args)
+        Call->Args.push_back(atomize(A, Pre));
+      return hoist(std::move(Call), Pre);
+    }
+    case ExprKind::Malloc:
+      return hoist(E, Pre);
+    case ExprKind::Unary: {
+      ExprRef A = purify(E->Args[0], Pre);
+      if (A.get() == E->Args[0].get())
+        return E;
+      ExprRef U = mkExpr(ExprKind::Unary, E->Ty, E->Loc);
+      U->UOp = E->UOp;
+      U->Args = {std::move(A)};
+      return U;
+    }
+    case ExprKind::Binary: {
+      // Short-circuit operators evaluate the right operand only when
+      // needed; if it touches the heap, hoist it under a guard:
+      //   t = truth(a); if (t) { t = truth(b); }     for a && b
+      //   t = truth(a); if (!t) { t = truth(b); }    for a || b
+      if ((E->BOp == BinOp::LAnd || E->BOp == BinOp::LOr) &&
+          !exprIsPure(*E->Args[1])) {
+        ExprRef A = purify(E->Args[0], Pre);
+        ExprRef T = hoist(truthOf(std::move(A)), Pre);
+        StmtRef Guard = mkStmt(StmtKind::If, E->Loc);
+        if (E->BOp == BinOp::LAnd) {
+          Guard->Cond = T;
+        } else {
+          ExprRef NotT = mkExpr(ExprKind::Unary, CType::mkInt(), E->Loc);
+          NotT->UOp = UnOp::Not;
+          NotT->Args = {T};
+          Guard->Cond = NotT;
+        }
+        StmtRef Then = mkStmt(StmtKind::Block, E->Loc);
+        std::vector<StmtRef> InnerPre;
+        ExprRef B = purify(E->Args[1], InnerPre);
+        Then->Stmts = std::move(InnerPre);
+        StmtRef SetT = mkStmt(StmtKind::Assign, E->Loc);
+        ExprRef TRef = mkExpr(ExprKind::Var, CType::mkInt(), E->Loc);
+        TRef->Name = T->Name;
+        SetT->Lhs = TRef;
+        SetT->Rhs = truthOf(std::move(B));
+        Then->Stmts.push_back(SetT);
+        Guard->Then = Then;
+        Pre.push_back(Guard);
+        ExprRef Res = mkExpr(ExprKind::Var, CType::mkInt(), E->Loc);
+        Res->Name = T->Name;
+        return Res;
+      }
+      ExprRef A = purify(E->Args[0], Pre);
+      ExprRef B = purify(E->Args[1], Pre);
+      if (A.get() == E->Args[0].get() && B.get() == E->Args[1].get())
+        return E;
+      ExprRef BE = mkExpr(ExprKind::Binary, E->Ty, E->Loc);
+      BE->BOp = E->BOp;
+      BE->Args = {std::move(A), std::move(B)};
+      return BE;
+    }
+    }
+    return E;
+  }
+
+  /// Normalizes a direct assignment right-hand side: the primitive
+  /// forms stay unhoisted.
+  ExprRef normalizeRhs(ExprRef Rhs, std::vector<StmtRef> &Pre) {
+    switch (Rhs->Kind) {
+    case ExprKind::FieldAccess: {
+      ExprRef Base = atomize(Rhs->Args[0], Pre);
+      if (Base.get() == Rhs->Args[0].get())
+        return Rhs;
+      ExprRef FA = mkExpr(ExprKind::FieldAccess, Rhs->Ty, Rhs->Loc);
+      FA->Name = Rhs->Name;
+      FA->Args = {std::move(Base)};
+      return FA;
+    }
+    case ExprKind::Call: {
+      ExprRef Call = mkExpr(ExprKind::Call, Rhs->Ty, Rhs->Loc);
+      Call->Name = Rhs->Name;
+      for (const ExprRef &A : Rhs->Args)
+        Call->Args.push_back(atomize(A, Pre));
+      return Call;
+    }
+    case ExprKind::Malloc:
+      return Rhs;
+    default:
+      return purify(std::move(Rhs), Pre);
+    }
+  }
+
+  StmtRef normalizeBlock(const StmtRef &B) {
+    assert(B->Kind == StmtKind::Block);
+    StmtRef Out = mkStmt(StmtKind::Block, B->Loc);
+    for (const StmtRef &S : B->Stmts)
+      normalizeStmt(S, Out->Stmts);
+    return Out;
+  }
+
+  void normalizeStmt(const StmtRef &S, std::vector<StmtRef> &Out) {
+    switch (S->Kind) {
+    case StmtKind::Block: {
+      Out.push_back(normalizeBlock(S));
+      return;
+    }
+    case StmtKind::Decl: {
+      StmtRef Decl = mkStmt(StmtKind::Decl, S->Loc);
+      Decl->DeclName = S->DeclName;
+      Decl->DeclTy = S->DeclTy;
+      Out.push_back(Decl);
+      if (S->Rhs) {
+        std::vector<StmtRef> Pre;
+        ExprRef Rhs = normalizeRhs(S->Rhs, Pre);
+        for (StmtRef &P : Pre)
+          Out.push_back(std::move(P));
+        StmtRef Assign = mkStmt(StmtKind::Assign, S->Loc);
+        ExprRef Var = mkExpr(ExprKind::Var, S->DeclTy, S->Loc);
+        Var->Name = S->DeclName;
+        Assign->Lhs = Var;
+        Assign->Rhs = Rhs;
+        Out.push_back(Assign);
+      }
+      return;
+    }
+    case StmtKind::Assign: {
+      std::vector<StmtRef> Pre;
+      if (S->Lhs->Kind == ExprKind::FieldAccess) {
+        ExprRef Base = atomize(S->Lhs->Args[0], Pre);
+        ExprRef Rhs = atomize(S->Rhs, Pre);
+        for (StmtRef &P : Pre)
+          Out.push_back(std::move(P));
+        StmtRef Assign = mkStmt(StmtKind::Assign, S->Loc);
+        ExprRef FA =
+            mkExpr(ExprKind::FieldAccess, S->Lhs->Ty, S->Lhs->Loc);
+        FA->Name = S->Lhs->Name;
+        FA->Args = {std::move(Base)};
+        Assign->Lhs = FA;
+        Assign->Rhs = Rhs;
+        Out.push_back(Assign);
+        return;
+      }
+      ExprRef Rhs = normalizeRhs(S->Rhs, Pre);
+      for (StmtRef &P : Pre)
+        Out.push_back(std::move(P));
+      StmtRef Assign = mkStmt(StmtKind::Assign, S->Loc);
+      Assign->Lhs = S->Lhs;
+      Assign->Rhs = Rhs;
+      Out.push_back(Assign);
+      return;
+    }
+    case StmtKind::If: {
+      std::vector<StmtRef> Pre;
+      ExprRef Cond = purify(S->Cond, Pre);
+      for (StmtRef &P : Pre)
+        Out.push_back(std::move(P));
+      StmtRef If = mkStmt(StmtKind::If, S->Loc);
+      If->Cond = Cond;
+      If->Then = normalizeSubStmt(S->Then);
+      If->Else = S->Else ? normalizeSubStmt(S->Else) : nullptr;
+      Out.push_back(If);
+      return;
+    }
+    case StmtKind::While: {
+      // The condition's evaluation prelude is re-run at every loop
+      // head, so it lives inside the While node (Stmts).
+      StmtRef While = mkStmt(StmtKind::While, S->Loc);
+      While->Invariants = S->Invariants;
+      std::vector<StmtRef> CondPre;
+      While->Cond = purify(S->Cond, CondPre);
+      While->Stmts = std::move(CondPre);
+      While->Then = normalizeSubStmt(S->Then);
+      Out.push_back(While);
+      return;
+    }
+    case StmtKind::Return: {
+      StmtRef Ret = mkStmt(StmtKind::Return, S->Loc);
+      if (S->Rhs) {
+        std::vector<StmtRef> Pre;
+        Ret->Rhs = atomize(S->Rhs, Pre);
+        for (StmtRef &P : Pre)
+          Out.push_back(std::move(P));
+      }
+      Out.push_back(Ret);
+      return;
+    }
+    case StmtKind::ExprStmt: {
+      std::vector<StmtRef> Pre;
+      ExprRef Call = S->Rhs;
+      if (Call->Kind != ExprKind::Call) {
+        Out.push_back(S);
+        return;
+      }
+      ExprRef NC = mkExpr(ExprKind::Call, Call->Ty, Call->Loc);
+      NC->Name = Call->Name;
+      for (const ExprRef &A : Call->Args)
+        NC->Args.push_back(atomize(A, Pre));
+      for (StmtRef &P : Pre)
+        Out.push_back(std::move(P));
+      StmtRef ES = mkStmt(StmtKind::ExprStmt, S->Loc);
+      ES->Rhs = NC;
+      Out.push_back(ES);
+      return;
+    }
+    case StmtKind::Free: {
+      std::vector<StmtRef> Pre;
+      ExprRef Arg = atomize(S->Rhs, Pre);
+      for (StmtRef &P : Pre)
+        Out.push_back(std::move(P));
+      StmtRef Free = mkStmt(StmtKind::Free, S->Loc);
+      Free->Rhs = Arg;
+      Out.push_back(Free);
+      return;
+    }
+    case StmtKind::Assert:
+    case StmtKind::Assume:
+    case StmtKind::GhostAssume:
+    case StmtKind::GhostAssign:
+    case StmtKind::GhostHavoc:
+      Out.push_back(S);
+      return;
+    }
+  }
+
+  /// Wraps a sub-statement in a block if normalization produced
+  /// multiple statements.
+  StmtRef normalizeSubStmt(const StmtRef &S) {
+    StmtRef Block = mkStmt(StmtKind::Block, S->Loc);
+    normalizeStmt(S, Block->Stmts);
+    if (Block->Stmts.size() == 1 &&
+        Block->Stmts[0]->Kind == StmtKind::Block)
+      return Block->Stmts[0];
+    return Block;
+  }
+};
+
+} // namespace
+
+void cfront::normalizeFunction(FuncDecl &F, DiagnosticEngine &Diag) {
+  Normalizer(Diag).run(F);
+}
+
+void cfront::normalizeProgram(Program &Prog, DiagnosticEngine &Diag) {
+  for (const auto &F : Prog.Funcs)
+    normalizeFunction(*F, Diag);
+}

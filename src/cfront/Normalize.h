@@ -1,0 +1,44 @@
+//===- Normalize.h - Dereference flattening ---------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrites a function body so that heap accesses appear only in the
+/// primitive forms the natural-proof instrumentation of Figure 5
+/// expects ("u = v.f; all other statements with dereferences can be
+/// split into simpler ones", Section 3.3):
+///
+///   u = v->f;        (v a variable)
+///   v->f = w;        (w a variable or literal)
+///   u = malloc(...);
+///   u = f(atoms); / f(atoms);
+///   u = <heap-free expr>;
+///
+/// Conditions become heap-free; loop conditions get an explicit
+/// evaluation prelude re-run at the loop head (stored in the While
+/// node's Stmts), so the verifier can evaluate the condition after the
+/// invariant havoc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_CFRONT_NORMALIZE_H
+#define VCDRYAD_CFRONT_NORMALIZE_H
+
+#include "cfront/Ast.h"
+#include "support/Diagnostics.h"
+
+namespace vcdryad {
+namespace cfront {
+
+/// Normalizes the body of \p F in place. Idempotent.
+void normalizeFunction(FuncDecl &F, DiagnosticEngine &Diag);
+
+/// Normalizes every function with a body.
+void normalizeProgram(Program &Prog, DiagnosticEngine &Diag);
+
+} // namespace cfront
+} // namespace vcdryad
+
+#endif // VCDRYAD_CFRONT_NORMALIZE_H

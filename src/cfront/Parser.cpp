@@ -1,0 +1,1302 @@
+//===- Parser.cpp - Recursive-descent parser for mini-C + DRYAD ------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Parser.h"
+
+#include "support/StringUtil.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace vcdryad;
+using namespace vcdryad::cfront;
+using dryad::CmpOp;
+using dryad::Formula;
+using dryad::FormulaKind;
+using dryad::FormulaRef;
+using dryad::Term;
+using dryad::TermKind;
+using dryad::TermRef;
+using vir::Sort;
+
+namespace {
+
+/// A parsed spec expression: exactly one of term/formula is set.
+struct SpecVal {
+  TermRef T;
+  FormulaRef F;
+  SourceLoc Loc;
+};
+
+class ParserImpl {
+public:
+  ParserImpl(std::vector<Token> Toks, DiagnosticEngine &Diag)
+      : Toks(std::move(Toks)), Diag(Diag) {}
+
+  std::unique_ptr<Program> run() {
+    Prog = std::make_unique<Program>();
+    while (!tok().is(Tok::Eof)) {
+      if (tok().isIdent("struct") && tok(1).is(Tok::Ident) &&
+          tok(2).is(Tok::LBrace)) {
+        parseStructDecl();
+        continue;
+      }
+      if (tok().is(Tok::SpecOpen) && tok(1).isIdent("dryad")) {
+        parseDryadIsland();
+        continue;
+      }
+      parseFunction();
+      if (Diag.errorCount() > 50)
+        break; // Avoid error cascades on hopeless inputs.
+    }
+    Prog->Defs.finalize(Prog->LogicStructs);
+    return std::move(Prog);
+  }
+
+private:
+  std::vector<Token> Toks;
+  DiagnosticEngine &Diag;
+  std::unique_ptr<Program> Prog;
+  size_t P = 0;
+
+  FuncDecl *CurFunc = nullptr;
+  bool AllowResult = false;
+  /// C lexical scopes (innermost last).
+  std::vector<std::map<std::string, CType>> Scopes;
+  /// Spec-only parameter scope (definition bodies, axioms).
+  std::map<std::string, std::pair<Sort, std::string>> SpecParamScope;
+
+  //===--------------------------------------------------------------------===//
+  // Token helpers
+  //===--------------------------------------------------------------------===//
+
+  const Token &tok(size_t Ahead = 0) const {
+    size_t I = P + Ahead;
+    return I < Toks.size() ? Toks[I] : Toks.back();
+  }
+  SourceLoc loc() const { return tok().Loc; }
+  void bump() {
+    if (P + 1 < Toks.size())
+      ++P;
+  }
+  bool accept(Tok K) {
+    if (!tok().is(K))
+      return false;
+    bump();
+    return true;
+  }
+  bool acceptIdent(std::string_view S) {
+    if (!tok().isIdent(S))
+      return false;
+    bump();
+    return true;
+  }
+  void expect(Tok K, const std::string &What) {
+    if (!accept(K))
+      Diag.error(loc(), "expected " + What);
+  }
+  std::string expectIdent(const std::string &What) {
+    if (!tok().is(Tok::Ident)) {
+      Diag.error(loc(), "expected " + What);
+      return "<error>";
+    }
+    std::string S = tok().Text;
+    bump();
+    return S;
+  }
+  /// Skips ahead to a likely statement/declaration boundary.
+  void recover() {
+    while (!tok().is(Tok::Eof) && !tok().is(Tok::Semi) &&
+           !tok().is(Tok::RBrace))
+      bump();
+    accept(Tok::Semi);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Types and structs
+  //===--------------------------------------------------------------------===//
+
+  StructDecl *findOrCreateStruct(const std::string &Name, SourceLoc L) {
+    for (const auto &S : Prog->Structs)
+      if (S->Name == Name)
+        return S.get();
+    auto S = std::make_unique<StructDecl>();
+    S->Name = Name;
+    S->Loc = L;
+    StructDecl *Out = S.get();
+    Prog->Structs.push_back(std::move(S));
+    return Out;
+  }
+
+  bool atType() const {
+    return tok().isIdent("int") || tok().isIdent("void") ||
+           tok().isIdent("struct");
+  }
+
+  CType parseType() {
+    if (acceptIdent("int"))
+      return CType::mkInt();
+    if (acceptIdent("void")) {
+      // "void *" is not in the subset; plain void only (return type).
+      return CType::mkVoid();
+    }
+    if (acceptIdent("struct")) {
+      SourceLoc L = loc();
+      std::string Name = expectIdent("struct name");
+      expect(Tok::Star, "'*' (struct values are not in the subset)");
+      return CType::mkPtr(findOrCreateStruct(Name, L));
+    }
+    Diag.error(loc(), "expected a type");
+    bump();
+    return CType::mkInt();
+  }
+
+  void parseStructDecl() {
+    acceptIdent("struct");
+    SourceLoc L = loc();
+    std::string Name = expectIdent("struct name");
+    StructDecl *SD = findOrCreateStruct(Name, L);
+    expect(Tok::LBrace, "'{'");
+    while (!tok().is(Tok::RBrace) && !tok().is(Tok::Eof)) {
+      SourceLoc FL = loc();
+      CType FT = parseType();
+      std::string FName = expectIdent("field name");
+      expect(Tok::Semi, "';'");
+      SD->Fields.push_back({FName, FT, FL});
+    }
+    expect(Tok::RBrace, "'}'");
+    expect(Tok::Semi, "';' after struct");
+    // Mirror into the logic's struct table.
+    dryad::StructInfo &SI = Prog->LogicStructs.add(Name);
+    for (const FieldDecl &F : SD->Fields) {
+      if (F.Ty.isPtr())
+        SI.Fields.push_back(
+            {F.Name, Sort::Loc, F.Ty.Pointee ? F.Ty.Pointee->Name : ""});
+      else
+        SI.Fields.push_back({F.Name, Sort::Int, ""});
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // C expression parsing (with inline typing)
+  //===--------------------------------------------------------------------===//
+
+  const CType *lookupVar(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return &F->second;
+    }
+    return nullptr;
+  }
+
+  void declareVar(const std::string &Name, CType Ty, SourceLoc L) {
+    if (Scopes.empty())
+      Scopes.emplace_back();
+    // Shadowing is rejected: downstream passes identify variables by
+    // name within a function.
+    if (lookupVar(Name)) {
+      Diag.error(L, "redeclaration of '" + Name + "'");
+      return;
+    }
+    Scopes.back().emplace(Name, Ty);
+  }
+
+  static bool ptrCompatible(const CType &A, const CType &B) {
+    if (A.K != CType::Ptr || B.K != CType::Ptr)
+      return false;
+    return !A.Pointee || !B.Pointee || A.Pointee == B.Pointee;
+  }
+  static bool typeCompatible(const CType &A, const CType &B) {
+    if (A == B)
+      return true;
+    return ptrCompatible(A, B);
+  }
+
+  ExprRef mkExpr(ExprKind K, SourceLoc L) {
+    auto E = std::make_shared<Expr>(K);
+    E->Loc = L;
+    return E;
+  }
+
+  ExprRef parseExpr() { return parseLOr(); }
+
+  ExprRef parseLOr() {
+    ExprRef L = parseLAnd();
+    while (tok().is(Tok::OrOr)) {
+      SourceLoc OL = loc();
+      bump();
+      ExprRef R = parseLAnd();
+      L = mkBinary(BinOp::LOr, L, R, OL);
+    }
+    return L;
+  }
+
+  ExprRef parseLAnd() {
+    ExprRef L = parseEquality();
+    while (tok().is(Tok::AndAnd)) {
+      SourceLoc OL = loc();
+      bump();
+      ExprRef R = parseEquality();
+      L = mkBinary(BinOp::LAnd, L, R, OL);
+    }
+    return L;
+  }
+
+  ExprRef parseEquality() {
+    ExprRef L = parseRel();
+    while (tok().is(Tok::EqEq) || tok().is(Tok::NotEq)) {
+      BinOp Op = tok().is(Tok::EqEq) ? BinOp::Eq : BinOp::Ne;
+      SourceLoc OL = loc();
+      bump();
+      ExprRef R = parseRel();
+      L = mkBinary(Op, L, R, OL);
+    }
+    return L;
+  }
+
+  ExprRef parseRel() {
+    ExprRef L = parseAdd();
+    for (;;) {
+      BinOp Op;
+      if (tok().is(Tok::Lt))
+        Op = BinOp::Lt;
+      else if (tok().is(Tok::Le))
+        Op = BinOp::Le;
+      else if (tok().is(Tok::Gt))
+        Op = BinOp::Gt;
+      else if (tok().is(Tok::Ge))
+        Op = BinOp::Ge;
+      else
+        return L;
+      SourceLoc OL = loc();
+      bump();
+      ExprRef R = parseAdd();
+      L = mkBinary(Op, L, R, OL);
+    }
+  }
+
+  ExprRef parseAdd() {
+    ExprRef L = parseUnary();
+    while (tok().is(Tok::Plus) || tok().is(Tok::Minus)) {
+      BinOp Op = tok().is(Tok::Plus) ? BinOp::Add : BinOp::Sub;
+      SourceLoc OL = loc();
+      bump();
+      ExprRef R = parseUnary();
+      L = mkBinary(Op, L, R, OL);
+    }
+    return L;
+  }
+
+  ExprRef mkBinary(BinOp Op, ExprRef L, ExprRef R, SourceLoc OL) {
+    ExprRef E = mkExpr(ExprKind::Binary, OL);
+    E->BOp = Op;
+    switch (Op) {
+    case BinOp::Add:
+    case BinOp::Sub:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge:
+      if (!L->Ty.isInt() || !R->Ty.isInt())
+        Diag.error(OL, "arithmetic/relational operator requires ints");
+      break;
+    case BinOp::Eq:
+    case BinOp::Ne:
+      if (!typeCompatible(L->Ty, R->Ty))
+        Diag.error(OL, "comparison between incompatible types");
+      break;
+    case BinOp::LAnd:
+    case BinOp::LOr:
+      if (!L->Ty.isInt() || !R->Ty.isInt())
+        Diag.error(OL, "logical operator requires int operands");
+      break;
+    }
+    E->Ty = CType::mkInt();
+    E->Args = {std::move(L), std::move(R)};
+    return E;
+  }
+
+  ExprRef parseUnary() {
+    SourceLoc L = loc();
+    if (accept(Tok::Bang)) {
+      ExprRef A = parseUnary();
+      ExprRef E = mkExpr(ExprKind::Unary, L);
+      E->UOp = UnOp::Not;
+      E->Ty = CType::mkInt();
+      // C idiom: !p tests a pointer against NULL.
+      E->Args = {std::move(A)};
+      return E;
+    }
+    if (accept(Tok::Minus)) {
+      ExprRef A = parseUnary();
+      if (!A->Ty.isInt())
+        Diag.error(L, "unary minus requires an int");
+      ExprRef E = mkExpr(ExprKind::Unary, L);
+      E->UOp = UnOp::Neg;
+      E->Ty = CType::mkInt();
+      E->Args = {std::move(A)};
+      return E;
+    }
+    return parsePostfix();
+  }
+
+  ExprRef parsePostfix() {
+    ExprRef E = parsePrimary();
+    while (tok().is(Tok::Arrow)) {
+      SourceLoc L = loc();
+      bump();
+      std::string Field = expectIdent("field name");
+      ExprRef FA = mkExpr(ExprKind::FieldAccess, L);
+      FA->Name = Field;
+      if (!E->Ty.isPtr() || !E->Ty.Pointee) {
+        Diag.error(L, "'->' applied to a non-pointer");
+        FA->Ty = CType::mkInt();
+      } else if (const FieldDecl *FD = E->Ty.Pointee->findField(Field)) {
+        FA->Ty = FD->Ty;
+      } else {
+        Diag.error(L, "struct " + E->Ty.Pointee->Name + " has no field '" +
+                          Field + "'");
+        FA->Ty = CType::mkInt();
+      }
+      FA->Args = {std::move(E)};
+      E = std::move(FA);
+    }
+    return E;
+  }
+
+  ExprRef parseMallocCall(SourceLoc L) {
+    // malloc(sizeof(struct T))
+    expect(Tok::LParen, "'(' after malloc");
+    if (!acceptIdent("sizeof"))
+      Diag.error(loc(), "malloc argument must be sizeof(struct T)");
+    expect(Tok::LParen, "'('");
+    StructDecl *SD = nullptr;
+    if (acceptIdent("struct"))
+      SD = findOrCreateStruct(expectIdent("struct name"), loc());
+    else
+      Diag.error(loc(), "expected struct type in sizeof");
+    expect(Tok::RParen, "')'");
+    expect(Tok::RParen, "')'");
+    ExprRef E = mkExpr(ExprKind::Malloc, L);
+    E->MallocStruct = SD;
+    E->Ty = CType::mkPtr(SD);
+    return E;
+  }
+
+  ExprRef parsePrimary() {
+    SourceLoc L = loc();
+    if (tok().is(Tok::IntLit)) {
+      ExprRef E = mkExpr(ExprKind::IntLit, L);
+      E->IntVal = tok().IntVal;
+      E->Ty = CType::mkInt();
+      bump();
+      return E;
+    }
+    if (tok().is(Tok::LParen)) {
+      // "(struct T *) malloc(...)" cast idiom, or a parenthesized expr.
+      if (tok(1).isIdent("struct")) {
+        bump();
+        acceptIdent("struct");
+        StructDecl *SD = findOrCreateStruct(expectIdent("struct name"), L);
+        expect(Tok::Star, "'*'");
+        expect(Tok::RParen, "')'");
+        if (!tok().isIdent("malloc")) {
+          Diag.error(loc(), "casts are only allowed on malloc");
+          return mkExpr(ExprKind::Null, L);
+        }
+        bump();
+        ExprRef E = parseMallocCall(L);
+        E->MallocStruct = SD;
+        E->Ty = CType::mkPtr(SD);
+        return E;
+      }
+      bump();
+      ExprRef E = parseExpr();
+      expect(Tok::RParen, "')'");
+      return E;
+    }
+    if (tok().isIdent("NULL") || tok().isIdent("nil")) {
+      bump();
+      ExprRef E = mkExpr(ExprKind::Null, L);
+      E->Ty = CType::mkPtr(nullptr);
+      return E;
+    }
+    if (tok().isIdent("malloc")) {
+      bump();
+      return parseMallocCall(L);
+    }
+    if (tok().is(Tok::Ident)) {
+      std::string Name = tok().Text;
+      bump();
+      if (tok().is(Tok::LParen)) {
+        // Function call.
+        bump();
+        ExprRef E = mkExpr(ExprKind::Call, L);
+        E->Name = Name;
+        if (!tok().is(Tok::RParen)) {
+          do {
+            E->Args.push_back(parseExpr());
+          } while (accept(Tok::Comma));
+        }
+        expect(Tok::RParen, "')'");
+        FuncDecl *Callee = Prog->findFunc(Name);
+        if (!Callee) {
+          Diag.error(L, "call to undeclared function '" + Name +
+                            "' (declare it before use)");
+          E->Ty = CType::mkInt();
+          return E;
+        }
+        if (Callee->Params.size() != E->Args.size()) {
+          Diag.error(L, "wrong number of arguments to '" + Name + "'");
+        } else {
+          for (size_t I = 0; I != E->Args.size(); ++I)
+            if (!typeCompatible(Callee->Params[I].Ty, E->Args[I]->Ty))
+              Diag.error(E->Args[I]->Loc,
+                         "argument " + std::to_string(I + 1) + " of '" +
+                             Name + "' has the wrong type");
+        }
+        E->Ty = Callee->RetTy;
+        return E;
+      }
+      ExprRef E = mkExpr(ExprKind::Var, L);
+      E->Name = Name;
+      if (const CType *Ty = lookupVar(Name)) {
+        E->Ty = *Ty;
+      } else {
+        Diag.error(L, "use of undeclared variable '" + Name + "'");
+        E->Ty = CType::mkInt();
+      }
+      return E;
+    }
+    Diag.error(L, "expected an expression");
+    bump();
+    ExprRef E = mkExpr(ExprKind::IntLit, L);
+    E->Ty = CType::mkInt();
+    return E;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Spec terms and formulas
+  //===--------------------------------------------------------------------===//
+
+  std::shared_ptr<Term> newTerm(TermKind K, SourceLoc L) {
+    auto T = std::make_shared<Term>(K);
+    T->Loc = L;
+    return T;
+  }
+  std::shared_ptr<Formula> newFormula(FormulaKind K, SourceLoc L) {
+    auto F = std::make_shared<Formula>(K);
+    F->Loc = L;
+    return F;
+  }
+
+  TermRef toTerm(const SpecVal &V) {
+    if (V.T)
+      return V.T;
+    Diag.error(V.Loc, "expected a term, found a formula");
+    auto T = newTerm(TermKind::IntLit, V.Loc);
+    T->TermSort = Sort::Int;
+    return T;
+  }
+
+  FormulaRef toFormula(const SpecVal &V) {
+    if (V.F)
+      return V.F;
+    Diag.error(V.Loc, "expected a formula, found a term");
+    return newFormula(FormulaKind::True, V.Loc);
+  }
+
+  static SpecVal fromTerm(TermRef T, SourceLoc L) {
+    return SpecVal{std::move(T), nullptr, L};
+  }
+  static SpecVal fromFormula(FormulaRef F, SourceLoc L) {
+    return SpecVal{nullptr, std::move(F), L};
+  }
+
+  /// Looks up a spec variable: definition/axiom parameters first, then
+  /// the enclosing C scopes.
+  bool specLookupVar(const std::string &Name, Sort &S,
+                     std::string &StructName) const {
+    auto It = SpecParamScope.find(Name);
+    if (It != SpecParamScope.end()) {
+      S = It->second.first;
+      StructName = It->second.second;
+      return true;
+    }
+    if (const CType *Ty = lookupVar(Name)) {
+      if (Ty->isPtr()) {
+        S = Sort::Loc;
+        StructName = Ty->Pointee ? Ty->Pointee->Name : "";
+      } else {
+        S = Sort::Int;
+        StructName.clear();
+      }
+      return true;
+    }
+    return false;
+  }
+
+  /// Retags a polymorphic emptyset to \p Want when sorts disagree.
+  static TermRef coerceEmpty(TermRef T, Sort Want) {
+    if (T->Kind == TermKind::EmptySet && T->TermSort != Want &&
+        vir::isSetSort(Want)) {
+      auto N = std::make_shared<Term>(TermKind::EmptySet);
+      N->TermSort = Want;
+      N->Loc = T->Loc;
+      return N;
+    }
+    return T;
+  }
+  static void unifySetSorts(TermRef &A, TermRef &B) {
+    if (A->sort() == B->sort())
+      return;
+    A = coerceEmpty(A, B->sort());
+    B = coerceEmpty(B, A->sort());
+  }
+
+  SpecVal parseSpecExpr() {
+    SpecVal V = parseSpecImplies();
+    if (!tok().is(Tok::Question))
+      return V;
+    SourceLoc L = loc();
+    bump();
+    FormulaRef C = toFormula(V);
+    TermRef T1 = toTerm(parseSpecExpr());
+    expect(Tok::Colon, "':' in conditional term");
+    TermRef T2 = toTerm(parseSpecExpr());
+    unifySetSorts(T1, T2);
+    if (T1->sort() != T2->sort())
+      Diag.error(L, "conditional branches have different sorts");
+    auto T = newTerm(TermKind::Ite, L);
+    T->TermSort = T1->sort();
+    T->StructName = T1->StructName.empty() ? T2->StructName : T1->StructName;
+    T->CondF = C;
+    T->Args = {T1, T2};
+    return fromTerm(T, L);
+  }
+
+  SpecVal parseSpecImplies() {
+    SpecVal V = parseSpecOr();
+    while (tok().is(Tok::FatArrow)) {
+      SourceLoc L = loc();
+      bump();
+      FormulaRef A = toFormula(V);
+      FormulaRef B = toFormula(parseSpecOr());
+      auto F = newFormula(FormulaKind::Implies, L);
+      F->Subs = {A, B};
+      V = fromFormula(F, L);
+    }
+    return V;
+  }
+
+  SpecVal parseSpecOr() {
+    SpecVal V = parseSpecAnd();
+    while (tok().is(Tok::OrOr)) {
+      SourceLoc L = loc();
+      bump();
+      FormulaRef A = toFormula(V);
+      FormulaRef B = toFormula(parseSpecAnd());
+      auto F = newFormula(FormulaKind::Or, L);
+      F->Subs = {A, B};
+      V = fromFormula(F, L);
+    }
+    return V;
+  }
+
+  SpecVal parseSpecAnd() {
+    SpecVal V = parseSpecSep();
+    while (tok().is(Tok::AndAnd)) {
+      SourceLoc L = loc();
+      bump();
+      FormulaRef A = toFormula(V);
+      FormulaRef B = toFormula(parseSpecSep());
+      auto F = newFormula(FormulaKind::And, L);
+      F->Subs = {A, B};
+      V = fromFormula(F, L);
+    }
+    return V;
+  }
+
+  SpecVal parseSpecSep() {
+    SpecVal V = parseSpecCmp();
+    while (tok().is(Tok::Star)) {
+      SourceLoc L = loc();
+      bump();
+      FormulaRef A = toFormula(V);
+      FormulaRef B = toFormula(parseSpecCmp());
+      auto F = newFormula(FormulaKind::Sep, L);
+      F->Subs = {A, B};
+      V = fromFormula(F, L);
+    }
+    return V;
+  }
+
+  SpecVal parseSpecCmp() {
+    SpecVal V = parseSpecAdditive();
+    SourceLoc L = loc();
+    if (tok().is(Tok::PointsTo)) {
+      bump();
+      TermRef X = toTerm(V);
+      if (X->sort() != Sort::Loc)
+        Diag.error(L, "'|->' requires a location");
+      auto F = newFormula(FormulaKind::PointsTo, L);
+      F->Terms = {X};
+      return fromFormula(F, L);
+    }
+    CmpOp Op;
+    if (tok().is(Tok::EqEq))
+      Op = CmpOp::Eq;
+    else if (tok().is(Tok::NotEq))
+      Op = CmpOp::Ne;
+    else if (tok().is(Tok::Lt))
+      Op = CmpOp::Lt;
+    else if (tok().is(Tok::Le))
+      Op = CmpOp::Le;
+    else if (tok().is(Tok::Gt))
+      Op = CmpOp::Gt;
+    else if (tok().is(Tok::Ge))
+      Op = CmpOp::Ge;
+    else if (tok().isIdent("in") || tok().isIdent("subset")) {
+      bool IsIn = tok().isIdent("in");
+      bump();
+      TermRef A = toTerm(V);
+      TermRef B = toTerm(parseSpecAdditive());
+      auto F = newFormula(IsIn ? FormulaKind::In : FormulaKind::SubsetOf, L);
+      if (!vir::isSetSort(B->sort()))
+        Diag.error(L, "right operand of '" +
+                          std::string(IsIn ? "in" : "subset") +
+                          "' must be a set");
+      F->Terms = {A, B};
+      return fromFormula(F, L);
+    } else {
+      return V;
+    }
+    bump();
+    TermRef A = toTerm(V);
+    TermRef B = toTerm(parseSpecAdditive());
+    unifySetSorts(A, B);
+    auto F = newFormula(FormulaKind::Cmp, L);
+    F->Op = Op;
+    F->Terms = {A, B};
+    return fromFormula(F, L);
+  }
+
+  SpecVal parseSpecAdditive() {
+    SpecVal V = parseSpecUnary();
+    for (;;) {
+      SourceLoc L = loc();
+      TermKind K;
+      if (tok().isIdent("union"))
+        K = TermKind::SetUnion;
+      else if (tok().isIdent("inter"))
+        K = TermKind::SetInter;
+      else if (tok().isIdent("setminus"))
+        K = TermKind::SetMinus;
+      else if (tok().is(Tok::Plus))
+        K = TermKind::Add;
+      else if (tok().is(Tok::Minus))
+        K = TermKind::Sub;
+      else
+        return V;
+      bump();
+      TermRef A = toTerm(V);
+      TermRef B = toTerm(parseSpecUnary());
+      if (K == TermKind::Add || K == TermKind::Sub) {
+        if (A->sort() != Sort::Int || B->sort() != Sort::Int)
+          Diag.error(L, "'+'/'-' require integer terms");
+      } else {
+        unifySetSorts(A, B);
+        if (A->sort() != B->sort() || !vir::isSetSort(A->sort()))
+          Diag.error(L, "set operation on mismatched sorts");
+      }
+      auto T = newTerm(K, L);
+      T->TermSort = K == TermKind::Add || K == TermKind::Sub ? Sort::Int
+                                                             : A->sort();
+      T->Args = {A, B};
+      V = fromTerm(T, L);
+    }
+  }
+
+  SpecVal parseSpecUnary() {
+    SourceLoc L = loc();
+    if (accept(Tok::Bang)) {
+      SpecVal V = parseSpecUnary();
+      FormulaRef Sub = toFormula(V);
+      auto F = newFormula(FormulaKind::Not, L);
+      F->Subs = {Sub};
+      return fromFormula(F, L);
+    }
+    if (accept(Tok::Minus)) {
+      TermRef A = toTerm(parseSpecUnary());
+      if (A->sort() != Sort::Int)
+        Diag.error(L, "unary minus requires an integer term");
+      auto Zero = newTerm(TermKind::IntLit, L);
+      Zero->TermSort = Sort::Int;
+      auto T = newTerm(TermKind::Sub, L);
+      T->TermSort = Sort::Int;
+      T->Args = {Zero, A};
+      return fromTerm(T, L);
+    }
+    return parseSpecPostfix();
+  }
+
+  SpecVal parseSpecPostfix() {
+    SpecVal V = parseSpecPrimary();
+    while (tok().is(Tok::Arrow)) {
+      SourceLoc L = loc();
+      bump();
+      std::string Field = expectIdent("field name");
+      TermRef Base = toTerm(V);
+      auto T = newTerm(TermKind::FieldRead, L);
+      T->Name = Field;
+      if (Base->sort() != Sort::Loc) {
+        Diag.error(L, "'->' applied to a non-location term");
+        T->TermSort = Sort::Int;
+      } else if (const dryad::StructInfo *SI =
+                     Prog->LogicStructs.lookup(Base->StructName)) {
+        if (const dryad::FieldInfo *FI = SI->findField(Field)) {
+          T->TermSort = FI->FieldSort;
+          T->StructName = FI->TargetStruct;
+        } else {
+          Diag.error(L, "struct " + Base->StructName + " has no field '" +
+                            Field + "'");
+          T->TermSort = Sort::Int;
+        }
+      } else {
+        Diag.error(L, "cannot resolve the struct of '" + Base->str() + "'");
+        T->TermSort = Sort::Int;
+      }
+      T->Args = {Base};
+      V = fromTerm(T, L);
+    }
+    return V;
+  }
+
+  std::vector<TermRef> parseSpecArgs() {
+    std::vector<TermRef> Args;
+    expect(Tok::LParen, "'('");
+    if (!tok().is(Tok::RParen)) {
+      do {
+        Args.push_back(toTerm(parseSpecExpr()));
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "')'");
+    return Args;
+  }
+
+  SpecVal parseSpecPrimary() {
+    SourceLoc L = loc();
+    if (tok().is(Tok::IntLit)) {
+      auto T = newTerm(TermKind::IntLit, L);
+      T->TermSort = Sort::Int;
+      T->IntVal = tok().IntVal;
+      bump();
+      return fromTerm(T, L);
+    }
+    if (accept(Tok::LParen)) {
+      SpecVal V = parseSpecExpr();
+      expect(Tok::RParen, "')'");
+      return V;
+    }
+    if (tok().isIdent("nil") || tok().isIdent("NULL")) {
+      bump();
+      auto T = newTerm(TermKind::Nil, L);
+      T->TermSort = Sort::Loc;
+      return fromTerm(T, L);
+    }
+    if (tok().isIdent("result")) {
+      bump();
+      auto T = newTerm(TermKind::Result, L);
+      if (!AllowResult || !CurFunc) {
+        Diag.error(L, "'result' is only allowed in ensures clauses");
+        T->TermSort = Sort::Int;
+      } else if (CurFunc->RetTy.isPtr()) {
+        T->TermSort = Sort::Loc;
+        T->StructName =
+            CurFunc->RetTy.Pointee ? CurFunc->RetTy.Pointee->Name : "";
+      } else if (CurFunc->RetTy.isInt()) {
+        T->TermSort = Sort::Int;
+      } else {
+        Diag.error(L, "'result' in a void function");
+        T->TermSort = Sort::Int;
+      }
+      return fromTerm(T, L);
+    }
+    if (tok().isIdent("old")) {
+      bump();
+      expect(Tok::LParen, "'(' after old");
+      SpecVal V = parseSpecExpr();
+      expect(Tok::RParen, "')'");
+      if (V.F) {
+        auto F = newFormula(FormulaKind::OldF, L);
+        F->Subs = {V.F};
+        return fromFormula(F, L);
+      }
+      auto T = newTerm(TermKind::Old, L);
+      T->TermSort = V.T->sort();
+      T->StructName = V.T->StructName;
+      T->Args = {V.T};
+      return fromTerm(T, L);
+    }
+    if (tok().isIdent("pure")) {
+      bump();
+      expect(Tok::LParen, "'(' after pure");
+      FormulaRef Sub = toFormula(parseSpecExpr());
+      expect(Tok::RParen, "')'");
+      auto F = newFormula(FormulaKind::Pure, L);
+      F->Subs = {Sub};
+      return fromFormula(F, L);
+    }
+    if (tok().isIdent("emp")) {
+      bump();
+      return fromFormula(newFormula(FormulaKind::Emp, L), L);
+    }
+    if (tok().isIdent("true")) {
+      bump();
+      return fromFormula(newFormula(FormulaKind::True, L), L);
+    }
+    if (tok().isIdent("false")) {
+      bump();
+      return fromFormula(newFormula(FormulaKind::False, L), L);
+    }
+    if (tok().isIdent("emptyset") || tok().isIdent("memptyset") ||
+        tok().isIdent("locemptyset")) {
+      Sort S = tok().isIdent("emptyset")
+                   ? Sort::SetInt
+                   : (tok().isIdent("memptyset") ? Sort::MSetInt
+                                                 : Sort::SetLoc);
+      bump();
+      auto T = newTerm(TermKind::EmptySet, L);
+      T->TermSort = S;
+      return fromTerm(T, L);
+    }
+    if (tok().isIdent("singleton") || tok().isIdent("msingleton")) {
+      bool IsMulti = tok().isIdent("msingleton");
+      bump();
+      expect(Tok::LParen, "'('");
+      TermRef Elem = toTerm(parseSpecExpr());
+      expect(Tok::RParen, "')'");
+      auto T = newTerm(TermKind::Singleton, L);
+      if (Elem->sort() == Sort::Loc) {
+        if (IsMulti)
+          Diag.error(L, "multisets of locations are not supported");
+        T->TermSort = Sort::SetLoc;
+      } else {
+        T->TermSort = IsMulti ? Sort::MSetInt : Sort::SetInt;
+      }
+      T->Args = {Elem};
+      return fromTerm(T, L);
+    }
+    if (tok().isIdent("disjoint")) {
+      bump();
+      expect(Tok::LParen, "'('");
+      TermRef A = toTerm(parseSpecExpr());
+      expect(Tok::Comma, "','");
+      TermRef B = toTerm(parseSpecExpr());
+      expect(Tok::RParen, "')'");
+      unifySetSorts(A, B);
+      if (A->sort() != B->sort() || !vir::isSetSort(A->sort()))
+        Diag.error(L, "disjoint() requires two sets of the same sort");
+      auto F = newFormula(FormulaKind::Disjoint, L);
+      F->Terms = {A, B};
+      return fromFormula(F, L);
+    }
+    if (tok().isIdent("heaplet")) {
+      bump();
+      std::string DefName = expectIdent("definition name");
+      std::vector<TermRef> Args = parseSpecArgs();
+      const dryad::RecDef *Def = Prog->Defs.lookup(DefName);
+      if (!Def)
+        Diag.error(L, "heaplet of unknown definition '" + DefName + "'");
+      else if (Def->Params.size() != Args.size())
+        Diag.error(L, "wrong number of arguments to heaplet " + DefName);
+      auto T = newTerm(TermKind::HeapletOf, L);
+      T->Name = DefName;
+      T->TermSort = Sort::SetLoc;
+      T->Args = std::move(Args);
+      return fromTerm(T, L);
+    }
+    if (tok().is(Tok::Ident)) {
+      std::string Name = tok().Text;
+      bump();
+      if (tok().is(Tok::LParen)) {
+        std::vector<TermRef> Args = parseSpecArgs();
+        const dryad::RecDef *Def = Prog->Defs.lookup(Name);
+        if (!Def) {
+          Diag.error(L, "unknown recursive definition '" + Name + "'");
+          auto F = newFormula(FormulaKind::True, L);
+          return fromFormula(F, L);
+        }
+        if (Def->Params.size() != Args.size())
+          Diag.error(L, "wrong number of arguments to '" + Name + "'");
+        if (Def->IsPredicate) {
+          auto F = newFormula(FormulaKind::PredApp, L);
+          F->Name = Name;
+          F->Terms = std::move(Args);
+          return fromFormula(F, L);
+        }
+        auto T = newTerm(TermKind::DefApp, L);
+        T->Name = Name;
+        T->TermSort = Def->RetSort;
+        T->Args = std::move(Args);
+        return fromTerm(T, L);
+      }
+      Sort S;
+      std::string StructName;
+      auto T = newTerm(TermKind::Var, L);
+      T->Name = Name;
+      if (specLookupVar(Name, S, StructName)) {
+        T->TermSort = S;
+        T->StructName = StructName;
+      } else {
+        Diag.error(L, "use of undeclared variable '" + Name +
+                          "' in specification");
+        T->TermSort = Sort::Int;
+      }
+      return fromTerm(T, L);
+    }
+    Diag.error(L, "expected a specification expression");
+    bump();
+    return fromFormula(newFormula(FormulaKind::True, L), L);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // DRYAD definitions and axioms
+  //===--------------------------------------------------------------------===//
+
+  std::vector<dryad::SpecParam> parseSpecParams() {
+    std::vector<dryad::SpecParam> Params;
+    expect(Tok::LParen, "'('");
+    if (!tok().is(Tok::RParen)) {
+      do {
+        dryad::SpecParam P;
+        if (acceptIdent("int")) {
+          P.ParamSort = Sort::Int;
+        } else if (acceptIdent("struct")) {
+          P.StructName = expectIdent("struct name");
+          expect(Tok::Star, "'*'");
+          P.ParamSort = Sort::Loc;
+          findOrCreateStruct(P.StructName, loc());
+        } else {
+          Diag.error(loc(), "expected parameter type");
+          bump();
+        }
+        P.Name = expectIdent("parameter name");
+        Params.push_back(std::move(P));
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "')'");
+    return Params;
+  }
+
+  void withSpecParams(const std::vector<dryad::SpecParam> &Params,
+                      const std::function<void()> &Fn) {
+    auto Saved = SpecParamScope;
+    for (const dryad::SpecParam &P : Params)
+      SpecParamScope[P.Name] = {P.ParamSort, P.StructName};
+    Fn();
+    SpecParamScope = std::move(Saved);
+  }
+
+  Sort parseSpecRetSort() {
+    if (acceptIdent("int"))
+      return Sort::Int;
+    if (acceptIdent("intset"))
+      return Sort::SetInt;
+    if (acceptIdent("intmultiset"))
+      return Sort::MSetInt;
+    if (acceptIdent("locset"))
+      return Sort::SetLoc;
+    Diag.error(loc(), "expected a spec function sort "
+                      "(int, intset, intmultiset, locset)");
+    bump();
+    return Sort::Int;
+  }
+
+  void parseDryadIsland() {
+    accept(Tok::SpecOpen);
+    acceptIdent("dryad");
+    while (!tok().is(Tok::RParen) && !tok().is(Tok::Eof)) {
+      SourceLoc L = loc();
+      if (acceptIdent("predicate")) {
+        dryad::RecDef Def;
+        Def.Loc = L;
+        Def.IsPredicate = true;
+        Def.Name = expectIdent("predicate name");
+        Def.Params = parseSpecParams();
+        if (!Prog->Defs.add(Def)) {
+          Diag.error(L, "redefinition of '" + Def.Name + "'");
+          recover();
+          continue;
+        }
+        expect(Tok::Assign, "'='");
+        FormulaRef Body;
+        withSpecParams(Def.Params,
+                       [&] { Body = toFormula(parseSpecExpr()); });
+        Prog->Defs.lookupMut(Def.Name)->PredBody = Body;
+        expect(Tok::Semi, "';'");
+        continue;
+      }
+      if (acceptIdent("function")) {
+        dryad::RecDef Def;
+        Def.Loc = L;
+        Def.IsPredicate = false;
+        Def.RetSort = parseSpecRetSort();
+        Def.Name = expectIdent("function name");
+        Def.Params = parseSpecParams();
+        if (!Prog->Defs.add(Def)) {
+          Diag.error(L, "redefinition of '" + Def.Name + "'");
+          recover();
+          continue;
+        }
+        expect(Tok::Assign, "'='");
+        TermRef Body;
+        withSpecParams(Def.Params, [&] { Body = toTerm(parseSpecExpr()); });
+        if (Body->sort() != Def.RetSort) {
+          TermRef B2 = coerceEmpty(Body, Def.RetSort);
+          if (B2->sort() != Def.RetSort)
+            Diag.error(L, "body sort does not match declared sort of '" +
+                              Def.Name + "'");
+          Body = B2;
+        }
+        Prog->Defs.lookupMut(Def.Name)->FnBody = Body;
+        expect(Tok::Semi, "';'");
+        continue;
+      }
+      if (acceptIdent("axiom")) {
+        dryad::AxiomDecl Ax;
+        Ax.Loc = L;
+        Ax.Params = parseSpecParams();
+        withSpecParams(Ax.Params,
+                       [&] { Ax.Body = toFormula(parseSpecExpr()); });
+        expect(Tok::Semi, "';'");
+        Prog->Defs.Axioms.push_back(std::move(Ax));
+        continue;
+      }
+      Diag.error(L, "expected predicate, function or axiom");
+      recover();
+    }
+    expect(Tok::RParen, "')' closing _(dryad ...)");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  StmtRef mkStmt(StmtKind K, SourceLoc L) {
+    auto S = std::make_shared<Stmt>(K);
+    S->Loc = L;
+    return S;
+  }
+
+  StmtRef parseBlock() {
+    SourceLoc L = loc();
+    expect(Tok::LBrace, "'{'");
+    Scopes.emplace_back();
+    StmtRef B = mkStmt(StmtKind::Block, L);
+    while (!tok().is(Tok::RBrace) && !tok().is(Tok::Eof))
+      B->Stmts.push_back(parseStmt());
+    expect(Tok::RBrace, "'}'");
+    Scopes.pop_back();
+    return B;
+  }
+
+  StmtRef parseStmt() {
+    SourceLoc L = loc();
+    if (tok().is(Tok::LBrace))
+      return parseBlock();
+    if (atType()) {
+      CType Ty = parseType();
+      std::string Name = expectIdent("variable name");
+      StmtRef S = mkStmt(StmtKind::Decl, L);
+      S->DeclName = Name;
+      S->DeclTy = Ty;
+      if (accept(Tok::Assign)) {
+        S->Rhs = parseExpr();
+        if (!typeCompatible(Ty, S->Rhs->Ty))
+          Diag.error(L, "initializer type mismatch for '" + Name + "'");
+      }
+      expect(Tok::Semi, "';'");
+      declareVar(Name, Ty, L);
+      return S;
+    }
+    if (acceptIdent("if")) {
+      expect(Tok::LParen, "'('");
+      ExprRef Cond = parseExpr();
+      expect(Tok::RParen, "')'");
+      StmtRef S = mkStmt(StmtKind::If, L);
+      S->Cond = Cond;
+      S->Then = parseStmt();
+      if (acceptIdent("else"))
+        S->Else = parseStmt();
+      return S;
+    }
+    if (acceptIdent("while")) {
+      expect(Tok::LParen, "'('");
+      ExprRef Cond = parseExpr();
+      expect(Tok::RParen, "')'");
+      StmtRef S = mkStmt(StmtKind::While, L);
+      S->Cond = Cond;
+      while (tok().is(Tok::SpecOpen) && tok(1).isIdent("invariant")) {
+        bump();
+        bump();
+        S->Invariants.push_back(toFormula(parseSpecExpr()));
+        expect(Tok::RParen, "')' closing _(invariant ...)");
+      }
+      S->Then = parseStmt();
+      return S;
+    }
+    if (acceptIdent("return")) {
+      StmtRef S = mkStmt(StmtKind::Return, L);
+      if (!tok().is(Tok::Semi)) {
+        S->Rhs = parseExpr();
+        if (CurFunc && !typeCompatible(CurFunc->RetTy, S->Rhs->Ty))
+          Diag.error(L, "return type mismatch");
+      } else if (CurFunc && !CurFunc->RetTy.isVoid()) {
+        Diag.error(L, "non-void function must return a value");
+      }
+      expect(Tok::Semi, "';'");
+      return S;
+    }
+    if (tok().isIdent("free") && tok(1).is(Tok::LParen)) {
+      bump();
+      bump();
+      StmtRef S = mkStmt(StmtKind::Free, L);
+      S->Rhs = parseExpr();
+      if (!S->Rhs->Ty.isPtr())
+        Diag.error(L, "free() requires a pointer");
+      expect(Tok::RParen, "')'");
+      expect(Tok::Semi, "';'");
+      return S;
+    }
+    if (tok().is(Tok::SpecOpen)) {
+      bump();
+      bool IsAssert = tok().isIdent("assert");
+      bool IsAssume = tok().isIdent("assume");
+      if (!IsAssert && !IsAssume) {
+        Diag.error(loc(), "expected assert or assume in statement spec");
+        recover();
+        return mkStmt(StmtKind::Block, L);
+      }
+      bump();
+      StmtRef S = mkStmt(IsAssert ? StmtKind::Assert : StmtKind::Assume, L);
+      S->Spec = toFormula(parseSpecExpr());
+      expect(Tok::RParen, "')'");
+      return S;
+    }
+    // Assignment or expression statement.
+    ExprRef E = parseExpr();
+    if (accept(Tok::Assign)) {
+      StmtRef S = mkStmt(StmtKind::Assign, L);
+      if (E->Kind != ExprKind::Var && E->Kind != ExprKind::FieldAccess)
+        Diag.error(L, "assignment target must be a variable or a field");
+      S->Lhs = E;
+      S->Rhs = parseExpr();
+      if (!typeCompatible(E->Ty, S->Rhs->Ty))
+        Diag.error(L, "assignment type mismatch");
+      expect(Tok::Semi, "';'");
+      return S;
+    }
+    if (E->Kind != ExprKind::Call)
+      Diag.error(L, "expression statement must be a call");
+    StmtRef S = mkStmt(StmtKind::ExprStmt, L);
+    S->Rhs = E;
+    expect(Tok::Semi, "';'");
+    return S;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Functions
+  //===--------------------------------------------------------------------===//
+
+  void parseFunction() {
+    SourceLoc L = loc();
+    if (!atType()) {
+      Diag.error(L, "expected a declaration");
+      recover();
+      return;
+    }
+    CType RetTy = parseType();
+    std::string Name = expectIdent("function name");
+
+    auto FD = std::make_unique<FuncDecl>();
+    FD->Name = Name;
+    FD->RetTy = RetTy;
+    FD->Loc = L;
+    FuncDecl *F = FD.get();
+
+    expect(Tok::LParen, "'('");
+    Scopes.emplace_back();
+    if (!tok().is(Tok::RParen)) {
+      do {
+        SourceLoc PL = loc();
+        if (acceptIdent("void"))
+          break; // f(void)
+        CType PT = parseType();
+        std::string PN = expectIdent("parameter name");
+        F->Params.push_back({PN, PT, PL});
+        declareVar(PN, PT, PL);
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "')'");
+
+    // Register before parsing contracts/body: recursion.
+    if (FuncDecl *Prev = Prog->findFunc(Name)) {
+      (void)Prev;
+      Diag.error(L, "redefinition of function '" + Name + "'");
+    }
+    Prog->Funcs.push_back(std::move(FD));
+
+    FuncDecl *SavedFunc = CurFunc;
+    CurFunc = F;
+    while (tok().is(Tok::SpecOpen)) {
+      bump();
+      bool IsReq = tok().isIdent("requires");
+      bool IsEns = tok().isIdent("ensures");
+      if (!IsReq && !IsEns) {
+        Diag.error(loc(), "expected requires or ensures");
+        recover();
+        continue;
+      }
+      bump();
+      AllowResult = IsEns;
+      FormulaRef Spec = toFormula(parseSpecExpr());
+      AllowResult = false;
+      expect(Tok::RParen, "')' closing contract");
+      (IsReq ? F->Requires : F->Ensures).push_back(Spec);
+    }
+
+    if (accept(Tok::Semi)) {
+      // Declaration only.
+    } else {
+      F->Body = parseBlock();
+    }
+    CurFunc = SavedFunc;
+    Scopes.pop_back();
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Program> cfront::parseProgram(const std::string &Source,
+                                              DiagnosticEngine &Diag) {
+  std::vector<Token> Toks = lex(Source, Diag);
+  return ParserImpl(std::move(Toks), Diag).run();
+}
+
+std::unique_ptr<Program> cfront::parseFile(const std::string &Path,
+                                           DiagnosticEngine &Diag) {
+  auto Content = readFile(Path);
+  if (!Content) {
+    Diag.error({}, "cannot open file '" + Path + "'");
+    return nullptr;
+  }
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "" : Path.substr(0, Slash);
+  std::string Expanded = preprocess(*Content, Dir, Diag);
+  return parseProgram(Expanded, Diag);
+}

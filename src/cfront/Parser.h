@@ -1,0 +1,44 @@
+//===- Parser.h - Recursive-descent parser for mini-C + DRYAD ---*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses a translation unit: struct declarations, `_(dryad ...)`
+/// islands with recursive definitions and data-structure axioms,
+/// and functions with `_(requires/ensures)` contracts, `_(invariant)`
+/// loop annotations and `_(assert/assume)` statements. Typing is done
+/// during parsing (the subset is simple enough that a separate Sema
+/// pass would duplicate the scope bookkeeping).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_CFRONT_PARSER_H
+#define VCDRYAD_CFRONT_PARSER_H
+
+#include "cfront/Ast.h"
+#include "cfront/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string>
+
+namespace vcdryad {
+namespace cfront {
+
+/// Parses \p Source (already preprocessed). Returns a program even on
+/// errors (check \p Diag.hasErrors()).
+std::unique_ptr<Program> parseProgram(const std::string &Source,
+                                      DiagnosticEngine &Diag);
+
+/// Convenience: preprocess (resolving includes relative to the file's
+/// directory) and parse a file. Returns null if the file cannot be
+/// read.
+std::unique_ptr<Program> parseFile(const std::string &Path,
+                                   DiagnosticEngine &Diag);
+
+} // namespace cfront
+} // namespace vcdryad
+
+#endif // VCDRYAD_CFRONT_PARSER_H

@@ -1,0 +1,263 @@
+//===- Spec.cpp - The DRYAD specification logic ----------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dryad/Spec.h"
+
+#include <cassert>
+#include <set>
+
+using namespace vcdryad;
+using namespace vcdryad::dryad;
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+static std::string argsStr(const std::vector<TermRef> &Args) {
+  std::string Out = "(";
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Args[I]->str();
+  }
+  Out += ")";
+  return Out;
+}
+
+std::string Term::str() const {
+  switch (Kind) {
+  case TermKind::Var:
+    return Name;
+  case TermKind::Nil:
+    return "nil";
+  case TermKind::IntLit:
+    return std::to_string(IntVal);
+  case TermKind::Result:
+    return "result";
+  case TermKind::Add:
+    return "(" + Args[0]->str() + " + " + Args[1]->str() + ")";
+  case TermKind::Sub:
+    return "(" + Args[0]->str() + " - " + Args[1]->str() + ")";
+  case TermKind::FieldRead:
+    return Args[0]->str() + "->" + Name;
+  case TermKind::DefApp:
+    return Name + argsStr(Args);
+  case TermKind::HeapletOf:
+    return "heaplet " + Name + argsStr(Args);
+  case TermKind::Old:
+    return "old(" + Args[0]->str() + ")";
+  case TermKind::EmptySet:
+    return TermSort == Sort::MSetInt ? "memptyset" : "emptyset";
+  case TermKind::Singleton:
+    return (TermSort == Sort::MSetInt ? "msingleton(" : "singleton(") +
+           Args[0]->str() + ")";
+  case TermKind::SetUnion:
+    return "(" + Args[0]->str() + " union " + Args[1]->str() + ")";
+  case TermKind::SetInter:
+    return "(" + Args[0]->str() + " inter " + Args[1]->str() + ")";
+  case TermKind::SetMinus:
+    return "(" + Args[0]->str() + " setminus " + Args[1]->str() + ")";
+  case TermKind::Ite:
+    return "(" + CondF->str() + " ? " + Args[0]->str() + " : " +
+           Args[1]->str() + ")";
+  }
+  return "?";
+}
+
+static const char *cmpOpStr(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::Eq:
+    return "==";
+  case CmpOp::Ne:
+    return "!=";
+  case CmpOp::Lt:
+    return "<";
+  case CmpOp::Le:
+    return "<=";
+  case CmpOp::Gt:
+    return ">";
+  case CmpOp::Ge:
+    return ">=";
+  }
+  return "?";
+}
+
+std::string Formula::str() const {
+  switch (Kind) {
+  case FormulaKind::True:
+    return "true";
+  case FormulaKind::False:
+    return "false";
+  case FormulaKind::Emp:
+    return "emp";
+  case FormulaKind::PointsTo:
+    return Terms[0]->str() + " |->";
+  case FormulaKind::Cmp:
+    return "(" + Terms[0]->str() + " " + cmpOpStr(Op) + " " +
+           Terms[1]->str() + ")";
+  case FormulaKind::In:
+    return "(" + Terms[0]->str() + (Negated ? " !in " : " in ") +
+           Terms[1]->str() + ")";
+  case FormulaKind::SubsetOf:
+    return "(" + Terms[0]->str() + (Negated ? " !subset " : " subset ") +
+           Terms[1]->str() + ")";
+  case FormulaKind::Disjoint:
+    return "disjoint(" + Terms[0]->str() + ", " + Terms[1]->str() + ")";
+  case FormulaKind::PredApp:
+    return Name + argsStr(Terms);
+  case FormulaKind::Not:
+    return "!" + Subs[0]->str();
+  case FormulaKind::And:
+    return "(" + Subs[0]->str() + " && " + Subs[1]->str() + ")";
+  case FormulaKind::Or:
+    return "(" + Subs[0]->str() + " || " + Subs[1]->str() + ")";
+  case FormulaKind::Sep:
+    return "(" + Subs[0]->str() + " * " + Subs[1]->str() + ")";
+  case FormulaKind::Implies:
+    return "(" + Subs[0]->str() + " ==> " + Subs[1]->str() + ")";
+  case FormulaKind::OldF:
+    return "old(" + Subs[0]->str() + ")";
+  case FormulaKind::Pure:
+    return "pure(" + Subs[0]->str() + ")";
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// DefTable
+//===----------------------------------------------------------------------===//
+
+bool DefTable::add(RecDef Def) {
+  auto [It, Inserted] = Defs.emplace(Def.Name, std::move(Def));
+  (void)It;
+  return Inserted;
+}
+
+std::vector<const RecDef *>
+DefTable::defsForStruct(const std::string &StructName) const {
+  std::vector<const RecDef *> Out;
+  for (const auto &[Name, Def] : Defs) {
+    if (Def.Params.empty())
+      continue;
+    const SpecParam &P0 = Def.Params.front();
+    if (P0.ParamSort == Sort::Loc && P0.StructName == StructName)
+      Out.push_back(&Def);
+  }
+  return Out;
+}
+
+namespace {
+
+/// Collects direct field reads, points-to field sets, and definition
+/// call edges from a definition body.
+class DepScanner {
+public:
+  DepScanner(const StructTable &Structs) : Structs(Structs) {}
+
+  std::set<FieldKey> DirectFields;
+  std::set<std::string> Callees;
+
+  void scanTerm(const Term &T) {
+    switch (T.Kind) {
+    case TermKind::FieldRead: {
+      const Term &Base = *T.Args[0];
+      addField(Base.StructName, T.Name);
+      break;
+    }
+    case TermKind::DefApp:
+    case TermKind::HeapletOf:
+      Callees.insert(T.Name);
+      break;
+    default:
+      break;
+    }
+    for (const TermRef &A : T.Args)
+      scanTerm(*A);
+    if (T.CondF)
+      scanFormula(*T.CondF);
+  }
+
+  void scanFormula(const Formula &F) {
+    switch (F.Kind) {
+    case FormulaKind::PointsTo: {
+      // x |-> exposes every field of x's struct.
+      const std::string &SN = F.Terms[0]->StructName;
+      if (const StructInfo *SI = Structs.lookup(SN))
+        for (const FieldInfo &FI : SI->Fields)
+          DirectFields.insert({SN, FI.Name, FI.FieldSort});
+      break;
+    }
+    case FormulaKind::PredApp:
+      Callees.insert(F.Name);
+      break;
+    default:
+      break;
+    }
+    for (const TermRef &T : F.Terms)
+      scanTerm(*T);
+    for (const FormulaRef &S : F.Subs)
+      scanFormula(*S);
+  }
+
+private:
+  const StructTable &Structs;
+
+  void addField(const std::string &StructName, const std::string &Field) {
+    const StructInfo *SI = Structs.lookup(StructName);
+    if (!SI)
+      return;
+    const FieldInfo *FI = SI->findField(Field);
+    if (!FI)
+      return;
+    DirectFields.insert({StructName, Field, FI->FieldSort});
+  }
+};
+
+} // namespace
+
+std::vector<FieldKey> dryad::axiomFieldDeps(const AxiomDecl &Ax,
+                                            const DefTable &Defs,
+                                            const StructTable &Structs) {
+  DepScanner Scan(Structs);
+  if (Ax.Body)
+    Scan.scanFormula(*Ax.Body);
+  std::set<FieldKey> Keys = Scan.DirectFields;
+  for (const std::string &Callee : Scan.Callees)
+    if (const RecDef *Def = Defs.lookup(Callee))
+      Keys.insert(Def->Fields.begin(), Def->Fields.end());
+  return {Keys.begin(), Keys.end()};
+}
+
+void DefTable::finalize(const StructTable &Structs) {
+  // Direct dependencies and the call graph.
+  std::map<std::string, std::set<FieldKey>> FieldsOf;
+  std::map<std::string, std::set<std::string>> CalleesOf;
+  for (const auto &[Name, Def] : Defs) {
+    DepScanner Scan(Structs);
+    if (Def.PredBody)
+      Scan.scanFormula(*Def.PredBody);
+    if (Def.FnBody)
+      Scan.scanTerm(*Def.FnBody);
+    FieldsOf[Name] = std::move(Scan.DirectFields);
+    CalleesOf[Name] = std::move(Scan.Callees);
+  }
+  // Transitive closure (fixpoint; the def table is small).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (auto &[Name, Fields] : FieldsOf) {
+      for (const std::string &Callee : CalleesOf[Name]) {
+        auto It = FieldsOf.find(Callee);
+        if (It == FieldsOf.end())
+          continue;
+        for (const FieldKey &FK : It->second)
+          Changed |= Fields.insert(FK).second;
+      }
+    }
+  }
+  for (auto &[Name, Def] : Defs)
+    Def.Fields.assign(FieldsOf[Name].begin(), FieldsOf[Name].end());
+}

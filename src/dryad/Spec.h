@@ -1,0 +1,270 @@
+//===- Spec.h - The DRYAD specification logic -------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST of the DRYAD separation-logic dialect (Figure 2 of the paper):
+/// multi-sorted terms over locations, integers, sets and multisets,
+/// separation-logic formulas without explicit quantification, and
+/// user-provided recursive definitions. Also the struct-shape table
+/// the logic needs to resolve field accesses, and the data-structure
+/// axiom declarations of Section 4.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_DRYAD_SPEC_H
+#define VCDRYAD_DRYAD_SPEC_H
+
+#include "support/SourceLoc.h"
+#include "vir/Sort.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace dryad {
+
+using vir::Sort;
+
+//===----------------------------------------------------------------------===//
+// Struct shapes
+//===----------------------------------------------------------------------===//
+
+/// One field of a heap struct, as the logic sees it: either a pointer
+/// to some struct (sort Loc) or data (sort Int).
+struct FieldInfo {
+  std::string Name;
+  Sort FieldSort;           ///< Sort::Loc or Sort::Int.
+  std::string TargetStruct; ///< For pointer fields: pointee struct name.
+};
+
+/// The heap shape of one C struct.
+struct StructInfo {
+  std::string Name;
+  std::vector<FieldInfo> Fields;
+
+  const FieldInfo *findField(const std::string &F) const {
+    for (const FieldInfo &FI : Fields)
+      if (FI.Name == F)
+        return &FI;
+    return nullptr;
+  }
+};
+
+/// All struct shapes of a program, keyed by name.
+class StructTable {
+public:
+  const StructInfo *lookup(const std::string &Name) const {
+    auto It = Structs.find(Name);
+    return It == Structs.end() ? nullptr : &It->second;
+  }
+  StructInfo &add(std::string Name) {
+    return Structs[Name] = StructInfo{Name, {}};
+  }
+  const std::map<std::string, StructInfo> &all() const { return Structs; }
+
+private:
+  std::map<std::string, StructInfo> Structs;
+};
+
+/// Identifies one field array of the Burstall-Bornat heap model.
+struct FieldKey {
+  std::string Struct;
+  std::string Field;
+  Sort FieldSort;
+
+  /// The VIR variable name of this field's array, e.g. "$node$next".
+  std::string arrayName() const { return "$" + Struct + "$" + Field; }
+  /// Sort of the field array variable.
+  Sort arraySort() const {
+    return FieldSort == Sort::Loc ? Sort::ArrLocLoc : Sort::ArrLocInt;
+  }
+
+  auto operator<=>(const FieldKey &RHS) const = default;
+};
+
+//===----------------------------------------------------------------------===//
+// Terms
+//===----------------------------------------------------------------------===//
+
+enum class TermKind {
+  Var,       ///< Program or spec variable.
+  Nil,       ///< The nil location (C NULL).
+  IntLit,    ///< Integer constant.
+  Result,    ///< \c result in postconditions.
+  Add,       ///< Integer +.
+  Sub,       ///< Integer -.
+  FieldRead, ///< base->field (guarded dereference).
+  DefApp,    ///< Application of a recursive function, e.g. keys(x).
+  HeapletOf, ///< heaplet d(args): the heap domain of a definition
+             ///< (axiom language, Section 4.3).
+  Old,       ///< old(t) in postconditions.
+  EmptySet,  ///< emptyset / memptyset, sort-directed.
+  Singleton, ///< singleton(t) / msingleton(t).
+  SetUnion,
+  SetInter,
+  SetMinus,
+  Ite, ///< cond ? t : e — used by recursive function bodies.
+};
+
+struct Term;
+struct Formula;
+using TermRef = std::shared_ptr<const Term>;
+using FormulaRef = std::shared_ptr<const Formula>;
+
+/// A DRYAD term. Sorts are resolved at parse time; Loc-sorted terms
+/// carry the struct they point into (empty for nil).
+struct Term {
+  TermKind Kind;
+  Sort TermSort = Sort::Int;
+  std::string StructName; ///< For Loc-sorted terms: pointee struct.
+  std::string Name;       ///< Var name / field name / definition name.
+  int64_t IntVal = 0;
+  std::vector<TermRef> Args;
+  FormulaRef CondF; ///< For Ite: condition (a pure formula).
+  SourceLoc Loc;
+
+  explicit Term(TermKind K) : Kind(K) {}
+
+  Sort sort() const { return TermSort; }
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Formulas
+//===----------------------------------------------------------------------===//
+
+/// Comparison operators as written; typing resolves them to integer,
+/// location or set-ordering atoms.
+enum class CmpOp { Eq, Ne, Lt, Le, Gt, Ge };
+
+enum class FormulaKind {
+  True,
+  False,
+  Emp,      ///< Empty-heap assertion.
+  PointsTo, ///< x |-> : heaplet is exactly {x}, fields readable.
+  Cmp,      ///< t1 op t2, type-directed (int, loc, set-order).
+  In,       ///< t in S (or negated).
+  SubsetOf, ///< S1 subset S2 (or negated).
+  Disjoint, ///< disjoint(S1, S2).
+  PredApp,  ///< Application of a recursive predicate.
+  Not,      ///< Negation; restricted to pure formulas.
+  And,
+  Or,
+  Sep,     ///< Separating conjunction *.
+  Implies, ///< Axiom language only.
+  OldF,    ///< old(phi) in postconditions (heapless).
+  Pure,    ///< pure(phi): classical (heapless) reading; the formula
+           ///< holds of its own scope, without pinning the heaplet.
+};
+
+/// A DRYAD formula.
+struct Formula {
+  FormulaKind Kind;
+  CmpOp Op = CmpOp::Eq;     ///< For Cmp.
+  bool Negated = false;     ///< For In / SubsetOf.
+  std::string Name;         ///< For PredApp: definition name.
+  std::vector<TermRef> Terms;
+  std::vector<FormulaRef> Subs;
+  SourceLoc Loc;
+
+  explicit Formula(FormulaKind K) : Kind(K) {}
+
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Recursive definitions and axioms
+//===----------------------------------------------------------------------===//
+
+/// A parameter of a recursive definition or an axiom.
+struct SpecParam {
+  std::string Name;
+  Sort ParamSort;
+  std::string StructName; ///< For Loc params.
+};
+
+/// A user-provided recursive definition: a predicate (body is a
+/// formula) or a function (body is an ITE term chain). The heap
+/// domain ("heaplet") definition is derived from the body, as in
+/// Section 2 of the paper.
+struct RecDef {
+  std::string Name;
+  bool IsPredicate = true;
+  Sort RetSort = Sort::Bool; ///< For functions: intset/int/...
+  std::vector<SpecParam> Params;
+  FormulaRef PredBody; ///< Predicates.
+  TermRef FnBody;      ///< Functions.
+  SourceLoc Loc;
+
+  /// The field arrays this definition (transitively) depends on, in a
+  /// canonical order. Computed by DefTable::finalize().
+  std::vector<FieldKey> Fields;
+
+  /// VIR function-symbol names for the definition and its heaplet.
+  std::string symbolName() const { return Name; }
+  std::string heapletSymbolName() const { return Name + "$hp"; }
+};
+
+/// A data-structure axiom (Section 4.3): a classical implication over
+/// definitions and heaplet terms, instantiated over footprint tuples
+/// (default) or passed quantified (ablation mode).
+struct AxiomDecl {
+  std::vector<SpecParam> Params;
+  FormulaRef Body; ///< Typically an Implies.
+  SourceLoc Loc;
+};
+
+/// The field arrays an axiom body (transitively, through the
+/// definitions it mentions) depends on. Used by the quantified-axiom
+/// mode to close the axiom over the heap state.
+std::vector<FieldKey> axiomFieldDeps(const AxiomDecl &Ax,
+                                     const class DefTable &Defs,
+                                     const StructTable &Structs);
+
+/// All recursive definitions of a program, plus the derived field
+/// dependency sets.
+class DefTable {
+public:
+  /// Adds a definition; returns false if the name is taken.
+  bool add(RecDef Def);
+
+  const RecDef *lookup(const std::string &Name) const {
+    auto It = Defs.find(Name);
+    return It == Defs.end() ? nullptr : &It->second;
+  }
+
+  /// Mutable lookup, used by the parser to fill in a definition body
+  /// after the signature was registered (self-recursion).
+  RecDef *lookupMut(const std::string &Name) {
+    auto It = Defs.find(Name);
+    return It == Defs.end() ? nullptr : &It->second;
+  }
+
+  /// Definitions whose first parameter is a pointer to \p StructName;
+  /// these are the "pertinent definitions" unfolded when a location of
+  /// that type is dereferenced (defs(T) in Figure 5).
+  std::vector<const RecDef *>
+  defsForStruct(const std::string &StructName) const;
+
+  const std::map<std::string, RecDef> &all() const { return Defs; }
+
+  std::vector<AxiomDecl> Axioms;
+
+  /// Computes the transitive field dependency sets of every
+  /// definition (fixpoint over DefApp/PredApp edges). Call once after
+  /// all definitions are added.
+  void finalize(const StructTable &Structs);
+
+private:
+  std::map<std::string, RecDef> Defs;
+};
+
+} // namespace dryad
+} // namespace vcdryad
+
+#endif // VCDRYAD_DRYAD_SPEC_H

@@ -1,0 +1,617 @@
+//===- Translate.cpp - DRYAD to classical logic (Figure 4) -----------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dryad/Translate.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace vcdryad;
+using namespace vcdryad::dryad;
+using namespace vcdryad::vir;
+
+std::function<LExprRef(const FieldKey &)>
+dryad::prefixedArrays(std::string Prefix) {
+  return [Prefix = std::move(Prefix)](const FieldKey &FK) {
+    return mkVar(Prefix + FK.arrayName(), FK.arraySort());
+  };
+}
+
+/// Union that folds away syntactic empty sets.
+static LExprRef unionOf(LExprRef A, LExprRef B) {
+  if (A->Op == LOp::EmptySet)
+    return B;
+  if (B->Op == LOp::EmptySet)
+    return A;
+  return mkUnion(std::move(A), std::move(B));
+}
+
+static LExprRef emptyLocSet() { return mkEmptySet(Sort::SetLoc); }
+
+LExprRef Translator::error(SourceLoc Loc, const std::string &Msg) {
+  Diag.error(Loc, Msg);
+  return mkBool(true);
+}
+
+//===----------------------------------------------------------------------===//
+// Domain-exactness (Section 2)
+//===----------------------------------------------------------------------===//
+
+bool Translator::domainExactTerm(const TermRef &T) const {
+  switch (T->Kind) {
+  case TermKind::DefApp:
+    return true;
+  case TermKind::Add:
+  case TermKind::Sub:
+  case TermKind::SetUnion:
+  case TermKind::SetInter:
+  case TermKind::SetMinus:
+    return domainExactTerm(T->Args[0]) && domainExactTerm(T->Args[1]);
+  case TermKind::Ite:
+    return domainExactTerm(T->Args[0]) && domainExactTerm(T->Args[1]);
+  default:
+    return false;
+  }
+}
+
+bool Translator::domainExactFormula(const FormulaRef &F) const {
+  switch (F->Kind) {
+  case FormulaKind::Emp:
+  case FormulaKind::PointsTo:
+  case FormulaKind::PredApp:
+    return true;
+  case FormulaKind::Cmp:
+  case FormulaKind::In:
+  case FormulaKind::SubsetOf:
+    return domainExactTerm(F->Terms[0]) && domainExactTerm(F->Terms[1]);
+  case FormulaKind::And:
+    return domainExactFormula(F->Subs[0]) || domainExactFormula(F->Subs[1]);
+  case FormulaKind::Or:
+  case FormulaKind::Sep:
+    return domainExactFormula(F->Subs[0]) && domainExactFormula(F->Subs[1]);
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Scope (Section 2)
+//===----------------------------------------------------------------------===//
+
+LExprRef Translator::scopeOfTerm(const TermRef &T, const TranslateEnv &Env) {
+  switch (T->Kind) {
+  case TermKind::Var:
+  case TermKind::Nil:
+  case TermKind::IntLit:
+  case TermKind::Result:
+  case TermKind::EmptySet:
+  case TermKind::HeapletOf:
+  case TermKind::Old:
+    return emptyLocSet();
+  case TermKind::FieldRead:
+    return unionOf(scopeOfTerm(T->Args[0], Env),
+                   mkSingleton(term(T->Args[0], Env), Sort::SetLoc));
+  case TermKind::DefApp: {
+    const RecDef *Def = Defs.lookup(T->Name);
+    if (!Def)
+      return emptyLocSet();
+    std::vector<LExprRef> Args;
+    for (const TermRef &A : T->Args)
+      Args.push_back(term(A, Env));
+    return heapletApp(*Def, std::move(Args), Env);
+  }
+  case TermKind::Add:
+  case TermKind::Sub:
+  case TermKind::SetUnion:
+  case TermKind::SetInter:
+  case TermKind::SetMinus:
+  case TermKind::Singleton: {
+    LExprRef S = emptyLocSet();
+    for (const TermRef &A : T->Args)
+      S = unionOf(S, scopeOfTerm(A, Env));
+    return S;
+  }
+  case TermKind::Ite:
+    return mkIte(formula(T->CondF, Env, nullptr),
+                 scopeOfTerm(T->Args[0], Env),
+                 scopeOfTerm(T->Args[1], Env));
+  }
+  return emptyLocSet();
+}
+
+LExprRef Translator::scopeOfFormula(const FormulaRef &F,
+                                    const TranslateEnv &Env) {
+  switch (F->Kind) {
+  case FormulaKind::True:
+  case FormulaKind::False:
+  case FormulaKind::Emp:
+  case FormulaKind::Disjoint:
+  case FormulaKind::OldF:
+  case FormulaKind::Implies:
+  case FormulaKind::Pure:
+    return emptyLocSet();
+  case FormulaKind::PointsTo:
+    return mkSingleton(term(F->Terms[0], Env), Sort::SetLoc);
+  case FormulaKind::Cmp:
+  case FormulaKind::In:
+  case FormulaKind::SubsetOf: {
+    // Scope of an atom: union of the term scopes. When only one side
+    // is domain-exact, that side pins the atom's heap need (this is
+    // the simplification the paper itself uses when presenting the
+    // translated bst definition in Section 2).
+    bool D0 = domainExactTerm(F->Terms[0]);
+    bool D1 = domainExactTerm(F->Terms[1]);
+    if (D0 && !D1)
+      return scopeOfTerm(F->Terms[0], Env);
+    if (D1 && !D0)
+      return scopeOfTerm(F->Terms[1], Env);
+    return unionOf(scopeOfTerm(F->Terms[0], Env),
+                   scopeOfTerm(F->Terms[1], Env));
+  }
+  case FormulaKind::PredApp: {
+    const RecDef *Def = Defs.lookup(F->Name);
+    if (!Def)
+      return emptyLocSet();
+    std::vector<LExprRef> Args;
+    for (const TermRef &A : F->Terms)
+      Args.push_back(term(A, Env));
+    return heapletApp(*Def, std::move(Args), Env);
+  }
+  case FormulaKind::Not:
+    return scopeOfFormula(F->Subs[0], Env);
+  case FormulaKind::And: {
+    // The domain-exact conjunct determines the heaplet.
+    bool D0 = domainExactFormula(F->Subs[0]);
+    bool D1 = domainExactFormula(F->Subs[1]);
+    if (D0 && !D1)
+      return scopeOfFormula(F->Subs[0], Env);
+    if (D1 && !D0)
+      return scopeOfFormula(F->Subs[1], Env);
+    return unionOf(scopeOfFormula(F->Subs[0], Env),
+                   scopeOfFormula(F->Subs[1], Env));
+  }
+  case FormulaKind::Or:
+  case FormulaKind::Sep:
+    return unionOf(scopeOfFormula(F->Subs[0], Env),
+                   scopeOfFormula(F->Subs[1], Env));
+  }
+  return emptyLocSet();
+}
+
+//===----------------------------------------------------------------------===//
+// Terms
+//===----------------------------------------------------------------------===//
+
+LExprRef Translator::defApp(const RecDef &Def, std::vector<LExprRef> Args,
+                            const TranslateEnv &Env) {
+  std::vector<LExprRef> All;
+  const auto &Resolver = Env.InOld && Env.OldArray ? Env.OldArray
+                                                   : Env.CurArray;
+  for (const FieldKey &FK : Def.Fields)
+    All.push_back(Resolver(FK));
+  for (LExprRef &A : Args)
+    All.push_back(std::move(A));
+  Sort Ret = Def.IsPredicate ? Sort::Bool : Def.RetSort;
+  return mkApp(Def.symbolName(), Ret, std::move(All));
+}
+
+LExprRef Translator::heapletApp(const RecDef &Def,
+                                std::vector<LExprRef> Args,
+                                const TranslateEnv &Env) {
+  std::vector<LExprRef> All;
+  const auto &Resolver = Env.InOld && Env.OldArray ? Env.OldArray
+                                                   : Env.CurArray;
+  for (const FieldKey &FK : Def.Fields)
+    All.push_back(Resolver(FK));
+  for (LExprRef &A : Args)
+    All.push_back(std::move(A));
+  return mkApp(Def.heapletSymbolName(), Sort::SetLoc, std::move(All));
+}
+
+LExprRef Translator::term(const TermRef &T, const TranslateEnv &Env) {
+  switch (T->Kind) {
+  case TermKind::Var: {
+    if (Env.InOld) {
+      auto It = Env.OldVars.find(T->Name);
+      if (It != Env.OldVars.end())
+        return It->second;
+    }
+    auto It = Env.Vars.find(T->Name);
+    if (It != Env.Vars.end())
+      return It->second;
+    Diag.error(T->Loc, "unknown variable '" + T->Name + "' in specification");
+    return mkVar(T->Name, T->sort());
+  }
+  case TermKind::Nil:
+    return mkNil();
+  case TermKind::IntLit:
+    return mkInt(T->IntVal);
+  case TermKind::Result:
+    if (!Env.ResultVal) {
+      Diag.error(T->Loc, "'result' is only available in postconditions");
+      return mkVar("$result", T->sort());
+    }
+    return Env.ResultVal;
+  case TermKind::Add:
+    return mkIntAdd(term(T->Args[0], Env), term(T->Args[1], Env));
+  case TermKind::Sub:
+    return mkIntSub(term(T->Args[0], Env), term(T->Args[1], Env));
+  case TermKind::FieldRead: {
+    const TermRef &Base = T->Args[0];
+    FieldKey FK{Base->StructName, T->Name,
+                T->sort() == Sort::Loc ? Sort::Loc : Sort::Int};
+    const auto &Resolver = Env.InOld && Env.OldArray ? Env.OldArray
+                                                     : Env.CurArray;
+    return mkSelect(Resolver(FK), term(Base, Env));
+  }
+  case TermKind::DefApp: {
+    const RecDef *Def = Defs.lookup(T->Name);
+    if (!Def) {
+      Diag.error(T->Loc, "unknown recursive function '" + T->Name + "'");
+      return mkVar("$undef", T->sort());
+    }
+    std::vector<LExprRef> Args;
+    for (const TermRef &A : T->Args)
+      Args.push_back(term(A, Env));
+    return defApp(*Def, std::move(Args), Env);
+  }
+  case TermKind::HeapletOf: {
+    const RecDef *Def = Defs.lookup(T->Name);
+    if (!Def) {
+      Diag.error(T->Loc, "unknown definition '" + T->Name + "'");
+      return emptyLocSet();
+    }
+    std::vector<LExprRef> Args;
+    for (const TermRef &A : T->Args)
+      Args.push_back(term(A, Env));
+    return heapletApp(*Def, std::move(Args), Env);
+  }
+  case TermKind::Old: {
+    TranslateEnv E2 = Env;
+    E2.InOld = true;
+    return term(T->Args[0], E2);
+  }
+  case TermKind::EmptySet:
+    return mkEmptySet(T->sort());
+  case TermKind::Singleton:
+    return mkSingleton(term(T->Args[0], Env), T->sort());
+  case TermKind::SetUnion:
+    return mkUnion(term(T->Args[0], Env), term(T->Args[1], Env));
+  case TermKind::SetInter:
+    return mkInter(term(T->Args[0], Env), term(T->Args[1], Env));
+  case TermKind::SetMinus:
+    return mkMinus(term(T->Args[0], Env), term(T->Args[1], Env));
+  case TermKind::Ite:
+    return mkIte(formula(T->CondF, Env, nullptr), term(T->Args[0], Env),
+                 term(T->Args[1], Env));
+  }
+  return mkBool(true);
+}
+
+//===----------------------------------------------------------------------===//
+// Formulas (Figure 4)
+//===----------------------------------------------------------------------===//
+
+LExprRef Translator::translateCmp(const Formula &F, const TranslateEnv &Env) {
+  LExprRef A = term(F.Terms[0], Env);
+  LExprRef B = term(F.Terms[1], Env);
+  Sort SA = A->sort();
+  Sort SB = B->sort();
+  CmpOp Op = F.Op;
+
+  auto IsIntSet = [](Sort S) {
+    return S == Sort::SetInt || S == Sort::MSetInt;
+  };
+
+  if (SA == Sort::Int && SB == Sort::Int) {
+    switch (Op) {
+    case CmpOp::Eq:
+      return mkEq(A, B);
+    case CmpOp::Ne:
+      return mkNe(A, B);
+    case CmpOp::Lt:
+      return mkIntLt(A, B);
+    case CmpOp::Le:
+      return mkIntLe(A, B);
+    case CmpOp::Gt:
+      return mkIntLt(B, A);
+    case CmpOp::Ge:
+      return mkIntLe(B, A);
+    }
+  }
+  if (SA == Sort::Loc && SB == Sort::Loc) {
+    if (Op == CmpOp::Eq)
+      return mkEq(A, B);
+    if (Op == CmpOp::Ne)
+      return mkNe(A, B);
+    return error(F.Loc, "locations admit only == and !=");
+  }
+  if (SA == SB && (IsIntSet(SA) || SA == Sort::SetLoc)) {
+    if (Op == CmpOp::Eq)
+      return mkEq(A, B);
+    if (Op == CmpOp::Ne)
+      return mkNe(A, B);
+    if (SA == Sort::SetLoc)
+      return error(F.Loc, "location sets admit only == and !=");
+    switch (Op) {
+    case CmpOp::Lt:
+      return mkSetCmp(LOp::SetLtSet, A, B);
+    case CmpOp::Le:
+      return mkSetCmp(LOp::SetLeSet, A, B);
+    case CmpOp::Gt:
+      return mkSetCmp(LOp::SetLtSet, B, A);
+    case CmpOp::Ge:
+      return mkSetCmp(LOp::SetLeSet, B, A);
+    default:
+      break;
+    }
+  }
+  if (IsIntSet(SA) && SB == Sort::Int) {
+    switch (Op) {
+    case CmpOp::Lt:
+      return mkSetCmp(LOp::SetLtInt, A, B);
+    case CmpOp::Le:
+      return mkSetCmp(LOp::SetLeInt, A, B);
+    case CmpOp::Gt:
+      return mkSetCmp(LOp::IntLtSet, B, A);
+    case CmpOp::Ge:
+      return mkSetCmp(LOp::IntLeSet, B, A);
+    default:
+      return error(F.Loc, "set and integer admit only ordering comparisons");
+    }
+  }
+  if (SA == Sort::Int && IsIntSet(SB)) {
+    switch (Op) {
+    case CmpOp::Lt:
+      return mkSetCmp(LOp::IntLtSet, A, B);
+    case CmpOp::Le:
+      return mkSetCmp(LOp::IntLeSet, A, B);
+    case CmpOp::Gt:
+      return mkSetCmp(LOp::SetLtInt, B, A);
+    case CmpOp::Ge:
+      return mkSetCmp(LOp::SetLeInt, B, A);
+    default:
+      return error(F.Loc, "integer and set admit only ordering comparisons");
+    }
+  }
+  return error(F.Loc, "ill-sorted comparison between '" + F.Terms[0]->str() +
+                          "' and '" + F.Terms[1]->str() + "'");
+}
+
+LExprRef Translator::formula(const FormulaRef &F, const TranslateEnv &Env,
+                             LExprRef G) {
+  switch (F->Kind) {
+  case FormulaKind::True:
+    return mkBool(true);
+  case FormulaKind::False:
+    return mkBool(false);
+  case FormulaKind::Emp:
+    return G ? mkEq(G, emptyLocSet()) : mkBool(true);
+  case FormulaKind::PointsTo: {
+    LExprRef X = term(F->Terms[0], Env);
+    LExprRef Base = mkNe(X, mkNil());
+    if (!G)
+      return Base;
+    return mkAnd(Base, mkEq(G, mkSingleton(X, Sort::SetLoc)));
+  }
+  case FormulaKind::Cmp:
+  case FormulaKind::In:
+  case FormulaKind::SubsetOf: {
+    LExprRef Atom;
+    if (F->Kind == FormulaKind::Cmp) {
+      Atom = translateCmp(*F, Env);
+    } else {
+      LExprRef A = term(F->Terms[0], Env);
+      LExprRef B = term(F->Terms[1], Env);
+      Atom = F->Kind == FormulaKind::In ? mkMember(A, B) : mkSubset(A, B);
+      if (F->Negated)
+        Atom = mkNot(Atom);
+    }
+    // Figure 4: a domain-exact atom pins the heaplet to its scope; a
+    // mixed atom still needs its scope within the heaplet
+    // (well-definedness — this is how e.g. keys_heaplet(x) gets tied
+    // to the heaplet of bst(x) in the paper's Section 3.2 example).
+    if (G && domainExactFormula(F))
+      return mkAnd(Atom, mkEq(G, scopeOfFormula(F, Env)));
+    if (G) {
+      LExprRef Scope = scopeOfFormula(F, Env);
+      if (Scope->Op != LOp::EmptySet)
+        return mkAnd(Atom, mkSubset(Scope, G));
+    }
+    return Atom;
+  }
+  case FormulaKind::Disjoint: {
+    LExprRef Atom =
+        mkDisjoint(term(F->Terms[0], Env), term(F->Terms[1], Env));
+    if (G) {
+      LExprRef Scope = unionOf(scopeOfTerm(F->Terms[0], Env),
+                               scopeOfTerm(F->Terms[1], Env));
+      if (Scope->Op != LOp::EmptySet)
+        return mkAnd(Atom, mkSubset(Scope, G));
+    }
+    return Atom;
+  }
+  case FormulaKind::PredApp: {
+    const RecDef *Def = Defs.lookup(F->Name);
+    if (!Def)
+      return error(F->Loc, "unknown predicate '" + F->Name + "'");
+    if (Def->Params.size() != F->Terms.size())
+      return error(F->Loc, "wrong number of arguments to '" + F->Name + "'");
+    std::vector<LExprRef> Args;
+    for (const TermRef &A : F->Terms)
+      Args.push_back(term(A, Env));
+    LExprRef App = defApp(*Def, Args, Env);
+    if (!G)
+      return App;
+    return mkAnd(App, mkEq(G, heapletApp(*Def, Args, Env)));
+  }
+  case FormulaKind::Not: {
+    if (domainExactFormula(F->Subs[0]))
+      return error(F->Loc,
+                   "negation of a heap formula is not expressible in DRYAD");
+    LExprRef Atom = mkNot(formula(F->Subs[0], Env, nullptr));
+    if (G) {
+      LExprRef Scope = scopeOfFormula(F->Subs[0], Env);
+      if (Scope->Op != LOp::EmptySet)
+        return mkAnd(Atom, mkSubset(Scope, G));
+    }
+    return Atom;
+  }
+  case FormulaKind::And:
+    return mkAnd(formula(F->Subs[0], Env, G), formula(F->Subs[1], Env, G));
+  case FormulaKind::Or:
+    return mkOr(formula(F->Subs[0], Env, G), formula(F->Subs[1], Env, G));
+  case FormulaKind::Sep: {
+    const FormulaRef &L = F->Subs[0];
+    const FormulaRef &R = F->Subs[1];
+    if (!G) {
+      // Heapless context: separation degenerates to conjunction of the
+      // heapless translations (used for old() and axiom bodies).
+      return mkAnd(formula(L, Env, nullptr), formula(R, Env, nullptr));
+    }
+    bool DL = domainExactFormula(L);
+    bool DR = domainExactFormula(R);
+    LExprRef SL = scopeOfFormula(L, Env);
+    LExprRef SR = scopeOfFormula(R, Env);
+    if (DL && DR)
+      return mkAnd({formula(L, Env, SL), formula(R, Env, SR),
+                    mkEq(unionOf(SL, SR), G), mkDisjoint(SL, SR)});
+    if (DL && !DR)
+      return mkAnd({mkSubset(SL, G), formula(L, Env, SL),
+                    formula(R, Env, mkMinus(G, SL))});
+    if (!DL && DR)
+      return mkAnd({mkSubset(SR, G), formula(R, Env, SR),
+                    formula(L, Env, mkMinus(G, SR))});
+    return mkAnd({formula(L, Env, SL), formula(R, Env, SR),
+                  mkSubset(unionOf(SL, SR), G), mkDisjoint(SL, SR)});
+  }
+  case FormulaKind::Implies:
+    return mkImplies(formula(F->Subs[0], Env, nullptr),
+                     formula(F->Subs[1], Env, nullptr));
+  case FormulaKind::OldF: {
+    TranslateEnv E2 = Env;
+    E2.InOld = true;
+    return formula(F->Subs[0], E2, nullptr);
+  }
+  case FormulaKind::Pure:
+    return formula(F->Subs[0], Env, nullptr);
+  }
+  return mkBool(true);
+}
+
+//===----------------------------------------------------------------------===//
+// Unfoldings (Section 3.1)
+//===----------------------------------------------------------------------===//
+
+TranslateEnv Translator::bindParams(const RecDef &Def,
+                                    const std::vector<LExprRef> &Args,
+                                    const TranslateEnv &Env) const {
+  TranslateEnv E2 = Env;
+  assert(Def.Params.size() == Args.size() && "definition arity mismatch");
+  for (size_t I = 0, E = Def.Params.size(); I != E; ++I)
+    E2.Vars[Def.Params[I].Name] = Args[I];
+  return E2;
+}
+
+LExprRef Translator::unfoldDef(const RecDef &Def,
+                               std::vector<LExprRef> Args,
+                               const TranslateEnv &Env) {
+  TranslateEnv BodyEnv = bindParams(Def, Args, Env);
+  LExprRef Lhs = defApp(Def, Args, Env);
+  if (Def.IsPredicate) {
+    LExprRef G = heapletApp(Def, Args, Env);
+    LExprRef Rhs = formula(Def.PredBody, BodyEnv, G);
+    return mkEq(Lhs, Rhs);
+  }
+  LExprRef Rhs = term(Def.FnBody, BodyEnv);
+  return mkEq(Lhs, Rhs);
+}
+
+/// Flattens a disjunction into its branches.
+static void collectDisjuncts(const FormulaRef &F,
+                             std::vector<FormulaRef> &Out) {
+  if (F->Kind == FormulaKind::Or) {
+    collectDisjuncts(F->Subs[0], Out);
+    collectDisjuncts(F->Subs[1], Out);
+    return;
+  }
+  Out.push_back(F);
+}
+
+/// Collects the translated pure location (dis)equalities of a branch:
+/// these become the branch guards of the derived heaplet definition.
+static void collectLocGuards(const FormulaRef &F, Translator &T,
+                             const TranslateEnv &Env,
+                             std::vector<LExprRef> &Out) {
+  std::function<bool(const TermRef &)> IsSimpleLoc =
+      [&](const TermRef &X) {
+        if (X->sort() != Sort::Loc)
+          return false;
+        if (X->Kind == TermKind::Var || X->Kind == TermKind::Nil ||
+            X->Kind == TermKind::Result)
+          return true;
+        // Field reads are fine in *heaplet* guards: the derived heaplet
+        // function is defined over the field arrays anyway.
+        if (X->Kind == TermKind::FieldRead)
+          return IsSimpleLoc(X->Args[0]);
+        return false;
+      };
+  switch (F->Kind) {
+  case FormulaKind::And:
+  case FormulaKind::Sep:
+    collectLocGuards(F->Subs[0], T, Env, Out);
+    collectLocGuards(F->Subs[1], T, Env, Out);
+    return;
+  case FormulaKind::Cmp:
+    if ((F->Op == CmpOp::Eq || F->Op == CmpOp::Ne) &&
+        IsSimpleLoc(F->Terms[0]) && IsSimpleLoc(F->Terms[1])) {
+      LExprRef A = T.term(F->Terms[0], Env);
+      LExprRef B = T.term(F->Terms[1], Env);
+      Out.push_back(F->Op == CmpOp::Eq ? mkEq(A, B) : mkNe(A, B));
+    }
+    return;
+  default:
+    return;
+  }
+}
+
+LExprRef Translator::heapletBodyOfTerm(const TermRef &T,
+                                       const TranslateEnv &Env) {
+  if (T->Kind == TermKind::Ite)
+    return mkIte(formula(T->CondF, Env, nullptr),
+                 heapletBodyOfTerm(T->Args[0], Env),
+                 heapletBodyOfTerm(T->Args[1], Env));
+  return scopeOfTerm(T, Env);
+}
+
+LExprRef Translator::unfoldHeaplet(const RecDef &Def,
+                                   std::vector<LExprRef> Args,
+                                   const TranslateEnv &Env) {
+  TranslateEnv BodyEnv = bindParams(Def, Args, Env);
+  LExprRef Lhs = heapletApp(Def, Args, Env);
+  if (!Def.IsPredicate)
+    return mkEq(Lhs, heapletBodyOfTerm(Def.FnBody, BodyEnv));
+
+  std::vector<FormulaRef> Branches;
+  collectDisjuncts(Def.PredBody, Branches);
+  // Build an ITE chain over the branch guards; the last branch is the
+  // default.
+  LExprRef Body = scopeOfFormula(Branches.back(), BodyEnv);
+  for (size_t I = Branches.size() - 1; I-- > 0;) {
+    std::vector<LExprRef> Guards;
+    collectLocGuards(Branches[I], *this, BodyEnv, Guards);
+    if (Guards.empty()) {
+      Diag.error(Def.Loc,
+                 "cannot derive a heaplet guard for branch " +
+                     std::to_string(I + 1) + " of definition '" + Def.Name +
+                     "': add a pure location (dis)equality to the branch");
+      continue;
+    }
+    Body = mkIte(mkAnd(std::move(Guards)),
+                 scopeOfFormula(Branches[I], BodyEnv), Body);
+  }
+  return mkEq(Lhs, Body);
+}

@@ -1,0 +1,123 @@
+//===- Translate.h - DRYAD to classical logic (Figure 4) --------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The T_VCC translation of the paper (Figure 4): DRYAD separation
+/// logic with determined heaplets to quantifier-free classical logic
+/// over the theory of sets, together with the scope and
+/// domain-exactness analyses of Section 2 and the generation of the
+/// unfold formulas used by the natural-proof ghost code (Section 3.1).
+///
+/// Recursive definitions become uninterpreted VIR functions whose
+/// arguments are the *field arrays the definition depends on* followed
+/// by the definition's parameters. Passification then versions the
+/// array arguments, which is exactly the paper's per-state evaluation
+/// \at(state, d(p)) — no name mangling of definition symbols needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_DRYAD_TRANSLATE_H
+#define VCDRYAD_DRYAD_TRANSLATE_H
+
+#include "dryad/Spec.h"
+#include "support/Diagnostics.h"
+#include "vir/LExpr.h"
+
+#include <functional>
+#include <map>
+
+namespace vcdryad {
+namespace dryad {
+
+/// Evaluation context for the translation: values of spec variables,
+/// pre-state snapshots for old(), and the resolution of field arrays
+/// at the current and the pre-state.
+struct TranslateEnv {
+  /// Current values of program/spec variables.
+  std::map<std::string, vir::LExprRef> Vars;
+  /// Entry-state values of the parameters, for old().
+  std::map<std::string, vir::LExprRef> OldVars;
+  /// Value of `result` in postconditions (null elsewhere).
+  vir::LExprRef ResultVal;
+  /// Resolves a field array at the current state (required).
+  std::function<vir::LExprRef(const FieldKey &)> CurArray;
+  /// Resolves a field array at the entry state (needed iff old()
+  /// occurs).
+  std::function<vir::LExprRef(const FieldKey &)> OldArray;
+  /// Internal: set while translating under old().
+  bool InOld = false;
+};
+
+/// Returns an array resolver mapping each field array to the VIR
+/// variable \p Prefix + key.arrayName().
+std::function<vir::LExprRef(const FieldKey &)>
+prefixedArrays(std::string Prefix = "");
+
+class Translator {
+public:
+  Translator(const DefTable &Defs, const StructTable &Structs,
+             DiagnosticEngine &Diag)
+      : Defs(Defs), Structs(Structs), Diag(Diag) {}
+
+  /// T_VCC(F, G). Pass a null \p G for the heapless translation used
+  /// by old(), axioms and pure contexts.
+  vir::LExprRef formula(const FormulaRef &F, const TranslateEnv &Env,
+                        vir::LExprRef G);
+
+  /// Translates a term (terms never constrain the heaplet).
+  vir::LExprRef term(const TermRef &T, const TranslateEnv &Env);
+
+  /// scope(F): the heap domain needed to evaluate F, as a SetLoc term.
+  vir::LExprRef scopeOfFormula(const FormulaRef &F,
+                               const TranslateEnv &Env);
+  vir::LExprRef scopeOfTerm(const TermRef &T, const TranslateEnv &Env);
+
+  /// Domain-exactness (Section 2): can the formula/term only be
+  /// evaluated on exactly its scope?
+  bool domainExactFormula(const FormulaRef &F) const;
+  bool domainExactTerm(const TermRef &T) const;
+
+  /// Uninterpreted application of a definition / its heaplet to
+  /// already-translated arguments, with the field arrays of \p Def
+  /// resolved through \p Env.
+  vir::LExprRef defApp(const RecDef &Def, std::vector<vir::LExprRef> Args,
+                       const TranslateEnv &Env);
+  vir::LExprRef heapletApp(const RecDef &Def,
+                           std::vector<vir::LExprRef> Args,
+                           const TranslateEnv &Env);
+
+  /// The one-step unfolding of \p Def at \p Args:
+  ///   d(args) == T_VCC(body, heaplet-of-d(args))      (predicates)
+  ///   d(args) == T(body)                              (functions)
+  vir::LExprRef unfoldDef(const RecDef &Def,
+                          std::vector<vir::LExprRef> Args,
+                          const TranslateEnv &Env);
+
+  /// The one-step unfolding of the derived heaplet definition:
+  ///   d$hp(args) == <ITE over branch guards of branch scopes>
+  vir::LExprRef unfoldHeaplet(const RecDef &Def,
+                              std::vector<vir::LExprRef> Args,
+                              const TranslateEnv &Env);
+
+private:
+  const DefTable &Defs;
+  const StructTable &Structs;
+  DiagnosticEngine &Diag;
+
+  vir::LExprRef translateCmp(const Formula &F, const TranslateEnv &Env);
+  vir::LExprRef heapletBodyOfTerm(const TermRef &T,
+                                  const TranslateEnv &Env);
+  TranslateEnv bindParams(const RecDef &Def,
+                          const std::vector<vir::LExprRef> &Args,
+                          const TranslateEnv &Env) const;
+
+  vir::LExprRef error(SourceLoc Loc, const std::string &Msg);
+};
+
+} // namespace dryad
+} // namespace vcdryad
+
+#endif // VCDRYAD_DRYAD_TRANSLATE_H

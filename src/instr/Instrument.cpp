@@ -1,0 +1,744 @@
+//===- Instrument.cpp - Natural-proof ghost-code synthesis -----------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instr/Instrument.h"
+
+#include "dryad/Translate.h"
+
+#include <cassert>
+#include <functional>
+
+using namespace vcdryad;
+using namespace vcdryad::instr;
+using namespace vcdryad::cfront;
+using dryad::FieldKey;
+using dryad::RecDef;
+using dryad::TranslateEnv;
+using vir::LExprRef;
+using vir::Sort;
+
+namespace {
+
+/// One entry of the (extended) footprint: a location-valued term with
+/// its struct type. Deref entries are the memoized dereferenced
+/// locations (FP); the rest joins only the extended footprint (EFP).
+struct FpEntry {
+  LExprRef Term;
+  std::string StructName;
+  bool Deref;
+};
+
+class Instrumenter {
+public:
+  Instrumenter(Program &Prog, const InstrOptions &Opts,
+               DiagnosticEngine &Diag)
+      : Prog(Prog), Opts(Opts), Diag(Diag),
+        Tr(Prog.Defs, Prog.LogicStructs, Diag) {
+    BaseEnv.CurArray = dryad::prefixedArrays();
+  }
+
+  void run(FuncDecl &F) {
+    if (!F.Body)
+      return;
+    Fp.clear();
+    IntVars.clear();
+    GhostCounter = 0;
+    for (const ParamDecl &P : F.Params)
+      registerVar(P.Name, P.Ty);
+    StmtRef NewBody = std::make_shared<Stmt>(StmtKind::Block);
+    NewBody->Loc = F.Body->Loc;
+    // Base facts at entry: unfold at nil and the parameters, and
+    // instantiate the data-structure axioms.
+    emitContextUnfolds(NewBody->Stmts, "entry");
+    emitAxioms(NewBody->Stmts);
+    for (const StmtRef &S : F.Body->Stmts)
+      instrumentStmt(S, NewBody->Stmts);
+    F.Body = NewBody;
+  }
+
+private:
+  Program &Prog;
+  const InstrOptions &Opts;
+  DiagnosticEngine &Diag;
+  dryad::Translator Tr;
+  TranslateEnv BaseEnv;
+
+  std::vector<FpEntry> Fp;
+  std::vector<LExprRef> IntVars;
+  unsigned GhostCounter = 0;
+
+  //===--------------------------------------------------------------------===//
+  // Small helpers
+  //===--------------------------------------------------------------------===//
+
+  static Sort sortOfType(const CType &Ty) {
+    return Ty.isPtr() ? Sort::Loc : Sort::Int;
+  }
+
+  LExprRef atomToL(const Expr &E) const {
+    switch (E.Kind) {
+    case ExprKind::Var:
+      return vir::mkVar(E.Name, sortOfType(E.Ty));
+    case ExprKind::IntLit:
+      return vir::mkInt(E.IntVal);
+    case ExprKind::Null:
+      return vir::mkNil();
+    default:
+      assert(false && "instrumenter expects a normalized atom");
+      return vir::mkNil();
+    }
+  }
+
+  static std::string structOf(const CType &Ty) {
+    return Ty.isPtr() && Ty.Pointee ? Ty.Pointee->Name : "";
+  }
+
+  void registerVar(const std::string &Name, const CType &Ty) {
+    if (Ty.isPtr() && Ty.Pointee)
+      Fp.push_back({vir::mkVar(Name, Sort::Loc), Ty.Pointee->Name, false});
+    else if (Ty.isInt())
+      IntVars.push_back(vir::mkVar(Name, Sort::Int));
+  }
+
+  StmtRef ghostAssume(LExprRef Fact, std::string Comment) {
+    auto S = std::make_shared<Stmt>(StmtKind::GhostAssume);
+    S->Ghost = std::move(Fact);
+    S->GhostComment = std::move(Comment);
+    return S;
+  }
+
+  StmtRef ghostAssign(std::string Var, Sort VS, LExprRef Val,
+                      std::string Comment) {
+    auto S = std::make_shared<Stmt>(StmtKind::GhostAssign);
+    S->GhostVar = std::move(Var);
+    S->GhostSort = VS;
+    S->Ghost = std::move(Val);
+    S->GhostComment = std::move(Comment);
+    return S;
+  }
+
+  LExprRef gVar() const { return vir::mkVar("$G", Sort::SetLoc); }
+
+  /// Pertinent definitions for a struct type (defs(T) in Figure 5).
+  std::vector<const RecDef *> defsFor(const std::string &StructName) {
+    return Prog.Defs.defsForStruct(StructName);
+  }
+
+  /// Enumerates argument tuples for \p Def with \p First as the first
+  /// argument; secondary Loc parameters range over the matching EFP
+  /// entries plus nil, Int parameters over in-scope integer variables.
+  void forEachArgTuple(const RecDef &Def, const LExprRef &First,
+                       const std::function<void(std::vector<LExprRef>)> &Fn) {
+    if (Def.Params.empty() || Def.Params[0].ParamSort != Sort::Loc)
+      return;
+    std::vector<std::vector<LExprRef>> Cands(Def.Params.size());
+    Cands[0] = {First};
+    for (size_t I = 1; I != Def.Params.size(); ++I) {
+      const dryad::SpecParam &P = Def.Params[I];
+      if (P.ParamSort == Sort::Loc) {
+        Cands[I].push_back(vir::mkNil());
+        for (const FpEntry &E : Fp)
+          if (E.StructName == P.StructName)
+            Cands[I].push_back(E.Term);
+      } else {
+        Cands[I] = IntVars;
+      }
+      if (Cands[I].empty())
+        return; // No instantiation possible.
+    }
+    unsigned Budget = Opts.MaxTuplesPerSite;
+    std::vector<LExprRef> Tuple(Def.Params.size());
+    std::function<void(size_t)> Rec = [&](size_t I) {
+      if (!Budget)
+        return;
+      if (I == Cands.size()) {
+        --Budget;
+        Fn(Tuple);
+        return;
+      }
+      for (const LExprRef &C : Cands[I]) {
+        Tuple[I] = C;
+        Rec(I + 1);
+        if (!Budget)
+          return;
+      }
+    };
+    Rec(0);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Ghost fact families
+  //===--------------------------------------------------------------------===//
+
+  /// Unfolds every pertinent definition at \p L (of struct type \p SN).
+  void emitUnfolds(const LExprRef &L, const std::string &SN,
+                   std::vector<StmtRef> &Out, const char *Why) {
+    if (!Opts.Unfold || SN.empty())
+      return;
+    for (const RecDef *Def : defsFor(SN)) {
+      forEachArgTuple(*Def, L, [&](std::vector<LExprRef> Args) {
+        Out.push_back(ghostAssume(Tr.unfoldDef(*Def, Args, BaseEnv),
+                                  std::string("unfold ") + Def->Name +
+                                      " (" + Why + ")"));
+        Out.push_back(ghostAssume(Tr.unfoldHeaplet(*Def, Args, BaseEnv),
+                                  std::string("unfold ") +
+                                      Def->heapletSymbolName() + " (" + Why +
+                                      ")"));
+        // When the predicate holds, its heaplet consists of
+        // points-to'd cells, which are never nil (inductive
+        // consequence of the definition shape). The guard matters:
+        // heaplet functions evaluated at garbage arguments (e.g.
+        // lseg$hp(nil, y) with y != nil) may genuinely contain nil.
+        if (Def->IsPredicate)
+          Out.push_back(ghostAssume(
+              vir::mkImplies(
+                  Tr.defApp(*Def, Args, BaseEnv),
+                  vir::mkNot(vir::mkMember(
+                      vir::mkNil(), Tr.heapletApp(*Def, Args, BaseEnv)))),
+              "nil outside heaplet"));
+      });
+    }
+  }
+
+  /// Unfolds every definition at nil (base cases: list(nil), empty
+  /// heaplets). State-dependent, so re-emitted after heap changes.
+  void emitNilUnfolds(std::vector<StmtRef> &Out, const char *Why) {
+    if (!Opts.Unfold)
+      return;
+    LExprRef Nil = vir::mkNil();
+    for (const auto &[Name, Def] : Prog.Defs.all()) {
+      (void)Name;
+      forEachArgTuple(Def, Nil, [&](std::vector<LExprRef> Args) {
+        Out.push_back(ghostAssume(Tr.unfoldDef(Def, Args, BaseEnv),
+                                  std::string("unfold at nil (") + Why +
+                                      ")"));
+        Out.push_back(ghostAssume(Tr.unfoldHeaplet(Def, Args, BaseEnv),
+                                  std::string("unfold heaplet at nil (") +
+                                      Why + ")"));
+        if (Def.IsPredicate)
+          Out.push_back(ghostAssume(
+              vir::mkImplies(
+                  Tr.defApp(Def, Args, BaseEnv),
+                  vir::mkNot(vir::mkMember(
+                      vir::mkNil(), Tr.heapletApp(Def, Args, BaseEnv)))),
+              "nil outside heaplet"));
+      });
+    }
+  }
+
+  /// Unfolds at every memoized dereferenced location (the footprint).
+  void emitFootprintUnfolds(std::vector<StmtRef> &Out, const char *Why) {
+    if (!Opts.Unfold)
+      return;
+    emitNilUnfolds(Out, Why);
+    for (const FpEntry &E : Fp)
+      if (E.Deref)
+        emitUnfolds(E.Term, E.StructName, Out, Why);
+  }
+
+  /// Unfolds at nil and every extended-footprint entry: used at
+  /// function entry and at loop heads, where no dereference has
+  /// re-established the definitions yet.
+  void emitContextUnfolds(std::vector<StmtRef> &Out, const char *Why) {
+    if (!Opts.Unfold)
+      return;
+    emitNilUnfolds(Out, Why);
+    for (const FpEntry &E : Fp)
+      emitUnfolds(E.Term, E.StructName, Out, Why);
+  }
+
+  /// Memoizes the dereferenced location \p V (struct \p SN) and the
+  /// locations reachable from its pointer fields (Figure 5's
+  /// dryad_fp/dryad_scope ghosts).
+  void memoize(const LExprRef &V, const std::string &SN,
+               std::vector<StmtRef> &Out) {
+    unsigned K = GhostCounter++;
+    std::string FpName = "$fp" + std::to_string(K);
+    Out.push_back(
+        ghostAssign(FpName, Sort::Loc, V, "memoize dereferenced location"));
+    Fp.push_back({vir::mkVar(FpName, Sort::Loc), SN, true});
+    const dryad::StructInfo *SI = Prog.LogicStructs.lookup(SN);
+    if (!SI)
+      return;
+    for (const dryad::FieldInfo &FI : SI->Fields) {
+      if (FI.FieldSort != Sort::Loc)
+        continue;
+      FieldKey FK{SN, FI.Name, Sort::Loc};
+      std::string FldName = "$fld" + std::to_string(K) + "$" + FI.Name;
+      LExprRef Val = vir::mkSelect(BaseEnv.CurArray(FK), V);
+      Out.push_back(ghostAssign(FldName, Sort::Loc, Val,
+                                "memoize field " + FI.Name));
+      Fp.push_back(
+          {vir::mkVar(FldName, Sort::Loc), FI.TargetStruct, false});
+    }
+  }
+
+  /// Snapshot one field array; returns the environment evaluating
+  /// definitions at the snapshot state.
+  TranslateEnv snapshotArray(const FieldKey &FK, std::vector<StmtRef> &Out,
+                             unsigned K) {
+    std::string SnapName = "$snap" + std::to_string(K) + FK.arrayName();
+    Out.push_back(ghostAssign(SnapName, FK.arraySort(),
+                              BaseEnv.CurArray(FK),
+                              "memoize state before update"));
+    TranslateEnv SnapEnv = BaseEnv;
+    SnapEnv.CurArray = [FK, SnapName](const FieldKey &Q) {
+      if (Q == FK)
+        return vir::mkVar(SnapName, Q.arraySort());
+      return vir::mkVar(Q.arrayName(), Q.arraySort());
+    };
+    return SnapEnv;
+  }
+
+  /// Snapshot every field array (before a call).
+  TranslateEnv snapshotAllArrays(std::vector<StmtRef> &Out, unsigned K) {
+    std::string Prefix = "$snap" + std::to_string(K);
+    for (const auto &[SN, SI] : Prog.LogicStructs.all())
+      for (const dryad::FieldInfo &FI : SI.Fields) {
+        FieldKey FK{SN, FI.Name, FI.FieldSort};
+        Out.push_back(ghostAssign(Prefix + FK.arrayName(), FK.arraySort(),
+                                  BaseEnv.CurArray(FK),
+                                  "memoize state before call"));
+      }
+    TranslateEnv SnapEnv = BaseEnv;
+    SnapEnv.CurArray = dryad::prefixedArrays(Prefix);
+    return SnapEnv;
+  }
+
+  /// Preservation facts after the destructive update `U->f = _`:
+  /// definitions whose pre-state heaplet avoids U are unchanged.
+  void emitUpdatePreservation(const LExprRef &U, const FieldKey &FK,
+                              const TranslateEnv &SnapEnv,
+                              std::vector<StmtRef> &Out) {
+    if (!Opts.Preservation)
+      return;
+    for (const auto &[Name, Def] : Prog.Defs.all()) {
+      // Definitions not reading the written field are preserved by
+      // congruence (their array arguments are unchanged terms).
+      if (std::find(Def.Fields.begin(), Def.Fields.end(), FK) ==
+          Def.Fields.end())
+        continue;
+      if (Def.Params.empty() || Def.Params[0].ParamSort != Sort::Loc)
+        continue;
+      for (const FpEntry &E : Fp) {
+        if (E.StructName != Def.Params[0].StructName)
+          continue;
+        forEachArgTuple(Def, E.Term, [&](std::vector<LExprRef> Args) {
+          LExprRef HpOld = Tr.heapletApp(Def, Args, SnapEnv);
+          LExprRef Guard = vir::mkNot(vir::mkMember(U, HpOld));
+          LExprRef Same = vir::mkAnd(
+              vir::mkEq(Tr.defApp(Def, Args, BaseEnv),
+                        Tr.defApp(Def, Args, SnapEnv)),
+              vir::mkEq(Tr.heapletApp(Def, Args, BaseEnv), HpOld));
+          Out.push_back(ghostAssume(vir::mkImplies(Guard, Same),
+                                    "preserve " + Name +
+                                        " across field update"));
+        });
+      }
+    }
+  }
+
+  /// Preservation facts after a call with pre-heaplet \p GPre.
+  void emitCallPreservation(const LExprRef &GPre,
+                            const TranslateEnv &SnapEnv,
+                            std::vector<StmtRef> &Out) {
+    if (!Opts.Preservation)
+      return;
+    // Definitions whose heaplet is disjoint from the callee's heaplet.
+    for (const auto &[Name, Def] : Prog.Defs.all()) {
+      if (Def.Params.empty() || Def.Params[0].ParamSort != Sort::Loc)
+        continue;
+      for (const FpEntry &E : Fp) {
+        if (E.StructName != Def.Params[0].StructName)
+          continue;
+        forEachArgTuple(Def, E.Term, [&](std::vector<LExprRef> Args) {
+          LExprRef HpOld = Tr.heapletApp(Def, Args, SnapEnv);
+          LExprRef Guard = vir::mkDisjoint(GPre, HpOld);
+          LExprRef Same = vir::mkAnd(
+              vir::mkEq(Tr.defApp(Def, Args, BaseEnv),
+                        Tr.defApp(Def, Args, SnapEnv)),
+              vir::mkEq(Tr.heapletApp(Def, Args, BaseEnv), HpOld));
+          Out.push_back(ghostAssume(vir::mkImplies(Guard, Same),
+                                    "preserve " + Name + " across call"));
+        });
+      }
+    }
+    // Fields of locations outside the callee's heaplet.
+    for (const FpEntry &E : Fp) {
+      const dryad::StructInfo *SI = Prog.LogicStructs.lookup(E.StructName);
+      if (!SI)
+        continue;
+      LExprRef Guard = vir::mkNot(vir::mkMember(E.Term, GPre));
+      for (const dryad::FieldInfo &FI : SI->Fields) {
+        FieldKey FK{E.StructName, FI.Name, FI.FieldSort};
+        LExprRef Now = vir::mkSelect(BaseEnv.CurArray(FK), E.Term);
+        LExprRef Old = vir::mkSelect(SnapEnv.CurArray(FK), E.Term);
+        Out.push_back(
+            ghostAssume(vir::mkImplies(Guard, vir::mkEq(Now, Old)),
+                        "preserve field " + FI.Name + " across call"));
+      }
+    }
+  }
+
+  /// Instantiates the data-structure axioms over footprint tuples.
+  void emitAxioms(std::vector<StmtRef> &Out) {
+    if (Opts.Axioms != InstrOptions::AxiomMode::Footprint)
+      return;
+    for (const dryad::AxiomDecl &Ax : Prog.Defs.Axioms) {
+      std::vector<std::vector<LExprRef>> Cands(Ax.Params.size());
+      bool Feasible = true;
+      for (size_t I = 0; I != Ax.Params.size(); ++I) {
+        const dryad::SpecParam &P = Ax.Params[I];
+        if (P.ParamSort == Sort::Loc) {
+          Cands[I].push_back(vir::mkNil());
+          for (const FpEntry &E : Fp)
+            if (E.StructName == P.StructName)
+              Cands[I].push_back(E.Term);
+        } else {
+          Cands[I] = IntVars;
+        }
+        if (Cands[I].empty())
+          Feasible = false;
+      }
+      if (!Feasible)
+        continue;
+      unsigned Budget = Opts.MaxTuplesPerSite;
+      std::vector<LExprRef> Tuple(Ax.Params.size());
+      std::function<void(size_t)> Rec = [&](size_t I) {
+        if (!Budget)
+          return;
+        if (I == Tuple.size()) {
+          --Budget;
+          TranslateEnv Env = BaseEnv;
+          for (size_t J = 0; J != Tuple.size(); ++J)
+            Env.Vars[Ax.Params[J].Name] = Tuple[J];
+          Out.push_back(ghostAssume(Tr.formula(Ax.Body, Env, nullptr),
+                                    "axiom instance"));
+          return;
+        }
+        for (const LExprRef &C : Cands[I]) {
+          Tuple[I] = C;
+          Rec(I + 1);
+          if (!Budget)
+            return;
+        }
+      };
+      Rec(0);
+    }
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statement walk (Figure 5)
+  //===--------------------------------------------------------------------===//
+
+  void instrumentStmt(const StmtRef &S, std::vector<StmtRef> &Out) {
+    switch (S->Kind) {
+    case StmtKind::Block: {
+      auto SavedFp = Fp;
+      auto SavedInts = IntVars;
+      StmtRef B = std::make_shared<Stmt>(StmtKind::Block);
+      B->Loc = S->Loc;
+      for (const StmtRef &Sub : S->Stmts)
+        instrumentStmt(Sub, B->Stmts);
+      Out.push_back(B);
+      Fp = std::move(SavedFp);
+      IntVars = std::move(SavedInts);
+      return;
+    }
+    case StmtKind::Decl:
+      registerVar(S->DeclName, S->DeclTy);
+      Out.push_back(S);
+      return;
+    case StmtKind::Assign:
+      instrumentAssign(S, Out);
+      return;
+    case StmtKind::If: {
+      StmtRef If = std::make_shared<Stmt>(StmtKind::If);
+      If->Loc = S->Loc;
+      If->Cond = S->Cond;
+      If->Then = instrumentSub(S->Then);
+      If->Else = S->Else ? instrumentSub(S->Else) : nullptr;
+      Out.push_back(If);
+      return;
+    }
+    case StmtKind::While: {
+      StmtRef W = std::make_shared<Stmt>(StmtKind::While);
+      W->Loc = S->Loc;
+      W->Cond = S->Cond;
+      W->Invariants = S->Invariants;
+      auto SavedFp = Fp;
+      auto SavedInts = IntVars;
+      // Loop head: re-establish unfoldings and axioms after the
+      // invariant havoc, then the instrumented condition prelude.
+      emitContextUnfolds(W->Stmts, "loop head");
+      emitAxioms(W->Stmts);
+      for (const StmtRef &Sub : S->Stmts)
+        instrumentStmt(Sub, W->Stmts);
+      W->Then = instrumentSub(S->Then);
+      Fp = std::move(SavedFp);
+      IntVars = std::move(SavedInts);
+      Out.push_back(W);
+      return;
+    }
+    case StmtKind::ExprStmt:
+      if (S->Rhs && S->Rhs->Kind == ExprKind::Call) {
+        instrumentCall(S, /*Ret=*/nullptr, Out);
+        return;
+      }
+      Out.push_back(S);
+      return;
+    case StmtKind::Free: {
+      Out.push_back(S);
+      LExprRef U = atomToL(*S->Rhs);
+      Out.push_back(ghostAssign(
+          "$G", Sort::SetLoc,
+          vir::mkMinus(gVar(), vir::mkSingleton(U, Sort::SetLoc)),
+          "current heaplet update (free)"));
+      return;
+    }
+    case StmtKind::Return:
+    case StmtKind::Assert:
+    case StmtKind::Assume:
+    case StmtKind::GhostAssume:
+    case StmtKind::GhostAssign:
+    case StmtKind::GhostHavoc:
+      Out.push_back(S);
+      return;
+    }
+  }
+
+  StmtRef instrumentSub(const StmtRef &S) {
+    assert(S->Kind == StmtKind::Block && "normalized sub-statements");
+    auto SavedFp = Fp;
+    auto SavedInts = IntVars;
+    StmtRef B = std::make_shared<Stmt>(StmtKind::Block);
+    B->Loc = S->Loc;
+    for (const StmtRef &Sub : S->Stmts)
+      instrumentStmt(Sub, B->Stmts);
+    Fp = std::move(SavedFp);
+    IntVars = std::move(SavedInts);
+    return B;
+  }
+
+  void instrumentAssign(const StmtRef &S, std::vector<StmtRef> &Out) {
+    // u->f = w : destructive update.
+    if (S->Lhs->Kind == ExprKind::FieldAccess) {
+      const Expr &Base = *S->Lhs->Args[0];
+      std::string SN = structOf(Base.Ty);
+      LExprRef U = atomToL(Base);
+      emitUnfolds(U, SN, Out, "before update");
+      memoize(U, SN, Out);
+      // Axioms at the pre-update state: preservation guards reason
+      // about pre-state heaplets.
+      emitAxioms(Out);
+      const FieldDecl *FD =
+          Base.Ty.Pointee ? Base.Ty.Pointee->findField(S->Lhs->Name)
+                          : nullptr;
+      FieldKey FK{SN, S->Lhs->Name,
+                  FD && FD->Ty.isPtr() ? Sort::Loc : Sort::Int};
+      unsigned K = GhostCounter++;
+      TranslateEnv SnapEnv = snapshotArray(FK, Out, K);
+      Out.push_back(S);
+      emitFootprintUnfolds(Out, "after update");
+      emitUpdatePreservation(U, FK, SnapEnv, Out);
+      emitAxioms(Out);
+      return;
+    }
+    // u = ...
+    assert(S->Lhs->Kind == ExprKind::Var);
+    const Expr &Rhs = *S->Rhs;
+    switch (Rhs.Kind) {
+    case ExprKind::FieldAccess: {
+      const Expr &Base = *Rhs.Args[0];
+      std::string SN = structOf(Base.Ty);
+      LExprRef V = atomToL(Base);
+      emitUnfolds(V, SN, Out, "before lookup");
+      memoize(V, SN, Out);
+      Out.push_back(S);
+      // The loaded location itself becomes part of the footprint:
+      // unfold the definitions there too (e.g. to know it lies inside
+      // its own heaplet), and re-instantiate the axioms over the new
+      // entries (segment extension lemmas and the like).
+      if (S->Lhs->Ty.isPtr())
+        emitUnfolds(atomToL(*S->Lhs), structOf(S->Lhs->Ty), Out,
+                    "after lookup");
+      emitAxioms(Out);
+      return;
+    }
+    case ExprKind::Malloc: {
+      Out.push_back(S);
+      LExprRef U = vir::mkVar(S->Lhs->Name, Sort::Loc);
+      // Freshness beyond the function's own heaplet: every location
+      // the program can currently name is allocated (or nil), so the
+      // fresh cell differs from all of them — except the assigned
+      // variable itself, whose footprint entry now denotes the fresh
+      // cell.
+      for (const FpEntry &E : Fp) {
+        if (E.Term->isVar() && E.Term->Name == S->Lhs->Name)
+          continue;
+        Out.push_back(ghostAssume(vir::mkNe(U, E.Term),
+                                  "malloc freshness vs footprint"));
+      }
+      Out.push_back(ghostAssign(
+          "$G", Sort::SetLoc,
+          vir::mkUnion(gVar(), vir::mkSingleton(U, Sort::SetLoc)),
+          "current heaplet update (malloc)"));
+      return;
+    }
+    case ExprKind::Call:
+      instrumentCall(S, S->Lhs.get(), Out);
+      return;
+    default:
+      Out.push_back(S);
+      return;
+    }
+  }
+
+  void instrumentCall(const StmtRef &S, const Expr *Ret,
+                      std::vector<StmtRef> &Out) {
+    const Expr &Call = *S->Rhs;
+    FuncDecl *Callee = Prog.findFunc(Call.Name);
+    if (!Callee) {
+      Out.push_back(S);
+      return;
+    }
+    // Bind formals to actuals.
+    TranslateEnv PreEnv = BaseEnv;
+    for (size_t I = 0;
+         I != Callee->Params.size() && I != Call.Args.size(); ++I)
+      PreEnv.Vars[Callee->Params[I].Name] = atomToL(*Call.Args[I]);
+
+    unsigned K = GhostCounter++;
+    // G_pre_m(actuals): the heaplet the callee consumes.
+    dryad::FormulaRef Pre = conjoin(Callee->Requires);
+    std::string GPreName = "$gpre" + std::to_string(K);
+    emitAxioms(Out); // Pre-call state axioms for the frame reasoning.
+    Out.push_back(ghostAssign(GPreName, Sort::SetLoc,
+                              Tr.scopeOfFormula(Pre, PreEnv),
+                              "callee pre-heaplet"));
+    LExprRef GPre = vir::mkVar(GPreName, Sort::SetLoc);
+    TranslateEnv SnapEnv = snapshotAllArrays(Out, K);
+
+    Out.push_back(S);
+
+    emitFootprintUnfolds(Out, "after call");
+    emitCallPreservation(GPre, SnapEnv, Out);
+
+    // G := (G \ G_pre) union G_post(ret, actuals).
+    TranslateEnv PostEnv = PreEnv;
+    if (Ret)
+      PostEnv.ResultVal = atomToL(*Ret);
+    dryad::FormulaRef Post = conjoin(Callee->Ensures);
+    LExprRef GPost = Tr.scopeOfFormula(Post, PostEnv);
+    Out.push_back(ghostAssign("$G", Sort::SetLoc,
+                              vir::mkUnion(vir::mkMinus(gVar(), GPre),
+                                           GPost),
+                              "current heaplet update (call)"));
+    emitAxioms(Out);
+  }
+
+  static dryad::FormulaRef conjoin(const std::vector<dryad::FormulaRef> &Fs) {
+    if (Fs.empty()) {
+      auto T = std::make_shared<dryad::Formula>(dryad::FormulaKind::True);
+      return T;
+    }
+    dryad::FormulaRef Acc = Fs[0];
+    for (size_t I = 1; I != Fs.size(); ++I) {
+      auto And = std::make_shared<dryad::Formula>(dryad::FormulaKind::And);
+      And->Subs = {Acc, Fs[I]};
+      Acc = And;
+    }
+    return Acc;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Annotation counting (Figure 6)
+//===----------------------------------------------------------------------===//
+
+void countStmt(const Stmt &S, AnnotationStats &Stats) {
+  switch (S.Kind) {
+  case StmtKind::Assert:
+  case StmtKind::Assume:
+    ++Stats.Manual;
+    break;
+  case StmtKind::GhostAssume:
+  case StmtKind::GhostAssign:
+  case StmtKind::GhostHavoc:
+    ++Stats.Ghost;
+    break;
+  case StmtKind::While:
+    Stats.Manual += S.Invariants.size();
+    break;
+  default:
+    break;
+  }
+  for (const StmtRef &Sub : S.Stmts)
+    countStmt(*Sub, Stats);
+  if (S.Then)
+    countStmt(*S.Then, Stats);
+  if (S.Else)
+    countStmt(*S.Else, Stats);
+}
+
+} // namespace
+
+void instr::instrumentFunction(FuncDecl &F, Program &Prog,
+                               const InstrOptions &Opts,
+                               DiagnosticEngine &Diag) {
+  Instrumenter(Prog, Opts, Diag).run(F);
+}
+
+void instr::instrumentProgram(Program &Prog, const InstrOptions &Opts,
+                              DiagnosticEngine &Diag) {
+  for (const auto &F : Prog.Funcs)
+    if (F->Body)
+      instrumentFunction(*F, Prog, Opts, Diag);
+}
+
+AnnotationStats instr::countAnnotations(const FuncDecl &F) {
+  AnnotationStats Stats;
+  Stats.Manual += F.Requires.size() + F.Ensures.size();
+  if (F.Body)
+    countStmt(*F.Body, Stats);
+  return Stats;
+}
+
+std::vector<LExprRef>
+instr::quantifiedAxioms(const Program &Prog, DiagnosticEngine &Diag) {
+  std::vector<LExprRef> Out;
+  dryad::Translator Tr(Prog.Defs, Prog.LogicStructs, Diag);
+  unsigned Counter = 0;
+  for (const dryad::AxiomDecl &Ax : Prog.Defs.Axioms) {
+    TranslateEnv Env;
+    Env.CurArray = dryad::prefixedArrays();
+    std::vector<LExprRef> Bound;
+    for (const dryad::SpecParam &P : Ax.Params) {
+      LExprRef BV = vir::mkVar(
+          "?ax" + std::to_string(Counter) + "$" + P.Name, P.ParamSort);
+      Env.Vars[P.Name] = BV;
+      Bound.push_back(BV);
+    }
+    // Close over the heap state: quantify the field arrays too, so the
+    // axiom holds at every SSA version of the heap.
+    for (const dryad::FieldKey &FK :
+         dryad::axiomFieldDeps(Ax, Prog.Defs, Prog.LogicStructs)) {
+      LExprRef AV = vir::mkVar("?ax" + std::to_string(Counter) + "$arr" +
+                                   FK.arrayName(),
+                               FK.arraySort());
+      Bound.push_back(AV);
+      Env.CurArray = [FK, AV,
+                      Prev = Env.CurArray](const dryad::FieldKey &Q) {
+        if (Q == FK)
+          return AV;
+        return Prev(Q);
+      };
+    }
+    Out.push_back(vir::mkForall(Bound, Tr.formula(Ax.Body, Env, nullptr)));
+    ++Counter;
+  }
+  return Out;
+}

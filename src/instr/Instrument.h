@@ -1,0 +1,87 @@
+//===- Instrument.h - Natural-proof ghost-code synthesis --------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core contribution (Section 3.3, Figure 5): synthesizing
+/// ghost code that forces the downstream pipeline to find natural
+/// proofs. Four families of ghost statements are inserted into the
+/// normalized AST:
+///
+///  - Unfolding: one-step expansions of every pertinent recursive
+///    definition at dereferenced locations (and across the footprint
+///    after heap changes).
+///  - Preservation: frame facts after destructive updates and calls —
+///    a definition whose (pre-state) heaplet avoids the modified
+///    region keeps its value, and fields of locations outside the
+///    callee's heaplet are unchanged.
+///  - Current-heaplet maintenance: the ghost variable $G is updated at
+///    malloc, free and calls.
+///  - State memoization: ghost snapshots of dereferenced locations,
+///    their field values and (around heap changes) the touched field
+///    arrays, so later annotations can refer back to earlier states.
+///
+/// Every inserted fact is an ordinary AST ghost statement, so the
+/// instrumented program can be printed and its annotations counted for
+/// the Figure 6 reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_INSTR_INSTRUMENT_H
+#define VCDRYAD_INSTR_INSTRUMENT_H
+
+#include "cfront/Ast.h"
+#include "support/Diagnostics.h"
+
+namespace vcdryad {
+namespace instr {
+
+struct InstrOptions {
+  /// Unfold recursive definitions at dereferenced locations
+  /// (natural-proof tactic (a); ablation A disables).
+  bool Unfold = true;
+  /// Emit frame/preservation facts after destructive updates and calls
+  /// (ablation B disables).
+  bool Preservation = true;
+
+  enum class AxiomMode {
+    Footprint,  ///< Instantiate axioms over footprint tuples (default).
+    Quantified, ///< Pass axioms to the solver quantified (ablation C).
+    Off,
+  };
+  AxiomMode Axioms = AxiomMode::Footprint;
+
+  /// Cap on instantiation tuples per definition/axiom per program
+  /// point (multi-parameter definitions combine footprint entries).
+  unsigned MaxTuplesPerSite = 400;
+};
+
+/// Counts for the Figure 6 comparison.
+struct AnnotationStats {
+  unsigned Manual = 0; ///< requires/ensures/invariant/assert/assume.
+  unsigned Ghost = 0;  ///< synthesized ghost statements.
+};
+
+/// Inserts natural-proof ghost code into the (normalized) body of
+/// \p F. Idempotent only on un-instrumented functions.
+void instrumentFunction(cfront::FuncDecl &F, cfront::Program &Prog,
+                        const InstrOptions &Opts, DiagnosticEngine &Diag);
+
+/// Instruments every function with a body.
+void instrumentProgram(cfront::Program &Prog, const InstrOptions &Opts,
+                       DiagnosticEngine &Diag);
+
+/// Counts manual vs ghost annotations of (an instrumented) \p F.
+AnnotationStats countAnnotations(const cfront::FuncDecl &F);
+
+/// The program's data-structure axioms as quantified formulas, for
+/// InstrOptions::AxiomMode::Quantified.
+std::vector<vir::LExprRef> quantifiedAxioms(const cfront::Program &Prog,
+                                            DiagnosticEngine &Diag);
+
+} // namespace instr
+} // namespace vcdryad
+
+#endif // VCDRYAD_INSTR_INSTRUMENT_H

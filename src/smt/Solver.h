@@ -1,0 +1,67 @@
+//===- Solver.h - SMT solving interface -------------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver interface the verifier talks to. The natural-proof
+/// pipeline produces quantifier-free VCs except for the set-ordering
+/// atoms (array property fragment) and the optional quantified-axiom
+/// ablation mode; the backend (Z3) is expected to decide these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SMT_SOLVER_H
+#define VCDRYAD_SMT_SOLVER_H
+
+#include "vir/LExpr.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace smt {
+
+enum class CheckStatus {
+  Valid,   ///< Guard entails Goal.
+  Invalid, ///< Counterexample found.
+  Unknown, ///< Timeout / incompleteness.
+};
+
+struct CheckResult {
+  CheckStatus Status = CheckStatus::Unknown;
+  /// Counterexample model (Invalid) or solver message (Unknown).
+  std::string Detail;
+  double TimeMs = 0.0;
+};
+
+struct SolverOptions {
+  unsigned TimeoutMs = 60000;
+  /// Background facts added to every query (quantified-axiom mode).
+  std::vector<vir::LExprRef> BackgroundAxioms;
+  /// Cap on the counterexample text kept in CheckResult::Detail.
+  size_t MaxModelChars = 4000;
+};
+
+/// One solving session; reusable across checks of one program.
+class SmtSolver {
+public:
+  virtual ~SmtSolver() = default;
+
+  /// Checks that \p Guard entails \p Goal (both Bool-sorted).
+  virtual CheckResult checkValid(const vir::LExprRef &Guard,
+                                 const vir::LExprRef &Goal) = 0;
+
+  /// Renders Guard ∧ ¬Goal as SMT-LIB2 text (debugging, `--smtlib`).
+  virtual std::string toSmtLib(const vir::LExprRef &Guard,
+                               const vir::LExprRef &Goal) = 0;
+};
+
+std::unique_ptr<SmtSolver> createZ3Solver(const SolverOptions &Opts = {});
+
+} // namespace smt
+} // namespace vcdryad
+
+#endif // VCDRYAD_SMT_SOLVER_H

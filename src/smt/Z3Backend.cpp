@@ -1,0 +1,361 @@
+//===- Z3Backend.cpp - Lowering VIR expressions to Z3 ----------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers VIR expressions to Z3 (Section 4.1 of the paper): locations
+/// are an uninterpreted sort with a distinguished nil; sets of
+/// locations/integers are Z3 array-sets (extended array theory [14]);
+/// multisets are Int -> Int count arrays with pointwise lambdas;
+/// set-ordering atoms become guarded quantifiers in the array property
+/// fragment [6]; recursive definitions stay uninterpreted functions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include "support/Timer.h"
+
+#include <cassert>
+#include <map>
+
+#include <z3++.h>
+
+using namespace vcdryad;
+using namespace vcdryad::smt;
+using namespace vcdryad::vir;
+
+namespace {
+
+class Z3Lowering {
+public:
+  // Locations are modeled as Z3 integers, not an uninterpreted sort:
+  // Z3 4.8's array-set decision procedure (map combinators +
+  // extensionality) produces spurious models over uninterpreted
+  // domains (see tests/smt_test.cpp SetAlgebra). No location
+  // arithmetic is ever emitted, so the embedding is sound.
+  explicit Z3Lowering(z3::context &Ctx)
+      : Ctx(Ctx), LocSort(Ctx.int_sort()) {}
+
+  z3::expr lower(const LExprRef &E) {
+    auto It = Cache.find(E.get());
+    if (It != Cache.end())
+      return It->second;
+    z3::expr R = lowerUncached(E);
+    Cache.emplace(E.get(), R);
+    return R;
+  }
+
+  void clearNodeCache() { Cache.clear(); }
+
+private:
+  z3::context &Ctx;
+  z3::sort LocSort;
+  std::map<const LExpr *, z3::expr> Cache;
+  std::map<std::string, z3::func_decl> FuncDecls;
+  /// Bound variables currently in scope (shadow constants).
+  std::map<std::string, z3::expr> BoundVars;
+
+  z3::sort sortOf(Sort S) {
+    switch (S) {
+    case Sort::Bool:
+      return Ctx.bool_sort();
+    case Sort::Int:
+      return Ctx.int_sort();
+    case Sort::Loc:
+      return LocSort;
+    case Sort::SetLoc:
+      return Ctx.array_sort(LocSort, Ctx.bool_sort());
+    case Sort::SetInt:
+      return Ctx.array_sort(Ctx.int_sort(), Ctx.bool_sort());
+    case Sort::MSetInt:
+      return Ctx.array_sort(Ctx.int_sort(), Ctx.int_sort());
+    case Sort::ArrLocLoc:
+      return Ctx.array_sort(LocSort, LocSort);
+    case Sort::ArrLocInt:
+      return Ctx.array_sort(LocSort, Ctx.int_sort());
+    }
+    assert(false && "unhandled sort");
+    return Ctx.bool_sort();
+  }
+
+  z3::expr emptyOf(Sort S) {
+    switch (S) {
+    case Sort::SetLoc:
+      return z3::const_array(LocSort, Ctx.bool_val(false));
+    case Sort::SetInt:
+      return z3::const_array(Ctx.int_sort(), Ctx.bool_val(false));
+    case Sort::MSetInt:
+      return z3::const_array(Ctx.int_sort(), Ctx.int_val(0));
+    default:
+      assert(false && "empty of non-set sort");
+      return Ctx.bool_val(false);
+    }
+  }
+
+  z3::func_decl funcDecl(const LExpr &App) {
+    auto It = FuncDecls.find(App.Name);
+    if (It != FuncDecls.end())
+      return It->second;
+    z3::sort_vector Doms(Ctx);
+    for (const LExprRef &A : App.Args)
+      Doms.push_back(sortOf(A->sort()));
+    z3::func_decl FD =
+        Ctx.function(App.Name.c_str(), Doms, sortOf(App.sort()));
+    FuncDecls.emplace(App.Name, FD);
+    return FD;
+  }
+
+  /// A fresh bound variable for quantifier lowering.
+  z3::expr freshBound(const char *Hint, Sort S) {
+    static unsigned Counter = 0;
+    std::string Name = std::string("?") + Hint + std::to_string(Counter++);
+    return Ctx.constant(Name.c_str(), sortOf(S));
+  }
+
+  z3::expr memberOf(const z3::expr &Elem, const LExprRef &Set,
+                    const z3::expr &SetE) {
+    if (Set->sort() == Sort::MSetInt)
+      return z3::select(SetE, Elem) >= 1;
+    return z3::select(SetE, Elem);
+  }
+
+  z3::expr lowerUncached(const LExprRef &E) {
+    switch (E->Op) {
+    case LOp::Var: {
+      auto It = BoundVars.find(E->Name);
+      if (It != BoundVars.end())
+        return It->second;
+      return Ctx.constant(E->Name.c_str(), sortOf(E->sort()));
+    }
+    case LOp::IntConst:
+      return Ctx.int_val(static_cast<int64_t>(E->IntVal));
+    case LOp::BoolConst:
+      return Ctx.bool_val(E->IntVal != 0);
+    case LOp::NilConst:
+      return Ctx.constant("nil", LocSort);
+    case LOp::And: {
+      z3::expr_vector V(Ctx);
+      for (const LExprRef &A : E->Args)
+        V.push_back(lower(A));
+      return z3::mk_and(V);
+    }
+    case LOp::Or: {
+      z3::expr_vector V(Ctx);
+      for (const LExprRef &A : E->Args)
+        V.push_back(lower(A));
+      return z3::mk_or(V);
+    }
+    case LOp::Not:
+      return !lower(E->Args[0]);
+    case LOp::Implies:
+      return z3::implies(lower(E->Args[0]), lower(E->Args[1]));
+    case LOp::Ite:
+      return z3::ite(lower(E->Args[0]), lower(E->Args[1]),
+                     lower(E->Args[2]));
+    case LOp::Eq:
+      return lower(E->Args[0]) == lower(E->Args[1]);
+    case LOp::IntLt:
+      return lower(E->Args[0]) < lower(E->Args[1]);
+    case LOp::IntLe:
+      return lower(E->Args[0]) <= lower(E->Args[1]);
+    case LOp::IntAdd:
+      return lower(E->Args[0]) + lower(E->Args[1]);
+    case LOp::IntSub:
+      return lower(E->Args[0]) - lower(E->Args[1]);
+    case LOp::Select:
+      return z3::select(lower(E->Args[0]), lower(E->Args[1]));
+    case LOp::Store:
+      return z3::store(lower(E->Args[0]), lower(E->Args[1]),
+                       lower(E->Args[2]));
+    case LOp::EmptySet:
+      return emptyOf(E->sort());
+    case LOp::Singleton: {
+      z3::expr Elem = lower(E->Args[0]);
+      if (E->sort() == Sort::MSetInt)
+        return z3::store(emptyOf(Sort::MSetInt), Elem, Ctx.int_val(1));
+      return z3::store(emptyOf(E->sort()), Elem, Ctx.bool_val(true));
+    }
+    case LOp::Union: {
+      z3::expr A = lower(E->Args[0]);
+      z3::expr B = lower(E->Args[1]);
+      if (E->sort() == Sort::MSetInt) {
+        z3::expr X = freshBound("m", Sort::Int);
+        return z3::lambda(X, z3::select(A, X) + z3::select(B, X));
+      }
+      return z3::set_union(A, B);
+    }
+    case LOp::Inter: {
+      z3::expr A = lower(E->Args[0]);
+      z3::expr B = lower(E->Args[1]);
+      if (E->sort() == Sort::MSetInt) {
+        z3::expr X = freshBound("m", Sort::Int);
+        z3::expr CA = z3::select(A, X);
+        z3::expr CB = z3::select(B, X);
+        return z3::lambda(X, z3::ite(CA <= CB, CA, CB));
+      }
+      return z3::set_intersect(A, B);
+    }
+    case LOp::Minus: {
+      z3::expr A = lower(E->Args[0]);
+      z3::expr B = lower(E->Args[1]);
+      if (E->sort() == Sort::MSetInt) {
+        // Pointwise monus.
+        z3::expr X = freshBound("m", Sort::Int);
+        z3::expr D = z3::select(A, X) - z3::select(B, X);
+        return z3::lambda(X, z3::ite(D >= 0, D, Ctx.int_val(0)));
+      }
+      return z3::set_difference(A, B);
+    }
+    case LOp::Member:
+      return memberOf(lower(E->Args[0]), E->Args[1], lower(E->Args[1]));
+    case LOp::Subset: {
+      z3::expr A = lower(E->Args[0]);
+      z3::expr B = lower(E->Args[1]);
+      if (E->Args[0]->sort() == Sort::MSetInt) {
+        // Pointwise <= via extensional min.
+        z3::expr X = freshBound("m", Sort::Int);
+        z3::expr CA = z3::select(A, X);
+        z3::expr CB = z3::select(B, X);
+        z3::expr Min = z3::lambda(X, z3::ite(CA <= CB, CA, CB));
+        return Min == A;
+      }
+      return z3::set_subset(A, B);
+    }
+    case LOp::SetLeSet:
+    case LOp::SetLtSet: {
+      z3::expr A = lower(E->Args[0]);
+      z3::expr B = lower(E->Args[1]);
+      z3::expr X = freshBound("x", Sort::Int);
+      z3::expr Y = freshBound("y", Sort::Int);
+      z3::expr Prem = memberOf(X, E->Args[0], A) && memberOf(Y, E->Args[1], B);
+      z3::expr Conc = E->Op == LOp::SetLeSet ? X <= Y : X < Y;
+      return z3::forall(X, Y, z3::implies(Prem, Conc));
+    }
+    case LOp::SetLeInt:
+    case LOp::SetLtInt: {
+      z3::expr A = lower(E->Args[0]);
+      z3::expr K = lower(E->Args[1]);
+      z3::expr X = freshBound("x", Sort::Int);
+      z3::expr Conc = E->Op == LOp::SetLeInt ? X <= K : X < K;
+      return z3::forall(X, z3::implies(memberOf(X, E->Args[0], A), Conc));
+    }
+    case LOp::IntLeSet:
+    case LOp::IntLtSet: {
+      z3::expr K = lower(E->Args[0]);
+      z3::expr A = lower(E->Args[1]);
+      z3::expr X = freshBound("x", Sort::Int);
+      z3::expr Conc = E->Op == LOp::IntLeSet ? K <= X : K < X;
+      return z3::forall(X, z3::implies(memberOf(X, E->Args[1], A), Conc));
+    }
+    case LOp::FuncApp: {
+      z3::func_decl FD = funcDecl(*E);
+      z3::expr_vector Args(Ctx);
+      for (const LExprRef &A : E->Args)
+        Args.push_back(lower(A));
+      return FD(Args);
+    }
+    case LOp::Forall: {
+      // Bound variables shadow global constants of the same name.
+      z3::expr_vector Bound(Ctx);
+      std::vector<std::pair<std::string, z3::expr>> Saved;
+      size_t N = E->Args.size() - 1;
+      for (size_t I = 0; I != N; ++I) {
+        const LExprRef &V = E->Args[I];
+        z3::expr BV = freshBound(V->Name.c_str(), V->sort());
+        Bound.push_back(BV);
+        auto It = BoundVars.find(V->Name);
+        if (It != BoundVars.end())
+          Saved.emplace_back(V->Name, It->second);
+        BoundVars.insert_or_assign(V->Name, BV);
+      }
+      // The body must be lowered fresh (cache would leak bound vars).
+      std::map<const LExpr *, z3::expr> SavedCache;
+      std::swap(SavedCache, Cache);
+      z3::expr Body = lower(E->Args.back());
+      std::swap(SavedCache, Cache);
+      for (size_t I = 0; I != N; ++I)
+        BoundVars.erase(E->Args[I]->Name);
+      for (auto &[Name, Old] : Saved)
+        BoundVars.insert_or_assign(Name, Old);
+      return z3::forall(Bound, Body);
+    }
+    }
+    assert(false && "unhandled LExpr op");
+    return Ctx.bool_val(true);
+  }
+};
+
+class Z3SolverImpl : public SmtSolver {
+public:
+  explicit Z3SolverImpl(const SolverOptions &Opts)
+      : Opts(Opts), Lower(Ctx) {}
+
+  CheckResult checkValid(const LExprRef &Guard,
+                         const LExprRef &Goal) override {
+    Timer T;
+    CheckResult R;
+    // LExpr nodes are cached by address; addresses are recycled across
+    // queries, so the per-node cache must not outlive one check.
+    Lower.clearNodeCache();
+    try {
+      z3::solver S(Ctx);
+      z3::params P(Ctx);
+      P.set("timeout", Opts.TimeoutMs);
+      S.set(P);
+      for (const LExprRef &Ax : Opts.BackgroundAxioms)
+        S.add(Lower.lower(Ax));
+      S.add(Lower.lower(Guard));
+      S.add(!Lower.lower(Goal));
+      switch (S.check()) {
+      case z3::unsat:
+        R.Status = CheckStatus::Valid;
+        break;
+      case z3::sat: {
+        R.Status = CheckStatus::Invalid;
+        std::string M = S.get_model().to_string();
+        if (M.size() > Opts.MaxModelChars)
+          M.resize(Opts.MaxModelChars);
+        R.Detail = std::move(M);
+        break;
+      }
+      case z3::unknown:
+        R.Status = CheckStatus::Unknown;
+        R.Detail = S.reason_unknown();
+        break;
+      }
+    } catch (const z3::exception &Ex) {
+      R.Status = CheckStatus::Unknown;
+      R.Detail = std::string("z3 error: ") + Ex.msg();
+    }
+    R.TimeMs = T.millis();
+    return R;
+  }
+
+  std::string toSmtLib(const LExprRef &Guard, const LExprRef &Goal) override {
+    Lower.clearNodeCache();
+    try {
+      z3::solver S(Ctx);
+      for (const LExprRef &Ax : Opts.BackgroundAxioms)
+        S.add(Lower.lower(Ax));
+      S.add(Lower.lower(Guard));
+      S.add(!Lower.lower(Goal));
+      return S.to_smt2();
+    } catch (const z3::exception &Ex) {
+      return std::string("; z3 error: ") + Ex.msg();
+    }
+  }
+
+private:
+  SolverOptions Opts;
+  z3::context Ctx;
+  Z3Lowering Lower;
+};
+
+} // namespace
+
+std::unique_ptr<SmtSolver> smt::createZ3Solver(const SolverOptions &Opts) {
+  return std::make_unique<Z3SolverImpl>(Opts);
+}

@@ -1,0 +1,42 @@
+//===- Diagnostics.cpp - Error reporting ----------------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace vcdryad;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "diag";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  if (Loc.isValid()) {
+    Out += Loc.str();
+    Out += ": ";
+  }
+  Out += severityName(Severity);
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

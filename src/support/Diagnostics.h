@@ -1,0 +1,66 @@
+//===- Diagnostics.h - Error reporting --------------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostic engine: every stage of the pipeline reports
+/// errors/warnings here instead of printing or aborting, so library
+/// clients (tests, benches, the CLI) decide how to surface them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SUPPORT_DIAGNOSTICS_H
+#define VCDRYAD_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagSeverity Severity;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "file-less" single-line text, e.g. "3:7: error: ...".
+  std::string str() const;
+};
+
+/// Collects diagnostics for one compilation. Cheap to construct; pass
+/// by reference through the pipeline.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Msg)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Msg)});
+  }
+  void note(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({DiagSeverity::Note, Loc, std::move(Msg)});
+  }
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// All diagnostics joined by newlines (for test failure messages and
+  /// the CLI).
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace vcdryad
+
+#endif // VCDRYAD_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,43 @@
+//===- SourceLoc.h - Source locations for diagnostics -----------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column source locations used by the frontend, the
+/// spec parser and the diagnostic engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SUPPORT_SOURCELOC_H
+#define VCDRYAD_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace vcdryad {
+
+/// A position in a source buffer. Line and column are 1-based; a
+/// default-constructed location is "unknown" (line 0).
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(int Line, int Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line > 0; }
+
+  bool operator==(const SourceLoc &RHS) const = default;
+
+  /// Renders as "line:col", or "<unknown>" for the invalid location.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace vcdryad
+
+#endif // VCDRYAD_SUPPORT_SOURCELOC_H

@@ -1,0 +1,44 @@
+//===- StringUtil.cpp - Small string helpers ------------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace vcdryad;
+
+std::string vcdryad::join(const std::vector<std::string> &Parts,
+                          std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::string_view vcdryad::trim(std::string_view S) {
+  size_t B = S.find_first_not_of(" \t\r\n");
+  if (B == std::string_view::npos)
+    return {};
+  size_t E = S.find_last_not_of(" \t\r\n");
+  return S.substr(B, E - B + 1);
+}
+
+bool vcdryad::startsWith(std::string_view S, std::string_view Prefix) {
+  return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+std::optional<std::string> vcdryad::readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}

@@ -1,0 +1,38 @@
+//===- StringUtil.h - Small string helpers ----------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared across the pipeline: joining, trimming and
+/// whole-file reading.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SUPPORT_STRINGUTIL_H
+#define VCDRYAD_SUPPORT_STRINGUTIL_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vcdryad {
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts,
+                 std::string_view Sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view trim(std::string_view S);
+
+/// Returns true if \p S starts with \p Prefix.
+bool startsWith(std::string_view S, std::string_view Prefix);
+
+/// Reads a whole file; std::nullopt if it cannot be opened.
+std::optional<std::string> readFile(const std::string &Path);
+
+} // namespace vcdryad
+
+#endif // VCDRYAD_SUPPORT_STRINGUTIL_H

@@ -1,0 +1,39 @@
+//===- Timer.h - Wall-clock timing ------------------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock stopwatch used by the verifier driver and the Table-1
+/// benchmark harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SUPPORT_TIMER_H
+#define VCDRYAD_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace vcdryad {
+
+/// Starts on construction; seconds()/millis() report elapsed wall time.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+  double millis() const { return seconds() * 1000.0; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace vcdryad
+
+#endif // VCDRYAD_SUPPORT_TIMER_H

@@ -1,0 +1,209 @@
+//===- vcdryad.cpp - Command-line verifier ----------------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `vcdryad` CLI: verifies C files against DRYAD specifications
+/// using natural proofs. Also exposes the intermediate artifacts
+/// (instrumented source, VIR, VCs) for debugging failed proofs, in the
+/// spirit of Section 4.4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Normalize.h"
+#include "cfront/Parser.h"
+#include "instr/Instrument.h"
+#include "verifier/Verifier.h"
+#include "vir/Passify.h"
+#include "vir/WpGen.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace vcdryad;
+
+namespace {
+
+void printUsage() {
+  std::puts(
+      "usage: vcdryad [options] <file.c>...\n"
+      "\n"
+      "Verifies C programs against DRYAD separation-logic specifications\n"
+      "using natural proofs (Pek, Qiu, Madhusudan; PLDI 2014).\n"
+      "\n"
+      "options:\n"
+      "  --only=<fn>          verify a single function\n"
+      "  --timeout=<ms>       per-VC solver timeout (default 60000)\n"
+      "  --keep-going         report all failing VCs, not just the first\n"
+      "  --check-vacuity      flag functions whose ghost assumptions\n"
+      "                       are unsatisfiable (vacuous proofs)\n"
+      "  --no-unfold          disable footprint unfolding (ablation A)\n"
+      "  --no-preserve        disable frame preservation (ablation B)\n"
+      "  --axioms=<mode>      footprint | quantified | off\n"
+      "  --no-memsafety       skip null/ownership checks\n"
+      "  --stats              print manual vs ghost annotation counts\n"
+      "  --dump-instrumented  print the program after ghost synthesis\n"
+      "  --dump-vir           print the verification IR\n"
+      "  --dump-vcs           print the generated proof obligations\n");
+}
+
+struct CliOptions {
+  verifier::VerifyOptions Verify;
+  std::vector<std::string> Files;
+  bool Stats = false;
+  bool DumpInstrumented = false;
+  bool DumpVir = false;
+  bool DumpVcs = false;
+};
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto StartsWith = [&](const char *P) {
+      return A.rfind(P, 0) == 0;
+    };
+    if (A == "--help" || A == "-h")
+      return false;
+    if (StartsWith("--only=")) {
+      Cli.Verify.OnlyFunction = A.substr(7);
+    } else if (StartsWith("--timeout=")) {
+      Cli.Verify.TimeoutMs = std::stoul(A.substr(10));
+    } else if (A == "--keep-going") {
+      Cli.Verify.StopAtFirstFailure = false;
+    } else if (A == "--check-vacuity") {
+      Cli.Verify.CheckVacuity = true;
+    } else if (A == "--no-unfold") {
+      Cli.Verify.Instr.Unfold = false;
+    } else if (A == "--no-preserve") {
+      Cli.Verify.Instr.Preservation = false;
+    } else if (StartsWith("--axioms=")) {
+      std::string M = A.substr(9);
+      using AM = instr::InstrOptions::AxiomMode;
+      if (M == "footprint")
+        Cli.Verify.Instr.Axioms = AM::Footprint;
+      else if (M == "quantified")
+        Cli.Verify.Instr.Axioms = AM::Quantified;
+      else if (M == "off")
+        Cli.Verify.Instr.Axioms = AM::Off;
+      else {
+        std::fprintf(stderr, "error: unknown axiom mode '%s'\n",
+                     M.c_str());
+        return false;
+      }
+    } else if (A == "--no-memsafety") {
+      Cli.Verify.Translate.CheckMemorySafety = false;
+    } else if (A == "--stats") {
+      Cli.Stats = true;
+    } else if (A == "--dump-instrumented") {
+      Cli.DumpInstrumented = true;
+    } else if (A == "--dump-vir") {
+      Cli.DumpVir = true;
+    } else if (A == "--dump-vcs") {
+      Cli.DumpVcs = true;
+    } else if (StartsWith("--")) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", A.c_str());
+      return false;
+    } else {
+      Cli.Files.push_back(A);
+    }
+  }
+  return !Cli.Files.empty();
+}
+
+int runDumps(const CliOptions &Cli, const std::string &Path) {
+  DiagnosticEngine Diag;
+  auto Prog = cfront::parseFile(Path, Diag);
+  if (!Prog || Diag.hasErrors()) {
+    std::fprintf(stderr, "%s", Diag.str().c_str());
+    return 1;
+  }
+  cfront::normalizeProgram(*Prog, Diag);
+  instr::instrumentProgram(*Prog, Cli.Verify.Instr, Diag);
+  if (Diag.hasErrors()) {
+    std::fprintf(stderr, "%s", Diag.str().c_str());
+    return 1;
+  }
+  for (const auto &F : Prog->Funcs) {
+    if (!F->Body)
+      continue;
+    if (!Cli.Verify.OnlyFunction.empty() &&
+        F->Name != Cli.Verify.OnlyFunction)
+      continue;
+    if (Cli.DumpInstrumented)
+      std::printf("%s\n", F->str().c_str());
+    if (Cli.DumpVir || Cli.DumpVcs) {
+      vir::Procedure Proc =
+          verifier::translateFunction(*F, *Prog, Cli.Verify.Translate,
+                                      Diag);
+      if (Cli.DumpVir)
+        std::printf("%s\n", Proc.str().c_str());
+      if (Cli.DumpVcs) {
+        vir::Procedure Passive = vir::passify(Proc);
+        for (const vir::VC &VC : vir::generateVCs(Passive))
+          std::printf("VC [%s] at %s:\n  guard: %s\n  goal:  %s\n",
+                      VC.Reason.c_str(), VC.Loc.str().c_str(),
+                      VC.Guard->str().c_str(), VC.Cond->str().c_str());
+      }
+    }
+  }
+  return 0;
+}
+
+const char *statusName(smt::CheckStatus S) {
+  switch (S) {
+  case smt::CheckStatus::Valid:
+    return "valid";
+  case smt::CheckStatus::Invalid:
+    return "INVALID";
+  case smt::CheckStatus::Unknown:
+    return "UNKNOWN";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  if (!parseArgs(Argc, Argv, Cli)) {
+    printUsage();
+    return 2;
+  }
+
+  int Exit = 0;
+  for (const std::string &Path : Cli.Files) {
+    if (Cli.DumpInstrumented || Cli.DumpVir || Cli.DumpVcs) {
+      Exit |= runDumps(Cli, Path);
+      continue;
+    }
+    verifier::Verifier V(Cli.Verify);
+    verifier::ProgramResult R = V.verifyFile(Path);
+    if (!R.Ok) {
+      std::fprintf(stderr, "%s: frontend errors:\n%s", Path.c_str(),
+                   R.Error.c_str());
+      Exit = 1;
+      continue;
+    }
+    for (const verifier::FunctionResult &F : R.Functions) {
+      std::printf("%-40s %-8s %6.2fs  (%u VCs)\n", F.Name.c_str(),
+                  F.Verified ? "VERIFIED" : "FAILED", F.TimeMs / 1000.0,
+                  F.NumVCs);
+      if (Cli.Stats)
+        std::printf("    annotations: %u manual, %u ghost\n",
+                    F.Annotations.Manual, F.Annotations.Ghost);
+      for (const verifier::VCOutcome &O : F.Failures) {
+        std::printf("    %s at %s: %s\n", statusName(O.Status),
+                    O.Loc.str().c_str(), O.Reason.c_str());
+        if (!O.Detail.empty())
+          std::printf("      %s\n", O.Detail.substr(0, 400).c_str());
+      }
+    }
+    if (!R.AllVerified)
+      Exit = 1;
+  }
+  return Exit;
+}

@@ -1,0 +1,554 @@
+//===- FuncTranslator.cpp - Instrumented AST to VIR -------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verifier/FuncTranslator.h"
+
+#include "dryad/Translate.h"
+
+#include <cassert>
+#include <set>
+
+using namespace vcdryad;
+using namespace vcdryad::verifier;
+using namespace vcdryad::cfront;
+using dryad::FieldKey;
+using dryad::TranslateEnv;
+using vir::Block;
+using vir::LExprRef;
+using vir::Sort;
+
+namespace {
+
+class FuncTranslatorImpl {
+public:
+  FuncTranslatorImpl(const FuncDecl &F, const Program &Prog,
+                     const TranslateOptions &Opts, DiagnosticEngine &Diag)
+      : F(F), Prog(Prog), Opts(Opts), Diag(Diag),
+        Tr(Prog.Defs, Prog.LogicStructs, Diag) {}
+
+  vir::Procedure run() {
+    Proc.Name = F.Name;
+    declVar("$G", Sort::SetLoc);
+    // Field arrays and their entry-state snapshots.
+    for (const auto &[SN, SI] : Prog.LogicStructs.all())
+      for (const dryad::FieldInfo &FI : SI.Fields) {
+        FieldKey FK{SN, FI.Name, FI.FieldSort};
+        declVar(FK.arrayName(), FK.arraySort());
+        declVar("$old" + FK.arrayName(), FK.arraySort());
+        AllArrays.push_back(FK);
+      }
+    for (const ParamDecl &P : F.Params) {
+      declVar(P.Name, sortOfType(P.Ty));
+      declVar("$old$" + P.Name, sortOfType(P.Ty));
+      VarMap[P.Name] = vir::mkVar(P.Name, sortOfType(P.Ty));
+    }
+    if (!F.RetTy.isVoid())
+      declVar("$result", sortOfType(F.RetTy));
+
+    buildEntry();
+    if (F.Body)
+      translateBlock(*F.Body, Proc.Body);
+    // Fall-through exit.
+    if (F.RetTy.isVoid())
+      emitExitChecks(Proc.Body, nullptr, F.Loc);
+    else
+      Proc.Body.push_back(
+          vir::mkAssert(vir::mkBool(false),
+                        "control reaches end of non-void function",
+                        F.Loc));
+    return std::move(Proc);
+  }
+
+private:
+  const FuncDecl &F;
+  const Program &Prog;
+  const TranslateOptions &Opts;
+  DiagnosticEngine &Diag;
+  dryad::Translator Tr;
+  vir::Procedure Proc;
+  std::vector<FieldKey> AllArrays;
+  std::map<std::string, LExprRef> VarMap;
+  unsigned CallCounter = 0;
+
+  static Sort sortOfType(const CType &Ty) {
+    return Ty.isPtr() ? Sort::Loc : Sort::Int;
+  }
+
+  void declVar(const std::string &Name, Sort S) {
+    Proc.Vars.emplace(Name, S);
+  }
+
+  LExprRef gVar() const { return vir::mkVar("$G", Sort::SetLoc); }
+
+  /// The translation environment at the current program point.
+  TranslateEnv env(bool WithResult = false) const {
+    TranslateEnv E;
+    E.Vars = VarMap;
+    E.CurArray = dryad::prefixedArrays();
+    E.OldArray = dryad::prefixedArrays("$old");
+    for (const ParamDecl &P : F.Params)
+      E.OldVars[P.Name] =
+          vir::mkVar("$old$" + P.Name, sortOfType(P.Ty));
+    if (WithResult && !F.RetTy.isVoid())
+      E.ResultVal = vir::mkVar("$result", sortOfType(F.RetTy));
+    return E;
+  }
+
+  static dryad::FormulaRef conjoin(const std::vector<dryad::FormulaRef> &Fs) {
+    if (Fs.empty())
+      return std::make_shared<dryad::Formula>(dryad::FormulaKind::True);
+    dryad::FormulaRef Acc = Fs[0];
+    for (size_t I = 1; I != Fs.size(); ++I) {
+      auto And = std::make_shared<dryad::Formula>(dryad::FormulaKind::And);
+      And->Subs = {Acc, Fs[I]};
+      Acc = And;
+    }
+    return Acc;
+  }
+
+  void buildEntry() {
+    Block &B = Proc.Body;
+    // Entry snapshots for old().
+    for (const FieldKey &FK : AllArrays)
+      B.push_back(vir::mkAssign("$old" + FK.arrayName(), FK.arraySort(),
+                                vir::mkVar(FK.arrayName(),
+                                           FK.arraySort())));
+    for (const ParamDecl &P : F.Params)
+      B.push_back(vir::mkAssign("$old$" + P.Name, sortOfType(P.Ty),
+                                vir::mkVar(P.Name, sortOfType(P.Ty))));
+    // The function's heaplet: exactly the precondition's scope.
+    dryad::FormulaRef Pre = conjoin(F.Requires);
+    TranslateEnv E = env();
+    B.push_back(
+        vir::mkAssign("$G", Sort::SetLoc, Tr.scopeOfFormula(Pre, E)));
+    B.push_back(vir::mkAssume(Tr.formula(Pre, E, gVar())));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // C expressions
+  //===--------------------------------------------------------------------===//
+
+  LExprRef val(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::Var: {
+      auto It = VarMap.find(E.Name);
+      if (It != VarMap.end())
+        return It->second;
+      Diag.error(E.Loc, "untranslatable variable '" + E.Name + "'");
+      return vir::mkInt(0);
+    }
+    case ExprKind::IntLit:
+      return vir::mkInt(E.IntVal);
+    case ExprKind::Null:
+      return vir::mkNil();
+    case ExprKind::Unary:
+      if (E.UOp == UnOp::Neg)
+        return vir::mkIntSub(vir::mkInt(0), val(*E.Args[0]));
+      return boolToInt(cond(E));
+    case ExprKind::Binary:
+      switch (E.BOp) {
+      case BinOp::Add:
+        return vir::mkIntAdd(val(*E.Args[0]), val(*E.Args[1]));
+      case BinOp::Sub:
+        return vir::mkIntSub(val(*E.Args[0]), val(*E.Args[1]));
+      default:
+        return boolToInt(cond(E));
+      }
+    default:
+      Diag.error(E.Loc, "expression not normalized: " + E.str());
+      return vir::mkInt(0);
+    }
+  }
+
+  static LExprRef boolToInt(LExprRef B) {
+    return vir::mkIte(std::move(B), vir::mkInt(1), vir::mkInt(0));
+  }
+
+  /// Boolean reading of a C condition.
+  LExprRef cond(const Expr &E) {
+    switch (E.Kind) {
+    case ExprKind::Unary:
+      if (E.UOp == UnOp::Not)
+        return vir::mkNot(cond(*E.Args[0]));
+      break;
+    case ExprKind::Binary:
+      switch (E.BOp) {
+      case BinOp::Eq:
+        return vir::mkEq(val(*E.Args[0]), val(*E.Args[1]));
+      case BinOp::Ne:
+        return vir::mkNe(val(*E.Args[0]), val(*E.Args[1]));
+      case BinOp::Lt:
+        return vir::mkIntLt(val(*E.Args[0]), val(*E.Args[1]));
+      case BinOp::Le:
+        return vir::mkIntLe(val(*E.Args[0]), val(*E.Args[1]));
+      case BinOp::Gt:
+        return vir::mkIntLt(val(*E.Args[1]), val(*E.Args[0]));
+      case BinOp::Ge:
+        return vir::mkIntLe(val(*E.Args[1]), val(*E.Args[0]));
+      case BinOp::LAnd:
+        return vir::mkAnd(cond(*E.Args[0]), cond(*E.Args[1]));
+      case BinOp::LOr:
+        return vir::mkOr(cond(*E.Args[0]), cond(*E.Args[1]));
+      default:
+        break;
+      }
+      break;
+    default:
+      break;
+    }
+    LExprRef V = val(E);
+    if (V->sort() == Sort::Loc)
+      return vir::mkNe(V, vir::mkNil());
+    if (V->sort() == Sort::Int)
+      return vir::mkNe(V, vir::mkInt(0));
+    return V;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void translateBlock(const Stmt &B, Block &Out) {
+    assert(B.Kind == StmtKind::Block);
+    auto Saved = VarMap;
+    for (const StmtRef &S : B.Stmts)
+      translateStmt(*S, Out);
+    VarMap = std::move(Saved);
+  }
+
+  void translateStmt(const Stmt &S, Block &Out) {
+    switch (S.Kind) {
+    case StmtKind::Block:
+      translateBlock(S, Out);
+      return;
+    case StmtKind::Decl: {
+      Sort VS = sortOfType(S.DeclTy);
+      declVar(S.DeclName, VS);
+      VarMap[S.DeclName] = vir::mkVar(S.DeclName, VS);
+      assert(!S.Rhs && "declarations are initializer-free after "
+                       "normalization");
+      return;
+    }
+    case StmtKind::Assign:
+      translateAssign(S, Out);
+      return;
+    case StmtKind::If: {
+      Block Then, Else;
+      translateBlock(*S.Then, Then);
+      if (S.Else)
+        translateBlock(*S.Else, Else);
+      Out.push_back(vir::mkIf(cond(*S.Cond), std::move(Then),
+                              std::move(Else)));
+      return;
+    }
+    case StmtKind::While:
+      translateWhile(S, Out);
+      return;
+    case StmtKind::Return: {
+      if (S.Rhs)
+        Out.push_back(vir::mkAssign("$result", sortOfType(F.RetTy),
+                                    val(*S.Rhs)));
+      emitExitChecks(Out, S.Rhs ? &*S.Rhs : nullptr, S.Loc);
+      Out.push_back(vir::mkAssume(vir::mkBool(false)));
+      return;
+    }
+    case StmtKind::ExprStmt:
+      if (S.Rhs && S.Rhs->Kind == ExprKind::Call)
+        translateCall(*S.Rhs, /*RetVar=*/"", S.Loc, Out);
+      return;
+    case StmtKind::Free: {
+      LExprRef U = val(*S.Rhs);
+      if (Opts.CheckMemorySafety) {
+        Out.push_back(
+            vir::mkAssert(vir::mkNe(U, vir::mkNil()), "free of NULL",
+                          S.Loc));
+        Out.push_back(vir::mkAssert(vir::mkMember(U, gVar()),
+                                    "free outside the owned heaplet",
+                                    S.Loc));
+      }
+      return;
+    }
+    case StmtKind::Assert: {
+      TranslateEnv E = env();
+      Out.push_back(vir::mkAssert(Tr.formula(S.Spec, E, nullptr),
+                                  "assertion: " + S.Spec->str(), S.Loc));
+      return;
+    }
+    case StmtKind::Assume: {
+      TranslateEnv E = env();
+      Out.push_back(vir::mkAssume(Tr.formula(S.Spec, E, nullptr)));
+      return;
+    }
+    case StmtKind::GhostAssume:
+      Out.push_back(vir::mkAssume(S.Ghost));
+      return;
+    case StmtKind::GhostAssign:
+      declVar(S.GhostVar, S.Ghost->sort());
+      Out.push_back(
+          vir::mkAssign(S.GhostVar, S.Ghost->sort(), S.Ghost));
+      return;
+    case StmtKind::GhostHavoc:
+      declVar(S.GhostVar, S.GhostSort);
+      Out.push_back(vir::mkHavoc(S.GhostVar, S.GhostSort));
+      return;
+    }
+  }
+
+  void translateAssign(const Stmt &S, Block &Out) {
+    // u->f = w
+    if (S.Lhs->Kind == ExprKind::FieldAccess) {
+      const Expr &Base = *S.Lhs->Args[0];
+      LExprRef U = val(Base);
+      if (Opts.CheckMemorySafety) {
+        Out.push_back(vir::mkAssert(vir::mkNe(U, vir::mkNil()),
+                                    "null dereference in field write",
+                                    S.Loc));
+        Out.push_back(vir::mkAssert(vir::mkMember(U, gVar()),
+                                    "field write outside the owned heaplet",
+                                    S.Loc));
+      }
+      const StructDecl *SD = Base.Ty.Pointee;
+      const FieldDecl *FD = SD ? SD->findField(S.Lhs->Name) : nullptr;
+      if (!FD) {
+        Diag.error(S.Loc, "unresolved field write");
+        return;
+      }
+      FieldKey FK{SD->Name, FD->Name,
+                  FD->Ty.isPtr() ? Sort::Loc : Sort::Int};
+      LExprRef Arr = vir::mkVar(FK.arrayName(), FK.arraySort());
+      Out.push_back(vir::mkAssign(FK.arrayName(), FK.arraySort(),
+                                  vir::mkStore(Arr, U, val(*S.Rhs))));
+      return;
+    }
+    // u = ...
+    const std::string &U = S.Lhs->Name;
+    Sort US = sortOfType(S.Lhs->Ty);
+    const Expr &Rhs = *S.Rhs;
+    switch (Rhs.Kind) {
+    case ExprKind::FieldAccess: {
+      const Expr &Base = *Rhs.Args[0];
+      LExprRef V = val(Base);
+      if (Opts.CheckMemorySafety)
+        Out.push_back(vir::mkAssert(vir::mkNe(V, vir::mkNil()),
+                                    "null dereference in field read",
+                                    S.Loc));
+      const StructDecl *SD = Base.Ty.Pointee;
+      const FieldDecl *FD = SD ? SD->findField(Rhs.Name) : nullptr;
+      if (!FD) {
+        Diag.error(S.Loc, "unresolved field read");
+        return;
+      }
+      FieldKey FK{SD->Name, FD->Name,
+                  FD->Ty.isPtr() ? Sort::Loc : Sort::Int};
+      LExprRef Arr = vir::mkVar(FK.arrayName(), FK.arraySort());
+      Out.push_back(vir::mkAssign(U, US, vir::mkSelect(Arr, V)));
+      return;
+    }
+    case ExprKind::Malloc: {
+      Out.push_back(vir::mkHavoc(U, Sort::Loc));
+      LExprRef UV = vir::mkVar(U, Sort::Loc);
+      Out.push_back(vir::mkAssume(
+          vir::mkAnd(vir::mkNe(UV, vir::mkNil()),
+                     vir::mkNot(vir::mkMember(UV, gVar())))));
+      return;
+    }
+    case ExprKind::Call:
+      translateCall(Rhs, U, S.Loc, Out);
+      return;
+    default:
+      Out.push_back(vir::mkAssign(U, US, val(Rhs)));
+      return;
+    }
+  }
+
+  void translateCall(const Expr &Call, const std::string &RetVar,
+                     SourceLoc Loc, Block &Out) {
+    const FuncDecl *Callee = Prog.findFunc(Call.Name);
+    if (!Callee) {
+      Diag.error(Loc, "call to unknown function '" + Call.Name + "'");
+      return;
+    }
+    unsigned K = CallCounter++;
+    TranslateEnv PreEnv = env();
+    PreEnv.Vars.clear();
+    for (size_t I = 0;
+         I != Callee->Params.size() && I != Call.Args.size(); ++I)
+      PreEnv.Vars[Callee->Params[I].Name] = val(*Call.Args[I]);
+
+    // Check the callee's precondition on its heaplet, and that the
+    // caller owns that heaplet.
+    dryad::FormulaRef Pre = conjoin(Callee->Requires);
+    LExprRef GPre = Tr.scopeOfFormula(Pre, PreEnv);
+    Out.push_back(vir::mkAssert(Tr.formula(Pre, PreEnv, GPre),
+                                "precondition of call to " + Call.Name,
+                                Loc));
+    if (Opts.CheckMemorySafety)
+      Out.push_back(vir::mkAssert(
+          vir::mkSubset(GPre, gVar()),
+          "callee heaplet not owned by caller (" + Call.Name + ")", Loc));
+    // Latch the pre-call heaplet and G into variables: every use after
+    // the havoc below must refer to the pre-call state.
+    std::string GPreVar = "$gpreV" + std::to_string(K);
+    declVar(GPreVar, Sort::SetLoc);
+    Out.push_back(vir::mkAssign(GPreVar, Sort::SetLoc, GPre));
+    GPre = vir::mkVar(GPreVar, Sort::SetLoc);
+
+    // Snapshot the heap for old() in the callee's postcondition, then
+    // havoc it (the instrumentation restores the frame).
+    std::string SnapPrefix = "$call" + std::to_string(K);
+    for (const FieldKey &FK : AllArrays) {
+      declVar(SnapPrefix + FK.arrayName(), FK.arraySort());
+      Out.push_back(
+          vir::mkAssign(SnapPrefix + FK.arrayName(), FK.arraySort(),
+                        vir::mkVar(FK.arrayName(), FK.arraySort())));
+    }
+    for (const FieldKey &FK : AllArrays)
+      Out.push_back(vir::mkHavoc(FK.arrayName(), FK.arraySort()));
+
+    // The result.
+    TranslateEnv PostEnv = PreEnv;
+    PostEnv.OldArray = dryad::prefixedArrays(SnapPrefix);
+    PostEnv.OldVars = PreEnv.Vars;
+    if (!Callee->RetTy.isVoid()) {
+      std::string R = RetVar;
+      if (R.empty()) {
+        R = "$ret" + std::to_string(K);
+        declVar(R, sortOfType(Callee->RetTy));
+      }
+      Out.push_back(vir::mkHavoc(R, sortOfType(Callee->RetTy)));
+      PostEnv.ResultVal = vir::mkVar(R, sortOfType(Callee->RetTy));
+    } else if (!RetVar.empty()) {
+      Diag.error(Loc, "assigning the result of a void function");
+    }
+
+    dryad::FormulaRef Post = conjoin(Callee->Ensures);
+    LExprRef GPost = Tr.scopeOfFormula(Post, PostEnv);
+    Out.push_back(vir::mkAssume(Tr.formula(Post, PostEnv, GPost)));
+    // Frame rule: the callee works inside G_pre plus freshly allocated
+    // cells, so its post-heaplet cannot intersect the caller's frame.
+    Out.push_back(vir::mkAssume(
+        vir::mkDisjoint(GPost, vir::mkMinus(gVar(), GPre))));
+  }
+
+  void translateWhile(const Stmt &S, Block &Out) {
+    // Translate the invariants once; VIR names are position-independent
+    // (passification versions them at each use site).
+    TranslateEnv E = env();
+    std::vector<LExprRef> Invs;
+    for (const dryad::FormulaRef &Inv : S.Invariants)
+      Invs.push_back(Tr.formula(Inv, E, gVar()));
+
+    for (size_t I = 0; I != Invs.size(); ++I)
+      Out.push_back(vir::mkAssert(Invs[I],
+                                  "loop invariant (entry): " +
+                                      S.Invariants[I]->str(),
+                                  S.Loc));
+
+    // Havoc everything the loop may modify.
+    std::set<std::string> Mods;
+    std::map<std::string, Sort> ModSorts;
+    collectMods(S, Mods, ModSorts);
+    for (const std::string &M : Mods) {
+      auto It = ModSorts.find(M);
+      Sort MS = It != ModSorts.end() ? It->second : Sort::Int;
+      declVar(M, MS);
+      Out.push_back(vir::mkHavoc(M, MS));
+    }
+
+    for (const LExprRef &Inv : Invs)
+      Out.push_back(vir::mkAssume(Inv));
+
+    // Condition prelude (re-evaluated each iteration).
+    for (const StmtRef &P : S.Stmts)
+      translateStmt(*P, Out);
+
+    Block BodyB;
+    translateBlock(*S.Then, BodyB);
+    for (size_t I = 0; I != Invs.size(); ++I)
+      BodyB.push_back(vir::mkAssert(Invs[I],
+                                    "loop invariant (maintained): " +
+                                        S.Invariants[I]->str(),
+                                    S.Loc));
+    BodyB.push_back(vir::mkAssume(vir::mkBool(false)));
+    Out.push_back(vir::mkIf(cond(*S.Cond), std::move(BodyB), {}));
+    // Fall-through continues with the negated condition (the passive
+    // if-join contributes it automatically).
+  }
+
+  /// Conservatively collects everything a loop iteration can modify.
+  void collectMods(const Stmt &S, std::set<std::string> &Mods,
+                   std::map<std::string, Sort> &Sorts) {
+    auto Add = [&](const std::string &N, Sort VS) {
+      Mods.insert(N);
+      Sorts[N] = VS;
+    };
+    auto AddAllArrays = [&] {
+      for (const FieldKey &FK : AllArrays)
+        Add(FK.arrayName(), FK.arraySort());
+    };
+    switch (S.Kind) {
+    case StmtKind::Assign:
+      if (S.Lhs->Kind == ExprKind::FieldAccess) {
+        const Expr &Base = *S.Lhs->Args[0];
+        if (const StructDecl *SD = Base.Ty.Pointee)
+          if (const FieldDecl *FD = SD->findField(S.Lhs->Name)) {
+            FieldKey FK{SD->Name, FD->Name,
+                        FD->Ty.isPtr() ? Sort::Loc : Sort::Int};
+            Add(FK.arrayName(), FK.arraySort());
+          }
+      } else {
+        Add(S.Lhs->Name, sortOfType(S.Lhs->Ty));
+      }
+      if (S.Rhs && S.Rhs->Kind == ExprKind::Call) {
+        AddAllArrays();
+        Add("$G", Sort::SetLoc);
+      }
+      if (S.Rhs && S.Rhs->Kind == ExprKind::Malloc)
+        Add("$G", Sort::SetLoc);
+      break;
+    case StmtKind::ExprStmt:
+      if (S.Rhs && S.Rhs->Kind == ExprKind::Call) {
+        AddAllArrays();
+        Add("$G", Sort::SetLoc);
+      }
+      break;
+    case StmtKind::Free:
+      Add("$G", Sort::SetLoc);
+      break;
+    case StmtKind::GhostAssign:
+      Add(S.GhostVar, S.Ghost->sort());
+      break;
+    case StmtKind::GhostHavoc:
+      Add(S.GhostVar, S.GhostSort);
+      break;
+    default:
+      break;
+    }
+    for (const StmtRef &Sub : S.Stmts)
+      collectMods(*Sub, Mods, Sorts);
+    if (S.Then)
+      collectMods(*S.Then, Mods, Sorts);
+    if (S.Else)
+      collectMods(*S.Else, Mods, Sorts);
+  }
+
+  void emitExitChecks(Block &Out, const Expr *RetVal, SourceLoc Loc) {
+    (void)RetVal;
+    TranslateEnv E = env(/*WithResult=*/true);
+    for (const dryad::FormulaRef &Ens : F.Ensures)
+      Out.push_back(vir::mkAssert(Tr.formula(Ens, E, gVar()),
+                                  "postcondition: " + Ens->str(), Loc));
+  }
+};
+
+} // namespace
+
+vir::Procedure verifier::translateFunction(const FuncDecl &F,
+                                           const Program &Prog,
+                                           const TranslateOptions &Opts,
+                                           DiagnosticEngine &Diag) {
+  return FuncTranslatorImpl(F, Prog, Opts, Diag).run();
+}

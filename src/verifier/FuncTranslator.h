@@ -1,0 +1,44 @@
+//===- FuncTranslator.h - Instrumented AST to VIR ---------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates one (normalized, instrumented) function to a loop-free
+/// VIR procedure: the Burstall-Bornat heap as field arrays, contracts
+/// via the Figure-4 translation with the ghost heaplet $G, loops cut
+/// at their invariants, calls summarised by their contracts with a
+/// whole-heap havoc (the instrumentation restores the frame), and
+/// old() resolved through entry-state snapshots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_VERIFIER_FUNCTRANSLATOR_H
+#define VCDRYAD_VERIFIER_FUNCTRANSLATOR_H
+
+#include "cfront/Ast.h"
+#include "support/Diagnostics.h"
+#include "vir/Vir.h"
+
+namespace vcdryad {
+namespace verifier {
+
+struct TranslateOptions {
+  /// Emit null-dereference asserts on every heap access and
+  /// ownership asserts (location within $G) on writes, frees and
+  /// callee heaplets.
+  bool CheckMemorySafety = true;
+};
+
+/// Translates \p F (which must be normalized; instrumentation is
+/// optional but required for proofs to succeed) into a VIR procedure.
+vir::Procedure translateFunction(const cfront::FuncDecl &F,
+                                 const cfront::Program &Prog,
+                                 const TranslateOptions &Opts,
+                                 DiagnosticEngine &Diag);
+
+} // namespace verifier
+} // namespace vcdryad
+
+#endif // VCDRYAD_VERIFIER_FUNCTRANSLATOR_H

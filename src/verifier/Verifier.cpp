@@ -1,0 +1,119 @@
+//===- Verifier.cpp - End-to-end verification driver ------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verifier/Verifier.h"
+
+#include "cfront/Normalize.h"
+#include "cfront/Parser.h"
+#include "support/Timer.h"
+#include "vir/Passify.h"
+#include "vir/WpGen.h"
+
+using namespace vcdryad;
+using namespace vcdryad::verifier;
+
+ProgramResult Verifier::verifyFile(const std::string &Path) {
+  DiagnosticEngine Diag;
+  std::unique_ptr<cfront::Program> Prog = cfront::parseFile(Path, Diag);
+  if (!Prog || Diag.hasErrors()) {
+    ProgramResult R;
+    R.Error = Diag.str();
+    return R;
+  }
+  return verifyProgram(*Prog, Diag);
+}
+
+ProgramResult Verifier::verifySource(const std::string &Source) {
+  DiagnosticEngine Diag;
+  std::unique_ptr<cfront::Program> Prog =
+      cfront::parseProgram(Source, Diag);
+  if (!Prog || Diag.hasErrors()) {
+    ProgramResult R;
+    R.Error = Diag.str();
+    return R;
+  }
+  return verifyProgram(*Prog, Diag);
+}
+
+ProgramResult Verifier::verifyProgram(cfront::Program &Prog,
+                                      DiagnosticEngine &Diag) {
+  ProgramResult Result;
+
+  cfront::normalizeProgram(Prog, Diag);
+  instr::instrumentProgram(Prog, Opts.Instr, Diag);
+  if (Diag.hasErrors()) {
+    Result.Error = Diag.str();
+    return Result;
+  }
+
+  smt::SolverOptions SOpts;
+  SOpts.TimeoutMs = Opts.TimeoutMs;
+  if (Opts.Instr.Axioms == instr::InstrOptions::AxiomMode::Quantified)
+    SOpts.BackgroundAxioms = instr::quantifiedAxioms(Prog, Diag);
+  std::unique_ptr<smt::SmtSolver> Solver = smt::createZ3Solver(SOpts);
+
+  Result.Ok = true;
+  Result.AllVerified = true;
+  for (const auto &F : Prog.Funcs) {
+    if (!F->Body)
+      continue;
+    if (!Opts.OnlyFunction.empty() && F->Name != Opts.OnlyFunction)
+      continue;
+    Timer T;
+    FunctionResult FR;
+    FR.Name = F->Name;
+    FR.Annotations = instr::countAnnotations(*F);
+
+    vir::Procedure Proc =
+        translateFunction(*F, Prog, Opts.Translate, Diag);
+    if (Diag.hasErrors()) {
+      Result.Error += Diag.str();
+      Result.Ok = false;
+      return Result;
+    }
+    vir::Procedure Passive = vir::passify(Proc);
+    std::vector<vir::VC> VCs = vir::generateVCs(Passive);
+    FR.NumVCs = VCs.size();
+
+    FR.Verified = true;
+    if (Opts.CheckVacuity && !VCs.empty()) {
+      // Check that a full return path is reachable: the guard of the
+      // first postcondition obligation accumulates every ghost
+      // assumption along it. (The very last VC can sit behind the
+      // intentional `assume false` that seals return paths, so it is
+      // the wrong probe.)
+      const vir::VC *Probe = &VCs.front();
+      for (const vir::VC &VC : VCs)
+        if (VC.Reason.rfind("postcondition", 0) == 0) {
+          Probe = &VC;
+          break;
+        }
+      smt::CheckResult CR =
+          Solver->checkValid(Probe->Guard, vir::mkBool(false));
+      if (CR.Status == smt::CheckStatus::Valid) {
+        FR.Verified = false;
+        FR.Failures.push_back({"vacuity check: ghost assumptions are "
+                               "unsatisfiable",
+                               Probe->Loc, smt::CheckStatus::Invalid,
+                               CR.TimeMs, ""});
+      }
+    }
+    for (const vir::VC &VC : VCs) {
+      smt::CheckResult CR = Solver->checkValid(VC.Guard, VC.Cond);
+      if (CR.Status != smt::CheckStatus::Valid) {
+        FR.Verified = false;
+        FR.Failures.push_back(
+            {VC.Reason, VC.Loc, CR.Status, CR.TimeMs, CR.Detail});
+        if (Opts.StopAtFirstFailure)
+          break;
+      }
+    }
+    FR.TimeMs = T.millis();
+    Result.AllVerified &= FR.Verified;
+    Result.Functions.push_back(std::move(FR));
+  }
+  return Result;
+}

@@ -1,0 +1,102 @@
+//===- Verifier.h - End-to-end verification driver --------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point of the library: parse -> type-check ->
+/// normalize -> natural-proof instrumentation -> VIR translation ->
+/// passification -> VC generation -> SMT solving, with per-function
+/// and per-VC results. This is what the CLI, the tests, the examples
+/// and the benchmark harnesses all drive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_VERIFIER_VERIFIER_H
+#define VCDRYAD_VERIFIER_VERIFIER_H
+
+#include "cfront/Ast.h"
+#include "instr/Instrument.h"
+#include "smt/Solver.h"
+#include "verifier/FuncTranslator.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace verifier {
+
+struct VerifyOptions {
+  instr::InstrOptions Instr;
+  TranslateOptions Translate;
+  unsigned TimeoutMs = 60000;
+  /// Stop a function's checks at its first failed VC.
+  bool StopAtFirstFailure = true;
+  /// Additionally check that the accumulated assumptions of each
+  /// function are satisfiable (a vacuity smoke test: an unsatisfiable
+  /// ghost-assumption set would "prove" anything).
+  bool CheckVacuity = false;
+  /// Only verify the named function (empty: all with bodies).
+  std::string OnlyFunction;
+};
+
+/// Outcome of one proof obligation.
+struct VCOutcome {
+  std::string Reason;
+  SourceLoc Loc;
+  smt::CheckStatus Status = smt::CheckStatus::Unknown;
+  double TimeMs = 0.0;
+  std::string Detail;
+};
+
+struct FunctionResult {
+  std::string Name;
+  bool Verified = false;
+  unsigned NumVCs = 0;
+  double TimeMs = 0.0;
+  instr::AnnotationStats Annotations;
+  /// Failed/unknown obligations (empty when Verified).
+  std::vector<VCOutcome> Failures;
+};
+
+struct ProgramResult {
+  bool Ok = false;          ///< Pipeline ran (no parse/type errors).
+  bool AllVerified = false; ///< Every checked function verified.
+  std::string Error;        ///< Diagnostics when !Ok.
+  std::vector<FunctionResult> Functions;
+
+  const FunctionResult *function(const std::string &Name) const {
+    for (const FunctionResult &F : Functions)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+class Verifier {
+public:
+  explicit Verifier(VerifyOptions Opts = {}) : Opts(std::move(Opts)) {}
+
+  /// Parses and verifies a whole file (resolving #include).
+  ProgramResult verifyFile(const std::string &Path);
+
+  /// Parses and verifies in-memory source text.
+  ProgramResult verifySource(const std::string &Source);
+
+  /// Runs the post-parse pipeline on an already-parsed program.
+  /// The program is normalized and instrumented in place.
+  ProgramResult verifyProgram(cfront::Program &Prog,
+                              DiagnosticEngine &Diag);
+
+  const VerifyOptions &options() const { return Opts; }
+
+private:
+  VerifyOptions Opts;
+};
+
+} // namespace verifier
+} // namespace vcdryad
+
+#endif // VCDRYAD_VERIFIER_VERIFIER_H

@@ -1,0 +1,379 @@
+//===- LExpr.cpp - Logical expressions of the verification IR -------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vir/LExpr.h"
+
+#include <cassert>
+
+using namespace vcdryad;
+using namespace vcdryad::vir;
+
+static LExprRef makeNode(LOp Op, Sort S, std::vector<LExprRef> Args) {
+  auto Node = std::make_shared<LExpr>(Op, S);
+  Node->Args = std::move(Args);
+  return Node;
+}
+
+LExprRef vir::mkVar(std::string Name, Sort S) {
+  auto Node = std::make_shared<LExpr>(LOp::Var, S);
+  Node->Name = std::move(Name);
+  return Node;
+}
+
+LExprRef vir::mkInt(int64_t V) {
+  auto Node = std::make_shared<LExpr>(LOp::IntConst, Sort::Int);
+  Node->IntVal = V;
+  return Node;
+}
+
+LExprRef vir::mkBool(bool B) {
+  auto Node = std::make_shared<LExpr>(LOp::BoolConst, Sort::Bool);
+  Node->IntVal = B ? 1 : 0;
+  return Node;
+}
+
+LExprRef vir::mkNil() {
+  return std::make_shared<LExpr>(LOp::NilConst, Sort::Loc);
+}
+
+LExprRef vir::mkAnd(std::vector<LExprRef> Conjuncts) {
+  for ([[maybe_unused]] const LExprRef &C : Conjuncts)
+    assert(C->sort() == Sort::Bool && "non-boolean conjunct");
+  if (Conjuncts.empty())
+    return mkBool(true);
+  if (Conjuncts.size() == 1)
+    return Conjuncts.front();
+  return makeNode(LOp::And, Sort::Bool, std::move(Conjuncts));
+}
+
+LExprRef vir::mkAnd(LExprRef A, LExprRef B) {
+  return mkAnd(std::vector<LExprRef>{std::move(A), std::move(B)});
+}
+
+LExprRef vir::mkOr(std::vector<LExprRef> Disjuncts) {
+  for ([[maybe_unused]] const LExprRef &D : Disjuncts)
+    assert(D->sort() == Sort::Bool && "non-boolean disjunct");
+  if (Disjuncts.empty())
+    return mkBool(false);
+  if (Disjuncts.size() == 1)
+    return Disjuncts.front();
+  return makeNode(LOp::Or, Sort::Bool, std::move(Disjuncts));
+}
+
+LExprRef vir::mkOr(LExprRef A, LExprRef B) {
+  return mkOr(std::vector<LExprRef>{std::move(A), std::move(B)});
+}
+
+LExprRef vir::mkNot(LExprRef A) {
+  assert(A->sort() == Sort::Bool && "negating non-boolean");
+  return makeNode(LOp::Not, Sort::Bool, {std::move(A)});
+}
+
+LExprRef vir::mkImplies(LExprRef A, LExprRef B) {
+  assert(A->sort() == Sort::Bool && B->sort() == Sort::Bool);
+  return makeNode(LOp::Implies, Sort::Bool, {std::move(A), std::move(B)});
+}
+
+LExprRef vir::mkIte(LExprRef C, LExprRef T, LExprRef E) {
+  assert(C->sort() == Sort::Bool && T->sort() == E->sort());
+  Sort S = T->sort();
+  return makeNode(LOp::Ite, S, {std::move(C), std::move(T), std::move(E)});
+}
+
+LExprRef vir::mkEq(LExprRef A, LExprRef B) {
+  assert(A->sort() == B->sort() && "equality between different sorts");
+  return makeNode(LOp::Eq, Sort::Bool, {std::move(A), std::move(B)});
+}
+
+LExprRef vir::mkNe(LExprRef A, LExprRef B) {
+  return mkNot(mkEq(std::move(A), std::move(B)));
+}
+
+static LExprRef mkIntRel(LOp Op, LExprRef A, LExprRef B) {
+  assert(A->sort() == Sort::Int && B->sort() == Sort::Int);
+  return makeNode(Op, Sort::Bool, {std::move(A), std::move(B)});
+}
+
+LExprRef vir::mkIntLt(LExprRef A, LExprRef B) {
+  return mkIntRel(LOp::IntLt, std::move(A), std::move(B));
+}
+LExprRef vir::mkIntLe(LExprRef A, LExprRef B) {
+  return mkIntRel(LOp::IntLe, std::move(A), std::move(B));
+}
+
+static LExprRef mkIntArith(LOp Op, LExprRef A, LExprRef B) {
+  assert(A->sort() == Sort::Int && B->sort() == Sort::Int);
+  return makeNode(Op, Sort::Int, {std::move(A), std::move(B)});
+}
+
+LExprRef vir::mkIntAdd(LExprRef A, LExprRef B) {
+  return mkIntArith(LOp::IntAdd, std::move(A), std::move(B));
+}
+LExprRef vir::mkIntSub(LExprRef A, LExprRef B) {
+  return mkIntArith(LOp::IntSub, std::move(A), std::move(B));
+}
+
+LExprRef vir::mkSelect(LExprRef Array, LExprRef Loc) {
+  Sort AS = Array->sort();
+  assert((AS == Sort::ArrLocLoc || AS == Sort::ArrLocInt) &&
+         "select from non-field-array");
+  assert(Loc->sort() == Sort::Loc);
+  return makeNode(LOp::Select, elementSort(AS),
+                  {std::move(Array), std::move(Loc)});
+}
+
+LExprRef vir::mkStore(LExprRef Array, LExprRef Loc, LExprRef Value) {
+  Sort AS = Array->sort();
+  assert((AS == Sort::ArrLocLoc || AS == Sort::ArrLocInt) &&
+         "store into non-field-array");
+  assert(Loc->sort() == Sort::Loc);
+  assert(Value->sort() == elementSort(AS) && "store of wrong element sort");
+  return makeNode(LOp::Store, AS,
+                  {std::move(Array), std::move(Loc), std::move(Value)});
+}
+
+LExprRef vir::mkEmptySet(Sort SetSort) {
+  assert(isSetSort(SetSort));
+  return makeNode(LOp::EmptySet, SetSort, {});
+}
+
+LExprRef vir::mkSingleton(LExprRef Elem, Sort SetSort) {
+  assert(isSetSort(SetSort) && Elem->sort() == elementSort(SetSort));
+  return makeNode(LOp::Singleton, SetSort, {std::move(Elem)});
+}
+
+static LExprRef mkSetBin(LOp Op, LExprRef A, LExprRef B) {
+  assert(A->sort() == B->sort() && isSetSort(A->sort()) &&
+         "set operation on mismatched sorts");
+  Sort S = A->sort();
+  return makeNode(Op, S, {std::move(A), std::move(B)});
+}
+
+LExprRef vir::mkUnion(LExprRef A, LExprRef B) {
+  return mkSetBin(LOp::Union, std::move(A), std::move(B));
+}
+LExprRef vir::mkInter(LExprRef A, LExprRef B) {
+  return mkSetBin(LOp::Inter, std::move(A), std::move(B));
+}
+LExprRef vir::mkMinus(LExprRef A, LExprRef B) {
+  return mkSetBin(LOp::Minus, std::move(A), std::move(B));
+}
+
+LExprRef vir::mkMember(LExprRef Elem, LExprRef Set) {
+  assert(isSetSort(Set->sort()) &&
+         Elem->sort() == elementSort(Set->sort()));
+  return makeNode(LOp::Member, Sort::Bool, {std::move(Elem), std::move(Set)});
+}
+
+LExprRef vir::mkSubset(LExprRef A, LExprRef B) {
+  assert(A->sort() == B->sort() && isSetSort(A->sort()));
+  return makeNode(LOp::Subset, Sort::Bool, {std::move(A), std::move(B)});
+}
+
+LExprRef vir::mkDisjoint(LExprRef A, LExprRef B) {
+  Sort S = A->sort();
+  return mkEq(mkInter(std::move(A), std::move(B)), mkEmptySet(S));
+}
+
+LExprRef vir::mkSetCmp(LOp Op, LExprRef A, LExprRef B) {
+  switch (Op) {
+  case LOp::SetLeSet:
+  case LOp::SetLtSet:
+    assert((A->sort() == Sort::SetInt || A->sort() == Sort::MSetInt) &&
+           (B->sort() == Sort::SetInt || B->sort() == Sort::MSetInt));
+    break;
+  case LOp::SetLeInt:
+  case LOp::SetLtInt:
+    assert((A->sort() == Sort::SetInt || A->sort() == Sort::MSetInt) &&
+           B->sort() == Sort::Int);
+    break;
+  case LOp::IntLeSet:
+  case LOp::IntLtSet:
+    assert(A->sort() == Sort::Int &&
+           (B->sort() == Sort::SetInt || B->sort() == Sort::MSetInt));
+    break;
+  default:
+    assert(false && "not a set comparison operator");
+  }
+  return makeNode(Op, Sort::Bool, {std::move(A), std::move(B)});
+}
+
+LExprRef vir::mkApp(std::string Name, Sort RetSort,
+                    std::vector<LExprRef> Args) {
+  auto Node = std::make_shared<LExpr>(LOp::FuncApp, RetSort);
+  Node->Name = std::move(Name);
+  Node->Args = std::move(Args);
+  return Node;
+}
+
+LExprRef vir::mkForall(std::vector<LExprRef> BoundVars, LExprRef Body) {
+  assert(Body->sort() == Sort::Bool && "quantified body must be boolean");
+  for ([[maybe_unused]] const LExprRef &V : BoundVars)
+    assert(V->isVar() && "bound names must be variables");
+  std::vector<LExprRef> Args = std::move(BoundVars);
+  Args.push_back(std::move(Body));
+  return makeNode(LOp::Forall, Sort::Bool, std::move(Args));
+}
+
+bool vir::structurallyEqual(const LExprRef &A, const LExprRef &B) {
+  if (A.get() == B.get())
+    return true;
+  if (A->Op != B->Op || A->ExprSort != B->ExprSort || A->Name != B->Name ||
+      A->IntVal != B->IntVal || A->Args.size() != B->Args.size())
+    return false;
+  for (size_t I = 0, E = A->Args.size(); I != E; ++I)
+    if (!structurallyEqual(A->Args[I], B->Args[I]))
+      return false;
+  return true;
+}
+
+LExprRef vir::substitute(const LExprRef &E,
+                         const std::map<std::string, LExprRef> &Map) {
+  if (E->Op == LOp::Var) {
+    auto It = Map.find(E->Name);
+    if (It == Map.end())
+      return E;
+    assert(It->second->sort() == E->sort() &&
+           "substitution changes the sort of a variable");
+    return It->second;
+  }
+  if (E->Args.empty())
+    return E;
+  if (E->Op == LOp::Forall) {
+    // Bound variables shadow the substitution.
+    std::map<std::string, LExprRef> Inner = Map;
+    for (size_t I = 0, N = E->Args.size() - 1; I != N; ++I)
+      Inner.erase(E->Args[I]->Name);
+    LExprRef NewBody = substitute(E->Args.back(), Inner);
+    if (NewBody.get() == E->Args.back().get())
+      return E;
+    std::vector<LExprRef> Bound(E->Args.begin(), E->Args.end() - 1);
+    return mkForall(std::move(Bound), std::move(NewBody));
+  }
+  bool Changed = false;
+  std::vector<LExprRef> NewArgs;
+  NewArgs.reserve(E->Args.size());
+  for (const LExprRef &A : E->Args) {
+    LExprRef NA = substitute(A, Map);
+    Changed |= NA.get() != A.get();
+    NewArgs.push_back(std::move(NA));
+  }
+  if (!Changed)
+    return E;
+  auto Node = std::make_shared<LExpr>(E->Op, E->ExprSort);
+  Node->Name = E->Name;
+  Node->IntVal = E->IntVal;
+  Node->Args = std::move(NewArgs);
+  return Node;
+}
+
+void vir::visit(const LExprRef &E,
+                const std::function<void(const LExpr &)> &Fn) {
+  Fn(*E);
+  for (const LExprRef &A : E->Args)
+    visit(A, Fn);
+}
+
+static const char *opName(LOp Op) {
+  switch (Op) {
+  case LOp::Var:
+    return "var";
+  case LOp::IntConst:
+    return "int";
+  case LOp::BoolConst:
+    return "bool";
+  case LOp::NilConst:
+    return "nil";
+  case LOp::And:
+    return "and";
+  case LOp::Or:
+    return "or";
+  case LOp::Not:
+    return "not";
+  case LOp::Implies:
+    return "=>";
+  case LOp::Ite:
+    return "ite";
+  case LOp::Eq:
+    return "=";
+  case LOp::IntLt:
+    return "<";
+  case LOp::IntLe:
+    return "<=";
+  case LOp::IntAdd:
+    return "+";
+  case LOp::IntSub:
+    return "-";
+  case LOp::Select:
+    return "select";
+  case LOp::Store:
+    return "store";
+  case LOp::EmptySet:
+    return "empty";
+  case LOp::Singleton:
+    return "single";
+  case LOp::Union:
+    return "union";
+  case LOp::Inter:
+    return "inter";
+  case LOp::Minus:
+    return "setminus";
+  case LOp::Member:
+    return "member";
+  case LOp::Subset:
+    return "subset";
+  case LOp::SetLeSet:
+    return "set<=set";
+  case LOp::SetLtSet:
+    return "set<set";
+  case LOp::SetLeInt:
+    return "set<=int";
+  case LOp::SetLtInt:
+    return "set<int";
+  case LOp::IntLeSet:
+    return "int<=set";
+  case LOp::IntLtSet:
+    return "int<set";
+  case LOp::FuncApp:
+    return "app";
+  case LOp::Forall:
+    return "forall";
+  }
+  return "?";
+}
+
+std::string LExpr::str() const {
+  switch (Op) {
+  case LOp::Var:
+    return Name;
+  case LOp::IntConst:
+    return std::to_string(IntVal);
+  case LOp::BoolConst:
+    return IntVal ? "true" : "false";
+  case LOp::NilConst:
+    return "nil";
+  case LOp::FuncApp: {
+    std::string Out = "(" + Name;
+    for (const LExprRef &A : Args) {
+      Out += ' ';
+      Out += A->str();
+    }
+    Out += ')';
+    return Out;
+  }
+  case LOp::EmptySet:
+    return std::string("(empty ") + sortName(ExprSort) + ")";
+  default: {
+    std::string Out = std::string("(") + opName(Op);
+    for (const LExprRef &A : Args) {
+      Out += ' ';
+      Out += A->str();
+    }
+    Out += ')';
+    return Out;
+  }
+  }
+}

@@ -1,0 +1,163 @@
+//===- LExpr.h - Logical expressions of the verification IR -----*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantifier-free multi-sorted logical expressions. This is the
+/// language verification conditions are built in; the SMT backend
+/// lowers it to Z3. Set-ordering comparisons (e.g. "every element of S
+/// is < k") are *primitive operators* here — the only place
+/// quantifiers appear is in their lowering, which stays inside the
+/// array property fragment as the paper requires (Section 2, 4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_VIR_LEXPR_H
+#define VCDRYAD_VIR_LEXPR_H
+
+#include "vir/Sort.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace vir {
+
+class LExpr;
+using LExprRef = std::shared_ptr<const LExpr>;
+
+/// Operators of the VIR expression language.
+enum class LOp {
+  // Leaves.
+  Var,       ///< Named variable of any sort.
+  IntConst,  ///< Integer literal.
+  BoolConst, ///< true / false.
+  NilConst,  ///< The distinguished nil location.
+  // Boolean structure.
+  And,
+  Or,
+  Not,
+  Implies,
+  Ite, ///< (cond, then, else); then/else of any common sort.
+  Eq,  ///< Polymorphic equality.
+  // Integer arithmetic.
+  IntLt,
+  IntLe,
+  IntAdd,
+  IntSub,
+  // Field arrays (Burstall-Bornat heap).
+  Select, ///< (array, loc) -> element.
+  Store,  ///< (array, loc, element) -> array.
+  // Sets and multisets (sort-directed: SetLoc, SetInt or MSetInt).
+  EmptySet,  ///< Nullary; result sort stored on the node.
+  Singleton, ///< (elem) -> set; result sort stored on the node.
+  Union,     ///< Pointwise + for multisets.
+  Inter,     ///< Pointwise min for multisets.
+  Minus,     ///< Pointwise monus for multisets.
+  Member,    ///< (elem, set) -> Bool; count >= 1 for multisets.
+  Subset,    ///< (set, set) -> Bool; pointwise <= for multisets.
+  // Ordering between integer (multi)sets and integers / each other.
+  // These are the array-property-fragment atoms of the paper.
+  SetLeSet, ///< every x in S1, y in S2: x <= y.
+  SetLtSet, ///< every x in S1, y in S2: x < y.
+  SetLeInt, ///< every x in S: x <= k.
+  SetLtInt, ///< every x in S: x < k.
+  IntLeSet, ///< every x in S: k <= x.
+  IntLtSet, ///< every x in S: k < x.
+  // Uninterpreted function application (recursive definitions,
+  // heaplets, per-state snapshots).
+  FuncApp,
+  // Universal quantification: Args = bound variables then the body.
+  // Used only by the quantified-axiom ablation mode; the natural-proof
+  // pipeline itself never emits quantifiers.
+  Forall,
+};
+
+/// An immutable, shared expression node. Build only through the mk*
+/// factories, which sort-check their operands with assertions.
+class LExpr {
+public:
+  LOp Op;
+  Sort ExprSort;
+  std::string Name;          ///< For Var and FuncApp.
+  int64_t IntVal = 0;        ///< For IntConst / BoolConst (0 or 1).
+  std::vector<LExprRef> Args;
+
+  LExpr(LOp Op, Sort S) : Op(Op), ExprSort(S) {}
+
+  Sort sort() const { return ExprSort; }
+  bool isVar() const { return Op == LOp::Var; }
+
+  /// Renders as an S-expression, for debugging and the VC dumper.
+  std::string str() const;
+};
+
+// Leaf factories.
+LExprRef mkVar(std::string Name, Sort S);
+LExprRef mkInt(int64_t V);
+LExprRef mkBool(bool B);
+LExprRef mkNil();
+
+// Boolean structure. mkAnd/mkOr of an empty list is true/false; a
+// singleton list is returned unchanged.
+LExprRef mkAnd(std::vector<LExprRef> Conjuncts);
+LExprRef mkAnd(LExprRef A, LExprRef B);
+LExprRef mkOr(std::vector<LExprRef> Disjuncts);
+LExprRef mkOr(LExprRef A, LExprRef B);
+LExprRef mkNot(LExprRef A);
+LExprRef mkImplies(LExprRef A, LExprRef B);
+LExprRef mkIte(LExprRef C, LExprRef T, LExprRef E);
+LExprRef mkEq(LExprRef A, LExprRef B);
+LExprRef mkNe(LExprRef A, LExprRef B);
+
+// Arithmetic.
+LExprRef mkIntLt(LExprRef A, LExprRef B);
+LExprRef mkIntLe(LExprRef A, LExprRef B);
+LExprRef mkIntAdd(LExprRef A, LExprRef B);
+LExprRef mkIntSub(LExprRef A, LExprRef B);
+
+// Field arrays.
+LExprRef mkSelect(LExprRef Array, LExprRef Loc);
+LExprRef mkStore(LExprRef Array, LExprRef Loc, LExprRef Value);
+
+// Sets.
+LExprRef mkEmptySet(Sort SetSort);
+LExprRef mkSingleton(LExprRef Elem, Sort SetSort);
+LExprRef mkUnion(LExprRef A, LExprRef B);
+LExprRef mkInter(LExprRef A, LExprRef B);
+LExprRef mkMinus(LExprRef A, LExprRef B);
+LExprRef mkMember(LExprRef Elem, LExprRef Set);
+LExprRef mkSubset(LExprRef A, LExprRef B);
+/// Sugar: intersection is empty.
+LExprRef mkDisjoint(LExprRef A, LExprRef B);
+
+// Set-order atoms.
+LExprRef mkSetCmp(LOp Op, LExprRef A, LExprRef B);
+
+// Uninterpreted application.
+LExprRef mkApp(std::string Name, Sort RetSort, std::vector<LExprRef> Args);
+
+/// Universal quantification over \p BoundVars (all must be Var nodes).
+LExprRef mkForall(std::vector<LExprRef> BoundVars, LExprRef Body);
+
+/// Structural equality (same ops, names, constants, children).
+bool structurallyEqual(const LExprRef &A, const LExprRef &B);
+
+/// Capture-free substitution of variables by expressions.
+LExprRef substitute(const LExprRef &E,
+                    const std::map<std::string, LExprRef> &Map);
+
+/// Calls \p Fn on every node of \p E (parents before children).
+void visit(const LExprRef &E,
+           const std::function<void(const LExpr &)> &Fn);
+
+} // namespace vir
+} // namespace vcdryad
+
+#endif // VCDRYAD_VIR_LEXPR_H

@@ -1,0 +1,159 @@
+//===- Passify.cpp - Flanagan-Saxe passification ---------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vir/Passify.h"
+
+#include <cassert>
+
+using namespace vcdryad;
+using namespace vcdryad::vir;
+
+namespace {
+
+/// Maps each mutable variable to its current SSA version.
+using VersionMap = std::map<std::string, unsigned>;
+
+class Passifier {
+public:
+  explicit Passifier(const Procedure &Proc) : Proc(Proc) {}
+
+  Procedure run() {
+    Procedure Out;
+    Out.Name = Proc.Name;
+    VersionMap VM;
+    for (const auto &[Name, S] : Proc.Vars)
+      VM[Name] = 0;
+    Out.Body = passifyBlock(Proc.Body, VM);
+    // The passive procedure has no mutable variables left; every
+    // version is a rigid symbol. Record their sorts for the backend.
+    Out.Vars = VersionedSorts;
+    return Out;
+  }
+
+private:
+  const Procedure &Proc;
+  /// Highest version handed out per variable (global across branches,
+  /// so joins can always pick a strictly fresh version).
+  std::map<std::string, unsigned> NextVersion;
+  std::map<std::string, Sort> VersionedSorts;
+
+  std::string versionedName(const std::string &Name, unsigned V) {
+    return V == 0 ? Name : Name + "@" + std::to_string(V);
+  }
+
+  unsigned freshVersion(const std::string &Name) {
+    unsigned &N = NextVersion[Name];
+    return ++N;
+  }
+
+  Sort varSort(const std::string &Name) const {
+    auto It = Proc.Vars.find(Name);
+    assert(It != Proc.Vars.end() && "unknown mutable variable");
+    return It->second;
+  }
+
+  LExprRef versionedVar(const std::string &Name, unsigned V) {
+    Sort S = varSort(Name);
+    std::string VN = versionedName(Name, V);
+    VersionedSorts.emplace(VN, S);
+    return mkVar(VN, S);
+  }
+
+  /// Renames every mutable variable in \p E to its current version.
+  LExprRef resolve(const LExprRef &E, const VersionMap &VM) {
+    if (E->Op == LOp::Var) {
+      auto It = VM.find(E->Name);
+      if (It == VM.end())
+        return E; // Rigid symbol.
+      return versionedVar(E->Name, It->second);
+    }
+    if (E->Args.empty())
+      return E;
+    bool Changed = false;
+    std::vector<LExprRef> NewArgs;
+    NewArgs.reserve(E->Args.size());
+    for (const LExprRef &A : E->Args) {
+      LExprRef NA = resolve(A, VM);
+      Changed |= NA.get() != A.get();
+      NewArgs.push_back(std::move(NA));
+    }
+    if (!Changed)
+      return E;
+    auto Node = std::make_shared<LExpr>(E->Op, E->ExprSort);
+    Node->Name = E->Name;
+    Node->IntVal = E->IntVal;
+    Node->Args = std::move(NewArgs);
+    return Node;
+  }
+
+  Block passifyBlock(const Block &B, VersionMap &VM) {
+    Block Out;
+    for (const VStmtRef &St : B)
+      passifyStmt(*St, VM, Out);
+    return Out;
+  }
+
+  void passifyStmt(const VStmt &St, VersionMap &VM, Block &Out) {
+    switch (St.Kind) {
+    case VStmtKind::Assign: {
+      LExprRef Rhs = resolve(St.Rhs, VM);
+      unsigned NewV = freshVersion(St.Var);
+      VM[St.Var] = NewV;
+      Out.push_back(mkAssume(mkEq(versionedVar(St.Var, NewV), Rhs)));
+      return;
+    }
+    case VStmtKind::Havoc: {
+      unsigned NewV = freshVersion(St.Var);
+      VM[St.Var] = NewV;
+      // Touch the variable so its sort is declared.
+      versionedVar(St.Var, NewV);
+      return;
+    }
+    case VStmtKind::Assume:
+      Out.push_back(mkAssume(resolve(St.Cond, VM)));
+      return;
+    case VStmtKind::Assert:
+      Out.push_back(mkAssert(resolve(St.Cond, VM), St.Reason, St.Loc));
+      return;
+    case VStmtKind::If: {
+      LExprRef Cond = resolve(St.Cond, VM);
+      VersionMap ThenVM = VM;
+      VersionMap ElseVM = VM;
+      Block Then;
+      Then.push_back(mkAssume(Cond));
+      for (const VStmtRef &S : St.Then)
+        passifyStmt(*S, ThenVM, Then);
+      Block Else;
+      Else.push_back(mkAssume(mkNot(Cond)));
+      for (const VStmtRef &S : St.Else)
+        passifyStmt(*S, ElseVM, Else);
+      // Join: unify versions that diverged.
+      for (auto &[Name, V] : VM) {
+        unsigned TV = ThenVM[Name];
+        unsigned EV = ElseVM[Name];
+        if (TV == EV) {
+          V = TV;
+          continue;
+        }
+        unsigned JV = freshVersion(Name);
+        Then.push_back(
+            mkAssume(mkEq(versionedVar(Name, JV), versionedVar(Name, TV))));
+        Else.push_back(
+            mkAssume(mkEq(versionedVar(Name, JV), versionedVar(Name, EV))));
+        V = JV;
+      }
+      Out.push_back(mkIf(mkBool(true), std::move(Then), std::move(Else)));
+      return;
+    }
+    }
+  }
+};
+
+} // namespace
+
+Procedure vir::passify(const Procedure &Proc) {
+  return Passifier(Proc).run();
+}

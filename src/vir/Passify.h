@@ -1,0 +1,33 @@
+//===- Passify.h - Flanagan-Saxe passification ------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a VIR procedure into passive (single-assignment) form:
+/// assignments become equality assumptions on fresh variable versions,
+/// havocs bump versions, and branch joins reconcile versions with
+/// explicit assumptions, following Flanagan & Saxe. Passive programs
+/// contain only Assume, Assert and If (with condition folded into
+/// leading assumes of the branches), which keeps the subsequent VC
+/// generation linear-size over a shared expression DAG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_VIR_PASSIFY_H
+#define VCDRYAD_VIR_PASSIFY_H
+
+#include "vir/Vir.h"
+
+namespace vcdryad {
+namespace vir {
+
+/// Version-0 variables keep their plain name; version n > 0 becomes
+/// "name@n". Rigid symbols (not in Proc.Vars) are untouched.
+Procedure passify(const Procedure &Proc);
+
+} // namespace vir
+} // namespace vcdryad
+
+#endif // VCDRYAD_VIR_PASSIFY_H

@@ -1,0 +1,86 @@
+//===- Sort.h - Sorts of the verification IR --------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-sorted signature of the verification IR. These mirror the
+/// DRYAD sorts of the paper (Figure 2): locations, mathematical
+/// integers, booleans, sets of locations, sets of integers and
+/// multisets of integers, plus the two field-array sorts of the
+/// Burstall-Bornat heap model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_VIR_SORT_H
+#define VCDRYAD_VIR_SORT_H
+
+#include <cassert>
+#include <string>
+
+namespace vcdryad {
+namespace vir {
+
+/// Sorts of VIR terms.
+enum class Sort {
+  Bool,
+  Int,
+  Loc,
+  SetLoc,  ///< S(Loc) in the paper.
+  SetInt,  ///< S(Int) in the paper.
+  MSetInt, ///< MS(Int) in the paper; encoded as Int -> Int counts.
+  ArrLocLoc, ///< A pointer field of the heap: Loc -> Loc.
+  ArrLocInt, ///< A data field of the heap: Loc -> Int.
+};
+
+/// True for the three set-like sorts.
+inline bool isSetSort(Sort S) {
+  return S == Sort::SetLoc || S == Sort::SetInt || S == Sort::MSetInt;
+}
+
+/// Element sort of a set-like or array sort.
+inline Sort elementSort(Sort S) {
+  switch (S) {
+  case Sort::SetLoc:
+    return Sort::Loc;
+  case Sort::SetInt:
+  case Sort::MSetInt:
+    return Sort::Int;
+  case Sort::ArrLocLoc:
+    return Sort::Loc;
+  case Sort::ArrLocInt:
+    return Sort::Int;
+  default:
+    assert(false && "sort has no element sort");
+    return Sort::Int;
+  }
+}
+
+/// Printable name, used by the VC dumper and the SMT-LIB emitter.
+inline const char *sortName(Sort S) {
+  switch (S) {
+  case Sort::Bool:
+    return "bool";
+  case Sort::Int:
+    return "int";
+  case Sort::Loc:
+    return "loc";
+  case Sort::SetLoc:
+    return "setloc";
+  case Sort::SetInt:
+    return "setint";
+  case Sort::MSetInt:
+    return "msetint";
+  case Sort::ArrLocLoc:
+    return "arr<loc,loc>";
+  case Sort::ArrLocInt:
+    return "arr<loc,int>";
+  }
+  return "?";
+}
+
+} // namespace vir
+} // namespace vcdryad
+
+#endif // VCDRYAD_VIR_SORT_H

@@ -1,0 +1,101 @@
+//===- Vir.cpp - Verification IR statements -------------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vir/Vir.h"
+
+#include <cassert>
+
+using namespace vcdryad;
+using namespace vcdryad::vir;
+
+VStmtRef vir::mkAssign(std::string Var, Sort S, LExprRef Rhs) {
+  assert(Rhs->sort() == S && "assignment of mismatched sort");
+  auto St = std::make_shared<VStmt>(VStmtKind::Assign);
+  St->Var = std::move(Var);
+  St->VarSort = S;
+  St->Rhs = std::move(Rhs);
+  return St;
+}
+
+VStmtRef vir::mkAssume(LExprRef Cond) {
+  assert(Cond->sort() == Sort::Bool);
+  auto St = std::make_shared<VStmt>(VStmtKind::Assume);
+  St->Cond = std::move(Cond);
+  return St;
+}
+
+VStmtRef vir::mkAssert(LExprRef Cond, std::string Reason, SourceLoc Loc) {
+  assert(Cond->sort() == Sort::Bool);
+  auto St = std::make_shared<VStmt>(VStmtKind::Assert);
+  St->Cond = std::move(Cond);
+  St->Reason = std::move(Reason);
+  St->Loc = Loc;
+  return St;
+}
+
+VStmtRef vir::mkHavoc(std::string Var, Sort S) {
+  auto St = std::make_shared<VStmt>(VStmtKind::Havoc);
+  St->Var = std::move(Var);
+  St->VarSort = S;
+  return St;
+}
+
+VStmtRef vir::mkIf(LExprRef Cond, Block Then, Block Else) {
+  assert(Cond->sort() == Sort::Bool);
+  auto St = std::make_shared<VStmt>(VStmtKind::If);
+  St->Cond = std::move(Cond);
+  St->Then = std::move(Then);
+  St->Else = std::move(Else);
+  return St;
+}
+
+static void printBlock(const Block &B, unsigned Indent, std::string &Out);
+
+static void printStmt(const VStmt &St, unsigned Indent, std::string &Out) {
+  std::string Pad(Indent, ' ');
+  switch (St.Kind) {
+  case VStmtKind::Assign:
+    Out += Pad + St.Var + " := " + St.Rhs->str() + ";\n";
+    return;
+  case VStmtKind::Assume:
+    Out += Pad + "assume " + St.Cond->str() + ";\n";
+    return;
+  case VStmtKind::Assert:
+    Out += Pad + "assert " + St.Cond->str();
+    if (!St.Reason.empty())
+      Out += "  // " + St.Reason;
+    Out += ";\n";
+    return;
+  case VStmtKind::Havoc:
+    Out += Pad + "havoc " + St.Var + ";\n";
+    return;
+  case VStmtKind::If:
+    Out += Pad + "if " + St.Cond->str() + " {\n";
+    printBlock(St.Then, Indent + 2, Out);
+    Out += Pad + "} else {\n";
+    printBlock(St.Else, Indent + 2, Out);
+    Out += Pad + "}\n";
+    return;
+  }
+}
+
+static void printBlock(const Block &B, unsigned Indent, std::string &Out) {
+  for (const VStmtRef &St : B)
+    printStmt(*St, Indent, Out);
+}
+
+std::string VStmt::str(unsigned Indent) const {
+  std::string Out;
+  printStmt(*this, Indent, Out);
+  return Out;
+}
+
+std::string Procedure::str() const {
+  std::string Out = "procedure " + Name + " {\n";
+  printBlock(Body, 2, Out);
+  Out += "}\n";
+  return Out;
+}

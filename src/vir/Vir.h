@@ -1,0 +1,80 @@
+//===- Vir.h - Verification IR statements -----------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statement language of the verification IR: the role Boogie
+/// plays in the paper's pipeline. By the time a function reaches VIR,
+/// loops have been cut at invariants, calls summarised by contracts,
+/// and the ghost code of Figure 5 inserted, so a procedure is a
+/// loop-free, call-free tree of assignments, havocs, assumes, asserts
+/// and structured ifs over the logical expression language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_VIR_VIR_H
+#define VCDRYAD_VIR_VIR_H
+
+#include "support/SourceLoc.h"
+#include "vir/LExpr.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace vir {
+
+enum class VStmtKind { Assign, Assume, Assert, Havoc, If };
+
+struct VStmt;
+using VStmtRef = std::shared_ptr<VStmt>;
+using Block = std::vector<VStmtRef>;
+
+/// One VIR statement. Build through the mk* factories below.
+struct VStmt {
+  VStmtKind Kind;
+  // Assign / Havoc.
+  std::string Var;
+  Sort VarSort = Sort::Bool;
+  LExprRef Rhs; // Assign only.
+  // Assume / Assert / If condition.
+  LExprRef Cond;
+  // Assert provenance.
+  std::string Reason;
+  SourceLoc Loc;
+  // If branches.
+  Block Then;
+  Block Else;
+
+  explicit VStmt(VStmtKind K) : Kind(K) {}
+
+  /// Multi-line rendering with \p Indent leading spaces.
+  std::string str(unsigned Indent = 0) const;
+};
+
+VStmtRef mkAssign(std::string Var, Sort S, LExprRef Rhs);
+VStmtRef mkAssume(LExprRef Cond);
+VStmtRef mkAssert(LExprRef Cond, std::string Reason, SourceLoc Loc = {});
+VStmtRef mkHavoc(std::string Var, Sort S);
+VStmtRef mkIf(LExprRef Cond, Block Then, Block Else);
+
+/// A VIR procedure: the mutable variables (scalars, field arrays, the
+/// ghost heaplet G, snapshots) and a loop-free body.
+struct Procedure {
+  std::string Name;
+  /// Every variable the body assigns or havocs, with its sort.
+  /// Variables referenced but absent from this map are rigid symbols.
+  std::map<std::string, Sort> Vars;
+  Block Body;
+
+  std::string str() const;
+};
+
+} // namespace vir
+} // namespace vcdryad
+
+#endif // VCDRYAD_VIR_VIR_H

@@ -1,0 +1,74 @@
+//===- WpGen.cpp - Verification condition generation -----------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vir/WpGen.h"
+
+#include <cassert>
+
+using namespace vcdryad;
+using namespace vcdryad::vir;
+
+namespace {
+
+// Guards are kept as flat conjunct vectors: natural-proof programs
+// carry thousands of ghost assumptions, and a nested binary And chain
+// of that depth overflows the stack of every recursive consumer
+// downstream (printer, Z3 lowering). One wide And node keeps all
+// recursions shallow.
+
+class VCGen {
+public:
+  std::vector<VC> run(const Block &Body) {
+    std::vector<LExprRef> Guard;
+    summarizeBlock(Body, Guard);
+    return std::move(Obligations);
+  }
+
+private:
+  std::vector<VC> Obligations;
+
+  /// Processes \p B, extending \p Guard in place; returns the block's
+  /// own assume-summary (for if-joins).
+  LExprRef summarizeBlock(const Block &B, std::vector<LExprRef> &Guard) {
+    std::vector<LExprRef> Summary;
+    for (const VStmtRef &St : B) {
+      switch (St->Kind) {
+      case VStmtKind::Assume:
+        Summary.push_back(St->Cond);
+        Guard.push_back(St->Cond);
+        break;
+      case VStmtKind::Assert:
+        Obligations.push_back(
+            {mkAnd(Guard), St->Cond, St->Reason, St->Loc});
+        // Checked once; downstream obligations may assume it.
+        Summary.push_back(St->Cond);
+        Guard.push_back(St->Cond);
+        break;
+      case VStmtKind::If: {
+        std::vector<LExprRef> ThenGuard = Guard;
+        LExprRef ThenSummary = summarizeBlock(St->Then, ThenGuard);
+        std::vector<LExprRef> ElseGuard = Guard;
+        LExprRef ElseSummary = summarizeBlock(St->Else, ElseGuard);
+        LExprRef JoinFact = mkOr(ThenSummary, ElseSummary);
+        Summary.push_back(JoinFact);
+        Guard.push_back(JoinFact);
+        break;
+      }
+      case VStmtKind::Assign:
+      case VStmtKind::Havoc:
+        assert(false && "VC generation requires a passive procedure");
+        break;
+      }
+    }
+    return mkAnd(std::move(Summary));
+  }
+};
+
+} // namespace
+
+std::vector<VC> vir::generateVCs(const Procedure &Passive) {
+  return VCGen().run(Passive.Body);
+}

@@ -1,0 +1,45 @@
+//===- WpGen.h - Verification condition generation --------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates one verification condition per assert from a *passive*
+/// procedure. Because passive programs contain no assignments, the
+/// reachable-state predicate at each point is the accumulated assume
+/// structure (conjunctions along a block, disjunction at if-joins);
+/// the VC for an assert is "reach-guard implies condition". Earlier
+/// asserts are assumed when checking later ones, as in Boogie. All
+/// formulas share subterms through the LExpr DAG, so the total VC size
+/// stays linear in the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_VIR_WPGEN_H
+#define VCDRYAD_VIR_WPGEN_H
+
+#include "vir/Vir.h"
+
+namespace vcdryad {
+namespace vir {
+
+/// One proof obligation: \p Guard must entail \p Cond.
+struct VC {
+  LExprRef Guard;
+  LExprRef Cond;
+  std::string Reason;
+  SourceLoc Loc;
+
+  /// The single formula whose *unsatisfiability* establishes the VC.
+  LExprRef negated() const { return mkAnd(Guard, mkNot(Cond)); }
+};
+
+/// Extracts the proof obligations of a passive procedure, in program
+/// order. The procedure must not contain Assign or Havoc.
+std::vector<VC> generateVCs(const Procedure &Passive);
+
+} // namespace vir
+} // namespace vcdryad
+
+#endif // VCDRYAD_VIR_WPGEN_H

@@ -1,0 +1,112 @@
+//===- corpus_test.cpp - Benchmark corpus integration tests ----------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifies the benchmark corpus end-to-end (the Table-1 programs),
+/// parameterized over the corpus files: every file must parse,
+/// instrument, and fully verify. The timing-oriented run lives in the
+/// bench/ harness; this is the correctness gate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "verifier/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace vcdryad;
+using namespace vcdryad::verifier;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Out;
+  fs::path Root(VCDRYAD_BENCHMARK_DIR);
+  if (!fs::exists(Root))
+    return Out;
+  for (const auto &Entry : fs::recursive_directory_iterator(Root)) {
+    if (!Entry.is_regular_file())
+      continue;
+    if (Entry.path().extension() != ".c")
+      continue;
+    // The negative corpus intentionally fails; tested separately.
+    if (Entry.path().string().find("/negative/") != std::string::npos)
+      continue;
+    Out.push_back(Entry.path().string());
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+std::vector<std::string> negativeFiles() {
+  std::vector<std::string> Out;
+  fs::path Root = fs::path(VCDRYAD_BENCHMARK_DIR) / "negative";
+  if (!fs::exists(Root))
+    return Out;
+  for (const auto &Entry : fs::recursive_directory_iterator(Root))
+    if (Entry.is_regular_file() && Entry.path().extension() == ".c")
+      Out.push_back(Entry.path().string());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+std::string testNameOf(const std::string &Path) {
+  fs::path P(Path);
+  std::string Name =
+      P.parent_path().filename().string() + "_" + P.stem().string();
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+class CorpusVerify : public ::testing::TestWithParam<std::string> {};
+class CorpusNegative : public ::testing::TestWithParam<std::string> {};
+
+} // namespace
+
+TEST_P(CorpusVerify, Verifies) {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 300000;
+  Verifier V(Opts);
+  ProgramResult R = V.verifyFile(GetParam());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Functions.empty());
+  for (const FunctionResult &F : R.Functions) {
+    EXPECT_TRUE(F.Verified)
+        << F.Name << ": "
+        << (F.Failures.empty() ? "" : F.Failures[0].Reason);
+  }
+}
+
+TEST_P(CorpusNegative, FailsVerification) {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 60000;
+  Verifier V(Opts);
+  ProgramResult R = V.verifyFile(GetParam());
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.AllVerified)
+      << GetParam() << " is a negative benchmark but verified";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, CorpusVerify, ::testing::ValuesIn(corpusFiles()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      return testNameOf(Info.param);
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, CorpusNegative, ::testing::ValuesIn(negativeFiles()),
+    [](const ::testing::TestParamInfo<std::string> &Info) {
+      return testNameOf(Info.param);
+    });
+
+// Keep gtest happy if the corpus is missing in a stripped checkout.
+GTEST_ALLOW_UNINSTANTIATED_PARAMETERIZED_TEST(CorpusVerify);
+GTEST_ALLOW_UNINSTANTIATED_PARAMETERIZED_TEST(CorpusNegative);

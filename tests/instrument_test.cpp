@@ -1,0 +1,261 @@
+//===- instrument_test.cpp - Unit tests for ghost-code synthesis -----------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Normalize.h"
+#include "cfront/Parser.h"
+#include "instr/Instrument.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+using namespace vcdryad::cfront;
+using namespace vcdryad::instr;
+
+namespace {
+
+const char *SLL = R"(
+struct node { struct node *next; int key; };
+_(dryad
+  predicate list(struct node *x) =
+      (x == nil && emp) || (x |-> * list(x->next));
+  function intset keys(struct node *x) =
+      (x == nil) ? emptyset : (singleton(x->key) union keys(x->next));
+  axiom (struct node *x) true ==> heaplet keys(x) == heaplet list(x);
+)
+)";
+
+struct Pipeline {
+  DiagnosticEngine Diag;
+  std::unique_ptr<Program> Prog;
+
+  explicit Pipeline(const std::string &Src,
+                    const InstrOptions &Opts = {}) {
+    Prog = parseProgram(Src, Diag);
+    EXPECT_FALSE(Diag.hasErrors()) << Diag.str();
+    normalizeProgram(*Prog, Diag);
+    instrumentProgram(*Prog, Opts, Diag);
+    EXPECT_FALSE(Diag.hasErrors()) << Diag.str();
+  }
+
+  FuncDecl *func(const std::string &N) { return Prog->findFunc(N); }
+};
+
+unsigned countKind(const Stmt &S, StmtKind K) {
+  unsigned N = S.Kind == K ? 1 : 0;
+  for (const StmtRef &Sub : S.Stmts)
+    N += countKind(*Sub, K);
+  if (S.Then)
+    N += countKind(*S.Then, K);
+  if (S.Else)
+    N += countKind(*S.Else, K);
+  return N;
+}
+
+bool containsGhostComment(const Stmt &S, const std::string &Text) {
+  if (S.GhostComment.find(Text) != std::string::npos)
+    return true;
+  for (const StmtRef &Sub : S.Stmts)
+    if (containsGhostComment(*Sub, Text))
+      return true;
+  if (S.Then && containsGhostComment(*S.Then, Text))
+    return true;
+  if (S.Else && containsGhostComment(*S.Else, Text))
+    return true;
+  return false;
+}
+
+} // namespace
+
+TEST(InstrumentTest, DereferenceGetsUnfoldAndMemoization) {
+  Pipeline P(std::string(SLL) + R"(
+int get(struct node *x)
+  _(requires list(x) && x != nil)
+  _(ensures true)
+{ return x->key; }
+)");
+  const FuncDecl *F = P.func("get");
+  EXPECT_TRUE(containsGhostComment(*F->Body, "unfold list"));
+  EXPECT_TRUE(containsGhostComment(*F->Body, "unfold keys"));
+  EXPECT_TRUE(containsGhostComment(*F->Body, "memoize dereferenced"));
+  EXPECT_TRUE(containsGhostComment(*F->Body, "memoize field next"));
+}
+
+TEST(InstrumentTest, DestructiveUpdateGetsPreservation) {
+  Pipeline P(std::string(SLL) + R"(
+void set(struct node *x, int k)
+  _(requires list(x) && x != nil)
+  _(ensures true)
+{ x->key = k; }
+)");
+  const FuncDecl *F = P.func("set");
+  EXPECT_TRUE(containsGhostComment(*F->Body, "memoize state before update"));
+  EXPECT_TRUE(containsGhostComment(*F->Body, "preserve keys"));
+  // list does not read key... it does (points-to covers all fields),
+  // so list is preserved as well.
+  EXPECT_TRUE(containsGhostComment(*F->Body, "preserve list"));
+}
+
+TEST(InstrumentTest, MallocUpdatesHeaplet) {
+  Pipeline P(std::string(SLL) + R"(
+struct node *mk()
+  _(ensures true)
+{
+  struct node *n = malloc(sizeof(struct node));
+  return n;
+}
+)");
+  EXPECT_TRUE(
+      containsGhostComment(*P.func("mk")->Body, "heaplet update (malloc)"));
+}
+
+TEST(InstrumentTest, FreeUpdatesHeaplet) {
+  Pipeline P(std::string(SLL) + R"(
+void rel(struct node *x)
+  _(requires x |->)
+  _(ensures true)
+{ free(x); }
+)");
+  EXPECT_TRUE(
+      containsGhostComment(*P.func("rel")->Body, "heaplet update (free)"));
+}
+
+TEST(InstrumentTest, CallGetsFrameAndHeapletUpdate) {
+  Pipeline P(std::string(SLL) + R"(
+void cal(struct node *x) _(requires list(x)) _(ensures list(x)) ;
+void go(struct node *x)
+  _(requires list(x))
+  _(ensures list(x))
+{ cal(x); }
+)");
+  const FuncDecl *F = P.func("go");
+  EXPECT_TRUE(containsGhostComment(*F->Body, "callee pre-heaplet"));
+  EXPECT_TRUE(containsGhostComment(*F->Body, "memoize state before call"));
+  EXPECT_TRUE(containsGhostComment(*F->Body, "preserve field"));
+  EXPECT_TRUE(containsGhostComment(*F->Body, "heaplet update (call)"));
+}
+
+TEST(InstrumentTest, AblationUnfoldOff) {
+  InstrOptions Opts;
+  Opts.Unfold = false;
+  Pipeline P(std::string(SLL) + R"(
+int get(struct node *x)
+  _(requires list(x) && x != nil)
+  _(ensures true)
+{ return x->key; }
+)",
+             Opts);
+  EXPECT_FALSE(containsGhostComment(*P.func("get")->Body, "unfold"));
+}
+
+TEST(InstrumentTest, AblationPreservationOff) {
+  InstrOptions Opts;
+  Opts.Preservation = false;
+  Pipeline P(std::string(SLL) + R"(
+void set(struct node *x, int k)
+  _(requires list(x) && x != nil)
+  _(ensures true)
+{ x->key = k; }
+)",
+             Opts);
+  EXPECT_FALSE(containsGhostComment(*P.func("set")->Body, "preserve"));
+}
+
+TEST(InstrumentTest, AxiomModeOff) {
+  InstrOptions Opts;
+  Opts.Axioms = InstrOptions::AxiomMode::Off;
+  Pipeline P(std::string(SLL) + R"(
+int get(struct node *x)
+  _(requires list(x) && x != nil)
+  _(ensures true)
+{ return x->key; }
+)",
+             Opts);
+  EXPECT_FALSE(containsGhostComment(*P.func("get")->Body, "axiom"));
+}
+
+TEST(InstrumentTest, AxiomInstancesAtEntry) {
+  Pipeline P(std::string(SLL) + R"(
+void noop(struct node *x)
+  _(requires list(x))
+  _(ensures list(x))
+{ }
+)");
+  EXPECT_TRUE(containsGhostComment(*P.func("noop")->Body, "axiom instance"));
+}
+
+TEST(InstrumentTest, AnnotationCountsManualVsGhost) {
+  Pipeline P(std::string(SLL) + R"(
+int get(struct node *x)
+  _(requires list(x) && x != nil)
+  _(ensures true)
+{ return x->key; }
+)");
+  AnnotationStats St = countAnnotations(*P.func("get"));
+  EXPECT_EQ(St.Manual, 2u);
+  EXPECT_GT(St.Ghost, 10u);
+}
+
+TEST(InstrumentTest, InvariantsCountAsManual) {
+  Pipeline P(std::string(SLL) + R"(
+int len(struct node *x)
+  _(requires list(x))
+  _(ensures list(x))
+{
+  int n = 0;
+  struct node *c = x;
+  while (c != NULL)
+    _(invariant true)
+    _(invariant n >= 0)
+  { c = c->next; n = n + 1; }
+  return n;
+}
+)");
+  AnnotationStats St = countAnnotations(*P.func("len"));
+  EXPECT_EQ(St.Manual, 4u); // requires + ensures + 2 invariants.
+}
+
+TEST(InstrumentTest, GhostCodeIsPrintable) {
+  Pipeline P(std::string(SLL) + R"(
+int get(struct node *x)
+  _(requires list(x) && x != nil)
+  _(ensures true)
+{ return x->key; }
+)");
+  std::string S = P.func("get")->str();
+  EXPECT_NE(S.find("_(ghost assume"), std::string::npos);
+  EXPECT_NE(S.find("_(ghost $fp0 :="), std::string::npos);
+}
+
+TEST(InstrumentTest, QuantifiedAxiomsBuilt) {
+  DiagnosticEngine Diag;
+  auto Prog = parseProgram(std::string(SLL), Diag);
+  ASSERT_FALSE(Diag.hasErrors());
+  auto Axs = quantifiedAxioms(*Prog, Diag);
+  ASSERT_EQ(Axs.size(), 1u);
+  EXPECT_EQ(Axs[0]->Op, vir::LOp::Forall);
+  // Quantifies the parameter and the dependent field arrays.
+  EXPECT_GE(Axs[0]->Args.size(), 3u);
+}
+
+TEST(InstrumentTest, TupleBudgetRespected) {
+  InstrOptions Opts;
+  Opts.MaxTuplesPerSite = 1;
+  Pipeline PSmall(std::string(SLL) + R"(
+int get(struct node *x)
+  _(requires list(x) && x != nil)
+  _(ensures true)
+{ return x->key; }
+)",
+                  Opts);
+  Pipeline PBig(std::string(SLL) + R"(
+int get(struct node *x)
+  _(requires list(x) && x != nil)
+  _(ensures true)
+{ return x->key; }
+)");
+  EXPECT_LE(countAnnotations(*PSmall.func("get")).Ghost,
+            countAnnotations(*PBig.func("get")).Ghost);
+}

@@ -1,0 +1,149 @@
+//===- lexer_test.cpp - Unit tests for the tokenizer -----------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+using namespace vcdryad::cfront;
+
+namespace {
+
+std::vector<Token> lexOk(const std::string &S) {
+  DiagnosticEngine D;
+  auto Toks = lex(S, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return Toks;
+}
+
+std::vector<Tok> kinds(const std::vector<Token> &Toks) {
+  std::vector<Tok> Out;
+  for (const Token &T : Toks)
+    Out.push_back(T.Kind);
+  return Out;
+}
+
+} // namespace
+
+TEST(LexerTest, EmptyYieldsEof) {
+  auto Toks = lexOk("");
+  ASSERT_EQ(Toks.size(), 1u);
+  EXPECT_EQ(Toks[0].Kind, Tok::Eof);
+}
+
+TEST(LexerTest, IdentifiersAndInts) {
+  auto Toks = lexOk("foo bar42 123");
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Text, "foo");
+  EXPECT_EQ(Toks[1].Text, "bar42");
+  EXPECT_EQ(Toks[2].IntVal, 123);
+}
+
+TEST(LexerTest, SpecOpenIsRecognized) {
+  auto Toks = lexOk("_(requires x)");
+  EXPECT_EQ(Toks[0].Kind, Tok::SpecOpen);
+  EXPECT_EQ(Toks[1].Text, "requires");
+}
+
+TEST(LexerTest, UnderscoreIdentifierIsNotSpecOpen) {
+  auto Toks = lexOk("_x _ (");
+  EXPECT_EQ(Toks[0].Kind, Tok::Ident);
+  EXPECT_EQ(Toks[0].Text, "_x");
+  // A lone "_" followed by whitespace then "(" is still an identifier.
+  EXPECT_EQ(Toks[1].Kind, Tok::Ident);
+  EXPECT_EQ(Toks[2].Kind, Tok::LParen);
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  auto Toks = lexOk("== != <= >= && || -> |-> ==>");
+  EXPECT_EQ(kinds(Toks),
+            (std::vector<Tok>{Tok::EqEq, Tok::NotEq, Tok::Le, Tok::Ge,
+                              Tok::AndAnd, Tok::OrOr, Tok::Arrow,
+                              Tok::PointsTo, Tok::FatArrow, Tok::Eof}));
+}
+
+TEST(LexerTest, SingleCharOperators) {
+  auto Toks = lexOk("( ) { } ; , * + - ! = < > ? :");
+  EXPECT_EQ(kinds(Toks),
+            (std::vector<Tok>{Tok::LParen, Tok::RParen, Tok::LBrace,
+                              Tok::RBrace, Tok::Semi, Tok::Comma,
+                              Tok::Star, Tok::Plus, Tok::Minus, Tok::Bang,
+                              Tok::Assign, Tok::Lt, Tok::Gt, Tok::Question,
+                              Tok::Colon, Tok::Eof}));
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  auto Toks = lexOk("a // comment == foo\nb");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[1].Text, "b");
+}
+
+TEST(LexerTest, BlockCommentsAreSkipped) {
+  auto Toks = lexOk("a /* x\ny */ b");
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[1].Text, "b");
+  EXPECT_EQ(Toks[1].Loc.Line, 2);
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto Toks = lexOk("a\n  b");
+  EXPECT_EQ(Toks[0].Loc.Line, 1);
+  EXPECT_EQ(Toks[0].Loc.Col, 1);
+  EXPECT_EQ(Toks[1].Loc.Line, 2);
+  EXPECT_EQ(Toks[1].Loc.Col, 3);
+}
+
+TEST(LexerTest, ReportsBadCharacters) {
+  DiagnosticEngine D;
+  auto Toks = lex("a @ b", D);
+  EXPECT_TRUE(D.hasErrors());
+  ASSERT_EQ(Toks.size(), 3u); // @ skipped.
+}
+
+TEST(LexerTest, ArrowVsMinus) {
+  auto Toks = lexOk("a->b a - b");
+  EXPECT_EQ(Toks[1].Kind, Tok::Arrow);
+  EXPECT_EQ(Toks[4].Kind, Tok::Minus);
+}
+
+TEST(PreprocessTest, PassthroughWithoutIncludes) {
+  DiagnosticEngine D;
+  std::string Out = preprocess("int x;\nint y;\n", "", D);
+  EXPECT_EQ(Out, "int x;\nint y;\n");
+  EXPECT_FALSE(D.hasErrors());
+}
+
+TEST(PreprocessTest, MissingIncludeReported) {
+  DiagnosticEngine D;
+  preprocess("#include \"nope_does_not_exist.h\"\n", "/tmp", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(PreprocessTest, MalformedIncludeReported) {
+  DiagnosticEngine D;
+  preprocess("#include <stdio.h>\n", "", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(PreprocessTest, IncludesSplicedOnce) {
+  // Create a small include file and include it twice.
+  std::string Dir = ::testing::TempDir();
+  std::string Path = Dir + "/vcd_pp_test.h";
+  FILE *F = fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  fputs("int included;\n", F);
+  fclose(F);
+  DiagnosticEngine D;
+  std::string Out = preprocess("#include \"vcd_pp_test.h\"\n"
+                               "#include \"vcd_pp_test.h\"\n",
+                               Dir, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  // Exactly one copy of the content.
+  size_t First = Out.find("int included;");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Out.find("int included;", First + 1), std::string::npos);
+}

@@ -1,0 +1,136 @@
+//===- lexpr_test.cpp - Unit tests for VIR expressions ---------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vir/LExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+using namespace vcdryad::vir;
+
+TEST(LExprTest, LeafConstruction) {
+  EXPECT_EQ(mkInt(42)->str(), "42");
+  EXPECT_EQ(mkBool(true)->str(), "true");
+  EXPECT_EQ(mkBool(false)->str(), "false");
+  EXPECT_EQ(mkNil()->str(), "nil");
+  EXPECT_EQ(mkVar("x", Sort::Loc)->str(), "x");
+  EXPECT_EQ(mkVar("x", Sort::Loc)->sort(), Sort::Loc);
+}
+
+TEST(LExprTest, AndOfEmptyIsTrue) {
+  EXPECT_EQ(mkAnd(std::vector<LExprRef>{})->str(), "true");
+}
+
+TEST(LExprTest, AndOfSingletonUnwraps) {
+  LExprRef A = mkVar("a", Sort::Bool);
+  EXPECT_EQ(mkAnd({A}).get(), A.get());
+}
+
+TEST(LExprTest, OrOfEmptyIsFalse) {
+  EXPECT_EQ(mkOr(std::vector<LExprRef>{})->str(), "false");
+}
+
+TEST(LExprTest, IteSortIsBranchSort) {
+  LExprRef E = mkIte(mkBool(true), mkInt(1), mkInt(2));
+  EXPECT_EQ(E->sort(), Sort::Int);
+}
+
+TEST(LExprTest, SelectSortFollowsArray) {
+  LExprRef ArrL = mkVar("next", Sort::ArrLocLoc);
+  LExprRef ArrI = mkVar("key", Sort::ArrLocInt);
+  LExprRef X = mkVar("x", Sort::Loc);
+  EXPECT_EQ(mkSelect(ArrL, X)->sort(), Sort::Loc);
+  EXPECT_EQ(mkSelect(ArrI, X)->sort(), Sort::Int);
+}
+
+TEST(LExprTest, StorePreservesArraySort) {
+  LExprRef Arr = mkVar("next", Sort::ArrLocLoc);
+  LExprRef X = mkVar("x", Sort::Loc);
+  EXPECT_EQ(mkStore(Arr, X, mkNil())->sort(), Sort::ArrLocLoc);
+}
+
+TEST(LExprTest, SetOperations) {
+  LExprRef S = mkSingleton(mkInt(3), Sort::SetInt);
+  LExprRef E = mkEmptySet(Sort::SetInt);
+  EXPECT_EQ(mkUnion(S, E)->sort(), Sort::SetInt);
+  EXPECT_EQ(mkMember(mkInt(3), S)->sort(), Sort::Bool);
+  EXPECT_EQ(mkSubset(E, S)->sort(), Sort::Bool);
+}
+
+TEST(LExprTest, DisjointDesugarsToEmptyIntersection) {
+  LExprRef A = mkVar("A", Sort::SetLoc);
+  LExprRef B = mkVar("B", Sort::SetLoc);
+  EXPECT_EQ(mkDisjoint(A, B)->str(),
+            "(= (inter A B) (empty setloc))");
+}
+
+TEST(LExprTest, NeDesugarsToNotEq) {
+  EXPECT_EQ(mkNe(mkInt(1), mkInt(2))->str(), "(not (= 1 2))");
+}
+
+TEST(LExprTest, FuncAppCarriesNameAndSort) {
+  LExprRef App =
+      mkApp("list", Sort::Bool, {mkVar("next", Sort::ArrLocLoc),
+                                 mkVar("x", Sort::Loc)});
+  EXPECT_EQ(App->Op, LOp::FuncApp);
+  EXPECT_EQ(App->sort(), Sort::Bool);
+  EXPECT_EQ(App->str(), "(list next x)");
+}
+
+TEST(LExprTest, StructuralEqualityPositive) {
+  LExprRef A = mkIntAdd(mkVar("x", Sort::Int), mkInt(1));
+  LExprRef B = mkIntAdd(mkVar("x", Sort::Int), mkInt(1));
+  EXPECT_TRUE(structurallyEqual(A, B));
+}
+
+TEST(LExprTest, StructuralEqualityNegative) {
+  LExprRef A = mkIntAdd(mkVar("x", Sort::Int), mkInt(1));
+  LExprRef B = mkIntAdd(mkVar("y", Sort::Int), mkInt(1));
+  LExprRef C = mkIntSub(mkVar("x", Sort::Int), mkInt(1));
+  EXPECT_FALSE(structurallyEqual(A, B));
+  EXPECT_FALSE(structurallyEqual(A, C));
+}
+
+TEST(LExprTest, SubstituteReplacesVariables) {
+  LExprRef E = mkIntAdd(mkVar("x", Sort::Int), mkVar("y", Sort::Int));
+  LExprRef R = substitute(E, {{"x", mkInt(5)}});
+  EXPECT_EQ(R->str(), "(+ 5 y)");
+}
+
+TEST(LExprTest, SubstituteUnchangedSharesNodes) {
+  LExprRef E = mkIntAdd(mkVar("x", Sort::Int), mkInt(1));
+  LExprRef R = substitute(E, {{"z", mkInt(5)}});
+  EXPECT_EQ(R.get(), E.get());
+}
+
+TEST(LExprTest, SubstituteRespectsQuantifierShadowing) {
+  LExprRef X = mkVar("x", Sort::Int);
+  LExprRef Body = mkEq(X, mkVar("y", Sort::Int));
+  LExprRef Q = mkForall({X}, Body);
+  LExprRef R = substitute(Q, {{"x", mkInt(1)}, {"y", mkInt(2)}});
+  // x is bound: only y substituted.
+  EXPECT_EQ(R->str(), "(forall x (= x 2))");
+}
+
+TEST(LExprTest, VisitReachesAllNodes) {
+  LExprRef E = mkIntAdd(mkVar("x", Sort::Int), mkInt(1));
+  int Count = 0;
+  visit(E, [&](const LExpr &) { ++Count; });
+  EXPECT_EQ(Count, 3);
+}
+
+TEST(LExprTest, SetCmpSorts) {
+  LExprRef S = mkVar("S", Sort::SetInt);
+  LExprRef K = mkVar("k", Sort::Int);
+  EXPECT_EQ(mkSetCmp(LOp::SetLeInt, S, K)->sort(), Sort::Bool);
+  EXPECT_EQ(mkSetCmp(LOp::IntLtSet, K, S)->sort(), Sort::Bool);
+  EXPECT_EQ(mkSetCmp(LOp::SetLeSet, S, S)->sort(), Sort::Bool);
+}
+
+TEST(LExprTest, MultisetSingleton) {
+  LExprRef M = mkSingleton(mkInt(7), Sort::MSetInt);
+  EXPECT_EQ(M->sort(), Sort::MSetInt);
+}

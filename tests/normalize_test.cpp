@@ -1,0 +1,174 @@
+//===- normalize_test.cpp - Unit tests for dereference flattening ----------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Normalize.h"
+#include "cfront/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+using namespace vcdryad::cfront;
+
+namespace {
+
+const char *Prelude = "struct node { struct node *next; int key; };\n";
+
+std::unique_ptr<Program> parseAndNormalize(const std::string &Body) {
+  DiagnosticEngine D;
+  auto P = parseProgram(Prelude + Body, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  normalizeProgram(*P, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return P;
+}
+
+/// Checks the normalized invariants: heap access only in primitive
+/// statement forms, atoms in primitive positions.
+bool isAtom(const Expr &E) {
+  return E.Kind == ExprKind::Var || E.Kind == ExprKind::IntLit ||
+         E.Kind == ExprKind::Null;
+}
+
+bool exprIsPure(const Expr &E) {
+  if (E.Kind == ExprKind::FieldAccess || E.Kind == ExprKind::Call ||
+      E.Kind == ExprKind::Malloc)
+    return false;
+  for (const ExprRef &A : E.Args)
+    if (!exprIsPure(*A))
+      return false;
+  return true;
+}
+
+void checkNormalized(const Stmt &S, bool &Ok) {
+  switch (S.Kind) {
+  case StmtKind::Assign:
+    if (S.Lhs->Kind == ExprKind::FieldAccess) {
+      Ok &= isAtom(*S.Lhs->Args[0]) && isAtom(*S.Rhs);
+    } else if (S.Rhs->Kind == ExprKind::FieldAccess) {
+      Ok &= isAtom(*S.Rhs->Args[0]);
+    } else if (S.Rhs->Kind == ExprKind::Call) {
+      for (const ExprRef &A : S.Rhs->Args)
+        Ok &= isAtom(*A);
+    } else if (S.Rhs->Kind != ExprKind::Malloc) {
+      Ok &= exprIsPure(*S.Rhs);
+    }
+    break;
+  case StmtKind::Decl:
+    Ok &= !S.Rhs; // Initializers split off.
+    break;
+  case StmtKind::If:
+  case StmtKind::While:
+    Ok &= exprIsPure(*S.Cond);
+    break;
+  case StmtKind::Return:
+    if (S.Rhs)
+      Ok &= isAtom(*S.Rhs);
+    break;
+  case StmtKind::Free:
+    Ok &= isAtom(*S.Rhs);
+    break;
+  default:
+    break;
+  }
+  for (const StmtRef &Sub : S.Stmts)
+    checkNormalized(*Sub, Ok);
+  if (S.Then)
+    checkNormalized(*S.Then, Ok);
+  if (S.Else)
+    checkNormalized(*S.Else, Ok);
+}
+
+bool functionNormalized(const Program &P, const std::string &Name) {
+  bool Ok = true;
+  checkNormalized(*P.findFunc(Name)->Body, Ok);
+  return Ok;
+}
+
+} // namespace
+
+TEST(NormalizeTest, ChainedDereferenceSplit) {
+  auto P = parseAndNormalize(
+      "int f(struct node *x) { return x->next->next->key; }");
+  EXPECT_TRUE(functionNormalized(*P, "f"));
+}
+
+TEST(NormalizeTest, FieldWriteThroughChain) {
+  auto P = parseAndNormalize(
+      "void f(struct node *x) { x->next->key = 5; }");
+  EXPECT_TRUE(functionNormalized(*P, "f"));
+}
+
+TEST(NormalizeTest, CallArgumentsHoisted) {
+  auto P = parseAndNormalize("int g(int a) { return a; }\n"
+                             "int f(struct node *x) {"
+                             "  return g(x->key + 1); }");
+  EXPECT_TRUE(functionNormalized(*P, "f"));
+}
+
+TEST(NormalizeTest, ConditionDereferenceHoisted) {
+  auto P = parseAndNormalize("int f(struct node *x) {"
+                             "  if (x->key > 0) return 1; return 0; }");
+  EXPECT_TRUE(functionNormalized(*P, "f"));
+}
+
+TEST(NormalizeTest, WhileConditionPreludeCreated) {
+  auto P = parseAndNormalize(
+      "int f(struct node *x) { int n = 0;"
+      "  while (x->key > 0) { x = x->next; n = n + 1; } return n; }");
+  EXPECT_TRUE(functionNormalized(*P, "f"));
+  // The while node carries its condition-evaluation prelude.
+  const FuncDecl *F = P->findFunc("f");
+  bool FoundWhile = false;
+  for (const StmtRef &S : F->Body->Stmts)
+    if (S->Kind == StmtKind::While) {
+      FoundWhile = true;
+      EXPECT_FALSE(S->Stmts.empty());
+      EXPECT_TRUE(exprIsPure(*S->Cond));
+    }
+  EXPECT_TRUE(FoundWhile);
+}
+
+TEST(NormalizeTest, DeclWithInitSplit) {
+  auto P = parseAndNormalize(
+      "int f(struct node *x) { int k = x->key; return k; }");
+  EXPECT_TRUE(functionNormalized(*P, "f"));
+}
+
+TEST(NormalizeTest, ReturnComplexExprHoisted) {
+  auto P = parseAndNormalize("int f(int a, int b) { return a + b; }");
+  EXPECT_TRUE(functionNormalized(*P, "f"));
+}
+
+TEST(NormalizeTest, MallocStaysDirect) {
+  auto P = parseAndNormalize(
+      "struct node *f() {"
+      "  struct node *n = malloc(sizeof(struct node));"
+      "  return n; }");
+  EXPECT_TRUE(functionNormalized(*P, "f"));
+}
+
+TEST(NormalizeTest, FreeArgumentAtomized) {
+  auto P = parseAndNormalize(
+      "void f(struct node *x) { free(x->next); }");
+  EXPECT_TRUE(functionNormalized(*P, "f"));
+}
+
+TEST(NormalizeTest, IdempotentOnSimpleCode) {
+  auto P = parseAndNormalize(
+      "int f(struct node *x) { int k; k = x->key; return k; }");
+  FuncDecl *F = P->findFunc("f");
+  std::string Once = F->Body->str();
+  DiagnosticEngine D;
+  normalizeFunction(*F, D);
+  // A second normalization adds no statements (same count of ';').
+  EXPECT_EQ(F->Body->str(), Once);
+}
+
+TEST(NormalizeTest, NestedCallsFlattened) {
+  auto P = parseAndNormalize("int g(int a) { return a; }\n"
+                             "int f(int a) { return g(g(a)); }");
+  EXPECT_TRUE(functionNormalized(*P, "f"));
+}

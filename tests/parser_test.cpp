@@ -1,0 +1,271 @@
+//===- parser_test.cpp - Unit tests for the mini-C + DRYAD parser ----------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+using namespace vcdryad::cfront;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(const std::string &Src) {
+  DiagnosticEngine D;
+  auto P = parseProgram(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return P;
+}
+
+std::string parseErr(const std::string &Src) {
+  DiagnosticEngine D;
+  parseProgram(Src, D);
+  EXPECT_TRUE(D.hasErrors()) << "expected a parse/type error";
+  return D.str();
+}
+
+const char *SLL = R"(
+struct node { struct node *next; int key; };
+_(dryad
+  predicate list(struct node *x) =
+      (x == nil && emp) || (x |-> * list(x->next));
+  function intset keys(struct node *x) =
+      (x == nil) ? emptyset : (singleton(x->key) union keys(x->next));
+)
+)";
+
+} // namespace
+
+TEST(ParserTest, StructDecl) {
+  auto P = parseOk("struct node { struct node *next; int key; };");
+  const StructDecl *S = P->findStruct("node");
+  ASSERT_NE(S, nullptr);
+  ASSERT_EQ(S->Fields.size(), 2u);
+  EXPECT_TRUE(S->Fields[0].Ty.isPtr());
+  EXPECT_EQ(S->Fields[0].Ty.Pointee, S);
+  EXPECT_TRUE(S->Fields[1].Ty.isInt());
+}
+
+TEST(ParserTest, LogicStructTableMirrored) {
+  auto P = parseOk("struct node { struct node *next; int key; };");
+  const dryad::StructInfo *SI = P->LogicStructs.lookup("node");
+  ASSERT_NE(SI, nullptr);
+  EXPECT_EQ(SI->findField("next")->FieldSort, vir::Sort::Loc);
+  EXPECT_EQ(SI->findField("next")->TargetStruct, "node");
+  EXPECT_EQ(SI->findField("key")->FieldSort, vir::Sort::Int);
+}
+
+TEST(ParserTest, MutuallyReferencingStructs) {
+  auto P = parseOk("struct a { struct b *p; };\n"
+                   "struct b { struct a *q; };");
+  EXPECT_EQ(P->findStruct("a")->Fields[0].Ty.Pointee,
+            P->findStruct("b"));
+}
+
+TEST(ParserTest, DryadPredicateParsed) {
+  auto P = parseOk(SLL);
+  const dryad::RecDef *L = P->Defs.lookup("list");
+  ASSERT_NE(L, nullptr);
+  EXPECT_TRUE(L->IsPredicate);
+  ASSERT_EQ(L->Params.size(), 1u);
+  EXPECT_EQ(L->Params[0].StructName, "node");
+  ASSERT_NE(L->PredBody, nullptr);
+  EXPECT_EQ(L->PredBody->Kind, dryad::FormulaKind::Or);
+}
+
+TEST(ParserTest, DryadFunctionParsed) {
+  auto P = parseOk(SLL);
+  const dryad::RecDef *K = P->Defs.lookup("keys");
+  ASSERT_NE(K, nullptr);
+  EXPECT_FALSE(K->IsPredicate);
+  EXPECT_EQ(K->RetSort, vir::Sort::SetInt);
+  ASSERT_NE(K->FnBody, nullptr);
+  EXPECT_EQ(K->FnBody->Kind, dryad::TermKind::Ite);
+}
+
+TEST(ParserTest, FieldDependenciesComputed) {
+  auto P = parseOk(SLL);
+  const dryad::RecDef *L = P->Defs.lookup("list");
+  // list uses the points-to atom: depends on every field of node.
+  ASSERT_EQ(L->Fields.size(), 2u);
+  const dryad::RecDef *K = P->Defs.lookup("keys");
+  ASSERT_EQ(K->Fields.size(), 2u); // next and key.
+}
+
+TEST(ParserTest, FunctionWithContracts) {
+  auto P = parseOk(std::string(SLL) + R"(
+struct node *id(struct node *x)
+  _(requires list(x))
+  _(ensures list(result))
+{ return x; }
+)");
+  FuncDecl *F = P->findFunc("id");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Requires.size(), 1u);
+  EXPECT_EQ(F->Ensures.size(), 1u);
+  ASSERT_NE(F->Body, nullptr);
+}
+
+TEST(ParserTest, LoopInvariants) {
+  auto P = parseOk(std::string(SLL) + R"(
+int len(struct node *x)
+  _(requires list(x))
+{
+  int n = 0;
+  struct node *c = x;
+  while (c != NULL)
+    _(invariant list(c))
+    _(invariant n >= 0)
+  {
+    n = n + 1;
+    c = c->next;
+  }
+  return n;
+}
+)");
+  // Find the while statement.
+  FuncDecl *F = P->findFunc("len");
+  ASSERT_NE(F, nullptr);
+  bool Found = false;
+  for (const StmtRef &S : F->Body->Stmts)
+    if (S->Kind == StmtKind::While) {
+      EXPECT_EQ(S->Invariants.size(), 2u);
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(ParserTest, MallocIdioms) {
+  auto P = parseOk(std::string(SLL) + R"(
+struct node *mk1() {
+  struct node *a = malloc(sizeof(struct node));
+  struct node *b = (struct node *) malloc(sizeof(struct node));
+  return a;
+}
+)");
+  EXPECT_NE(P->findFunc("mk1"), nullptr);
+}
+
+TEST(ParserTest, AssertAssumeStatements) {
+  auto P = parseOk(std::string(SLL) + R"(
+void f(struct node *x)
+  _(requires list(x))
+{
+  _(assume x != nil)
+  _(assert list(x))
+}
+)");
+  FuncDecl *F = P->findFunc("f");
+  EXPECT_EQ(F->Body->Stmts[0]->Kind, StmtKind::Assume);
+  EXPECT_EQ(F->Body->Stmts[1]->Kind, StmtKind::Assert);
+}
+
+TEST(ParserTest, AxiomParsed) {
+  auto P = parseOk(std::string(SLL) + R"(
+_(dryad
+  axiom (struct node *x) true ==> heaplet keys(x) == heaplet list(x);
+)
+)");
+  ASSERT_EQ(P->Defs.Axioms.size(), 1u);
+  EXPECT_EQ(P->Defs.Axioms[0].Params.size(), 1u);
+  EXPECT_EQ(P->Defs.Axioms[0].Body->Kind, dryad::FormulaKind::Implies);
+}
+
+TEST(ParserErrorTest, UndeclaredVariable) {
+  std::string E = parseErr("int f() { return zz; }");
+  EXPECT_NE(E.find("undeclared"), std::string::npos);
+}
+
+TEST(ParserErrorTest, UnknownField) {
+  parseErr("struct node { int key; };\n"
+           "int f(struct node *x) { return x->nope; }");
+}
+
+TEST(ParserErrorTest, ArrowOnNonPointer) {
+  parseErr("struct node { int key; };\n"
+           "int f(int x) { return x->key; }");
+}
+
+TEST(ParserErrorTest, CallBeforeDeclaration) {
+  parseErr("int f() { return g(); }\nint g() { return 1; }");
+}
+
+TEST(ParserErrorTest, WrongArgumentCount) {
+  parseErr("int g(int a) { return a; }\nint f() { return g(); }");
+}
+
+TEST(ParserErrorTest, AssignTypeMismatch) {
+  parseErr("struct node { int key; };\n"
+           "void f(struct node *x) { int y = 0; y = x; }");
+}
+
+TEST(ParserErrorTest, ResultOutsideEnsures) {
+  parseErr("int f(int a) _(requires result == 1) { return a; }");
+}
+
+TEST(ParserErrorTest, UnknownPredicate) {
+  parseErr("struct node { int key; };\n"
+           "void f(struct node *x) _(requires nosuch(x)) { }");
+}
+
+TEST(ParserErrorTest, RedeclarationInScope) {
+  parseErr("int f(int a) { int a = 1; return a; }");
+}
+
+TEST(ParserErrorTest, StructValuesRejected) {
+  parseErr("struct node { int key; };\n"
+           "void f() { struct node x; }");
+}
+
+TEST(ParserTest, RecursiveCallTypechecks) {
+  auto P = parseOk("int f(int n) { if (n <= 0) return 0;"
+                   " return f(n - 1); }");
+  EXPECT_NE(P->findFunc("f"), nullptr);
+}
+
+TEST(ParserTest, SpecSetComparisons) {
+  auto P = parseOk(std::string(SLL) + R"(
+void f(struct node *x, int k)
+  _(requires list(x) && keys(x) <= k)
+  _(requires k < keys(x) || true)
+{ }
+)");
+  EXPECT_NE(P->findFunc("f"), nullptr);
+}
+
+TEST(ParserTest, OldAndResultInEnsures) {
+  auto P = parseOk(std::string(SLL) + R"(
+struct node *f(struct node *x)
+  _(requires list(x))
+  _(ensures keys(result) == old(keys(x)))
+{ return x; }
+)");
+  EXPECT_NE(P->findFunc("f"), nullptr);
+}
+
+TEST(ParserTest, EmptySetPolymorphism) {
+  // emptyset compares against both int-set and loc-set terms.
+  auto P = parseOk(std::string(SLL) + R"(
+void f(struct node *x)
+  _(requires keys(x) == emptyset)
+  _(requires heaplet list(x) == emptyset)
+{ }
+)");
+  EXPECT_NE(P->findFunc("f"), nullptr);
+}
+
+TEST(ParserTest, MultiParamDef) {
+  auto P = parseOk(R"(
+struct node { struct node *next; int key; };
+_(dryad
+  predicate lseg(struct node *x, struct node *y) =
+      (x == y && emp) || (x != y && x |-> * lseg(x->next, y));
+)
+)");
+  const dryad::RecDef *L = P->Defs.lookup("lseg");
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(L->Params.size(), 2u);
+}

@@ -1,0 +1,171 @@
+//===- passify_test.cpp - Unit tests for passification ---------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vir/Passify.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+using namespace vcdryad::vir;
+
+namespace {
+
+/// Collects the rendered statements of a passive block, flattening ifs.
+void render(const Block &B, std::vector<std::string> &Out) {
+  for (const VStmtRef &S : B) {
+    if (S->Kind == VStmtKind::If) {
+      Out.push_back("if");
+      render(S->Then, Out);
+      Out.push_back("else");
+      render(S->Else, Out);
+      Out.push_back("endif");
+      continue;
+    }
+    std::string Line = S->str();
+    if (!Line.empty() && Line.back() == '\n')
+      Line.pop_back();
+    Out.push_back(Line);
+  }
+}
+
+bool hasNoAssignOrHavoc(const Block &B) {
+  for (const VStmtRef &S : B) {
+    if (S->Kind == VStmtKind::Assign || S->Kind == VStmtKind::Havoc)
+      return false;
+    if (S->Kind == VStmtKind::If)
+      if (!hasNoAssignOrHavoc(S->Then) || !hasNoAssignOrHavoc(S->Else))
+        return false;
+  }
+  return true;
+}
+
+} // namespace
+
+TEST(PassifyTest, AssignBecomesEqualityAssumption) {
+  Procedure P;
+  P.Name = "f";
+  P.Vars = {{"x", Sort::Int}};
+  P.Body.push_back(mkAssign("x", Sort::Int, mkInt(1)));
+  Procedure Q = passify(P);
+  ASSERT_EQ(Q.Body.size(), 1u);
+  EXPECT_EQ(Q.Body[0]->Kind, VStmtKind::Assume);
+  EXPECT_EQ(Q.Body[0]->Cond->str(), "(= x@1 1)");
+}
+
+TEST(PassifyTest, SequentialAssignsIncrementVersions) {
+  Procedure P;
+  P.Vars = {{"x", Sort::Int}};
+  P.Body.push_back(
+      mkAssign("x", Sort::Int,
+               mkIntAdd(mkVar("x", Sort::Int), mkInt(1))));
+  P.Body.push_back(
+      mkAssign("x", Sort::Int,
+               mkIntAdd(mkVar("x", Sort::Int), mkInt(1))));
+  Procedure Q = passify(P);
+  EXPECT_EQ(Q.Body[0]->Cond->str(), "(= x@1 (+ x 1))");
+  EXPECT_EQ(Q.Body[1]->Cond->str(), "(= x@2 (+ x@1 1))");
+}
+
+TEST(PassifyTest, HavocBumpsVersionWithoutAssume) {
+  Procedure P;
+  P.Vars = {{"x", Sort::Int}};
+  P.Body.push_back(mkHavoc("x", Sort::Int));
+  P.Body.push_back(mkAssert(mkEq(mkVar("x", Sort::Int), mkInt(0)),
+                            "check"));
+  Procedure Q = passify(P);
+  ASSERT_EQ(Q.Body.size(), 1u);
+  EXPECT_EQ(Q.Body[0]->Cond->str(), "(= x@1 0)");
+}
+
+TEST(PassifyTest, RigidSymbolsUntouched) {
+  Procedure P;
+  P.Vars = {{"x", Sort::Int}};
+  P.Body.push_back(mkAssign(
+      "x", Sort::Int, mkIntAdd(mkVar("c", Sort::Int), mkInt(0))));
+  Procedure Q = passify(P);
+  EXPECT_EQ(Q.Body[0]->Cond->str(), "(= x@1 (+ c 0))");
+}
+
+TEST(PassifyTest, BranchesJoinWithFreshVersion) {
+  Procedure P;
+  P.Vars = {{"x", Sort::Int}, {"c", Sort::Bool}};
+  Block Then{mkAssign("x", Sort::Int, mkInt(1))};
+  Block Else{mkAssign("x", Sort::Int, mkInt(2))};
+  P.Body.push_back(
+      mkIf(mkVar("c", Sort::Bool), std::move(Then), std::move(Else)));
+  P.Body.push_back(
+      mkAssert(mkIntLe(mkVar("x", Sort::Int), mkInt(2)), "range"));
+  Procedure Q = passify(P);
+
+  ASSERT_EQ(Q.Body.size(), 2u);
+  ASSERT_EQ(Q.Body[0]->Kind, VStmtKind::If);
+  std::vector<std::string> Lines;
+  render(Q.Body, Lines);
+  // Both branches define the same join version x@3.
+  EXPECT_EQ(Lines[1], "assume c;");
+  EXPECT_EQ(Lines[2], "assume (= x@1 1);");
+  EXPECT_EQ(Lines[3], "assume (= x@3 x@1);");
+  EXPECT_EQ(Lines[5], "assume (not c);");
+  EXPECT_EQ(Lines[6], "assume (= x@2 2);");
+  EXPECT_EQ(Lines[7], "assume (= x@3 x@2);");
+  // The assert after the join uses the join version.
+  EXPECT_EQ(Lines[9], "assert (<= x@3 2)  // range;");
+}
+
+TEST(PassifyTest, UnmodifiedVarNeedsNoJoin) {
+  Procedure P;
+  P.Vars = {{"x", Sort::Int}, {"y", Sort::Int}, {"c", Sort::Bool}};
+  Block Then{mkAssign("x", Sort::Int, mkInt(1))};
+  Block Else{};
+  P.Body.push_back(
+      mkIf(mkVar("c", Sort::Bool), std::move(Then), std::move(Else)));
+  Procedure Q = passify(P);
+  std::vector<std::string> Lines;
+  render(Q.Body, Lines);
+  // y never mentioned; x joined; no join lines for y.
+  for (const std::string &L : Lines)
+    EXPECT_EQ(L.find("y@"), std::string::npos) << L;
+}
+
+TEST(PassifyTest, OutputIsPassive) {
+  Procedure P;
+  P.Vars = {{"x", Sort::Int}, {"c", Sort::Bool}};
+  Block Then{mkAssign("x", Sort::Int, mkInt(1)), mkHavoc("x", Sort::Int)};
+  Block Else{mkAssign("x", Sort::Int, mkInt(2))};
+  P.Body.push_back(
+      mkIf(mkVar("c", Sort::Bool), std::move(Then), std::move(Else)));
+  Procedure Q = passify(P);
+  EXPECT_TRUE(hasNoAssignOrHavoc(Q.Body));
+}
+
+TEST(PassifyTest, DeclaresVersionedSorts) {
+  Procedure P;
+  P.Vars = {{"x", Sort::SetLoc}};
+  P.Body.push_back(mkAssign("x", Sort::SetLoc, mkEmptySet(Sort::SetLoc)));
+  Procedure Q = passify(P);
+  ASSERT_TRUE(Q.Vars.count("x@1"));
+  EXPECT_EQ(Q.Vars.at("x@1"), Sort::SetLoc);
+}
+
+TEST(PassifyTest, NestedIfsJoinCorrectly) {
+  Procedure P;
+  P.Vars = {{"x", Sort::Int}, {"c", Sort::Bool}, {"d", Sort::Bool}};
+  Block Inner{mkAssign("x", Sort::Int, mkInt(1))};
+  Block InnerElse{};
+  Block Then;
+  Then.push_back(mkIf(mkVar("d", Sort::Bool), std::move(Inner),
+                      std::move(InnerElse)));
+  Block Else{mkAssign("x", Sort::Int, mkInt(3))};
+  P.Body.push_back(
+      mkIf(mkVar("c", Sort::Bool), std::move(Then), std::move(Else)));
+  P.Body.push_back(
+      mkAssert(mkIntLe(mkVar("x", Sort::Int), mkInt(3)), "after"));
+  Procedure Q = passify(P);
+  // The final assert must reference a single well-defined version.
+  const VStmt &Last = *Q.Body.back();
+  EXPECT_EQ(Last.Kind, VStmtKind::Assert);
+  EXPECT_NE(Last.Cond->str().find("x@"), std::string::npos);
+}

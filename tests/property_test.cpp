@@ -1,0 +1,397 @@
+//===- property_test.cpp - Property-based sweeps ---------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized property tests:
+///  - pipeline invariants checked over the whole benchmark corpus
+///    (normal form after normalization, passivity after passification,
+///    ghost-code monotonicity in the tuple budget);
+///  - algebraic laws of the set encodings, checked through Z3 over a
+///    sweep of operator combinations;
+///  - substitution/structural-equality laws of the expression layer
+///    over pseudo-randomly generated terms.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Normalize.h"
+#include "cfront/Parser.h"
+#include "instr/Instrument.h"
+#include "smt/Solver.h"
+#include "verifier/FuncTranslator.h"
+#include "vir/Passify.h"
+#include "vir/WpGen.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace vcdryad;
+namespace fs = std::filesystem;
+
+//===----------------------------------------------------------------------===//
+// Corpus-wide pipeline invariants
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<std::string> allCorpusFiles() {
+  std::vector<std::string> Out;
+  fs::path Root(VCDRYAD_BENCHMARK_DIR);
+  if (!fs::exists(Root))
+    return Out;
+  for (const auto &E : fs::recursive_directory_iterator(Root))
+    if (E.is_regular_file() && E.path().extension() == ".c")
+      Out.push_back(E.path().string());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+std::string corpusTestName(const ::testing::TestParamInfo<std::string> &I) {
+  fs::path P(I.param);
+  std::string N =
+      P.parent_path().filename().string() + "_" + P.stem().string();
+  for (char &C : N)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return N;
+}
+
+bool isAtom(const cfront::Expr &E) {
+  using cfront::ExprKind;
+  return E.Kind == ExprKind::Var || E.Kind == ExprKind::IntLit ||
+         E.Kind == ExprKind::Null;
+}
+
+bool exprPure(const cfront::Expr &E) {
+  using cfront::ExprKind;
+  if (E.Kind == ExprKind::FieldAccess || E.Kind == ExprKind::Call ||
+      E.Kind == ExprKind::Malloc)
+    return false;
+  for (const auto &A : E.Args)
+    if (!exprPure(*A))
+      return false;
+  return true;
+}
+
+void checkNormalForm(const cfront::Stmt &S, bool &Ok) {
+  using cfront::ExprKind;
+  using cfront::StmtKind;
+  switch (S.Kind) {
+  case StmtKind::Assign:
+    if (S.Lhs->Kind == ExprKind::FieldAccess)
+      Ok &= isAtom(*S.Lhs->Args[0]) && isAtom(*S.Rhs);
+    else if (S.Rhs->Kind == ExprKind::FieldAccess)
+      Ok &= isAtom(*S.Rhs->Args[0]);
+    else if (S.Rhs->Kind == ExprKind::Call) {
+      for (const auto &A : S.Rhs->Args)
+        Ok &= isAtom(*A);
+    } else if (S.Rhs->Kind != ExprKind::Malloc)
+      Ok &= exprPure(*S.Rhs);
+    break;
+  case StmtKind::If:
+  case StmtKind::While:
+    Ok &= exprPure(*S.Cond);
+    break;
+  case StmtKind::Return:
+    if (S.Rhs)
+      Ok &= isAtom(*S.Rhs);
+    break;
+  case StmtKind::Free:
+    Ok &= isAtom(*S.Rhs);
+    break;
+  default:
+    break;
+  }
+  for (const auto &Sub : S.Stmts)
+    checkNormalForm(*Sub, Ok);
+  if (S.Then)
+    checkNormalForm(*S.Then, Ok);
+  if (S.Else)
+    checkNormalForm(*S.Else, Ok);
+}
+
+bool blockIsPassive(const vir::Block &B) {
+  for (const auto &St : B) {
+    if (St->Kind == vir::VStmtKind::Assign ||
+        St->Kind == vir::VStmtKind::Havoc)
+      return false;
+    if (St->Kind == vir::VStmtKind::If)
+      if (!blockIsPassive(St->Then) || !blockIsPassive(St->Else))
+        return false;
+  }
+  return true;
+}
+
+class CorpusPipeline : public ::testing::TestWithParam<std::string> {
+protected:
+  std::unique_ptr<cfront::Program> parse() {
+    DiagnosticEngine Diag;
+    auto P = cfront::parseFile(GetParam(), Diag);
+    EXPECT_TRUE(P && !Diag.hasErrors()) << Diag.str();
+    return P;
+  }
+};
+
+} // namespace
+
+TEST_P(CorpusPipeline, ParsesCleanly) {
+  auto P = parse();
+  ASSERT_NE(P, nullptr);
+  // Every benchmark defines at least one function with a body.
+  bool HasBody = false;
+  for (const auto &F : P->Funcs)
+    HasBody |= F->Body != nullptr;
+  EXPECT_TRUE(HasBody);
+}
+
+TEST_P(CorpusPipeline, NormalizationEstablishesNormalForm) {
+  DiagnosticEngine Diag;
+  auto P = parse();
+  cfront::normalizeProgram(*P, Diag);
+  ASSERT_FALSE(Diag.hasErrors()) << Diag.str();
+  for (const auto &F : P->Funcs) {
+    if (!F->Body)
+      continue;
+    bool Ok = true;
+    checkNormalForm(*F->Body, Ok);
+    EXPECT_TRUE(Ok) << F->Name << " not in normal form";
+  }
+}
+
+TEST_P(CorpusPipeline, InstrumentationAddsOnlyGhostCode) {
+  DiagnosticEngine Diag;
+  auto P = parse();
+  cfront::normalizeProgram(*P, Diag);
+  std::map<std::string, unsigned> ManualBefore;
+  for (const auto &F : P->Funcs)
+    if (F->Body)
+      ManualBefore[F->Name] = instr::countAnnotations(*F).Manual;
+  instr::InstrOptions Opts;
+  instr::instrumentProgram(*P, Opts, Diag);
+  ASSERT_FALSE(Diag.hasErrors()) << Diag.str();
+  for (const auto &F : P->Funcs) {
+    if (!F->Body)
+      continue;
+    instr::AnnotationStats St = instr::countAnnotations(*F);
+    // Manual annotations are untouched; ghost code was added.
+    EXPECT_EQ(St.Manual, ManualBefore[F->Name]) << F->Name;
+    EXPECT_GT(St.Ghost, 0u) << F->Name;
+  }
+}
+
+TEST_P(CorpusPipeline, GhostCountMonotoneInTupleBudget) {
+  DiagnosticEngine Diag;
+  auto P1 = parse();
+  auto P2 = parse();
+  cfront::normalizeProgram(*P1, Diag);
+  cfront::normalizeProgram(*P2, Diag);
+  instr::InstrOptions Small;
+  Small.MaxTuplesPerSite = 2;
+  instr::InstrOptions Big;
+  Big.MaxTuplesPerSite = 64;
+  instr::instrumentProgram(*P1, Small, Diag);
+  instr::instrumentProgram(*P2, Big, Diag);
+  for (const auto &F1 : P1->Funcs) {
+    if (!F1->Body)
+      continue;
+    const cfront::FuncDecl *F2 = P2->findFunc(F1->Name);
+    ASSERT_NE(F2, nullptr);
+    EXPECT_LE(instr::countAnnotations(*F1).Ghost,
+              instr::countAnnotations(*F2).Ghost)
+        << F1->Name;
+  }
+}
+
+TEST_P(CorpusPipeline, PassificationProducesPassiveProcedures) {
+  DiagnosticEngine Diag;
+  auto P = parse();
+  cfront::normalizeProgram(*P, Diag);
+  instr::InstrOptions IOpts;
+  IOpts.MaxTuplesPerSite = 4; // Keep this sweep fast.
+  instr::instrumentProgram(*P, IOpts, Diag);
+  for (const auto &F : P->Funcs) {
+    if (!F->Body)
+      continue;
+    verifier::TranslateOptions TOpts;
+    vir::Procedure Proc =
+        verifier::translateFunction(*F, *P, TOpts, Diag);
+    ASSERT_FALSE(Diag.hasErrors()) << Diag.str();
+    vir::Procedure Passive = vir::passify(Proc);
+    EXPECT_TRUE(blockIsPassive(Passive.Body)) << F->Name;
+    // Every assert of the procedure becomes exactly one VC.
+    std::vector<vir::VC> VCs = vir::generateVCs(Passive);
+    EXPECT_FALSE(VCs.empty()) << F->Name;
+    for (const vir::VC &VC : VCs) {
+      EXPECT_EQ(VC.Guard->sort(), vir::Sort::Bool);
+      EXPECT_EQ(VC.Cond->sort(), vir::Sort::Bool);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusPipeline,
+                         ::testing::ValuesIn(allCorpusFiles()),
+                         corpusTestName);
+GTEST_ALLOW_UNINSTANTIATED_PARAMETERIZED_TEST(CorpusPipeline);
+
+//===----------------------------------------------------------------------===//
+// Set-encoding algebra, via Z3
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using vir::LExprRef;
+using vir::LOp;
+using vir::Sort;
+
+struct SetLawCase {
+  const char *Name;
+  Sort S;
+};
+
+class SetLaws : public ::testing::TestWithParam<SetLawCase> {
+protected:
+  void expectLaw(const LExprRef &Lhs, const LExprRef &Rhs) {
+    auto Solver = smt::createZ3Solver();
+    smt::CheckResult R =
+        Solver->checkValid(vir::mkBool(true), vir::mkEq(Lhs, Rhs));
+    EXPECT_EQ(R.Status, smt::CheckStatus::Valid) << R.Detail;
+  }
+  /// Multiset counts must be non-negative for the monus laws; a free
+  /// array variable is not a well-formed multiset, so build one from
+  /// the constructors instead.
+  LExprRef A() {
+    if (GetParam().S == Sort::MSetInt)
+      return vir::mkUnion(
+          vir::mkSingleton(vir::mkVar("a1", Sort::Int), Sort::MSetInt),
+          vir::mkSingleton(vir::mkVar("a2", Sort::Int), Sort::MSetInt));
+    return vir::mkVar("A", GetParam().S);
+  }
+  LExprRef B() { return vir::mkVar("B", GetParam().S); }
+  LExprRef C() { return vir::mkVar("C", GetParam().S); }
+  LExprRef empty() { return vir::mkEmptySet(GetParam().S); }
+};
+
+} // namespace
+
+TEST_P(SetLaws, UnionCommutative) {
+  expectLaw(vir::mkUnion(A(), B()), vir::mkUnion(B(), A()));
+}
+
+TEST_P(SetLaws, UnionAssociative) {
+  expectLaw(vir::mkUnion(vir::mkUnion(A(), B()), C()),
+            vir::mkUnion(A(), vir::mkUnion(B(), C())));
+}
+
+TEST_P(SetLaws, UnionEmptyIdentity) {
+  expectLaw(vir::mkUnion(A(), empty()), A());
+}
+
+TEST_P(SetLaws, InterCommutative) {
+  expectLaw(vir::mkInter(A(), B()), vir::mkInter(B(), A()));
+}
+
+TEST_P(SetLaws, InterEmptyAnnihilates) {
+  expectLaw(vir::mkInter(A(), empty()), empty());
+}
+
+TEST_P(SetLaws, MinusEmptyIdentity) {
+  expectLaw(vir::mkMinus(A(), empty()), A());
+}
+
+TEST_P(SetLaws, MinusSelfEmpty) {
+  expectLaw(vir::mkMinus(A(), A()), empty());
+}
+
+TEST_P(SetLaws, UnionIdempotentForSetsOnly) {
+  if (GetParam().S == Sort::MSetInt) {
+    // Multisets count multiplicity: A + A == A only when A is empty.
+    auto Solver = smt::createZ3Solver();
+    smt::CheckResult R = Solver->checkValid(
+        vir::mkBool(true), vir::mkEq(vir::mkUnion(A(), A()), A()));
+    EXPECT_EQ(R.Status, smt::CheckStatus::Invalid);
+    return;
+  }
+  expectLaw(vir::mkUnion(A(), A()), A());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSetSorts, SetLaws,
+    ::testing::Values(SetLawCase{"SetLoc", Sort::SetLoc},
+                      SetLawCase{"SetInt", Sort::SetInt},
+                      SetLawCase{"MSetInt", Sort::MSetInt}),
+    [](const ::testing::TestParamInfo<SetLawCase> &I) {
+      return I.param.Name;
+    });
+
+//===----------------------------------------------------------------------===//
+// Expression-layer laws over generated terms
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Deterministic pseudo-random integer expression generator.
+LExprRef genInt(unsigned &Seed, int Depth) {
+  Seed = Seed * 1103515245 + 12345;
+  unsigned Pick = (Seed >> 16) % (Depth > 0 ? 4 : 2);
+  switch (Pick) {
+  case 0:
+    return vir::mkInt(static_cast<int>(Seed % 17) - 8);
+  case 1:
+    return vir::mkVar(std::string("v") + char('a' + Seed % 3),
+                      Sort::Int);
+  case 2:
+    return vir::mkIntAdd(genInt(Seed, Depth - 1),
+                         genInt(Seed, Depth - 1));
+  default:
+    return vir::mkIte(
+        vir::mkIntLe(genInt(Seed, Depth - 1), genInt(Seed, Depth - 1)),
+        genInt(Seed, Depth - 1), genInt(Seed, Depth - 1));
+  }
+}
+
+class ExprLaws : public ::testing::TestWithParam<unsigned> {};
+
+} // namespace
+
+TEST_P(ExprLaws, SubstitutionIdentity) {
+  unsigned Seed = GetParam();
+  LExprRef E = genInt(Seed, 4);
+  // Substituting nothing returns the identical node (sharing).
+  EXPECT_EQ(vir::substitute(E, {}).get(), E.get());
+}
+
+TEST_P(ExprLaws, SubstitutionSelfIsNoop) {
+  unsigned Seed = GetParam();
+  LExprRef E = genInt(Seed, 4);
+  std::map<std::string, LExprRef> Map = {
+      {"va", vir::mkVar("va", Sort::Int)},
+      {"vb", vir::mkVar("vb", Sort::Int)},
+      {"vc", vir::mkVar("vc", Sort::Int)}};
+  EXPECT_TRUE(vir::structurallyEqual(vir::substitute(E, Map), E));
+}
+
+TEST_P(ExprLaws, StructuralEqualityReflexiveOnClones) {
+  unsigned Seed1 = GetParam();
+  unsigned Seed2 = GetParam();
+  LExprRef E1 = genInt(Seed1, 4);
+  LExprRef E2 = genInt(Seed2, 4);
+  EXPECT_TRUE(vir::structurallyEqual(E1, E2));
+}
+
+TEST_P(ExprLaws, SubstitutionSemanticsAgreeWithZ3) {
+  unsigned Seed = GetParam();
+  LExprRef E = genInt(Seed, 3);
+  // E[va := 5] == E under the assumption va == 5.
+  LExprRef Subst = vir::substitute(E, {{"va", vir::mkInt(5)}});
+  auto Solver = smt::createZ3Solver();
+  smt::CheckResult R = Solver->checkValid(
+      vir::mkEq(vir::mkVar("va", Sort::Int), vir::mkInt(5)),
+      vir::mkEq(E, Subst));
+  EXPECT_EQ(R.Status, smt::CheckStatus::Valid) << R.Detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprLaws,
+                         ::testing::Range(1u, 21u));

@@ -1,0 +1,203 @@
+//===- smt_test.cpp - Unit tests for the Z3 backend ------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+using namespace vcdryad::smt;
+using namespace vcdryad::vir;
+
+namespace {
+
+class SmtTest : public ::testing::Test {
+protected:
+  void expectValid(const LExprRef &Guard, const LExprRef &Goal) {
+    auto S = createZ3Solver();
+    CheckResult R = S->checkValid(Guard, Goal);
+    EXPECT_EQ(R.Status, CheckStatus::Valid) << R.Detail;
+  }
+  void expectInvalid(const LExprRef &Guard, const LExprRef &Goal) {
+    auto S = createZ3Solver();
+    CheckResult R = S->checkValid(Guard, Goal);
+    EXPECT_EQ(R.Status, CheckStatus::Invalid) << R.Detail;
+  }
+};
+
+} // namespace
+
+TEST_F(SmtTest, PropositionalValidity) {
+  LExprRef A = mkVar("a", Sort::Bool);
+  expectValid(A, A);
+  expectInvalid(mkBool(true), A);
+}
+
+TEST_F(SmtTest, IntegerArithmetic) {
+  LExprRef X = mkVar("x", Sort::Int);
+  expectValid(mkIntLt(X, mkInt(5)), mkIntLe(X, mkInt(5)));
+  expectInvalid(mkIntLe(X, mkInt(5)), mkIntLt(X, mkInt(5)));
+  expectValid(mkBool(true),
+              mkEq(mkIntAdd(mkInt(2), mkInt(2)), mkInt(4)));
+}
+
+TEST_F(SmtTest, LocationsAndNil) {
+  LExprRef X = mkVar("x", Sort::Loc);
+  expectInvalid(mkBool(true), mkNe(X, mkNil()));
+  expectValid(mkNe(X, mkNil()), mkNe(mkNil(), X));
+}
+
+TEST_F(SmtTest, FieldArraySelectStore) {
+  LExprRef Arr = mkVar("next", Sort::ArrLocLoc);
+  LExprRef X = mkVar("x", Sort::Loc);
+  LExprRef Y = mkVar("y", Sort::Loc);
+  LExprRef V = mkVar("v", Sort::Loc);
+  // select(store(a, x, v), x) == v
+  expectValid(mkBool(true),
+              mkEq(mkSelect(mkStore(Arr, X, V), X), V));
+  // x != y -> select(store(a, x, v), y) == select(a, y)
+  expectValid(mkNe(X, Y), mkEq(mkSelect(mkStore(Arr, X, V), Y),
+                               mkSelect(Arr, Y)));
+}
+
+TEST_F(SmtTest, SetAlgebra) {
+  LExprRef A = mkVar("A", Sort::SetLoc);
+  LExprRef B = mkVar("B", Sort::SetLoc);
+  LExprRef X = mkVar("x", Sort::Loc);
+  // x in A -> x in A u B
+  expectValid(mkMember(X, A), mkMember(X, mkUnion(A, B)));
+  // x in A \ B -> !(x in B)
+  expectValid(mkMember(X, mkMinus(A, B)), mkNot(mkMember(X, B)));
+  // Extensionality: A u empty == A
+  expectValid(mkBool(true),
+              mkEq(mkUnion(A, mkEmptySet(Sort::SetLoc)), A));
+  // Disjointness and membership.
+  expectValid(mkAnd(mkDisjoint(A, B), mkMember(X, A)),
+              mkNot(mkMember(X, B)));
+}
+
+TEST_F(SmtTest, SetMinusUnionIdentity) {
+  // The frame computation pattern: ({x} u A u B) \ (A u B) == {x}
+  // given x not in A u B.
+  LExprRef A = mkVar("A", Sort::SetLoc);
+  LExprRef B = mkVar("B", Sort::SetLoc);
+  LExprRef X = mkVar("x", Sort::Loc);
+  LExprRef Sx = mkSingleton(X, Sort::SetLoc);
+  LExprRef U = mkUnion(Sx, mkUnion(A, B));
+  expectValid(mkNot(mkMember(X, mkUnion(A, B))),
+              mkEq(mkMinus(U, mkUnion(A, B)), Sx));
+}
+
+TEST_F(SmtTest, IntSetSingleton) {
+  LExprRef S = mkSingleton(mkInt(3), Sort::SetInt);
+  expectValid(mkBool(true), mkMember(mkInt(3), S));
+  expectValid(mkBool(true), mkNot(mkMember(mkInt(4), S)));
+}
+
+TEST_F(SmtTest, SetOrderAtoms) {
+  LExprRef S = mkVar("S", Sort::SetInt);
+  LExprRef K = mkVar("k", Sort::Int);
+  LExprRef X = mkVar("x", Sort::Int);
+  // S <= k and x in S -> x <= k.
+  expectValid(mkAnd(mkSetCmp(LOp::SetLeInt, S, K), mkMember(X, S)),
+              mkIntLe(X, K));
+  // S < k -> S <= k.
+  expectValid(mkSetCmp(LOp::SetLtInt, S, K),
+              mkSetCmp(LOp::SetLeInt, S, K));
+  // k <= S and S <= k and x,y in S -> x == y... (all elements equal k)
+  expectValid(mkAnd({mkSetCmp(LOp::IntLeSet, K, S),
+                     mkSetCmp(LOp::SetLeInt, S, K), mkMember(X, S)}),
+              mkEq(X, K));
+}
+
+TEST_F(SmtTest, SetOrderBetweenSets) {
+  LExprRef A = mkVar("A", Sort::SetInt);
+  LExprRef B = mkVar("B", Sort::SetInt);
+  LExprRef X = mkVar("x", Sort::Int);
+  LExprRef Y = mkVar("y", Sort::Int);
+  expectValid(mkAnd({mkSetCmp(LOp::SetLtSet, A, B), mkMember(X, A),
+                     mkMember(Y, B)}),
+              mkIntLt(X, Y));
+}
+
+TEST_F(SmtTest, EmptySetOrderVacuous) {
+  LExprRef K = mkVar("k", Sort::Int);
+  expectValid(mkBool(true),
+              mkSetCmp(LOp::SetLeInt, mkEmptySet(Sort::SetInt), K));
+}
+
+TEST_F(SmtTest, MultisetUnionCounts) {
+  LExprRef M = mkSingleton(mkInt(1), Sort::MSetInt);
+  LExprRef MM = mkUnion(M, M);
+  // 1 is a member of {1} + {1}; 2 is not.
+  expectValid(mkBool(true), mkMember(mkInt(1), MM));
+  expectValid(mkBool(true), mkNot(mkMember(mkInt(2), MM)));
+  // {1}+{1} != {1} (multisets count).
+  expectValid(mkBool(true), mkNot(mkEq(MM, M)));
+}
+
+TEST_F(SmtTest, MultisetInterAndMinus) {
+  LExprRef M1 = mkSingleton(mkInt(1), Sort::MSetInt);
+  LExprRef MM = mkUnion(M1, M1);
+  // ({1}+{1}) inter {1} == {1} (pointwise min).
+  expectValid(mkBool(true), mkEq(mkInter(MM, M1), M1));
+  // ({1}+{1}) \ {1} == {1} (pointwise monus).
+  expectValid(mkBool(true), mkEq(mkMinus(MM, M1), M1));
+}
+
+TEST_F(SmtTest, MultisetSubset) {
+  LExprRef M1 = mkSingleton(mkInt(1), Sort::MSetInt);
+  LExprRef MM = mkUnion(M1, M1);
+  expectValid(mkBool(true), mkSubset(M1, MM));
+  expectValid(mkBool(true), mkNot(mkSubset(MM, M1)));
+}
+
+TEST_F(SmtTest, UninterpretedFunctionCongruence) {
+  LExprRef Arr = mkVar("next", Sort::ArrLocLoc);
+  LExprRef X = mkVar("x", Sort::Loc);
+  LExprRef Y = mkVar("y", Sort::Loc);
+  LExprRef Fx = mkApp("list", Sort::Bool, {Arr, X});
+  LExprRef Fy = mkApp("list", Sort::Bool, {Arr, Y});
+  expectValid(mkEq(X, Y), mkEq(Fx, Fy));
+  expectInvalid(mkBool(true), mkEq(Fx, Fy));
+}
+
+TEST_F(SmtTest, QuantifiedBackgroundAxiom) {
+  // forall x. f(x) == x, then f(f(y)) == y.
+  LExprRef X = mkVar("?x", Sort::Int);
+  LExprRef Ax =
+      mkForall({X}, mkEq(mkApp("f", Sort::Int, {X}), X));
+  SolverOptions Opts;
+  Opts.BackgroundAxioms = {Ax};
+  auto S = createZ3Solver(Opts);
+  LExprRef Y = mkVar("y", Sort::Int);
+  LExprRef FFy =
+      mkApp("f", Sort::Int, {mkApp("f", Sort::Int, {Y})});
+  CheckResult R = S->checkValid(mkBool(true), mkEq(FFy, Y));
+  EXPECT_EQ(R.Status, CheckStatus::Valid) << R.Detail;
+}
+
+TEST_F(SmtTest, InvalidProducesModel) {
+  auto S = createZ3Solver();
+  CheckResult R =
+      S->checkValid(mkBool(true), mkEq(mkVar("x", Sort::Int), mkInt(0)));
+  EXPECT_EQ(R.Status, CheckStatus::Invalid);
+  EXPECT_FALSE(R.Detail.empty());
+}
+
+TEST_F(SmtTest, SmtLibExport) {
+  auto S = createZ3Solver();
+  std::string Text =
+      S->toSmtLib(mkVar("a", Sort::Bool), mkVar("b", Sort::Bool));
+  EXPECT_NE(Text.find("(assert"), std::string::npos);
+}
+
+TEST_F(SmtTest, IteLowering) {
+  LExprRef X = mkVar("x", Sort::Int);
+  LExprRef E = mkIte(mkIntLt(X, mkInt(0)), mkIntSub(mkInt(0), X), X);
+  // |x| >= 0.
+  expectValid(mkBool(true), mkIntLe(mkInt(0), E));
+}

@@ -1,0 +1,163 @@
+//===- spec_test.cpp - Unit tests for the DRYAD logic AST -------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Parser.h"
+#include "dryad/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+using namespace vcdryad::dryad;
+
+namespace {
+
+const char *TwoStructs = R"(
+struct inner { int data; };
+struct outer { struct inner *in; struct outer *next; };
+_(dryad
+  predicate chain(struct outer *x) =
+      (x == nil && emp) || (x |-> * chain(x->next));
+  function intset datas(struct outer *x) =
+      (x == nil) ? emptyset
+                 : (singleton(x->in->data) union datas(x->next));
+)
+)";
+
+std::unique_ptr<cfront::Program> parseOk(const std::string &Src) {
+  DiagnosticEngine D;
+  auto P = cfront::parseProgram(Src, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return P;
+}
+
+} // namespace
+
+TEST(SpecTest, FieldKeyNaming) {
+  FieldKey FK{"node", "next", vir::Sort::Loc};
+  EXPECT_EQ(FK.arrayName(), "$node$next");
+  EXPECT_EQ(FK.arraySort(), vir::Sort::ArrLocLoc);
+  FieldKey FI{"node", "key", vir::Sort::Int};
+  EXPECT_EQ(FI.arraySort(), vir::Sort::ArrLocInt);
+}
+
+TEST(SpecTest, StructTableLookup) {
+  StructTable T;
+  StructInfo &SI = T.add("node");
+  SI.Fields.push_back({"next", vir::Sort::Loc, "node"});
+  ASSERT_NE(T.lookup("node"), nullptr);
+  EXPECT_EQ(T.lookup("node")->findField("next")->TargetStruct, "node");
+  EXPECT_EQ(T.lookup("nope"), nullptr);
+  EXPECT_EQ(T.lookup("node")->findField("nope"), nullptr);
+}
+
+TEST(SpecTest, DefTableRejectsDuplicates) {
+  DefTable T;
+  RecDef D;
+  D.Name = "p";
+  EXPECT_TRUE(T.add(D));
+  EXPECT_FALSE(T.add(D));
+}
+
+TEST(SpecTest, DefsForStructFiltersByFirstParam) {
+  auto P = parseOk(TwoStructs);
+  auto ForOuter = P->Defs.defsForStruct("outer");
+  EXPECT_EQ(ForOuter.size(), 2u);
+  auto ForInner = P->Defs.defsForStruct("inner");
+  EXPECT_TRUE(ForInner.empty());
+}
+
+TEST(SpecTest, CrossStructFieldDependencies) {
+  auto P = parseOk(TwoStructs);
+  const RecDef *Datas = P->Defs.lookup("datas");
+  ASSERT_NE(Datas, nullptr);
+  // datas reads outer.in, outer.next and inner.data.
+  std::set<std::string> Arrays;
+  for (const FieldKey &FK : Datas->Fields)
+    Arrays.insert(FK.arrayName());
+  EXPECT_TRUE(Arrays.count("$outer$in"));
+  EXPECT_TRUE(Arrays.count("$outer$next"));
+  EXPECT_TRUE(Arrays.count("$inner$data"));
+}
+
+TEST(SpecTest, PointsToDependsOnAllFields) {
+  auto P = parseOk(TwoStructs);
+  const RecDef *Chain = P->Defs.lookup("chain");
+  ASSERT_NE(Chain, nullptr);
+  std::set<std::string> Arrays;
+  for (const FieldKey &FK : Chain->Fields)
+    Arrays.insert(FK.arrayName());
+  // The points-to atom exposes every field of outer (but chain never
+  // dereferences inner).
+  EXPECT_TRUE(Arrays.count("$outer$in"));
+  EXPECT_TRUE(Arrays.count("$outer$next"));
+  EXPECT_FALSE(Arrays.count("$inner$data"));
+}
+
+TEST(SpecTest, TransitiveDependenciesThroughCalls) {
+  auto P = parseOk(R"(
+struct node { struct node *next; int key; };
+_(dryad
+  function intset keys(struct node *x) =
+      (x == nil) ? emptyset : (singleton(x->key) union keys(x->next));
+  predicate haskeys(struct node *x) = keys(x) == keys(x);
+)
+)");
+  const RecDef *H = P->Defs.lookup("haskeys");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->Fields.size(), 2u); // Inherited from keys.
+}
+
+TEST(SpecTest, SymbolNames) {
+  RecDef D;
+  D.Name = "list";
+  EXPECT_EQ(D.symbolName(), "list");
+  EXPECT_EQ(D.heapletSymbolName(), "list$hp");
+}
+
+TEST(SpecTest, AxiomFieldDeps) {
+  auto P = parseOk(R"(
+struct node { struct node *next; int key; };
+_(dryad
+  predicate list(struct node *x) =
+      (x == nil && emp) || (x |-> * list(x->next));
+  axiom (struct node *x) true ==> heaplet list(x) == heaplet list(x);
+)
+)");
+  ASSERT_EQ(P->Defs.Axioms.size(), 1u);
+  auto Deps =
+      axiomFieldDeps(P->Defs.Axioms[0], P->Defs, P->LogicStructs);
+  EXPECT_EQ(Deps.size(), 2u); // list depends on both fields.
+}
+
+TEST(SpecTest, FormulaPrinting) {
+  auto P = parseOk(R"(
+struct node { struct node *next; int key; };
+_(dryad
+  predicate list(struct node *x) =
+      (x == nil && emp) || (x |-> * list(x->next));
+)
+)");
+  const RecDef *L = P->Defs.lookup("list");
+  std::string S = L->PredBody->str();
+  EXPECT_NE(S.find("emp"), std::string::npos);
+  EXPECT_NE(S.find("|->"), std::string::npos);
+  EXPECT_NE(S.find("list(x->next)"), std::string::npos);
+}
+
+TEST(SpecTest, TermPrinting) {
+  auto P = parseOk(R"(
+struct node { struct node *next; int key; };
+_(dryad
+  function intset keys(struct node *x) =
+      (x == nil) ? emptyset : (singleton(x->key) union keys(x->next));
+)
+)");
+  const RecDef *K = P->Defs.lookup("keys");
+  std::string S = K->FnBody->str();
+  EXPECT_NE(S.find("emptyset"), std::string::npos);
+  EXPECT_NE(S.find("singleton(x->key)"), std::string::npos);
+  EXPECT_NE(S.find("union"), std::string::npos);
+}

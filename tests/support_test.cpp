@@ -1,0 +1,91 @@
+//===- support_test.cpp - Unit tests for the support library ---------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+#include "support/StringUtil.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+
+TEST(SourceLocTest, DefaultIsInvalid) {
+  SourceLoc L;
+  EXPECT_FALSE(L.isValid());
+  EXPECT_EQ(L.str(), "<unknown>");
+}
+
+TEST(SourceLocTest, ValidFormatsAsLineColon) {
+  SourceLoc L(12, 7);
+  EXPECT_TRUE(L.isValid());
+  EXPECT_EQ(L.str(), "12:7");
+}
+
+TEST(SourceLocTest, Equality) {
+  EXPECT_EQ(SourceLoc(1, 2), SourceLoc(1, 2));
+  EXPECT_FALSE(SourceLoc(1, 2) == SourceLoc(1, 3));
+}
+
+TEST(DiagnosticsTest, CountsOnlyErrors) {
+  DiagnosticEngine D;
+  D.warning({1, 1}, "w");
+  D.note({1, 1}, "n");
+  EXPECT_FALSE(D.hasErrors());
+  D.error({2, 3}, "boom");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+}
+
+TEST(DiagnosticsTest, RendersSeverityAndLocation) {
+  DiagnosticEngine D;
+  D.error({2, 3}, "boom");
+  EXPECT_EQ(D.diagnostics()[0].str(), "2:3: error: boom");
+}
+
+TEST(DiagnosticsTest, RendersWithoutLocation) {
+  DiagnosticEngine D;
+  D.error({}, "no loc");
+  EXPECT_EQ(D.diagnostics()[0].str(), "error: no loc");
+}
+
+TEST(DiagnosticsTest, StrJoinsAllDiagnostics) {
+  DiagnosticEngine D;
+  D.error({1, 1}, "a");
+  D.warning({2, 2}, "b");
+  EXPECT_EQ(D.str(), "1:1: error: a\n2:2: warning: b\n");
+}
+
+TEST(StringUtilTest, JoinEmpty) { EXPECT_EQ(join({}, ", "), ""); }
+
+TEST(StringUtilTest, JoinMany) {
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(StringUtilTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim("\t\r\n "), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(startsWith("#include x", "#include"));
+  EXPECT_FALSE(startsWith("#inc", "#include"));
+}
+
+TEST(StringUtilTest, ReadFileMissing) {
+  EXPECT_FALSE(readFile("/nonexistent/file/path").has_value());
+}
+
+TEST(TimerTest, MeasuresForward) {
+  Timer T;
+  EXPECT_GE(T.seconds(), 0.0);
+  EXPECT_GE(T.millis(), 0.0);
+  double A = T.seconds();
+  double B = T.seconds();
+  EXPECT_GE(B, A);
+}

@@ -1,0 +1,235 @@
+//===- translate_test.cpp - Unit tests for the Figure-4 translation --------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/Parser.h"
+#include "dryad/Translate.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+using namespace vcdryad::dryad;
+using vir::LExprRef;
+using vir::Sort;
+
+namespace {
+
+class TranslateTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Prog = cfront::parseProgram(R"(
+struct node { struct node *next; int key; };
+_(dryad
+  predicate list(struct node *x) =
+      (x == nil && emp) || (x |-> * list(x->next));
+  function intset keys(struct node *x) =
+      (x == nil) ? emptyset : (singleton(x->key) union keys(x->next));
+  predicate lseg(struct node *x, struct node *y) =
+      (x == y && emp) || (x != y && x |-> * lseg(x->next, y));
+)
+struct node *probe(struct node *a, struct node *b, int k)
+  _(requires list(a) * list(b))
+  _(ensures list(result))
+{ return a; }
+)",
+                               Diag);
+    ASSERT_FALSE(Diag.hasErrors()) << Diag.str();
+    Tr = std::make_unique<Translator>(Prog->Defs, Prog->LogicStructs,
+                                      Diag);
+    Env.CurArray = prefixedArrays();
+    Env.OldArray = prefixedArrays("$old");
+    Env.Vars["a"] = vir::mkVar("a", Sort::Loc);
+    Env.Vars["b"] = vir::mkVar("b", Sort::Loc);
+    Env.Vars["k"] = vir::mkVar("k", Sort::Int);
+    Env.OldVars["a"] = vir::mkVar("$old$a", Sort::Loc);
+  }
+
+  /// Parses one formula in the context of function `probe`.
+  FormulaRef formulaOf(const std::string &Spec, bool Ensures = false) {
+    DiagnosticEngine D2;
+    std::string Src = R"(
+struct node { struct node *next; int key; };
+_(dryad
+  predicate list(struct node *x) =
+      (x == nil && emp) || (x |-> * list(x->next));
+  function intset keys(struct node *x) =
+      (x == nil) ? emptyset : (singleton(x->key) union keys(x->next));
+  predicate lseg(struct node *x, struct node *y) =
+      (x == y && emp) || (x != y && x |-> * lseg(x->next, y));
+)
+struct node *probe(struct node *a, struct node *b, int k)
+  _()" + std::string(Ensures ? "ensures" : "requires") +
+                      " " + Spec + R"()
+{ return a; }
+)";
+    auto P2 = cfront::parseProgram(Src, D2);
+    EXPECT_FALSE(D2.hasErrors()) << D2.str() << "\nspec: " << Spec;
+    auto &List = Ensures ? P2->findFunc("probe")->Ensures
+                         : P2->findFunc("probe")->Requires;
+    EXPECT_EQ(List.size(), 1u);
+    Parsed.push_back(std::move(P2)); // Keep the AST alive.
+    return List[0];
+  }
+
+  DiagnosticEngine Diag;
+  std::unique_ptr<cfront::Program> Prog;
+  std::unique_ptr<Translator> Tr;
+  TranslateEnv Env;
+  std::vector<std::unique_ptr<cfront::Program>> Parsed;
+};
+
+} // namespace
+
+TEST_F(TranslateTest, DomainExactness) {
+  EXPECT_TRUE(Tr->domainExactFormula(formulaOf("list(a)")));
+  EXPECT_TRUE(Tr->domainExactFormula(formulaOf("emp")));
+  EXPECT_TRUE(Tr->domainExactFormula(formulaOf("a |->")));
+  EXPECT_FALSE(Tr->domainExactFormula(formulaOf("a == b")));
+  EXPECT_FALSE(Tr->domainExactFormula(formulaOf("k in keys(a)")));
+  EXPECT_TRUE(Tr->domainExactFormula(formulaOf("keys(a) == keys(b)")));
+  // And: one exact side suffices; Or/Sep: both needed.
+  EXPECT_TRUE(Tr->domainExactFormula(formulaOf("list(a) && a == b")));
+  EXPECT_FALSE(Tr->domainExactFormula(formulaOf("list(a) || a == b")));
+  EXPECT_TRUE(Tr->domainExactFormula(formulaOf("list(a) * list(b)")));
+}
+
+TEST_F(TranslateTest, ScopeOfAtoms) {
+  EXPECT_EQ(Tr->scopeOfFormula(formulaOf("emp"), Env)->str(),
+            "(empty setloc)");
+  EXPECT_EQ(Tr->scopeOfFormula(formulaOf("a |->"), Env)->str(),
+            "(single a)");
+  EXPECT_EQ(Tr->scopeOfFormula(formulaOf("list(a)"), Env)->str(),
+            "(list$hp $node$key $node$next a)");
+}
+
+TEST_F(TranslateTest, ScopeOfSepIsUnion) {
+  LExprRef S = Tr->scopeOfFormula(formulaOf("list(a) * list(b)"), Env);
+  EXPECT_EQ(S->str(), "(union (list$hp $node$key $node$next a) "
+                      "(list$hp $node$key $node$next b))");
+}
+
+TEST_F(TranslateTest, ScopeOfMixedAndTakesExactSide) {
+  // The paper's simplification: bst(l) && keys(l) <= k has scope
+  // bst_heaplet(l).
+  LExprRef S =
+      Tr->scopeOfFormula(formulaOf("list(a) && keys(a) <= k"), Env);
+  EXPECT_EQ(S->str(), "(list$hp $node$key $node$next a)");
+}
+
+TEST_F(TranslateTest, EmpPinsHeapletToEmpty) {
+  LExprRef G = vir::mkVar("G", Sort::SetLoc);
+  EXPECT_EQ(Tr->formula(formulaOf("emp"), Env, G)->str(),
+            "(= G (empty setloc))");
+}
+
+TEST_F(TranslateTest, EmpHeaplessIsTrue) {
+  EXPECT_EQ(Tr->formula(formulaOf("emp"), Env, nullptr)->str(), "true");
+}
+
+TEST_F(TranslateTest, PredAppPinsHeaplet) {
+  LExprRef G = vir::mkVar("G", Sort::SetLoc);
+  std::string S = Tr->formula(formulaOf("list(a)"), Env, G)->str();
+  EXPECT_NE(S.find("(list $node$key $node$next a)"), std::string::npos);
+  EXPECT_NE(S.find("(= G (list$hp $node$key $node$next a))"),
+            std::string::npos);
+}
+
+TEST_F(TranslateTest, SepOfExactPartitions) {
+  LExprRef G = vir::mkVar("G", Sort::SetLoc);
+  std::string S =
+      Tr->formula(formulaOf("list(a) * list(b)"), Env, G)->str();
+  // Union equals G and the parts are disjoint.
+  EXPECT_NE(S.find("(= (union (list$hp"), std::string::npos);
+  EXPECT_NE(S.find("(inter (list$hp"), std::string::npos);
+}
+
+TEST_F(TranslateTest, MixedAtomAddsScopeSubset) {
+  LExprRef G = vir::mkVar("G", Sort::SetLoc);
+  std::string S =
+      Tr->formula(formulaOf("k in keys(a)"), Env, G)->str();
+  EXPECT_NE(S.find("subset"), std::string::npos);
+  EXPECT_NE(S.find("keys$hp"), std::string::npos);
+}
+
+TEST_F(TranslateTest, SetOrderTypeDirection) {
+  std::string S =
+      Tr->formula(formulaOf("keys(a) <= k"), Env, nullptr)->str();
+  EXPECT_NE(S.find("set<=int"), std::string::npos);
+  S = Tr->formula(formulaOf("k < keys(a)"), Env, nullptr)->str();
+  EXPECT_NE(S.find("int<set"), std::string::npos);
+  S = Tr->formula(formulaOf("keys(a) <= keys(b)"), Env, nullptr)->str();
+  EXPECT_NE(S.find("set<=set"), std::string::npos);
+}
+
+TEST_F(TranslateTest, OldUsesSnapshotArrays) {
+  FormulaRef F = formulaOf("keys(result) == old(keys(a))", true);
+  TranslateEnv E2 = Env;
+  E2.ResultVal = vir::mkVar("$result", Sort::Loc);
+  std::string S = Tr->formula(F, E2, nullptr)->str();
+  EXPECT_NE(S.find("(keys $old$node$key $old$node$next $old$a)"),
+            std::string::npos);
+  EXPECT_NE(S.find("(keys $node$key $node$next $result)"),
+            std::string::npos);
+}
+
+TEST_F(TranslateTest, UnfoldListMatchesPaperShape) {
+  const RecDef *L = Prog->Defs.lookup("list");
+  LExprRef U = Tr->unfoldDef(*L, {vir::mkVar("a", Sort::Loc)}, Env);
+  std::string S = U->str();
+  // list(a) == (a == nil && hp empty) || (a != nil && list(a->next) &&
+  //             hp(a) == {a} u hp(a->next) && disjointness)
+  EXPECT_NE(S.find("(= (list $node$key $node$next a)"),
+            std::string::npos);
+  EXPECT_NE(S.find("(= a nil)"), std::string::npos);
+  EXPECT_NE(S.find("(select $node$next a)"), std::string::npos);
+}
+
+TEST_F(TranslateTest, UnfoldHeapletIsGuardedIte) {
+  const RecDef *L = Prog->Defs.lookup("list");
+  LExprRef U = Tr->unfoldHeaplet(*L, {vir::mkVar("a", Sort::Loc)}, Env);
+  std::string S = U->str();
+  EXPECT_NE(S.find("(ite (= a nil) (empty setloc)"), std::string::npos);
+}
+
+TEST_F(TranslateTest, UnfoldFunctionDefinition) {
+  const RecDef *K = Prog->Defs.lookup("keys");
+  LExprRef U = Tr->unfoldDef(*K, {vir::mkVar("a", Sort::Loc)}, Env);
+  std::string S = U->str();
+  EXPECT_NE(S.find("(= (keys $node$key $node$next a)"),
+            std::string::npos);
+  EXPECT_NE(S.find("(ite (= a nil) (empty setint)"), std::string::npos);
+}
+
+TEST_F(TranslateTest, UnfoldLsegUsesBothParams) {
+  const RecDef *L = Prog->Defs.lookup("lseg");
+  LExprRef U = Tr->unfoldDef(
+      *L, {vir::mkVar("a", Sort::Loc), vir::mkVar("b", Sort::Loc)}, Env);
+  std::string S = U->str();
+  EXPECT_NE(S.find("(lseg $node$key $node$next a b)"),
+            std::string::npos);
+  EXPECT_NE(S.find("(= a b)"), std::string::npos);
+}
+
+TEST_F(TranslateTest, NegationOfHeapFormulaRejected) {
+  DiagnosticEngine D2;
+  Translator T2(Prog->Defs, Prog->LogicStructs, D2);
+  T2.formula(formulaOf("!(list(a))"), Env, nullptr);
+  EXPECT_TRUE(D2.hasErrors());
+}
+
+TEST_F(TranslateTest, HeapletOfTermTranslates) {
+  FormulaRef F = formulaOf("heaplet list(a) == heaplet keys(a)");
+  std::string S = Tr->formula(F, Env, nullptr)->str();
+  EXPECT_NE(S.find("(= (list$hp $node$key $node$next a) "
+                   "(keys$hp $node$key $node$next a))"),
+            std::string::npos);
+}
+
+TEST_F(TranslateTest, LocationOrderingRejected) {
+  DiagnosticEngine D2;
+  Translator T2(Prog->Defs, Prog->LogicStructs, D2);
+  T2.formula(formulaOf("a <= b"), Env, nullptr);
+  EXPECT_TRUE(D2.hasErrors());
+}

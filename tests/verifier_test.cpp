@@ -1,0 +1,503 @@
+//===- verifier_test.cpp - End-to-end verification tests -------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Positive tests (programs that must verify) and — crucially for a
+/// sound-but-incomplete system — negative tests: buggy programs and
+/// wrong specifications the verifier must reject.
+///
+//===----------------------------------------------------------------------===//
+
+#include "verifier/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+using namespace vcdryad::verifier;
+
+namespace {
+
+const char *SLL = R"(
+struct node { struct node *next; int key; };
+_(dryad
+  predicate list(struct node *x) =
+      (x == nil && emp) || (x |-> * list(x->next));
+  function intset keys(struct node *x) =
+      (x == nil) ? emptyset : (singleton(x->key) union keys(x->next));
+  axiom (struct node *x) true ==> heaplet keys(x) == heaplet list(x);
+)
+)";
+
+ProgramResult run(const std::string &Src, VerifyOptions Opts = {}) {
+  if (!Opts.TimeoutMs)
+    Opts.TimeoutMs = 30000;
+  Verifier V(Opts);
+  return V.verifySource(Src);
+}
+
+void expectVerified(const std::string &Src) {
+  ProgramResult R = run(Src);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  for (const FunctionResult &F : R.Functions) {
+    EXPECT_TRUE(F.Verified) << F.Name << " failed: "
+                            << (F.Failures.empty()
+                                    ? ""
+                                    : F.Failures[0].Reason);
+  }
+}
+
+void expectFailed(const std::string &Src, const std::string &Fn) {
+  ProgramResult R = run(Src);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const FunctionResult *F = R.function(Fn);
+  ASSERT_NE(F, nullptr);
+  EXPECT_FALSE(F->Verified) << Fn << " unexpectedly verified";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Heap-free programs
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierBasicTest, ArithmeticPost) {
+  expectVerified(R"(
+int add(int a, int b)
+  _(requires a >= 0 && b >= 0)
+  _(ensures result == a + b && result >= 0)
+{ return a + b; }
+)");
+}
+
+TEST(VerifierBasicTest, WrongArithmeticPostFails) {
+  expectFailed(R"(
+int add(int a, int b)
+  _(ensures result == a + b)
+{ return a - b; }
+)",
+               "add");
+}
+
+TEST(VerifierBasicTest, BranchesAndMax) {
+  expectVerified(R"(
+int max(int a, int b)
+  _(ensures result >= a && result >= b)
+  _(ensures result == a || result == b)
+{
+  if (a >= b) return a;
+  return b;
+}
+)");
+}
+
+TEST(VerifierBasicTest, LoopWithInvariant) {
+  expectVerified(R"(
+int sumto(int n)
+  _(requires n >= 0)
+  _(ensures result >= 0)
+{
+  int i = 0;
+  int s = 0;
+  while (i < n)
+    _(invariant s >= 0 && i >= 0)
+  {
+    s = s + i;
+    i = i + 1;
+  }
+  return s;
+}
+)");
+}
+
+TEST(VerifierBasicTest, NonInductiveInvariantFails) {
+  expectFailed(R"(
+int count(int n)
+  _(requires n >= 0)
+  _(ensures result == 0)
+{
+  int i = 0;
+  while (i < n)
+    _(invariant i == 0)
+  { i = i + 1; }
+  return 0;
+}
+)",
+               "count");
+}
+
+TEST(VerifierBasicTest, MissingReturnDetected) {
+  expectFailed(R"(
+int f(int a)
+  _(ensures result == 0)
+{
+  if (a > 0) return 0;
+}
+)",
+               "f");
+}
+
+TEST(VerifierBasicTest, UserAssertChecked) {
+  expectFailed(R"(
+void f(int a)
+  _(requires a > 0)
+{ _(assert a > 1) }
+)",
+               "f");
+  expectVerified(R"(
+void f(int a)
+  _(requires a > 1)
+{ _(assert a > 0) }
+)");
+}
+
+TEST(VerifierBasicTest, CalleeContractUsed) {
+  expectVerified(R"(
+int inc(int a)
+  _(ensures result == a + 1)
+{ return a + 1; }
+
+int inc2(int a)
+  _(ensures result == a + 2)
+{ return inc(inc(a)); }
+)");
+}
+
+TEST(VerifierBasicTest, CalleePreconditionChecked) {
+  expectFailed(R"(
+int half(int a)
+  _(requires a >= 0)
+  _(ensures result >= 0)
+{ return a; }
+
+int bad(int a)
+  _(ensures result >= 0)
+{ return half(a); }
+)",
+               "bad");
+}
+
+//===----------------------------------------------------------------------===//
+// Heap programs
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierHeapTest, NullDereferenceCaught) {
+  expectFailed(std::string(SLL) + R"(
+int get(struct node *x)
+  _(requires list(x))
+{ return x->key; }
+)",
+               "get");
+}
+
+TEST(VerifierHeapTest, GuardedDereferenceOk) {
+  expectVerified(std::string(SLL) + R"(
+int get(struct node *x)
+  _(requires list(x) && x != nil)
+  _(ensures result in keys(x))
+{
+  int k = x->key;
+  return k;
+}
+)");
+}
+
+TEST(VerifierHeapTest, WriteOutsideHeapletCaught) {
+  // x is a bare pointer with no ownership: writing through it must
+  // fail the ownership check.
+  expectFailed(std::string(SLL) + R"(
+void set(struct node *x, int k)
+  _(requires x != nil)
+{ x->key = k; }
+)",
+               "set");
+}
+
+TEST(VerifierHeapTest, PointsToGrantsWrite) {
+  expectVerified(std::string(SLL) + R"(
+void set(struct node *x, int k)
+  _(requires x |->)
+  _(ensures x |-> && x->key == k)
+{ x->key = k; }
+)");
+}
+
+TEST(VerifierHeapTest, InsertFrontVerifies) {
+  expectVerified(std::string(SLL) + R"(
+struct node *insert_front(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+  _(ensures keys(result) == (old(keys(x)) union singleton(k)))
+{
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->next = x;
+  n->key = k;
+  return n;
+}
+)");
+}
+
+TEST(VerifierHeapTest, InsertFrontWrongKeysFails) {
+  expectFailed(std::string(SLL) + R"(
+struct node *insert_front(struct node *x, int k)
+  _(requires list(x))
+  _(ensures keys(result) == old(keys(x)))
+{
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->next = x;
+  n->key = k;
+  return n;
+}
+)",
+               "insert_front");
+}
+
+TEST(VerifierHeapTest, BrokenLinkFails) {
+  // Forgetting to link the node: n->next stays garbage.
+  expectFailed(std::string(SLL) + R"(
+struct node *mk(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+{
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->key = k;
+  return n;
+}
+)",
+               "mk");
+}
+
+TEST(VerifierHeapTest, LeakDetectedByHeapletPost) {
+  // Dropping the old list: the exit heaplet no longer matches the
+  // ensures heaplet (G contains the leaked cells).
+  expectFailed(std::string(SLL) + R"(
+struct node *drop(struct node *x)
+  _(requires list(x))
+  _(ensures list(result) && keys(result) == emptyset)
+{
+  return NULL;
+}
+)",
+               "drop");
+}
+
+TEST(VerifierHeapTest, FreeOutsideHeapletCaught) {
+  expectFailed(std::string(SLL) + R"(
+void rel(struct node *x)
+  _(requires x != nil)
+{ free(x); }
+)",
+               "rel");
+}
+
+TEST(VerifierHeapTest, DoubleFreeCaught) {
+  expectFailed(std::string(SLL) + R"(
+void rel(struct node *x)
+  _(requires x |->)
+  _(ensures true)
+{
+  free(x);
+  free(x);
+}
+)",
+               "rel");
+}
+
+TEST(VerifierHeapTest, RecursiveCallVerifies) {
+  expectVerified(std::string(SLL) + R"(
+struct node *append(struct node *x, struct node *y)
+  _(requires list(x) * list(y))
+  _(ensures list(result))
+{
+  if (x == NULL)
+    return y;
+  struct node *t = append(x->next, y);
+  x->next = t;
+  return x;
+}
+)");
+}
+
+TEST(VerifierHeapTest, SepRequiresRejectsSharing) {
+  // Passing the same list twice cannot satisfy a separating pre.
+  expectFailed(std::string(SLL) + R"(
+void two(struct node *a, struct node *b)
+  _(requires list(a) * list(b))
+  _(ensures true)
+{ }
+
+void share(struct node *x)
+  _(requires list(x) && x != nil)
+  _(ensures true)
+{ two(x, x); }
+)",
+               "share");
+}
+
+//===----------------------------------------------------------------------===//
+// Ghost-assumption consistency (soundness regression tests)
+//===----------------------------------------------------------------------===//
+
+// The synthesized ghost assumptions must stay satisfiable: an
+// `assert false` must never verify. Two historical bugs are pinned
+// here: (1) the malloc freshness fact once compared the fresh cell
+// against its own footprint entry (`n != n`); (2) the nil-outside-
+// heaplet fact was once emitted unguarded, contradicting the unfold
+// of segment heaplets at degenerate arguments like lseg$hp(nil, y).
+
+static const char *SegmentPrelude = R"(
+struct node { struct node *next; int key; };
+_(dryad
+  predicate list(struct node *x) =
+      (x == nil && emp) || (x |-> * list(x->next));
+  function intset keys(struct node *x) =
+      (x == nil) ? emptyset : (singleton(x->key) union keys(x->next));
+  predicate lseg(struct node *x, struct node *y) =
+      (x == y && emp) || (x != y && x |-> * lseg(x->next, y));
+  axiom (struct node *x) true ==> heaplet keys(x) == heaplet list(x);
+)
+)";
+
+TEST(VerifierConsistencyTest, AssertFalseNeverVerifies) {
+  expectFailed(std::string(SegmentPrelude) + R"(
+int f(struct node *x)
+  _(requires list(x))
+{ _(assert false) return 0; }
+)",
+               "f");
+}
+
+TEST(VerifierConsistencyTest, AssertFalseAfterMallocNeverVerifies) {
+  expectFailed(std::string(SegmentPrelude) + R"(
+struct node *mk(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+{
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->key = k;
+  _(assert false)
+  return n;
+}
+)",
+               "mk");
+}
+
+TEST(VerifierConsistencyTest, AssertFalseAfterUpdateAndCall) {
+  expectFailed(std::string(SegmentPrelude) + R"(
+void touch(struct node *x) _(requires list(x)) _(ensures list(x)) ;
+void g(struct node *x)
+  _(requires list(x) && x != nil)
+  _(ensures true)
+{
+  x->key = 1;
+  touch(x);
+  _(assert false)
+}
+)",
+               "g");
+}
+
+TEST(VerifierConsistencyTest, VacuityCheckPassesOnHealthyProgram) {
+  VerifyOptions Opts;
+  Opts.CheckVacuity = true;
+  Opts.TimeoutMs = 60000;
+  ProgramResult R = run(std::string(SLL) + R"(
+struct node *id(struct node *x)
+  _(requires list(x))
+  _(ensures list(result))
+{ return x; }
+)",
+                        Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.Functions[0].Verified);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline robustness
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierDriverTest, FrontendErrorsReported) {
+  ProgramResult R = run("int f( { return 0; }");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.Error.empty());
+}
+
+TEST(VerifierDriverTest, OnlyFunctionFilter) {
+  VerifyOptions Opts;
+  Opts.OnlyFunction = "g";
+  ProgramResult R = run(R"(
+int f() _(ensures result == 1) { return 0; }
+int g() _(ensures result == 1) { return 1; }
+)",
+                        Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Functions.size(), 1u);
+  EXPECT_EQ(R.Functions[0].Name, "g");
+  EXPECT_TRUE(R.Functions[0].Verified);
+}
+
+TEST(VerifierDriverTest, DeclarationsAreNotVerified) {
+  ProgramResult R = run("int f(int a) _(ensures result == a) ;");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.Functions.empty());
+}
+
+TEST(VerifierDriverTest, AnnotationStatsPopulated) {
+  ProgramResult R = run(std::string(SLL) + R"(
+struct node *id(struct node *x)
+  _(requires list(x))
+  _(ensures list(result))
+{ return x; }
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.Functions.size(), 1u);
+  EXPECT_EQ(R.Functions[0].Annotations.Manual, 2u);
+  EXPECT_GT(R.Functions[0].Annotations.Ghost, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Ablations (the natural-proof tactics are load-bearing)
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierAblationTest, NoUnfoldBreaksHeapProof) {
+  VerifyOptions Opts;
+  Opts.Instr.Unfold = false;
+  Opts.TimeoutMs = 10000;
+  ProgramResult R = run(std::string(SLL) + R"(
+struct node *insert_front(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+{
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->next = x;
+  n->key = k;
+  return n;
+}
+)",
+                        Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Functions[0].Verified);
+}
+
+TEST(VerifierAblationTest, NoPreservationBreaksFrameProof) {
+  VerifyOptions Opts;
+  Opts.Instr.Preservation = false;
+  Opts.TimeoutMs = 10000;
+  ProgramResult R = run(std::string(SLL) + R"(
+struct node *insert_front(struct node *x, int k)
+  _(requires list(x))
+  _(ensures keys(result) == (old(keys(x)) union singleton(k)))
+  _(ensures list(result))
+{
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->next = x;
+  n->key = k;
+  return n;
+}
+)",
+                        Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Functions[0].Verified);
+}

@@ -1,0 +1,107 @@
+//===- wpgen_test.cpp - Unit tests for VC generation -----------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vir/Passify.h"
+#include "vir/WpGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+using namespace vcdryad::vir;
+
+namespace {
+
+LExprRef bvar(const char *N) { return mkVar(N, Sort::Bool); }
+
+} // namespace
+
+TEST(WpGenTest, SingleAssertGuardIsTrue) {
+  Procedure P;
+  P.Body.push_back(mkAssert(bvar("g"), "goal"));
+  auto VCs = generateVCs(P);
+  ASSERT_EQ(VCs.size(), 1u);
+  EXPECT_EQ(VCs[0].Guard->str(), "true");
+  EXPECT_EQ(VCs[0].Cond->str(), "g");
+  EXPECT_EQ(VCs[0].Reason, "goal");
+}
+
+TEST(WpGenTest, AssumesAccumulateIntoGuard) {
+  Procedure P;
+  P.Body.push_back(mkAssume(bvar("a")));
+  P.Body.push_back(mkAssume(bvar("b")));
+  P.Body.push_back(mkAssert(bvar("g"), "goal"));
+  auto VCs = generateVCs(P);
+  ASSERT_EQ(VCs.size(), 1u);
+  EXPECT_EQ(VCs[0].Guard->str(), "(and a b)");
+}
+
+TEST(WpGenTest, EarlierAssertsBecomeAssumptions) {
+  Procedure P;
+  P.Body.push_back(mkAssert(bvar("a"), "first"));
+  P.Body.push_back(mkAssert(bvar("g"), "second"));
+  auto VCs = generateVCs(P);
+  ASSERT_EQ(VCs.size(), 2u);
+  EXPECT_NE(VCs[1].Guard->str().find("a"), std::string::npos);
+}
+
+TEST(WpGenTest, BranchSummariesDisjoin) {
+  Procedure P;
+  Block Then{mkAssume(bvar("t"))};
+  Block Else{mkAssume(bvar("e"))};
+  P.Body.push_back(mkIf(mkBool(true), std::move(Then), std::move(Else)));
+  P.Body.push_back(mkAssert(bvar("g"), "after join"));
+  auto VCs = generateVCs(P);
+  ASSERT_EQ(VCs.size(), 1u);
+  EXPECT_NE(VCs[0].Guard->str().find("(or"), std::string::npos);
+  EXPECT_NE(VCs[0].Guard->str().find("t"), std::string::npos);
+  EXPECT_NE(VCs[0].Guard->str().find("e"), std::string::npos);
+}
+
+TEST(WpGenTest, AssertInsideBranchGuardedByBranchAssumes) {
+  Procedure P;
+  Block Then{mkAssume(bvar("c")), mkAssert(bvar("g"), "inside")};
+  P.Body.push_back(mkIf(mkBool(true), std::move(Then), {}));
+  auto VCs = generateVCs(P);
+  ASSERT_EQ(VCs.size(), 1u);
+  EXPECT_NE(VCs[0].Guard->str().find("c"), std::string::npos);
+}
+
+TEST(WpGenTest, ObligationsInProgramOrder) {
+  Procedure P;
+  P.Body.push_back(mkAssert(bvar("a"), "one"));
+  Block Then{mkAssert(bvar("b"), "two")};
+  P.Body.push_back(mkIf(mkBool(true), std::move(Then), {}));
+  P.Body.push_back(mkAssert(bvar("c"), "three"));
+  auto VCs = generateVCs(P);
+  ASSERT_EQ(VCs.size(), 3u);
+  EXPECT_EQ(VCs[0].Reason, "one");
+  EXPECT_EQ(VCs[1].Reason, "two");
+  EXPECT_EQ(VCs[2].Reason, "three");
+}
+
+TEST(WpGenTest, NegatedFormCombinesGuardAndGoal) {
+  Procedure P;
+  P.Body.push_back(mkAssume(bvar("a")));
+  P.Body.push_back(mkAssert(bvar("g"), "goal"));
+  auto VCs = generateVCs(P);
+  EXPECT_EQ(VCs[0].negated()->str(), "(and a (not g))");
+}
+
+TEST(WpGenTest, EndToEndWithPassify) {
+  // x := 1; if (x == 1) { assert x <= 1 } — valid by construction.
+  Procedure P;
+  P.Vars = {{"x", Sort::Int}};
+  P.Body.push_back(mkAssign("x", Sort::Int, mkInt(1)));
+  Block Then{mkAssert(mkIntLe(mkVar("x", Sort::Int), mkInt(1)), "le")};
+  P.Body.push_back(mkIf(mkEq(mkVar("x", Sort::Int), mkInt(1)),
+                        std::move(Then), {}));
+  Procedure Q = passify(P);
+  auto VCs = generateVCs(Q);
+  ASSERT_EQ(VCs.size(), 1u);
+  // Guard mentions the assignment equation and the branch condition.
+  EXPECT_NE(VCs[0].Guard->str().find("(= x@1 1)"), std::string::npos);
+  EXPECT_EQ(VCs[0].Cond->str(), "(<= x@1 1)");
+}
