@@ -1,0 +1,92 @@
+//===- service_scaling.cpp - Batch-service scaling harness ------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the corpus-scale verification service on one benchmark
+/// suite (default: AFWP, Table 1's final block): sequential cold run,
+/// parallel cold run, and parallel cache-warm re-run. Prints the
+/// wall-clock for each configuration plus the warm run's proof-cache
+/// hit rate — the numbers behind the EXPERIMENTS.md "batch service"
+/// baseline.
+///
+/// Usage: service_scaling [suite-dir] [jobs]
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace vcdryad;
+namespace fs = std::filesystem;
+
+namespace {
+
+service::BatchReport runOnce(const std::vector<std::string> &Files,
+                             unsigned Jobs, const std::string &CacheDir,
+                             const char *Label) {
+  service::ServiceOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.CacheDir = CacheDir;
+  service::VerificationService Service(Opts);
+  service::BatchReport Rep = Service.run(Files);
+  std::printf("%-24s %8.2fs  %3u/%u verified  cache %llu hits / %llu "
+              "misses\n",
+              Label, Rep.WallMs / 1000.0, Rep.NumVerified,
+              Rep.NumFunctions,
+              static_cast<unsigned long long>(Rep.Cache.Hits),
+              static_cast<unsigned long long>(Rep.Cache.Misses));
+  std::fflush(stdout);
+  return Rep;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Suite = Argc > 1
+                          ? Argv[1]
+                          : (fs::path(VCDRYAD_BENCHMARK_DIR) / "afwp")
+                                .string();
+  unsigned Jobs = std::thread::hardware_concurrency();
+  if (Argc > 2)
+    Jobs = static_cast<unsigned>(std::stoul(Argv[2]));
+  if (Jobs < 2)
+    Jobs = 2;
+
+  std::string Error;
+  std::vector<std::string> Files =
+      service::collectBatchInputs({Suite}, Error);
+  if (!Error.empty() || Files.empty()) {
+    std::fprintf(stderr, "error: %s\n",
+                 Error.empty() ? "no .c files in suite" : Error.c_str());
+    return 2;
+  }
+  std::printf("suite: %s (%zu files), parallel jobs: %u\n\n",
+              Suite.c_str(), Files.size(), Jobs);
+
+  fs::path CacheDir =
+      fs::temp_directory_path() / "vcd-service-scaling-cache";
+  fs::remove_all(CacheDir);
+
+  service::BatchReport Seq = runOnce(Files, 1, "", "jobs=1 cold");
+  service::BatchReport Cold =
+      runOnce(Files, Jobs, CacheDir.string(), "parallel cold");
+  service::BatchReport Warm =
+      runOnce(Files, Jobs, CacheDir.string(), "parallel warm");
+  fs::remove_all(CacheDir);
+
+  uint64_t Lookups = Warm.Cache.Hits + Warm.Cache.Misses;
+  std::printf("\nparallel cold speedup: %.2fx   warm speedup: %.2fx   "
+              "warm hit rate: %.1f%%\n",
+              Seq.WallMs / Cold.WallMs, Seq.WallMs / Warm.WallMs,
+              Lookups ? 100.0 * Warm.Cache.Hits / Lookups : 0.0);
+  return (Seq.AllVerified && Cold.AllVerified && Warm.AllVerified) ? 0
+                                                                   : 1;
+}

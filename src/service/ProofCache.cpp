@@ -1,0 +1,120 @@
+//===- ProofCache.cpp - Content-addressed proof result cache ---------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ProofCache.h"
+
+#include "support/Hash.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace vcdryad;
+using namespace vcdryad::service;
+
+namespace fs = std::filesystem;
+
+ProofCache::ProofCache(std::string DirIn) : Dir(std::move(DirIn)) {
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC) {
+    OpenError = "cannot create cache directory '" + Dir +
+                "': " + EC.message();
+    Dir.clear();
+    return;
+  }
+  std::ifstream In(storePath());
+  if (!In)
+    return; // Fresh store.
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::string_view S = trim(Line);
+    // "<16-hex key> V <time_ms>"; unparseable lines are skipped, not
+    // fatal (a torn append must not poison the whole store).
+    if (S.size() < 19 || S.substr(16, 3) != " V ")
+      continue;
+    uint64_t Key = 0;
+    if (!hashFromHex(S.substr(0, 16), Key))
+      continue;
+    Entry E;
+    try {
+      E.TimeMs = std::stod(std::string(S.substr(19)));
+    } catch (...) {
+      continue;
+    }
+    Entries.emplace(Key, E);
+  }
+}
+
+ProofCache::~ProofCache() { flush(); }
+
+std::string ProofCache::storePath() const {
+  return (fs::path(Dir) / "proofs-v1.txt").string();
+}
+
+void ProofCache::flush() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Dir.empty())
+    return;
+  std::ostringstream Out;
+  unsigned Pending = 0;
+  for (auto &[Key, E] : Entries) {
+    if (!E.Dirty)
+      continue;
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), " V %.3f\n", E.TimeMs);
+    Out << hashToHex(Key) << Buf;
+    E.Dirty = false;
+    ++Pending;
+  }
+  if (!Pending)
+    return;
+  std::ofstream Store(storePath(), std::ios::app);
+  if (!Store) {
+    OpenError = "cannot append to cache store '" + storePath() + "'";
+    return;
+  }
+  Store << Out.str();
+}
+
+std::optional<smt::CheckResult> ProofCache::lookup(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Key);
+  if (It == Entries.end()) {
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  ++Stats.Hits;
+  smt::CheckResult R;
+  R.Status = smt::CheckStatus::Valid;
+  R.TimeMs = It->second.TimeMs;
+  R.Detail = "(cached)";
+  return R;
+}
+
+void ProofCache::store(uint64_t Key, const smt::CheckResult &Result) {
+  if (Result.Status != smt::CheckStatus::Valid)
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto [It, Inserted] = Entries.try_emplace(Key);
+  if (!Inserted)
+    return;
+  It->second.TimeMs = Result.TimeMs;
+  It->second.Dirty = true;
+  ++Stats.Stores;
+}
+
+CacheStats ProofCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+size_t ProofCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.size();
+}

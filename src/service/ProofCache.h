@@ -1,0 +1,99 @@
+//===- ProofCache.h - Content-addressed proof result cache ------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed cache of discharged proof obligations. Each
+/// obligation is keyed by the stable hash of its passified
+/// (guard, goal) pair plus every option that can change the verdict
+/// (solver timeout, background axioms, the instrumentation and
+/// translation options that shaped the VC — see
+/// service::optionsFingerprint). Results live in a thread-safe
+/// in-memory map and persist to a versioned on-disk store, so
+/// re-verifying an unchanged routine is a pure cache hit and corpus
+/// re-runs / CI become incremental.
+///
+/// Persistence policy: only Valid outcomes are stored. Invalid results
+/// re-solve so counterexample models stay fresh, and Unknown results
+/// re-solve so timeouts get retried — both keep a warm run's verdicts
+/// identical to a cold run's.
+///
+/// Disk layout (`<dir>/`, default `.vcdryad-cache/`):
+///   proofs-v1.txt   one entry per line: "<16-hex key> V <time_ms>"
+/// The format version is part of the file name; readers ignore stores
+/// they do not understand, so format bumps invalidate cleanly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SERVICE_PROOFCACHE_H
+#define VCDRYAD_SERVICE_PROOFCACHE_H
+
+#include "smt/Solver.h"
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace vcdryad {
+namespace service {
+
+struct CacheStats {
+  uint64_t Hits = 0;   ///< lookup() returned a result.
+  uint64_t Misses = 0; ///< lookup() found nothing.
+  uint64_t Stores = 0; ///< New entries accepted this session.
+};
+
+class ProofCache {
+public:
+  /// In-memory-only cache (no persistence).
+  ProofCache() = default;
+
+  /// Opens (creating if needed) the on-disk store under \p Dir and
+  /// loads existing entries. IO failures degrade to in-memory-only
+  /// operation; openError() reports them.
+  explicit ProofCache(std::string Dir);
+
+  /// Persists entries added since the last flush. Called by the
+  /// destructor; safe to call repeatedly.
+  ~ProofCache();
+  void flush();
+
+  /// Returns the cached outcome for \p Key, if any. Hit results carry
+  /// TimeMs of the *original* solve and a "(cached)" detail marker.
+  std::optional<smt::CheckResult> lookup(uint64_t Key);
+
+  /// Records an outcome. Only Valid results are kept (see file
+  /// comment); everything else is ignored.
+  void store(uint64_t Key, const smt::CheckResult &Result);
+
+  CacheStats stats() const;
+
+  /// Number of resident entries (loaded + stored).
+  size_t size() const;
+
+  const std::string &dir() const { return Dir; }
+  const std::string &openError() const { return OpenError; }
+
+private:
+  struct Entry {
+    double TimeMs = 0.0;
+    bool Dirty = false; ///< Not yet persisted.
+  };
+
+  std::string storePath() const;
+
+  mutable std::mutex Mu;
+  std::string Dir; ///< Empty: in-memory only.
+  std::string OpenError;
+  std::unordered_map<uint64_t, Entry> Entries;
+  CacheStats Stats;
+};
+
+} // namespace service
+} // namespace vcdryad
+
+#endif // VCDRYAD_SERVICE_PROOFCACHE_H

@@ -1,0 +1,550 @@
+//===- Service.cpp - Corpus-scale verification service ---------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include "smt/VcHash.h"
+#include "support/Hash.h"
+#include "support/StringUtil.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <thread>
+
+using namespace vcdryad;
+using namespace vcdryad::service;
+
+namespace fs = std::filesystem;
+
+uint64_t service::optionsFingerprint(const verifier::VerifyOptions &O) {
+  Fnv1a H;
+  H.u64(1); // Fingerprint format version.
+  H.u64(O.Instr.Unfold ? 1 : 0);
+  H.u64(O.Instr.Preservation ? 1 : 0);
+  H.u64(static_cast<uint64_t>(O.Instr.Axioms));
+  H.u64(O.Instr.MaxTuplesPerSite);
+  H.u64(O.Translate.CheckMemorySafety ? 1 : 0);
+  H.u64(O.TimeoutMs);
+  return H.digest();
+}
+
+namespace {
+
+/// Recursively collects the .c files under \p Root, sorted for
+/// deterministic batch order.
+std::vector<std::string> walkDirectory(const fs::path &Root) {
+  std::vector<std::string> Out;
+  for (const auto &Entry : fs::recursive_directory_iterator(Root))
+    if (Entry.is_regular_file() && Entry.path().extension() == ".c")
+      Out.push_back(Entry.path().string());
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+} // namespace
+
+std::vector<std::string>
+service::collectBatchInputs(const std::vector<std::string> &Operands,
+                            std::string &Error) {
+  std::vector<std::string> Out;
+  std::set<std::string> Seen;
+  auto Add = [&](const std::string &S) {
+    if (Seen.insert(S).second)
+      Out.push_back(S);
+  };
+  for (const std::string &Op : Operands) {
+    fs::path P(Op);
+    if (fs::is_directory(P)) {
+      for (const std::string &F : walkDirectory(P))
+        Add(F);
+    } else if (fs::is_regular_file(P)) {
+      if (P.extension() == ".c") {
+        Add(P.string());
+        continue;
+      }
+      // Any other file is a manifest: one path per line, '#' comments,
+      // entries resolved relative to the manifest's directory.
+      std::optional<std::string> Text = readFile(P.string());
+      if (!Text) {
+        Error = "cannot read manifest '" + Op + "'";
+        return {};
+      }
+      std::istringstream In(*Text);
+      std::string Line;
+      while (std::getline(In, Line)) {
+        std::string_view S = trim(Line);
+        if (S.empty() || S[0] == '#')
+          continue;
+        fs::path E{std::string(S)};
+        if (E.is_relative())
+          E = P.parent_path() / E;
+        if (fs::is_directory(E)) {
+          for (const std::string &F : walkDirectory(E))
+            Add(F);
+        } else if (fs::is_regular_file(E)) {
+          Add(E.string());
+        } else {
+          Error = "manifest '" + Op + "': no such file or directory: " +
+                  std::string(S);
+          return {};
+        }
+      }
+    } else {
+      Error = "no such file or directory: " + Op;
+      return {};
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Result slot for one obligation; written by exactly one pool task,
+/// read only after the pool drains (the pool's queue mutex provides
+/// the happens-before edge).
+struct VCSlot {
+  bool Solved = false;
+  smt::CheckResult R;
+};
+
+/// Scheduler-side state of one function's obligations.
+struct FuncJob {
+  size_t FileIdx = 0;
+  const verifier::FunctionObligations *FO = nullptr;
+  const vir::VC *VacuityProbe = nullptr;
+  VCSlot Vacuity;
+  std::vector<VCSlot> Slots; ///< One per VC, in VC order.
+  /// First-failure cancellation (StopAtFirstFailure): pending VC tasks
+  /// of this function complete as skipped once set.
+  std::atomic<bool> Cancelled{false};
+  std::atomic<unsigned> Hits{0};
+  std::atomic<unsigned> Misses{0};
+};
+
+/// Per-worker solver, reused across obligations. Keyed by the plan
+/// whose background axioms it carries (nullptr for the common
+/// axiom-free configuration, shared across all files).
+struct WorkerState {
+  std::unique_ptr<smt::SmtSolver> Solver;
+  const void *Key = reinterpret_cast<const void *>(1); // != any plan/null
+};
+
+} // namespace
+
+VerificationService::VerificationService(ServiceOptions OptsIn)
+    : Opts(std::move(OptsIn)) {}
+
+BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
+  Timer Wall;
+  BatchReport Rep;
+
+  unsigned Jobs = Opts.Jobs;
+  if (Jobs == 0)
+    Jobs = std::thread::hardware_concurrency();
+  if (Jobs == 0)
+    Jobs = 1;
+  Rep.Jobs = Jobs;
+
+  verifier::Verifier V(Opts.Verify);
+  const uint64_t Fingerprint = optionsFingerprint(Opts.Verify);
+
+  std::unique_ptr<ProofCache> Cache;
+  if (!Opts.CacheDir.empty()) {
+    Cache = std::make_unique<ProofCache>(Opts.CacheDir);
+    Rep.CacheEnabled = true;
+    Rep.CacheDir = Opts.CacheDir;
+  }
+
+  const size_t NumFiles = Paths.size();
+  std::vector<verifier::ProgramPlan> Plans(NumFiles);
+  std::vector<smt::SolverOptions> FileSolverOpts(NumFiles);
+
+  ThreadPool Pool(Jobs, Opts.QueueCap);
+
+  // Wave 1 — front ends, one task per file: parse, normalize,
+  // instrument, translate, generate VCs. Obligation DAGs built here
+  // are immutable afterwards, so wave 2 shares them freely.
+  for (size_t I = 0; I != NumFiles; ++I)
+    Pool.submit([&, I](unsigned) { Plans[I] = V.planFile(Paths[I]); });
+  Pool.wait();
+
+  for (size_t I = 0; I != NumFiles; ++I)
+    if (Plans[I].Ok)
+      FileSolverOpts[I] = V.solverOptions(Plans[I]);
+
+  // Wave 2 — one task per proof obligation, interleaved across all
+  // functions and files.
+  std::deque<FuncJob> Jobs2;
+  for (size_t I = 0; I != NumFiles; ++I) {
+    if (!Plans[I].Ok)
+      continue;
+    for (const verifier::FunctionObligations &FO : Plans[I].Functions) {
+      FuncJob &J = Jobs2.emplace_back();
+      J.FileIdx = I;
+      J.FO = &FO;
+      J.Slots.resize(FO.VCs.size());
+      if (Opts.Verify.CheckVacuity)
+        J.VacuityProbe = verifier::Verifier::vacuityProbe(FO.VCs);
+    }
+  }
+
+  std::vector<WorkerState> Workers(Jobs);
+  std::mutex CreateMu; // Solver creation touches Z3 global tables.
+  auto solverFor = [&](unsigned W, size_t FileIdx) -> smt::SmtSolver & {
+    const smt::SolverOptions &SO = FileSolverOpts[FileIdx];
+    const void *Key =
+        SO.BackgroundAxioms.empty()
+            ? nullptr // Axiom-free solvers are interchangeable.
+            : static_cast<const void *>(&Plans[FileIdx]);
+    WorkerState &WS = Workers[W];
+    if (WS.Key != Key) {
+      std::lock_guard<std::mutex> Lock(CreateMu);
+      WS.Solver = smt::createZ3Solver(SO);
+      WS.Key = Key;
+    }
+    return *WS.Solver;
+  };
+
+  auto solveOne = [&](unsigned W, FuncJob &J, int Idx) {
+    vir::LExprRef Guard, Goal;
+    if (Idx < 0) {
+      Guard = J.VacuityProbe->Guard;
+      Goal = vir::mkBool(false);
+    } else {
+      if (J.Cancelled.load(std::memory_order_relaxed))
+        return; // Skipped; slot stays unsolved.
+      const vir::VC &VC = J.FO->VCs[Idx];
+      Guard = VC.Guard;
+      Goal = VC.Cond;
+    }
+    smt::CheckResult CR;
+    bool FromCache = false;
+    if (Cache) {
+      uint64_t Key = smt::hashObligation(Guard, Goal,
+                                         FileSolverOpts[J.FileIdx],
+                                         Fingerprint);
+      if (auto Hit = Cache->lookup(Key)) {
+        CR = *Hit;
+        FromCache = true;
+        J.Hits.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        J.Misses.fetch_add(1, std::memory_order_relaxed);
+        CR = solverFor(W, J.FileIdx).checkValid(Guard, Goal);
+        Cache->store(Key, CR);
+      }
+    } else {
+      CR = solverFor(W, J.FileIdx).checkValid(Guard, Goal);
+    }
+    (void)FromCache;
+    VCSlot &S = Idx < 0 ? J.Vacuity : J.Slots[Idx];
+    S.Solved = true;
+    S.R = std::move(CR);
+    if (Idx >= 0 && S.R.Status != smt::CheckStatus::Valid &&
+        Opts.Verify.StopAtFirstFailure)
+      J.Cancelled.store(true, std::memory_order_relaxed);
+  };
+
+  for (FuncJob &J : Jobs2) {
+    if (J.VacuityProbe)
+      Pool.submit([&solveOne, &J](unsigned W) { solveOne(W, J, -1); });
+    for (size_t K = 0; K != J.Slots.size(); ++K)
+      Pool.submit([&solveOne, &J, K](unsigned W) {
+        solveOne(W, J, static_cast<int>(K));
+      });
+  }
+  Pool.wait();
+
+  // Aggregation — strictly in source order (files as given, functions
+  // and VCs as planned); completion order cannot influence the report.
+  Rep.AllVerified = true;
+  auto NextJob = Jobs2.begin();
+  for (size_t I = 0; I != NumFiles; ++I) {
+    FileReport FR;
+    FR.Path = Paths[I];
+    FR.Ok = Plans[I].Ok;
+    FR.Error = Plans[I].Error;
+    if (!FR.Ok) {
+      ++Rep.NumFrontendErrors;
+      Rep.AllVerified = false;
+      Rep.Files.push_back(std::move(FR));
+      continue;
+    }
+    for (const verifier::FunctionObligations &FO : Plans[I].Functions) {
+      FuncJob &J = *NextJob++;
+      FunctionReport Fn;
+      verifier::FunctionResult &R = Fn.Result;
+      R.Name = FO.Name;
+      R.SourceIndex = FO.SourceIndex;
+      R.Annotations = FO.Annotations;
+      R.NumVCs = static_cast<unsigned>(FO.VCs.size());
+      R.Verified = true;
+      if (J.VacuityProbe && J.Vacuity.Solved) {
+        R.TimeMs += J.Vacuity.R.TimeMs;
+        if (J.Vacuity.R.Status == smt::CheckStatus::Valid) {
+          R.Verified = false;
+          R.Failures.push_back({"vacuity check: ghost assumptions are "
+                                "unsatisfiable",
+                                J.VacuityProbe->Loc,
+                                smt::CheckStatus::Invalid,
+                                J.Vacuity.R.TimeMs, ""});
+        }
+      }
+      for (size_t K = 0; K != J.Slots.size(); ++K) {
+        const VCSlot &S = J.Slots[K];
+        if (!S.Solved)
+          continue; // Cancelled after an earlier observed failure.
+        R.TimeMs += S.R.TimeMs;
+        if (S.R.Status != smt::CheckStatus::Valid) {
+          R.Verified = false;
+          const vir::VC &VC = J.FO->VCs[K];
+          R.Failures.push_back(
+              {VC.Reason, VC.Loc, S.R.Status, S.R.TimeMs, S.R.Detail});
+          if (Opts.Verify.StopAtFirstFailure)
+            break;
+        }
+      }
+      Fn.CacheHits = J.Hits.load();
+      Fn.CacheMisses = J.Misses.load();
+      FR.TimeMs += R.TimeMs;
+      ++Rep.NumFunctions;
+      Rep.NumVCs += R.NumVCs;
+      if (R.Verified)
+        ++Rep.NumVerified;
+      else {
+        ++Rep.NumFailed;
+        Rep.AllVerified = false;
+      }
+      FR.Functions.push_back(std::move(Fn));
+    }
+    Rep.Files.push_back(std::move(FR));
+  }
+
+  if (Cache) {
+    Cache->flush();
+    Rep.Cache = Cache->stats();
+  }
+  Rep.WallMs = Wall.millis();
+  return Rep;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON report
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void jsonEscape(const std::string &S, std::string &Out) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+/// Tiny structured JSON writer: one key per line, two-space indent,
+/// deterministic key order — grep-friendly for the CI scripts that
+/// consume the report without a JSON parser.
+class JsonWriter {
+public:
+  std::string Out;
+
+  void open(const char *Bracket) {
+    indent();
+    Out += Bracket;
+    Out += '\n';
+    ++Depth;
+    First = true;
+  }
+  void openKey(const std::string &Key, const char *Bracket) {
+    comma();
+    indent();
+    quoted(Key);
+    Out += ": ";
+    Out += Bracket;
+    Out += '\n';
+    ++Depth;
+    First = true;
+  }
+  void close(const char *Bracket) {
+    Out += '\n';
+    --Depth;
+    indent();
+    Out += Bracket;
+    First = false;
+  }
+  void field(const std::string &Key, const std::string &Val) {
+    comma();
+    indent();
+    quoted(Key);
+    Out += ": ";
+    quoted(Val);
+  }
+  void field(const std::string &Key, uint64_t Val) {
+    comma();
+    indent();
+    quoted(Key);
+    Out += ": " + std::to_string(Val);
+  }
+  void field(const std::string &Key, bool Val) {
+    comma();
+    indent();
+    quoted(Key);
+    Out += Val ? ": true" : ": false";
+  }
+  void fieldMs(const std::string &Key, double Val) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", Val);
+    comma();
+    indent();
+    quoted(Key);
+    Out += ": ";
+    Out += Buf;
+  }
+  /// Array-element object opener (no key).
+  void openElem() {
+    comma();
+    indent();
+    Out += "{\n";
+    ++Depth;
+    First = true;
+  }
+
+private:
+  void comma() {
+    if (!First)
+      Out += ",\n";
+    First = false;
+  }
+  void indent() { Out.append(2 * Depth, ' '); }
+  void quoted(const std::string &S) {
+    Out += '"';
+    jsonEscape(S, Out);
+    Out += '"';
+  }
+
+  unsigned Depth = 0;
+  bool First = true;
+};
+
+const char *statusString(smt::CheckStatus S) {
+  switch (S) {
+  case smt::CheckStatus::Valid:
+    return "valid";
+  case smt::CheckStatus::Invalid:
+    return "invalid";
+  case smt::CheckStatus::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string service::toJson(const BatchReport &Rep, bool IncludeTimes) {
+  JsonWriter W;
+  W.open("{");
+  W.field("schema", std::string("vcdryad-batch-v1"));
+  // The job count is scheduling metadata: it is omitted alongside the
+  // timings so deterministic output is byte-identical across -j.
+  if (IncludeTimes)
+    W.field("jobs", static_cast<uint64_t>(Rep.Jobs));
+  W.field("all_verified", Rep.AllVerified);
+  W.openKey("cache", "{");
+  W.field("enabled", Rep.CacheEnabled);
+  W.field("dir", Rep.CacheDir);
+  W.field("hits", Rep.Cache.Hits);
+  W.field("misses", Rep.Cache.Misses);
+  W.field("stores", Rep.Cache.Stores);
+  W.close("}");
+  W.openKey("totals", "{");
+  W.field("files", static_cast<uint64_t>(Rep.Files.size()));
+  W.field("frontend_errors", static_cast<uint64_t>(Rep.NumFrontendErrors));
+  W.field("functions", static_cast<uint64_t>(Rep.NumFunctions));
+  W.field("verified", static_cast<uint64_t>(Rep.NumVerified));
+  W.field("failed", static_cast<uint64_t>(Rep.NumFailed));
+  W.field("vcs", static_cast<uint64_t>(Rep.NumVCs));
+  if (IncludeTimes)
+    W.fieldMs("wall_ms", Rep.WallMs);
+  W.close("}");
+  W.openKey("files", "[");
+  for (const FileReport &F : Rep.Files) {
+    W.openElem();
+    W.field("path", F.Path);
+    W.field("ok", F.Ok);
+    if (!F.Ok)
+      W.field("error", F.Error);
+    W.openKey("functions", "[");
+    for (const FunctionReport &Fn : F.Functions) {
+      const verifier::FunctionResult &R = Fn.Result;
+      W.openElem();
+      W.field("name", R.Name);
+      W.field("index", static_cast<uint64_t>(R.SourceIndex));
+      W.field("status", std::string(R.Verified ? "verified" : "failed"));
+      W.field("vcs", static_cast<uint64_t>(R.NumVCs));
+      W.openKey("annotations", "{");
+      W.field("manual", static_cast<uint64_t>(R.Annotations.Manual));
+      W.field("ghost", static_cast<uint64_t>(R.Annotations.Ghost));
+      W.close("}");
+      W.field("cache_hits", static_cast<uint64_t>(Fn.CacheHits));
+      W.field("cache_misses", static_cast<uint64_t>(Fn.CacheMisses));
+      if (IncludeTimes)
+        W.fieldMs("time_ms", R.TimeMs);
+      W.openKey("failures", "[");
+      for (const verifier::VCOutcome &O : R.Failures) {
+        W.openElem();
+        W.field("reason", O.Reason);
+        W.field("loc", O.Loc.str());
+        W.field("status", std::string(statusString(O.Status)));
+        W.field("detail", O.Detail.substr(0, 400));
+        if (IncludeTimes)
+          W.fieldMs("time_ms", O.TimeMs);
+        W.close("}");
+      }
+      W.close("]");
+      W.close("}");
+    }
+    W.close("]");
+    if (IncludeTimes)
+      W.fieldMs("time_ms", F.TimeMs);
+    W.close("}");
+  }
+  W.close("]");
+  W.close("}");
+  W.Out += '\n';
+  return W.Out;
+}

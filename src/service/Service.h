@@ -1,0 +1,119 @@
+//===- Service.h - Corpus-scale verification service ------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable verification service layered on top of
+/// verifier::Verifier, built for corpus-scale workloads (the paper's
+/// 152-routine Table 1, CI gates, benchmark sweeps): a job scheduler
+/// that fans work out across a thread pool at two granularities —
+/// whole-file front ends across files, then individual VCs within and
+/// across functions — with one SMT solver per worker, cancellation of
+/// a function's remaining obligations at its first failure (under
+/// StopAtFirstFailure), and a bounded work queue throttling the
+/// producer. A content-addressed proof cache (ProofCache) intercepts
+/// every obligation, making warm re-runs incremental.
+///
+/// Determinism: results are written into slots preallocated in source
+/// order and aggregated only after the pool drains, so the report
+/// never depends on completion order — a batch solved at --jobs=8
+/// reports the same verdicts (and, modulo timings, the same JSON) as
+/// --jobs=1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SERVICE_SERVICE_H
+#define VCDRYAD_SERVICE_SERVICE_H
+
+#include "service/ProofCache.h"
+#include "verifier/Verifier.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace service {
+
+struct ServiceOptions {
+  verifier::VerifyOptions Verify;
+  /// Worker threads; 0 picks the hardware concurrency.
+  unsigned Jobs = 0;
+  /// Proof-cache directory; empty disables caching.
+  std::string CacheDir;
+  /// Bound on queued (not yet running) scheduler tasks.
+  size_t QueueCap = 1024;
+};
+
+/// One function's outcome plus its cache interaction.
+struct FunctionReport {
+  verifier::FunctionResult Result;
+  unsigned CacheHits = 0;
+  unsigned CacheMisses = 0;
+};
+
+struct FileReport {
+  std::string Path;
+  bool Ok = false;   ///< Front end succeeded.
+  std::string Error; ///< Diagnostics when !Ok.
+  /// In source order regardless of completion order.
+  std::vector<FunctionReport> Functions;
+  /// Sum of this file's solver times (not wall time — obligations of
+  /// different files interleave on the pool).
+  double TimeMs = 0.0;
+};
+
+struct BatchReport {
+  std::vector<FileReport> Files;
+  unsigned Jobs = 1;
+  bool AllVerified = false;
+  unsigned NumFunctions = 0;
+  unsigned NumVerified = 0;
+  unsigned NumFailed = 0;
+  unsigned NumFrontendErrors = 0;
+  unsigned NumVCs = 0;
+  bool CacheEnabled = false;
+  std::string CacheDir;
+  CacheStats Cache;
+  double WallMs = 0.0;
+};
+
+class VerificationService {
+public:
+  explicit VerificationService(ServiceOptions Opts);
+
+  /// Verifies \p Paths (each a .c file) through the scheduler.
+  BatchReport run(const std::vector<std::string> &Paths);
+
+  const ServiceOptions &options() const { return Opts; }
+
+private:
+  ServiceOptions Opts;
+};
+
+/// Fingerprint of every pipeline option that shapes obligations or
+/// their meaning (instrumentation tactics, axiom mode, tuple budget,
+/// memory-safety checks, timeout). Folded into each cache key so
+/// ablation runs never share cache entries with default runs.
+uint64_t optionsFingerprint(const verifier::VerifyOptions &Opts);
+
+/// Expands batch operands into the list of .c files to verify:
+/// directories are walked recursively (sorted), .c files are taken
+/// as-is, and any other file is read as a manifest (one path per
+/// line, '#' comments, entries resolved relative to the manifest).
+/// Returns an empty list with \p Error set on malformed input.
+std::vector<std::string>
+collectBatchInputs(const std::vector<std::string> &Operands,
+                   std::string &Error);
+
+/// Renders the machine-readable batch report. With \p IncludeTimes
+/// false every timing field and the job count are omitted, making the
+/// output byte-for-byte reproducible across runs and job counts.
+std::string toJson(const BatchReport &Report, bool IncludeTimes = true);
+
+} // namespace service
+} // namespace vcdryad
+
+#endif // VCDRYAD_SERVICE_SERVICE_H

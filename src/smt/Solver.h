@@ -46,6 +46,14 @@ struct SolverOptions {
 };
 
 /// One solving session; reusable across checks of one program.
+///
+/// Thread-safety contract: one SmtSolver instance must only be used by
+/// one thread at a time (each instance owns a private z3::context and
+/// lowering cache), but *distinct* instances are independent and may
+/// solve concurrently — the verification service creates one solver
+/// per worker thread. createZ3Solver() itself touches Z3's global
+/// parameter tables during the very first context construction, so the
+/// service serializes solver creation.
 class SmtSolver {
 public:
   virtual ~SmtSolver() = default;

@@ -1,0 +1,52 @@
+//===- VcHash.h - Stable hashing of proof obligations -----------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, content-addressed hashing of VIR expressions and
+/// whole proof obligations, the keying hook of the proof cache: two
+/// obligations get the same key iff their passified (guard, goal)
+/// pair is structurally identical (same operators, sorts, variable
+/// names and constants) and they would be solved under the same
+/// solver options (timeout, background axioms). The hash is FNV-1a
+/// over a canonical serialization, memoized per DAG node — VC guards
+/// are heavily shared DAGs, so a naive structural recursion would be
+/// exponential.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SMT_VCHASH_H
+#define VCDRYAD_SMT_VCHASH_H
+
+#include "smt/Solver.h"
+#include "vir/LExpr.h"
+
+#include <cstdint>
+
+namespace vcdryad {
+namespace smt {
+
+/// Stable structural hash of one expression. Equal structures (up to
+/// node identity) hash equal; distinct variable names ("alpha-distinct"
+/// terms) hash differently by design — the cache must not conflate
+/// obligations that differ only in symbol names.
+uint64_t hashExpr(const vir::LExprRef &E);
+
+/// Hash of the solver-affecting option set: timeout and background
+/// axioms. Obligations solved under different options never share a
+/// cache entry.
+uint64_t hashSolverOptions(const SolverOptions &Opts);
+
+/// The content-addressed key of one checkValid(Guard, Goal) query.
+/// \p Salt folds in caller context the solver cannot see (pipeline
+/// options that shaped the VC, cache format version).
+uint64_t hashObligation(const vir::LExprRef &Guard,
+                        const vir::LExprRef &Goal,
+                        const SolverOptions &Opts, uint64_t Salt = 0);
+
+} // namespace smt
+} // namespace vcdryad
+
+#endif // VCDRYAD_SMT_VCHASH_H

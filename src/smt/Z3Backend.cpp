@@ -57,6 +57,11 @@ private:
   std::map<std::string, z3::func_decl> FuncDecls;
   /// Bound variables currently in scope (shadow constants).
   std::map<std::string, z3::expr> BoundVars;
+  /// Fresh-name counter for quantifier lowering. A per-lowering member
+  /// (not a function-local static): solvers run concurrently on
+  /// different threads of the verification service, and a shared
+  /// static counter would be a data race.
+  unsigned FreshCounter = 0;
 
   z3::sort sortOf(Sort S) {
     switch (S) {
@@ -110,8 +115,8 @@ private:
 
   /// A fresh bound variable for quantifier lowering.
   z3::expr freshBound(const char *Hint, Sort S) {
-    static unsigned Counter = 0;
-    std::string Name = std::string("?") + Hint + std::to_string(Counter++);
+    std::string Name =
+        std::string("?") + Hint + std::to_string(FreshCounter++);
     return Ctx.constant(Name.c_str(), sortOf(S));
   }
 

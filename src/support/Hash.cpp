@@ -1,0 +1,36 @@
+//===- Hash.cpp - Stable content hashing -----------------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hash.h"
+
+using namespace vcdryad;
+
+std::string vcdryad::hashToHex(uint64_t Digest) {
+  static const char *Digits = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Out[I] = Digits[Digest & 0xf];
+    Digest >>= 4;
+  }
+  return Out;
+}
+
+bool vcdryad::hashFromHex(std::string_view Hex, uint64_t &Digest) {
+  if (Hex.size() != 16)
+    return false;
+  uint64_t V = 0;
+  for (char C : Hex) {
+    V <<= 4;
+    if (C >= '0' && C <= '9')
+      V |= static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      V |= static_cast<uint64_t>(C - 'a' + 10);
+    else
+      return false;
+  }
+  Digest = V;
+  return true;
+}

@@ -1,0 +1,75 @@
+//===- Hash.h - Stable content hashing --------------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small FNV-1a based content hasher used to build stable,
+/// process-independent keys (the proof cache keys obligations by the
+/// hash of their passified guard/goal pair plus the solver options).
+/// Unlike std::hash, the digest is specified and identical across runs
+/// and platforms, so it is safe to persist.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SUPPORT_HASH_H
+#define VCDRYAD_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vcdryad {
+
+/// Incremental 64-bit FNV-1a hasher.
+class Fnv1a {
+public:
+  static constexpr uint64_t Offset = 0xcbf29ce484222325ull;
+  static constexpr uint64_t Prime = 0x100000001b3ull;
+
+  Fnv1a() = default;
+  explicit Fnv1a(uint64_t Seed) : State(Seed) {}
+
+  Fnv1a &byte(uint8_t B) {
+    State = (State ^ B) * Prime;
+    return *this;
+  }
+
+  Fnv1a &bytes(const void *Data, size_t N) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    for (size_t I = 0; I != N; ++I)
+      byte(P[I]);
+    return *this;
+  }
+
+  Fnv1a &str(std::string_view S) {
+    bytes(S.data(), S.size());
+    // Length-terminate so ("ab","c") and ("a","bc") differ.
+    return byte(0xff);
+  }
+
+  /// Hashes the value little-endian, fixed width (stable across hosts).
+  Fnv1a &u64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      byte(static_cast<uint8_t>(V >> (8 * I)));
+    return *this;
+  }
+
+  Fnv1a &i64(int64_t V) { return u64(static_cast<uint64_t>(V)); }
+
+  uint64_t digest() const { return State; }
+
+private:
+  uint64_t State = Offset;
+};
+
+/// Renders a digest as 16 lowercase hex digits.
+std::string hashToHex(uint64_t Digest);
+
+/// Parses 16 hex digits back into a digest; false on malformed input.
+bool hashFromHex(std::string_view Hex, uint64_t &Digest);
+
+} // namespace vcdryad
+
+#endif // VCDRYAD_SUPPORT_HASH_H

@@ -6,6 +6,7 @@
 
 #include "support/StringUtil.h"
 
+#include <climits>
 #include <fstream>
 #include <sstream>
 
@@ -32,6 +33,21 @@ std::string_view vcdryad::trim(std::string_view S) {
 
 bool vcdryad::startsWith(std::string_view S, std::string_view Prefix) {
   return S.size() >= Prefix.size() && S.substr(0, Prefix.size()) == Prefix;
+}
+
+std::optional<unsigned long> vcdryad::parseUnsigned(std::string_view S) {
+  if (S.empty())
+    return std::nullopt;
+  unsigned long V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return std::nullopt;
+    unsigned Digit = static_cast<unsigned>(C - '0');
+    if (V > (ULONG_MAX - Digit) / 10)
+      return std::nullopt; // Overflow.
+    V = V * 10 + Digit;
+  }
+  return V;
 }
 
 std::optional<std::string> vcdryad::readFile(const std::string &Path) {

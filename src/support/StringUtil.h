@@ -33,6 +33,12 @@ bool startsWith(std::string_view S, std::string_view Prefix);
 /// Reads a whole file; std::nullopt if it cannot be opened.
 std::optional<std::string> readFile(const std::string &Path);
 
+/// Parses a base-10 unsigned integer; std::nullopt unless the whole
+/// string is digits and the value fits (used instead of std::stoul so
+/// malformed CLI values like --timeout=abc become usage errors, not
+/// uncaught exceptions).
+std::optional<unsigned long> parseUnsigned(std::string_view S);
+
 } // namespace vcdryad
 
 #endif // VCDRYAD_SUPPORT_STRINGUTIL_H

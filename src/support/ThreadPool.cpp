@@ -1,0 +1,64 @@
+//===- ThreadPool.cpp - Bounded-queue worker pool --------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+using namespace vcdryad;
+
+ThreadPool::ThreadPool(unsigned Workers, size_t QueueCap)
+    : QueueCap(QueueCap ? QueueCap : 1) {
+  if (Workers == 0)
+    Workers = 1;
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I != Workers; ++I)
+    Threads.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Stopping = true;
+  }
+  NotEmpty.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void ThreadPool::submit(Task T) {
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    NotFull.wait(Lock, [this] { return Queue.size() < QueueCap; });
+    Queue.push_back(std::move(T));
+    ++Outstanding;
+  }
+  NotEmpty.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Idle.wait(Lock, [this] { return Outstanding == 0; });
+}
+
+void ThreadPool::workerLoop(unsigned Id) {
+  for (;;) {
+    Task T;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      NotEmpty.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      T = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    NotFull.notify_one();
+    T(Id);
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      if (--Outstanding == 0)
+        Idle.notify_all();
+    }
+  }
+}

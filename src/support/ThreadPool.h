@@ -1,0 +1,68 @@
+//===- ThreadPool.h - Bounded-queue worker pool -----------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool with a bounded work queue, used by
+/// the verification service to fan proof obligations out across
+/// workers. Tasks receive the index of the worker running them, so
+/// callers can keep per-worker state (one SMT solver per worker)
+/// without locking on the hot path. submit() blocks while the queue is
+/// full — the producer (the batch front end) is throttled instead of
+/// buffering an unbounded corpus of VCs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SUPPORT_THREADPOOL_H
+#define VCDRYAD_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vcdryad {
+
+class ThreadPool {
+public:
+  using Task = std::function<void(unsigned WorkerId)>;
+
+  /// Spawns \p Workers threads (at least one). At most \p QueueCap
+  /// tasks wait in the queue before submit() blocks.
+  explicit ThreadPool(unsigned Workers, size_t QueueCap = 1024);
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned workerCount() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// Enqueues a task; blocks while the queue is at capacity.
+  void submit(Task T);
+
+  /// Blocks until every submitted task has finished running.
+  void wait();
+
+private:
+  void workerLoop(unsigned Id);
+
+  std::mutex Mu;
+  std::condition_variable NotEmpty; ///< Queue gained a task (or stopping).
+  std::condition_variable NotFull;  ///< Queue dropped below capacity.
+  std::condition_variable Idle;     ///< Outstanding reached zero.
+  std::deque<Task> Queue;
+  size_t QueueCap;
+  size_t Outstanding = 0; ///< Queued + currently running.
+  bool Stopping = false;
+  std::vector<std::thread> Threads;
+};
+
+} // namespace vcdryad
+
+#endif // VCDRYAD_SUPPORT_THREADPOOL_H

@@ -15,12 +15,15 @@
 #include "cfront/Normalize.h"
 #include "cfront/Parser.h"
 #include "instr/Instrument.h"
+#include "service/Service.h"
+#include "support/StringUtil.h"
 #include "verifier/Verifier.h"
 #include "vir/Passify.h"
 #include "vir/WpGen.h"
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -31,9 +34,15 @@ namespace {
 void printUsage() {
   std::puts(
       "usage: vcdryad [options] <file.c>...\n"
+      "       vcdryad batch [options] <dir|manifest|file.c>...\n"
       "\n"
       "Verifies C programs against DRYAD separation-logic specifications\n"
       "using natural proofs (Pek, Qiu, Madhusudan; PLDI 2014).\n"
+      "\n"
+      "batch mode schedules a whole corpus through the parallel\n"
+      "verification service and emits a machine-readable JSON report:\n"
+      "directories are walked recursively for .c files; any other\n"
+      "operand is a manifest (one path per line, '#' comments).\n"
       "\n"
       "options:\n"
       "  --only=<fn>          verify a single function\n"
@@ -48,7 +57,18 @@ void printUsage() {
       "  --stats              print manual vs ghost annotation counts\n"
       "  --dump-instrumented  print the program after ghost synthesis\n"
       "  --dump-vir           print the verification IR\n"
-      "  --dump-vcs           print the generated proof obligations\n");
+      "  --dump-vcs           print the generated proof obligations\n"
+      "\n"
+      "batch options:\n"
+      "  --jobs=<n>           worker threads (default: hardware "
+      "concurrency)\n"
+      "  --cache=<dir>|off    proof-cache directory (default "
+      "'.vcdryad-cache');\n"
+      "                       'off' disables the cache\n"
+      "  --out=<file>         write the JSON report here (default "
+      "stdout)\n"
+      "  --json-times=off     omit timing fields (byte-reproducible "
+      "output)\n");
 }
 
 struct CliOptions {
@@ -58,10 +78,38 @@ struct CliOptions {
   bool DumpInstrumented = false;
   bool DumpVir = false;
   bool DumpVcs = false;
+  // Batch mode (`vcdryad batch ...`).
+  bool Batch = false;
+  unsigned Jobs = 0; ///< 0: hardware concurrency.
+  std::string CacheDir = ".vcdryad-cache";
+  std::string OutPath;        ///< Empty: stdout.
+  bool JsonTimes = true;
 };
 
+/// Parses `--<flag>=<n>`; false (with a usage error printed) unless
+/// the value is a well-formed unsigned that fits \p Out. Bare
+/// std::stoul would throw an uncaught exception on `--timeout=abc`.
+bool parseUnsignedFlag(const std::string &Flag, const std::string &Value,
+                       unsigned &Out) {
+  std::optional<unsigned long> V = parseUnsigned(Value);
+  if (!V || *V > 0xfffffffful) {
+    std::fprintf(stderr,
+                 "error: invalid value '%s' for %s= (expected an "
+                 "unsigned integer)\n",
+                 Value.c_str(), Flag.c_str());
+    return false;
+  }
+  Out = static_cast<unsigned>(*V);
+  return true;
+}
+
 bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
-  for (int I = 1; I < Argc; ++I) {
+  int First = 1;
+  if (Argc > 1 && std::strcmp(Argv[1], "batch") == 0) {
+    Cli.Batch = true;
+    First = 2;
+  }
+  for (int I = First; I < Argc; ++I) {
     std::string A = Argv[I];
     auto StartsWith = [&](const char *P) {
       return A.rfind(P, 0) == 0;
@@ -71,7 +119,29 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
     if (StartsWith("--only=")) {
       Cli.Verify.OnlyFunction = A.substr(7);
     } else if (StartsWith("--timeout=")) {
-      Cli.Verify.TimeoutMs = std::stoul(A.substr(10));
+      if (!parseUnsignedFlag("--timeout", A.substr(10),
+                             Cli.Verify.TimeoutMs))
+        return false;
+    } else if (StartsWith("--jobs=")) {
+      if (!parseUnsignedFlag("--jobs", A.substr(7), Cli.Jobs))
+        return false;
+    } else if (StartsWith("--cache=")) {
+      std::string Dir = A.substr(8);
+      Cli.CacheDir = (Dir == "off") ? "" : Dir;
+    } else if (StartsWith("--out=")) {
+      Cli.OutPath = A.substr(6);
+    } else if (StartsWith("--json-times=")) {
+      std::string M = A.substr(13);
+      if (M == "off")
+        Cli.JsonTimes = false;
+      else if (M == "on")
+        Cli.JsonTimes = true;
+      else {
+        std::fprintf(stderr, "error: --json-times expects on|off, got "
+                             "'%s'\n",
+                     M.c_str());
+        return false;
+      }
     } else if (A == "--keep-going") {
       Cli.Verify.StopAtFirstFailure = false;
     } else if (A == "--check-vacuity") {
@@ -153,6 +223,44 @@ int runDumps(const CliOptions &Cli, const std::string &Path) {
   return 0;
 }
 
+/// `vcdryad batch`: expand operands, run the parallel verification
+/// service, emit the JSON report. Exit status: 0 all verified, 1 any
+/// failure or frontend error, 2 usage/IO problems.
+int runBatch(const CliOptions &Cli) {
+  std::string Error;
+  std::vector<std::string> Inputs =
+      service::collectBatchInputs(Cli.Files, Error);
+  if (!Error.empty()) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  if (Inputs.empty()) {
+    std::fprintf(stderr, "error: batch operands contain no .c files\n");
+    return 2;
+  }
+
+  service::ServiceOptions SOpts;
+  SOpts.Verify = Cli.Verify;
+  SOpts.Jobs = Cli.Jobs;
+  SOpts.CacheDir = Cli.CacheDir;
+  service::VerificationService Service(SOpts);
+  service::BatchReport Rep = Service.run(Inputs);
+
+  std::string Json = service::toJson(Rep, Cli.JsonTimes);
+  if (Cli.OutPath.empty()) {
+    std::fputs(Json.c_str(), stdout);
+  } else {
+    std::ofstream Out(Cli.OutPath, std::ios::binary);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Cli.OutPath.c_str());
+      return 2;
+    }
+    Out << Json;
+  }
+  return Rep.AllVerified ? 0 : 1;
+}
+
 const char *statusName(smt::CheckStatus S) {
   switch (S) {
   case smt::CheckStatus::Valid:
@@ -173,6 +281,8 @@ int main(int Argc, char **Argv) {
     printUsage();
     return 2;
   }
+  if (Cli.Batch)
+    return runBatch(Cli);
 
   int Exit = 0;
   for (const std::string &Path : Cli.Files) {

@@ -10,10 +10,18 @@
 #include "cfront/Parser.h"
 #include "support/Timer.h"
 #include "vir/Passify.h"
-#include "vir/WpGen.h"
+
+#include <algorithm>
 
 using namespace vcdryad;
 using namespace vcdryad::verifier;
+
+void ProgramResult::sortBySource() {
+  std::stable_sort(Functions.begin(), Functions.end(),
+                   [](const FunctionResult &A, const FunctionResult &B) {
+                     return A.SourceIndex < B.SourceIndex;
+                   });
+}
 
 ProgramResult Verifier::verifyFile(const std::string &Path) {
   DiagnosticEngine Diag;
@@ -38,61 +46,103 @@ ProgramResult Verifier::verifySource(const std::string &Source) {
   return verifyProgram(*Prog, Diag);
 }
 
-ProgramResult Verifier::verifyProgram(cfront::Program &Prog,
-                                      DiagnosticEngine &Diag) {
-  ProgramResult Result;
+ProgramPlan Verifier::planFile(const std::string &Path) const {
+  DiagnosticEngine Diag;
+  std::unique_ptr<cfront::Program> Prog = cfront::parseFile(Path, Diag);
+  if (!Prog || Diag.hasErrors()) {
+    ProgramPlan P;
+    P.Error = Diag.str();
+    return P;
+  }
+  return planProgram(*Prog, Diag);
+}
+
+ProgramPlan Verifier::planSource(const std::string &Source) const {
+  DiagnosticEngine Diag;
+  std::unique_ptr<cfront::Program> Prog =
+      cfront::parseProgram(Source, Diag);
+  if (!Prog || Diag.hasErrors()) {
+    ProgramPlan P;
+    P.Error = Diag.str();
+    return P;
+  }
+  return planProgram(*Prog, Diag);
+}
+
+ProgramPlan Verifier::planProgram(cfront::Program &Prog,
+                                  DiagnosticEngine &Diag) const {
+  ProgramPlan Plan;
 
   cfront::normalizeProgram(Prog, Diag);
   instr::instrumentProgram(Prog, Opts.Instr, Diag);
   if (Diag.hasErrors()) {
-    Result.Error = Diag.str();
-    return Result;
+    Plan.Error = Diag.str();
+    return Plan;
   }
 
-  smt::SolverOptions SOpts;
-  SOpts.TimeoutMs = Opts.TimeoutMs;
   if (Opts.Instr.Axioms == instr::InstrOptions::AxiomMode::Quantified)
-    SOpts.BackgroundAxioms = instr::quantifiedAxioms(Prog, Diag);
-  std::unique_ptr<smt::SmtSolver> Solver = smt::createZ3Solver(SOpts);
+    Plan.BackgroundAxioms = instr::quantifiedAxioms(Prog, Diag);
 
-  Result.Ok = true;
-  Result.AllVerified = true;
   for (const auto &F : Prog.Funcs) {
     if (!F->Body)
       continue;
     if (!Opts.OnlyFunction.empty() && F->Name != Opts.OnlyFunction)
       continue;
-    Timer T;
-    FunctionResult FR;
-    FR.Name = F->Name;
-    FR.Annotations = instr::countAnnotations(*F);
+    FunctionObligations FO;
+    FO.Name = F->Name;
+    FO.SourceIndex = static_cast<unsigned>(Plan.Functions.size());
+    FO.Annotations = instr::countAnnotations(*F);
 
     vir::Procedure Proc =
         translateFunction(*F, Prog, Opts.Translate, Diag);
     if (Diag.hasErrors()) {
-      Result.Error += Diag.str();
-      Result.Ok = false;
-      return Result;
+      Plan.Error += Diag.str();
+      Plan.Ok = false;
+      return Plan;
     }
     vir::Procedure Passive = vir::passify(Proc);
-    std::vector<vir::VC> VCs = vir::generateVCs(Passive);
-    FR.NumVCs = VCs.size();
+    FO.VCs = vir::generateVCs(Passive);
+    Plan.Functions.push_back(std::move(FO));
+  }
+  Plan.Ok = true;
+  return Plan;
+}
 
-    FR.Verified = true;
-    if (Opts.CheckVacuity && !VCs.empty()) {
-      // Check that a full return path is reachable: the guard of the
-      // first postcondition obligation accumulates every ghost
-      // assumption along it. (The very last VC can sit behind the
-      // intentional `assume false` that seals return paths, so it is
-      // the wrong probe.)
-      const vir::VC *Probe = &VCs.front();
-      for (const vir::VC &VC : VCs)
-        if (VC.Reason.rfind("postcondition", 0) == 0) {
-          Probe = &VC;
-          break;
-        }
+smt::SolverOptions Verifier::solverOptions(const ProgramPlan &Plan) const {
+  smt::SolverOptions SOpts;
+  SOpts.TimeoutMs = Opts.TimeoutMs;
+  SOpts.BackgroundAxioms = Plan.BackgroundAxioms;
+  return SOpts;
+}
+
+const vir::VC *Verifier::vacuityProbe(const std::vector<vir::VC> &VCs) {
+  if (VCs.empty())
+    return nullptr;
+  // Check that a full return path is reachable: the guard of the
+  // first postcondition obligation accumulates every ghost
+  // assumption along it. (The very last VC can sit behind the
+  // intentional `assume false` that seals return paths, so it is
+  // the wrong probe.)
+  for (const vir::VC &VC : VCs)
+    if (VC.Reason.rfind("postcondition", 0) == 0)
+      return &VC;
+  return &VCs.front();
+}
+
+FunctionResult Verifier::checkFunction(const FunctionObligations &FO,
+                                       smt::SmtSolver &Solver) const {
+  Timer T;
+  FunctionResult FR;
+  FR.Name = FO.Name;
+  FR.SourceIndex = FO.SourceIndex;
+  FR.Annotations = FO.Annotations;
+  FR.NumVCs = FO.VCs.size();
+
+  FR.Verified = true;
+  if (Opts.CheckVacuity) {
+    if (const vir::VC *Probe = vacuityProbe(FO.VCs)) {
       smt::CheckResult CR =
-          Solver->checkValid(Probe->Guard, vir::mkBool(false));
+          Solver.checkValid(Probe->Guard, vir::mkBool(false));
       if (CR.Status == smt::CheckStatus::Valid) {
         FR.Verified = false;
         FR.Failures.push_back({"vacuity check: ghost assumptions are "
@@ -101,17 +151,38 @@ ProgramResult Verifier::verifyProgram(cfront::Program &Prog,
                                CR.TimeMs, ""});
       }
     }
-    for (const vir::VC &VC : VCs) {
-      smt::CheckResult CR = Solver->checkValid(VC.Guard, VC.Cond);
-      if (CR.Status != smt::CheckStatus::Valid) {
-        FR.Verified = false;
-        FR.Failures.push_back(
-            {VC.Reason, VC.Loc, CR.Status, CR.TimeMs, CR.Detail});
-        if (Opts.StopAtFirstFailure)
-          break;
-      }
+  }
+  for (const vir::VC &VC : FO.VCs) {
+    smt::CheckResult CR = Solver.checkValid(VC.Guard, VC.Cond);
+    if (CR.Status != smt::CheckStatus::Valid) {
+      FR.Verified = false;
+      FR.Failures.push_back(
+          {VC.Reason, VC.Loc, CR.Status, CR.TimeMs, CR.Detail});
+      if (Opts.StopAtFirstFailure)
+        break;
     }
-    FR.TimeMs = T.millis();
+  }
+  FR.TimeMs = T.millis();
+  return FR;
+}
+
+ProgramResult Verifier::verifyProgram(cfront::Program &Prog,
+                                      DiagnosticEngine &Diag) {
+  ProgramResult Result;
+
+  ProgramPlan Plan = planProgram(Prog, Diag);
+  if (!Plan.Ok) {
+    Result.Error = Plan.Error;
+    return Result;
+  }
+
+  std::unique_ptr<smt::SmtSolver> Solver =
+      smt::createZ3Solver(solverOptions(Plan));
+
+  Result.Ok = true;
+  Result.AllVerified = true;
+  for (const FunctionObligations &FO : Plan.Functions) {
+    FunctionResult FR = checkFunction(FO, *Solver);
     Result.AllVerified &= FR.Verified;
     Result.Functions.push_back(std::move(FR));
   }

@@ -20,6 +20,7 @@
 #include "instr/Instrument.h"
 #include "smt/Solver.h"
 #include "verifier/FuncTranslator.h"
+#include "vir/WpGen.h"
 
 #include <memory>
 #include <string>
@@ -53,6 +54,10 @@ struct VCOutcome {
 
 struct FunctionResult {
   std::string Name;
+  /// Position among the checked functions, in source order. Parallel
+  /// runs complete out of order; reports sort by this so aggregation
+  /// is deterministic.
+  unsigned SourceIndex = 0;
   bool Verified = false;
   unsigned NumVCs = 0;
   double TimeMs = 0.0;
@@ -73,6 +78,32 @@ struct ProgramResult {
         return &F;
     return nullptr;
   }
+
+  /// Restores source order after out-of-order (parallel) completion,
+  /// so function() lookups and reports are deterministic.
+  void sortBySource();
+};
+
+/// The solver-ready obligations of one function: everything the front
+/// half of the pipeline (normalize -> instrument -> translate ->
+/// passify -> VC generation) produces, with no SMT solving done yet.
+/// The verification service schedules these VCs individually and lets
+/// the proof cache intercept them.
+struct FunctionObligations {
+  std::string Name;
+  unsigned SourceIndex = 0; ///< See FunctionResult::SourceIndex.
+  instr::AnnotationStats Annotations;
+  std::vector<vir::VC> VCs;
+};
+
+/// A whole file's obligations (the unit the scheduler fans out).
+struct ProgramPlan {
+  bool Ok = false;   ///< Front end ran (no parse/type errors).
+  std::string Error; ///< Diagnostics when !Ok.
+  std::vector<FunctionObligations> Functions;
+  /// Background facts for every solver query of this program
+  /// (quantified-axiom ablation mode only; empty otherwise).
+  std::vector<vir::LExprRef> BackgroundAxioms;
 };
 
 class Verifier {
@@ -89,6 +120,31 @@ public:
   /// The program is normalized and instrumented in place.
   ProgramResult verifyProgram(cfront::Program &Prog,
                               DiagnosticEngine &Diag);
+
+  /// Front half of the pipeline only: produces every checked
+  /// function's proof obligations without solving them. This is the
+  /// hook the verification service schedules and caches against;
+  /// verifyFile == planFile + checkFunction over each entry.
+  ProgramPlan planFile(const std::string &Path) const;
+  ProgramPlan planSource(const std::string &Source) const;
+  ProgramPlan planProgram(cfront::Program &Prog,
+                          DiagnosticEngine &Diag) const;
+
+  /// The solver configuration matching this verifier's options and a
+  /// plan's background axioms.
+  smt::SolverOptions solverOptions(const ProgramPlan &Plan) const;
+
+  /// Back half: solves one function's obligations in order on the
+  /// given solver (vacuity probe first when enabled, then the VCs,
+  /// honoring StopAtFirstFailure).
+  FunctionResult checkFunction(const FunctionObligations &FO,
+                               smt::SmtSolver &Solver) const;
+
+  /// The obligation whose guard the vacuity smoke test probes: the
+  /// first postcondition VC (the last VC can sit behind the
+  /// intentional `assume false` sealing return paths), else the first.
+  /// Null when there are no VCs.
+  static const vir::VC *vacuityProbe(const std::vector<vir::VC> &VCs);
 
   const VerifyOptions &options() const { return Opts; }
 

@@ -1,0 +1,63 @@
+#!/bin/sh
+# End-to-end proof-cache gate: run `vcdryad batch` over the AFWP suite
+# twice with a shared cache directory and assert
+#   (1) both runs report identical verification outcomes, and
+#   (2) the warm run is >= 90% cache hits.
+#
+# Usage: batch_cache_test.sh <vcdryad-binary> <benchmark-dir>
+#
+# The JSON report prints one key per line precisely so that shell
+# gates like this one can grep/awk it without a JSON parser.
+set -eu
+
+VCDRYAD=$1
+SUITE=$2
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/vcd-batch-cache.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+run_batch() {
+  # Tolerate exit 1 (verification failures): on slow hardware the
+  # suite's long-tail routines can exceed the default solver timeout.
+  # The gate below still requires the two runs to agree exactly —
+  # timeouts are never cached, so a warm run re-solves them.
+  "$VCDRYAD" batch "$SUITE" --jobs=4 --cache="$WORK/cache" \
+    --json-times=off --out="$1" || test $? -eq 1
+}
+
+echo "== cold run =="
+run_batch "$WORK/cold.json"
+echo "== warm run =="
+run_batch "$WORK/warm.json"
+
+# (1) Identical outcomes: the reports must match except for the cache
+# traffic counters (hits/misses/stores differ cold vs warm by design).
+strip_counters() {
+  grep -v -E '"(hits|misses|stores|cache_hits|cache_misses)":' "$1"
+}
+strip_counters "$WORK/cold.json" > "$WORK/cold.stripped"
+strip_counters "$WORK/warm.json" > "$WORK/warm.stripped"
+if ! cmp -s "$WORK/cold.stripped" "$WORK/warm.stripped"; then
+  echo "FAIL: warm run outcomes differ from cold run" >&2
+  diff "$WORK/cold.stripped" "$WORK/warm.stripped" >&2 || true
+  exit 1
+fi
+
+# (2) Warm hit rate: the top-level cache object is the only place the
+# bare "hits"/"misses" keys occur.
+HITS=$(awk -F': ' '/"hits":/ {gsub(/,/, "", $2); print $2; exit}' \
+  "$WORK/warm.json")
+MISSES=$(awk -F': ' '/"misses":/ {gsub(/,/, "", $2); print $2; exit}' \
+  "$WORK/warm.json")
+TOTAL=$((HITS + MISSES))
+if [ "$TOTAL" -eq 0 ]; then
+  echo "FAIL: warm run solved no obligations" >&2
+  exit 1
+fi
+# hits * 10 >= total * 9  <=>  hit rate >= 90%, in integer arithmetic.
+if [ $((HITS * 10)) -lt $((TOTAL * 9)) ]; then
+  echo "FAIL: warm hit rate below 90% ($HITS hits / $TOTAL lookups)" >&2
+  exit 1
+fi
+
+echo "PASS: identical outcomes; warm hit rate $HITS/$TOTAL"

@@ -1,0 +1,436 @@
+//===- service_test.cpp - Verification service unit tests ------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the corpus-scale verification service: the stable
+/// obligation hasher (cache keys), the content-addressed proof cache
+/// (round-trip through the on-disk store), the bounded thread pool,
+/// and the parallel scheduler (byte-identical reports across job
+/// counts, cache-warm reruns).
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/ProofCache.h"
+#include "service/Service.h"
+#include "smt/VcHash.h"
+#include "support/Hash.h"
+#include "support/StringUtil.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+using namespace vcdryad;
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Stable hashing
+//===----------------------------------------------------------------------===//
+
+TEST(VcHashTest, EqualTermsHashEqual) {
+  using namespace vir;
+  // Two structurally identical terms built from distinct nodes.
+  LExprRef A = mkIntLe(mkVar("x", Sort::Int),
+                       mkIntAdd(mkVar("y", Sort::Int), mkInt(1)));
+  LExprRef B = mkIntLe(mkVar("x", Sort::Int),
+                       mkIntAdd(mkVar("y", Sort::Int), mkInt(1)));
+  ASSERT_NE(A.get(), B.get());
+  EXPECT_EQ(smt::hashExpr(A), smt::hashExpr(B));
+}
+
+TEST(VcHashTest, AlphaDistinctTermsDiffer) {
+  using namespace vir;
+  // Same shape, different variable names: must not share a cache key.
+  LExprRef A = mkIntLt(mkVar("x", Sort::Int), mkInt(0));
+  LExprRef B = mkIntLt(mkVar("y", Sort::Int), mkInt(0));
+  EXPECT_NE(smt::hashExpr(A), smt::hashExpr(B));
+}
+
+TEST(VcHashTest, ArgumentOrderMatters) {
+  using namespace vir;
+  LExprRef X = mkVar("x", Sort::Int);
+  LExprRef Y = mkVar("y", Sort::Int);
+  EXPECT_NE(smt::hashExpr(mkIntLt(X, Y)), smt::hashExpr(mkIntLt(Y, X)));
+}
+
+TEST(VcHashTest, ConstantsAndSortsMatter) {
+  using namespace vir;
+  EXPECT_NE(smt::hashExpr(mkInt(1)), smt::hashExpr(mkInt(2)));
+  EXPECT_NE(smt::hashExpr(mkVar("v", Sort::Int)),
+            smt::hashExpr(mkVar("v", Sort::Loc)));
+}
+
+TEST(VcHashTest, SharedDagHashesLikeTree) {
+  using namespace vir;
+  // A guard sharing one subterm twice must hash like the unshared
+  // equivalent (content addressing, not node identity).
+  LExprRef Shared = mkIntAdd(mkVar("x", Sort::Int), mkInt(1));
+  LExprRef Dag = mkAnd(mkIntLt(Shared, mkInt(5)),
+                       mkIntLe(mkInt(0), Shared));
+  LExprRef Tree =
+      mkAnd(mkIntLt(mkIntAdd(mkVar("x", Sort::Int), mkInt(1)), mkInt(5)),
+            mkIntLe(mkInt(0), mkIntAdd(mkVar("x", Sort::Int), mkInt(1))));
+  EXPECT_EQ(smt::hashExpr(Dag), smt::hashExpr(Tree));
+}
+
+TEST(VcHashTest, ObligationKeyDependsOnSolverOptions) {
+  using namespace vir;
+  LExprRef G = mkBool(true);
+  LExprRef C = mkIntLe(mkVar("x", Sort::Int), mkVar("x", Sort::Int));
+  smt::SolverOptions A, B;
+  A.TimeoutMs = 1000;
+  B.TimeoutMs = 2000;
+  EXPECT_NE(smt::hashObligation(G, C, A), smt::hashObligation(G, C, B));
+  B.TimeoutMs = 1000;
+  EXPECT_EQ(smt::hashObligation(G, C, A), smt::hashObligation(G, C, B));
+  B.BackgroundAxioms.push_back(mkBool(true));
+  EXPECT_NE(smt::hashObligation(G, C, A), smt::hashObligation(G, C, B));
+  EXPECT_NE(smt::hashObligation(G, C, A, /*Salt=*/0),
+            smt::hashObligation(G, C, A, /*Salt=*/1));
+}
+
+TEST(VcHashTest, OptionsFingerprintSeparatesAblations) {
+  verifier::VerifyOptions Base;
+  uint64_t FP = service::optionsFingerprint(Base);
+
+  verifier::VerifyOptions NoUnfold = Base;
+  NoUnfold.Instr.Unfold = false;
+  EXPECT_NE(FP, service::optionsFingerprint(NoUnfold));
+
+  verifier::VerifyOptions Quant = Base;
+  Quant.Instr.Axioms = instr::InstrOptions::AxiomMode::Quantified;
+  EXPECT_NE(FP, service::optionsFingerprint(Quant));
+
+  verifier::VerifyOptions Timeout = Base;
+  Timeout.TimeoutMs += 1;
+  EXPECT_NE(FP, service::optionsFingerprint(Timeout));
+
+  EXPECT_EQ(FP, service::optionsFingerprint(Base));
+}
+
+TEST(HashHexTest, RoundTrip) {
+  uint64_t D = Fnv1a().str("obligation").digest();
+  std::string Hex = hashToHex(D);
+  EXPECT_EQ(Hex.size(), 16u);
+  uint64_t Back = 0;
+  ASSERT_TRUE(hashFromHex(Hex, Back));
+  EXPECT_EQ(Back, D);
+  EXPECT_FALSE(hashFromHex("xyz", Back));
+  EXPECT_FALSE(hashFromHex("XYZ0123456789abc", Back));
+}
+
+//===----------------------------------------------------------------------===//
+// CLI numeric parsing (shared helper)
+//===----------------------------------------------------------------------===//
+
+TEST(ParseUnsignedTest, AcceptsDigits) {
+  EXPECT_EQ(parseUnsigned("0"), 0ul);
+  EXPECT_EQ(parseUnsigned("60000"), 60000ul);
+}
+
+TEST(ParseUnsignedTest, RejectsMalformed) {
+  EXPECT_FALSE(parseUnsigned(""));
+  EXPECT_FALSE(parseUnsigned("abc"));
+  EXPECT_FALSE(parseUnsigned("12a"));
+  EXPECT_FALSE(parseUnsigned("-1"));
+  EXPECT_FALSE(parseUnsigned("1 "));
+  EXPECT_FALSE(parseUnsigned("99999999999999999999999999"));
+}
+
+//===----------------------------------------------------------------------===//
+// Thread pool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  std::atomic<unsigned> Count{0};
+  ThreadPool Pool(4, /*QueueCap=*/8); // Cap < tasks: submit must block.
+  for (int I = 0; I != 500; ++I)
+    Pool.submit([&Count](unsigned) { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 500u);
+  // The pool is reusable after wait().
+  Pool.submit([&Count](unsigned) { Count.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 501u);
+}
+
+TEST(ThreadPoolTest, WorkerIdsInRange) {
+  std::atomic<bool> Bad{false};
+  ThreadPool Pool(3);
+  for (int I = 0; I != 100; ++I)
+    Pool.submit([&Bad](unsigned W) {
+      if (W >= 3)
+        Bad = true;
+    });
+  Pool.wait();
+  EXPECT_FALSE(Bad.load());
+}
+
+//===----------------------------------------------------------------------===//
+// Proof cache
+//===----------------------------------------------------------------------===//
+
+class TempDirTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = fs::path(::testing::TempDir()) /
+          ("vcd_service_" +
+           std::to_string(
+               ::testing::UnitTest::GetInstance()->random_seed()) +
+           "_" + ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name());
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  void TearDown() override { fs::remove_all(Dir); }
+
+  fs::path Dir;
+};
+
+using ProofCacheTest = TempDirTest;
+
+TEST_F(ProofCacheTest, RoundTripThroughDisk) {
+  std::string CacheDir = (Dir / "cache").string();
+  smt::CheckResult Valid;
+  Valid.Status = smt::CheckStatus::Valid;
+  Valid.TimeMs = 12.5;
+  {
+    service::ProofCache Cache(CacheDir);
+    EXPECT_EQ(Cache.openError(), "");
+    EXPECT_FALSE(Cache.lookup(42)); // Miss on a fresh store.
+    Cache.store(42, Valid);
+    EXPECT_TRUE(Cache.lookup(42));
+    // flush() runs in the destructor.
+  }
+  service::ProofCache Reloaded(CacheDir);
+  EXPECT_EQ(Reloaded.size(), 1u);
+  auto Hit = Reloaded.lookup(42);
+  ASSERT_TRUE(Hit);
+  EXPECT_EQ(Hit->Status, smt::CheckStatus::Valid);
+  EXPECT_DOUBLE_EQ(Hit->TimeMs, 12.5);
+  EXPECT_FALSE(Reloaded.lookup(43));
+  service::CacheStats S = Reloaded.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+}
+
+TEST_F(ProofCacheTest, OnlyValidResultsPersist) {
+  std::string CacheDir = (Dir / "cache").string();
+  {
+    service::ProofCache Cache(CacheDir);
+    smt::CheckResult R;
+    R.Status = smt::CheckStatus::Invalid;
+    Cache.store(1, R);
+    R.Status = smt::CheckStatus::Unknown;
+    Cache.store(2, R);
+    R.Status = smt::CheckStatus::Valid;
+    Cache.store(3, R);
+    EXPECT_FALSE(Cache.lookup(1));
+    EXPECT_FALSE(Cache.lookup(2));
+    EXPECT_TRUE(Cache.lookup(3));
+  }
+  service::ProofCache Reloaded(CacheDir);
+  EXPECT_EQ(Reloaded.size(), 1u);
+}
+
+TEST_F(ProofCacheTest, CorruptLinesAreSkipped) {
+  std::string CacheDir = (Dir / "cache").string();
+  fs::create_directories(CacheDir);
+  std::ofstream Store(fs::path(CacheDir) / "proofs-v1.txt");
+  Store << "not a cache line\n"
+        << hashToHex(7) << " V 3.25\n"
+        << "0123 V torn\n";
+  Store.close();
+  service::ProofCache Cache(CacheDir);
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_TRUE(Cache.lookup(7));
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler / batch service
+//===----------------------------------------------------------------------===//
+
+class SchedulerTest : public TempDirTest {
+protected:
+  void writeFile(const char *Name, const char *Text) {
+    std::ofstream Out(Dir / Name);
+    Out << Text;
+  }
+
+  /// Three tiny programs: two that verify and one that must fail, so
+  /// the report covers both verdicts.
+  void writeCorpus() {
+    writeFile("a_min.c", R"(
+int min2(int a, int b)
+  _(ensures result <= a && result <= b)
+  _(ensures result == a || result == b)
+{
+  if (a < b)
+    return a;
+  return b;
+}
+)");
+    writeFile("b_clamp.c", R"(
+int clamp0(int a)
+  _(ensures 0 <= result)
+  _(ensures result == a || result == 0)
+{
+  if (a < 0)
+    return 0;
+  return a;
+}
+
+int add3(int a)
+  _(ensures result == a + 3)
+{
+  return a + 1 + 2;
+}
+)");
+    writeFile("c_bad.c", R"(
+int bad_abs(int a)
+  _(ensures 0 <= result)
+{
+  return a;
+}
+)");
+  }
+
+  service::BatchReport runBatch(unsigned Jobs, std::string CacheDir = "") {
+    service::ServiceOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.CacheDir = std::move(CacheDir);
+    Opts.Verify.TimeoutMs = 30000;
+    service::VerificationService Service(Opts);
+    std::string Error;
+    std::vector<std::string> Inputs =
+        service::collectBatchInputs({Dir.string()}, Error);
+    EXPECT_EQ(Error, "");
+    return Service.run(Inputs);
+  }
+};
+
+TEST_F(SchedulerTest, ReportIsByteIdenticalAcrossJobCounts) {
+  writeCorpus();
+  service::BatchReport R1 = runBatch(1);
+  service::BatchReport R8 = runBatch(8);
+  EXPECT_EQ(service::toJson(R1, /*IncludeTimes=*/false),
+            service::toJson(R8, /*IncludeTimes=*/false));
+  EXPECT_FALSE(R8.AllVerified); // c_bad.c must fail...
+  EXPECT_EQ(R8.NumFailed, 1u);
+  EXPECT_EQ(R8.NumVerified, 3u); // ...and everything else verify.
+  EXPECT_EQ(R8.Files.size(), 3u);
+}
+
+TEST_F(SchedulerTest, FunctionsReportedInSourceOrder) {
+  writeCorpus();
+  service::BatchReport R = runBatch(8);
+  ASSERT_EQ(R.Files.size(), 3u);
+  // Files sort lexicographically from the directory walk.
+  EXPECT_NE(R.Files[0].Path.find("a_min.c"), std::string::npos);
+  ASSERT_EQ(R.Files[1].Functions.size(), 2u);
+  EXPECT_EQ(R.Files[1].Functions[0].Result.Name, "clamp0");
+  EXPECT_EQ(R.Files[1].Functions[1].Result.Name, "add3");
+  EXPECT_EQ(R.Files[1].Functions[1].Result.SourceIndex, 1u);
+}
+
+TEST_F(SchedulerTest, WarmRerunIsAllCacheHits) {
+  writeCorpus();
+  std::string CacheDir = (Dir / "cache").string();
+  service::BatchReport Cold = runBatch(4, CacheDir);
+  EXPECT_EQ(Cold.Cache.Hits, 0u);
+  EXPECT_GT(Cold.Cache.Stores, 0u);
+  service::BatchReport Warm = runBatch(4, CacheDir);
+  // Every Valid obligation hits; only c_bad's failing VC re-solves.
+  EXPECT_GE(Warm.Cache.Hits, Cold.Cache.Stores);
+  EXPECT_LE(Warm.Cache.Misses, 1u);
+  EXPECT_EQ(Warm.Cache.Stores, 0u);
+  // Warm verdicts match cold verdicts exactly.
+  EXPECT_EQ(service::toJson(Warm, false).find("\"hits\""),
+            service::toJson(Cold, false).find("\"hits\""));
+  ASSERT_EQ(Warm.Files.size(), Cold.Files.size());
+  for (size_t I = 0; I != Warm.Files.size(); ++I) {
+    ASSERT_EQ(Warm.Files[I].Functions.size(),
+              Cold.Files[I].Functions.size());
+    for (size_t J = 0; J != Warm.Files[I].Functions.size(); ++J)
+      EXPECT_EQ(Warm.Files[I].Functions[J].Result.Verified,
+                Cold.Files[I].Functions[J].Result.Verified);
+  }
+}
+
+TEST_F(SchedulerTest, ManifestExpansion) {
+  writeCorpus();
+  std::ofstream Manifest(Dir / "corpus.txt");
+  Manifest << "# tiny corpus\n"
+           << "a_min.c\n"
+           << "b_clamp.c\n";
+  Manifest.close();
+  std::string Error;
+  std::vector<std::string> Inputs = service::collectBatchInputs(
+      {(Dir / "corpus.txt").string()}, Error);
+  EXPECT_EQ(Error, "");
+  ASSERT_EQ(Inputs.size(), 2u);
+  EXPECT_NE(Inputs[0].find("a_min.c"), std::string::npos);
+
+  // Missing entries are an error, not a silent skip.
+  std::ofstream BadManifest(Dir / "bad.txt");
+  BadManifest << "no_such_file.c\n";
+  BadManifest.close();
+  Inputs =
+      service::collectBatchInputs({(Dir / "bad.txt").string()}, Error);
+  EXPECT_TRUE(Inputs.empty());
+  EXPECT_NE(Error.find("no_such_file.c"), std::string::npos);
+}
+
+TEST_F(SchedulerTest, FrontendErrorsAreReportedPerFile) {
+  writeFile("broken.c", "int f( { not C at all\n");
+  writeFile("ok.c", R"(
+int id1(int a)
+  _(ensures result == a)
+{
+  return a;
+}
+)");
+  service::BatchReport R = runBatch(4);
+  ASSERT_EQ(R.Files.size(), 2u);
+  EXPECT_FALSE(R.AllVerified);
+  EXPECT_EQ(R.NumFrontendErrors, 1u);
+  EXPECT_FALSE(R.Files[0].Ok);
+  EXPECT_NE(R.Files[0].Error, "");
+  EXPECT_TRUE(R.Files[1].Ok);
+  EXPECT_TRUE(R.Files[1].Functions[0].Result.Verified);
+}
+
+//===----------------------------------------------------------------------===//
+// ProgramResult source-order determinism (satellite)
+//===----------------------------------------------------------------------===//
+
+TEST(ProgramResultTest, SortBySourceRestoresSourceOrder) {
+  verifier::ProgramResult R;
+  verifier::FunctionResult F;
+  F.Name = "third";
+  F.SourceIndex = 2;
+  R.Functions.push_back(F);
+  F.Name = "first";
+  F.SourceIndex = 0;
+  R.Functions.push_back(F);
+  F.Name = "second";
+  F.SourceIndex = 1;
+  R.Functions.push_back(F);
+  R.sortBySource();
+  EXPECT_EQ(R.Functions[0].Name, "first");
+  EXPECT_EQ(R.Functions[1].Name, "second");
+  EXPECT_EQ(R.Functions[2].Name, "third");
+  ASSERT_NE(R.function("second"), nullptr);
+  EXPECT_EQ(R.function("second")->SourceIndex, 1u);
+}
+
+} // namespace
