@@ -1,0 +1,150 @@
+//===- vc_preprocess.cpp - Preprocessing engine A/B harness ----------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-VC solver-time comparison of the preprocessing engine: every
+/// routine of the selected suites is verified twice —
+///   baseline:     no simplification, no slicing, no timeout ladder
+///                 (one-shot full guard per VC at the full budget)
+///   preprocessed: simplify + slice + scoped sessions + ladder
+/// — and the harness reports per-function solver times, per-VC
+/// speedups and the median per-VC solver-time reduction (the ISSUE's
+/// acceptance metric). Pass suite directory names (e.g. `sll afwp`)
+/// to select suites; default is a representative positive mix.
+///
+/// Usage: vc_preprocess [--timeout=<ms>] [--fast-timeout=<ms>] [suite...]
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace vcdryad;
+using namespace vcdryad::verifier;
+
+namespace {
+
+/// Sums the pure solver time of a function (excludes front-end and
+/// scheduling overhead, which preprocessing also shrinks but which
+/// the acceptance metric does not count).
+double solverMs(const FunctionResult &F) {
+  double Ms = 0.0;
+  for (const VCStat &St : F.VCStats)
+    Ms += St.SolveTimeMs;
+  return Ms;
+}
+
+double median(std::vector<double> V) {
+  if (V.empty())
+    return 0.0;
+  std::sort(V.begin(), V.end());
+  size_t N = V.size();
+  return N % 2 ? V[N / 2] : (V[N / 2 - 1] + V[N / 2]) / 2.0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned TimeoutMs = 60000;
+  unsigned FastTimeoutMs = 5000;
+  std::vector<std::string> SuiteDirs;
+  for (int I = 1; I != Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--timeout=", 0) == 0)
+      TimeoutMs = static_cast<unsigned>(std::atoi(A.c_str() + 10));
+    else if (A.rfind("--fast-timeout=", 0) == 0)
+      FastTimeoutMs = static_cast<unsigned>(std::atoi(A.c_str() + 15));
+    else
+      SuiteDirs.push_back(A);
+  }
+  if (SuiteDirs.empty())
+    SuiteDirs = {"sll", "sorted", "afwp"};
+
+  VerifyOptions Base;
+  Base.TimeoutMs = TimeoutMs;
+  Base.Preprocess = false;
+  Base.Slice = false;
+  Base.FastTimeoutMs = 0;
+
+  VerifyOptions Pre;
+  Pre.TimeoutMs = TimeoutMs;
+  Pre.FastTimeoutMs = FastTimeoutMs;
+
+  std::printf("%-24s %-28s %5s %10s %10s %7s %5s\n", "Suite", "Routine",
+              "VCs", "base(ms)", "pre(ms)", "speedup", "esc");
+  std::printf("%.*s\n", 96,
+              "-----------------------------------------------------------"
+              "-------------------------------------");
+
+  // Per-VC baseline/preprocessed time ratios; the acceptance metric is
+  // the median of these.
+  std::vector<double> Ratios;
+  double BaseTotal = 0.0, PreTotal = 0.0;
+  int VerdictMismatches = 0;
+
+  for (const std::string &Dir : SuiteDirs) {
+    vcdbench::Suite S{Dir.c_str(), Dir.c_str()};
+    bool First = true;
+    for (const std::string &File : vcdbench::suiteFiles(S)) {
+      ProgramResult RB = Verifier(Base).verifyFile(File);
+      ProgramResult RP = Verifier(Pre).verifyFile(File);
+      if (!RB.Ok || !RP.Ok) {
+        std::printf("%-24s %-28s frontend error\n", First ? Dir.c_str() : "",
+                    File.c_str());
+        First = false;
+        continue;
+      }
+      for (size_t FI = 0; FI != RB.Functions.size(); ++FI) {
+        const FunctionResult &FB = RB.Functions[FI];
+        const FunctionResult *FP = RP.function(FB.Name);
+        if (!FP)
+          continue;
+        if (FB.Verified != FP->Verified)
+          ++VerdictMismatches;
+        double B = solverMs(FB), P = solverMs(*FP);
+        BaseTotal += B;
+        PreTotal += P;
+        for (size_t K = 0;
+             K != FB.VCStats.size() && K != FP->VCStats.size(); ++K) {
+          double VB = FB.VCStats[K].SolveTimeMs;
+          double VP = FP->VCStats[K].SolveTimeMs;
+          // Sub-millisecond VCs are noise either way; skip them so the
+          // median reflects obligations the solver actually worked on.
+          if (VB >= 1.0)
+            Ratios.push_back(VB / std::max(VP, 0.01));
+        }
+        std::printf("%-24s %-28s %5u %10.1f %10.1f %6.2fx %5u%s\n",
+                    First ? Dir.c_str() : "", FB.Name.c_str(), FB.NumVCs, B,
+                    P, B / std::max(P, 0.01), FP->Escalations,
+                    FB.Verified != FP->Verified ? "  VERDICT MISMATCH"
+                                                : "");
+        std::fflush(stdout);
+        First = false;
+      }
+    }
+  }
+
+  std::printf("%.*s\n", 96,
+              "-----------------------------------------------------------"
+              "-------------------------------------");
+  std::printf("total solver time: baseline %.1f ms, preprocessed %.1f ms "
+              "(%.2fx)\n",
+              BaseTotal, PreTotal, BaseTotal / std::max(PreTotal, 0.01));
+  std::printf("median per-VC speedup (VCs with >= 1 ms baseline): %.2fx "
+              "over %zu VCs\n",
+              median(Ratios), Ratios.size());
+  if (VerdictMismatches) {
+    std::printf("FAIL: %d verdict mismatches between configs\n",
+                VerdictMismatches);
+    return 1;
+  }
+  return 0;
+}

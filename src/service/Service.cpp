@@ -112,12 +112,20 @@ service::collectBatchInputs(const std::vector<std::string> &Operands,
 
 namespace {
 
-/// Result slot for one obligation; written by exactly one pool task,
-/// read only after the pool drains (the pool's queue mutex provides
-/// the happens-before edge).
+/// Result slot for one obligation; written by exactly one pool task
+/// per wave, read only after the pool drains (the pool's queue mutex
+/// provides the happens-before edge).
 struct VCSlot {
   bool Solved = false;
   smt::CheckResult R;
+  /// Canonical cache key (full guard, full budget); computed during
+  /// the fast pass so escalation stores without re-hashing.
+  uint64_t Key = 0;
+  /// Time spent on this obligation in the fast session pass.
+  double FastMs = 0.0;
+  bool Trivial = false;   ///< Settled without any solver call.
+  bool Escalated = false; ///< Fast pass failed to settle it.
+  bool FromCache = false;
 };
 
 /// Scheduler-side state of one function's obligations.
@@ -218,7 +226,21 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
     return *WS.Solver;
   };
 
-  auto solveOne = [&](unsigned W, FuncJob &J, int Idx) {
+  // The timeout-escalation ladder: a per-function fast pass (scoped
+  // incremental session, sliced guards, short budget) settles the
+  // easy majority; anything it cannot prove is re-checked one-shot,
+  // unsliced, at the full budget. Fast answers are only trusted when
+  // Valid (slicing weakens guards; the short budget yields unknowns),
+  // so final verdicts equal a run without the ladder.
+  const unsigned FastTimeout = Opts.Verify.FastTimeoutMs;
+  const bool Ladder =
+      FastTimeout > 0 && FastTimeout < Opts.Verify.TimeoutMs;
+
+  /// One-shot full-budget check of one obligation (Idx < 0: the
+  /// vacuity probe). \p CacheLookup is false for escalations — their
+  /// miss was already counted by the fast pass, which also stored
+  /// nothing (so the warm-rerun hit-rate contract is preserved).
+  auto solveOne = [&](unsigned W, FuncJob &J, int Idx, bool CacheLookup) {
     vir::LExprRef Guard, Goal;
     if (Idx < 0) {
       Guard = J.VacuityProbe->Guard;
@@ -231,24 +253,30 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
       Goal = VC.Cond;
     }
     smt::CheckResult CR;
-    bool FromCache = false;
+    uint64_t Key = 0;
     if (Cache) {
-      uint64_t Key = smt::hashObligation(Guard, Goal,
-                                         FileSolverOpts[J.FileIdx],
-                                         Fingerprint);
+      Key = Idx >= 0 && J.Slots[Idx].Key
+                ? J.Slots[Idx].Key
+                : smt::hashObligation(Guard, Goal, FileSolverOpts[J.FileIdx],
+                                      Fingerprint);
+    }
+    bool Solve = true;
+    if (Cache && CacheLookup) {
       if (auto Hit = Cache->lookup(Key)) {
         CR = *Hit;
-        FromCache = true;
+        Solve = false;
+        if (Idx >= 0)
+          J.Slots[Idx].FromCache = true;
         J.Hits.fetch_add(1, std::memory_order_relaxed);
       } else {
         J.Misses.fetch_add(1, std::memory_order_relaxed);
-        CR = solverFor(W, J.FileIdx).checkValid(Guard, Goal);
-        Cache->store(Key, CR);
       }
-    } else {
-      CR = solverFor(W, J.FileIdx).checkValid(Guard, Goal);
     }
-    (void)FromCache;
+    if (Solve) {
+      CR = solverFor(W, J.FileIdx).checkValid(Guard, Goal);
+      if (Cache)
+        Cache->store(Key, CR);
+    }
     VCSlot &S = Idx < 0 ? J.Vacuity : J.Slots[Idx];
     S.Solved = true;
     S.R = std::move(CR);
@@ -257,15 +285,112 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
       J.Cancelled.store(true, std::memory_order_relaxed);
   };
 
-  for (FuncJob &J : Jobs2) {
-    if (J.VacuityProbe)
-      Pool.submit([&solveOne, &J](unsigned W) { solveOne(W, J, -1); });
-    for (size_t K = 0; K != J.Slots.size(); ++K)
-      Pool.submit([&solveOne, &J, K](unsigned W) {
-        solveOne(W, J, static_cast<int>(K));
-      });
+  /// Fast pass over one whole function: trivial short-circuits and
+  /// cache hits first, then a single incremental session for the
+  /// rest. Only Valid session answers settle slots.
+  auto fastFunc = [&](unsigned W, FuncJob &J) {
+    const std::vector<vir::VC> &VCs = J.FO->VCs;
+    std::vector<size_t> Need;
+    for (size_t K = 0; K != VCs.size(); ++K) {
+      const vir::VC &VC = VCs[K];
+      VCSlot &S = J.Slots[K];
+      if (verifier::Verifier::triviallyValid(VC)) {
+        // No solver and no cache traffic: the verdict is syntactic.
+        S.Solved = true;
+        S.Trivial = true;
+        S.R.Status = smt::CheckStatus::Valid;
+        continue;
+      }
+      if (Cache) {
+        S.Key = smt::hashObligation(VC.Guard, VC.Cond,
+                                    FileSolverOpts[J.FileIdx], Fingerprint);
+        if (auto Hit = Cache->lookup(S.Key)) {
+          S.R = *Hit;
+          S.Solved = true;
+          S.FromCache = true;
+          J.Hits.fetch_add(1, std::memory_order_relaxed);
+          if (S.R.Status != smt::CheckStatus::Valid &&
+              Opts.Verify.StopAtFirstFailure)
+            J.Cancelled.store(true, std::memory_order_relaxed);
+          continue;
+        }
+        J.Misses.fetch_add(1, std::memory_order_relaxed);
+      }
+      Need.push_back(K);
+    }
+    if (Need.empty())
+      return;
+    smt::SmtSolver &Solver = solverFor(W, J.FileIdx);
+    size_t PrefixLen = verifier::Verifier::commonGuardPrefix(VCs);
+    std::vector<vir::LExprRef> Prefix(
+        VCs.front().Conjuncts.begin(),
+        VCs.front().Conjuncts.begin() + PrefixLen);
+    Solver.beginSession(Prefix, FastTimeout);
+    for (size_t K : Need) {
+      if (J.Cancelled.load(std::memory_order_relaxed))
+        break; // Slots stay unsolved; the escalation wave skips them too.
+      const vir::VC &VC = VCs[K];
+      VCSlot &S = J.Slots[K];
+      smt::CheckResult CR = Solver.checkSession(
+          verifier::Verifier::sessionExtras(VC, PrefixLen), VC.Cond);
+      S.FastMs = CR.TimeMs;
+      if (CR.Status == smt::CheckStatus::Valid) {
+        // Valid under a weaker guard and shorter budget is Valid for
+        // the canonical obligation, so the cache may keep it under
+        // the canonical key.
+        S.Solved = true;
+        S.R = std::move(CR);
+        if (Cache)
+          Cache->store(S.Key, S.R);
+      }
+    }
+    Solver.endSession();
+  };
+
+  if (Ladder) {
+    // Wave 2a — vacuity probes (always full-guard, full-budget: they
+    // test guard satisfiability, which slicing would change) and the
+    // per-function fast sessions.
+    for (FuncJob &J : Jobs2) {
+      if (J.VacuityProbe)
+        Pool.submit(
+            [&solveOne, &J](unsigned W) { solveOne(W, J, -1, true); });
+      Pool.submit([&fastFunc, &J](unsigned W) { fastFunc(W, J); });
+    }
+    Pool.wait();
+    // Wave 2b — escalations, one task per *function* running its
+    // unsettled obligations serially in VC order: the first failure
+    // stops the function's remaining escalations deterministically
+    // (racing them as individual tasks wastes full-budget solves
+    // after a failure). Submitted after the barrier: ThreadPool's
+    // bounded queue forbids submitting from worker threads.
+    for (FuncJob &J : Jobs2) {
+      bool Any = false;
+      for (size_t K = 0; K != J.Slots.size(); ++K)
+        if (!J.Slots[K].Solved) {
+          J.Slots[K].Escalated = true;
+          Any = true;
+        }
+      if (Any)
+        Pool.submit([&solveOne, &J](unsigned W) {
+          for (size_t K = 0; K != J.Slots.size(); ++K)
+            if (!J.Slots[K].Solved)
+              solveOne(W, J, static_cast<int>(K), false);
+        });
+    }
+    Pool.wait();
+  } else {
+    for (FuncJob &J : Jobs2) {
+      if (J.VacuityProbe)
+        Pool.submit(
+            [&solveOne, &J](unsigned W) { solveOne(W, J, -1, true); });
+      for (size_t K = 0; K != J.Slots.size(); ++K)
+        Pool.submit([&solveOne, &J, K](unsigned W) {
+          solveOne(W, J, static_cast<int>(K), true);
+        });
+    }
+    Pool.wait();
   }
-  Pool.wait();
 
   // Aggregation — strictly in source order (files as given, functions
   // and VCs as planned); completion order cannot influence the report.
@@ -304,9 +429,13 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
       }
       for (size_t K = 0; K != J.Slots.size(); ++K) {
         const VCSlot &S = J.Slots[K];
-        if (!S.Solved)
+        if (!S.Solved) {
+          R.TimeMs += S.FastMs; // Fast-pass attempt of a cancelled VC.
           continue; // Cancelled after an earlier observed failure.
+        }
         R.TimeMs += S.R.TimeMs;
+        if (S.Escalated)
+          R.TimeMs += S.FastMs; // The unsuccessful fast attempt.
         if (S.R.Status != smt::CheckStatus::Valid) {
           R.Verified = false;
           const vir::VC &VC = J.FO->VCs[K];
@@ -316,6 +445,26 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
             break;
         }
       }
+      R.VCStats.resize(J.Slots.size());
+      for (size_t K = 0; K != J.Slots.size(); ++K) {
+        const VCSlot &S = J.Slots[K];
+        const vir::VC &VC = J.FO->VCs[K];
+        verifier::VCStat &St = R.VCStats[K];
+        St.Reason = VC.Reason;
+        St.AssumesTotal = static_cast<unsigned>(VC.Conjuncts.size());
+        St.AssumesSliced = static_cast<unsigned>(
+            VC.Preprocessed ? VC.Sliced.size() : VC.Conjuncts.size());
+        St.SolveTimeMs =
+            S.FastMs + (S.Escalated && S.Solved ? S.R.TimeMs : 0.0);
+        if (S.Solved && !S.Escalated && !S.Trivial && !S.FromCache)
+          St.SolveTimeMs = S.R.TimeMs;
+        St.Escalated = S.Escalated;
+        St.Trivial = S.Trivial;
+        if (S.Escalated)
+          ++R.Escalations;
+      }
+      R.EffectiveTimeoutMs =
+          Ladder && R.Escalations == 0 ? FastTimeout : Opts.Verify.TimeoutMs;
       Fn.CacheHits = J.Hits.load();
       Fn.CacheMisses = J.Misses.load();
       FR.TimeMs += R.TimeMs;
@@ -522,8 +671,28 @@ std::string service::toJson(const BatchReport &Rep, bool IncludeTimes) {
       W.close("}");
       W.field("cache_hits", static_cast<uint64_t>(Fn.CacheHits));
       W.field("cache_misses", static_cast<uint64_t>(Fn.CacheMisses));
-      if (IncludeTimes)
+      if (IncludeTimes) {
         W.fieldMs("time_ms", R.TimeMs);
+        // Ladder diagnostics. Whether a VC settles inside the fast
+        // budget is timing-dependent, so everything here lives behind
+        // IncludeTimes with the other nondeterministic fields.
+        W.field("effective_timeout_ms",
+                static_cast<uint64_t>(R.EffectiveTimeoutMs));
+        W.field("escalations", static_cast<uint64_t>(R.Escalations));
+        W.openKey("vc_stats", "[");
+        for (const verifier::VCStat &St : R.VCStats) {
+          W.openElem();
+          W.field("reason", St.Reason);
+          W.field("assumes_total", static_cast<uint64_t>(St.AssumesTotal));
+          W.field("assumes_sliced",
+                  static_cast<uint64_t>(St.AssumesSliced));
+          W.fieldMs("solve_ms", St.SolveTimeMs);
+          W.field("escalated", St.Escalated);
+          W.field("trivial", St.Trivial);
+          W.close("}");
+        }
+        W.close("]");
+      }
       W.openKey("failures", "[");
       for (const verifier::VCOutcome &O : R.Failures) {
         W.openElem();

@@ -58,13 +58,46 @@ class SmtSolver {
 public:
   virtual ~SmtSolver() = default;
 
-  /// Checks that \p Guard entails \p Goal (both Bool-sorted).
+  /// Checks that \p Guard entails \p Goal (both Bool-sorted). Ends
+  /// any active incremental session first (the two modes share the
+  /// lowering cache).
   virtual CheckResult checkValid(const vir::LExprRef &Guard,
                                  const vir::LExprRef &Goal) = 0;
 
   /// Renders Guard ∧ ¬Goal as SMT-LIB2 text (debugging, `--smtlib`).
   virtual std::string toSmtLib(const vir::LExprRef &Guard,
                                const vir::LExprRef &Goal) = 0;
+
+  //===--------------------------------------------------------------------===//
+  // Incremental sessions
+  //
+  // The obligations of one function share a long guard prefix (VC
+  // generation appends assumptions in program order). A session
+  // asserts that prefix (and the background axioms) once into a
+  // persistent scoped solver; each obligation is then checked under
+  // push/pop, adding only its own extra conjuncts and negated goal.
+  // Solver parameters are set once per session, not per check.
+  //
+  // Contract: the caller must keep every expression passed to the
+  // session alive until endSession() — lowered terms are memoized by
+  // node address for the session's duration. Session checks skip
+  // counterexample model extraction (they are the fast pass of the
+  // escalation ladder; a confirming checkValid produces the model).
+  //===--------------------------------------------------------------------===//
+
+  /// Starts a session asserting \p Prefix once. \p TimeoutMs is the
+  /// per-check budget (0 means the constructor-time default). Any
+  /// previous session is ended.
+  virtual void beginSession(const std::vector<vir::LExprRef> &Prefix,
+                            unsigned TimeoutMs) = 0;
+
+  /// Checks that prefix ∧ \p Extra entails \p Goal under push/pop.
+  /// Returns Unknown if no session is active.
+  virtual CheckResult checkSession(const std::vector<vir::LExprRef> &Extra,
+                                   const vir::LExprRef &Goal) = 0;
+
+  /// Tears down the session solver and the lowering memo.
+  virtual void endSession() = 0;
 };
 
 std::unique_ptr<SmtSolver> createZ3Solver(const SolverOptions &Opts = {});

@@ -15,90 +15,33 @@ using namespace vcdryad;
 using namespace vcdryad::smt;
 using namespace vcdryad::vir;
 
-namespace {
-
-/// Hash of one node given its children's hashes. The serialization is
-/// (op, sort, name, intval, arity, child digests) — child order
-/// matters, so Implies(a,b) and Implies(b,a) differ.
-uint64_t hashNode(const LExpr &E, const std::vector<uint64_t> &Kids) {
-  Fnv1a H;
-  H.u64(static_cast<uint64_t>(E.Op));
-  H.u64(static_cast<uint64_t>(E.ExprSort));
-  H.str(E.Name);
-  H.i64(E.IntVal);
-  H.u64(Kids.size());
-  for (uint64_t K : Kids)
-    H.u64(K);
-  return H.digest();
-}
-
-/// Iterative post-order with per-node memoization. VC guards are flat
-/// conjunctions over a heavily shared DAG: memoization keeps the walk
-/// linear in distinct nodes, and the explicit stack keeps deep
-/// Store/Select chains from overflowing the call stack.
-class ExprHasher {
-public:
-  uint64_t hash(const LExprRef &Root) {
-    struct Frame {
-      const LExpr *Node;
-      size_t NextChild = 0;
-      std::vector<uint64_t> Kids;
-    };
-    std::vector<Frame> Stack;
-    Stack.push_back(Frame{Root.get(), 0, {}});
-    uint64_t Result = 0;
-    while (!Stack.empty()) {
-      Frame &F = Stack.back();
-      if (F.NextChild < F.Node->Args.size()) {
-        const LExpr *Child = F.Node->Args[F.NextChild].get();
-        auto It = Memo.find(Child);
-        if (It != Memo.end()) {
-          F.Kids.push_back(It->second);
-          ++F.NextChild;
-        } else {
-          Stack.push_back(Frame{Child, 0, {}});
-        }
-        continue;
-      }
-      uint64_t D = hashNode(*F.Node, F.Kids);
-      Memo.emplace(F.Node, D);
-      Result = D;
-      Stack.pop_back();
-      if (!Stack.empty()) {
-        Stack.back().Kids.push_back(D);
-        ++Stack.back().NextChild;
-      }
-    }
-    return Result;
-  }
-
-private:
-  std::unordered_map<const LExpr *, uint64_t> Memo;
-};
-
-} // namespace
+// Expression hashing delegates to vir::stableExprHash: interned nodes
+// carry their content digest (same (op, sort, name, intval, arity,
+// child digests) serialization, computed once at intern time), so the
+// common case is O(1) instead of a full DAG walk. Legacy un-interned
+// nodes fall back to the memoized iterative walk inside
+// stableExprHash, which produces the identical digest — cache keys are
+// unchanged from the pre-interning scheme.
 
 uint64_t smt::hashExpr(const LExprRef &E) {
-  return ExprHasher().hash(E);
+  return vir::stableExprHash(E);
 }
 
 uint64_t smt::hashSolverOptions(const SolverOptions &Opts) {
   Fnv1a H;
   H.u64(Opts.TimeoutMs);
   H.u64(Opts.BackgroundAxioms.size());
-  ExprHasher Hasher; // One memo across axioms (they share subterms).
   for (const LExprRef &Ax : Opts.BackgroundAxioms)
-    H.u64(Hasher.hash(Ax));
+    H.u64(vir::stableExprHash(Ax));
   return H.digest();
 }
 
 uint64_t smt::hashObligation(const LExprRef &Guard, const LExprRef &Goal,
                              const SolverOptions &Opts, uint64_t Salt) {
-  ExprHasher Hasher; // Guard and goal share the passified DAG.
   Fnv1a H;
   H.u64(Salt);
-  H.u64(Hasher.hash(Guard));
-  H.u64(Hasher.hash(Goal));
+  H.u64(vir::stableExprHash(Guard));
+  H.u64(vir::stableExprHash(Goal));
   H.u64(hashSolverOptions(Opts));
   return H.digest();
 }

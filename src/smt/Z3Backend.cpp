@@ -48,7 +48,12 @@ public:
     return R;
   }
 
-  void clearNodeCache() { Cache.clear(); }
+  void clearNodeCache() {
+    Cache.clear();
+    // Restart fresh-name numbering with the cache: queries become
+    // deterministic functions of their VC instead of the solve order.
+    FreshCounter = 0;
+  }
 
 private:
   z3::context &Ctx;
@@ -304,6 +309,7 @@ public:
     CheckResult R;
     // LExpr nodes are cached by address; addresses are recycled across
     // queries, so the per-node cache must not outlive one check.
+    endSession();
     Lower.clearNodeCache();
     try {
       z3::solver S(Ctx);
@@ -339,7 +345,77 @@ public:
     return R;
   }
 
+  void beginSession(const std::vector<LExprRef> &Prefix,
+                    unsigned TimeoutMs) override {
+    endSession();
+    try {
+      Session = std::make_unique<z3::solver>(Ctx);
+      // Parameters are set once here, for every check of the session.
+      z3::params P(Ctx);
+      P.set("timeout", TimeoutMs ? TimeoutMs : Opts.TimeoutMs);
+      Session->set(P);
+      for (const LExprRef &Ax : Opts.BackgroundAxioms)
+        Session->add(Lower.lower(Ax));
+      for (const LExprRef &C : Prefix)
+        Session->add(Lower.lower(C));
+    } catch (const z3::exception &) {
+      // A broken session answers Unknown to every check; the
+      // escalation ladder re-checks those one-shot.
+      Session.reset();
+      Lower.clearNodeCache();
+    }
+  }
+
+  CheckResult checkSession(const std::vector<LExprRef> &Extra,
+                           const LExprRef &Goal) override {
+    Timer T;
+    CheckResult R;
+    if (!Session) {
+      R.Detail = "no active session";
+      R.TimeMs = T.millis();
+      return R;
+    }
+    try {
+      Session->push();
+      for (const LExprRef &C : Extra)
+        Session->add(Lower.lower(C));
+      Session->add(!Lower.lower(Goal));
+      switch (Session->check()) {
+      case z3::unsat:
+        R.Status = CheckStatus::Valid;
+        break;
+      case z3::sat:
+        // No model extraction: session answers feed the escalation
+        // ladder, and the confirming one-shot check produces the
+        // counterexample text.
+        R.Status = CheckStatus::Invalid;
+        break;
+      case z3::unknown:
+        R.Status = CheckStatus::Unknown;
+        R.Detail = Session->reason_unknown();
+        break;
+      }
+      Session->pop();
+    } catch (const z3::exception &Ex) {
+      R.Status = CheckStatus::Unknown;
+      R.Detail = std::string("z3 error: ") + Ex.msg();
+      endSession(); // Scope depth is unknown now; do not reuse.
+    }
+    R.TimeMs = T.millis();
+    return R;
+  }
+
+  void endSession() override {
+    if (!Session)
+      return;
+    Session.reset();
+    // Session lowerings memoize by node address; those nodes may die
+    // with the caller's plan, so the memo must not outlive them.
+    Lower.clearNodeCache();
+  }
+
   std::string toSmtLib(const LExprRef &Guard, const LExprRef &Goal) override {
+    endSession();
     Lower.clearNodeCache();
     try {
       z3::solver S(Ctx);
@@ -357,6 +433,7 @@ private:
   SolverOptions Opts;
   z3::context Ctx;
   Z3Lowering Lower;
+  std::unique_ptr<z3::solver> Session;
 };
 
 } // namespace

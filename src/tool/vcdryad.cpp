@@ -47,6 +47,12 @@ void printUsage() {
       "options:\n"
       "  --only=<fn>          verify a single function\n"
       "  --timeout=<ms>       per-VC solver timeout (default 60000)\n"
+      "  --fast-timeout=<ms>  budget of the fast incremental pass;\n"
+      "                       unsettled VCs escalate to --timeout\n"
+      "                       unsliced (default 5000; 0 disables the\n"
+      "                       ladder)\n"
+      "  --no-preprocess      skip VC simplification (and slicing)\n"
+      "  --no-slice           keep full guards in the fast pass\n"
       "  --keep-going         report all failing VCs, not just the first\n"
       "  --check-vacuity      flag functions whose ghost assumptions\n"
       "                       are unsatisfiable (vacuous proofs)\n"
@@ -122,6 +128,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       if (!parseUnsignedFlag("--timeout", A.substr(10),
                              Cli.Verify.TimeoutMs))
         return false;
+    } else if (StartsWith("--fast-timeout=")) {
+      if (!parseUnsignedFlag("--fast-timeout", A.substr(15),
+                             Cli.Verify.FastTimeoutMs))
+        return false;
+    } else if (A == "--no-preprocess") {
+      // Without simplification there is no slicing either: Sliced
+      // cone computation assumes simplified, flattened conjuncts.
+      Cli.Verify.Preprocess = false;
+      Cli.Verify.Slice = false;
+    } else if (A == "--no-slice") {
+      Cli.Verify.Slice = false;
     } else if (StartsWith("--jobs=")) {
       if (!parseUnsignedFlag("--jobs", A.substr(7), Cli.Jobs))
         return false;

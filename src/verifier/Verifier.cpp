@@ -10,6 +10,7 @@
 #include "cfront/Parser.h"
 #include "support/Timer.h"
 #include "vir/Passify.h"
+#include "vir/Simplify.h"
 
 #include <algorithm>
 
@@ -102,6 +103,8 @@ ProgramPlan Verifier::planProgram(cfront::Program &Prog,
     }
     vir::Procedure Passive = vir::passify(Proc);
     FO.VCs = vir::generateVCs(Passive);
+    if (Opts.Preprocess)
+      vir::preprocessVCs(FO.VCs, Opts.Slice);
     Plan.Functions.push_back(std::move(FO));
   }
   Plan.Ok = true;
@@ -129,6 +132,41 @@ const vir::VC *Verifier::vacuityProbe(const std::vector<vir::VC> &VCs) {
   return &VCs.front();
 }
 
+size_t Verifier::commonGuardPrefix(const std::vector<vir::VC> &VCs) {
+  if (VCs.empty())
+    return 0;
+  size_t Len = VCs.front().Conjuncts.size();
+  for (const vir::VC &VC : VCs) {
+    size_t K = 0;
+    size_t Max = std::min(Len, VC.Conjuncts.size());
+    while (K < Max &&
+           VC.Conjuncts[K].get() == VCs.front().Conjuncts[K].get())
+      ++K;
+    Len = K;
+    if (Len == 0)
+      break;
+  }
+  return Len;
+}
+
+bool Verifier::triviallyValid(const vir::VC &VC) {
+  return VC.Cond->isBoolConst(true) || VC.Guard->isBoolConst(false);
+}
+
+std::vector<vir::LExprRef> Verifier::sessionExtras(const vir::VC &VC,
+                                                   size_t PrefixLen) {
+  std::vector<vir::LExprRef> Extra;
+  if (VC.Preprocessed) {
+    for (uint32_t I : VC.Sliced)
+      if (I >= PrefixLen)
+        Extra.push_back(VC.Conjuncts[I]);
+  } else {
+    for (size_t I = PrefixLen, N = VC.Conjuncts.size(); I < N; ++I)
+      Extra.push_back(VC.Conjuncts[I]);
+  }
+  return Extra;
+}
+
 FunctionResult Verifier::checkFunction(const FunctionObligations &FO,
                                        smt::SmtSolver &Solver) const {
   Timer T;
@@ -140,6 +178,9 @@ FunctionResult Verifier::checkFunction(const FunctionObligations &FO,
 
   FR.Verified = true;
   if (Opts.CheckVacuity) {
+    // Vacuity probes the satisfiability of the *full* guard — slicing
+    // or a short budget would change the question, so this is always
+    // a one-shot full-budget check.
     if (const vir::VC *Probe = vacuityProbe(FO.VCs)) {
       smt::CheckResult CR =
           Solver.checkValid(Probe->Guard, vir::mkBool(false));
@@ -152,8 +193,63 @@ FunctionResult Verifier::checkFunction(const FunctionObligations &FO,
       }
     }
   }
-  for (const vir::VC &VC : FO.VCs) {
+
+  size_t N = FO.VCs.size();
+  std::vector<char> Settled(N, 0);
+  FR.VCStats.resize(N);
+  for (size_t I = 0; I != N; ++I) {
+    const vir::VC &VC = FO.VCs[I];
+    VCStat &St = FR.VCStats[I];
+    St.Reason = VC.Reason;
+    St.AssumesTotal = static_cast<unsigned>(VC.Conjuncts.size());
+    St.AssumesSliced = static_cast<unsigned>(
+        VC.Preprocessed ? VC.Sliced.size() : VC.Conjuncts.size());
+    if (triviallyValid(VC)) {
+      St.Trivial = true;
+      Settled[I] = 1;
+    }
+  }
+
+  // Fast pass: one scoped session for the whole function, shared
+  // guard prefix asserted once, each obligation checked sliced under
+  // push/pop at the short budget. Only Valid answers settle here —
+  // sliced guards are weaker, so Valid transfers to the full VC,
+  // while sat/unknown may be artifacts of slicing or the budget.
+  bool FastPass = Opts.FastTimeoutMs > 0 &&
+                  Opts.FastTimeoutMs < Opts.TimeoutMs && N > 0;
+  if (FastPass) {
+    size_t PrefixLen = commonGuardPrefix(FO.VCs);
+    std::vector<vir::LExprRef> Prefix(
+        FO.VCs.front().Conjuncts.begin(),
+        FO.VCs.front().Conjuncts.begin() + PrefixLen);
+    Solver.beginSession(Prefix, Opts.FastTimeoutMs);
+    for (size_t I = 0; I != N; ++I) {
+      if (Settled[I])
+        continue;
+      const vir::VC &VC = FO.VCs[I];
+      smt::CheckResult CR =
+          Solver.checkSession(sessionExtras(VC, PrefixLen), VC.Cond);
+      FR.VCStats[I].SolveTimeMs += CR.TimeMs;
+      if (CR.Status == smt::CheckStatus::Valid)
+        Settled[I] = 1;
+    }
+    Solver.endSession();
+  }
+
+  // Escalation / baseline pass, in VC order: anything unsettled is
+  // checked one-shot against the full guard at the full budget, so
+  // final verdicts (and StopAtFirstFailure behavior) are identical to
+  // a run without the ladder.
+  for (size_t I = 0; I != N; ++I) {
+    if (Settled[I])
+      continue;
+    const vir::VC &VC = FO.VCs[I];
     smt::CheckResult CR = Solver.checkValid(VC.Guard, VC.Cond);
+    FR.VCStats[I].SolveTimeMs += CR.TimeMs;
+    if (FastPass) {
+      FR.VCStats[I].Escalated = true;
+      ++FR.Escalations;
+    }
     if (CR.Status != smt::CheckStatus::Valid) {
       FR.Verified = false;
       FR.Failures.push_back(
@@ -162,6 +258,10 @@ FunctionResult Verifier::checkFunction(const FunctionObligations &FO,
         break;
     }
   }
+
+  FR.EffectiveTimeoutMs = FastPass && FR.Escalations == 0
+                              ? Opts.FastTimeoutMs
+                              : Opts.TimeoutMs;
   FR.TimeMs = T.millis();
   return FR;
 }

@@ -41,6 +41,22 @@ struct VerifyOptions {
   bool CheckVacuity = false;
   /// Only verify the named function (empty: all with bodies).
   std::string OnlyFunction;
+  /// Simplify VC formulas after planning (constant folding, and/or
+  /// flattening, conjunct dedup). Equivalence-preserving: verdicts
+  /// are identical with this on or off.
+  bool Preprocess = true;
+  /// Slice each obligation's guard to the cone of influence of its
+  /// goal for the fast pass. Sliced guards are weaker, so Valid
+  /// transfers to the full guard; non-Valid fast answers are
+  /// re-checked unsliced at the full budget (see FastTimeoutMs).
+  bool Slice = true;
+  /// Per-check budget (ms) of the fast incremental pass: one scoped
+  /// solver session per function, shared guard prefix asserted once,
+  /// each obligation checked sliced under push/pop. Obligations the
+  /// fast pass cannot prove escalate to a one-shot unsliced check at
+  /// TimeoutMs, so final verdicts match the non-laddered run. 0
+  /// disables the fast pass (every VC solves one-shot at TimeoutMs).
+  unsigned FastTimeoutMs = 5000;
 };
 
 /// Outcome of one proof obligation.
@@ -50,6 +66,24 @@ struct VCOutcome {
   smt::CheckStatus Status = smt::CheckStatus::Unknown;
   double TimeMs = 0.0;
   std::string Detail;
+};
+
+/// Per-obligation preprocessing and solving statistics.
+struct VCStat {
+  std::string Reason;
+  /// Guard conjuncts available (after simplification).
+  unsigned AssumesTotal = 0;
+  /// Guard conjuncts in the goal's cone of influence (== AssumesTotal
+  /// when slicing is off).
+  unsigned AssumesSliced = 0;
+  /// Total solver time across ladder rungs for this obligation.
+  double SolveTimeMs = 0.0;
+  /// The fast pass could not settle this VC; it was re-checked
+  /// one-shot, unsliced, at the full budget.
+  bool Escalated = false;
+  /// Settled without any solver call (goal simplified to true, or
+  /// guard to false).
+  bool Trivial = false;
 };
 
 struct FunctionResult {
@@ -64,6 +98,14 @@ struct FunctionResult {
   instr::AnnotationStats Annotations;
   /// Failed/unknown obligations (empty when Verified).
   std::vector<VCOutcome> Failures;
+  /// The budget (ms) the function's verdicts were produced at: the
+  /// fast budget when the fast pass settled everything, else the full
+  /// timeout (some obligation escalated or the ladder was off).
+  unsigned EffectiveTimeoutMs = 0;
+  /// Number of obligations that escalated past the fast pass.
+  unsigned Escalations = 0;
+  /// Per-obligation stats, in VC order.
+  std::vector<VCStat> VCStats;
 };
 
 struct ProgramResult {
@@ -145,6 +187,21 @@ public:
   /// intentional `assume false` sealing return paths), else the first.
   /// Null when there are no VCs.
   static const vir::VC *vacuityProbe(const std::vector<vir::VC> &VCs);
+
+  /// Length of the longest guard-conjunct prefix shared node-for-node
+  /// by every VC in the list — what a session asserts once. 0 when
+  /// the list is empty.
+  static size_t commonGuardPrefix(const std::vector<vir::VC> &VCs);
+
+  /// True when the obligation settles without a solver call: its goal
+  /// simplified to true, or its guard to false.
+  static bool triviallyValid(const vir::VC &VC);
+
+  /// The conjuncts a session check adds beyond the first \p PrefixLen
+  /// shared ones: the sliced conjuncts past the prefix when the VC is
+  /// preprocessed, else everything past the prefix.
+  static std::vector<vir::LExprRef> sessionExtras(const vir::VC &VC,
+                                                  size_t PrefixLen);
 
   const VerifyOptions &options() const { return Opts; }
 

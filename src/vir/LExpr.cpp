@@ -6,37 +6,164 @@
 
 #include "vir/LExpr.h"
 
+#include "support/Hash.h"
+
+#include <atomic>
 #include <cassert>
+#include <mutex>
+#include <unordered_map>
 
 using namespace vcdryad;
 using namespace vcdryad::vir;
 
-static LExprRef makeNode(LOp Op, Sort S, std::vector<LExprRef> Args) {
-  auto Node = std::make_shared<LExpr>(Op, S);
-  Node->Args = std::move(Args);
-  return Node;
+//===----------------------------------------------------------------------===//
+// Hash-consing arena
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Digest of one node given already-hashed children. This is the
+/// canonical expression serialization — (op, sort, name, constant,
+/// arity, child digests) — shared with smt::hashExpr through
+/// stableExprHash, so intern-time digests double as proof-cache keys.
+uint64_t nodeDigest(LOp Op, Sort S, const std::string &Name, int64_t IntVal,
+                    const std::vector<LExprRef> &Args) {
+  Fnv1a H;
+  H.u64(static_cast<uint64_t>(Op));
+  H.u64(static_cast<uint64_t>(S));
+  H.str(Name);
+  H.i64(IntVal);
+  H.u64(Args.size());
+  for (const LExprRef &A : Args)
+    H.u64(stableExprHash(A));
+  return H.digest();
 }
 
+/// The global intern table: weak entries keyed by content digest,
+/// sharded to keep the parallel front ends (one planFile task per
+/// file) off a single lock. Entries are weak so the arena never
+/// extends node lifetimes; expired entries are pruned lazily on
+/// bucket scans and by periodic per-shard sweeps.
+class InternArena {
+public:
+  LExprRef intern(LOp Op, Sort S, std::string Name, int64_t IntVal,
+                  std::vector<LExprRef> Args) {
+    // Hash-consing needs children to be canonical: if any child
+    // escaped the arena (legacy direct construction), structural
+    // uniqueness can not be promised for the parent either, so build
+    // a plain un-interned node (Id stays 0).
+    bool Canonical = true;
+    for (const LExprRef &A : Args)
+      Canonical &= A->isInterned();
+    uint64_t D = nodeDigest(Op, S, Name, IntVal, Args);
+    if (!Canonical) {
+      auto Node = std::make_shared<LExpr>(Op, S);
+      Node->Name = std::move(Name);
+      Node->IntVal = IntVal;
+      Node->Args = std::move(Args);
+      Node->StableHash = D;
+      return Node;
+    }
+
+    Shard &Sh = Shards[D % NumShards];
+    std::lock_guard<std::mutex> Lock(Sh.Mu);
+    auto [B, E] = Sh.Table.equal_range(D);
+    for (auto It = B; It != E;) {
+      if (LExprRef N = It->second.lock()) {
+        if (shallowEqual(*N, Op, S, Name, IntVal, Args)) {
+          DedupHits.fetch_add(1, std::memory_order_relaxed);
+          return N;
+        }
+        ++It;
+      } else {
+        It = Sh.Table.erase(It);
+      }
+    }
+    auto Node = std::make_shared<LExpr>(Op, S);
+    Node->Name = std::move(Name);
+    Node->IntVal = IntVal;
+    Node->Args = std::move(Args);
+    Node->Id = NextId.fetch_add(1, std::memory_order_relaxed);
+    Node->StableHash = D;
+    Sh.Table.emplace(D, Node);
+    Constructed.fetch_add(1, std::memory_order_relaxed);
+    if (++Sh.InsertsSinceSweep >= SweepPeriod) {
+      Sh.InsertsSinceSweep = 0;
+      for (auto It = Sh.Table.begin(); It != Sh.Table.end();)
+        It = It->second.expired() ? Sh.Table.erase(It) : std::next(It);
+    }
+    return Node;
+  }
+
+  InternStats stats() const {
+    InternStats S;
+    S.Constructed = Constructed.load();
+    S.DedupHits = DedupHits.load();
+    for (const Shard &Sh : Shards) {
+      std::lock_guard<std::mutex> Lock(Sh.Mu);
+      for (const auto &[K, W] : Sh.Table)
+        if (!W.expired())
+          ++S.Live;
+    }
+    return S;
+  }
+
+private:
+  static bool shallowEqual(const LExpr &N, LOp Op, Sort S,
+                           const std::string &Name, int64_t IntVal,
+                           const std::vector<LExprRef> &Args) {
+    if (N.Op != Op || N.ExprSort != S || N.IntVal != IntVal ||
+        N.Name != Name || N.Args.size() != Args.size())
+      return false;
+    for (size_t I = 0, E = Args.size(); I != E; ++I)
+      if (N.Args[I].get() != Args[I].get()) // Children are canonical.
+        return false;
+    return true;
+  }
+
+  static constexpr size_t NumShards = 64;
+  static constexpr uint64_t SweepPeriod = 4096;
+  struct Shard {
+    mutable std::mutex Mu;
+    std::unordered_multimap<uint64_t, std::weak_ptr<const LExpr>> Table;
+    uint64_t InsertsSinceSweep = 0;
+  };
+  Shard Shards[NumShards];
+  std::atomic<uint64_t> NextId{1};
+  std::atomic<uint64_t> Constructed{0};
+  std::atomic<uint64_t> DedupHits{0};
+};
+
+/// Leaked singleton: LExprRefs held in static storage elsewhere may be
+/// destroyed after any static arena, so the arena must never die.
+InternArena &arena() {
+  static InternArena *A = new InternArena;
+  return *A;
+}
+
+LExprRef makeNode(LOp Op, Sort S, std::vector<LExprRef> Args) {
+  return arena().intern(Op, S, std::string(), 0, std::move(Args));
+}
+
+} // namespace
+
+InternStats vir::internStats() { return arena().stats(); }
+
 LExprRef vir::mkVar(std::string Name, Sort S) {
-  auto Node = std::make_shared<LExpr>(LOp::Var, S);
-  Node->Name = std::move(Name);
-  return Node;
+  return arena().intern(LOp::Var, S, std::move(Name), 0, {});
 }
 
 LExprRef vir::mkInt(int64_t V) {
-  auto Node = std::make_shared<LExpr>(LOp::IntConst, Sort::Int);
-  Node->IntVal = V;
-  return Node;
+  return arena().intern(LOp::IntConst, Sort::Int, std::string(), V, {});
 }
 
 LExprRef vir::mkBool(bool B) {
-  auto Node = std::make_shared<LExpr>(LOp::BoolConst, Sort::Bool);
-  Node->IntVal = B ? 1 : 0;
-  return Node;
+  return arena().intern(LOp::BoolConst, Sort::Bool, std::string(),
+                        B ? 1 : 0, {});
 }
 
 LExprRef vir::mkNil() {
-  return std::make_shared<LExpr>(LOp::NilConst, Sort::Loc);
+  return arena().intern(LOp::NilConst, Sort::Loc, std::string(), 0, {});
 }
 
 LExprRef vir::mkAnd(std::vector<LExprRef> Conjuncts) {
@@ -203,10 +330,8 @@ LExprRef vir::mkSetCmp(LOp Op, LExprRef A, LExprRef B) {
 
 LExprRef vir::mkApp(std::string Name, Sort RetSort,
                     std::vector<LExprRef> Args) {
-  auto Node = std::make_shared<LExpr>(LOp::FuncApp, RetSort);
-  Node->Name = std::move(Name);
-  Node->Args = std::move(Args);
-  return Node;
+  return arena().intern(LOp::FuncApp, RetSort, std::move(Name), 0,
+                        std::move(Args));
 }
 
 LExprRef vir::mkForall(std::vector<LExprRef> BoundVars, LExprRef Body) {
@@ -218,16 +343,82 @@ LExprRef vir::mkForall(std::vector<LExprRef> BoundVars, LExprRef Body) {
   return makeNode(LOp::Forall, Sort::Bool, std::move(Args));
 }
 
+namespace {
+
+/// Fallback structural comparison for pairs involving un-interned
+/// nodes, memoized on node-address pairs so shared DAGs stay linear.
+bool structEqMemo(
+    const LExprRef &A, const LExprRef &B,
+    std::map<std::pair<const LExpr *, const LExpr *>, bool> &Memo) {
+  if (A.get() == B.get())
+    return true;
+  // Live interned nodes are unique per structure: different node,
+  // different structure.
+  if (A->isInterned() && B->isInterned())
+    return false;
+  if (stableExprHash(A) != stableExprHash(B))
+    return false;
+  auto Key = std::make_pair(A.get(), B.get());
+  auto It = Memo.find(Key);
+  if (It != Memo.end())
+    return It->second;
+  bool Eq = A->Op == B->Op && A->ExprSort == B->ExprSort &&
+            A->Name == B->Name && A->IntVal == B->IntVal &&
+            A->Args.size() == B->Args.size();
+  for (size_t I = 0, E = A->Args.size(); Eq && I != E; ++I)
+    Eq = structEqMemo(A->Args[I], B->Args[I], Memo);
+  Memo.emplace(Key, Eq);
+  return Eq;
+}
+
+} // namespace
+
 bool vir::structurallyEqual(const LExprRef &A, const LExprRef &B) {
   if (A.get() == B.get())
     return true;
-  if (A->Op != B->Op || A->ExprSort != B->ExprSort || A->Name != B->Name ||
-      A->IntVal != B->IntVal || A->Args.size() != B->Args.size())
+  if (A->isInterned() && B->isInterned())
     return false;
-  for (size_t I = 0, E = A->Args.size(); I != E; ++I)
-    if (!structurallyEqual(A->Args[I], B->Args[I]))
-      return false;
-  return true;
+  std::map<std::pair<const LExpr *, const LExpr *>, bool> Memo;
+  return structEqMemo(A, B, Memo);
+}
+
+uint64_t vir::stableExprHash(const LExprRef &E) {
+  if (E->StableHash != 0)
+    return E->StableHash;
+  // Legacy un-interned DAG (direct LExpr construction): iterative
+  // post-order walk memoized by address, so shared subterms are
+  // digested once.
+  std::unordered_map<const LExpr *, uint64_t> Memo;
+  std::vector<std::pair<const LExprRef *, bool>> Stack;
+  Stack.push_back({&E, false});
+  while (!Stack.empty()) {
+    auto [Cur, ChildrenDone] = Stack.back();
+    const LExpr &N = **Cur;
+    if (N.StableHash != 0 || Memo.count(&N)) {
+      Stack.pop_back();
+      continue;
+    }
+    if (!ChildrenDone) {
+      Stack.back().second = true;
+      for (const LExprRef &A : N.Args)
+        Stack.push_back({&A, false});
+      continue;
+    }
+    Stack.pop_back();
+    Fnv1a H;
+    H.u64(static_cast<uint64_t>(N.Op));
+    H.u64(static_cast<uint64_t>(N.ExprSort));
+    H.str(N.Name);
+    H.i64(N.IntVal);
+    H.u64(N.Args.size());
+    for (const LExprRef &A : N.Args) {
+      auto It = Memo.find(A.get());
+      H.u64(It != Memo.end() ? It->second : A->StableHash);
+    }
+    Memo.emplace(&N, H.digest());
+  }
+  auto It = Memo.find(E.get());
+  return It != Memo.end() ? It->second : E->StableHash;
 }
 
 LExprRef vir::substitute(const LExprRef &E,
@@ -263,11 +454,12 @@ LExprRef vir::substitute(const LExprRef &E,
   }
   if (!Changed)
     return E;
-  auto Node = std::make_shared<LExpr>(E->Op, E->ExprSort);
-  Node->Name = E->Name;
-  Node->IntVal = E->IntVal;
-  Node->Args = std::move(NewArgs);
-  return Node;
+  return rebuild(E, std::move(NewArgs));
+}
+
+LExprRef vir::rebuild(const LExprRef &E, std::vector<LExprRef> NewArgs) {
+  return arena().intern(E->Op, E->ExprSort, E->Name, E->IntVal,
+                        std::move(NewArgs));
 }
 
 void vir::visit(const LExprRef &E,

@@ -80,7 +80,11 @@ enum class LOp {
 };
 
 /// An immutable, shared expression node. Build only through the mk*
-/// factories, which sort-check their operands with assertions.
+/// factories, which sort-check their operands with assertions and
+/// hash-cons the result: structurally identical factory calls return
+/// the *same* node, so structural equality degenerates to pointer
+/// equality and DAG consumers (hashing, Z3 lowering, slicing) memoize
+/// by address with perfect sharing.
 class LExpr {
 public:
   LOp Op;
@@ -89,10 +93,23 @@ public:
   int64_t IntVal = 0;        ///< For IntConst / BoolConst (0 or 1).
   std::vector<LExprRef> Args;
 
+  /// Interning metadata, set by the arena in LExpr.cpp. Id is nonzero
+  /// exactly for interned nodes and is unique per live structure: two
+  /// live interned nodes are structurally equal iff they are the same
+  /// node. StableHash is the content digest (FNV-1a over op, sort,
+  /// name, constant and child digests) — identical across runs and
+  /// platforms, so it is safe to persist as a proof-cache key.
+  uint64_t Id = 0;
+  uint64_t StableHash = 0;
+
   LExpr(LOp Op, Sort S) : Op(Op), ExprSort(S) {}
 
   Sort sort() const { return ExprSort; }
   bool isVar() const { return Op == LOp::Var; }
+  bool isInterned() const { return Id != 0; }
+  bool isBoolConst(bool B) const {
+    return Op == LOp::BoolConst && (IntVal != 0) == B;
+  }
 
   /// Renders as an S-expression, for debugging and the VC dumper.
   std::string str() const;
@@ -146,8 +163,30 @@ LExprRef mkApp(std::string Name, Sort RetSort, std::vector<LExprRef> Args);
 /// Universal quantification over \p BoundVars (all must be Var nodes).
 LExprRef mkForall(std::vector<LExprRef> BoundVars, LExprRef Body);
 
-/// Structural equality (same ops, names, constants, children).
+/// Rebuilds \p E with \p NewArgs as children (op, sort, name and
+/// constant preserved) through the interning arena. The generic
+/// helper for structure-preserving rewrites (passification,
+/// substitution, simplification).
+LExprRef rebuild(const LExprRef &E, std::vector<LExprRef> NewArgs);
+
+/// Structural equality (same ops, names, constants, children). O(1)
+/// for interned nodes (pointer identity); a memoized structural walk
+/// remains as the fallback for legacy un-interned nodes.
 bool structurallyEqual(const LExprRef &A, const LExprRef &B);
+
+/// Content hash of \p E, stable across runs and platforms: the
+/// intern-time digest when available (O(1)), else a memoized
+/// iterative structural walk. Equal structures hash equal;
+/// alpha-distinct terms differ by design.
+uint64_t stableExprHash(const LExprRef &E);
+
+/// Counters of the hash-consing arena (diagnostics and tests).
+struct InternStats {
+  uint64_t Constructed = 0; ///< Nodes actually allocated.
+  uint64_t DedupHits = 0;   ///< Factory calls answered by an existing node.
+  uint64_t Live = 0;        ///< Interned nodes currently alive.
+};
+InternStats internStats();
 
 /// Capture-free substitution of variables by expressions.
 LExprRef substitute(const LExprRef &E,

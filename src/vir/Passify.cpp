@@ -82,11 +82,7 @@ private:
     }
     if (!Changed)
       return E;
-    auto Node = std::make_shared<LExpr>(E->Op, E->ExprSort);
-    Node->Name = E->Name;
-    Node->IntVal = E->IntVal;
-    Node->Args = std::move(NewArgs);
-    return Node;
+    return rebuild(E, std::move(NewArgs));
   }
 
   Block passifyBlock(const Block &B, VersionMap &VM) {

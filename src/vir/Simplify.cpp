@@ -1,0 +1,297 @@
+//===- Simplify.cpp - VC simplification ------------------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vir/Simplify.h"
+
+#include "vir/Slice.h"
+
+#include <cassert>
+#include <unordered_set>
+
+using namespace vcdryad;
+using namespace vcdryad::vir;
+
+namespace {
+
+bool isIntConst(const LExprRef &E) { return E->Op == LOp::IntConst; }
+bool isEmptySet(const LExprRef &E) { return E->Op == LOp::EmptySet; }
+
+/// Wrap-around arithmetic through uint64_t: signed overflow is UB,
+/// and VC constants may be adversarial.
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+
+} // namespace
+
+LExprRef Simplifier::simpNot(LExprRef A) {
+  if (A->Op == LOp::BoolConst)
+    return mkBool(!A->IntVal);
+  if (A->Op == LOp::Not)
+    return A->Args[0];
+  return mkNot(std::move(A));
+}
+
+LExprRef Simplifier::simplify(const LExprRef &E) {
+  auto It = Memo.find(E.get());
+  if (It != Memo.end())
+    return It->second;
+  std::vector<LExprRef> Args;
+  Args.reserve(E->Args.size());
+  for (const LExprRef &A : E->Args)
+    Args.push_back(simplify(A));
+  LExprRef R = applyRules(E, std::move(Args));
+  Memo.emplace(E.get(), R);
+  return R;
+}
+
+LExprRef Simplifier::applyRules(const LExprRef &E,
+                                std::vector<LExprRef> Args) {
+  // Falls through to this when no rule fires: rebuild only if a child
+  // changed, else keep the original node (and its intern identity).
+  auto Keep = [&]() -> LExprRef {
+    for (size_t I = 0, N = Args.size(); I != N; ++I)
+      if (Args[I].get() != E->Args[I].get())
+        return rebuild(E, std::move(Args));
+    return E;
+  };
+
+  switch (E->Op) {
+  case LOp::And:
+  case LOp::Or: {
+    // Flatten one level (children are already simplified, hence
+    // already flat), drop units, short-circuit on the absorbing
+    // constant, and dedup by node identity — interned nodes make that
+    // structural dedup.
+    bool IsAnd = E->Op == LOp::And;
+    std::vector<LExprRef> Flat;
+    std::unordered_set<const LExpr *> Seen;
+    for (LExprRef &A : Args) {
+      if (A->isBoolConst(!IsAnd))
+        return mkBool(!IsAnd); // false in And / true in Or.
+      if (A->isBoolConst(IsAnd))
+        continue; // true in And / false in Or.
+      if (A->Op == E->Op) {
+        for (const LExprRef &C : A->Args)
+          if (Seen.insert(C.get()).second)
+            Flat.push_back(C);
+      } else if (Seen.insert(A.get()).second) {
+        Flat.push_back(std::move(A));
+      }
+    }
+    return IsAnd ? mkAnd(std::move(Flat)) : mkOr(std::move(Flat));
+  }
+
+  case LOp::Not:
+    return simpNot(std::move(Args[0]));
+
+  case LOp::Implies: {
+    LExprRef &A = Args[0], &B = Args[1];
+    if (A->isBoolConst(true))
+      return B;
+    if (A->isBoolConst(false) || B->isBoolConst(true) || A.get() == B.get())
+      return mkBool(true);
+    if (B->isBoolConst(false))
+      return simpNot(std::move(A));
+    return Keep();
+  }
+
+  case LOp::Ite: {
+    LExprRef &C = Args[0], &T = Args[1], &El = Args[2];
+    if (C->isBoolConst(true))
+      return T;
+    if (C->isBoolConst(false))
+      return El;
+    if (T.get() == El.get())
+      return T;
+    if (E->sort() == Sort::Bool) {
+      if (T->isBoolConst(true) && El->isBoolConst(false))
+        return C;
+      if (T->isBoolConst(false) && El->isBoolConst(true))
+        return simpNot(std::move(C));
+    }
+    return Keep();
+  }
+
+  case LOp::Eq: {
+    LExprRef &A = Args[0], &B = Args[1];
+    if (A.get() == B.get())
+      return mkBool(true);
+    if (isIntConst(A) && isIntConst(B))
+      return mkBool(A->IntVal == B->IntVal);
+    if (A->sort() == Sort::Bool) {
+      // Interned distinct BoolConsts cannot be equal nodes, so at
+      // most one side is constant here.
+      if (A->Op == LOp::BoolConst)
+        return A->IntVal ? B : simpNot(std::move(B));
+      if (B->Op == LOp::BoolConst)
+        return B->IntVal ? A : simpNot(std::move(A));
+    }
+    return Keep();
+  }
+
+  case LOp::IntLt:
+    if (Args[0].get() == Args[1].get())
+      return mkBool(false);
+    if (isIntConst(Args[0]) && isIntConst(Args[1]))
+      return mkBool(Args[0]->IntVal < Args[1]->IntVal);
+    return Keep();
+
+  case LOp::IntLe:
+    if (Args[0].get() == Args[1].get())
+      return mkBool(true);
+    if (isIntConst(Args[0]) && isIntConst(Args[1]))
+      return mkBool(Args[0]->IntVal <= Args[1]->IntVal);
+    return Keep();
+
+  case LOp::IntAdd:
+    if (isIntConst(Args[0]) && isIntConst(Args[1]))
+      return mkInt(wrapAdd(Args[0]->IntVal, Args[1]->IntVal));
+    if (isIntConst(Args[0]) && Args[0]->IntVal == 0)
+      return Args[1];
+    if (isIntConst(Args[1]) && Args[1]->IntVal == 0)
+      return Args[0];
+    return Keep();
+
+  case LOp::IntSub:
+    if (isIntConst(Args[0]) && isIntConst(Args[1]))
+      return mkInt(wrapSub(Args[0]->IntVal, Args[1]->IntVal));
+    if (isIntConst(Args[1]) && Args[1]->IntVal == 0)
+      return Args[0];
+    if (Args[0].get() == Args[1].get())
+      return mkInt(0);
+    return Keep();
+
+  case LOp::Select:
+    // select(store(a, l, v), l) == v, by node identity on l.
+    if (Args[0]->Op == LOp::Store &&
+        Args[0]->Args[1].get() == Args[1].get())
+      return Args[0]->Args[2];
+    return Keep();
+
+  case LOp::Union:
+    // Pointwise + on multisets: Union(x, x) is 2x there, so the
+    // idempotence rule is gated to true sets. Empty is the unit for
+    // both interpretations.
+    if (isEmptySet(Args[0]))
+      return Args[1];
+    if (isEmptySet(Args[1]))
+      return Args[0];
+    if (Args[0].get() == Args[1].get() && E->sort() != Sort::MSetInt)
+      return Args[0];
+    return Keep();
+
+  case LOp::Inter:
+    // Pointwise min on multisets: idempotent there too.
+    if (isEmptySet(Args[0]) || isEmptySet(Args[1]))
+      return mkEmptySet(E->sort());
+    if (Args[0].get() == Args[1].get())
+      return Args[0];
+    return Keep();
+
+  case LOp::Minus:
+    // Pointwise monus on multisets: x - x = 0 = empty there too.
+    if (isEmptySet(Args[0]) || Args[0].get() == Args[1].get())
+      return mkEmptySet(E->sort());
+    if (isEmptySet(Args[1]))
+      return Args[0];
+    return Keep();
+
+  case LOp::Member:
+    if (isEmptySet(Args[1]))
+      return mkBool(false);
+    // member(e, {x}) == (e = x); count >= 1 for multiset singletons
+    // means exactly the same thing.
+    if (Args[1]->Op == LOp::Singleton)
+      return mkEq(Args[0], Args[1]->Args[0]);
+    return Keep();
+
+  case LOp::Subset:
+    // Empty (the all-zeroes multiset) is below everything.
+    if (isEmptySet(Args[0]) || Args[0].get() == Args[1].get())
+      return mkBool(true);
+    return Keep();
+
+  case LOp::SetLeSet:
+  case LOp::SetLtSet:
+    // Vacuously true when either side is empty.
+    if (isEmptySet(Args[0]) || isEmptySet(Args[1]))
+      return mkBool(true);
+    return Keep();
+
+  case LOp::SetLeInt:
+  case LOp::SetLtInt:
+    if (isEmptySet(Args[0]))
+      return mkBool(true);
+    return Keep();
+
+  case LOp::IntLeSet:
+  case LOp::IntLtSet:
+    if (isEmptySet(Args[1]))
+      return mkBool(true);
+    return Keep();
+
+  case LOp::Forall:
+    if (Args.back()->isBoolConst(true))
+      return mkBool(true);
+    return Keep();
+
+  default:
+    return Keep();
+  }
+}
+
+LExprRef vir::simplify(const LExprRef &E) {
+  return Simplifier().simplify(E);
+}
+
+void vir::preprocessVCs(std::vector<VC> &VCs, bool Slice) {
+  Simplifier S; // Shared memo: obligations share the passified DAG.
+  for (VC &V : VCs) {
+    std::vector<LExprRef> Out;
+    std::unordered_set<const LExpr *> Seen;
+    bool GuardFalse = false;
+    Out.reserve(V.Conjuncts.size());
+    for (const LExprRef &C : V.Conjuncts) {
+      LExprRef SC = S.simplify(C);
+      if (SC->isBoolConst(true))
+        continue;
+      if (SC->isBoolConst(false)) {
+        GuardFalse = true;
+        break;
+      }
+      if (SC->Op == LOp::And) {
+        // Flatten so slicing sees the individual facts; keeps
+        // conjunct order (and thus shared prefixes) intact.
+        for (const LExprRef &C2 : SC->Args)
+          if (Seen.insert(C2.get()).second)
+            Out.push_back(C2);
+      } else if (Seen.insert(SC.get()).second) {
+        Out.push_back(std::move(SC));
+      }
+    }
+    if (GuardFalse) {
+      Out.clear();
+      Out.push_back(mkBool(false));
+    }
+    V.Conjuncts = std::move(Out);
+    V.Cond = S.simplify(V.Cond);
+    V.Guard = mkAnd(V.Conjuncts);
+    if (Slice && !GuardFalse && !V.Cond->isBoolConst(true)) {
+      V.Sliced = sliceConjuncts(V.Conjuncts, V.Cond);
+    } else {
+      V.Sliced.resize(V.Conjuncts.size());
+      for (uint32_t I = 0, N = V.Conjuncts.size(); I != N; ++I)
+        V.Sliced[I] = I;
+    }
+    V.Preprocessed = true;
+  }
+}

@@ -1,0 +1,59 @@
+//===- Simplify.h - VC simplification ---------------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Equivalence-preserving simplification of passified VC formulas:
+/// constant folding, and/or flattening and deduplication,
+/// double-negation and ite-of-bool elimination, plus a handful of
+/// ground set-theory reductions (empty-set units, vacuous set-order
+/// atoms). Every rewrite preserves logical equivalence, so verdicts
+/// are unchanged; running it before hashing lets the proof cache hit
+/// across syntactic variants of the same obligation, and smaller
+/// formulas lower to smaller Z3 queries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_VIR_SIMPLIFY_H
+#define VCDRYAD_VIR_SIMPLIFY_H
+
+#include "vir/WpGen.h"
+
+#include <unordered_map>
+
+namespace vcdryad {
+namespace vir {
+
+/// Bottom-up simplifier with a per-instance memo. Reuse one instance
+/// across the obligations of a function: their guards share the
+/// passified DAG, so each distinct node is simplified once.
+class Simplifier {
+public:
+  /// Returns an equivalent, usually smaller expression. Idempotent:
+  /// simplify(simplify(E)) == simplify(E) node-for-node.
+  LExprRef simplify(const LExprRef &E);
+
+private:
+  LExprRef applyRules(const LExprRef &E, std::vector<LExprRef> Args);
+  LExprRef simpNot(LExprRef A);
+
+  std::unordered_map<const LExpr *, LExprRef> Memo;
+};
+
+/// One-shot convenience wrapper.
+LExprRef simplify(const LExprRef &E);
+
+/// Preprocesses the obligations of one function in place: simplifies
+/// every guard conjunct and goal (sharing one memo across the batch),
+/// flattens and deduplicates the conjunct vectors preserving prefix
+/// order, rebuilds Guard, and populates Sliced — the cone of
+/// influence of the goal when \p Slice is set, else all indices.
+/// Marks each VC Preprocessed.
+void preprocessVCs(std::vector<VC> &VCs, bool Slice);
+
+} // namespace vir
+} // namespace vcdryad
+
+#endif // VCDRYAD_VIR_SIMPLIFY_H

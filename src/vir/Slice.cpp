@@ -1,0 +1,87 @@
+//===- Slice.cpp - Cone-of-influence obligation slicing --------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vir/Slice.h"
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace vcdryad;
+using namespace vcdryad::vir;
+
+namespace {
+
+/// Collects the symbols of \p E: variable names as-is, uninterpreted
+/// function names tagged with a prefix no identifier can carry.
+/// Function names count as symbols because two conjuncts can interact
+/// purely through a function's interpretation (e.g. a ground fact
+/// about sll(nil) and a goal unfolding sll at a variable).
+void collectSymbols(const LExprRef &E,
+                    std::unordered_set<std::string> &Out) {
+  std::unordered_set<const LExpr *> Visited;
+  std::vector<const LExpr *> Stack{E.get()};
+  while (!Stack.empty()) {
+    const LExpr *N = Stack.back();
+    Stack.pop_back();
+    if (!Visited.insert(N).second)
+      continue;
+    if (N->Op == LOp::Var)
+      Out.insert(N->Name);
+    else if (N->Op == LOp::FuncApp)
+      Out.insert("\x01" + N->Name);
+    for (const LExprRef &A : N->Args)
+      Stack.push_back(A.get());
+  }
+}
+
+} // namespace
+
+std::vector<uint32_t>
+vir::sliceConjuncts(const std::vector<LExprRef> &Conjuncts,
+                    const LExprRef &Goal) {
+  size_t N = Conjuncts.size();
+  std::vector<std::unordered_set<std::string>> ConjSyms(N);
+  std::unordered_map<std::string, std::vector<uint32_t>> SymToConj;
+  for (size_t I = 0; I != N; ++I) {
+    collectSymbols(Conjuncts[I], ConjSyms[I]);
+    for (const std::string &S : ConjSyms[I])
+      SymToConj[S].push_back(static_cast<uint32_t>(I));
+  }
+
+  std::vector<char> Included(N, 0);
+  std::unordered_set<std::string> Reached;
+  std::vector<std::string> Worklist;
+  collectSymbols(Goal, Reached);
+  Worklist.assign(Reached.begin(), Reached.end());
+
+  // Ground conjuncts are kept unconditionally (see header).
+  for (size_t I = 0; I != N; ++I)
+    if (ConjSyms[I].empty())
+      Included[I] = 1;
+
+  while (!Worklist.empty()) {
+    std::string Sym = std::move(Worklist.back());
+    Worklist.pop_back();
+    auto It = SymToConj.find(Sym);
+    if (It == SymToConj.end())
+      continue;
+    for (uint32_t Idx : It->second) {
+      if (Included[Idx])
+        continue;
+      Included[Idx] = 1;
+      for (const std::string &S : ConjSyms[Idx])
+        if (Reached.insert(S).second)
+          Worklist.push_back(S);
+    }
+  }
+
+  std::vector<uint32_t> Result;
+  for (uint32_t I = 0; I != N; ++I)
+    if (Included[I])
+      Result.push_back(I);
+  return Result;
+}

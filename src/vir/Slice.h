@@ -1,0 +1,45 @@
+//===- Slice.h - Cone-of-influence obligation slicing -----------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-obligation guard slicing. A VC's guard is a conjunction of
+/// assumptions, most of which (unfoldings of other structures, facts
+/// about dead program paths) are irrelevant to any one goal. The
+/// slice keeps exactly the conjuncts that share a symbol — a variable
+/// or an uninterpreted function name — with the goal, transitively
+/// through other kept conjuncts.
+///
+/// Soundness: the sliced guard is a *subset* of the conjuncts, i.e. a
+/// logically weaker assumption. If the goal holds under the weaker
+/// guard it holds under the full guard, so Valid verdicts transfer.
+/// The converse does not hold — a counterexample to the sliced VC may
+/// be excluded by a dropped conjunct — so non-Valid answers must be
+/// confirmed against the full guard (the verifier's escalation ladder
+/// does this automatically).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_VIR_SLICE_H
+#define VCDRYAD_VIR_SLICE_H
+
+#include "vir/LExpr.h"
+
+#include <vector>
+
+namespace vcdryad {
+namespace vir {
+
+/// Returns the indices (ascending) of the conjuncts in the cone of
+/// influence of \p Goal. Ground conjuncts (no symbols at all) are
+/// always kept: they are tiny, and dropping a ground contradiction
+/// would manufacture spurious escalations.
+std::vector<uint32_t> sliceConjuncts(const std::vector<LExprRef> &Conjuncts,
+                                     const LExprRef &Goal);
+
+} // namespace vir
+} // namespace vcdryad
+
+#endif // VCDRYAD_VIR_SLICE_H

@@ -40,13 +40,19 @@ private:
         Summary.push_back(St->Cond);
         Guard.push_back(St->Cond);
         break;
-      case VStmtKind::Assert:
-        Obligations.push_back(
-            {mkAnd(Guard), St->Cond, St->Reason, St->Loc});
+      case VStmtKind::Assert: {
+        VC Obligation;
+        Obligation.Guard = mkAnd(Guard);
+        Obligation.Cond = St->Cond;
+        Obligation.Reason = St->Reason;
+        Obligation.Loc = St->Loc;
+        Obligation.Conjuncts = Guard; // Shared-prefix copy (refs only).
+        Obligations.push_back(std::move(Obligation));
         // Checked once; downstream obligations may assume it.
         Summary.push_back(St->Cond);
         Guard.push_back(St->Cond);
         break;
+      }
       case VStmtKind::If: {
         std::vector<LExprRef> ThenGuard = Guard;
         LExprRef ThenSummary = summarizeBlock(St->Then, ThenGuard);

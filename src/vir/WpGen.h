@@ -31,8 +31,37 @@ struct VC {
   std::string Reason;
   SourceLoc Loc;
 
+  /// The guard as the flat conjunct vector VC generation accumulated
+  /// it from. Obligations of one function share a common prefix here
+  /// (assumes are appended in program order), which the incremental
+  /// solver sessions exploit. Guard == mkAnd(Conjuncts) always.
+  std::vector<LExprRef> Conjuncts;
+
+  /// Indices into Conjuncts that are in the cone of influence of
+  /// Cond (set by preprocessVCs when slicing is on; otherwise all
+  /// indices). Checking only these conjuncts *weakens* the guard, so
+  /// a Valid answer under the slice implies Valid under the full
+  /// guard; a non-Valid answer must be re-checked unsliced.
+  std::vector<uint32_t> Sliced;
+
+  /// True once preprocessVCs has simplified this obligation and
+  /// populated Sliced.
+  bool Preprocessed = false;
+
   /// The single formula whose *unsatisfiability* establishes the VC.
   LExprRef negated() const { return mkAnd(Guard, mkNot(Cond)); }
+
+  /// The guard restricted to the sliced conjuncts (== Guard when not
+  /// preprocessed or when slicing kept everything).
+  LExprRef slicedGuard() const {
+    if (!Preprocessed || Sliced.size() == Conjuncts.size())
+      return Guard;
+    std::vector<LExprRef> Kept;
+    Kept.reserve(Sliced.size());
+    for (uint32_t I : Sliced)
+      Kept.push_back(Conjuncts[I]);
+    return mkAnd(std::move(Kept));
+  }
 };
 
 /// Extracts the proof obligations of a passive procedure, in program

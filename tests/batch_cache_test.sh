@@ -18,11 +18,14 @@ trap 'rm -rf "$WORK"' EXIT
 
 run_batch() {
   # Tolerate exit 1 (verification failures): on slow hardware the
-  # suite's long-tail routines can exceed the default solver timeout.
-  # The gate below still requires the two runs to agree exactly —
-  # timeouts are never cached, so a warm run re-solves them.
+  # suite's long-tail routines can exceed the solver timeout. The
+  # gate below still requires the two runs to agree — timeouts are
+  # never cached, so a warm run re-solves them. Use the same 300s
+  # budget as the tier-1 corpus test: under the CLI's 60s default the
+  # suite's hardest obligation sits *at* the budget on slow hardware,
+  # so its verdict would flip with machine load between the runs.
   "$VCDRYAD" batch "$SUITE" --jobs=4 --cache="$WORK/cache" \
-    --json-times=off --out="$1" || test $? -eq 1
+    --timeout=300000 --json-times=off --out="$1" || test $? -eq 1
 }
 
 echo "== cold run =="
@@ -31,9 +34,15 @@ echo "== warm run =="
 run_batch "$WORK/warm.json"
 
 # (1) Identical outcomes: the reports must match except for the cache
-# traffic counters (hits/misses/stores differ cold vs warm by design).
+# traffic counters (hits/misses/stores differ cold vs warm by design)
+# and the identity of the reported first failure. A function with
+# several obligations near the solver's wall-clock budget keeps its
+# failed status across runs, but *which* near-budget obligation times
+# out first depends on machine load — timeouts are never cached, so
+# the warm run re-solves them. The gate therefore compares verdicts
+# (per-function status, counts, totals), not failure coordinates.
 strip_counters() {
-  grep -v -E '"(hits|misses|stores|cache_hits|cache_misses)":' "$1"
+  grep -v -E '"(hits|misses|stores|cache_hits|cache_misses|reason|loc|detail)":' "$1"
 }
 strip_counters "$WORK/cold.json" > "$WORK/cold.stripped"
 strip_counters "$WORK/warm.json" > "$WORK/warm.stripped"

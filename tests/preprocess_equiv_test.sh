@@ -1,0 +1,61 @@
+#!/bin/sh
+# Verdict-equivalence gate for the VC preprocessing engine: run
+# `vcdryad batch` over a positive + negative corpus twice —
+#   (1) the default pipeline (simplify + slice + timeout ladder), and
+#   (2) the baseline (--no-preprocess --fast-timeout=0: one-shot full
+#       guards at the full budget)
+# — and assert the two JSON reports are byte-identical modulo
+# counterexample text. The ladder only trusts Valid answers from the
+# sliced fast pass and escalates everything else unsliced, so any
+# difference here is a soundness bug, not a tuning artifact.
+#
+# Usage: preprocess_equiv_test.sh <vcdryad-binary> <suite-dir>...
+set -eu
+
+VCDRYAD=$1
+shift
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/vcd-preproc-equiv.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+# --jobs=1 keeps scheduling deterministic so "first failure" agrees
+# between the two configs; --json-times=off drops timing-dependent
+# fields (solve times, escalation counts); --cache=off keeps the
+# proof cache from short-circuiting one config with the other's
+# results. Exit 1 (verification failures) is expected: the corpus
+# includes negative tests.
+run_batch() {
+  out=$1
+  shift
+  "$VCDRYAD" batch "$@" --jobs=1 --cache=off \
+    --json-times=off --out="$out" || test $? -eq 1
+}
+
+echo "== preprocessed run =="
+run_batch "$WORK/pre.json" "$@"
+echo "== baseline run =="
+run_batch "$WORK/base.json" "$@" --no-preprocess --fast-timeout=0
+
+# Counterexample text may legitimately differ (a sliced-then-escalated
+# query and a one-shot query can surface different models for the same
+# Invalid verdict); verdicts, reasons and locations must not.
+strip_details() {
+  grep -v -E '"detail":' "$1"
+}
+strip_details "$WORK/pre.json" > "$WORK/pre.stripped"
+strip_details "$WORK/base.json" > "$WORK/base.stripped"
+if ! cmp -s "$WORK/pre.stripped" "$WORK/base.stripped"; then
+  echo "FAIL: preprocessing changed verdicts" >&2
+  diff "$WORK/pre.stripped" "$WORK/base.stripped" >&2 || true
+  exit 1
+fi
+
+# Sanity: the run actually verified something (an empty report would
+# pass the comparison vacuously).
+FUNCS=$(grep -c '"name":' "$WORK/pre.json" || true)
+if [ "$FUNCS" -eq 0 ]; then
+  echo "FAIL: no functions in report" >&2
+  exit 1
+fi
+
+echo "PASS: verdicts identical with and without preprocessing ($FUNCS functions)"

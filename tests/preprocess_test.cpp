@@ -1,0 +1,498 @@
+//===- preprocess_test.cpp - VC preprocessing engine tests ------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the VC preprocessing pipeline: the hash-consing
+/// arena (dedup, pointer equality, stable digests), the
+/// equivalence-preserving simplifier (rules and idempotence),
+/// cone-of-influence slicing, the verifier's session helpers, the Z3
+/// incremental-session API, and end-to-end verdict preservation with
+/// preprocessing and the timeout ladder toggled.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+#include "support/Hash.h"
+#include "verifier/Verifier.h"
+#include "vir/LExpr.h"
+#include "vir/Simplify.h"
+#include "vir/Slice.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+using namespace vcdryad::vir;
+
+namespace {
+
+LExprRef iVar(const char *N) { return mkVar(N, Sort::Int); }
+LExprRef bVar(const char *N) { return mkVar(N, Sort::Bool); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Hash-consing arena
+//===----------------------------------------------------------------------===//
+
+TEST(InternTest, LeafFactoriesDedup) {
+  InternStats Before = internStats();
+  LExprRef A = iVar("x");
+  LExprRef B = iVar("x");
+  EXPECT_EQ(A.get(), B.get());
+  EXPECT_TRUE(A->isInterned());
+  EXPECT_NE(iVar("y").get(), A.get());
+  EXPECT_EQ(mkInt(42).get(), mkInt(42).get());
+  EXPECT_EQ(mkBool(true).get(), mkBool(true).get());
+  EXPECT_EQ(mkNil().get(), mkNil().get());
+  // Same name, different sort: distinct nodes.
+  EXPECT_NE(mkVar("x", Sort::Loc).get(), A.get());
+  InternStats After = internStats();
+  EXPECT_GT(After.DedupHits, Before.DedupHits);
+}
+
+TEST(InternTest, CompositeDedupIsDeep) {
+  LExprRef A = mkIntAdd(iVar("x"), mkInt(1));
+  LExprRef B = mkIntAdd(iVar("x"), mkInt(1));
+  EXPECT_EQ(A.get(), B.get());
+  EXPECT_NE(mkIntAdd(iVar("x"), mkInt(2)).get(), A.get());
+  EXPECT_NE(mkIntSub(iVar("x"), mkInt(1)).get(), A.get());
+}
+
+TEST(InternTest, IdsUniqueAmongLiveNodes) {
+  LExprRef A = iVar("intern_id_a");
+  LExprRef B = iVar("intern_id_b");
+  EXPECT_NE(A->Id, 0u);
+  EXPECT_NE(B->Id, 0u);
+  EXPECT_NE(A->Id, B->Id);
+}
+
+TEST(InternTest, StructurallyEqualUsesPointerIdentity) {
+  LExprRef A = mkIntLt(iVar("x"), mkInt(5));
+  LExprRef B = mkIntLt(iVar("x"), mkInt(5));
+  EXPECT_TRUE(structurallyEqual(A, B));
+  EXPECT_FALSE(structurallyEqual(A, mkIntLt(iVar("y"), mkInt(5))));
+  EXPECT_FALSE(structurallyEqual(A, mkIntLe(iVar("x"), mkInt(5))));
+}
+
+TEST(InternTest, RebuildReturnsCanonicalNode) {
+  LExprRef E = mkIntAdd(iVar("x"), iVar("y"));
+  LExprRef R = rebuild(E, {iVar("z"), iVar("y")});
+  EXPECT_EQ(R.get(), mkIntAdd(iVar("z"), iVar("y")).get());
+  // Rebuilding with identical children must give the node back.
+  EXPECT_EQ(rebuild(E, {iVar("x"), iVar("y")}).get(), E.get());
+}
+
+TEST(InternTest, StableHashMatchesDocumentedRecipe) {
+  // Recompute the digest independently: FNV-1a over op, sort, name,
+  // constant, arity, then child digests. A change to the recipe
+  // silently invalidates every persisted proof-cache entry, so this
+  // is pinned by hand here.
+  LExprRef X = iVar("x");
+  Fnv1a HX;
+  HX.u64(static_cast<uint64_t>(LOp::Var));
+  HX.u64(static_cast<uint64_t>(Sort::Int));
+  HX.str("x");
+  HX.i64(0);
+  HX.u64(0);
+  EXPECT_EQ(stableExprHash(X), HX.digest());
+
+  LExprRef Five = mkInt(5);
+  LExprRef E = mkIntLt(X, Five);
+  Fnv1a HE;
+  HE.u64(static_cast<uint64_t>(LOp::IntLt));
+  HE.u64(static_cast<uint64_t>(Sort::Bool));
+  HE.str("");
+  HE.i64(0);
+  HE.u64(2);
+  HE.u64(stableExprHash(X));
+  HE.u64(stableExprHash(Five));
+  EXPECT_EQ(stableExprHash(E), HE.digest());
+}
+
+TEST(InternTest, StableHashEqualStructuresHashEqual) {
+  LExprRef A = mkAnd(mkIntLt(iVar("a"), iVar("b")), bVar("p"));
+  LExprRef B = mkAnd(mkIntLt(iVar("a"), iVar("b")), bVar("p"));
+  EXPECT_EQ(stableExprHash(A), stableExprHash(B));
+  LExprRef C = mkAnd(mkIntLt(iVar("a"), iVar("c")), bVar("p"));
+  EXPECT_NE(stableExprHash(A), stableExprHash(C));
+}
+
+//===----------------------------------------------------------------------===//
+// Simplifier
+//===----------------------------------------------------------------------===//
+
+TEST(SimplifyTest, ConstantFolding) {
+  EXPECT_EQ(simplify(mkIntAdd(mkInt(2), mkInt(3))).get(), mkInt(5).get());
+  EXPECT_EQ(simplify(mkIntSub(mkInt(2), mkInt(3))).get(), mkInt(-1).get());
+  EXPECT_TRUE(simplify(mkIntLt(mkInt(1), mkInt(2)))->isBoolConst(true));
+  EXPECT_TRUE(simplify(mkIntLe(mkInt(3), mkInt(2)))->isBoolConst(false));
+  EXPECT_TRUE(simplify(mkEq(mkInt(7), mkInt(7)))->isBoolConst(true));
+  LExprRef X = iVar("x");
+  EXPECT_EQ(simplify(mkIntAdd(X, mkInt(0))).get(), X.get());
+  EXPECT_EQ(simplify(mkIntSub(X, mkInt(0))).get(), X.get());
+  EXPECT_EQ(simplify(mkIntSub(X, X)).get(), mkInt(0).get());
+}
+
+TEST(SimplifyTest, BooleanStructure) {
+  LExprRef P = bVar("p"), Q = bVar("q");
+  // Double negation.
+  EXPECT_EQ(simplify(mkNot(mkNot(P))).get(), P.get());
+  // Units and absorbing elements.
+  EXPECT_EQ(simplify(mkAnd(P, mkBool(true))).get(), P.get());
+  EXPECT_TRUE(simplify(mkAnd(P, mkBool(false)))->isBoolConst(false));
+  EXPECT_EQ(simplify(mkOr(P, mkBool(false))).get(), P.get());
+  EXPECT_TRUE(simplify(mkOr(P, mkBool(true)))->isBoolConst(true));
+  // Flattening + dedup: (p && (p && q)) == (p && q).
+  EXPECT_EQ(simplify(mkAnd(P, mkAnd(P, Q))).get(),
+            simplify(mkAnd(P, Q)).get());
+  // Implication.
+  EXPECT_EQ(simplify(mkImplies(mkBool(true), P)).get(), P.get());
+  EXPECT_TRUE(simplify(mkImplies(mkBool(false), P))->isBoolConst(true));
+  EXPECT_TRUE(simplify(mkImplies(P, P))->isBoolConst(true));
+  // Ite of booleans.
+  EXPECT_EQ(simplify(mkIte(P, mkBool(true), mkBool(false))).get(), P.get());
+  EXPECT_EQ(simplify(mkIte(P, mkBool(false), mkBool(true))).get(),
+            simplify(mkNot(P)).get());
+  EXPECT_EQ(simplify(mkIte(mkBool(true), P, Q)).get(), P.get());
+  EXPECT_EQ(simplify(mkIte(P, Q, Q)).get(), Q.get());
+  // Boolean equality.
+  EXPECT_EQ(simplify(mkEq(P, mkBool(true))).get(), P.get());
+  EXPECT_TRUE(simplify(mkEq(P, P))->isBoolConst(true));
+}
+
+TEST(SimplifyTest, SelectOfStore) {
+  LExprRef A = mkVar("h", Sort::ArrLocInt);
+  LExprRef L = mkVar("l", Sort::Loc);
+  LExprRef V = iVar("v");
+  EXPECT_EQ(simplify(mkSelect(mkStore(A, L, V), L)).get(), V.get());
+}
+
+TEST(SimplifyTest, SetRules) {
+  LExprRef S = mkVar("s", Sort::SetInt);
+  LExprRef Empty = mkEmptySet(Sort::SetInt);
+  LExprRef E = iVar("e");
+  EXPECT_EQ(simplify(mkUnion(S, Empty)).get(), S.get());
+  EXPECT_EQ(simplify(mkUnion(S, S)).get(), S.get());
+  EXPECT_EQ(simplify(mkInter(S, Empty)).get(), Empty.get());
+  EXPECT_EQ(simplify(mkMinus(S, S)).get(), Empty.get());
+  EXPECT_EQ(simplify(mkMinus(S, Empty)).get(), S.get());
+  EXPECT_TRUE(simplify(mkMember(E, Empty))->isBoolConst(false));
+  EXPECT_EQ(simplify(mkMember(E, mkSingleton(iVar("x"), Sort::SetInt))).get(),
+            simplify(mkEq(E, iVar("x"))).get());
+  EXPECT_TRUE(simplify(mkSubset(Empty, S))->isBoolConst(true));
+  EXPECT_TRUE(simplify(mkSubset(S, S))->isBoolConst(true));
+  EXPECT_TRUE(simplify(mkSetCmp(LOp::SetLtInt, Empty, E))->isBoolConst(true));
+}
+
+TEST(SimplifyTest, MultisetUnionIsNotIdempotent) {
+  // Multiset union is pointwise +, so m (+) m == m is WRONG (it
+  // doubles every count). The rewrite must be gated to true sets.
+  LExprRef M = mkVar("m", Sort::MSetInt);
+  LExprRef U = simplify(mkUnion(M, M));
+  EXPECT_EQ(U->Op, LOp::Union);
+  // Intersection (pointwise min) and monus stay safe.
+  EXPECT_EQ(simplify(mkInter(M, M)).get(), M.get());
+  EXPECT_EQ(simplify(mkMinus(M, M)).get(),
+            mkEmptySet(Sort::MSetInt).get());
+}
+
+TEST(SimplifyTest, Idempotent) {
+  LExprRef P = bVar("p"), Q = bVar("q");
+  LExprRef X = iVar("x"), Y = iVar("y");
+  std::vector<LExprRef> Cases = {
+      mkAnd(P, mkAnd(P, Q)),
+      mkNot(mkNot(mkOr(P, mkBool(false)))),
+      mkImplies(mkAnd(P, Q), mkIte(P, Q, Q)),
+      mkEq(mkIntAdd(X, mkInt(0)), mkIntSub(Y, Y)),
+      mkIte(mkIntLt(mkInt(1), mkInt(2)), mkAnd(P, P), Q),
+      mkUnion(mkVar("s", Sort::SetInt), mkEmptySet(Sort::SetInt)),
+  };
+  Simplifier S;
+  for (const LExprRef &E : Cases) {
+    LExprRef Once = S.simplify(E);
+    EXPECT_EQ(S.simplify(Once).get(), Once.get()) << E->str();
+    // A fresh instance (empty memo) must agree node-for-node too.
+    Simplifier Fresh;
+    EXPECT_EQ(Fresh.simplify(Once).get(), Once.get()) << E->str();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cone-of-influence slicing
+//===----------------------------------------------------------------------===//
+
+TEST(SliceTest, TransitiveConeKeepsChains) {
+  // x = y,  y < 5,  z < 3   with goal  x < 10:
+  // the x=y conjunct links y into the cone, z stays out.
+  std::vector<LExprRef> Conjuncts = {
+      mkEq(iVar("x"), iVar("y")),
+      mkIntLt(iVar("y"), mkInt(5)),
+      mkIntLt(iVar("z"), mkInt(3)),
+  };
+  std::vector<uint32_t> Kept =
+      sliceConjuncts(Conjuncts, mkIntLt(iVar("x"), mkInt(10)));
+  EXPECT_EQ(Kept, (std::vector<uint32_t>{0, 1}));
+}
+
+TEST(SliceTest, GroundConjunctsAlwaysKept) {
+  // A ground contradiction must never be sliced away — dropping it
+  // would turn a trivially-Valid obligation into real solver work.
+  std::vector<LExprRef> Conjuncts = {
+      mkBool(false),
+      mkIntLt(iVar("z"), mkInt(3)),
+  };
+  std::vector<uint32_t> Kept =
+      sliceConjuncts(Conjuncts, mkIntLt(iVar("x"), mkInt(10)));
+  EXPECT_EQ(Kept, (std::vector<uint32_t>{0}));
+}
+
+TEST(SliceTest, FunctionNamesAreSymbols) {
+  // Two conjuncts mentioning the same uninterpreted function interact
+  // through its interpretation, so the shared name must connect them.
+  LExprRef FofA = mkApp("keys", Sort::SetInt, {mkVar("a", Sort::Loc)});
+  LExprRef FofB = mkApp("keys", Sort::SetInt, {mkVar("b", Sort::Loc)});
+  std::vector<LExprRef> Conjuncts = {
+      mkEq(FofA, mkEmptySet(Sort::SetInt)),
+      mkIntLt(iVar("z"), mkInt(3)),
+  };
+  std::vector<uint32_t> Kept =
+      sliceConjuncts(Conjuncts, mkEq(FofB, mkEmptySet(Sort::SetInt)));
+  EXPECT_EQ(Kept, (std::vector<uint32_t>{0}));
+}
+
+TEST(SliceTest, VarAndFuncNamespacesAreDistinct) {
+  // A variable named "keys" must not connect to the *function* "keys".
+  std::vector<LExprRef> Conjuncts = {
+      mkIntLt(mkVar("keys", Sort::Int), mkInt(3)),
+  };
+  LExprRef Goal =
+      mkEq(mkApp("keys", Sort::SetInt, {mkVar("b", Sort::Loc)}),
+           mkEmptySet(Sort::SetInt));
+  EXPECT_TRUE(sliceConjuncts(Conjuncts, Goal).empty());
+}
+
+TEST(SliceTest, PreprocessVCsPopulatesSlices) {
+  VC Obl;
+  Obl.Conjuncts = {
+      mkEq(iVar("x"), iVar("y")),
+      mkAnd(mkIntLt(iVar("z"), mkInt(3)), bVar("p")), // flattened apart
+      mkBool(true),                                   // dropped
+  };
+  Obl.Guard = mkAnd(Obl.Conjuncts);
+  Obl.Cond = mkIntLe(iVar("x"), iVar("y"));
+  std::vector<VC> VCs = {Obl};
+  preprocessVCs(VCs, /*Slice=*/true);
+  ASSERT_TRUE(VCs[0].Preprocessed);
+  // true dropped, nested And split: {x=y, z<3, p}.
+  EXPECT_EQ(VCs[0].Conjuncts.size(), 3u);
+  EXPECT_EQ(VCs[0].Guard.get(), mkAnd(VCs[0].Conjuncts).get());
+  // Only x=y is in the goal's cone.
+  EXPECT_EQ(VCs[0].Sliced, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(VCs[0].slicedGuard().get(), VCs[0].Conjuncts[0].get());
+
+  // With slicing off, Sliced is the identity.
+  std::vector<VC> NoSlice = {Obl};
+  preprocessVCs(NoSlice, /*Slice=*/false);
+  EXPECT_EQ(NoSlice[0].Sliced.size(), NoSlice[0].Conjuncts.size());
+  EXPECT_EQ(NoSlice[0].slicedGuard().get(), NoSlice[0].Guard.get());
+}
+
+TEST(SliceTest, FalseGuardCollapses) {
+  VC Obl;
+  Obl.Conjuncts = {bVar("p"), mkNot(bVar("p"))};
+  Obl.Guard = mkAnd(Obl.Conjuncts);
+  Obl.Cond = mkIntLt(iVar("x"), mkInt(0));
+  // p && !p does not fold locally (the simplifier is not a SAT
+  // solver), but an explicit false conjunct must collapse the guard.
+  VC Direct;
+  Direct.Conjuncts = {bVar("q"), mkBool(false)};
+  Direct.Guard = mkAnd(Direct.Conjuncts);
+  Direct.Cond = Obl.Cond;
+  std::vector<VC> VCs = {Direct};
+  preprocessVCs(VCs, true);
+  EXPECT_TRUE(VCs[0].Guard->isBoolConst(false));
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier session helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+VC makeVC(std::vector<LExprRef> Conjuncts, LExprRef Cond) {
+  VC Obl;
+  Obl.Conjuncts = std::move(Conjuncts);
+  Obl.Guard = mkAnd(Obl.Conjuncts);
+  Obl.Cond = std::move(Cond);
+  return Obl;
+}
+
+} // namespace
+
+TEST(SessionHelperTest, CommonGuardPrefix) {
+  LExprRef A = bVar("a"), B = bVar("b"), C = bVar("c");
+  std::vector<VC> VCs = {
+      makeVC({A, B}, bVar("g1")),
+      makeVC({A, B, C}, bVar("g2")),
+      makeVC({A, C}, bVar("g3")),
+  };
+  EXPECT_EQ(verifier::Verifier::commonGuardPrefix(VCs), 1u);
+  VCs.pop_back();
+  EXPECT_EQ(verifier::Verifier::commonGuardPrefix(VCs), 2u);
+  EXPECT_EQ(verifier::Verifier::commonGuardPrefix({}), 0u);
+}
+
+TEST(SessionHelperTest, TriviallyValid) {
+  EXPECT_TRUE(verifier::Verifier::triviallyValid(
+      makeVC({bVar("a")}, mkBool(true))));
+  EXPECT_TRUE(verifier::Verifier::triviallyValid(
+      makeVC({mkBool(false)}, bVar("g"))));
+  EXPECT_FALSE(verifier::Verifier::triviallyValid(
+      makeVC({bVar("a")}, bVar("g"))));
+}
+
+TEST(SessionHelperTest, SessionExtrasRespectSlice) {
+  LExprRef A = bVar("a"), B = bVar("b"), C = bVar("c");
+  VC Obl = makeVC({A, B, C}, bVar("g"));
+  // Unpreprocessed: everything past the prefix.
+  std::vector<LExprRef> Extra = verifier::Verifier::sessionExtras(Obl, 1);
+  ASSERT_EQ(Extra.size(), 2u);
+  EXPECT_EQ(Extra[0].get(), B.get());
+  // Preprocessed with a slice: only sliced indices past the prefix.
+  Obl.Preprocessed = true;
+  Obl.Sliced = {0, 2};
+  Extra = verifier::Verifier::sessionExtras(Obl, 1);
+  ASSERT_EQ(Extra.size(), 1u);
+  EXPECT_EQ(Extra[0].get(), C.get());
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental solver sessions
+//===----------------------------------------------------------------------===//
+
+TEST(SolverSessionTest, ScopedChecksMatchOneShot) {
+  std::unique_ptr<smt::SmtSolver> S = smt::createZ3Solver();
+  LExprRef X = iVar("x");
+  std::vector<LExprRef> Prefix = {mkIntLt(mkInt(0), X)};
+  S->beginSession(Prefix, 2000);
+  // x > 0 && x < 5 ==> x >= 1.
+  smt::CheckResult R1 =
+      S->checkSession({mkIntLt(X, mkInt(5))}, mkIntLe(mkInt(1), X));
+  EXPECT_EQ(R1.Status, smt::CheckStatus::Valid);
+  // Push/pop isolation: the x < 5 extra must be gone now, so
+  // x > 0 ==> x < 5 has a counterexample.
+  smt::CheckResult R2 = S->checkSession({}, mkIntLt(X, mkInt(5)));
+  EXPECT_EQ(R2.Status, smt::CheckStatus::Invalid);
+  // The prefix is still asserted: x > 0 ==> 0 <= x.
+  smt::CheckResult R3 = S->checkSession({}, mkIntLe(mkInt(0), X));
+  EXPECT_EQ(R3.Status, smt::CheckStatus::Valid);
+  S->endSession();
+  // One-shot checks agree after the session ends.
+  smt::CheckResult R4 =
+      S->checkValid(mkIntLt(mkInt(0), X), mkIntLe(mkInt(0), X));
+  EXPECT_EQ(R4.Status, smt::CheckStatus::Valid);
+}
+
+TEST(SolverSessionTest, CheckSessionWithoutSessionIsUnknown) {
+  std::unique_ptr<smt::SmtSolver> S = smt::createZ3Solver();
+  smt::CheckResult R = S->checkSession({}, mkBool(true));
+  EXPECT_EQ(R.Status, smt::CheckStatus::Unknown);
+}
+
+TEST(SolverSessionTest, CheckValidEndsSession) {
+  std::unique_ptr<smt::SmtSolver> S = smt::createZ3Solver();
+  LExprRef X = iVar("x");
+  S->beginSession({mkIntLt(mkInt(0), X)}, 2000);
+  // checkValid must not see the session's prefix: x >= 1 alone is not
+  // valid without x > 0.
+  smt::CheckResult R = S->checkValid(mkBool(true), mkIntLe(mkInt(1), X));
+  EXPECT_EQ(R.Status, smt::CheckStatus::Invalid);
+  // And the session is gone.
+  EXPECT_EQ(S->checkSession({}, mkBool(true)).Status,
+            smt::CheckStatus::Unknown);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end verdict preservation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *MixedProgram = R"(
+int add(int a, int b)
+  _(requires a >= 0 && b >= 0)
+  _(ensures result == a + b && result >= 0)
+{ return a + b; }
+
+int bad_sub(int a, int b)
+  _(ensures result == a + b)
+{ return a - b; }
+
+int clamp(int a)
+  _(ensures result >= 0)
+{ if (a < 0) return 0; return a; }
+)";
+
+verifier::ProgramResult runWith(bool Preprocess, bool Slice,
+                                unsigned FastTimeoutMs) {
+  verifier::VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.Preprocess = Preprocess;
+  Opts.Slice = Slice;
+  Opts.FastTimeoutMs = FastTimeoutMs;
+  verifier::Verifier V(Opts);
+  return V.verifySource(MixedProgram);
+}
+
+} // namespace
+
+TEST(VerdictEquivalenceTest, PreprocessAndLadderPreserveVerdicts) {
+  verifier::ProgramResult Base =
+      runWith(/*Preprocess=*/false, /*Slice=*/false, /*Fast=*/0);
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+  const bool Configs[][2] = {
+      {true, false}, // simplify only
+      {true, true},  // simplify + slice
+  };
+  for (const auto &Cfg : Configs) {
+    for (unsigned Fast : {0u, 2000u}) {
+      verifier::ProgramResult R = runWith(Cfg[0], Cfg[1], Fast);
+      ASSERT_TRUE(R.Ok) << R.Error;
+      ASSERT_EQ(R.Functions.size(), Base.Functions.size());
+      for (size_t I = 0; I != R.Functions.size(); ++I) {
+        const verifier::FunctionResult &A = Base.Functions[I];
+        const verifier::FunctionResult &B = R.Functions[I];
+        EXPECT_EQ(A.Name, B.Name);
+        EXPECT_EQ(A.Verified, B.Verified)
+            << A.Name << " verdict flipped (preprocess=" << Cfg[0]
+            << " slice=" << Cfg[1] << " fast=" << Fast << ")";
+        ASSERT_EQ(A.Failures.size(), B.Failures.size()) << A.Name;
+        for (size_t K = 0; K != A.Failures.size(); ++K) {
+          EXPECT_EQ(A.Failures[K].Reason, B.Failures[K].Reason);
+          EXPECT_EQ(A.Failures[K].Status, B.Failures[K].Status);
+        }
+      }
+    }
+  }
+}
+
+TEST(VerdictEquivalenceTest, StatsAreReported) {
+  verifier::ProgramResult R = runWith(true, true, 2000);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  const verifier::FunctionResult *F = R.function("add");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->VCStats.size(), F->NumVCs);
+  EXPECT_NE(F->EffectiveTimeoutMs, 0u);
+  for (const verifier::VCStat &St : F->VCStats)
+    EXPECT_LE(St.AssumesSliced, St.AssumesTotal);
+  // The failing function must report its escalations: a refuted goal
+  // can never settle in the Valid-only fast pass.
+  const verifier::FunctionResult *Bad = R.function("bad_sub");
+  ASSERT_NE(Bad, nullptr);
+  EXPECT_FALSE(Bad->Verified);
+  EXPECT_GT(Bad->Escalations, 0u);
+  EXPECT_EQ(Bad->EffectiveTimeoutMs, 30000u);
+}
