@@ -1,0 +1,167 @@
+//===- portfolio_ab.cpp - Portfolio escalation A/B harness -----------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Straggler-closure comparison of the portfolio escalation engine:
+/// every routine of the selected suites is verified twice at the SAME
+/// per-obligation wall budget —
+///   single:    the fast -> escalate ladder with one strategy
+///              (--portfolio=1, the stock configuration)
+///   portfolio: the same ladder, but escalated obligations race K
+///              diverse tactic profiles; the first decisive lane wins
+///              and cancels its siblings
+/// — and the harness reports, per function, the obligations each arm
+/// left Unknown, which profile settled each portfolio escalation, and
+/// the closure totals (the ISSUE's acceptance metric: obligations the
+/// single-strategy escalation leaves Unknown that the portfolio
+/// settles at the same total budget). The wall budget is the total
+/// budget on a single-core host: all lanes share the core inside the
+/// same per-obligation window a lone strategy would have used.
+///
+/// Any Valid/Invalid conflict between the arms is a soundness bug and
+/// exits 1.
+///
+/// Usage: portfolio_ab [--timeout=<ms>] [--fast-timeout=<ms>]
+///                     [--portfolio=<k>] [suite...]
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace vcdryad;
+using namespace vcdryad::verifier;
+
+namespace {
+
+const char *statusName(smt::CheckStatus S) {
+  switch (S) {
+  case smt::CheckStatus::Valid:
+    return "valid";
+  case smt::CheckStatus::Invalid:
+    return "invalid";
+  case smt::CheckStatus::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+bool settled(const VCStat &St) {
+  return !St.Cancelled && St.Status != smt::CheckStatus::Unknown;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned TimeoutMs = 60000;
+  unsigned FastTimeoutMs = 5000;
+  unsigned Width = 3;
+  std::vector<std::string> SuiteDirs;
+  for (int I = 1; I != Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--timeout=", 0) == 0)
+      TimeoutMs = static_cast<unsigned>(std::atoi(A.c_str() + 10));
+    else if (A.rfind("--fast-timeout=", 0) == 0)
+      FastTimeoutMs = static_cast<unsigned>(std::atoi(A.c_str() + 15));
+    else if (A.rfind("--portfolio=", 0) == 0)
+      Width = static_cast<unsigned>(std::atoi(A.c_str() + 12));
+    else
+      SuiteDirs.push_back(A);
+  }
+  if (SuiteDirs.empty())
+    SuiteDirs = {"sll", "afwp"};
+
+  VerifyOptions Single;
+  Single.TimeoutMs = TimeoutMs;
+  Single.FastTimeoutMs = FastTimeoutMs;
+  Single.StopAtFirstFailure = false; // Compare every obligation.
+  Single.Portfolio = 1;
+
+  VerifyOptions Port = Single;
+  Port.Portfolio = Width;
+
+  std::printf("portfolio A/B: timeout=%ums fast=%ums width=%u\n\n",
+              TimeoutMs, FastTimeoutMs, Width);
+  std::printf("%-12s %-28s %4s %9s %9s %7s %7s\n", "Suite", "Routine",
+              "VCs", "unk(1)", "unk(K)", "closed", "opened");
+  std::printf("%.*s\n", 84,
+              "-----------------------------------------------------------"
+              "-------------------------");
+
+  unsigned Closed = 0, Opened = 0, Conflicts = 0, TotalVCs = 0;
+  std::vector<std::string> ClosureLog;
+
+  for (const std::string &DirName : SuiteDirs) {
+    vcdbench::Suite S{DirName.c_str(), DirName.c_str()};
+    std::vector<std::string> Files = vcdbench::suiteFiles(S);
+    if (Files.empty()) {
+      std::printf("%-12s (no files)\n", DirName.c_str());
+      continue;
+    }
+    for (const std::string &File : Files) {
+      Verifier VA(Single);
+      ProgramResult RA = VA.verifyFile(File);
+      Verifier VB(Port);
+      ProgramResult RB = VB.verifyFile(File);
+      if (!RA.Ok || !RB.Ok) {
+        std::printf("%-12s %-28s frontend error\n", DirName.c_str(),
+                    File.c_str());
+        continue;
+      }
+      for (const FunctionResult &FA : RA.Functions) {
+        const FunctionResult *FB = RB.function(FA.Name);
+        if (!FB || FA.VCStats.size() != FB->VCStats.size())
+          continue;
+        unsigned UnkA = 0, UnkB = 0, FnClosed = 0, FnOpened = 0;
+        for (size_t K = 0; K != FA.VCStats.size(); ++K) {
+          const VCStat &A = FA.VCStats[K];
+          const VCStat &B = FB->VCStats[K];
+          ++TotalVCs;
+          if (!settled(A))
+            ++UnkA;
+          if (!settled(B))
+            ++UnkB;
+          if (settled(A) && settled(B) && A.Status != B.Status) {
+            std::printf("CONFLICT: %s VC%zu [%s]: single=%s portfolio=%s\n",
+                        FA.Name.c_str(), K, A.Reason.c_str(),
+                        statusName(A.Status), statusName(B.Status));
+            ++Conflicts;
+          }
+          if (!settled(A) && settled(B)) {
+            ++FnClosed;
+            ClosureLog.push_back(
+                FA.Name + " VC" + std::to_string(K) + " [" + B.Reason +
+                "] -> " + statusName(B.Status) + " by " +
+                (B.WinnerProfile.empty() ? "?" : B.WinnerProfile) + " in " +
+                std::to_string(static_cast<long>(B.SolveTimeMs)) + "ms");
+          }
+          if (settled(A) && !settled(B))
+            ++FnOpened;
+        }
+        Closed += FnClosed;
+        Opened += FnOpened;
+        std::printf("%-12s %-28s %4zu %9u %9u %7u %7u\n", DirName.c_str(),
+                    FA.Name.c_str(), FA.VCStats.size(), UnkA, UnkB,
+                    FnClosed, FnOpened);
+      }
+    }
+  }
+
+  std::printf("\ntotals: %u VCs, %u closed by the portfolio, %u opened, "
+              "%u conflicts\n",
+              TotalVCs, Closed, Opened, Conflicts);
+  for (const std::string &L : ClosureLog)
+    std::printf("  closed: %s\n", L.c_str());
+  if (Conflicts) {
+    std::printf("FAIL: portfolio changed a settled verdict\n");
+    return 1;
+  }
+  return 0;
+}

@@ -9,15 +9,57 @@
 #include "support/Hash.h"
 #include "support/StringUtil.h"
 
-#include <cstdio>
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
-#include <sstream>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
 
 using namespace vcdryad;
 using namespace vcdryad::service;
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Parses one store line ("<16-hex key> V <time_ms>"). Strict: the
+/// time field must be a full, garbage-free number. std::from_chars is
+/// locale-independent by specification — std::stod honors LC_NUMERIC,
+/// so under e.g. de_DE a store written elsewhere would silently parse
+/// "12.5" as 12 and keep the ".5" as accepted trailing junk.
+bool parseStoreLine(std::string_view S, uint64_t &Key, double &TimeMs) {
+  if (S.size() < 19 || S.substr(16, 3) != " V ")
+    return false;
+  if (!hashFromHex(S.substr(0, 16), Key))
+    return false;
+  std::string_view Num = S.substr(19);
+  double V = 0.0;
+  auto [Ptr, Ec] = std::from_chars(Num.data(), Num.data() + Num.size(), V);
+  if (Ec != std::errc() || Ptr != Num.data() + Num.size())
+    return false;
+  TimeMs = V;
+  return true;
+}
+
+/// Fixed three-decimal formatting without touching the locale
+/// machinery (snprintf "%f" writes the LC_NUMERIC decimal separator,
+/// which parseStoreLine would then rightly reject).
+std::string formatMs(double Ms) {
+  if (!(Ms >= 0.0)) // Also catches NaN.
+    Ms = 0.0;
+  long long Milli = std::llround(Ms * 1000.0);
+  std::string Frac = std::to_string(Milli % 1000);
+  return std::to_string(Milli / 1000) + "." +
+         std::string(3 - Frac.size(), '0') + Frac;
+}
+
+} // namespace
 
 ProofCache::ProofCache(std::string DirIn) : Dir(std::move(DirIn)) {
   std::error_code EC;
@@ -33,21 +75,13 @@ ProofCache::ProofCache(std::string DirIn) : Dir(std::move(DirIn)) {
     return; // Fresh store.
   std::string Line;
   while (std::getline(In, Line)) {
-    std::string_view S = trim(Line);
-    // "<16-hex key> V <time_ms>"; unparseable lines are skipped, not
-    // fatal (a torn append must not poison the whole store).
-    if (S.size() < 19 || S.substr(16, 3) != " V ")
-      continue;
+    // Unparseable lines are skipped, not fatal (a torn line from an
+    // old pre-atomic store must not poison the whole cache).
     uint64_t Key = 0;
-    if (!hashFromHex(S.substr(0, 16), Key))
+    double Ms = 0.0;
+    if (!parseStoreLine(trim(Line), Key, Ms))
       continue;
-    Entry E;
-    try {
-      E.TimeMs = std::stod(std::string(S.substr(19)));
-    } catch (...) {
-      continue;
-    }
-    Entries.emplace(Key, E);
+    Entries.emplace(Key, Entry{Ms, false});
   }
 }
 
@@ -61,25 +95,92 @@ void ProofCache::flush() {
   std::lock_guard<std::mutex> Lock(Mu);
   if (Dir.empty())
     return;
-  std::ostringstream Out;
-  unsigned Pending = 0;
-  for (auto &[Key, E] : Entries) {
-    if (!E.Dirty)
-      continue;
-    char Buf[64];
-    std::snprintf(Buf, sizeof(Buf), " V %.3f\n", E.TimeMs);
-    Out << hashToHex(Key) << Buf;
+  bool AnyDirty = false;
+  for (const auto &[Key, E] : Entries)
+    if (E.Dirty) {
+      AnyDirty = true;
+      break;
+    }
+  if (!AnyDirty)
+    return;
+
+  // Serialize concurrent flushers with an advisory lock on a sidecar
+  // file. The store itself cannot carry the lock: the rename below
+  // replaces its inode, and a lock on the old inode would no longer
+  // exclude the next writer.
+  const std::string Lockfile = storePath() + ".lock";
+  int LockFd = ::open(Lockfile.c_str(), O_CREAT | O_RDWR, 0644);
+  if (LockFd >= 0)
+    ::flock(LockFd, LOCK_EX);
+  auto Unlock = [&] {
+    if (LockFd >= 0) {
+      ::flock(LockFd, LOCK_UN);
+      ::close(LockFd);
+    }
+  };
+
+  // Merge entries a sibling process flushed after our load: the
+  // replace-by-rename below writes the full union, so anything on
+  // disk we have not seen yet must be folded in first or it would be
+  // clobbered. Our own entries win ties (same key -> same verdict;
+  // only the recorded solve time could differ).
+  {
+    std::ifstream In(storePath());
+    std::string Line;
+    while (In && std::getline(In, Line)) {
+      uint64_t Key = 0;
+      double Ms = 0.0;
+      if (parseStoreLine(trim(Line), Key, Ms))
+        Entries.try_emplace(Key, Entry{Ms, false});
+    }
+  }
+
+  // Write the union to a temp file in the same directory, then
+  // atomically swing the name over it with rename(2): a reader (or a
+  // crash) can only ever observe the complete old store or the
+  // complete new one, never a torn append. The temp name carries pid
+  // plus a process-wide counter — two caches in one process must not
+  // collide on a pid-only name.
+  static std::atomic<unsigned> TmpCounter{0};
+  const std::string Tmp = storePath() + ".tmp." +
+                          std::to_string(::getpid()) + "." +
+                          std::to_string(TmpCounter.fetch_add(1));
+  {
+    std::ofstream Store(Tmp, std::ios::trunc);
+    if (!Store) {
+      OpenError = "cannot write cache store '" + Tmp + "'";
+      Unlock();
+      return;
+    }
+    std::vector<std::pair<uint64_t, double>> Sorted;
+    Sorted.reserve(Entries.size());
+    for (const auto &[Key, E] : Entries)
+      Sorted.emplace_back(Key, E.TimeMs);
+    std::sort(Sorted.begin(), Sorted.end());
+    for (const auto &[Key, Ms] : Sorted)
+      Store << hashToHex(Key) << " V " << formatMs(Ms) << '\n';
+    Store.flush();
+    if (!Store) {
+      OpenError = "cannot write cache store '" + Tmp + "'";
+      std::error_code EC;
+      fs::remove(Tmp, EC);
+      Unlock();
+      return;
+    }
+  }
+  std::error_code EC;
+  fs::rename(Tmp, storePath(), EC);
+  if (EC) {
+    OpenError = "cannot replace cache store '" + storePath() +
+                "': " + EC.message();
+    std::error_code EC2;
+    fs::remove(Tmp, EC2);
+    Unlock();
+    return;
+  }
+  for (auto &[Key, E] : Entries)
     E.Dirty = false;
-    ++Pending;
-  }
-  if (!Pending)
-    return;
-  std::ofstream Store(storePath(), std::ios::app);
-  if (!Store) {
-    OpenError = "cannot append to cache store '" + storePath() + "'";
-    return;
-  }
-  Store << Out.str();
+  Unlock();
 }
 
 std::optional<smt::CheckResult> ProofCache::lookup(uint64_t Key) {

@@ -21,9 +21,19 @@
 /// identical to a cold run's.
 ///
 /// Disk layout (`<dir>/`, default `.vcdryad-cache/`):
-///   proofs-v1.txt   one entry per line: "<16-hex key> V <time_ms>"
+///   proofs-v1.txt   one entry per line: "<16-hex key> V <time_ms>",
+///                   key-sorted
 /// The format version is part of the file name; readers ignore stores
 /// they do not understand, so format bumps invalidate cleanly.
+///
+/// The store is written atomically: flush() takes an advisory lock
+/// (proofs-v1.txt.lock), folds in any on-disk entries a sibling
+/// process added since load, writes the union to a temp file in the
+/// same directory and rename(2)s it over the store. Concurrent
+/// writers therefore never tear the file and never clobber each
+/// other's entries. Numbers are read and written locale-independently
+/// (std::from_chars / fixed-point formatting), so the store survives
+/// LC_NUMERIC locales with a non-'.' decimal separator.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,8 +67,11 @@ public:
   /// operation; openError() reports them.
   explicit ProofCache(std::string Dir);
 
-  /// Persists entries added since the last flush. Called by the
-  /// destructor; safe to call repeatedly.
+  /// Persists entries added since the last flush by atomically
+  /// replacing the store (temp file + rename) with the union of this
+  /// cache and the current on-disk entries, under an advisory lock.
+  /// Called by the destructor; safe to call repeatedly and safe
+  /// against concurrent flushers in other processes or threads.
   ~ProofCache();
   void flush();
 

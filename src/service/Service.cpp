@@ -6,6 +6,7 @@
 
 #include "service/Service.h"
 
+#include "smt/Portfolio.h"
 #include "smt/VcHash.h"
 #include "support/Hash.h"
 #include "support/StringUtil.h"
@@ -126,6 +127,11 @@ struct VCSlot {
   bool Trivial = false;   ///< Settled without any solver call.
   bool Escalated = false; ///< Fast pass failed to settle it.
   bool FromCache = false;
+  /// Total solver time the portfolio race consumed on this obligation
+  /// (0 when escalation ran single-strategy).
+  double PortfolioMs = 0.0;
+  /// Tactic profile that settled a portfolio escalation.
+  std::string Winner;
 };
 
 /// Scheduler-side state of one function's obligations.
@@ -233,8 +239,19 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
   // Valid (slicing weakens guards; the short budget yields unknowns),
   // so final verdicts equal a run without the ladder.
   const unsigned FastTimeout = Opts.Verify.FastTimeoutMs;
+  // TimeoutMs == 0 means an unlimited full budget (Z3's convention),
+  // which any fast budget undercuts.
   const bool Ladder =
-      FastTimeout > 0 && FastTimeout < Opts.Verify.TimeoutMs;
+      FastTimeout > 0 && (Opts.Verify.TimeoutMs == 0 ||
+                          FastTimeout < Opts.Verify.TimeoutMs);
+
+  // Escalation lanes: with a portfolio width >= 2 every escalated
+  // obligation races the resolved tactic profiles instead of
+  // re-running the stock strategy alone. Bad profile names were
+  // rejected by the CLI already; a stray error here just keeps the
+  // single-strategy escalation.
+  std::string LaneError;
+  const std::vector<smt::TacticProfile> Lanes = V.portfolioLanes(LaneError);
 
   /// One-shot full-budget check of one obligation (Idx < 0: the
   /// vacuity probe). \p CacheLookup is false for escalations — their
@@ -272,12 +289,20 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
         J.Misses.fetch_add(1, std::memory_order_relaxed);
       }
     }
+    VCSlot &S = Idx < 0 ? J.Vacuity : J.Slots[Idx];
     if (Solve) {
-      CR = solverFor(W, J.FileIdx).checkValid(Guard, Goal);
+      if (Idx >= 0 && S.Escalated && Lanes.size() >= 2) {
+        smt::PortfolioResult PR = smt::checkPortfolio(
+            FileSolverOpts[J.FileIdx], Lanes, Guard, Goal);
+        CR = PR.R;
+        S.PortfolioMs = PR.TotalSolverMs;
+        S.Winner = PR.WinnerProfile;
+      } else {
+        CR = solverFor(W, J.FileIdx).checkValid(Guard, Goal);
+      }
       if (Cache)
         Cache->store(Key, CR);
     }
-    VCSlot &S = Idx < 0 ? J.Vacuity : J.Slots[Idx];
     S.Solved = true;
     S.R = std::move(CR);
     if (Idx >= 0 && S.R.Status != smt::CheckStatus::Valid &&
@@ -455,11 +480,22 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
         St.AssumesSliced = static_cast<unsigned>(
             VC.Preprocessed ? VC.Sliced.size() : VC.Conjuncts.size());
         St.SolveTimeMs =
-            S.FastMs + (S.Escalated && S.Solved ? S.R.TimeMs : 0.0);
+            S.FastMs +
+            (S.Escalated && S.Solved
+                 ? (S.PortfolioMs > 0.0 ? S.PortfolioMs : S.R.TimeMs)
+                 : 0.0);
         if (S.Solved && !S.Escalated && !S.Trivial && !S.FromCache)
           St.SolveTimeMs = S.R.TimeMs;
         St.Escalated = S.Escalated;
         St.Trivial = S.Trivial;
+        if (S.Solved) {
+          St.Status = S.R.Status;
+          St.WinnerProfile = S.Winner;
+        } else {
+          // Never solved: skipped by first-failure cancellation, not
+          // a solver Unknown. Reports must keep the two apart.
+          St.Cancelled = true;
+        }
         if (S.Escalated)
           ++R.Escalations;
       }
@@ -689,6 +725,13 @@ std::string service::toJson(const BatchReport &Rep, bool IncludeTimes) {
           W.fieldMs("solve_ms", St.SolveTimeMs);
           W.field("escalated", St.Escalated);
           W.field("trivial", St.Trivial);
+          // "cancelled" = skipped by first-failure cancellation (never
+          // handed to a solver) — distinct from a genuine "unknown".
+          W.field("status",
+                  std::string(St.Cancelled ? "cancelled"
+                                           : statusString(St.Status)));
+          if (!St.WinnerProfile.empty())
+            W.field("profile", St.WinnerProfile);
           W.close("}");
         }
         W.close("]");

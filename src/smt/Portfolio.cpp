@@ -1,0 +1,181 @@
+//===- Portfolio.cpp - Portfolio-tactic solving engine ---------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Portfolio.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+using namespace vcdryad;
+using namespace vcdryad::smt;
+
+//===----------------------------------------------------------------------===//
+// Profile registry
+//===----------------------------------------------------------------------===//
+
+const std::vector<TacticProfile> &smt::builtinProfiles() {
+  // Parameter names are z3::solver parameter names (bare, not the
+  // "smt."-prefixed global aliases). Diversity beats tuning here:
+  // each profile flips a different axis of the search — arithmetic
+  // core, quantifier instantiation, decision randomization — because
+  // a straggler that diverges under one heuristic family often
+  // closes quickly under a sibling family.
+  static const std::vector<TacticProfile> Profiles = {
+      // 0. The stock strategy the rest of the pipeline uses.
+      {"default", {}},
+      // 1. E-matching only (no model-based quantifier instantiation).
+      //    The set-ordering atoms lower to array-property-fragment
+      //    quantifiers; when MBQI thrashes on their candidate models,
+      //    pattern instantiation alone settles faster. auto_config
+      //    must be off or Z3 re-enables MBQI behind the flag. First
+      //    diversifier because it is the strongest on this corpus: it
+      //    alone closes the SLL_merge sorted-merge straggler and is
+      //    the fastest lane on the multiset postconditions.
+      {"no-mbqi", {{"auto_config", "false"}, {"mbqi", "false"}}},
+      // 2. Legacy simplex arithmetic core instead of the new solver:
+      //    different pivoting on the dense difference constraints the
+      //    footprint guards produce.
+      {"arith-simplex", {{"arith.solver", "2"}}},
+      // 3. Reseeded decision heuristics: natural-proof guards are one
+      //    connected symbol graph, so variable-order luck dominates
+      //    divergent runs; a different seed redraws it.
+      {"reseed", {{"random_seed", "17"}, {"seed", "17"}}},
+      // 4. Fixed auto-configuration with relevancy propagation off:
+      //    forces eager case splits, which flips the exploration
+      //    order of the ghost-guard disjunctions.
+      {"eager-case-split", {{"auto_config", "false"}, {"relevancy", "0"}}},
+  };
+  return Profiles;
+}
+
+const TacticProfile *smt::findProfile(const std::string &Name) {
+  for (const TacticProfile &P : builtinProfiles())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+std::vector<TacticProfile>
+smt::resolvePortfolio(const std::vector<std::string> &Names, unsigned Width,
+                      std::string &Error) {
+  std::vector<TacticProfile> Lanes;
+  if (Names.empty()) {
+    Lanes = builtinProfiles();
+  } else {
+    for (const std::string &N : Names) {
+      const TacticProfile *P = findProfile(N);
+      if (!P) {
+        Error = "unknown tactic profile '" + N + "' (known:";
+        for (const TacticProfile &K : builtinProfiles())
+          Error += " " + K.Name;
+        Error += ")";
+        return {};
+      }
+      Lanes.push_back(*P);
+    }
+  }
+  if (Width != 0 && Lanes.size() > Width)
+    Lanes.resize(Width);
+  return Lanes;
+}
+
+//===----------------------------------------------------------------------===//
+// The race
+//===----------------------------------------------------------------------===//
+
+int smt::pickPortfolioWinner(const std::vector<LaneOutcome> &Lanes) {
+  for (size_t I = 0; I != Lanes.size(); ++I)
+    if (Lanes[I].Decisive)
+      return static_cast<int>(I);
+  return -1;
+}
+
+PortfolioResult smt::checkPortfolio(const SolverOptions &Base,
+                                    const std::vector<TacticProfile> &Lanes,
+                                    const vir::LExprRef &Guard,
+                                    const vir::LExprRef &Goal) {
+  PortfolioResult PR;
+  const size_t K = Lanes.empty() ? 1 : Lanes.size();
+
+  // Lane solvers are created up front and serially: the very first
+  // z3::context construction in a process touches Z3's global
+  // parameter tables, and concurrent portfolio races (the service
+  // escalates several functions at once) must not interleave there.
+  std::vector<std::unique_ptr<SmtSolver>> Solvers(K);
+  std::vector<LaneOutcome> Outs(K);
+  {
+    static std::mutex CreateMu;
+    std::lock_guard<std::mutex> Lock(CreateMu);
+    for (size_t I = 0; I != K; ++I) {
+      SolverOptions SO = Base;
+      if (!Lanes.empty())
+        SO.Profile = Lanes[I];
+      Solvers[I] = createZ3Solver(SO);
+      Outs[I].Profile = SO.Profile.Name;
+    }
+  }
+
+  if (K == 1) {
+    // Degenerate portfolio: a plain one-shot check, no threads.
+    Outs[0].R = Solvers[0]->checkValid(Guard, Goal);
+    Outs[0].Ran = true;
+    Outs[0].Decisive = Outs[0].R.Status != CheckStatus::Unknown;
+  } else {
+    std::atomic<bool> Decided{false};
+    auto RunLane = [&](size_t I) {
+      // A sibling may have decided before this lane got scheduled;
+      // skip the solve entirely then (Ran stays false).
+      if (Decided.load(std::memory_order_acquire))
+        return;
+      CheckResult R = Solvers[I]->checkValid(Guard, Goal);
+      Outs[I].R = std::move(R);
+      Outs[I].Ran = true;
+      Outs[I].Decisive = Outs[I].R.Status != CheckStatus::Unknown;
+      if (Outs[I].Decisive &&
+          !Decided.exchange(true, std::memory_order_acq_rel)) {
+        // First decisive finisher cancels every sibling. Interrupting
+        // a lane that has not started yet just raises its context's
+        // cancellation flag, so a late starter exits immediately.
+        for (size_t J = 0; J != K; ++J)
+          if (J != I)
+            Solvers[J]->interrupt();
+      }
+    };
+    std::vector<std::thread> Threads;
+    Threads.reserve(K - 1);
+    for (size_t I = 1; I != K; ++I)
+      Threads.emplace_back(RunLane, I);
+    RunLane(0);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  for (const LaneOutcome &O : Outs)
+    if (O.Ran) {
+      ++PR.LanesRun;
+      PR.TotalSolverMs += O.R.TimeMs;
+    }
+
+  int W = pickPortfolioWinner(Outs);
+  PR.WinnerIndex = W;
+  if (W >= 0) {
+    PR.R = Outs[W].R;
+    PR.WinnerProfile = Outs[W].Profile;
+    return PR;
+  }
+  // No decisive lane: surface the lowest-indexed lane that actually
+  // ran — its Unknown reason (usually "timeout") describes the race
+  // better than a sibling's "canceled".
+  for (const LaneOutcome &O : Outs)
+    if (O.Ran) {
+      PR.R = O.R;
+      return PR;
+    }
+  PR.R.Detail = "portfolio: no lane ran";
+  return PR;
+}

@@ -1,0 +1,103 @@
+//===- Portfolio.h - Portfolio-tactic solving engine ------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The portfolio escalation engine: races K diverse solver
+/// configurations (tactic profiles) against one proof obligation and
+/// takes the first decisive answer. Natural-proof stragglers that
+/// diverge under one strategy often close instantly under another —
+/// the same portfolio insight GRASShopper and SLEEK/HIP exploit when
+/// discharging entailments through multiple backend configurations —
+/// so the escalation rung of the timeout ladder runs the unsliced VC
+/// through a portfolio instead of only re-budgeting one strategy.
+///
+/// Concurrency and cancellation: every lane owns a private solver
+/// (its own z3::context), so lanes race on separate threads. The
+/// first lane to return Valid or Invalid cooperatively interrupts the
+/// siblings (SmtSolver::interrupt); interrupted lanes come back
+/// Unknown("canceled") and are never decisive.
+///
+/// Determinism: a decisive answer is the same verdict whichever lane
+/// produces it (all lanes solve the same obligation with a sound
+/// solver), so batch verdicts are reproducible by construction. The
+/// *identity* of the winning lane is tie-broken deterministically —
+/// lowest portfolio index among the decisive finishers — and is only
+/// reported inside the timing-gated JSON fields (`vc_stats`), keeping
+/// the `--json-times=off` report byte-identical across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SMT_PORTFOLIO_H
+#define VCDRYAD_SMT_PORTFOLIO_H
+
+#include "smt/Solver.h"
+
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace smt {
+
+/// Outcome of one portfolio lane.
+struct LaneOutcome {
+  CheckResult R;
+  std::string Profile;
+  /// Valid or Invalid — an answer worth cancelling siblings for.
+  bool Decisive = false;
+  /// The lane's check ran to completion or was interrupted mid-solve;
+  /// false when the lane was skipped because a sibling had already
+  /// decided before this lane started.
+  bool Ran = false;
+};
+
+struct PortfolioResult {
+  /// The winning lane's result; when no lane is decisive, the
+  /// lowest-indexed lane that ran (its Unknown carries the most
+  /// representative reason — typically "timeout").
+  CheckResult R;
+  int WinnerIndex = -1; ///< -1: no decisive lane.
+  std::string WinnerProfile;
+  unsigned LanesRun = 0;
+  /// Sum of solver time across every lane that ran (the budget the
+  /// race actually consumed; R.TimeMs is only the winner's).
+  double TotalSolverMs = 0.0;
+};
+
+/// The built-in tactic profiles, in deterministic portfolio order.
+/// Index 0 is always the stock strategy ("default"); later entries
+/// diversify the search (arithmetic core, quantifier instantiation,
+/// restart/seed randomization) without changing the theory setup.
+const std::vector<TacticProfile> &builtinProfiles();
+
+/// Looks a profile up by name; nullptr when unknown.
+const TacticProfile *findProfile(const std::string &Name);
+
+/// Resolves a portfolio spec into lane profiles. \p Names selects
+/// profiles by name in order (empty: the built-in order); \p Width
+/// truncates the list (0: keep all). Unknown names clear the result
+/// and set \p Error to a message listing the known profiles.
+std::vector<TacticProfile>
+resolvePortfolio(const std::vector<std::string> &Names, unsigned Width,
+                 std::string &Error);
+
+/// Pure winner selection — the deterministic tie-break: the
+/// lowest-indexed decisive lane wins; -1 when none is decisive.
+int pickPortfolioWinner(const std::vector<LaneOutcome> &Lanes);
+
+/// Races one obligation (\p Guard entails \p Goal) through \p Lanes,
+/// each lane a fresh solver built from \p Base with that lane's
+/// profile overrides. First decisive lane cancels the siblings.
+/// With fewer than two lanes this degenerates to a plain one-shot
+/// check (no threads spawned).
+PortfolioResult checkPortfolio(const SolverOptions &Base,
+                               const std::vector<TacticProfile> &Lanes,
+                               const vir::LExprRef &Guard,
+                               const vir::LExprRef &Goal);
+
+} // namespace smt
+} // namespace vcdryad
+
+#endif // VCDRYAD_SMT_PORTFOLIO_H

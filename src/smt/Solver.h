@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vcdryad {
@@ -37,12 +38,44 @@ struct CheckResult {
   double TimeMs = 0.0;
 };
 
+//===----------------------------------------------------------------------===//
+// Timeout budgets
+//
+// Throughout the solver interface a timeout of 0 means *unlimited*
+// (Z3's own convention for `-T:0`); it is a real value a user can
+// request with `--timeout=0`, so it cannot double as an "unset"
+// marker. APIs that want "fall back to the instance default" pass
+// the explicit UseDefaultTimeout sentinel instead.
+//===----------------------------------------------------------------------===//
+
+/// Per-check budget sentinel: use the constructor-time default.
+constexpr unsigned UseDefaultTimeout = 0xffffffffu;
+
+/// Resolves a per-check budget against an instance default. 0 stays
+/// 0 (unlimited); only the sentinel falls back.
+constexpr unsigned resolveTimeout(unsigned PerCheck, unsigned Default) {
+  return PerCheck == UseDefaultTimeout ? Default : PerCheck;
+}
+
+/// A named solver configuration for portfolio solving: parameter
+/// overrides applied on top of the backend defaults. Values are
+/// textual and coerced to the parameter's type (bool / unsigned /
+/// double / symbol) by the backend. The empty profile (no overrides)
+/// is the stock strategy.
+struct TacticProfile {
+  std::string Name = "default";
+  std::vector<std::pair<std::string, std::string>> Params;
+};
+
 struct SolverOptions {
+  /// Per-check budget in milliseconds; 0 = unlimited.
   unsigned TimeoutMs = 60000;
   /// Background facts added to every query (quantified-axiom mode).
   std::vector<vir::LExprRef> BackgroundAxioms;
   /// Cap on the counterexample text kept in CheckResult::Detail.
   size_t MaxModelChars = 4000;
+  /// Parameter overrides of this solver's tactic profile.
+  TacticProfile Profile;
 };
 
 /// One solving session; reusable across checks of one program.
@@ -86,8 +119,9 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// Starts a session asserting \p Prefix once. \p TimeoutMs is the
-  /// per-check budget (0 means the constructor-time default). Any
-  /// previous session is ended.
+  /// per-check budget: 0 requests an unlimited solve, and the
+  /// UseDefaultTimeout sentinel falls back to the constructor-time
+  /// default. Any previous session is ended.
   virtual void beginSession(const std::vector<vir::LExprRef> &Prefix,
                             unsigned TimeoutMs) = 0;
 
@@ -98,6 +132,14 @@ public:
 
   /// Tears down the session solver and the lowering memo.
   virtual void endSession() = 0;
+
+  /// Cooperatively interrupts a check running on another thread (the
+  /// portfolio engine cancels losing lanes this way). The interrupted
+  /// check returns Unknown. This is the only member safe to call
+  /// concurrently with a running check — and because the cancellation
+  /// flag can outlive the check it raced with, an interrupted
+  /// instance must be discarded, not reused.
+  virtual void interrupt() = 0;
 };
 
 std::unique_ptr<SmtSolver> createZ3Solver(const SolverOptions &Opts = {});

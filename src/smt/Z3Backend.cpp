@@ -19,6 +19,7 @@
 #include "support/Timer.h"
 
 #include <cassert>
+#include <charconv>
 #include <map>
 
 #include <z3++.h>
@@ -303,6 +304,36 @@ public:
   explicit Z3SolverImpl(const SolverOptions &Opts)
       : Opts(Opts), Lower(Ctx) {}
 
+  /// Applies the per-check budget and the tactic profile's overrides.
+  /// A budget of 0 is "unlimited": the timeout parameter is left at
+  /// Z3's own no-timeout default rather than set to a literal 0.
+  void applyParams(z3::params &P, unsigned TimeoutMs) {
+    if (TimeoutMs != 0)
+      P.set("timeout", TimeoutMs);
+    for (const auto &[Key, Val] : Opts.Profile.Params) {
+      // Values are textual; coerce to the parameter's likely type.
+      // A wrong coercion (or an unknown parameter) throws at
+      // solver.set() and the caller degrades to Unknown.
+      if (Val == "true" || Val == "false")
+        P.set(Key.c_str(), Val == "true");
+      else if (!Val.empty() &&
+               Val.find_first_not_of("0123456789") == std::string::npos)
+        P.set(Key.c_str(), static_cast<unsigned>(std::stoul(Val)));
+      else if (!Val.empty() &&
+               Val.find_first_not_of("0123456789.") == std::string::npos) {
+        // std::from_chars, not std::stod: profile values must parse
+        // the same under every LC_NUMERIC locale.
+        double D = 0.0;
+        auto [Ptr, Ec] =
+            std::from_chars(Val.data(), Val.data() + Val.size(), D);
+        if (Ec == std::errc() && Ptr == Val.data() + Val.size())
+          P.set(Key.c_str(), D);
+      }
+      else
+        P.set(Key.c_str(), Ctx.str_symbol(Val.c_str()));
+    }
+  }
+
   CheckResult checkValid(const LExprRef &Guard,
                          const LExprRef &Goal) override {
     Timer T;
@@ -314,7 +345,7 @@ public:
     try {
       z3::solver S(Ctx);
       z3::params P(Ctx);
-      P.set("timeout", Opts.TimeoutMs);
+      applyParams(P, Opts.TimeoutMs);
       S.set(P);
       for (const LExprRef &Ax : Opts.BackgroundAxioms)
         S.add(Lower.lower(Ax));
@@ -352,7 +383,7 @@ public:
       Session = std::make_unique<z3::solver>(Ctx);
       // Parameters are set once here, for every check of the session.
       z3::params P(Ctx);
-      P.set("timeout", TimeoutMs ? TimeoutMs : Opts.TimeoutMs);
+      applyParams(P, resolveTimeout(TimeoutMs, Opts.TimeoutMs));
       Session->set(P);
       for (const LExprRef &Ax : Opts.BackgroundAxioms)
         Session->add(Lower.lower(Ax));
@@ -412,6 +443,16 @@ public:
     // Session lowerings memoize by node address; those nodes may die
     // with the caller's plan, so the memo must not outlive them.
     Lower.clearNodeCache();
+  }
+
+  void interrupt() override {
+    // Z3_interrupt is the one context entry point designed to be
+    // called from another thread while a check runs; it raises the
+    // context's cancellation flag and the running check returns
+    // unknown ("canceled"). The flag can linger past the check it
+    // raced with, which is why the SmtSolver contract forbids reusing
+    // an interrupted instance.
+    Ctx.interrupt();
   }
 
   std::string toSmtLib(const LExprRef &Guard, const LExprRef &Goal) override {

@@ -16,6 +16,7 @@
 #include "cfront/Parser.h"
 #include "instr/Instrument.h"
 #include "service/Service.h"
+#include "smt/Portfolio.h"
 #include "support/StringUtil.h"
 #include "verifier/Verifier.h"
 #include "vir/Passify.h"
@@ -46,11 +47,20 @@ void printUsage() {
       "\n"
       "options:\n"
       "  --only=<fn>          verify a single function\n"
-      "  --timeout=<ms>       per-VC solver timeout (default 60000)\n"
+      "  --timeout=<ms>       per-VC solver timeout (default 60000;\n"
+      "                       0 = unlimited)\n"
       "  --fast-timeout=<ms>  budget of the fast incremental pass;\n"
       "                       unsettled VCs escalate to --timeout\n"
       "                       unsliced (default 5000; 0 disables the\n"
       "                       ladder)\n"
+      "  --portfolio=<n>      race escalated VCs through the first n\n"
+      "                       built-in tactic profiles; the first\n"
+      "                       decisive lane wins and cancels the rest\n"
+      "                       (default 1: single-strategy escalation)\n"
+      "  --portfolio-profiles=<a,b,...>\n"
+      "                       explicit profile lanes for the portfolio\n"
+      "                       (implies its width); see --list-profiles\n"
+      "  --list-profiles      print the built-in tactic profiles\n"
       "  --no-preprocess      skip VC simplification (and slicing)\n"
       "  --no-slice           keep full guards in the fast pass\n"
       "  --keep-going         report all failing VCs, not just the first\n"
@@ -139,6 +149,44 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.Verify.Slice = false;
     } else if (A == "--no-slice") {
       Cli.Verify.Slice = false;
+    } else if (StartsWith("--portfolio=")) {
+      if (!parseUnsignedFlag("--portfolio", A.substr(12),
+                             Cli.Verify.Portfolio))
+        return false;
+    } else if (StartsWith("--portfolio-profiles=")) {
+      Cli.Verify.PortfolioProfiles.clear();
+      std::string Rest = A.substr(21);
+      for (size_t Pos = 0; Pos <= Rest.size();) {
+        size_t Comma = Rest.find(',', Pos);
+        size_t End = Comma == std::string::npos ? Rest.size() : Comma;
+        std::string_view Part =
+            trim(std::string_view(Rest).substr(Pos, End - Pos));
+        if (!Part.empty())
+          Cli.Verify.PortfolioProfiles.emplace_back(Part);
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
+      }
+      for (const std::string &Name : Cli.Verify.PortfolioProfiles)
+        if (!smt::findProfile(Name)) {
+          std::string Known;
+          for (const smt::TacticProfile &P : smt::builtinProfiles())
+            Known += " " + P.Name;
+          std::fprintf(stderr,
+                       "error: unknown tactic profile '%s' "
+                       "(known:%s)\n",
+                       Name.c_str(), Known.c_str());
+          return false;
+        }
+    } else if (A == "--list-profiles") {
+      for (const smt::TacticProfile &P : smt::builtinProfiles()) {
+        std::string Params;
+        for (const auto &[K, V] : P.Params)
+          Params += (Params.empty() ? "" : " ") + K + "=" + V;
+        std::printf("%-16s %s\n", P.Name.c_str(),
+                    Params.empty() ? "(stock strategy)" : Params.c_str());
+      }
+      std::exit(0);
     } else if (StartsWith("--jobs=")) {
       if (!parseUnsignedFlag("--jobs", A.substr(7), Cli.Jobs))
         return false;

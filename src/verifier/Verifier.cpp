@@ -8,6 +8,7 @@
 
 #include "cfront/Normalize.h"
 #include "cfront/Parser.h"
+#include "smt/Portfolio.h"
 #include "support/Timer.h"
 #include "vir/Passify.h"
 #include "vir/Simplify.h"
@@ -167,8 +168,30 @@ std::vector<vir::LExprRef> Verifier::sessionExtras(const vir::VC &VC,
   return Extra;
 }
 
+std::vector<smt::TacticProfile>
+Verifier::portfolioLanes(std::string &Error) const {
+  unsigned Width = Opts.Portfolio;
+  if (Width <= 1 && !Opts.PortfolioProfiles.empty())
+    Width = static_cast<unsigned>(Opts.PortfolioProfiles.size());
+  if (Width <= 1)
+    return {};
+  std::vector<smt::TacticProfile> Lanes =
+      smt::resolvePortfolio(Opts.PortfolioProfiles, Width, Error);
+  if (Lanes.size() < 2)
+    return {};
+  return Lanes;
+}
+
 FunctionResult Verifier::checkFunction(const FunctionObligations &FO,
                                        smt::SmtSolver &Solver) const {
+  smt::SolverOptions SOpts;
+  SOpts.TimeoutMs = Opts.TimeoutMs;
+  return checkFunction(FO, Solver, SOpts);
+}
+
+FunctionResult Verifier::checkFunction(const FunctionObligations &FO,
+                                       smt::SmtSolver &Solver,
+                                       const smt::SolverOptions &SOpts) const {
   Timer T;
   FunctionResult FR;
   FR.Name = FO.Name;
@@ -206,6 +229,7 @@ FunctionResult Verifier::checkFunction(const FunctionObligations &FO,
         VC.Preprocessed ? VC.Sliced.size() : VC.Conjuncts.size());
     if (triviallyValid(VC)) {
       St.Trivial = true;
+      St.Status = smt::CheckStatus::Valid;
       Settled[I] = 1;
     }
   }
@@ -215,8 +239,12 @@ FunctionResult Verifier::checkFunction(const FunctionObligations &FO,
   // push/pop at the short budget. Only Valid answers settle here —
   // sliced guards are weaker, so Valid transfers to the full VC,
   // while sat/unknown may be artifacts of slicing or the budget.
+  // (TimeoutMs == 0 is an unlimited full budget, which any fast
+  // budget undercuts.)
   bool FastPass = Opts.FastTimeoutMs > 0 &&
-                  Opts.FastTimeoutMs < Opts.TimeoutMs && N > 0;
+                  (Opts.TimeoutMs == 0 ||
+                   Opts.FastTimeoutMs < Opts.TimeoutMs) &&
+                  N > 0;
   if (FastPass) {
     size_t PrefixLen = commonGuardPrefix(FO.VCs);
     std::vector<vir::LExprRef> Prefix(
@@ -230,32 +258,58 @@ FunctionResult Verifier::checkFunction(const FunctionObligations &FO,
       smt::CheckResult CR =
           Solver.checkSession(sessionExtras(VC, PrefixLen), VC.Cond);
       FR.VCStats[I].SolveTimeMs += CR.TimeMs;
-      if (CR.Status == smt::CheckStatus::Valid)
+      if (CR.Status == smt::CheckStatus::Valid) {
+        FR.VCStats[I].Status = smt::CheckStatus::Valid;
         Settled[I] = 1;
+      }
     }
     Solver.endSession();
   }
 
   // Escalation / baseline pass, in VC order: anything unsettled is
-  // checked one-shot against the full guard at the full budget, so
-  // final verdicts (and StopAtFirstFailure behavior) are identical to
-  // a run without the ladder.
+  // checked one-shot against the full guard at the full budget — by
+  // a race of diverse tactic profiles when the portfolio rung is on,
+  // else on the caller's solver. Either way only the full-budget
+  // answer decides, so final verdicts (and StopAtFirstFailure
+  // behavior) are identical to a run without the ladder.
+  std::string LaneError;
+  std::vector<smt::TacticProfile> Lanes = portfolioLanes(LaneError);
+  smt::SolverOptions FullOpts = SOpts;
+  FullOpts.TimeoutMs = Opts.TimeoutMs;
   for (size_t I = 0; I != N; ++I) {
     if (Settled[I])
       continue;
     const vir::VC &VC = FO.VCs[I];
-    smt::CheckResult CR = Solver.checkValid(VC.Guard, VC.Cond);
-    FR.VCStats[I].SolveTimeMs += CR.TimeMs;
+    VCStat &St = FR.VCStats[I];
+    smt::CheckResult CR;
+    if (Lanes.size() >= 2) {
+      smt::PortfolioResult PR =
+          smt::checkPortfolio(FullOpts, Lanes, VC.Guard, VC.Cond);
+      CR = PR.R;
+      St.SolveTimeMs += PR.TotalSolverMs;
+      St.WinnerProfile = PR.WinnerProfile;
+    } else {
+      CR = Solver.checkValid(VC.Guard, VC.Cond);
+      St.SolveTimeMs += CR.TimeMs;
+    }
+    St.Status = CR.Status;
     if (FastPass) {
-      FR.VCStats[I].Escalated = true;
+      St.Escalated = true;
       ++FR.Escalations;
     }
     if (CR.Status != smt::CheckStatus::Valid) {
       FR.Verified = false;
       FR.Failures.push_back(
           {VC.Reason, VC.Loc, CR.Status, CR.TimeMs, CR.Detail});
-      if (Opts.StopAtFirstFailure)
+      if (Opts.StopAtFirstFailure) {
+        // Everything after the first failure is skipped, not solved:
+        // mark the remainder cancelled so reports cannot mistake the
+        // skips for solver incompleteness.
+        for (size_t J = I + 1; J != N; ++J)
+          if (!Settled[J])
+            FR.VCStats[J].Cancelled = true;
         break;
+      }
     }
   }
 

@@ -57,6 +57,16 @@ struct VerifyOptions {
   /// TimeoutMs, so final verdicts match the non-laddered run. 0
   /// disables the fast pass (every VC solves one-shot at TimeoutMs).
   unsigned FastTimeoutMs = 5000;
+  /// Width of the portfolio escalation rung: obligations the fast
+  /// pass leaves unsettled are raced through this many diverse
+  /// solver configurations (smt::builtinProfiles order unless
+  /// PortfolioProfiles overrides), first decisive answer wins. <= 1
+  /// keeps the single-strategy escalation.
+  unsigned Portfolio = 1;
+  /// Explicit tactic-profile names for the portfolio lanes; empty
+  /// selects the built-in order. A non-empty list implies its own
+  /// width when Portfolio is not set above 1.
+  std::vector<std::string> PortfolioProfiles;
 };
 
 /// Outcome of one proof obligation.
@@ -84,6 +94,15 @@ struct VCStat {
   /// Settled without any solver call (goal simplified to true, or
   /// guard to false).
   bool Trivial = false;
+  /// Final disposition of the obligation. Meaningless when Cancelled.
+  smt::CheckStatus Status = smt::CheckStatus::Unknown;
+  /// Skipped by first-failure cancellation (StopAtFirstFailure):
+  /// never solved, which is *not* solver incompleteness — batch JSON
+  /// reports these as "cancelled", distinct from genuine "unknown".
+  bool Cancelled = false;
+  /// The tactic profile that settled an escalated obligation when the
+  /// portfolio rung is on (empty otherwise).
+  std::string WinnerProfile;
 };
 
 struct FunctionResult {
@@ -178,9 +197,25 @@ public:
 
   /// Back half: solves one function's obligations in order on the
   /// given solver (vacuity probe first when enabled, then the VCs,
-  /// honoring StopAtFirstFailure).
+  /// honoring StopAtFirstFailure). The ladder is fast -> portfolio:
+  /// obligations the fast incremental pass leaves unsettled are
+  /// raced through the portfolio lanes (see VerifyOptions::Portfolio)
+  /// built from \p SOpts; with a portfolio width of 1 the escalation
+  /// stays the classic one-shot check on \p Solver.
+  FunctionResult checkFunction(const FunctionObligations &FO,
+                               smt::SmtSolver &Solver,
+                               const smt::SolverOptions &SOpts) const;
+
+  /// Convenience overload deriving solver options from the verify
+  /// options alone (no background axioms — callers in the
+  /// quantified-axiom ablation mode must pass solverOptions(Plan)).
   FunctionResult checkFunction(const FunctionObligations &FO,
                                smt::SmtSolver &Solver) const;
+
+  /// The resolved portfolio lanes of these options: empty when the
+  /// portfolio rung is disabled (width <= 1); on a bad profile name
+  /// the error is reported through \p Error (empty lanes, rung off).
+  std::vector<smt::TacticProfile> portfolioLanes(std::string &Error) const;
 
   /// The obligation whose guard the vacuity smoke test probes: the
   /// first postcondition VC (the last VC can sit behind the

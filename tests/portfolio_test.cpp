@@ -1,0 +1,270 @@
+//===- portfolio_test.cpp - Unit tests for the portfolio engine ------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Portfolio.h"
+
+#include "verifier/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+using namespace vcdryad::smt;
+using namespace vcdryad::vir;
+
+//===----------------------------------------------------------------------===//
+// Profile registry and resolution
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioTest, BuiltinRegistry) {
+  const std::vector<TacticProfile> &P = builtinProfiles();
+  ASSERT_GE(P.size(), 2u);
+  // Index 0 is the stock strategy by contract.
+  EXPECT_EQ(P[0].Name, "default");
+  EXPECT_TRUE(P[0].Params.empty());
+  // Names are unique (they key the CLI and the JSON report).
+  for (size_t I = 0; I != P.size(); ++I)
+    for (size_t J = I + 1; J != P.size(); ++J)
+      EXPECT_NE(P[I].Name, P[J].Name);
+  EXPECT_NE(findProfile("default"), nullptr);
+  EXPECT_NE(findProfile("no-mbqi"), nullptr);
+  EXPECT_EQ(findProfile("nope"), nullptr);
+}
+
+TEST(PortfolioTest, ResolveBuiltinOrderAndWidth) {
+  std::string Error;
+  std::vector<TacticProfile> All = resolvePortfolio({}, 0, Error);
+  EXPECT_TRUE(Error.empty());
+  EXPECT_EQ(All.size(), builtinProfiles().size());
+
+  std::vector<TacticProfile> Two = resolvePortfolio({}, 2, Error);
+  ASSERT_EQ(Two.size(), 2u);
+  EXPECT_EQ(Two[0].Name, "default");
+  EXPECT_EQ(Two[1].Name, builtinProfiles()[1].Name);
+}
+
+TEST(PortfolioTest, ResolveExplicitNames) {
+  std::string Error;
+  std::vector<TacticProfile> L =
+      resolvePortfolio({"no-mbqi", "default"}, 0, Error);
+  ASSERT_EQ(L.size(), 2u);
+  EXPECT_EQ(L[0].Name, "no-mbqi");
+  EXPECT_EQ(L[1].Name, "default");
+}
+
+TEST(PortfolioTest, ResolveUnknownNameReportsError) {
+  std::string Error;
+  std::vector<TacticProfile> L = resolvePortfolio({"bogus"}, 0, Error);
+  EXPECT_TRUE(L.empty());
+  EXPECT_NE(Error.find("bogus"), std::string::npos);
+  // The message lists the known profiles.
+  EXPECT_NE(Error.find("default"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Winner selection (pure tie-break)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+LaneOutcome lane(CheckStatus S, bool Decisive, bool Ran) {
+  LaneOutcome O;
+  O.R.Status = S;
+  O.Decisive = Decisive;
+  O.Ran = Ran;
+  return O;
+}
+
+} // namespace
+
+TEST(PortfolioTest, WinnerIsLowestDecisiveIndex) {
+  std::vector<LaneOutcome> L = {
+      lane(CheckStatus::Unknown, false, true),
+      lane(CheckStatus::Valid, true, true),
+      lane(CheckStatus::Valid, true, true),
+  };
+  EXPECT_EQ(pickPortfolioWinner(L), 1);
+}
+
+TEST(PortfolioTest, NoDecisiveLaneMeansNoWinner) {
+  std::vector<LaneOutcome> L = {
+      lane(CheckStatus::Unknown, false, true),
+      lane(CheckStatus::Unknown, false, false),
+  };
+  EXPECT_EQ(pickPortfolioWinner(L), -1);
+  EXPECT_EQ(pickPortfolioWinner({}), -1);
+}
+
+//===----------------------------------------------------------------------===//
+// Timeout plumbing
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioTest, ResolveTimeoutSentinel) {
+  // The explicit sentinel falls back to the default; everything else —
+  // including 0 ("unlimited", Z3's convention) — passes through.
+  EXPECT_EQ(resolveTimeout(UseDefaultTimeout, 60000u), 60000u);
+  EXPECT_EQ(resolveTimeout(0u, 60000u), 0u);
+  EXPECT_EQ(resolveTimeout(1234u, 60000u), 1234u);
+}
+
+TEST(PortfolioTest, TimeoutZeroIsUnlimited) {
+  // A solver with TimeoutMs == 0 must still answer (no 0ms budget):
+  // regression for the 0-means-default confusion.
+  SolverOptions SO;
+  SO.TimeoutMs = 0;
+  auto S = createZ3Solver(SO);
+  LExprRef X = mkVar("x", Sort::Int);
+  CheckResult R = S->checkValid(mkIntLt(X, mkInt(5)), mkIntLe(X, mkInt(5)));
+  EXPECT_EQ(R.Status, CheckStatus::Valid) << R.Detail;
+}
+
+TEST(PortfolioTest, SessionTimeoutZeroIsUnlimited) {
+  SolverOptions SO;
+  SO.TimeoutMs = 10; // Deliberately tiny constructor default.
+  auto S = createZ3Solver(SO);
+  LExprRef X = mkVar("x", Sort::Int);
+  S->beginSession({mkIntLt(X, mkInt(5))}, 0); // 0 = unlimited, not 10ms.
+  CheckResult R = S->checkSession({}, mkIntLe(X, mkInt(5)));
+  S->endSession();
+  EXPECT_EQ(R.Status, CheckStatus::Valid) << R.Detail;
+}
+
+TEST(PortfolioTest, SessionSentinelUsesConstructorDefault) {
+  SolverOptions SO;
+  SO.TimeoutMs = 30000;
+  auto S = createZ3Solver(SO);
+  LExprRef X = mkVar("x", Sort::Int);
+  S->beginSession({mkIntLt(X, mkInt(5))}, UseDefaultTimeout);
+  CheckResult R = S->checkSession({}, mkIntLe(X, mkInt(5)));
+  S->endSession();
+  EXPECT_EQ(R.Status, CheckStatus::Valid) << R.Detail;
+}
+
+//===----------------------------------------------------------------------===//
+// The race
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioTest, PortfolioValidVerdict) {
+  SolverOptions SO;
+  SO.TimeoutMs = 30000;
+  std::string Error;
+  std::vector<TacticProfile> Lanes = resolvePortfolio({}, 3, Error);
+  LExprRef X = mkVar("x", Sort::Int);
+  PortfolioResult PR =
+      checkPortfolio(SO, Lanes, mkIntLt(X, mkInt(5)), mkIntLe(X, mkInt(5)));
+  EXPECT_EQ(PR.R.Status, CheckStatus::Valid) << PR.R.Detail;
+  EXPECT_GE(PR.WinnerIndex, 0);
+  EXPECT_FALSE(PR.WinnerProfile.empty());
+  EXPECT_GE(PR.LanesRun, 1u);
+}
+
+TEST(PortfolioTest, PortfolioInvalidVerdict) {
+  SolverOptions SO;
+  SO.TimeoutMs = 30000;
+  std::string Error;
+  std::vector<TacticProfile> Lanes = resolvePortfolio({}, 3, Error);
+  LExprRef X = mkVar("x", Sort::Int);
+  PortfolioResult PR =
+      checkPortfolio(SO, Lanes, mkBool(true), mkEq(X, mkInt(0)));
+  EXPECT_EQ(PR.R.Status, CheckStatus::Invalid) << PR.R.Detail;
+  EXPECT_GE(PR.WinnerIndex, 0);
+}
+
+TEST(PortfolioTest, SingleLaneDegeneratesToOneShot) {
+  SolverOptions SO;
+  SO.TimeoutMs = 30000;
+  std::vector<TacticProfile> One = {builtinProfiles()[0]};
+  LExprRef X = mkVar("x", Sort::Int);
+  PortfolioResult PR =
+      checkPortfolio(SO, One, mkIntLt(X, mkInt(5)), mkIntLe(X, mkInt(5)));
+  EXPECT_EQ(PR.R.Status, CheckStatus::Valid);
+  EXPECT_EQ(PR.WinnerIndex, 0);
+  EXPECT_EQ(PR.LanesRun, 1u);
+}
+
+namespace {
+
+/// An obligation only some lanes can settle: with MBQI disabled and no
+/// ground f-terms, e-matching has nothing to instantiate the
+/// contradictory bounds with, so the "no-mbqi" lane answers Unknown
+/// while the stock strategy proves the entailment instantly.
+void mbqiDiscriminator(LExprRef &Guard, LExprRef &Goal) {
+  LExprRef X = mkVar("?x", Sort::Int);
+  LExprRef Fx = mkApp("f", Sort::Int, {X});
+  LExprRef Low = mkForall({X}, mkIntLe(Fx, mkInt(7)));
+  LExprRef High = mkForall({X}, mkIntLe(mkInt(8), Fx));
+  Guard = mkAnd(Low, High);
+  Goal = mkBool(false);
+}
+
+} // namespace
+
+TEST(PortfolioTest, DeterministicWinnerAcrossRuns) {
+  // Lane 0 ("no-mbqi") cannot decide this obligation; lane 1
+  // ("default") proves it. The reported winner must therefore be
+  // "default" on every run, regardless of thread scheduling — the
+  // tie-break is over *decisive* lanes only.
+  SolverOptions SO;
+  SO.TimeoutMs = 30000;
+  std::string Error;
+  std::vector<TacticProfile> Lanes =
+      resolvePortfolio({"no-mbqi", "default"}, 0, Error);
+  ASSERT_EQ(Lanes.size(), 2u);
+  LExprRef Guard, Goal;
+  mbqiDiscriminator(Guard, Goal);
+  for (int Run = 0; Run != 2; ++Run) {
+    PortfolioResult PR = checkPortfolio(SO, Lanes, Guard, Goal);
+    EXPECT_EQ(PR.R.Status, CheckStatus::Valid) << PR.R.Detail;
+    EXPECT_EQ(PR.WinnerIndex, 1) << "run " << Run;
+    EXPECT_EQ(PR.WinnerProfile, "default") << "run " << Run;
+  }
+}
+
+TEST(PortfolioTest, ProfileParamsAreApplied) {
+  // The no-mbqi profile alone must fail the discriminator the default
+  // strategy proves — i.e. the per-lane params demonstrably reach Z3.
+  LExprRef Guard, Goal;
+  mbqiDiscriminator(Guard, Goal);
+  SolverOptions Stock;
+  Stock.TimeoutMs = 30000;
+  auto SD = createZ3Solver(Stock);
+  EXPECT_EQ(SD->checkValid(Guard, Goal).Status, CheckStatus::Valid);
+
+  SolverOptions NoMbqi = Stock;
+  NoMbqi.TimeoutMs = 2000;
+  const TacticProfile *P = findProfile("no-mbqi");
+  ASSERT_NE(P, nullptr);
+  NoMbqi.Profile = *P;
+  auto SN = createZ3Solver(NoMbqi);
+  EXPECT_EQ(SN->checkValid(Guard, Goal).Status, CheckStatus::Unknown);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier integration
+//===----------------------------------------------------------------------===//
+
+TEST(PortfolioTest, VerifierLaneResolution) {
+  verifier::VerifyOptions VO;
+  std::string Error;
+  EXPECT_TRUE(verifier::Verifier(VO).portfolioLanes(Error).empty());
+
+  VO.Portfolio = 3;
+  std::vector<TacticProfile> L = verifier::Verifier(VO).portfolioLanes(Error);
+  ASSERT_EQ(L.size(), 3u);
+  EXPECT_EQ(L[0].Name, "default");
+
+  // An explicit profile list implies its own width.
+  verifier::VerifyOptions VP;
+  VP.PortfolioProfiles = {"reseed", "default"};
+  L = verifier::Verifier(VP).portfolioLanes(Error);
+  ASSERT_EQ(L.size(), 2u);
+  EXPECT_EQ(L[0].Name, "reseed");
+
+  verifier::VerifyOptions VB;
+  VB.Portfolio = 4;
+  VB.PortfolioProfiles = {"bogus"};
+  EXPECT_TRUE(verifier::Verifier(VB).portfolioLanes(Error).empty());
+  EXPECT_FALSE(Error.empty());
+}

@@ -23,8 +23,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <clocale>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 using namespace vcdryad;
 namespace fs = std::filesystem;
@@ -256,6 +258,94 @@ TEST_F(ProofCacheTest, CorruptLinesAreSkipped) {
   EXPECT_TRUE(Cache.lookup(7));
 }
 
+TEST_F(ProofCacheTest, TrailingGarbageInTimeFieldIsRejected) {
+  std::string CacheDir = (Dir / "cache").string();
+  fs::create_directories(CacheDir);
+  std::ofstream Store(fs::path(CacheDir) / "proofs-v1.txt");
+  // std::stod would happily parse the prefix of all three; the strict
+  // loader must reject anything that is not a full clean number.
+  Store << hashToHex(1) << " V 3.25abc\n"
+        << hashToHex(2) << " V 12,5\n"
+        << hashToHex(3) << " V 1.0 extra\n"
+        << hashToHex(4) << " V 2.75\n";
+  Store.close();
+  service::ProofCache Cache(CacheDir);
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_TRUE(Cache.lookup(4));
+}
+
+TEST_F(ProofCacheTest, InterleavedFlushersDoNotClobberEachOther) {
+  // Regression for the non-atomic flush: two caches open the same
+  // store, each learns a different proof, and each flushes. The
+  // replace-by-rename flush must fold the other writer's on-disk
+  // entries in, not overwrite them with its own view.
+  std::string CacheDir = (Dir / "cache").string();
+  smt::CheckResult Valid;
+  Valid.Status = smt::CheckStatus::Valid;
+  Valid.TimeMs = 1.0;
+  service::ProofCache A(CacheDir);
+  service::ProofCache B(CacheDir);
+  A.store(100, Valid);
+  B.store(200, Valid);
+  B.flush();
+  A.flush(); // Without merging, this would drop key 200.
+  service::ProofCache Reloaded(CacheDir);
+  EXPECT_EQ(Reloaded.size(), 2u);
+  EXPECT_TRUE(Reloaded.lookup(100));
+  EXPECT_TRUE(Reloaded.lookup(200));
+}
+
+TEST_F(ProofCacheTest, ConcurrentWritersPreserveEveryEntry) {
+  std::string CacheDir = (Dir / "cache").string();
+  constexpr int PerWriter = 50;
+  auto Writer = [&](uint64_t Base) {
+    service::ProofCache Cache(CacheDir);
+    smt::CheckResult Valid;
+    Valid.Status = smt::CheckStatus::Valid;
+    Valid.TimeMs = 0.5;
+    for (int I = 0; I != PerWriter; ++I) {
+      Cache.store(Base + I, Valid);
+      // Interleave flushes with the sibling to exercise the lock +
+      // merge path, not just one final union write.
+      if (I % 10 == 9)
+        Cache.flush();
+    }
+    // Destructor flushes the tail.
+  };
+  std::thread T1(Writer, 1000);
+  std::thread T2(Writer, 2000);
+  T1.join();
+  T2.join();
+  service::ProofCache Reloaded(CacheDir);
+  EXPECT_EQ(Reloaded.size(), 2u * PerWriter);
+  EXPECT_TRUE(Reloaded.lookup(1000));
+  EXPECT_TRUE(Reloaded.lookup(2000 + PerWriter - 1));
+}
+
+TEST_F(ProofCacheTest, StoreSurvivesNumericLocale) {
+  // Under LC_NUMERIC=de_DE the decimal separator is ','; both the
+  // writer (fixed-point formatter) and the loader (std::from_chars)
+  // must ignore it. With locale-sensitive IO this test would either
+  // write "12,500" or parse "12.5" as 12.
+  const char *Old = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (!Old)
+    GTEST_SKIP() << "de_DE.UTF-8 locale not installed";
+  std::string CacheDir = (Dir / "cache").string();
+  smt::CheckResult Valid;
+  Valid.Status = smt::CheckStatus::Valid;
+  Valid.TimeMs = 12.5;
+  {
+    service::ProofCache Cache(CacheDir);
+    Cache.store(9, Valid);
+  }
+  service::ProofCache Reloaded(CacheDir);
+  std::setlocale(LC_NUMERIC, "C");
+  ASSERT_EQ(Reloaded.size(), 1u);
+  auto Hit = Reloaded.lookup(9);
+  ASSERT_TRUE(Hit);
+  EXPECT_DOUBLE_EQ(Hit->TimeMs, 12.5);
+}
+
 //===----------------------------------------------------------------------===//
 // Scheduler / batch service
 //===----------------------------------------------------------------------===//
@@ -408,6 +498,52 @@ int id1(int a)
   EXPECT_NE(R.Files[0].Error, "");
   EXPECT_TRUE(R.Files[1].Ok);
   EXPECT_TRUE(R.Files[1].Functions[0].Result.Verified);
+}
+
+TEST_F(SchedulerTest, CancelledSlotsAreDistinctFromUnknown) {
+  // Two independently-invalid null-dereference obligations: the first
+  // escalated VC comes back Invalid, first-failure cancellation skips
+  // the second. The skipped slot was never handed to a solver, so the
+  // report must say "cancelled" — not "unknown", which would read as
+  // solver incompleteness. (Two failing *postconditions* would not
+  // do: each postcondition VC assumes its predecessors, so the second
+  // one's guard turns contradictory and the fast pass settles it.)
+  writeFile("two_bad.c", R"(
+struct node {
+  struct node *next;
+  int key;
+};
+
+int two_bad(struct node *x, struct node *y)
+  _(ensures result == 0)
+{
+  int a = x->key;
+  int b = y->key;
+  return 0;
+}
+)");
+  service::BatchReport R = runBatch(1);
+  ASSERT_EQ(R.Files.size(), 1u);
+  ASSERT_EQ(R.Files[0].Functions.size(), 1u);
+  const verifier::FunctionResult &Fn = R.Files[0].Functions[0].Result;
+  EXPECT_FALSE(Fn.Verified);
+  unsigned Invalid = 0, Cancelled = 0;
+  for (const verifier::VCStat &St : Fn.VCStats) {
+    if (St.Cancelled) {
+      ++Cancelled;
+      continue;
+    }
+    if (St.Status == smt::CheckStatus::Invalid)
+      ++Invalid;
+    // Nothing may be reported Unknown here: every solved VC has a
+    // definite verdict and every skipped one is marked cancelled.
+    EXPECT_NE(St.Status, smt::CheckStatus::Unknown) << St.Reason;
+  }
+  EXPECT_EQ(Invalid, 1u);
+  EXPECT_GE(Cancelled, 1u);
+  std::string Json = service::toJson(R, /*IncludeTimes=*/true);
+  EXPECT_NE(Json.find("\"status\": \"cancelled\""), std::string::npos);
+  EXPECT_EQ(Json.find("\"status\": \"unknown\""), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
