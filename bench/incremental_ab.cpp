@@ -1,0 +1,104 @@
+//===- incremental_ab.cpp - Incremental re-verification A/B harness ---------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the build-system semantics of incremental re-verification
+/// on one benchmark suite (default: SLL): cold run with the manifest
+/// recording, warm proof-cache-only re-run (the pre-incremental
+/// baseline — VCs are still generated and hashed for every function),
+/// and warm incremental re-run (fingerprint-matching functions skipped
+/// before instrumentation, zero solver traffic). Prints the wall-clock
+/// of each configuration plus the warm incremental run's skip count
+/// and solved-VC count — the numbers behind the EXPERIMENTS.md
+/// "incremental re-verification" entry.
+///
+/// Usage: incremental_ab [suite-dir] [jobs]
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace vcdryad;
+namespace fs = std::filesystem;
+
+namespace {
+
+service::BatchReport runOnce(const std::vector<std::string> &Files,
+                             unsigned Jobs, const std::string &CacheDir,
+                             bool Incremental, const char *Label) {
+  service::ServiceOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.CacheDir = CacheDir;
+  Opts.Incremental = Incremental;
+  service::VerificationService Service(Opts);
+  service::BatchReport Rep = Service.run(Files);
+  std::printf("%-24s %8.2fs  %3u/%u verified  %u skipped  %u VCs "
+              "solved\n",
+              Label, Rep.WallMs / 1000.0, Rep.NumVerified,
+              Rep.NumFunctions, Rep.NumSkippedUnchanged,
+              Rep.NumSolvedVCs);
+  std::fflush(stdout);
+  return Rep;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Suite = Argc > 1
+                          ? Argv[1]
+                          : (fs::path(VCDRYAD_BENCHMARK_DIR) / "sll")
+                                .string();
+  unsigned Jobs = std::thread::hardware_concurrency();
+  if (Argc > 2)
+    Jobs = static_cast<unsigned>(std::stoul(Argv[2]));
+  if (Jobs < 2)
+    Jobs = 2;
+
+  std::string Error;
+  std::vector<std::string> Files =
+      service::collectBatchInputs({Suite}, Error);
+  if (!Error.empty() || Files.empty()) {
+    std::fprintf(stderr, "error: %s\n",
+                 Error.empty() ? "no .c files in suite" : Error.c_str());
+    return 2;
+  }
+  std::printf("suite: %s (%zu files), parallel jobs: %u\n\n",
+              Suite.c_str(), Files.size(), Jobs);
+
+  fs::path CacheDir =
+      fs::temp_directory_path() / "vcd-incremental-ab-cache";
+  fs::remove_all(CacheDir);
+
+  service::BatchReport Cold = runOnce(Files, Jobs, CacheDir.string(),
+                                      /*Incremental=*/true, "cold");
+  // The pre-incremental baseline: every function re-plans and re-hashes
+  // its obligations; only the solver calls are saved by the cache.
+  service::BatchReport CacheWarm =
+      runOnce(Files, Jobs, CacheDir.string(),
+              /*Incremental=*/false, "warm (cache only)");
+  service::BatchReport IncrWarm =
+      runOnce(Files, Jobs, CacheDir.string(),
+              /*Incremental=*/true, "warm (incremental)");
+  fs::remove_all(CacheDir);
+
+  std::printf("\nwarm speedup over cache-only: %.2fx   skipped: %u/%u   "
+              "solver calls on warm incremental run: %u\n",
+              IncrWarm.WallMs > 0.0 ? CacheWarm.WallMs / IncrWarm.WallMs
+                                    : 0.0,
+              IncrWarm.NumSkippedUnchanged, IncrWarm.NumFunctions,
+              IncrWarm.NumSolvedVCs);
+  bool Ok = Cold.AllVerified && CacheWarm.AllVerified &&
+            IncrWarm.AllVerified &&
+            IncrWarm.NumSkippedUnchanged == IncrWarm.NumFunctions &&
+            IncrWarm.NumSolvedVCs == 0;
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,329 @@
+//===- FuncHash.cpp - Stable function fingerprinting -------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfront/FuncHash.h"
+
+#include "support/Hash.h"
+
+using namespace vcdryad;
+using namespace vcdryad::cfront;
+
+namespace {
+
+/// Accumulates the dependency sets of one function and closes them
+/// under the edges the pipeline actually follows: spec formulas name
+/// definitions; definitions read field arrays of structs and mention
+/// further definitions; touched structs make their pertinent
+/// definitions (defsForStruct) relevant through unfolding; pointer
+/// fields reach deeper structs; call sites import callee contracts.
+class DepCollector {
+public:
+  DepCollector(const Program &Prog, FuncDeps &Out) : Prog(Prog), D(Out) {}
+
+  void seedFunction(const FuncDecl &F) {
+    type(F.RetTy);
+    for (const ParamDecl &P : F.Params)
+      type(P.Ty);
+    for (const dryad::FormulaRef &R : F.Requires)
+      formula(R);
+    for (const dryad::FormulaRef &E : F.Ensures)
+      formula(E);
+    if (F.Body)
+      stmt(*F.Body);
+  }
+
+  /// Fixpoint over the closure edges. Terminates: every step only
+  /// adds names drawn from the finite program tables.
+  void close() {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      // Structs reach deeper structs through pointer fields, and make
+      // their pertinent definitions relevant (Figure 5 unfolds
+      // defs(T) at every dereference of a T location).
+      for (const std::string &S : std::vector<std::string>(
+               D.Structs.begin(), D.Structs.end())) {
+        if (const StructDecl *SD = Prog.findStruct(S))
+          for (const FieldDecl &FD : SD->Fields)
+            if (FD.Ty.isPtr() && FD.Ty.Pointee)
+              Changed |= addStruct(FD.Ty.Pointee->Name);
+        for (const dryad::RecDef *R : Prog.Defs.defsForStruct(S))
+          Changed |= addDef(R->Name);
+      }
+      // Definitions reach the structs whose field arrays they read,
+      // their parameter structs, and the definitions their bodies
+      // mention.
+      for (const std::string &Name : std::vector<std::string>(
+               D.Defs.begin(), D.Defs.end())) {
+        const dryad::RecDef *R = Prog.Defs.lookup(Name);
+        if (!R)
+          continue;
+        for (const dryad::FieldKey &FK : R->Fields)
+          Changed |= addStruct(FK.Struct);
+        for (const dryad::SpecParam &P : R->Params)
+          if (!P.StructName.empty())
+            Changed |= addStruct(P.StructName);
+        size_t Defs0 = D.Defs.size(), Structs0 = D.Structs.size();
+        if (R->PredBody)
+          formula(R->PredBody);
+        if (R->FnBody)
+          term(R->FnBody);
+        Changed |= D.Defs.size() != Defs0 || D.Structs.size() != Structs0;
+      }
+      // Callee contracts mention definitions and structs of their own.
+      for (const std::string &Name : std::vector<std::string>(
+               D.Callees.begin(), D.Callees.end())) {
+        const FuncDecl *G = Prog.findFunc(Name);
+        if (!G)
+          continue;
+        size_t Defs0 = D.Defs.size(), Structs0 = D.Structs.size();
+        type(G->RetTy);
+        for (const ParamDecl &P : G->Params)
+          type(P.Ty);
+        for (const dryad::FormulaRef &R : G->Requires)
+          formula(R);
+        for (const dryad::FormulaRef &E : G->Ensures)
+          formula(E);
+        Changed |= D.Defs.size() != Defs0 || D.Structs.size() != Structs0;
+      }
+    }
+  }
+
+private:
+  bool addStruct(const std::string &S) {
+    return !S.empty() && D.Structs.insert(S).second;
+  }
+  bool addDef(const std::string &Name) {
+    return !Name.empty() && D.Defs.insert(Name).second;
+  }
+
+  void type(const CType &Ty) {
+    if (Ty.isPtr() && Ty.Pointee)
+      addStruct(Ty.Pointee->Name);
+  }
+
+  void term(const dryad::TermRef &T) {
+    if (!T)
+      return;
+    addStruct(T->StructName);
+    if (T->Kind == dryad::TermKind::DefApp ||
+        T->Kind == dryad::TermKind::HeapletOf)
+      addDef(T->Name);
+    for (const dryad::TermRef &A : T->Args)
+      term(A);
+    if (T->CondF)
+      formula(T->CondF);
+  }
+
+  void formula(const dryad::FormulaRef &F) {
+    if (!F)
+      return;
+    if (F->Kind == dryad::FormulaKind::PredApp)
+      addDef(F->Name);
+    for (const dryad::TermRef &T : F->Terms)
+      term(T);
+    for (const dryad::FormulaRef &S : F->Subs)
+      formula(S);
+  }
+
+  void expr(const Expr &E) {
+    type(E.Ty);
+    if (E.Kind == ExprKind::Malloc && E.MallocStruct)
+      addStruct(E.MallocStruct->Name);
+    if (E.Kind == ExprKind::Call)
+      D.Callees.insert(E.Name);
+    for (const ExprRef &A : E.Args)
+      if (A)
+        expr(*A);
+  }
+
+  void stmt(const Stmt &S) {
+    if (S.Kind == StmtKind::Decl)
+      type(S.DeclTy);
+    if (S.Rhs)
+      expr(*S.Rhs);
+    if (S.Lhs)
+      expr(*S.Lhs);
+    if (S.Cond)
+      expr(*S.Cond);
+    for (const dryad::FormulaRef &Inv : S.Invariants)
+      formula(Inv);
+    if (S.Spec)
+      formula(S.Spec);
+    // Stmts holds block children and the While condition prelude.
+    for (const StmtRef &Sub : S.Stmts)
+      if (Sub)
+        stmt(*Sub);
+    if (S.Then)
+      stmt(*S.Then);
+    if (S.Else)
+      stmt(*S.Else);
+  }
+
+  const Program &Prog;
+  FuncDeps &D;
+};
+
+void hashSpecParams(Fnv1a &H, const std::vector<dryad::SpecParam> &Params) {
+  H.u64(Params.size());
+  for (const dryad::SpecParam &P : Params) {
+    H.str(P.Name);
+    H.u64(static_cast<uint64_t>(P.ParamSort));
+    H.str(P.StructName);
+  }
+}
+
+/// The names an axiom mentions, for the relevance test. An axiom with
+/// no struct parameters and no definition applications is kept in
+/// every fingerprint (it constrains every query it is instantiated
+/// into, and such axioms are rare).
+struct AxiomRefs {
+  std::set<std::string> Defs;
+  std::set<std::string> Structs;
+};
+
+void axiomRefsTerm(const dryad::TermRef &T, AxiomRefs &R);
+
+void axiomRefsFormula(const dryad::FormulaRef &F, AxiomRefs &R) {
+  if (!F)
+    return;
+  if (F->Kind == dryad::FormulaKind::PredApp && !F->Name.empty())
+    R.Defs.insert(F->Name);
+  for (const dryad::TermRef &T : F->Terms)
+    axiomRefsTerm(T, R);
+  for (const dryad::FormulaRef &S : F->Subs)
+    axiomRefsFormula(S, R);
+}
+
+void axiomRefsTerm(const dryad::TermRef &T, AxiomRefs &R) {
+  if (!T)
+    return;
+  if (!T->StructName.empty())
+    R.Structs.insert(T->StructName);
+  if ((T->Kind == dryad::TermKind::DefApp ||
+       T->Kind == dryad::TermKind::HeapletOf) &&
+      !T->Name.empty())
+    R.Defs.insert(T->Name);
+  for (const dryad::TermRef &A : T->Args)
+    axiomRefsTerm(A, R);
+  if (T->CondF)
+    axiomRefsFormula(T->CondF, R);
+}
+
+bool intersects(const std::set<std::string> &A,
+                const std::set<std::string> &B) {
+  for (const std::string &S : A)
+    if (B.count(S))
+      return true;
+  return false;
+}
+
+} // namespace
+
+FuncDeps cfront::collectFuncDeps(const FuncDecl &F, const Program &Prog) {
+  FuncDeps D;
+  DepCollector C(Prog, D);
+  C.seedFunction(F);
+  C.close();
+  return D;
+}
+
+uint64_t cfront::fingerprintFunction(const FuncDecl &F,
+                                     const Program &Prog) {
+  FuncDeps D = collectFuncDeps(F, Prog);
+
+  Fnv1a H;
+  H.u64(1); // Content-fingerprint format version.
+
+  // The function itself: the printed normalized AST carries the
+  // signature, contracts, invariants, asserts and body, and is
+  // independent of whitespace, comments and source locations.
+  H.str(F.str());
+
+  // Callee contracts (not bodies): modular verification summarizes a
+  // call by the callee's requires/ensures, so only those invalidate.
+  H.u64(D.Callees.size());
+  for (const std::string &Name : D.Callees) {
+    const FuncDecl *G = Prog.findFunc(Name);
+    if (!G) {
+      H.str(Name); // Unresolved callee: keyed by name alone.
+      continue;
+    }
+    H.str(G->Name);
+    H.str(G->RetTy.str());
+    H.u64(G->Params.size());
+    for (const ParamDecl &P : G->Params) {
+      H.str(P.Ty.str());
+      H.str(P.Name);
+    }
+    H.u64(G->Requires.size());
+    for (const dryad::FormulaRef &R : G->Requires)
+      H.str(R->str());
+    H.u64(G->Ensures.size());
+    for (const dryad::FormulaRef &E : G->Ensures)
+      H.str(E->str());
+  }
+
+  // Touched struct shapes: field order, names and types feed the
+  // Burstall-Bornat field arrays the translation emits.
+  H.u64(D.Structs.size());
+  for (const std::string &S : D.Structs) {
+    const StructDecl *SD = Prog.findStruct(S);
+    if (!SD) {
+      H.str(S);
+      continue;
+    }
+    H.str(SD->Name);
+    H.u64(SD->Fields.size());
+    for (const FieldDecl &FD : SD->Fields) {
+      H.str(FD.Name);
+      H.str(FD.Ty.str());
+    }
+  }
+
+  // The transitive definition closure: signature, body and derived
+  // field dependencies of every reachable recursive definition.
+  H.u64(D.Defs.size());
+  for (const std::string &Name : D.Defs) {
+    const dryad::RecDef *R = Prog.Defs.lookup(Name);
+    if (!R) {
+      H.str(Name);
+      continue;
+    }
+    H.str(R->Name);
+    H.u64(R->IsPredicate ? 1 : 0);
+    H.u64(static_cast<uint64_t>(R->RetSort));
+    hashSpecParams(H, R->Params);
+    H.str(R->PredBody ? R->PredBody->str() : std::string());
+    H.str(R->FnBody ? R->FnBody->str() : std::string());
+    H.u64(R->Fields.size());
+    for (const dryad::FieldKey &FK : R->Fields) {
+      H.str(FK.Struct);
+      H.str(FK.Field);
+      H.u64(static_cast<uint64_t>(FK.FieldSort));
+    }
+  }
+
+  // Relevant axioms, in declaration order (the instantiation engine
+  // walks them in order, so order is part of the content).
+  for (const dryad::AxiomDecl &Ax : Prog.Defs.Axioms) {
+    AxiomRefs Refs;
+    for (const dryad::SpecParam &P : Ax.Params)
+      if (!P.StructName.empty())
+        Refs.Structs.insert(P.StructName);
+    axiomRefsFormula(Ax.Body, Refs);
+    bool Relevant = (Refs.Defs.empty() && Refs.Structs.empty()) ||
+                    intersects(Refs.Defs, D.Defs) ||
+                    intersects(Refs.Structs, D.Structs);
+    if (!Relevant)
+      continue;
+    H.u64(0xa10a); // Axiom-entry tag.
+    hashSpecParams(H, Ax.Params);
+    H.str(Ax.Body ? Ax.Body->str() : std::string());
+  }
+
+  return H.digest();
+}

@@ -1,0 +1,77 @@
+//===- FuncHash.h - Stable function fingerprinting --------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Build-system-style content fingerprinting of functions: a stable
+/// FNV-1a digest over everything a function's proof can depend on,
+/// computed on the *normalized* AST (after cfront/Normalize, before
+/// ghost instrumentation). Two functions with equal fingerprints
+/// produce byte-identical proof obligations under equal pipeline
+/// options, so a persisted manifest keyed by this digest can discharge
+/// unchanged functions on re-runs without re-generating or re-solving
+/// their VCs.
+///
+/// The fingerprint covers, in a canonical order:
+///   - the printed normalized function (signature, contracts, loop
+///     invariants, asserts/assumes, body) — whitespace and comment
+///     edits do not change it;
+///   - the contracts (not bodies) of every function it calls —
+///     verification is modular, so a callee body edit must *not*
+///     invalidate callers, but a callee contract edit must;
+///   - the shapes of every struct it can touch (transitively through
+///     pointer fields and definition footprints);
+///   - the transitive closure of recursive definitions its specs
+///     mention *plus* every definition pertinent to a touched struct
+///     (the instrumentation unfolds defsForStruct(T) at dereferences
+///     of T even when the function's own specs never name them);
+///   - every data-structure axiom whose parameters or body intersect
+///     that closure.
+///
+/// Soundness of the closure: it over-approximates the inputs of
+/// instrument -> translate -> passify -> VC-gen for the function. An
+/// edit outside the closure cannot change the function's obligations;
+/// an edit inside it changes the fingerprint and forces re-planning.
+/// Over-approximation only costs spurious re-verification, never a
+/// stale verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_CFRONT_FUNCHASH_H
+#define VCDRYAD_CFRONT_FUNCHASH_H
+
+#include "cfront/Ast.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+namespace vcdryad {
+namespace cfront {
+
+/// The dependency closure backing a function's fingerprint, exposed
+/// for tests and diagnostics. All sets are sorted (std::set) so
+/// iteration is canonical.
+struct FuncDeps {
+  std::set<std::string> Defs;    ///< Recursive definitions (transitive).
+  std::set<std::string> Structs; ///< Touched struct names (transitive).
+  std::set<std::string> Callees; ///< Called functions (contract deps).
+};
+
+/// Collects the transitive dependency closure of \p F (see file
+/// comment). \p F must be normalized; ghost statements inserted by a
+/// later instrumentation pass are ignored by design.
+FuncDeps collectFuncDeps(const FuncDecl &F, const Program &Prog);
+
+/// Stable content fingerprint of the normalized function \p F within
+/// \p Prog. Identical across processes and platforms; independent of
+/// source locations, whitespace, comments, and of every declaration
+/// outside the function's dependency closure.
+uint64_t fingerprintFunction(const FuncDecl &F, const Program &Prog);
+
+} // namespace cfront
+} // namespace vcdryad
+
+#endif // VCDRYAD_CFRONT_FUNCHASH_H

@@ -1,0 +1,246 @@
+//===- Manifest.cpp - Persisted incremental-verification manifest -----------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Manifest.h"
+
+#include "support/Hash.h"
+#include "support/StringUtil.h"
+
+#include <atomic>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+using namespace vcdryad;
+using namespace vcdryad::service;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Splits one whitespace-separated field off the front of \p S.
+std::string_view nextField(std::string_view &S) {
+  while (!S.empty() && S.front() == ' ')
+    S.remove_prefix(1);
+  size_t End = S.find(' ');
+  std::string_view F = S.substr(0, End);
+  S.remove_prefix(End == std::string_view::npos ? S.size() : End);
+  return F;
+}
+
+bool parseUnsignedField(std::string_view F, uint64_t &Out) {
+  if (F.empty())
+    return false;
+  auto [Ptr, Ec] = std::from_chars(F.data(), F.data() + F.size(), Out);
+  return Ec == std::errc() && Ptr == F.data() + F.size();
+}
+
+/// Parses one manifest line:
+///   "<16-hex key> V <name> <manual> <ghost> <n> <vc-hash>*"
+/// Strict: field counts and hash widths must match exactly; torn or
+/// foreign lines are skipped by the caller, never fatal.
+bool parseManifestLine(std::string_view S, uint64_t &Key,
+                       ManifestEntry &E) {
+  if (!hashFromHex(nextField(S), Key))
+    return false;
+  if (nextField(S) != "V")
+    return false;
+  std::string_view Name = nextField(S);
+  if (Name.empty())
+    return false;
+  uint64_t Manual = 0, Ghost = 0, N = 0;
+  if (!parseUnsignedField(nextField(S), Manual) ||
+      !parseUnsignedField(nextField(S), Ghost) ||
+      !parseUnsignedField(nextField(S), N))
+    return false;
+  E.Name = std::string(Name);
+  E.Manual = static_cast<unsigned>(Manual);
+  E.Ghost = static_cast<unsigned>(Ghost);
+  E.VcKeys.clear();
+  E.VcKeys.reserve(N);
+  for (uint64_t I = 0; I != N; ++I) {
+    uint64_t H = 0;
+    if (!hashFromHex(nextField(S), H))
+      return false;
+    E.VcKeys.push_back(H);
+  }
+  while (!S.empty() && S.front() == ' ')
+    S.remove_prefix(1);
+  return S.empty(); // Trailing garbage rejects the line.
+}
+
+void formatManifestLine(std::string &Out, uint64_t Key,
+                        const ManifestEntry &E) {
+  Out += hashToHex(Key);
+  Out += " V ";
+  Out += E.Name;
+  Out += ' ';
+  Out += std::to_string(E.Manual);
+  Out += ' ';
+  Out += std::to_string(E.Ghost);
+  Out += ' ';
+  Out += std::to_string(E.VcKeys.size());
+  for (uint64_t H : E.VcKeys) {
+    Out += ' ';
+    Out += hashToHex(H);
+  }
+  Out += '\n';
+}
+
+} // namespace
+
+VcManifest::VcManifest(std::string DirIn) : Dir(std::move(DirIn)) {
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  if (EC) {
+    OpenError = "cannot create manifest directory '" + Dir +
+                "': " + EC.message();
+    Dir.clear();
+    return;
+  }
+  std::ifstream In(storePath());
+  if (!In)
+    return; // Fresh manifest.
+  std::string Line;
+  while (std::getline(In, Line)) {
+    uint64_t Key = 0;
+    ManifestEntry E;
+    if (!parseManifestLine(trim(Line), Key, E))
+      continue; // Torn/foreign lines are skipped, not fatal.
+    // Last write wins: a later duplicate replaces an earlier one.
+    Entries[Key] = Entry{std::move(E), false};
+  }
+}
+
+VcManifest::~VcManifest() { flush(); }
+
+std::string VcManifest::storePath() const {
+  if (Dir.empty())
+    return {};
+  return (fs::path(Dir) / "manifest-v1.txt").string();
+}
+
+void VcManifest::flush() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Dir.empty())
+    return;
+  bool AnyDirty = false;
+  for (const auto &[Key, E] : Entries)
+    if (E.Dirty) {
+      AnyDirty = true;
+      break;
+    }
+  if (!AnyDirty)
+    return;
+
+  // Same discipline as ProofCache::flush: serialize flushers on a
+  // sidecar advisory lock (the rename below replaces the store's
+  // inode, so the store itself cannot carry the lock), fold in
+  // entries a sibling process persisted since our load, write the
+  // union to a temp file and atomically rename it over the store.
+  const std::string Lockfile = storePath() + ".lock";
+  int LockFd = ::open(Lockfile.c_str(), O_CREAT | O_RDWR, 0644);
+  if (LockFd >= 0)
+    ::flock(LockFd, LOCK_EX);
+  auto Unlock = [&] {
+    if (LockFd >= 0) {
+      ::flock(LockFd, LOCK_UN);
+      ::close(LockFd);
+    }
+  };
+
+  {
+    std::ifstream In(storePath());
+    std::string Line;
+    while (In && std::getline(In, Line)) {
+      uint64_t Key = 0;
+      ManifestEntry E;
+      // Our own entries win ties: a key we recorded this session is
+      // at least as fresh as anything a sibling persisted.
+      if (parseManifestLine(trim(Line), Key, E))
+        Entries.try_emplace(Key, Entry{std::move(E), false});
+    }
+  }
+
+  static std::atomic<unsigned> TmpCounter{0};
+  const std::string Tmp = storePath() + ".tmp." +
+                          std::to_string(::getpid()) + "." +
+                          std::to_string(TmpCounter.fetch_add(1));
+  {
+    std::ofstream Store(Tmp, std::ios::trunc);
+    if (!Store) {
+      OpenError = "cannot write manifest '" + Tmp + "'";
+      Unlock();
+      return;
+    }
+    std::string Buf;
+    for (const auto &[Key, E] : Entries) // std::map: key-sorted.
+      formatManifestLine(Buf, Key, E.E);
+    Store << Buf;
+    Store.flush();
+    if (!Store) {
+      OpenError = "cannot write manifest '" + Tmp + "'";
+      std::error_code EC;
+      fs::remove(Tmp, EC);
+      Unlock();
+      return;
+    }
+  }
+  std::error_code EC;
+  fs::rename(Tmp, storePath(), EC);
+  if (EC) {
+    OpenError = "cannot replace manifest '" + storePath() +
+                "': " + EC.message();
+    std::error_code EC2;
+    fs::remove(Tmp, EC2);
+    Unlock();
+    return;
+  }
+  for (auto &[Key, E] : Entries)
+    E.Dirty = false;
+  Unlock();
+}
+
+std::optional<ManifestEntry> VcManifest::lookup(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Key);
+  if (It == Entries.end()) {
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  ++Stats.Hits;
+  return It->second.E;
+}
+
+std::optional<ManifestEntry> VcManifest::peek(uint64_t Key) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return std::nullopt;
+  return It->second.E;
+}
+
+void VcManifest::record(uint64_t Key, ManifestEntry E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Entry &Slot = Entries[Key];
+  Slot.E = std::move(E);
+  Slot.Dirty = true;
+  ++Stats.Records;
+}
+
+ManifestStats VcManifest::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}
+
+size_t VcManifest::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.size();
+}

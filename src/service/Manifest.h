@@ -1,0 +1,119 @@
+//===- Manifest.h - Persisted incremental-verification manifest -*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The build-system ledger of incremental re-verification: a versioned
+/// on-disk map from function keys (smt::hashFunctionKey — content
+/// fingerprint x pipeline/solver options) to the function's per-VC
+/// obligation hashes and annotation counts, recorded only when every
+/// obligation was Valid. On a later run a function whose key is
+/// present is discharged as unchanged without instrumentation, VC
+/// generation or any solver traffic; any edit to the function, to a
+/// spec it transitively depends on, or to the options invalidates the
+/// key and forces a full re-verify of exactly the affected functions.
+///
+/// Soundness: only all-Valid functions are ever recorded, so a skip
+/// can only ever replay a Valid verdict. Invalid and Unknown outcomes
+/// re-verify every run (mirroring ProofCache's persistence policy),
+/// keeping warm verdicts identical to cold ones.
+///
+/// Disk layout (`<dir>/manifest-v1.txt`, beside the proof cache):
+///   one entry per line, key-sorted:
+///     "<16-hex key> V <name> <manual> <ghost> <n> <vc-hash>*"
+/// The format version is part of the file name, so format bumps
+/// invalidate cleanly. Duplicate keys dedupe on load, last write wins;
+/// flush compacts to one line per key.
+///
+/// The store is written with the same atomic discipline as ProofCache:
+/// an advisory flock on a sidecar lock file, a merge of entries a
+/// sibling process persisted since our load, a temp file in the same
+/// directory, and a rename(2) over the store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SERVICE_MANIFEST_H
+#define VCDRYAD_SERVICE_MANIFEST_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace service {
+
+/// One recorded function: everything a skipped re-run needs to report
+/// the function without re-planning it.
+struct ManifestEntry {
+  std::string Name;            ///< Function name (provenance).
+  unsigned Manual = 0;         ///< Manual annotation count.
+  unsigned Ghost = 0;          ///< Ghost annotation count.
+  std::vector<uint64_t> VcKeys; ///< Canonical per-VC cache keys.
+};
+
+struct ManifestStats {
+  uint64_t Hits = 0;    ///< lookup() found an entry.
+  uint64_t Misses = 0;  ///< lookup() found nothing.
+  uint64_t Records = 0; ///< New entries accepted this session.
+};
+
+class VcManifest {
+public:
+  /// In-memory-only manifest (no persistence).
+  VcManifest() = default;
+
+  /// Opens (creating if needed) the on-disk manifest under \p Dir and
+  /// loads existing entries. IO failures degrade to in-memory-only
+  /// operation; openError() reports them.
+  explicit VcManifest(std::string Dir);
+
+  ~VcManifest();
+
+  /// Persists entries added since the last flush by atomically
+  /// replacing the store with the union of this manifest and the
+  /// current on-disk entries, under an advisory lock. One line per
+  /// key after any number of flush cycles.
+  void flush();
+
+  /// The recorded entry for \p Key, if any.
+  std::optional<ManifestEntry> lookup(uint64_t Key);
+
+  /// lookup() without touching the hit/miss statistics — for report
+  /// aggregation re-reading an entry a lookup() already counted.
+  std::optional<ManifestEntry> peek(uint64_t Key) const;
+
+  /// Records an all-Valid function under \p Key. Re-recording an
+  /// existing key refreshes the entry (last write wins).
+  void record(uint64_t Key, ManifestEntry E);
+
+  ManifestStats stats() const;
+  size_t size() const;
+
+  const std::string &dir() const { return Dir; }
+  const std::string &openError() const { return OpenError; }
+
+  /// The store file this manifest persists to (empty when in-memory).
+  std::string storePath() const;
+
+private:
+  struct Entry {
+    ManifestEntry E;
+    bool Dirty = false;
+  };
+
+  mutable std::mutex Mu;
+  std::string Dir; ///< Empty: in-memory only.
+  std::string OpenError;
+  std::map<uint64_t, Entry> Entries; ///< Ordered: flush writes sorted.
+  ManifestStats Stats;
+};
+
+} // namespace service
+} // namespace vcdryad
+
+#endif // VCDRYAD_SERVICE_MANIFEST_H

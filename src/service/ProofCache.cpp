@@ -81,7 +81,10 @@ ProofCache::ProofCache(std::string DirIn) : Dir(std::move(DirIn)) {
     double Ms = 0.0;
     if (!parseStoreLine(trim(Line), Key, Ms))
       continue;
-    Entries.emplace(Key, Entry{Ms, false});
+    // Last write wins on duplicate keys (a pre-atomic store could
+    // carry appended duplicates); flush() compacts to one line per
+    // key, so the dedupe also self-heals the store.
+    Entries[Key] = Entry{Ms, false};
   }
 }
 

@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <deque>
 #include <filesystem>
 #include <set>
@@ -52,6 +53,36 @@ std::vector<std::string> walkDirectory(const fs::path &Root) {
 }
 
 } // namespace
+
+std::string
+service::resolveCacheDir(const std::string &CliCache, bool Explicit,
+                         const std::vector<std::string> &Operands) {
+  if (CliCache.empty())
+    return {}; // Cache disabled.
+
+  // The anchor: the first operand when it is a directory, its parent
+  // otherwise. Every invocation naming the same corpus resolves to
+  // the same cache, regardless of the process working directory.
+  fs::path Anchor = ".";
+  if (!Operands.empty()) {
+    fs::path P(Operands.front());
+    std::error_code EC;
+    if (fs::is_directory(P, EC))
+      Anchor = P;
+    else if (P.has_parent_path())
+      Anchor = P.parent_path();
+  }
+
+  if (Explicit) {
+    fs::path C(CliCache);
+    if (C.is_absolute())
+      return CliCache;
+    return (Anchor / C).lexically_normal().string();
+  }
+  if (const char *Env = std::getenv("VCDRYAD_CACHE_DIR"); Env && *Env)
+    return Env;
+  return (Anchor / CliCache).lexically_normal().string();
+}
 
 std::vector<std::string>
 service::collectBatchInputs(const std::vector<std::string> &Operands,
@@ -172,7 +203,6 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
     Jobs = 1;
   Rep.Jobs = Jobs;
 
-  verifier::Verifier V(Opts.Verify);
   const uint64_t Fingerprint = optionsFingerprint(Opts.Verify);
 
   std::unique_ptr<ProofCache> Cache;
@@ -181,6 +211,38 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
     Rep.CacheEnabled = true;
     Rep.CacheDir = Opts.CacheDir;
   }
+
+  // Incremental re-verification: a persisted function-level manifest
+  // beside the proof cache. Disabled without a cache directory, and in
+  // the quantified-axiom ablation mode, where whole-program background
+  // axioms influence every verdict but sit outside the fingerprint's
+  // per-function dependency closure — skipping there would be unsound
+  // against background-axiom edits.
+  std::unique_ptr<VcManifest> Manifest;
+  if (Opts.Incremental && Cache &&
+      Opts.Verify.Instr.Axioms !=
+          instr::InstrOptions::AxiomMode::Quantified) {
+    Manifest = std::make_unique<VcManifest>(Opts.CacheDir);
+    Rep.IncrementalEnabled = true;
+    Rep.ManifestPath = Manifest->storePath();
+  }
+
+  // The manifest key folds the content fingerprint with everything
+  // else that shapes verdicts: the pipeline options (same salt the
+  // proof cache uses) and the vacuity toggle (it adds an obligation).
+  smt::SolverOptions KeySolverOpts;
+  KeySolverOpts.TimeoutMs = Opts.Verify.TimeoutMs;
+  auto functionKey = [&](uint64_t Fp) {
+    return smt::hashFunctionKey(Fp, Fingerprint, KeySolverOpts,
+                                Opts.Verify.CheckVacuity);
+  };
+
+  verifier::VerifyOptions VOpts = Opts.Verify;
+  if (Manifest)
+    VOpts.SkipUnchanged = [&](const std::string &, uint64_t Fp) {
+      return Manifest->lookup(functionKey(Fp)).has_value();
+    };
+  verifier::Verifier V(VOpts);
 
   const size_t NumFiles = Paths.size();
   std::vector<verifier::ProgramPlan> Plans(NumFiles);
@@ -206,6 +268,8 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
     if (!Plans[I].Ok)
       continue;
     for (const verifier::FunctionObligations &FO : Plans[I].Functions) {
+      if (FO.SkippedUnchanged)
+        continue; // Discharged by the manifest; no job, no solver.
       FuncJob &J = Jobs2.emplace_back();
       J.FileIdx = I;
       J.FO = &FO;
@@ -277,19 +341,18 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
                 : smt::hashObligation(Guard, Goal, FileSolverOpts[J.FileIdx],
                                       Fingerprint);
     }
+    VCSlot &S = Idx < 0 ? J.Vacuity : J.Slots[Idx];
     bool Solve = true;
     if (Cache && CacheLookup) {
       if (auto Hit = Cache->lookup(Key)) {
         CR = *Hit;
         Solve = false;
-        if (Idx >= 0)
-          J.Slots[Idx].FromCache = true;
+        S.FromCache = true; // Vacuity hits count too (solved_vcs math).
         J.Hits.fetch_add(1, std::memory_order_relaxed);
       } else {
         J.Misses.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    VCSlot &S = Idx < 0 ? J.Vacuity : J.Slots[Idx];
     if (Solve) {
       if (Idx >= 0 && S.Escalated && Lanes.size() >= 2) {
         smt::PortfolioResult PR = smt::checkPortfolio(
@@ -433,6 +496,31 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
       continue;
     }
     for (const verifier::FunctionObligations &FO : Plans[I].Functions) {
+      if (FO.SkippedUnchanged) {
+        // Discharged by the manifest: no job was scheduled, nothing
+        // touched a solver. Replay the recorded shape (VC count,
+        // annotation counts) so totals stay comparable to a cold run.
+        FunctionReport Fn;
+        Fn.SkippedUnchanged = true;
+        Fn.ManifestKey = functionKey(FO.Fingerprint);
+        verifier::FunctionResult &R = Fn.Result;
+        R.Name = FO.Name;
+        R.SourceIndex = FO.SourceIndex;
+        R.Verified = true;
+        if (Manifest)
+          if (std::optional<ManifestEntry> E =
+                  Manifest->peek(Fn.ManifestKey)) {
+            R.NumVCs = static_cast<unsigned>(E->VcKeys.size());
+            R.Annotations.Manual = E->Manual;
+            R.Annotations.Ghost = E->Ghost;
+          }
+        ++Rep.NumFunctions;
+        ++Rep.NumVerified;
+        ++Rep.NumSkippedUnchanged;
+        Rep.NumVCs += R.NumVCs;
+        FR.Functions.push_back(std::move(Fn));
+        continue;
+      }
       FuncJob &J = *NextJob++;
       FunctionReport Fn;
       verifier::FunctionResult &R = Fn.Result;
@@ -498,11 +586,44 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
         }
         if (S.Escalated)
           ++R.Escalations;
+        if (S.Solved && !S.Trivial && !S.FromCache)
+          ++Fn.SolvedVCs; // Reached Z3 (the zero-solve gate's metric).
       }
+      if (J.VacuityProbe && J.Vacuity.Solved && !J.Vacuity.FromCache)
+        ++Fn.SolvedVCs;
       R.EffectiveTimeoutMs =
           Ladder && R.Escalations == 0 ? FastTimeout : Opts.Verify.TimeoutMs;
       Fn.CacheHits = J.Hits.load();
       Fn.CacheMisses = J.Misses.load();
+      Rep.NumSolvedVCs += Fn.SolvedVCs;
+      if (Manifest && R.Verified) {
+        // Record the function for future skips. Only all-Valid
+        // functions qualify: a skip may only ever replay Valid.
+        bool AllValid = true;
+        ManifestEntry E;
+        E.VcKeys.reserve(J.Slots.size());
+        for (size_t K = 0; K != J.Slots.size(); ++K) {
+          const VCSlot &S = J.Slots[K];
+          if (!S.Solved || S.R.Status != smt::CheckStatus::Valid) {
+            AllValid = false;
+            break;
+          }
+          // Trivial slots (and the no-ladder path) never hashed their
+          // obligation; compute the canonical key now.
+          E.VcKeys.push_back(
+              S.Key ? S.Key
+                    : smt::hashObligation(J.FO->VCs[K].Guard,
+                                          J.FO->VCs[K].Cond,
+                                          FileSolverOpts[J.FileIdx],
+                                          Fingerprint));
+        }
+        if (AllValid) {
+          E.Name = R.Name;
+          E.Manual = R.Annotations.Manual;
+          E.Ghost = R.Annotations.Ghost;
+          Manifest->record(functionKey(FO.Fingerprint), std::move(E));
+        }
+      }
       FR.TimeMs += R.TimeMs;
       ++Rep.NumFunctions;
       Rep.NumVCs += R.NumVCs;
@@ -520,6 +641,10 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
   if (Cache) {
     Cache->flush();
     Rep.Cache = Cache->stats();
+  }
+  if (Manifest) {
+    Manifest->flush();
+    Rep.Manifest = Manifest->stats();
   }
   Rep.WallMs = Wall.millis();
   return Rep;
@@ -660,7 +785,8 @@ const char *statusString(smt::CheckStatus S) {
 
 } // namespace
 
-std::string service::toJson(const BatchReport &Rep, bool IncludeTimes) {
+std::string service::toJson(const BatchReport &Rep, bool IncludeTimes,
+                            bool ChangedOnly) {
   JsonWriter W;
   W.open("{");
   W.field("schema", std::string("vcdryad-batch-v1"));
@@ -675,6 +801,13 @@ std::string service::toJson(const BatchReport &Rep, bool IncludeTimes) {
   W.field("hits", Rep.Cache.Hits);
   W.field("misses", Rep.Cache.Misses);
   W.field("stores", Rep.Cache.Stores);
+  W.field("incremental", Rep.IncrementalEnabled);
+  if (Rep.IncrementalEnabled) {
+    W.field("manifest", Rep.ManifestPath);
+    W.field("manifest_hits", Rep.Manifest.Hits);
+    W.field("manifest_misses", Rep.Manifest.Misses);
+    W.field("manifest_records", Rep.Manifest.Records);
+  }
   W.close("}");
   W.openKey("totals", "{");
   W.field("files", static_cast<uint64_t>(Rep.Files.size()));
@@ -683,6 +816,12 @@ std::string service::toJson(const BatchReport &Rep, bool IncludeTimes) {
   W.field("verified", static_cast<uint64_t>(Rep.NumVerified));
   W.field("failed", static_cast<uint64_t>(Rep.NumFailed));
   W.field("vcs", static_cast<uint64_t>(Rep.NumVCs));
+  W.field("skipped_unchanged",
+          static_cast<uint64_t>(Rep.NumSkippedUnchanged));
+  // Obligations that actually reached Z3 this run: the metric the
+  // incremental zero-solve CI gate asserts on. Deterministic (unlike
+  // escalation counts), so it lives outside IncludeTimes.
+  W.field("solved_vcs", static_cast<uint64_t>(Rep.NumSolvedVCs));
   if (IncludeTimes)
     W.fieldMs("wall_ms", Rep.WallMs);
   W.close("}");
@@ -695,6 +834,8 @@ std::string service::toJson(const BatchReport &Rep, bool IncludeTimes) {
       W.field("error", F.Error);
     W.openKey("functions", "[");
     for (const FunctionReport &Fn : F.Functions) {
+      if (ChangedOnly && Fn.SkippedUnchanged)
+        continue; // --changed-only: list what actually re-verified.
       const verifier::FunctionResult &R = Fn.Result;
       W.openElem();
       W.field("name", R.Name);
@@ -707,6 +848,12 @@ std::string service::toJson(const BatchReport &Rep, bool IncludeTimes) {
       W.close("}");
       W.field("cache_hits", static_cast<uint64_t>(Fn.CacheHits));
       W.field("cache_misses", static_cast<uint64_t>(Fn.CacheMisses));
+      if (Fn.SkippedUnchanged) {
+        // Manifest provenance: which recorded key discharged the skip
+        // (grep it in manifest-v1.txt to see the replayed VC hashes).
+        W.field("skipped_unchanged", true);
+        W.field("fingerprint", hashToHex(Fn.ManifestKey));
+      }
       if (IncludeTimes) {
         W.fieldMs("time_ms", R.TimeMs);
         // Ladder diagnostics. Whether a VC settles inside the fast

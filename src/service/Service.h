@@ -27,6 +27,7 @@
 #ifndef VCDRYAD_SERVICE_SERVICE_H
 #define VCDRYAD_SERVICE_SERVICE_H
 
+#include "service/Manifest.h"
 #include "service/ProofCache.h"
 #include "verifier/Verifier.h"
 
@@ -45,6 +46,15 @@ struct ServiceOptions {
   std::string CacheDir;
   /// Bound on queued (not yet running) scheduler tasks.
   size_t QueueCap = 1024;
+  /// Incremental re-verification: persist a function-level manifest
+  /// (manifest-v1.txt, beside the proof cache) and on re-runs skip
+  /// instrumentation, VC generation and all solver traffic for
+  /// functions whose stable fingerprint matches a recorded all-Valid
+  /// entry. Requires a cache directory; ignored (nothing skipped, no
+  /// manifest written) when CacheDir is empty or the quantified-axiom
+  /// ablation mode is on (whole-program background axioms are outside
+  /// the fingerprint's dependency closure).
+  bool Incremental = false;
 };
 
 /// One function's outcome plus its cache interaction.
@@ -52,6 +62,16 @@ struct FunctionReport {
   verifier::FunctionResult Result;
   unsigned CacheHits = 0;
   unsigned CacheMisses = 0;
+  /// Obligations that reached the SMT solver (not trivial, not a
+  /// cache hit, not cancelled). A fully warm or skipped function
+  /// reports 0.
+  unsigned SolvedVCs = 0;
+  /// Discharged by the incremental manifest: verdicts replayed from a
+  /// recorded all-Valid entry, zero solver traffic.
+  bool SkippedUnchanged = false;
+  /// The manifest key the skip was decided by (provenance; grep it in
+  /// manifest-v1.txt). 0 unless SkippedUnchanged.
+  uint64_t ManifestKey = 0;
 };
 
 struct FileReport {
@@ -78,6 +98,12 @@ struct BatchReport {
   std::string CacheDir;
   CacheStats Cache;
   double WallMs = 0.0;
+  /// Incremental re-verification (see ServiceOptions::Incremental).
+  bool IncrementalEnabled = false;
+  std::string ManifestPath; ///< manifest-v1.txt path when enabled.
+  ManifestStats Manifest;
+  unsigned NumSkippedUnchanged = 0; ///< Functions discharged unchanged.
+  unsigned NumSolvedVCs = 0;        ///< Obligations that reached Z3.
 };
 
 class VerificationService {
@@ -99,6 +125,21 @@ private:
 /// ablation runs never share cache entries with default runs.
 uint64_t optionsFingerprint(const verifier::VerifyOptions &Opts);
 
+/// Resolves the proof-cache (and manifest) directory against the batch
+/// operands, fixing the "cache silently splits by working directory"
+/// footgun: a *relative* cache path — including the built-in default
+/// `.vcdryad-cache` — anchors at the first operand's directory (the
+/// operand itself when it is a directory, its parent otherwise), so
+/// `vcdryad batch suite/` finds the same cache no matter where it is
+/// invoked from. Precedence:
+///   1. \p Explicit (the user passed --cache=): absolute paths are
+///      taken as-is, relative ones anchor at the operands.
+///   2. $VCDRYAD_CACHE_DIR, taken as-is (the user pinned a location).
+///   3. The default: <anchor>/.vcdryad-cache.
+/// \p CliCache empty means the cache is disabled ("" is returned).
+std::string resolveCacheDir(const std::string &CliCache, bool Explicit,
+                            const std::vector<std::string> &Operands);
+
 /// Expands batch operands into the list of .c files to verify:
 /// directories are walked recursively (sorted), .c files are taken
 /// as-is, and any other file is read as a manifest (one path per
@@ -110,8 +151,12 @@ collectBatchInputs(const std::vector<std::string> &Operands,
 
 /// Renders the machine-readable batch report. With \p IncludeTimes
 /// false every timing field and the job count are omitted, making the
-/// output byte-for-byte reproducible across runs and job counts.
-std::string toJson(const BatchReport &Report, bool IncludeTimes = true);
+/// output byte-for-byte reproducible across runs and job counts. With
+/// \p ChangedOnly true, functions discharged as skipped_unchanged are
+/// omitted from the per-file listings (totals still count them) — the
+/// `vcdryad check --changed-only` view of what actually re-verified.
+std::string toJson(const BatchReport &Report, bool IncludeTimes = true,
+                   bool ChangedOnly = false);
 
 } // namespace service
 } // namespace vcdryad

@@ -45,3 +45,16 @@ uint64_t smt::hashObligation(const LExprRef &Guard, const LExprRef &Goal,
   H.u64(hashSolverOptions(Opts));
   return H.digest();
 }
+
+uint64_t smt::hashFunctionKey(uint64_t ContentFingerprint,
+                              uint64_t PipelineFingerprint,
+                              const SolverOptions &Opts,
+                              bool CheckVacuity) {
+  Fnv1a H;
+  H.u64(1); // Manifest-key format version.
+  H.u64(ContentFingerprint);
+  H.u64(PipelineFingerprint);
+  H.u64(hashSolverOptions(Opts));
+  H.u64(CheckVacuity ? 1 : 0);
+  return H.digest();
+}

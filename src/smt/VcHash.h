@@ -46,6 +46,21 @@ uint64_t hashObligation(const vir::LExprRef &Guard,
                         const vir::LExprRef &Goal,
                         const SolverOptions &Opts, uint64_t Salt = 0);
 
+/// The manifest key of one function for incremental re-verification:
+/// the function's content fingerprint (cfront::fingerprintFunction
+/// over the normalized AST and its spec/struct/axiom closure) crossed
+/// with everything else that can change its verdicts — the pipeline
+/// options fingerprint (service::optionsFingerprint, the same salt the
+/// proof-cache keys use), the effective solver options (timeout and
+/// background axioms; the quantified-axiom mode ships whole-program
+/// axioms the content closure intentionally does not cover), and
+/// whether vacuity checking adds an extra obligation. A manifest entry
+/// recorded under this key may discharge the function on a later run
+/// iff every recorded verdict was Valid.
+uint64_t hashFunctionKey(uint64_t ContentFingerprint,
+                         uint64_t PipelineFingerprint,
+                         const SolverOptions &Opts, bool CheckVacuity);
+
 } // namespace smt
 } // namespace vcdryad
 

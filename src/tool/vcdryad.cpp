@@ -36,6 +36,7 @@ void printUsage() {
   std::puts(
       "usage: vcdryad [options] <file.c>...\n"
       "       vcdryad batch [options] <dir|manifest|file.c>...\n"
+      "       vcdryad check [options] <dir|manifest|file.c>...\n"
       "\n"
       "Verifies C programs against DRYAD separation-logic specifications\n"
       "using natural proofs (Pek, Qiu, Madhusudan; PLDI 2014).\n"
@@ -44,6 +45,10 @@ void printUsage() {
       "verification service and emits a machine-readable JSON report:\n"
       "directories are walked recursively for .c files; any other\n"
       "operand is a manifest (one path per line, '#' comments).\n"
+      "\n"
+      "check mode is batch with --incremental on by default: functions\n"
+      "whose stable fingerprint matches a previously all-Valid run are\n"
+      "discharged from the manifest without touching the solver.\n"
       "\n"
       "options:\n"
       "  --only=<fn>          verify a single function\n"
@@ -76,11 +81,24 @@ void printUsage() {
       "  --dump-vcs           print the generated proof obligations\n"
       "\n"
       "batch options:\n"
-      "  --jobs=<n>           worker threads (default: hardware "
-      "concurrency)\n"
-      "  --cache=<dir>|off    proof-cache directory (default "
-      "'.vcdryad-cache');\n"
-      "                       'off' disables the cache\n"
+      "  --jobs=<n>           worker threads; 0 (the default) means\n"
+      "                       hardware concurrency\n"
+      "  --cache=<dir>|off    proof-cache directory; 'off' disables the\n"
+      "                       cache. Relative paths (including the\n"
+      "                       default '.vcdryad-cache') anchor at the\n"
+      "                       first operand's directory, not the CWD,\n"
+      "                       so the same corpus always finds the same\n"
+      "                       cache; $VCDRYAD_CACHE_DIR pins a location\n"
+      "                       when --cache= is not given\n"
+      "  --incremental        skip functions unchanged since a recorded\n"
+      "                       all-Valid run (manifest-v1.txt beside the\n"
+      "                       proof cache; requires the cache, ignored\n"
+      "                       under --axioms=quantified). Default in\n"
+      "                       check mode\n"
+      "  --no-incremental     force full re-verification in check mode\n"
+      "  --changed-only       omit skipped-unchanged functions from the\n"
+      "                       per-file JSON listings (totals still\n"
+      "                       count them)\n"
       "  --out=<file>         write the JSON report here (default "
       "stdout)\n"
       "  --json-times=off     omit timing fields (byte-reproducible "
@@ -94,10 +112,13 @@ struct CliOptions {
   bool DumpInstrumented = false;
   bool DumpVir = false;
   bool DumpVcs = false;
-  // Batch mode (`vcdryad batch ...`).
+  // Batch mode (`vcdryad batch ...` / `vcdryad check ...`).
   bool Batch = false;
-  unsigned Jobs = 0; ///< 0: hardware concurrency.
+  unsigned Jobs = 0; ///< 0: hardware concurrency (explicitly allowed).
   std::string CacheDir = ".vcdryad-cache";
+  bool CacheExplicit = false; ///< The user passed --cache=.
+  bool Incremental = false;   ///< Default true in check mode.
+  bool ChangedOnly = false;   ///< Omit skipped functions from the JSON.
   std::string OutPath;        ///< Empty: stdout.
   bool JsonTimes = true;
 };
@@ -123,6 +144,11 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
   int First = 1;
   if (Argc > 1 && std::strcmp(Argv[1], "batch") == 0) {
     Cli.Batch = true;
+    First = 2;
+  } else if (Argc > 1 && std::strcmp(Argv[1], "check") == 0) {
+    // batch with incremental re-verification on by default.
+    Cli.Batch = true;
+    Cli.Incremental = true;
     First = 2;
   }
   for (int I = First; I < Argc; ++I) {
@@ -153,6 +179,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       if (!parseUnsignedFlag("--portfolio", A.substr(12),
                              Cli.Verify.Portfolio))
         return false;
+      if (Cli.Verify.Portfolio == 0) {
+        // Unlike --jobs=0 (hardware concurrency), a zero-lane
+        // portfolio has no sensible reading: reject it instead of
+        // silently behaving like --portfolio=1.
+        std::fprintf(stderr, "error: --portfolio expects a width >= 1 "
+                             "(1 keeps the single-strategy "
+                             "escalation)\n");
+        return false;
+      }
     } else if (StartsWith("--portfolio-profiles=")) {
       Cli.Verify.PortfolioProfiles.clear();
       std::string Rest = A.substr(21);
@@ -193,6 +228,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
     } else if (StartsWith("--cache=")) {
       std::string Dir = A.substr(8);
       Cli.CacheDir = (Dir == "off") ? "" : Dir;
+      Cli.CacheExplicit = true;
+    } else if (A == "--incremental") {
+      Cli.Incremental = true;
+    } else if (A == "--no-incremental") {
+      Cli.Incremental = false;
+    } else if (A == "--changed-only") {
+      Cli.ChangedOnly = true;
     } else if (StartsWith("--out=")) {
       Cli.OutPath = A.substr(6);
     } else if (StartsWith("--json-times=")) {
@@ -307,11 +349,15 @@ int runBatch(const CliOptions &Cli) {
   service::ServiceOptions SOpts;
   SOpts.Verify = Cli.Verify;
   SOpts.Jobs = Cli.Jobs;
-  SOpts.CacheDir = Cli.CacheDir;
+  // Anchor relative cache paths at the corpus, not the CWD: the same
+  // operands must hit the same cache wherever the tool is invoked.
+  SOpts.CacheDir =
+      service::resolveCacheDir(Cli.CacheDir, Cli.CacheExplicit, Cli.Files);
+  SOpts.Incremental = Cli.Incremental;
   service::VerificationService Service(SOpts);
   service::BatchReport Rep = Service.run(Inputs);
 
-  std::string Json = service::toJson(Rep, Cli.JsonTimes);
+  std::string Json = service::toJson(Rep, Cli.JsonTimes, Cli.ChangedOnly);
   if (Cli.OutPath.empty()) {
     std::fputs(Json.c_str(), stdout);
   } else {

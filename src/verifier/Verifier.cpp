@@ -6,6 +6,7 @@
 
 #include "verifier/Verifier.h"
 
+#include "cfront/FuncHash.h"
 #include "cfront/Normalize.h"
 #include "cfront/Parser.h"
 #include "smt/Portfolio.h"
@@ -76,7 +77,42 @@ ProgramPlan Verifier::planProgram(cfront::Program &Prog,
   ProgramPlan Plan;
 
   cfront::normalizeProgram(Prog, Diag);
-  instr::instrumentProgram(Prog, Opts.Instr, Diag);
+  if (Diag.hasErrors()) {
+    Plan.Error = Diag.str();
+    return Plan;
+  }
+
+  // Incremental planning: fingerprints are computed on the normalized,
+  // still un-instrumented AST (instrumentation mutates bodies), and
+  // the SkipUnchanged hook decides per function whether the rest of
+  // the pipeline — ghost synthesis, translation, VC generation — can
+  // be skipped outright.
+  struct Selected {
+    cfront::FuncDecl *F = nullptr;
+    uint64_t Fp = 0;
+    bool Skip = false;
+  };
+  std::vector<Selected> Sel;
+  for (const auto &F : Prog.Funcs) {
+    if (!F->Body)
+      continue;
+    if (!Opts.OnlyFunction.empty() && F->Name != Opts.OnlyFunction)
+      continue;
+    Selected S;
+    S.F = F.get();
+    if (Opts.SkipUnchanged) {
+      S.Fp = cfront::fingerprintFunction(*F, Prog);
+      S.Skip = Opts.SkipUnchanged(F->Name, S.Fp);
+    }
+    Sel.push_back(S);
+  }
+
+  // Instrument only what will be translated. Ghost synthesis of one
+  // function reads other functions' contracts, never their bodies, so
+  // skipping some functions cannot change the others' obligations.
+  for (const Selected &S : Sel)
+    if (!S.Skip)
+      instr::instrumentFunction(*S.F, Prog, Opts.Instr, Diag);
   if (Diag.hasErrors()) {
     Plan.Error = Diag.str();
     return Plan;
@@ -85,18 +121,23 @@ ProgramPlan Verifier::planProgram(cfront::Program &Prog,
   if (Opts.Instr.Axioms == instr::InstrOptions::AxiomMode::Quantified)
     Plan.BackgroundAxioms = instr::quantifiedAxioms(Prog, Diag);
 
-  for (const auto &F : Prog.Funcs) {
-    if (!F->Body)
-      continue;
-    if (!Opts.OnlyFunction.empty() && F->Name != Opts.OnlyFunction)
-      continue;
+  for (const Selected &S : Sel) {
     FunctionObligations FO;
-    FO.Name = F->Name;
+    FO.Name = S.F->Name;
     FO.SourceIndex = static_cast<unsigned>(Plan.Functions.size());
-    FO.Annotations = instr::countAnnotations(*F);
+    FO.Fingerprint = S.Fp;
+    if (S.Skip) {
+      // Discharged by the manifest: no annotations to count (the
+      // function was never instrumented) and no VCs to solve. The
+      // scheduler reports it from the manifest record.
+      FO.SkippedUnchanged = true;
+      Plan.Functions.push_back(std::move(FO));
+      continue;
+    }
+    FO.Annotations = instr::countAnnotations(*S.F);
 
     vir::Procedure Proc =
-        translateFunction(*F, Prog, Opts.Translate, Diag);
+        translateFunction(*S.F, Prog, Opts.Translate, Diag);
     if (Diag.hasErrors()) {
       Plan.Error += Diag.str();
       Plan.Ok = false;

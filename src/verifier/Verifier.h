@@ -22,6 +22,7 @@
 #include "verifier/FuncTranslator.h"
 #include "vir/WpGen.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,6 +68,18 @@ struct VerifyOptions {
   /// selects the built-in order. A non-empty list implies its own
   /// width when Portfolio is not set above 1.
   std::vector<std::string> PortfolioProfiles;
+  /// Incremental-planning hook (set by the verification service's
+  /// manifest). Called once per function right after normalization
+  /// with the function's name and stable content fingerprint
+  /// (cfront::fingerprintFunction); returning true skips the rest of
+  /// the pipeline for that function — instrumentation, translation
+  /// and VC generation — and marks its FunctionObligations
+  /// SkippedUnchanged with no VCs. Callers must only return true when
+  /// a persisted record proves every obligation of an identical
+  /// function (same fingerprint, same options) was Valid. When unset,
+  /// fingerprints are not computed and nothing is skipped.
+  std::function<bool(const std::string &Name, uint64_t Fingerprint)>
+      SkipUnchanged;
 };
 
 /// Outcome of one proof obligation.
@@ -155,6 +168,12 @@ struct FunctionObligations {
   unsigned SourceIndex = 0; ///< See FunctionResult::SourceIndex.
   instr::AnnotationStats Annotations;
   std::vector<vir::VC> VCs;
+  /// Stable content fingerprint of the normalized function (0 when
+  /// the planner ran without VerifyOptions::SkipUnchanged).
+  uint64_t Fingerprint = 0;
+  /// The SkipUnchanged hook discharged this function: VCs is empty
+  /// and the scheduler must not solve anything for it.
+  bool SkippedUnchanged = false;
 };
 
 /// A whole file's obligations (the unit the scheduler fans out).

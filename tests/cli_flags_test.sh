@@ -1,0 +1,96 @@
+#!/bin/sh
+# CLI contract gate for the batch/check flags:
+#   (1) --jobs=0 explicitly means "hardware concurrency" — accepted,
+#       and the report's resolved job count is >= 1;
+#   (2) --portfolio=0 is rejected as a usage error (exit 2) with a
+#       diagnostic, not silently treated as 1;
+#   (3) a relative cache path (including the default .vcdryad-cache)
+#       anchors at the first operand's directory, so invocations from
+#       different CWDs share one cache — the second run must be warm;
+#   (4) $VCDRYAD_CACHE_DIR pins the cache location when --cache= is
+#       not given;
+#   (5) --cache=off disables caching.
+#
+# Usage: cli_flags_test.sh <vcdryad-binary>
+set -eu
+
+VCDRYAD=$1
+case "$VCDRYAD" in
+  /*) ;;
+  *) VCDRYAD=$(pwd)/$VCDRYAD ;; # The test cd's around below.
+esac
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/vcd-cli-flags.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+mkdir "$WORK/suite"
+cat > "$WORK/suite/ok.c" <<'EOF'
+int id1(int a)
+  _(ensures result == a)
+{
+  return a;
+}
+EOF
+
+field() { # field <file> <key> -> first value of the key
+  awk -F': ' "/\"$2\":/ {gsub(/,/, \"\", \$2); print \$2; exit}" "$1"
+}
+
+echo "== --jobs=0 means hardware concurrency =="
+"$VCDRYAD" batch "$WORK/suite" --jobs=0 --cache=off \
+  --out="$WORK/jobs0.json"
+JOBS=$(field "$WORK/jobs0.json" jobs)
+if [ -z "$JOBS" ] || [ "$JOBS" -lt 1 ]; then
+  echo "FAIL: --jobs=0 resolved to '$JOBS' workers (want >= 1)" >&2
+  exit 1
+fi
+
+echo "== --portfolio=0 is rejected =="
+if "$VCDRYAD" batch "$WORK/suite" --portfolio=0 --cache=off \
+     > /dev/null 2> "$WORK/portfolio0.err"; then
+  echo "FAIL: --portfolio=0 was accepted" >&2
+  exit 1
+fi
+if ! grep -q "portfolio" "$WORK/portfolio0.err"; then
+  echo "FAIL: --portfolio=0 rejected without a diagnostic" >&2
+  cat "$WORK/portfolio0.err" >&2
+  exit 1
+fi
+
+echo "== default cache anchors at the corpus, not the CWD =="
+(cd "$WORK" && "$VCDRYAD" batch suite --out="$WORK/cwd1.json")
+mkdir "$WORK/elsewhere"
+(cd "$WORK/elsewhere" && "$VCDRYAD" batch ../suite \
+   --out="$WORK/cwd2.json")
+if [ ! -d "$WORK/suite/.vcdryad-cache" ]; then
+  echo "FAIL: cache not created beside the corpus" >&2
+  exit 1
+fi
+if [ -d "$WORK/.vcdryad-cache" ] || \
+   [ -d "$WORK/elsewhere/.vcdryad-cache" ]; then
+  echo "FAIL: cache leaked into a working directory" >&2
+  exit 1
+fi
+HITS=$(field "$WORK/cwd2.json" hits)
+if [ "$HITS" -lt 1 ]; then
+  echo "FAIL: second run from another CWD missed the cache" >&2
+  exit 1
+fi
+
+echo "== VCDRYAD_CACHE_DIR pins the location =="
+(cd "$WORK" && VCDRYAD_CACHE_DIR="$WORK/pinned" "$VCDRYAD" batch suite \
+   --out="$WORK/env.json")
+if [ ! -d "$WORK/pinned" ]; then
+  echo "FAIL: \$VCDRYAD_CACHE_DIR was ignored" >&2
+  exit 1
+fi
+
+echo "== --cache=off disables caching =="
+"$VCDRYAD" batch "$WORK/suite" --cache=off --out="$WORK/off.json"
+if ! grep -q '"enabled": false' "$WORK/off.json"; then
+  echo "FAIL: --cache=off did not disable the cache" >&2
+  exit 1
+fi
+
+echo "PASS: jobs=0 -> $JOBS workers; portfolio=0 rejected;" \
+     "cache anchored at corpus; env pin and off honored"

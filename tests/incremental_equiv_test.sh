@@ -1,0 +1,155 @@
+#!/bin/sh
+# End-to-end gate for incremental re-verification (build-system
+# semantics). Copies the SLL suite (plus its spec header) into a
+# scratch tree so it can be edited, then asserts:
+#   (1) a cold `--incremental` run reports byte-identical outcomes to
+#       a plain batch run (modulo the cache/manifest bookkeeping
+#       fields) — incremental mode must not change verdicts;
+#   (2) a warm re-run discharges EVERY function from the manifest with
+#       zero obligations reaching Z3 ("solved_vcs": 0) — the CI
+#       zero-solve contract;
+#   (3) a whitespace/comment-only edit still skips everything (the
+#       fingerprint hashes the normalized AST, not the bytes);
+#   (4) a one-function body edit re-verifies exactly that function;
+#   (5) a spec-header edit (predicate definition) transitively
+#       invalidates every dependent function.
+#
+# Usage: incremental_equiv_test.sh <vcdryad-binary> <sll-suite-dir>
+#
+# The JSON report prints one key per line precisely so that shell
+# gates like this one can grep/awk it without a JSON parser.
+set -eu
+
+VCDRYAD=$1
+SUITE=$2
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/vcd-incremental.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+
+# Replicate the suite's layout (files reference ../include/sll.h).
+mkdir -p "$WORK/corpus" "$WORK/include"
+cp "$SUITE"/*.c "$WORK/corpus/"
+cp "$SUITE"/../include/sll.h "$WORK/include/"
+
+# Same 300 s budget as the other batch gates: under the 60 s default
+# the suite's hardest obligation sits at the budget on slow hardware.
+run() {
+  mode=$1
+  out=$2
+  shift 2
+  "$VCDRYAD" "$mode" "$WORK/corpus" --jobs=4 --timeout=300000 \
+    --json-times=off --out="$out" "$@"
+}
+
+count() { # count <file> <key> -> integer value of a totals field
+  awk -F': ' "/\"$2\":/ {gsub(/,/, \"\", \$2); print \$2; exit}" "$1"
+}
+
+echo "== baseline batch run (incremental off) =="
+run batch "$WORK/base.json" --cache="$WORK/c0"
+echo "== cold incremental run =="
+run check "$WORK/cold.json" --cache="$WORK/c1"
+
+# (1) Incremental off vs cold incremental: identical outcomes. Only
+# the cache-directory path and the manifest bookkeeping may differ.
+strip_incremental() {
+  grep -v -E '"(dir|incremental|manifest|manifest_hits|manifest_misses|manifest_records)":' "$1"
+}
+strip_incremental "$WORK/base.json" > "$WORK/base.stripped"
+strip_incremental "$WORK/cold.json" > "$WORK/cold.stripped"
+if ! cmp -s "$WORK/base.stripped" "$WORK/cold.stripped"; then
+  echo "FAIL: cold incremental run differs from plain batch" >&2
+  diff "$WORK/base.stripped" "$WORK/cold.stripped" >&2 || true
+  exit 1
+fi
+
+FUNCS=$(count "$WORK/cold.json" functions)
+if [ "$FUNCS" -lt 1 ]; then
+  echo "FAIL: suite reported no functions" >&2
+  exit 1
+fi
+
+echo "== warm incremental run =="
+run check "$WORK/warm.json" --cache="$WORK/c1"
+
+# (2) The zero-solve contract: every function discharged from the
+# manifest, no obligation handed to Z3.
+SKIPPED=$(count "$WORK/warm.json" skipped_unchanged)
+SOLVED=$(count "$WORK/warm.json" solved_vcs)
+if [ "$SKIPPED" -ne "$FUNCS" ] || [ "$SOLVED" -ne 0 ]; then
+  echo "FAIL: warm run skipped $SKIPPED/$FUNCS functions," \
+       "solved $SOLVED VCs (want all skipped, 0 solved)" >&2
+  exit 1
+fi
+
+# Warm verdicts equal cold verdicts modulo the skip/counter fields.
+strip_counters() {
+  grep -v -E '"(hits|misses|stores|cache_hits|cache_misses|manifest_hits|manifest_misses|manifest_records|solved_vcs|skipped_unchanged|fingerprint)":' "$1"
+}
+strip_counters "$WORK/cold.json" > "$WORK/cold2.stripped"
+strip_counters "$WORK/warm.json" > "$WORK/warm.stripped"
+if ! cmp -s "$WORK/cold2.stripped" "$WORK/warm.stripped"; then
+  echo "FAIL: warm outcomes differ from cold outcomes" >&2
+  diff "$WORK/cold2.stripped" "$WORK/warm.stripped" >&2 || true
+  exit 1
+fi
+
+echo "== whitespace/comment-only edit =="
+printf '// a comment the fingerprint must ignore\n\n' \
+  > "$WORK/corpus/insert_front.c.new"
+cat "$WORK/corpus/insert_front.c" >> "$WORK/corpus/insert_front.c.new"
+mv "$WORK/corpus/insert_front.c.new" "$WORK/corpus/insert_front.c"
+run check "$WORK/ws.json" --cache="$WORK/c1"
+SKIPPED=$(count "$WORK/ws.json" skipped_unchanged)
+if [ "$SKIPPED" -ne "$FUNCS" ]; then
+  echo "FAIL: comment-only edit invalidated the manifest" \
+       "($SKIPPED/$FUNCS skipped)" >&2
+  exit 1
+fi
+
+echo "== one-function body edit =="
+# Swap two independent assignments: still verifies, different AST.
+awk '{
+  if ($0 ~ /n->next = x;/) { print "  n->key = k;"; next }
+  if ($0 ~ /n->key = k;/)  { print "  n->next = x;"; next }
+  print
+}' "$WORK/corpus/insert_front.c" > "$WORK/corpus/insert_front.c.new"
+mv "$WORK/corpus/insert_front.c.new" "$WORK/corpus/insert_front.c"
+run check "$WORK/edit.json" --cache="$WORK/c1"
+SKIPPED=$(count "$WORK/edit.json" skipped_unchanged)
+VERIFIED=$(count "$WORK/edit.json" verified)
+if [ "$SKIPPED" -ne $((FUNCS - 1)) ]; then
+  echo "FAIL: body edit should re-verify exactly 1 function" \
+       "($SKIPPED/$FUNCS skipped)" >&2
+  exit 1
+fi
+if [ "$VERIFIED" -ne "$FUNCS" ]; then
+  echo "FAIL: edited function no longer verifies" >&2
+  exit 1
+fi
+
+echo "== spec-header edit (transitive invalidation) =="
+# Semantics-preserving operand swap inside the list() definition:
+# every function in the suite depends on list, so nothing may skip.
+sed 's/(x == nil \&\& emp)/(nil == x \&\& emp)/' \
+  "$WORK/include/sll.h" > "$WORK/include/sll.h.new"
+if cmp -s "$WORK/include/sll.h" "$WORK/include/sll.h.new"; then
+  echo "FAIL: spec edit did not apply (test is vacuous)" >&2
+  exit 1
+fi
+mv "$WORK/include/sll.h.new" "$WORK/include/sll.h"
+run check "$WORK/spec.json" --cache="$WORK/c1"
+SKIPPED=$(count "$WORK/spec.json" skipped_unchanged)
+VERIFIED=$(count "$WORK/spec.json" verified)
+if [ "$SKIPPED" -ne 0 ]; then
+  echo "FAIL: spec edit must invalidate every dependent function" \
+       "($SKIPPED skipped)" >&2
+  exit 1
+fi
+if [ "$VERIFIED" -ne "$FUNCS" ]; then
+  echo "FAIL: suite no longer verifies after the spec edit" >&2
+  exit 1
+fi
+
+echo "PASS: cold==batch, warm zero-solve ($FUNCS skipped)," \
+     "edit granularity exact"

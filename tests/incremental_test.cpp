@@ -1,0 +1,605 @@
+//===- incremental_test.cpp - Incremental re-verification tests ------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the build-system semantics of incremental
+/// re-verification: the stable function fingerprint (whitespace
+/// stability, dependency-closure invalidation, modularity against
+/// callee body edits), the persisted VC manifest (round-trip, dedupe,
+/// compaction), the manifest key, the cache-directory resolution
+/// rules, and the scheduler's skip-unchanged path end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cfront/FuncHash.h"
+#include "cfront/Normalize.h"
+#include "cfront/Parser.h"
+#include "service/Manifest.h"
+#include "service/Service.h"
+#include "smt/VcHash.h"
+#include "support/Hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+using namespace vcdryad;
+namespace fs = std::filesystem;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Function fingerprint
+//===----------------------------------------------------------------------===//
+
+/// Parses + normalizes \p Source and fingerprints function \p Name.
+uint64_t fpOf(const std::string &Source, const std::string &Name) {
+  DiagnosticEngine Diag;
+  std::unique_ptr<cfront::Program> Prog =
+      cfront::parseProgram(Source, Diag);
+  EXPECT_TRUE(Prog != nullptr && !Diag.hasErrors()) << Diag.str();
+  if (!Prog)
+    return 0;
+  cfront::normalizeProgram(*Prog, Diag);
+  EXPECT_FALSE(Diag.hasErrors()) << Diag.str();
+  for (const auto &F : Prog->Funcs)
+    if (F->Name == Name)
+      return cfront::fingerprintFunction(*F, *Prog);
+  ADD_FAILURE() << "function not found: " << Name;
+  return 0;
+}
+
+const char *SllDefs = R"(
+struct node {
+  struct node *next;
+  int key;
+};
+
+_(dryad
+  predicate list(struct node *x) =
+      (x == nil && emp) || (x |-> * list(x->next));
+
+  function intset keys(struct node *x) =
+      (x == nil) ? emptyset : (singleton(x->key) union keys(x->next));
+
+  axiom (struct node *x)
+      true ==> heaplet keys(x) == heaplet list(x);
+)
+)";
+
+std::string sllProgram(const std::string &Defs,
+                       const std::string &Funcs) {
+  return Defs + "\n" + Funcs;
+}
+
+const char *InsertFront = R"(
+struct node *insert_front(struct node *x, int k)
+  _(requires list(x))
+  _(ensures list(result))
+{
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+  n->next = x;
+  n->key = k;
+  return n;
+}
+)";
+
+TEST(FuncFingerprintTest, WhitespaceAndCommentEditsAreStable) {
+  std::string A = sllProgram(SllDefs, InsertFront);
+  std::string B = sllProgram(SllDefs, R"(
+// a brand-new comment
+
+struct node *insert_front(struct node   *x,   int k)
+  _(requires list(x))
+  _(ensures  list(result))
+{
+  // reflowed whitespace, same tokens
+  struct node *n = (struct node *) malloc(sizeof(struct node));
+
+  n->next = x;
+  n->key  = k;
+  return n;
+}
+)");
+  EXPECT_EQ(fpOf(A, "insert_front"), fpOf(B, "insert_front"));
+}
+
+TEST(FuncFingerprintTest, BodyEditChangesFingerprint) {
+  std::string A = sllProgram(SllDefs, InsertFront);
+  std::string B = A;
+  size_t Pos = B.find("n->key = k;");
+  ASSERT_NE(Pos, std::string::npos);
+  B.replace(Pos, 11, "n->key = k + 1;");
+  EXPECT_NE(fpOf(A, "insert_front"), fpOf(B, "insert_front"));
+}
+
+TEST(FuncFingerprintTest, ContractEditChangesFingerprint) {
+  std::string A = sllProgram(SllDefs, InsertFront);
+  std::string B = A;
+  size_t Pos = B.find("_(ensures list(result))");
+  ASSERT_NE(Pos, std::string::npos);
+  B.replace(Pos, 23, "_(ensures list(result))\n  _(ensures k == k)");
+  EXPECT_NE(fpOf(A, "insert_front"), fpOf(B, "insert_front"));
+}
+
+TEST(FuncFingerprintTest, SpecDefinitionEditInvalidatesDependents) {
+  // A semantics-preserving but AST-visible edit to list(): every
+  // function whose closure contains list must change fingerprint.
+  std::string Edited(SllDefs);
+  size_t Pos = Edited.find("(x == nil && emp)");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, 17, "(nil == x && emp)");
+  EXPECT_NE(fpOf(sllProgram(SllDefs, InsertFront), "insert_front"),
+            fpOf(sllProgram(Edited, InsertFront), "insert_front"));
+}
+
+TEST(FuncFingerprintTest, AxiomEditInvalidatesDependents) {
+  std::string Edited(SllDefs);
+  size_t Pos = Edited.find("heaplet keys(x) == heaplet list(x)");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, 34, "heaplet list(x) == heaplet keys(x)");
+  EXPECT_NE(fpOf(sllProgram(SllDefs, InsertFront), "insert_front"),
+            fpOf(sllProgram(Edited, InsertFront), "insert_front"));
+}
+
+const char *CallerCallee = R"(
+int twice(int a)
+  _(ensures result == a + a)
+{
+  return a + a;
+}
+
+int quad(int a)
+  _(ensures result == a + a + a + a)
+{
+  return twice(twice(a));
+}
+)";
+
+TEST(FuncFingerprintTest, CalleeBodyEditDoesNotInvalidateCaller) {
+  // Verification is modular: quad's proof reads only twice's contract.
+  std::string B(CallerCallee);
+  size_t Pos = B.find("return a + a;");
+  ASSERT_NE(Pos, std::string::npos);
+  B.replace(Pos, 13, "return a + a + 0;");
+  EXPECT_NE(fpOf(CallerCallee, "twice"), fpOf(B, "twice"));
+  EXPECT_EQ(fpOf(CallerCallee, "quad"), fpOf(B, "quad"));
+}
+
+TEST(FuncFingerprintTest, CalleeContractEditInvalidatesCaller) {
+  std::string B(CallerCallee);
+  size_t Pos = B.find("_(ensures result == a + a)");
+  ASSERT_NE(Pos, std::string::npos);
+  B.replace(Pos, 26, "_(ensures result == a + a + 0)");
+  EXPECT_NE(fpOf(CallerCallee, "quad"), fpOf(B, "quad"));
+}
+
+TEST(FuncFingerprintTest, UnrelatedFunctionEditDoesNotInvalidate) {
+  std::string B(CallerCallee);
+  B += R"(
+int unrelated(int a)
+  _(ensures result == a)
+{
+  return a;
+}
+)";
+  EXPECT_EQ(fpOf(CallerCallee, "quad"), fpOf(B, "quad"));
+  EXPECT_EQ(fpOf(CallerCallee, "twice"), fpOf(B, "twice"));
+}
+
+TEST(FuncFingerprintTest, DepsClosureCoversSpecsAndCallees) {
+  DiagnosticEngine Diag;
+  std::unique_ptr<cfront::Program> Prog =
+      cfront::parseProgram(sllProgram(SllDefs, InsertFront), Diag);
+  ASSERT_TRUE(Prog != nullptr && !Diag.hasErrors()) << Diag.str();
+  cfront::normalizeProgram(*Prog, Diag);
+  const cfront::FuncDecl *F = nullptr;
+  for (const auto &Fn : Prog->Funcs)
+    if (Fn->Name == "insert_front")
+      F = Fn.get();
+  ASSERT_NE(F, nullptr);
+  cfront::FuncDeps Deps = cfront::collectFuncDeps(*F, *Prog);
+  EXPECT_TRUE(Deps.Defs.count("list"));
+  // keys() is not named by insert_front's specs, but it is pertinent
+  // to struct node (the instrumentation unfolds it at dereferences).
+  EXPECT_TRUE(Deps.Defs.count("keys"));
+  EXPECT_TRUE(Deps.Structs.count("node"));
+  EXPECT_TRUE(Deps.Callees.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Manifest key
+//===----------------------------------------------------------------------===//
+
+TEST(FunctionKeyTest, SensitiveToEveryComponent) {
+  smt::SolverOptions SO;
+  uint64_t K = smt::hashFunctionKey(1, 2, SO, false);
+  EXPECT_NE(K, smt::hashFunctionKey(9, 2, SO, false)); // content
+  EXPECT_NE(K, smt::hashFunctionKey(1, 9, SO, false)); // pipeline
+  EXPECT_NE(K, smt::hashFunctionKey(1, 2, SO, true));  // vacuity
+  smt::SolverOptions SO2 = SO;
+  SO2.TimeoutMs += 1;
+  EXPECT_NE(K, smt::hashFunctionKey(1, 2, SO2, false)); // solver opts
+  EXPECT_EQ(K, smt::hashFunctionKey(1, 2, SO, false));  // deterministic
+}
+
+//===----------------------------------------------------------------------===//
+// Manifest persistence
+//===----------------------------------------------------------------------===//
+
+class TempDirTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = fs::path(::testing::TempDir()) /
+          ("vcd_incr_" +
+           std::to_string(
+               ::testing::UnitTest::GetInstance()->random_seed()) +
+           "_" + ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name());
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  void TearDown() override { fs::remove_all(Dir); }
+
+  fs::path Dir;
+};
+
+using ManifestTest = TempDirTest;
+
+TEST_F(ManifestTest, RoundTripThroughDisk) {
+  std::string MDir = (Dir / "cache").string();
+  service::ManifestEntry E;
+  E.Name = "insert_front";
+  E.Manual = 3;
+  E.Ghost = 17;
+  E.VcKeys = {0xdeadbeefull, 0x1ull, 0xffffffffffffffffull};
+  {
+    service::VcManifest M(MDir);
+    EXPECT_EQ(M.openError(), "");
+    EXPECT_FALSE(M.lookup(7));
+    M.record(7, E);
+    EXPECT_TRUE(M.lookup(7));
+    // flush() runs in the destructor.
+  }
+  service::VcManifest Reloaded(MDir);
+  EXPECT_EQ(Reloaded.size(), 1u);
+  std::optional<service::ManifestEntry> Hit = Reloaded.lookup(7);
+  ASSERT_TRUE(Hit);
+  EXPECT_EQ(Hit->Name, "insert_front");
+  EXPECT_EQ(Hit->Manual, 3u);
+  EXPECT_EQ(Hit->Ghost, 17u);
+  EXPECT_EQ(Hit->VcKeys, E.VcKeys);
+  EXPECT_FALSE(Reloaded.lookup(8));
+  service::ManifestStats S = Reloaded.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  // peek() reads without skewing the statistics.
+  EXPECT_TRUE(Reloaded.peek(7));
+  EXPECT_EQ(Reloaded.stats().Hits, 1u);
+}
+
+TEST_F(ManifestTest, DuplicateKeysDedupeLastWriteWins) {
+  std::string MDir = (Dir / "cache").string();
+  fs::create_directories(MDir);
+  {
+    std::ofstream Store(fs::path(MDir) / "manifest-v1.txt");
+    Store << hashToHex(5) << " V stale 1 1 0\n"
+          << hashToHex(6) << " V other 0 0 0\n"
+          << hashToHex(5) << " V fresh 2 2 1 " << hashToHex(9) << "\n";
+  }
+  service::VcManifest M(MDir);
+  EXPECT_EQ(M.size(), 2u);
+  std::optional<service::ManifestEntry> Hit = M.lookup(5);
+  ASSERT_TRUE(Hit);
+  EXPECT_EQ(Hit->Name, "fresh");
+  ASSERT_EQ(Hit->VcKeys.size(), 1u);
+  EXPECT_EQ(Hit->VcKeys[0], 9u);
+}
+
+TEST_F(ManifestTest, TornAndForeignLinesAreSkipped) {
+  std::string MDir = (Dir / "cache").string();
+  fs::create_directories(MDir);
+  {
+    std::ofstream Store(fs::path(MDir) / "manifest-v1.txt");
+    Store << "not a manifest line\n"
+          << hashToHex(1) << " V ok 0 0 2 " << hashToHex(2) << "\n"
+          << hashToHex(3) << " V short_vc_list 0 0 3 " << hashToHex(4)
+          << "\n"
+          << hashToHex(5) << " V trailing 0 0 0 garbage\n"
+          << hashToHex(6) << " V good 1 2 1 " << hashToHex(7) << "\n";
+  }
+  service::VcManifest M(MDir);
+  EXPECT_EQ(M.size(), 1u); // Only the last line is well-formed.
+  EXPECT_TRUE(M.lookup(6));
+}
+
+TEST_F(ManifestTest, RepeatedFlushCyclesKeepOneLinePerKey) {
+  // Regression for append-style duplication: N open/record/flush
+  // cycles over the same key must leave exactly one line for it.
+  std::string MDir = (Dir / "cache").string();
+  for (int I = 0; I != 5; ++I) {
+    service::VcManifest M(MDir);
+    service::ManifestEntry E;
+    E.Name = "f";
+    E.Manual = static_cast<unsigned>(I);
+    M.record(42, E);
+    M.flush();
+    M.flush(); // Clean second flush must not rewrite or duplicate.
+  }
+  std::ifstream In(fs::path(MDir) / "manifest-v1.txt");
+  std::string Line;
+  unsigned Lines = 0;
+  while (std::getline(In, Line))
+    if (!Line.empty())
+      ++Lines;
+  EXPECT_EQ(Lines, 1u);
+  service::VcManifest M(MDir);
+  std::optional<service::ManifestEntry> Hit = M.lookup(42);
+  ASSERT_TRUE(Hit);
+  EXPECT_EQ(Hit->Manual, 4u); // Last cycle's entry won.
+}
+
+TEST_F(ManifestTest, SiblingFlushersMergeNotClobber) {
+  std::string MDir = (Dir / "cache").string();
+  service::VcManifest A(MDir);
+  service::VcManifest B(MDir);
+  service::ManifestEntry E;
+  E.Name = "a";
+  A.record(100, E);
+  E.Name = "b";
+  B.record(200, E);
+  B.flush();
+  A.flush(); // Must fold B's on-disk entry in, not overwrite it.
+  service::VcManifest Reloaded(MDir);
+  EXPECT_EQ(Reloaded.size(), 2u);
+  EXPECT_TRUE(Reloaded.lookup(100));
+  EXPECT_TRUE(Reloaded.lookup(200));
+}
+
+//===----------------------------------------------------------------------===//
+// Cache directory resolution
+//===----------------------------------------------------------------------===//
+
+TEST_F(ManifestTest, ResolveCacheDirAnchorsAtOperands) {
+  std::string Corpus = (Dir / "suite").string();
+  fs::create_directories(Corpus);
+  std::string File = (fs::path(Corpus) / "a.c").string();
+  std::ofstream(File) << "\n";
+
+  // Empty = disabled, whatever the operands.
+  EXPECT_EQ(service::resolveCacheDir("", true, {Corpus}), "");
+
+  // The default anchors at the operand: directory operand -> inside
+  // it; file operand -> beside it.
+  EXPECT_EQ(service::resolveCacheDir(".vcdryad-cache", false, {Corpus}),
+            (fs::path(Corpus) / ".vcdryad-cache").lexically_normal()
+                .string());
+  EXPECT_EQ(service::resolveCacheDir(".vcdryad-cache", false, {File}),
+            (fs::path(Corpus) / ".vcdryad-cache").lexically_normal()
+                .string());
+
+  // Explicit relative --cache= anchors the same way; explicit
+  // absolute is taken as-is.
+  EXPECT_EQ(service::resolveCacheDir("c", true, {Corpus}),
+            (fs::path(Corpus) / "c").lexically_normal().string());
+  std::string Abs = (Dir / "abs-cache").string();
+  EXPECT_EQ(service::resolveCacheDir(Abs, true, {Corpus}), Abs);
+
+  // $VCDRYAD_CACHE_DIR pins the default (but never beats --cache=).
+  std::string Pinned = (Dir / "pinned").string();
+  ::setenv("VCDRYAD_CACHE_DIR", Pinned.c_str(), 1);
+  EXPECT_EQ(service::resolveCacheDir(".vcdryad-cache", false, {Corpus}),
+            Pinned);
+  EXPECT_EQ(service::resolveCacheDir("c", true, {Corpus}),
+            (fs::path(Corpus) / "c").lexically_normal().string());
+  ::unsetenv("VCDRYAD_CACHE_DIR");
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler: skip-unchanged end to end
+//===----------------------------------------------------------------------===//
+
+class IncrementalServiceTest : public TempDirTest {
+protected:
+  void writeFile(const char *Name, const char *Text) {
+    std::ofstream Out(Dir / "suite" / Name);
+    Out << Text;
+  }
+
+  void writeCorpus() {
+    fs::create_directories(Dir / "suite");
+    writeFile("a_min.c", R"(
+int min2(int a, int b)
+  _(ensures result <= a && result <= b)
+{
+  if (a < b)
+    return a;
+  return b;
+}
+)");
+    writeFile("b_pair.c", R"(
+int clamp0(int a)
+  _(ensures 0 <= result)
+{
+  if (a < 0)
+    return 0;
+  return a;
+}
+
+int add3(int a)
+  _(ensures result == a + 3)
+{
+  return a + 1 + 2;
+}
+)");
+    writeFile("c_bad.c", R"(
+int bad_abs(int a)
+  _(ensures 0 <= result)
+{
+  return a;
+}
+)");
+  }
+
+  service::BatchReport run(bool Incremental = true,
+                           unsigned Jobs = 4) {
+    service::ServiceOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.CacheDir = (Dir / "cache").string();
+    Opts.Incremental = Incremental;
+    Opts.Verify.TimeoutMs = 30000;
+    service::VerificationService Service(Opts);
+    std::string Error;
+    std::vector<std::string> Inputs =
+        service::collectBatchInputs({(Dir / "suite").string()}, Error);
+    EXPECT_EQ(Error, "");
+    return Service.run(Inputs);
+  }
+};
+
+TEST_F(IncrementalServiceTest, WarmRunSkipsEveryValidFunction) {
+  writeCorpus();
+  service::BatchReport Cold = run();
+  EXPECT_TRUE(Cold.IncrementalEnabled);
+  EXPECT_EQ(Cold.NumSkippedUnchanged, 0u);
+  EXPECT_GT(Cold.NumSolvedVCs, 0u);
+  EXPECT_EQ(Cold.Manifest.Records, 3u); // bad_abs must NOT be recorded.
+  EXPECT_EQ(Cold.NumVerified, 3u);
+  EXPECT_EQ(Cold.NumFailed, 1u);
+
+  service::BatchReport Warm = run();
+  EXPECT_EQ(Warm.NumSkippedUnchanged, 3u);
+  EXPECT_EQ(Warm.NumVerified, 3u);
+  EXPECT_EQ(Warm.NumFailed, 1u); // The failure re-verifies every run:
+  // its Invalid obligation is never cached (only Valid persists), so
+  // it alone reaches Z3 again; everything else is skipped or warm.
+  EXPECT_GT(Warm.NumSolvedVCs, 0u);
+  EXPECT_LT(Warm.NumSolvedVCs, Cold.NumSolvedVCs);
+  EXPECT_EQ(Warm.Manifest.Records, 0u);
+  for (const service::FileReport &F : Warm.Files)
+    for (const service::FunctionReport &Fn : F.Functions)
+      if (Fn.SkippedUnchanged)
+        EXPECT_EQ(Fn.SolvedVCs, 0u) << Fn.Result.Name;
+
+  // Replayed shape matches the cold run: VC and annotation counts.
+  ASSERT_EQ(Warm.Files.size(), Cold.Files.size());
+  for (size_t I = 0; I != Warm.Files.size(); ++I) {
+    ASSERT_EQ(Warm.Files[I].Functions.size(),
+              Cold.Files[I].Functions.size());
+    for (size_t J = 0; J != Warm.Files[I].Functions.size(); ++J) {
+      const service::FunctionReport &W = Warm.Files[I].Functions[J];
+      const service::FunctionReport &C = Cold.Files[I].Functions[J];
+      EXPECT_EQ(W.Result.Verified, C.Result.Verified);
+      EXPECT_EQ(W.Result.NumVCs, C.Result.NumVCs);
+      EXPECT_EQ(W.Result.Annotations.Manual, C.Result.Annotations.Manual);
+      EXPECT_EQ(W.Result.Annotations.Ghost, C.Result.Annotations.Ghost);
+      EXPECT_EQ(W.SkippedUnchanged, C.Result.Verified);
+      if (W.SkippedUnchanged)
+        EXPECT_NE(W.ManifestKey, 0u);
+    }
+  }
+}
+
+TEST_F(IncrementalServiceTest, EditReverifiesExactlyTheEditedFunction) {
+  writeCorpus();
+  service::BatchReport Cold = run();
+  ASSERT_EQ(Cold.NumVerified, 3u);
+
+  // Comment/whitespace-only edit: still everything-skipped.
+  writeFile("a_min.c", R"(
+// an explanatory comment
+
+int min2(int a,   int b)
+  _(ensures result <= a && result <= b)
+{
+  if (a < b)
+    return a;
+
+  return b;
+}
+)");
+  service::BatchReport Same = run();
+  EXPECT_EQ(Same.NumSkippedUnchanged, 3u);
+  ASSERT_GE(Same.Files.size(), 1u);
+  ASSERT_EQ(Same.Files[0].Functions.size(), 1u);
+  EXPECT_TRUE(Same.Files[0].Functions[0].SkippedUnchanged);
+
+  // Real body edit: exactly min2 re-verifies (clamp0, add3 stay
+  // skipped), with the same verdict as a cold run.
+  writeFile("a_min.c", R"(
+int min2(int a, int b)
+  _(ensures result <= a && result <= b)
+{
+  if (b > a)
+    return a;
+  return b;
+}
+)");
+  service::BatchReport Edited = run();
+  EXPECT_EQ(Edited.NumSkippedUnchanged, 2u);
+  EXPECT_GT(Edited.NumSolvedVCs, 0u);
+  EXPECT_EQ(Edited.NumVerified, 3u);
+  ASSERT_GE(Edited.Files.size(), 1u);
+  ASSERT_EQ(Edited.Files[0].Functions.size(), 1u);
+  EXPECT_FALSE(Edited.Files[0].Functions[0].SkippedUnchanged);
+  EXPECT_TRUE(Edited.Files[0].Functions[0].Result.Verified);
+}
+
+TEST_F(IncrementalServiceTest, OptionEditsInvalidateTheManifest) {
+  writeCorpus();
+  run();
+  // A pipeline-option change (timeout is part of the key) must force
+  // full re-verification even though no source changed.
+  service::ServiceOptions Opts;
+  Opts.Jobs = 4;
+  Opts.CacheDir = (Dir / "cache").string();
+  Opts.Incremental = true;
+  Opts.Verify.TimeoutMs = 30001;
+  service::VerificationService Service(Opts);
+  std::string Error;
+  std::vector<std::string> Inputs =
+      service::collectBatchInputs({(Dir / "suite").string()}, Error);
+  service::BatchReport R = Service.run(Inputs);
+  EXPECT_EQ(R.NumSkippedUnchanged, 0u);
+}
+
+TEST_F(IncrementalServiceTest, QuantifiedAxiomModeDisablesIncremental) {
+  writeCorpus();
+  service::ServiceOptions Opts;
+  Opts.Jobs = 2;
+  Opts.CacheDir = (Dir / "cache").string();
+  Opts.Incremental = true;
+  Opts.Verify.TimeoutMs = 30000;
+  Opts.Verify.Instr.Axioms = instr::InstrOptions::AxiomMode::Quantified;
+  service::VerificationService Service(Opts);
+  std::string Error;
+  std::vector<std::string> Inputs =
+      service::collectBatchInputs({(Dir / "suite").string()}, Error);
+  service::BatchReport R = Service.run(Inputs);
+  EXPECT_FALSE(R.IncrementalEnabled);
+  EXPECT_EQ(R.NumSkippedUnchanged, 0u);
+}
+
+TEST_F(IncrementalServiceTest, ChangedOnlyJsonOmitsSkippedFunctions) {
+  writeCorpus();
+  run();
+  service::BatchReport Warm = run();
+  ASSERT_EQ(Warm.NumSkippedUnchanged, 3u);
+  std::string Full = service::toJson(Warm, /*IncludeTimes=*/false);
+  std::string Changed = service::toJson(Warm, /*IncludeTimes=*/false,
+                                        /*ChangedOnly=*/true);
+  EXPECT_NE(Full.find("\"min2\""), std::string::npos);
+  EXPECT_NE(Full.find("\"skipped_unchanged\": true"), std::string::npos);
+  EXPECT_EQ(Changed.find("\"min2\""), std::string::npos);
+  EXPECT_NE(Changed.find("\"bad_abs\""), std::string::npos);
+  // Totals still count the skipped functions in both views.
+  EXPECT_NE(Changed.find("\"skipped_unchanged\": 3"), std::string::npos);
+}
+
+} // namespace

@@ -40,7 +40,9 @@ run_batch "$WORK/base.json" "$@" --no-preprocess --fast-timeout=0
 # query and a one-shot query can surface different models for the same
 # Invalid verdict); verdicts, reasons and locations must not.
 strip_details() {
-  grep -v -E '"detail":' "$1"
+  # solved_vcs legitimately differs: preprocessing settles trivial
+  # obligations without a solver call, the baseline solves them all.
+  grep -v -E '"(detail|solved_vcs)":' "$1"
 }
 strip_details "$WORK/pre.json" > "$WORK/pre.stripped"
 strip_details "$WORK/base.json" > "$WORK/base.stripped"

@@ -274,6 +274,68 @@ TEST_F(ProofCacheTest, TrailingGarbageInTimeFieldIsRejected) {
   EXPECT_TRUE(Cache.lookup(4));
 }
 
+TEST_F(ProofCacheTest, DuplicateStoreLinesDedupeLastWriteWins) {
+  // Regression: a store carrying duplicate keys (appended by an old
+  // pre-atomic writer) must collapse to one entry on load — keeping
+  // the *last* occurrence — and flush must compact the store back to
+  // one line per key.
+  std::string CacheDir = (Dir / "cache").string();
+  fs::create_directories(CacheDir);
+  {
+    std::ofstream Store(fs::path(CacheDir) / "proofs-v1.txt");
+    Store << hashToHex(11) << " V 1.0\n"
+          << hashToHex(12) << " V 2.0\n"
+          << hashToHex(11) << " V 3.0\n"
+          << hashToHex(11) << " V 4.0\n";
+  }
+  {
+    service::ProofCache Cache(CacheDir);
+    EXPECT_EQ(Cache.size(), 2u);
+    auto Hit = Cache.lookup(11);
+    ASSERT_TRUE(Hit);
+    EXPECT_DOUBLE_EQ(Hit->TimeMs, 4.0); // Last write won.
+    // Dirty the cache so flush rewrites (and compacts) the store.
+    smt::CheckResult Valid;
+    Valid.Status = smt::CheckStatus::Valid;
+    Valid.TimeMs = 5.0;
+    Cache.store(13, Valid);
+  }
+  std::ifstream In(fs::path(CacheDir) / "proofs-v1.txt");
+  std::string Line;
+  unsigned Total = 0, Key11 = 0;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    ++Total;
+    if (Line.rfind(hashToHex(11), 0) == 0)
+      ++Key11;
+  }
+  EXPECT_EQ(Total, 3u);
+  EXPECT_EQ(Key11, 1u);
+}
+
+TEST_F(ProofCacheTest, RepeatedFlushCyclesKeepOneLinePerKey) {
+  // N open/store/flush cycles over the same key must never grow the
+  // store past one line for it.
+  std::string CacheDir = (Dir / "cache").string();
+  smt::CheckResult Valid;
+  Valid.Status = smt::CheckStatus::Valid;
+  for (int I = 0; I != 5; ++I) {
+    service::ProofCache Cache(CacheDir);
+    Valid.TimeMs = 1.0 + I;
+    Cache.store(21, Valid);
+    Cache.flush();
+    Cache.flush(); // A clean second flush must be a no-op.
+  }
+  std::ifstream In(fs::path(CacheDir) / "proofs-v1.txt");
+  std::string Line;
+  unsigned Lines = 0;
+  while (std::getline(In, Line))
+    if (!Line.empty())
+      ++Lines;
+  EXPECT_EQ(Lines, 1u);
+}
+
 TEST_F(ProofCacheTest, InterleavedFlushersDoNotClobberEachOther) {
   // Regression for the non-atomic flush: two caches open the same
   // store, each learns a different proof, and each flushes. The
