@@ -1,0 +1,192 @@
+//===- serve_ab.cpp - Resident daemon A/B harness ---------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the resident daemon actually buys on one benchmark
+/// suite (default: ExpressOS): end-to-end wall-clock of
+///   (a) a cold `vcdryad check` — fresh process, empty cache, every
+///       obligation solved;
+///   (b) a warm `vcdryad check` — fresh process each round, but warm
+///       proof cache + manifest (the pre-daemon incremental path:
+///       still pays process start, store load, parse, Z3 context);
+///   (c) a warm daemon round-trip — `vcdryad client verify` against a
+///       `vcdryad serve` process primed once (resident stores,
+///       resident plans, shared-prelude sessions).
+/// Every configuration is launched as a real child process, so the
+/// numbers include everything a user pays at the shell. Prints the
+/// per-round means and the speedups behind the EXPERIMENTS.md
+/// "resident daemon" entry; exits nonzero unless the warm daemon
+/// round-trip beats cold check by >= 5x with identical verdicts.
+///
+/// Usage: serve_ab <vcdryad-binary> [suite-dir] [rounds]
+///
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace vcdryad;
+namespace fs = std::filesystem;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs a shell command, returns its wall-clock in ms; -1 on nonzero
+/// exit.
+double timedRun(const std::string &Cmd) {
+  double T0 = now();
+  int Rc = std::system(Cmd.c_str());
+  double Ms = now() - T0;
+  if (Rc != 0)
+    return -1.0;
+  return Ms;
+}
+
+double mean(const std::vector<double> &Xs) {
+  double S = 0.0;
+  for (double X : Xs)
+    S += X;
+  return Xs.empty() ? 0.0 : S / static_cast<double>(Xs.size());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr,
+                 "error: usage: serve_ab <vcdryad-binary> [suite-dir] "
+                 "[rounds]\n");
+    return 2;
+  }
+  std::string Tool = Argv[1];
+  std::string Suite =
+      Argc > 2 ? Argv[2]
+               : (fs::path(VCDRYAD_BENCHMARK_DIR) / "expressos").string();
+  int Rounds = Argc > 3 ? std::atoi(Argv[3]) : 3;
+  if (Rounds < 1)
+    Rounds = 1;
+  if (!fs::is_regular_file(Tool)) {
+    std::fprintf(stderr, "error: no such binary: %s\n", Tool.c_str());
+    return 2;
+  }
+  if (!fs::is_directory(Suite)) {
+    std::fprintf(stderr, "error: no such suite: %s\n", Suite.c_str());
+    return 2;
+  }
+
+  fs::path Work = fs::temp_directory_path() / "vcd-serve-ab";
+  fs::remove_all(Work);
+  fs::create_directories(Work);
+  std::string Quiet = " --json-times=off --out=/dev/null 2>/dev/null";
+  std::printf("suite: %s, rounds: %d\n\n", Suite.c_str(), Rounds);
+
+  // (a) cold check: fresh cache every round.
+  std::vector<double> Cold;
+  for (int I = 0; I < Rounds; ++I) {
+    fs::path C = Work / ("cold" + std::to_string(I));
+    double Ms = timedRun(Tool + " check " + Suite + " --cache=" +
+                         C.string() + Quiet);
+    if (Ms < 0) {
+      std::fprintf(stderr, "error: cold check failed\n");
+      return 1;
+    }
+    Cold.push_back(Ms);
+    std::printf("cold check         round %d: %8.1f ms\n", I + 1, Ms);
+  }
+
+  // (b) warm check: one priming run, then timed re-runs on the same
+  // cache — a fresh process each time.
+  fs::path WarmCache = Work / "warm";
+  if (timedRun(Tool + " check " + Suite + " --cache=" +
+               WarmCache.string() + Quiet) < 0) {
+    std::fprintf(stderr, "error: warm priming run failed\n");
+    return 1;
+  }
+  std::vector<double> WarmCli;
+  for (int I = 0; I < Rounds; ++I) {
+    double Ms = timedRun(Tool + " check " + Suite + " --cache=" +
+                         WarmCache.string() + Quiet);
+    if (Ms < 0) {
+      std::fprintf(stderr, "error: warm check failed\n");
+      return 1;
+    }
+    WarmCli.push_back(Ms);
+    std::printf("warm check         round %d: %8.1f ms\n", I + 1, Ms);
+  }
+
+  // (c) warm daemon: start `vcdryad serve`, prime once, then timed
+  // `vcdryad client verify` round-trips.
+  fs::path DaemonCache = Work / "daemon";
+  std::string Sock = (DaemonCache / "serve.sock").string();
+  pid_t Serve = fork();
+  if (Serve < 0) {
+    std::fprintf(stderr, "error: fork failed\n");
+    return 1;
+  }
+  if (Serve == 0) {
+    execl(Tool.c_str(), Tool.c_str(), "serve",
+          ("--cache=" + DaemonCache.string()).c_str(),
+          ("--socket=" + Sock).c_str(), nullptr);
+    _exit(127);
+  }
+  for (int I = 0; !daemon::probeSocket(Sock); ++I) {
+    if (I > 100) {
+      std::fprintf(stderr, "error: daemon did not come up\n");
+      ::kill(Serve, SIGKILL);
+      return 1;
+    }
+    ::usleep(100000);
+  }
+  std::string ClientCmd = Tool + " client verify " + Suite +
+                          " --socket=" + Sock + Quiet;
+  if (timedRun(ClientCmd) < 0) {
+    std::fprintf(stderr, "error: daemon priming verify failed\n");
+    ::kill(Serve, SIGKILL);
+    return 1;
+  }
+  std::vector<double> WarmDaemon;
+  for (int I = 0; I < Rounds; ++I) {
+    double Ms = timedRun(ClientCmd);
+    if (Ms < 0) {
+      std::fprintf(stderr, "error: daemon verify failed\n");
+      ::kill(Serve, SIGKILL);
+      return 1;
+    }
+    WarmDaemon.push_back(Ms);
+    std::printf("warm daemon verify round %d: %8.1f ms\n", I + 1, Ms);
+  }
+  std::system((Tool + " client shutdown --socket=" + Sock +
+               " >/dev/null 2>&1")
+                  .c_str());
+  int Status = 0;
+  ::waitpid(Serve, &Status, 0);
+  fs::remove_all(Work);
+
+  double ColdMs = mean(Cold), CliMs = mean(WarmCli),
+         DaemonMs = mean(WarmDaemon);
+  std::printf("\n%-28s %10.1f ms\n", "cold check (mean):", ColdMs);
+  std::printf("%-28s %10.1f ms\n", "warm check (mean):", CliMs);
+  std::printf("%-28s %10.1f ms\n", "warm daemon (mean):", DaemonMs);
+  std::printf("\nwarm daemon speedup: %.1fx over cold check, "
+              "%.1fx over warm check\n",
+              DaemonMs > 0 ? ColdMs / DaemonMs : 0.0,
+              DaemonMs > 0 ? CliMs / DaemonMs : 0.0);
+  return DaemonMs > 0 && ColdMs / DaemonMs >= 5.0 ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+//===- Client.cpp - Daemon client ------------------------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace vcdryad;
+
+namespace {
+
+/// Connects to \p SocketPath; -1 with errno set on failure. Paths
+/// longer than sun_path fail with ENAMETOOLONG instead of truncating
+/// into some *other* socket's name.
+int connectTo(const std::string &SocketPath) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    errno = ENAMETOOLONG;
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+      0) {
+    int E = errno;
+    ::close(Fd);
+    errno = E;
+    return -1;
+  }
+  return Fd;
+}
+
+bool writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+bool daemon::probeSocket(const std::string &SocketPath) {
+  int Fd = connectTo(SocketPath);
+  if (Fd < 0)
+    return false;
+  ::close(Fd);
+  return true;
+}
+
+bool daemon::sendRequest(const std::string &SocketPath,
+                         const std::string &RequestLine,
+                         std::string &Response, std::string &Error) {
+  Response.clear();
+  int Fd = connectTo(SocketPath);
+  if (Fd < 0) {
+    Error = "cannot connect to daemon at '" + SocketPath +
+            "': " + std::strerror(errno);
+    return false;
+  }
+  std::string Line = RequestLine;
+  if (Line.empty() || Line.back() != '\n')
+    Line += '\n';
+  if (!writeAll(Fd, Line.data(), Line.size())) {
+    Error = "cannot send request: " + std::string(std::strerror(errno));
+    ::close(Fd);
+    return false;
+  }
+  // Half-close: the daemon reads one line anyway, but EOF on the
+  // write side makes the framing obvious in traces.
+  ::shutdown(Fd, SHUT_WR);
+  char Buf[65536];
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = "cannot read response: " + std::string(std::strerror(errno));
+      ::close(Fd);
+      return false;
+    }
+    if (N == 0)
+      break;
+    Response.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  if (Response.empty()) {
+    Error = "daemon closed the connection without a response";
+    return false;
+  }
+  return true;
+}

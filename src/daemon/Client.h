@@ -1,0 +1,40 @@
+//===- Client.h - Daemon client ---------------------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of the serve protocol: connect to the daemon's
+/// Unix-domain socket, send one request line, read the response to
+/// EOF. Used by `vcdryad client` and by `--serve-socket=` routing on
+/// batch/check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_DAEMON_CLIENT_H
+#define VCDRYAD_DAEMON_CLIENT_H
+
+#include <string>
+
+namespace vcdryad {
+namespace daemon {
+
+/// Sends \p RequestLine (newline appended if missing) to the daemon
+/// at \p SocketPath and reads the full response into \p Response.
+/// Returns false with \p Error set when the daemon is unreachable or
+/// the transfer fails; a daemon-side failure still returns true with
+/// the {"ok": false, ...} body in \p Response.
+bool sendRequest(const std::string &SocketPath,
+                 const std::string &RequestLine, std::string &Response,
+                 std::string &Error);
+
+/// True when a daemon is accepting connections on \p SocketPath — a
+/// bare connect probe, no request sent. Distinguishes a live daemon
+/// from a stale socket file left by a crash.
+bool probeSocket(const std::string &SocketPath);
+
+} // namespace daemon
+} // namespace vcdryad
+
+#endif // VCDRYAD_DAEMON_CLIENT_H

@@ -1,0 +1,264 @@
+//===- Daemon.cpp - Resident verification daemon ---------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Daemon.h"
+
+#include "daemon/Client.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace vcdryad;
+using namespace vcdryad::daemon;
+
+namespace {
+
+/// Hard cap on a request line: requests are an op plus a path list,
+/// so anything past this is a protocol violation, not a big batch.
+constexpr size_t MaxRequestBytes = 1u << 20;
+
+bool writeAll(int Fd, const std::string &Data) {
+  const char *P = Data.data();
+  size_t Len = Data.size();
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, P, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false; // EPIPE: client went away; nothing to salvage.
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Reads up to the first '\n' (consumed, not included) or EOF.
+/// False on read errors or an oversized request.
+bool readRequestLine(int Fd, std::string &Line) {
+  Line.clear();
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return true; // EOF before a newline: take what we have.
+    for (ssize_t I = 0; I < N; ++I) {
+      if (Buf[I] == '\n')
+        return true;
+      Line += Buf[I];
+      if (Line.size() > MaxRequestBytes)
+        return false;
+    }
+  }
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions O)
+    : Opts(std::move(O)), Svc(Opts.Service) {}
+
+Daemon::~Daemon() {
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ::unlink(Opts.SocketPath.c_str());
+  }
+}
+
+bool Daemon::bind(std::string &Error) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: '" + Opts.SocketPath + "' (max " +
+            std::to_string(sizeof(Addr.sun_path) - 1) + " bytes)";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = "cannot create socket: " + std::string(std::strerror(errno));
+    return false;
+  }
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (errno != EADDRINUSE) {
+      Error = "cannot bind '" + Opts.SocketPath +
+              "': " + std::string(std::strerror(errno));
+      ::close(Fd);
+      return false;
+    }
+    // The path exists. A live daemon accepts the probe; a stale file
+    // (previous daemon crashed before unlinking) refuses it and is
+    // safe to reclaim.
+    if (probeSocket(Opts.SocketPath)) {
+      Error = "another daemon is already serving on '" + Opts.SocketPath +
+              "' (use --socket= for a second instance, or `vcdryad "
+              "client shutdown` to stop it)";
+      ::close(Fd);
+      return false;
+    }
+    ::unlink(Opts.SocketPath.c_str());
+    if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      Error = "cannot bind '" + Opts.SocketPath + "' after removing a "
+              "stale socket: " +
+              std::string(std::strerror(errno));
+      ::close(Fd);
+      return false;
+    }
+  }
+  if (::listen(Fd, 8) != 0) {
+    Error = "cannot listen on '" + Opts.SocketPath +
+            "': " + std::string(std::strerror(errno));
+    ::close(Fd);
+    ::unlink(Opts.SocketPath.c_str());
+    return false;
+  }
+  ListenFd = Fd;
+  return true;
+}
+
+std::string Daemon::statusResponse() const {
+  std::string Out = "{\"ok\": true, \"pid\": " +
+                    std::to_string(static_cast<long>(::getpid())) +
+                    ", \"socket\": \"" + jsonEscape(Opts.SocketPath) +
+                    "\", \"requests\": " + std::to_string(Requests);
+  Out += ", \"cache_dir\": \"" +
+         jsonEscape(Opts.Service.CacheDir) + "\"";
+  Out += ", \"incremental\": ";
+  Out += Svc.manifest() ? "true" : "false";
+  Out += ", \"share_prelude\": ";
+  Out += Opts.Service.SharePrelude ? "true" : "false";
+  Out += ", \"cache_aware\": ";
+  Out += Opts.Service.CacheAware ? "true" : "false";
+  Out += ", \"resident_plans\": " + std::to_string(Svc.residentPlanCount());
+  Out += "}\n";
+  return Out;
+}
+
+std::string Daemon::cacheStatsResponse() const {
+  std::string Out = "{\"ok\": true";
+  const service::ProofCache *C = Svc.cache();
+  Out += ", \"cache_enabled\": ";
+  Out += C ? "true" : "false";
+  if (C) {
+    service::CacheStats S = C->stats();
+    Out += ", \"cache_entries\": " + std::to_string(C->size());
+    Out += ", \"cache_hits\": " + std::to_string(S.Hits);
+    Out += ", \"cache_misses\": " + std::to_string(S.Misses);
+    Out += ", \"cache_stores\": " + std::to_string(S.Stores);
+    Out += ", \"cache_journal_bytes\": " + std::to_string(C->journalBytes());
+    Out += ", \"cache_journal_recovered\": " +
+           std::to_string(C->journalRecovered());
+  }
+  const service::VcManifest *M = Svc.manifest();
+  Out += ", \"manifest_enabled\": ";
+  Out += M ? "true" : "false";
+  if (M) {
+    service::ManifestStats S = M->stats();
+    Out += ", \"manifest_entries\": " + std::to_string(M->size());
+    Out += ", \"manifest_hits\": " + std::to_string(S.Hits);
+    Out += ", \"manifest_misses\": " + std::to_string(S.Misses);
+    Out += ", \"manifest_records\": " + std::to_string(S.Records);
+    Out += ", \"manifest_journal_bytes\": " +
+           std::to_string(M->journalBytes());
+    Out += ", \"manifest_journal_recovered\": " +
+           std::to_string(M->journalRecovered());
+  }
+  Out += ", \"resident_plans\": " + std::to_string(Svc.residentPlanCount());
+  Out += "}\n";
+  return Out;
+}
+
+bool Daemon::handleConnection(int Fd) {
+  ++Requests;
+  std::string Line;
+  if (!readRequestLine(Fd, Line)) {
+    writeAll(Fd, errorResponse("cannot read request (oversized or IO "
+                               "error)"));
+    return false;
+  }
+  Request R;
+  std::string Error;
+  if (!parseRequest(Line, R, Error)) {
+    writeAll(Fd, errorResponse("malformed request: " + Error));
+    return false;
+  }
+
+  if (R.Op == "verify") {
+    std::vector<std::string> Inputs =
+        service::collectBatchInputs(R.Paths, Error);
+    if (!Error.empty()) {
+      writeAll(Fd, errorResponse(Error));
+      return false;
+    }
+    if (Inputs.empty()) {
+      writeAll(Fd, errorResponse("verify operands contain no .c files"));
+      return false;
+    }
+    service::BatchReport Rep = Svc.run(Inputs);
+    writeAll(Fd, service::toJson(Rep, R.JsonTimes, R.ChangedOnly));
+    return false;
+  }
+  if (R.Op == "status") {
+    writeAll(Fd, statusResponse());
+    return false;
+  }
+  if (R.Op == "cache-stats") {
+    writeAll(Fd, cacheStatsResponse());
+    return false;
+  }
+  if (R.Op == "shutdown") {
+    writeAll(Fd, "{\"ok\": true, \"shutting_down\": true}\n");
+    service::requestShutdown();
+    return true;
+  }
+  writeAll(Fd, errorResponse("unknown op '" + R.Op + "'"));
+  return false;
+}
+
+int Daemon::serve() {
+  if (ListenFd < 0)
+    return 1;
+  // A client that disconnects mid-response must not kill the daemon;
+  // writeAll sees the EPIPE instead.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  int Exit = 0;
+  while (!service::shutdownRequested()) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue; // Signal: the loop condition re-checks the flag.
+      std::fprintf(stderr, "vcdryad serve: accept failed: %s\n",
+                   std::strerror(errno));
+      Exit = 1;
+      break;
+    }
+    bool Shutdown = handleConnection(Fd);
+    ::close(Fd);
+    if (Shutdown)
+      break;
+  }
+
+  // Graceful exit: compact the journaled stores (everything already
+  // recorded is journal-durable even without this), then release the
+  // path for the next daemon.
+  Svc.flushStores();
+  ::close(ListenFd);
+  ListenFd = -1;
+  ::unlink(Opts.SocketPath.c_str());
+  return Exit;
+}

@@ -1,0 +1,87 @@
+//===- Daemon.h - Resident verification daemon ------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `vcdryad serve` process: a long-lived verification service on
+/// a Unix-domain socket. What a cold `vcdryad check` pays per
+/// invocation — process start, proof-cache and manifest load, file
+/// parse, Z3 context construction — the daemon pays once and then
+/// amortizes across requests: the VerificationService (and with it
+/// the journaled stores and the resident plan cache) lives as long as
+/// the process, and the scheduler runs with shared-prelude Z3
+/// sessions and cache-aware dispatch on by default.
+///
+/// Lifecycle:
+///   bind()   — create + bind the socket, with stale-socket recovery:
+///              an existing socket file is probe-connected first; a
+///              live daemon is a hard error ("already serving"), a
+///              dead one (connect refused — the kernel keeps the file
+///              but nobody listens) is unlinked and the path reused.
+///   serve()  — accept loop, one request per connection (see
+///              Protocol.h), until a shutdown request arrives over
+///              the socket or a signal raises
+///              service::requestShutdown(). In-flight batches observe
+///              the same flag and stop dispatching; their completed
+///              results are already journal-durable.
+///   exit     — flush (compact) the stores, close and unlink the
+///              socket.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_DAEMON_DAEMON_H
+#define VCDRYAD_DAEMON_DAEMON_H
+
+#include "daemon/Protocol.h"
+#include "service/Service.h"
+
+#include <cstdint>
+#include <string>
+
+namespace vcdryad {
+namespace daemon {
+
+struct DaemonOptions {
+  std::string SocketPath;
+  service::ServiceOptions Service;
+};
+
+class Daemon {
+public:
+  /// Constructs the resident service (loads stores, replays
+  /// journals). The socket is not touched until bind().
+  explicit Daemon(DaemonOptions Opts);
+  ~Daemon();
+
+  /// Binds and listens, recovering stale socket files (see file
+  /// comment). False with \p Error set when another daemon is already
+  /// serving on the path or the bind fails.
+  bool bind(std::string &Error);
+
+  /// Runs the accept loop until shutdown; flushes the stores and
+  /// unlinks the socket on the way out. Returns the process exit
+  /// code: 0 on a clean shutdown (signal or shutdown request), 1 when
+  /// the listener failed.
+  int serve();
+
+  const std::string &socketPath() const { return Opts.SocketPath; }
+  service::VerificationService &service() { return Svc; }
+
+private:
+  /// Serves one connection; true when a shutdown request was handled.
+  bool handleConnection(int Fd);
+  std::string statusResponse() const;
+  std::string cacheStatsResponse() const;
+
+  DaemonOptions Opts;
+  service::VerificationService Svc;
+  int ListenFd = -1;
+  uint64_t Requests = 0; ///< Connections served (status telemetry).
+};
+
+} // namespace daemon
+} // namespace vcdryad
+
+#endif // VCDRYAD_DAEMON_DAEMON_H

@@ -1,0 +1,279 @@
+//===- Protocol.cpp - Daemon wire protocol ---------------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Protocol.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace vcdryad;
+using namespace vcdryad::daemon;
+
+std::string daemon::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 8);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string daemon::errorResponse(const std::string &Message) {
+  return "{\"ok\": false, \"error\": \"" + jsonEscape(Message) + "\"}\n";
+}
+
+std::string daemon::buildRequest(const Request &R) {
+  std::string Out = "{\"op\": \"" + jsonEscape(R.Op) + "\"";
+  if (!R.Paths.empty()) {
+    Out += ", \"paths\": [";
+    for (size_t I = 0; I < R.Paths.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += "\"" + jsonEscape(R.Paths[I]) + "\"";
+    }
+    Out += "]";
+  }
+  if (R.ChangedOnly)
+    Out += ", \"changed_only\": true";
+  if (!R.JsonTimes)
+    Out += ", \"json_times\": false";
+  Out += "}";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Request parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A cursor over the request line. Every parse method leaves Pos just
+/// past what it consumed; failures set Error once (first error wins)
+/// and make the caller unwind.
+struct Cursor {
+  const std::string &S;
+  size_t Pos = 0;
+  std::string Error;
+
+  explicit Cursor(const std::string &Line) : S(Line) {}
+
+  bool failed() const { return !Error.empty(); }
+
+  void fail(const std::string &Msg) {
+    if (Error.empty())
+      Error = Msg + " at offset " + std::to_string(Pos);
+  }
+
+  void skipWs() {
+    while (Pos < S.size() &&
+           std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool peek(char C) {
+    skipWs();
+    return Pos < S.size() && S[Pos] == C;
+  }
+
+  bool eat(char C) {
+    skipWs();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    fail(std::string("expected '") + C + "'");
+    return false;
+  }
+
+  /// JSON string with the usual escapes; \uXXXX decodes the Basic
+  /// Latin range and replaces anything above with '?' (request fields
+  /// are paths and keywords; nothing in the protocol needs non-ASCII
+  /// round-tripping).
+  std::string parseString() {
+    std::string Out;
+    if (!eat('"'))
+      return Out;
+    while (Pos < S.size()) {
+      char C = S[Pos++];
+      if (C == '"')
+        return Out;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        break;
+      char E = S[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size()) {
+          fail("truncated \\u escape");
+          return Out;
+        }
+        unsigned V = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = S[Pos++];
+          V <<= 4;
+          if (H >= '0' && H <= '9')
+            V |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            V |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            V |= static_cast<unsigned>(H - 'A' + 10);
+          else {
+            fail("bad \\u escape");
+            return Out;
+          }
+        }
+        Out += V < 0x80 ? static_cast<char>(V) : '?';
+        break;
+      }
+      default:
+        fail("bad escape");
+        return Out;
+      }
+    }
+    fail("unterminated string");
+    return Out;
+  }
+
+  /// Consumes a literal keyword (true/false/null).
+  bool parseKeyword(const char *KW) {
+    size_t Len = std::char_traits<char>::length(KW);
+    if (S.compare(Pos, Len, KW) == 0) {
+      Pos += Len;
+      return true;
+    }
+    return false;
+  }
+
+  /// Skips a number (the protocol defines no numeric fields today;
+  /// accepting them keeps unknown-key skipping honest).
+  void skipNumber() {
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    size_t Start = Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
+            S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
+            S[Pos] == '-' || S[Pos] == '+'))
+      ++Pos;
+    if (Pos == Start)
+      fail("expected a value");
+  }
+};
+
+} // namespace
+
+bool daemon::parseRequest(const std::string &Line, Request &R,
+                          std::string &Error) {
+  Cursor C(Line);
+  R = Request();
+  if (!C.eat('{')) {
+    Error = C.Error;
+    return false;
+  }
+  if (!C.peek('}')) {
+    do {
+      std::string Key = C.parseString();
+      if (C.failed() || !C.eat(':'))
+        break;
+      C.skipWs();
+      if (C.peek('"')) {
+        std::string V = C.parseString();
+        if (Key == "op")
+          R.Op = V;
+      } else if (C.peek('[')) {
+        C.eat('[');
+        std::vector<std::string> Items;
+        if (!C.peek(']')) {
+          do {
+            Items.push_back(C.parseString());
+          } while (!C.failed() && C.peek(',') && C.eat(','));
+        }
+        if (!C.eat(']'))
+          break;
+        if (Key == "paths")
+          R.Paths = std::move(Items);
+      } else if (C.parseKeyword("true")) {
+        if (Key == "changed_only")
+          R.ChangedOnly = true;
+        else if (Key == "json_times")
+          R.JsonTimes = true;
+      } else if (C.parseKeyword("false")) {
+        if (Key == "changed_only")
+          R.ChangedOnly = false;
+        else if (Key == "json_times")
+          R.JsonTimes = false;
+      } else if (C.parseKeyword("null")) {
+        // Ignored: null means "not set" for every request field.
+      } else {
+        C.skipNumber();
+      }
+    } while (!C.failed() && C.peek(',') && C.eat(','));
+  }
+  if (!C.failed())
+    C.eat('}');
+  if (!C.failed()) {
+    C.skipWs();
+    if (C.Pos != C.S.size())
+      C.fail("trailing garbage after request object");
+  }
+  if (C.failed()) {
+    Error = C.Error;
+    return false;
+  }
+  if (R.Op.empty()) {
+    Error = "request has no \"op\" field";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,70 @@
+//===- Protocol.h - Daemon wire protocol ------------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `vcdryad serve` wire protocol: newline-delimited JSON over a
+/// Unix-domain stream socket. A client sends exactly one request — a
+/// single line holding one *flat* JSON object — then half-closes the
+/// write side; the daemon answers with a JSON document (one line for
+/// control requests, the full multi-line batch report for verify) and
+/// closes. One request per connection keeps the framing trivial and
+/// the daemon state machine restartable at every accept().
+///
+/// Requests:
+///   {"op": "verify", "paths": ["/abs/dir", ...],
+///    "changed_only": false, "json_times": true}
+///   {"op": "status"}
+///   {"op": "cache-stats"}
+///   {"op": "shutdown"}
+///
+/// Responses: verify returns exactly the `vcdryad check` JSON report
+/// (schema vcdryad-batch-v1); control requests return a one-line
+/// object with "ok": true; every failure is {"ok": false, "error":
+/// "..."}. Clients can therefore classify a response by its first
+/// bytes without a JSON parser.
+///
+/// The request parser accepts only what the protocol needs: a flat
+/// object whose values are strings, numbers, booleans, null, or
+/// arrays of strings. Unknown keys are skipped (forward
+/// compatibility); nested objects are a parse error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_DAEMON_PROTOCOL_H
+#define VCDRYAD_DAEMON_PROTOCOL_H
+
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace daemon {
+
+/// One parsed request line.
+struct Request {
+  std::string Op;                 ///< verify | status | cache-stats | shutdown
+  std::vector<std::string> Paths; ///< verify operands (files/dirs/manifests).
+  bool ChangedOnly = false;       ///< verify: --changed-only rendering.
+  bool JsonTimes = true;          ///< verify: include timing fields.
+};
+
+/// Parses one request line. Returns false with \p Error set on
+/// malformed JSON, a non-flat value, or a missing/empty "op".
+bool parseRequest(const std::string &Line, Request &R, std::string &Error);
+
+/// Renders \p R as a request line (no trailing newline) — the client
+/// side of parseRequest; parseRequest(buildRequest(R)) round-trips.
+std::string buildRequest(const Request &R);
+
+/// JSON string escaping (control characters, quote, backslash).
+std::string jsonEscape(const std::string &S);
+
+/// The canonical failure response: {"ok": false, "error": "..."}\n.
+std::string errorResponse(const std::string &Message);
+
+} // namespace daemon
+} // namespace vcdryad
+
+#endif // VCDRYAD_DAEMON_PROTOCOL_H

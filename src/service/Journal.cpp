@@ -1,0 +1,257 @@
+//===- Journal.cpp - Crash-safe write-ahead record journal ------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Journal.h"
+
+#include "support/Hash.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace vcdryad;
+using namespace vcdryad::service;
+
+namespace {
+
+constexpr char RecordTag = 'R';
+constexpr char CommitTag = 'C';
+/// Sanity cap on one record; a "length" beyond it is framing garbage,
+/// not a real record (store lines are well under a megabyte).
+constexpr uint32_t MaxRecordBytes = 16u << 20;
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+bool getU32(const std::string &Buf, size_t &Pos, uint32_t &V) {
+  if (Buf.size() - Pos < 4)
+    return false;
+  V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<uint8_t>(Buf[Pos + I]))
+         << (8 * I);
+  Pos += 4;
+  return true;
+}
+
+bool getU64(const std::string &Buf, size_t &Pos, uint64_t &V) {
+  if (Buf.size() - Pos < 8)
+    return false;
+  V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<uint8_t>(Buf[Pos + I]))
+         << (8 * I);
+  Pos += 8;
+  return true;
+}
+
+uint64_t payloadChecksum(const std::string &Payload) {
+  return Fnv1a().bytes(Payload.data(), Payload.size()).digest();
+}
+
+/// Reads the whole file behind \p Fd into \p Out (from offset 0).
+bool readAll(int Fd, std::string &Out) {
+  Out.clear();
+  off_t Off = 0;
+  char Buf[1 << 16];
+  for (;;) {
+    ssize_t N = ::pread(Fd, Buf, sizeof(Buf), Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return true;
+    Out.append(Buf, static_cast<size_t>(N));
+    Off += N;
+  }
+}
+
+/// Scans journal bytes: committed records (oldest first) into
+/// \p Records; returns the byte offset just past the last valid
+/// commit marker (everything after it is a torn tail).
+size_t scanCommitted(const std::string &Buf,
+                     std::vector<std::string> &Records) {
+  size_t Pos = 0;
+  size_t CommittedEnd = 0;
+  std::vector<std::string> Pending;
+  Fnv1a Chain;
+  uint32_t PendingCount = 0;
+  while (Pos < Buf.size()) {
+    char Tag = Buf[Pos];
+    size_t FramePos = Pos + 1;
+    if (Tag == RecordTag) {
+      uint32_t Len = 0;
+      uint64_t Sum = 0;
+      if (!getU32(Buf, FramePos, Len) || !getU64(Buf, FramePos, Sum))
+        break; // Torn header.
+      if (Len > MaxRecordBytes || Buf.size() - FramePos < Len)
+        break; // Garbage length or torn payload.
+      std::string Payload = Buf.substr(FramePos, Len);
+      if (payloadChecksum(Payload) != Sum)
+        break; // Corrupt payload.
+      Chain.u64(Sum);
+      ++PendingCount;
+      Pending.push_back(std::move(Payload));
+      Pos = FramePos + Len;
+    } else if (Tag == CommitTag) {
+      uint32_t Count = 0;
+      uint64_t Sum = 0;
+      if (!getU32(Buf, FramePos, Count) || !getU64(Buf, FramePos, Sum))
+        break; // Torn marker.
+      if (Count != PendingCount || Chain.digest() != Sum)
+        break; // Marker does not bind to the records before it.
+      for (std::string &R : Pending)
+        Records.push_back(std::move(R));
+      Pending.clear();
+      Chain = Fnv1a();
+      PendingCount = 0;
+      Pos = FramePos;
+      CommittedEnd = Pos;
+    } else {
+      break; // Unknown frame tag: corruption starts here.
+    }
+  }
+  return CommittedEnd;
+}
+
+} // namespace
+
+void Journal::open(std::string PathIn) {
+  if (Fd >= 0)
+    return;
+  Path = std::move(PathIn);
+  Fd = ::open(Path.c_str(), O_CREAT | O_RDWR | O_APPEND, 0644);
+  if (Fd < 0) {
+    Error = "cannot open journal '" + Path + "': " + std::strerror(errno);
+    return;
+  }
+  // Replay under the exclusive lock: a torn tail is truncated away,
+  // and truncation must not race a sibling's append.
+  lock();
+  std::string Buf;
+  if (!readAll(Fd, Buf)) {
+    Error = "cannot read journal '" + Path + "': " + std::strerror(errno);
+    unlock();
+    ::close(Fd);
+    Fd = -1;
+    return;
+  }
+  size_t CommittedEnd = scanCommitted(Buf, Recovered);
+  if (CommittedEnd < Buf.size()) {
+    TornBytes = Buf.size() - CommittedEnd;
+    if (::ftruncate(Fd, static_cast<off_t>(CommittedEnd)) != 0)
+      Error = "cannot truncate torn journal tail of '" + Path +
+              "': " + std::strerror(errno);
+  }
+  unlock();
+}
+
+Journal::~Journal() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool Journal::commit(const std::vector<std::string> &Records) {
+  if (Fd < 0)
+    return Path.empty(); // Disabled journal: vacuous success.
+  if (Records.empty())
+    return true;
+  std::string Frame;
+  Fnv1a Chain;
+  for (const std::string &R : Records) {
+    uint64_t Sum = payloadChecksum(R);
+    Chain.u64(Sum);
+    Frame.push_back(RecordTag);
+    putU32(Frame, static_cast<uint32_t>(R.size()));
+    putU64(Frame, Sum);
+    Frame += R;
+  }
+  Frame.push_back(CommitTag);
+  putU32(Frame, static_cast<uint32_t>(Records.size()));
+  putU64(Frame, Chain.digest());
+
+  // One write(2) for the whole transaction under the file lock:
+  // sibling transactions never interleave, and O_APPEND makes the
+  // offset race-free even across processes.
+  lock();
+  bool Ok = true;
+  size_t Done = 0;
+  while (Done < Frame.size()) {
+    ssize_t N = ::write(Fd, Frame.data() + Done, Frame.size() - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = "cannot append to journal '" + Path +
+              "': " + std::strerror(errno);
+      Ok = false;
+      break;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  if (Ok && ::fdatasync(Fd) != 0 && errno != EINVAL && errno != ENOSYS) {
+    Error = "cannot sync journal '" + Path + "': " + std::strerror(errno);
+    Ok = false;
+  }
+  unlock();
+  return Ok;
+}
+
+bool Journal::commit(const std::string &Record) {
+  return commit(std::vector<std::string>{Record});
+}
+
+std::vector<std::string> Journal::readCommitted() const {
+  std::vector<std::string> Records;
+  if (Fd < 0)
+    return Records;
+  std::string Buf;
+  if (!readAll(Fd, Buf))
+    return Records;
+  scanCommitted(Buf, Records);
+  return Records;
+}
+
+bool Journal::reset() {
+  if (Fd < 0)
+    return Path.empty();
+  if (::ftruncate(Fd, 0) != 0) {
+    Error = "cannot reset journal '" + Path + "': " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+uint64_t Journal::sizeBytes() const {
+  if (Fd < 0)
+    return 0;
+  struct stat St;
+  if (::fstat(Fd, &St) != 0)
+    return 0;
+  return static_cast<uint64_t>(St.st_size);
+}
+
+void Journal::lock() {
+  if (Fd >= 0)
+    ::flock(Fd, LOCK_EX);
+}
+
+void Journal::unlock() {
+  if (Fd >= 0)
+    ::flock(Fd, LOCK_UN);
+}

@@ -1,0 +1,127 @@
+//===- Journal.h - Crash-safe write-ahead record journal --------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A write-ahead journal shared by the proof cache and the VC manifest:
+/// an append-only log of text records with length+checksum framing and
+/// explicit commit markers, so a result persisted through the journal
+/// survives `kill -9` at any instant. The stores use it as the
+/// durability layer between snapshots: every accepted entry is
+/// journaled (append + commit + fsync) the moment it is recorded, and
+/// the existing `proofs-v1.txt` / `manifest-v1.txt` snapshot formats
+/// become periodic *compactions* of journal state — full rewrites that
+/// then truncate the journal. Replay-on-open applies whatever the last
+/// crash left committed on top of the snapshot.
+///
+/// On-disk framing (all integers little-endian, fixed width):
+///   record frame:  'R' <u32 payload-len> <u64 fnv1a(payload)> <payload>
+///   commit frame:  'C' <u32 record-count> <u64 chained-checksum>
+/// The chained checksum folds the record checksums of the transaction
+/// in order, binding the marker to exactly the records before it: a
+/// commit marker spliced onto foreign bytes never validates.
+///
+/// Replay discipline: records are buffered until their commit marker
+/// proves the transaction complete; the first malformed, torn, or
+/// checksum-failing frame ends replay and the file is truncated back
+/// to the last committed byte — a torn tail can delay results (they
+/// re-solve), never corrupt them.
+///
+/// Concurrency: the journal file is only ever appended to or
+/// truncated in place — its inode is stable, so an exclusive flock on
+/// the file itself serializes writers across processes. commit()
+/// writes each transaction with a single write(2) under that lock.
+/// Compaction (see ProofCache::flush) holds the same lock across
+/// read-journal -> write-snapshot -> truncate, so a record committed
+/// by a sibling lands either in the snapshot or stays in the journal,
+/// never neither.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SERVICE_JOURNAL_H
+#define VCDRYAD_SERVICE_JOURNAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace service {
+
+class Journal {
+public:
+  /// Disabled journal: every operation is a no-op that reports
+  /// success, so in-memory-only stores need no special casing.
+  Journal() = default;
+
+  /// Opens (creating if needed) the journal at \p Path and replays it:
+  /// committed records become recovered(); a torn tail is truncated
+  /// away. IO failures leave ok() false with error() set — callers
+  /// degrade to snapshot-only durability.
+  explicit Journal(std::string Path) { open(std::move(Path)); }
+
+  /// Same as the opening constructor, for deferred member
+  /// initialization. No-op if already open.
+  void open(std::string Path);
+
+  ~Journal();
+
+  Journal(const Journal &) = delete;
+  Journal &operator=(const Journal &) = delete;
+
+  /// The journal opened (or was default-constructed disabled).
+  bool ok() const { return Path.empty() || Fd >= 0; }
+  /// An open journal backed by a real file (not the disabled stub).
+  bool active() const { return Fd >= 0; }
+
+  const std::string &path() const { return Path; }
+  const std::string &error() const { return Error; }
+
+  /// Committed records recovered by replay-on-open, oldest first.
+  const std::vector<std::string> &recovered() const { return Recovered; }
+
+  /// Bytes of torn (uncommitted or corrupt) tail discarded at open.
+  uint64_t tornBytesDropped() const { return TornBytes; }
+
+  /// Durably appends one transaction: every record framed, a commit
+  /// marker bound to them, one write(2) under the file lock, then
+  /// fdatasync. False on IO error (error() explains); the store keeps
+  /// the entry in memory and the next snapshot compaction persists it.
+  bool commit(const std::vector<std::string> &Records);
+
+  /// Convenience: single-record transaction.
+  bool commit(const std::string &Record);
+
+  /// Re-reads the journal from disk and returns every committed
+  /// record, oldest first (what compaction folds into the snapshot —
+  /// siblings may have appended since open). Caller must hold lock()
+  /// to read a frozen state.
+  std::vector<std::string> readCommitted() const;
+
+  /// Truncates the journal to empty (after a successful compaction).
+  bool reset();
+
+  /// Current journal size in bytes (0 when disabled or unreadable).
+  uint64_t sizeBytes() const;
+
+  /// Exclusive advisory lock on the journal file, shared with sibling
+  /// processes; no-ops when disabled. Used by commit() internally and
+  /// by compaction externally (lock -> readCommitted -> snapshot ->
+  /// reset -> unlock).
+  void lock();
+  void unlock();
+
+private:
+  std::string Path;
+  std::string Error;
+  int Fd = -1;
+  uint64_t TornBytes = 0;
+  std::vector<std::string> Recovered;
+};
+
+} // namespace service
+} // namespace vcdryad
+
+#endif // VCDRYAD_SERVICE_JOURNAL_H

@@ -105,17 +105,32 @@ VcManifest::VcManifest(std::string DirIn) : Dir(std::move(DirIn)) {
     Dir.clear();
     return;
   }
-  std::ifstream In(storePath());
-  if (!In)
-    return; // Fresh manifest.
-  std::string Line;
-  while (std::getline(In, Line)) {
+  {
+    std::ifstream In(storePath());
+    std::string Line;
+    while (In && std::getline(In, Line)) {
+      uint64_t Key = 0;
+      ManifestEntry E;
+      if (!parseManifestLine(trim(Line), Key, E))
+        continue; // Torn/foreign lines are skipped, not fatal.
+      // Last write wins: a later duplicate replaces an earlier one.
+      Entries[Key] = Entry{std::move(E), false};
+    }
+  }
+  // Replay the write-ahead journal on top of the snapshot: records a
+  // crashed (or still-running) sibling committed but never compacted.
+  // Journal records are newer than any snapshot line, so they win
+  // duplicates; they stay dirty until the next compaction.
+  Wal.open(storePath() + ".wal");
+  if (!Wal.ok() && OpenError.empty())
+    OpenError = Wal.error();
+  for (const std::string &Rec : Wal.recovered()) {
     uint64_t Key = 0;
     ManifestEntry E;
-    if (!parseManifestLine(trim(Line), Key, E))
-      continue; // Torn/foreign lines are skipped, not fatal.
-    // Last write wins: a later duplicate replaces an earlier one.
-    Entries[Key] = Entry{std::move(E), false};
+    if (!parseManifestLine(trim(Rec), Key, E))
+      continue;
+    Entries.insert_or_assign(Key, Entry{std::move(E), true});
+    ++JournalRecovered;
   }
 }
 
@@ -137,19 +152,26 @@ void VcManifest::flush() {
       AnyDirty = true;
       break;
     }
-  if (!AnyDirty)
+  // Compaction trigger: something to fold into the snapshot, or a
+  // journal worth truncating (dirty records are already journaled).
+  if (!AnyDirty && Wal.sizeBytes() == 0)
     return;
 
   // Same discipline as ProofCache::flush: serialize flushers on a
   // sidecar advisory lock (the rename below replaces the store's
   // inode, so the store itself cannot carry the lock), fold in
-  // entries a sibling process persisted since our load, write the
-  // union to a temp file and atomically rename it over the store.
+  // entries a sibling process persisted since our load — snapshot and
+  // journal — write the union to a temp file and atomically rename it
+  // over the store, then truncate the journal. The journal lock nests
+  // inside the sidecar lock (record() takes only the journal lock, so
+  // the ordering is acyclic).
   const std::string Lockfile = storePath() + ".lock";
   int LockFd = ::open(Lockfile.c_str(), O_CREAT | O_RDWR, 0644);
   if (LockFd >= 0)
     ::flock(LockFd, LOCK_EX);
+  Wal.lock();
   auto Unlock = [&] {
+    Wal.unlock();
     if (LockFd >= 0) {
       ::flock(LockFd, LOCK_UN);
       ::close(LockFd);
@@ -167,6 +189,13 @@ void VcManifest::flush() {
       if (parseManifestLine(trim(Line), Key, E))
         Entries.try_emplace(Key, Entry{std::move(E), false});
     }
+  }
+  // And records siblings committed to the journal since our load.
+  for (const std::string &Rec : Wal.readCommitted()) {
+    uint64_t Key = 0;
+    ManifestEntry E;
+    if (parseManifestLine(trim(Rec), Key, E))
+      Entries.try_emplace(Key, Entry{std::move(E), false});
   }
 
   static std::atomic<unsigned> TmpCounter{0};
@@ -203,6 +232,10 @@ void VcManifest::flush() {
     Unlock();
     return;
   }
+  // The snapshot now holds everything the journal did; truncate it.
+  // (On rename failure we keep the journal — records stay durable
+  // even when the snapshot cannot be replaced.)
+  Wal.reset();
   for (auto &[Key, E] : Entries)
     E.Dirty = false;
   Unlock();
@@ -233,6 +266,19 @@ void VcManifest::record(uint64_t Key, ManifestEntry E) {
   Slot.E = std::move(E);
   Slot.Dirty = true;
   ++Stats.Records;
+  // Journal the record now: from this moment a kill -9 cannot lose
+  // it, whether or not a compaction ever runs. (Journal IO errors
+  // degrade to snapshot-only durability; flush() still persists it.)
+  std::string Line;
+  formatManifestLine(Line, Key, Slot.E);
+  if (!Line.empty() && Line.back() == '\n')
+    Line.pop_back(); // Journal records are unterminated lines.
+  Wal.commit(Line);
+}
+
+uint64_t VcManifest::journalBytes() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Wal.sizeBytes();
 }
 
 ManifestStats VcManifest::stats() const {

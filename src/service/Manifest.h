@@ -27,15 +27,21 @@
 /// invalidate cleanly. Duplicate keys dedupe on load, last write wins;
 /// flush compacts to one line per key.
 ///
-/// The store is written with the same atomic discipline as ProofCache:
-/// an advisory flock on a sidecar lock file, a merge of entries a
-/// sibling process persisted since our load, a temp file in the same
-/// directory, and a rename(2) over the store.
+/// The store is written with the same two-layer durability discipline
+/// as ProofCache: record() immediately commits the entry line to a
+/// write-ahead journal (manifest-v1.txt.wal, see Journal.h), and
+/// flush() *compacts* — advisory flock on a sidecar lock file, merge
+/// of entries a sibling persisted since our load (snapshot and
+/// journal), temp file + rename(2) over the store, journal truncate.
+/// A kill -9 after record() returns can therefore never lose the
+/// entry; legacy stores without a journal load unchanged.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef VCDRYAD_SERVICE_MANIFEST_H
 #define VCDRYAD_SERVICE_MANIFEST_H
+
+#include "service/Journal.h"
 
 #include <cstdint>
 #include <map>
@@ -100,10 +106,16 @@ public:
   /// The store file this manifest persists to (empty when in-memory).
   std::string storePath() const;
 
+  /// Entries recovered from the write-ahead journal at open (records
+  /// a crashed sibling committed but never compacted).
+  size_t journalRecovered() const { return JournalRecovered; }
+  /// Current journal size in bytes (durable-but-uncompacted state).
+  uint64_t journalBytes() const;
+
 private:
   struct Entry {
     ManifestEntry E;
-    bool Dirty = false;
+    bool Dirty = false; ///< Not yet in the snapshot.
   };
 
   mutable std::mutex Mu;
@@ -111,6 +123,8 @@ private:
   std::string OpenError;
   std::map<uint64_t, Entry> Entries; ///< Ordered: flush writes sorted.
   ManifestStats Stats;
+  Journal Wal;
+  size_t JournalRecovered = 0;
 };
 
 } // namespace service

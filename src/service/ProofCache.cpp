@@ -71,20 +71,36 @@ ProofCache::ProofCache(std::string DirIn) : Dir(std::move(DirIn)) {
     return;
   }
   std::ifstream In(storePath());
-  if (!In)
-    return; // Fresh store.
-  std::string Line;
-  while (std::getline(In, Line)) {
-    // Unparseable lines are skipped, not fatal (a torn line from an
-    // old pre-atomic store must not poison the whole cache).
+  if (In) {
+    std::string Line;
+    while (std::getline(In, Line)) {
+      // Unparseable lines are skipped, not fatal (a torn line from an
+      // old pre-atomic store must not poison the whole cache).
+      uint64_t Key = 0;
+      double Ms = 0.0;
+      if (!parseStoreLine(trim(Line), Key, Ms))
+        continue;
+      // Last write wins on duplicate keys (a pre-atomic store could
+      // carry appended duplicates); flush() compacts to one line per
+      // key, so the dedupe also self-heals the store.
+      Entries[Key] = Entry{Ms, false};
+    }
+  }
+  // Replay the write-ahead journal on top of the snapshot: results a
+  // crashed (or still-running) sibling committed but never compacted.
+  // Journal entries are newer than any snapshot line, so they win
+  // duplicates. They stay flagged dirty — they are journal-durable
+  // but must reach the snapshot at the next compaction.
+  Wal.open(storePath() + ".wal");
+  if (!Wal.ok() && OpenError.empty())
+    OpenError = Wal.error();
+  for (const std::string &Rec : Wal.recovered()) {
     uint64_t Key = 0;
     double Ms = 0.0;
-    if (!parseStoreLine(trim(Line), Key, Ms))
+    if (!parseStoreLine(trim(Rec), Key, Ms))
       continue;
-    // Last write wins on duplicate keys (a pre-atomic store could
-    // carry appended duplicates); flush() compacts to one line per
-    // key, so the dedupe also self-heals the store.
-    Entries[Key] = Entry{Ms, false};
+    Entries.insert_or_assign(Key, Entry{Ms, true});
+    ++JournalRecovered;
   }
 }
 
@@ -104,18 +120,27 @@ void ProofCache::flush() {
       AnyDirty = true;
       break;
     }
-  if (!AnyDirty)
+  // Compaction trigger: something to fold into the snapshot, or a
+  // journal worth truncating. (Dirty entries are already journaled;
+  // skipping here costs nothing but snapshot freshness.)
+  if (!AnyDirty && Wal.sizeBytes() == 0)
     return;
 
   // Serialize concurrent flushers with an advisory lock on a sidecar
   // file. The store itself cannot carry the lock: the rename below
   // replaces its inode, and a lock on the old inode would no longer
-  // exclude the next writer.
+  // exclude the next writer. The journal's own file lock is taken
+  // *inside* the sidecar lock (commit() takes only the journal lock,
+  // so the ordering is acyclic): a record a sibling commits while we
+  // compact lands either in the journal bytes we fold in below or in
+  // the journal after our truncate — never in neither.
   const std::string Lockfile = storePath() + ".lock";
   int LockFd = ::open(Lockfile.c_str(), O_CREAT | O_RDWR, 0644);
   if (LockFd >= 0)
     ::flock(LockFd, LOCK_EX);
+  Wal.lock();
   auto Unlock = [&] {
+    Wal.unlock();
     if (LockFd >= 0) {
       ::flock(LockFd, LOCK_UN);
       ::close(LockFd);
@@ -136,6 +161,13 @@ void ProofCache::flush() {
       if (parseStoreLine(trim(Line), Key, Ms))
         Entries.try_emplace(Key, Entry{Ms, false});
     }
+  }
+  // And records siblings committed to the journal since our load.
+  for (const std::string &Rec : Wal.readCommitted()) {
+    uint64_t Key = 0;
+    double Ms = 0.0;
+    if (parseStoreLine(trim(Rec), Key, Ms))
+      Entries.try_emplace(Key, Entry{Ms, false});
   }
 
   // Write the union to a temp file in the same directory, then
@@ -181,6 +213,10 @@ void ProofCache::flush() {
     Unlock();
     return;
   }
+  // The snapshot now holds everything the journal did; truncate it.
+  // (If the rename had failed we would keep the journal — entries
+  // stay durable even when the snapshot cannot be replaced.)
+  Wal.reset();
   for (auto &[Key, E] : Entries)
     E.Dirty = false;
   Unlock();
@@ -211,6 +247,20 @@ void ProofCache::store(uint64_t Key, const smt::CheckResult &Result) {
   It->second.TimeMs = Result.TimeMs;
   It->second.Dirty = true;
   ++Stats.Stores;
+  // Journal the entry now: from this moment a kill -9 cannot lose it,
+  // whether or not a compaction ever runs. (Journal IO errors degrade
+  // to snapshot-only durability; flush() still persists the entry.)
+  Wal.commit(hashToHex(Key) + " V " + formatMs(Result.TimeMs));
+}
+
+bool ProofCache::contains(uint64_t Key) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.count(Key) != 0;
+}
+
+uint64_t ProofCache::journalBytes() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Wal.sizeBytes();
 }
 
 CacheStats ProofCache::stats() const {

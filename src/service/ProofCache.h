@@ -26,20 +26,27 @@
 /// The format version is part of the file name; readers ignore stores
 /// they do not understand, so format bumps invalidate cleanly.
 ///
-/// The store is written atomically: flush() takes an advisory lock
-/// (proofs-v1.txt.lock), folds in any on-disk entries a sibling
-/// process added since load, writes the union to a temp file in the
-/// same directory and rename(2)s it over the store. Concurrent
-/// writers therefore never tear the file and never clobber each
-/// other's entries. Numbers are read and written locale-independently
-/// (std::from_chars / fixed-point formatting), so the store survives
-/// LC_NUMERIC locales with a non-'.' decimal separator.
+/// Durability is two-layered. Every accepted entry is immediately
+/// committed to a write-ahead journal (proofs-v1.txt.wal, see
+/// Journal.h) — append + checksum-framed commit marker + fsync — so a
+/// `kill -9` at any instant after store() returns can never lose a
+/// proven result. flush() is *compaction*: under an advisory lock
+/// (proofs-v1.txt.lock) it folds in any on-disk entries sibling
+/// processes persisted since load (snapshot and journal), writes the
+/// union to a temp file in the same directory, rename(2)s it over the
+/// store, and truncates the journal. Readers therefore only ever see
+/// a complete snapshot plus a committed journal suffix. Legacy stores
+/// without a journal load unchanged. Numbers are read and written
+/// locale-independently (std::from_chars / fixed-point formatting),
+/// so the store survives LC_NUMERIC locales with a non-'.' decimal
+/// separator.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef VCDRYAD_SERVICE_PROOFCACHE_H
 #define VCDRYAD_SERVICE_PROOFCACHE_H
 
+#include "service/Journal.h"
 #include "smt/Solver.h"
 
 #include <cstdint>
@@ -67,17 +74,24 @@ public:
   /// operation; openError() reports them.
   explicit ProofCache(std::string Dir);
 
-  /// Persists entries added since the last flush by atomically
-  /// replacing the store (temp file + rename) with the union of this
-  /// cache and the current on-disk entries, under an advisory lock.
-  /// Called by the destructor; safe to call repeatedly and safe
-  /// against concurrent flushers in other processes or threads.
+  /// Compacts the store: atomically replaces the snapshot (temp file
+  /// + rename) with the union of this cache and the current on-disk
+  /// entries (snapshot and journal), under an advisory lock, then
+  /// truncates the journal. Called by the destructor; safe to call
+  /// repeatedly and safe against concurrent flushers in other
+  /// processes or threads. Entries are already journal-durable before
+  /// flush ever runs.
   ~ProofCache();
   void flush();
 
   /// Returns the cached outcome for \p Key, if any. Hit results carry
   /// TimeMs of the *original* solve and a "(cached)" detail marker.
   std::optional<smt::CheckResult> lookup(uint64_t Key);
+
+  /// True when \p Key is resident, *without* touching the hit/miss
+  /// statistics — the cache-aware scheduler's dispatch-ordering probe
+  /// (the real lookup() still runs, and still counts, at solve time).
+  bool contains(uint64_t Key) const;
 
   /// Records an outcome. Only Valid results are kept (see file
   /// comment); everything else is ignored.
@@ -91,10 +105,16 @@ public:
   const std::string &dir() const { return Dir; }
   const std::string &openError() const { return OpenError; }
 
+  /// Entries recovered from the write-ahead journal at open (results
+  /// a crashed sibling committed but never compacted).
+  size_t journalRecovered() const { return JournalRecovered; }
+  /// Current journal size in bytes (durable-but-uncompacted state).
+  uint64_t journalBytes() const;
+
 private:
   struct Entry {
     double TimeMs = 0.0;
-    bool Dirty = false; ///< Not yet persisted.
+    bool Dirty = false; ///< Not yet in the snapshot.
   };
 
   std::string storePath() const;
@@ -104,6 +124,8 @@ private:
   std::string OpenError;
   std::unordered_map<uint64_t, Entry> Entries;
   CacheStats Stats;
+  Journal Wal;
+  size_t JournalRecovered = 0;
 };
 
 } // namespace service

@@ -6,8 +6,10 @@
 
 #include "service/Service.h"
 
+#include "cfront/Lexer.h"
 #include "smt/Portfolio.h"
 #include "smt/VcHash.h"
+#include "support/Diagnostics.h"
 #include "support/Hash.h"
 #include "support/StringUtil.h"
 #include "support/ThreadPool.h"
@@ -18,6 +20,7 @@
 #include <cstdlib>
 #include <deque>
 #include <filesystem>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -37,6 +40,26 @@ uint64_t service::optionsFingerprint(const verifier::VerifyOptions &O) {
   H.u64(O.Translate.CheckMemorySafety ? 1 : 0);
   H.u64(O.TimeoutMs);
   return H.digest();
+}
+
+//===----------------------------------------------------------------------===//
+// Cooperative shutdown
+//===----------------------------------------------------------------------===//
+
+namespace {
+std::atomic<bool> ShutdownFlag{false};
+} // namespace
+
+void service::requestShutdown() {
+  ShutdownFlag.store(true, std::memory_order_relaxed);
+}
+
+bool service::shutdownRequested() {
+  return ShutdownFlag.load(std::memory_order_relaxed);
+}
+
+void service::resetShutdown() {
+  ShutdownFlag.store(false, std::memory_order_relaxed);
 }
 
 namespace {
@@ -177,6 +200,9 @@ struct FuncJob {
   std::atomic<bool> Cancelled{false};
   std::atomic<unsigned> Hits{0};
   std::atomic<unsigned> Misses{0};
+  /// Fraction of this function's non-trivial obligations already in
+  /// the proof cache (cache-aware scheduling orders on this).
+  double CachedFrac = 0.0;
 };
 
 /// Per-worker solver, reused across obligations. Keyed by the plan
@@ -189,8 +215,66 @@ struct WorkerState {
 
 } // namespace
 
+/// One resident parsed plan (ResidentPlans mode): reusable while the
+/// hash of the file's preprocessed text matches.
+struct VerificationService::ResidentPlan {
+  uint64_t TextHash = 0;
+  verifier::ProgramPlan Plan;
+};
+
+namespace {
+
+/// Hash of the exact parser input: the file's preprocessed text
+/// (includes spliced), with the preprocessor's error count folded in
+/// so "include missing" and "include empty" cannot collide. Planning
+/// is a deterministic function of this text and the (fixed) options,
+/// so an equal hash proves an equal plan. 0 = unreadable, never reuse.
+uint64_t preprocessedTextHash(const std::string &Path) {
+  std::optional<std::string> Text = readFile(Path);
+  if (!Text)
+    return 0;
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "" : Path.substr(0, Slash);
+  DiagnosticEngine Diag;
+  std::string Expanded = cfront::preprocess(*Text, Dir, Diag);
+  uint64_t H = Fnv1a().str(Expanded).u64(Diag.errorCount()).digest();
+  return H ? H : 1;
+}
+
+} // namespace
+
 VerificationService::VerificationService(ServiceOptions OptsIn)
-    : Opts(std::move(OptsIn)) {}
+    : Opts(std::move(OptsIn)) {
+  // The stores open once and stay resident: a long-lived service pays
+  // snapshot load and journal replay at startup, not per request, and
+  // run() reports per-run stat deltas against them.
+  if (!Opts.CacheDir.empty())
+    Cache = std::make_unique<ProofCache>(Opts.CacheDir);
+
+  // Incremental re-verification: a persisted function-level manifest
+  // beside the proof cache. Disabled without a cache directory, and in
+  // the quantified-axiom ablation mode, where whole-program background
+  // axioms influence every verdict but sit outside the fingerprint's
+  // per-function dependency closure — skipping there would be unsound
+  // against background-axiom edits.
+  if (Opts.Incremental && Cache &&
+      Opts.Verify.Instr.Axioms !=
+          instr::InstrOptions::AxiomMode::Quantified)
+    Manifest = std::make_unique<VcManifest>(Opts.CacheDir);
+}
+
+VerificationService::~VerificationService() = default;
+
+void VerificationService::flushStores() {
+  if (Cache)
+    Cache->flush();
+  if (Manifest)
+    Manifest->flush();
+}
+
+size_t VerificationService::residentPlanCount() const {
+  return PlanCache.size();
+}
 
 BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
   Timer Wall;
@@ -205,27 +289,20 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
 
   const uint64_t Fingerprint = optionsFingerprint(Opts.Verify);
 
-  std::unique_ptr<ProofCache> Cache;
-  if (!Opts.CacheDir.empty()) {
-    Cache = std::make_unique<ProofCache>(Opts.CacheDir);
+  if (Cache) {
     Rep.CacheEnabled = true;
     Rep.CacheDir = Opts.CacheDir;
   }
-
-  // Incremental re-verification: a persisted function-level manifest
-  // beside the proof cache. Disabled without a cache directory, and in
-  // the quantified-axiom ablation mode, where whole-program background
-  // axioms influence every verdict but sit outside the fingerprint's
-  // per-function dependency closure — skipping there would be unsound
-  // against background-axiom edits.
-  std::unique_ptr<VcManifest> Manifest;
-  if (Opts.Incremental && Cache &&
-      Opts.Verify.Instr.Axioms !=
-          instr::InstrOptions::AxiomMode::Quantified) {
-    Manifest = std::make_unique<VcManifest>(Opts.CacheDir);
+  if (Manifest) {
     Rep.IncrementalEnabled = true;
     Rep.ManifestPath = Manifest->storePath();
   }
+  // Stats are reported as per-run deltas: the stores outlive run() in
+  // a resident service, and a warm request must report the same
+  // numbers a fresh process would.
+  const CacheStats Cache0 = Cache ? Cache->stats() : CacheStats{};
+  const ManifestStats Manifest0 =
+      Manifest ? Manifest->stats() : ManifestStats{};
 
   // The manifest key folds the content fingerprint with everything
   // else that shapes verdicts: the pipeline options (same salt the
@@ -245,31 +322,107 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
   verifier::Verifier V(VOpts);
 
   const size_t NumFiles = Paths.size();
-  std::vector<verifier::ProgramPlan> Plans(NumFiles);
+  std::vector<verifier::ProgramPlan> FreshPlans(NumFiles);
+  std::vector<const verifier::ProgramPlan *> Plans(NumFiles, nullptr);
+  std::vector<char> Reused(NumFiles, 0);
+  std::vector<uint64_t> TextHashes(NumFiles, 0);
+
+  // Resident-plan reuse: a plan is valid exactly as long as the
+  // preprocessed text it was parsed from is unchanged (planning is
+  // deterministic given that text), so header edits behind #include
+  // invalidate correctly even though the .c file itself is untouched.
+  if (Opts.ResidentPlans)
+    for (size_t I = 0; I != NumFiles; ++I) {
+      TextHashes[I] = preprocessedTextHash(Paths[I]);
+      auto It = PlanCache.find(Paths[I]);
+      if (TextHashes[I] != 0 && It != PlanCache.end() &&
+          It->second->TextHash == TextHashes[I]) {
+        Plans[I] = &It->second->Plan;
+        Reused[I] = 1;
+      }
+    }
+
   std::vector<smt::SolverOptions> FileSolverOpts(NumFiles);
 
   ThreadPool Pool(Jobs, Opts.QueueCap);
 
-  // Wave 1 — front ends, one task per file: parse, normalize,
-  // instrument, translate, generate VCs. Obligation DAGs built here
-  // are immutable afterwards, so wave 2 shares them freely.
-  for (size_t I = 0; I != NumFiles; ++I)
-    Pool.submit([&, I](unsigned) { Plans[I] = V.planFile(Paths[I]); });
+  // Wave 1 — front ends, one task per file (minus reused plans):
+  // parse, normalize, instrument, translate, generate VCs. Obligation
+  // DAGs built here are immutable afterwards, so wave 2 shares them
+  // freely.
+  for (size_t I = 0; I != NumFiles; ++I) {
+    if (Reused[I])
+      continue;
+    Pool.submit([&, I](unsigned) {
+      if (shutdownRequested()) {
+        FreshPlans[I].Error = "cancelled: shutdown requested";
+        return;
+      }
+      FreshPlans[I] = V.planFile(Paths[I]);
+    });
+  }
   Pool.wait();
 
+  for (size_t I = 0; I != NumFiles; ++I) {
+    if (Reused[I])
+      continue;
+    // Cache the fresh plan for the next run — except plans cut short
+    // by a shutdown request, whose failure is not a property of the
+    // text and must not be replayed.
+    if (Opts.ResidentPlans && TextHashes[I] != 0 &&
+        !(!FreshPlans[I].Ok && shutdownRequested())) {
+      auto P = std::make_unique<ResidentPlan>();
+      P->TextHash = TextHashes[I];
+      P->Plan = std::move(FreshPlans[I]);
+      Plans[I] = &P->Plan;
+      PlanCache.insert_or_assign(Paths[I], std::move(P));
+    } else {
+      Plans[I] = &FreshPlans[I];
+    }
+  }
+
   for (size_t I = 0; I != NumFiles; ++I)
-    if (Plans[I].Ok)
-      FileSolverOpts[I] = V.solverOptions(Plans[I]);
+    if (Plans[I]->Ok)
+      FileSolverOpts[I] = V.solverOptions(*Plans[I]);
+
+  // The per-run skip decision, aligned with each plan's function list.
+  // Fresh plans decided at plan time (the SkipUnchanged hook, which
+  // already counted one manifest lookup per function); reused plans
+  // re-decide — and re-count — at schedule time, one lookup per
+  // function, so a warm resident run reports the same manifest
+  // traffic a warm fresh-process run would.
+  std::vector<std::vector<char>> Skip(NumFiles);
+  for (size_t I = 0; I != NumFiles; ++I) {
+    if (!Plans[I]->Ok)
+      continue;
+    const std::vector<verifier::FunctionObligations> &Funcs =
+        Plans[I]->Functions;
+    Skip[I].assign(Funcs.size(), 0);
+    for (size_t F = 0; F != Funcs.size(); ++F) {
+      const verifier::FunctionObligations &FO = Funcs[F];
+      if (FO.SkippedUnchanged) {
+        Skip[I][F] = 1;
+        if (Reused[I] && Manifest)
+          (void)Manifest->lookup(functionKey(FO.Fingerprint));
+      } else if (Reused[I] && Manifest && FO.Fingerprint != 0 &&
+                 Manifest->lookup(functionKey(FO.Fingerprint))) {
+        Skip[I][F] = 1;
+      }
+    }
+  }
 
   // Wave 2 — one task per proof obligation, interleaved across all
   // functions and files.
   std::deque<FuncJob> Jobs2;
   for (size_t I = 0; I != NumFiles; ++I) {
-    if (!Plans[I].Ok)
+    if (!Plans[I]->Ok)
       continue;
-    for (const verifier::FunctionObligations &FO : Plans[I].Functions) {
-      if (FO.SkippedUnchanged)
+    const std::vector<verifier::FunctionObligations> &Funcs =
+        Plans[I]->Functions;
+    for (size_t F = 0; F != Funcs.size(); ++F) {
+      if (Skip[I][F])
         continue; // Discharged by the manifest; no job, no solver.
+      const verifier::FunctionObligations &FO = Funcs[F];
       FuncJob &J = Jobs2.emplace_back();
       J.FileIdx = I;
       J.FO = &FO;
@@ -286,7 +439,7 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
     const void *Key =
         SO.BackgroundAxioms.empty()
             ? nullptr // Axiom-free solvers are interchangeable.
-            : static_cast<const void *>(&Plans[FileIdx]);
+            : static_cast<const void *>(Plans[FileIdx]);
     WorkerState &WS = Workers[W];
     if (WS.Key != Key) {
       std::lock_guard<std::mutex> Lock(CreateMu);
@@ -295,6 +448,40 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
     }
     return *WS.Solver;
   };
+
+  // Cache-aware dispatch order: probe each obligation's canonical key
+  // against the proof cache (contains() — no hit/miss traffic) and
+  // start the functions with the highest cached fraction first, so
+  // warm work drains early and cold solves occupy the tail. The keys
+  // computed here are kept in the slots and reused by the fast pass,
+  // which hashes each obligation at most once either way. Verdict-
+  // and report-neutral: aggregation stays source-ordered and the
+  // counted lookup() still happens at solve time.
+  std::vector<FuncJob *> Order;
+  Order.reserve(Jobs2.size());
+  for (FuncJob &J : Jobs2)
+    Order.push_back(&J);
+  if (Cache && Opts.CacheAware) {
+    for (FuncJob &J : Jobs2) {
+      unsigned Probed = 0, Resident = 0;
+      for (size_t K = 0; K != J.FO->VCs.size(); ++K) {
+        const vir::VC &VC = J.FO->VCs[K];
+        if (verifier::Verifier::triviallyValid(VC))
+          continue; // The fast pass never hashes these either.
+        J.Slots[K].Key = smt::hashObligation(
+            VC.Guard, VC.Cond, FileSolverOpts[J.FileIdx], Fingerprint);
+        ++Probed;
+        if (Cache->contains(J.Slots[K].Key))
+          ++Resident;
+      }
+      J.CachedFrac =
+          Probed ? static_cast<double>(Resident) / Probed : 1.0;
+    }
+    std::stable_sort(Order.begin(), Order.end(),
+                     [](const FuncJob *A, const FuncJob *B) {
+                       return A->CachedFrac > B->CachedFrac;
+                     });
+  }
 
   // The timeout-escalation ladder: a per-function fast pass (scoped
   // incremental session, sliced guards, short budget) settles the
@@ -322,6 +509,8 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
   /// miss was already counted by the fast pass, which also stored
   /// nothing (so the warm-rerun hit-rate contract is preserved).
   auto solveOne = [&](unsigned W, FuncJob &J, int Idx, bool CacheLookup) {
+    if (shutdownRequested())
+      return; // Slot stays unsolved; aggregation reports "cancelled".
     vir::LExprRef Guard, Goal;
     if (Idx < 0) {
       Guard = J.VacuityProbe->Guard;
@@ -373,12 +562,11 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
       J.Cancelled.store(true, std::memory_order_relaxed);
   };
 
-  /// Fast pass over one whole function: trivial short-circuits and
-  /// cache hits first, then a single incremental session for the
-  /// rest. Only Valid session answers settle slots.
-  auto fastFunc = [&](unsigned W, FuncJob &J) {
-    const std::vector<vir::VC> &VCs = J.FO->VCs;
+  /// Fast-pass prologue of one function: trivial short-circuits and
+  /// cache hits. Returns the slot indices still needing a solver.
+  auto prePass = [&](FuncJob &J) {
     std::vector<size_t> Need;
+    const std::vector<vir::VC> &VCs = J.FO->VCs;
     for (size_t K = 0; K != VCs.size(); ++K) {
       const vir::VC &VC = VCs[K];
       VCSlot &S = J.Slots[K];
@@ -390,8 +578,9 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
         continue;
       }
       if (Cache) {
-        S.Key = smt::hashObligation(VC.Guard, VC.Cond,
-                                    FileSolverOpts[J.FileIdx], Fingerprint);
+        if (!S.Key) // The cache-aware probe may have hashed it already.
+          S.Key = smt::hashObligation(
+              VC.Guard, VC.Cond, FileSolverOpts[J.FileIdx], Fingerprint);
         if (auto Hit = Cache->lookup(S.Key)) {
           S.R = *Hit;
           S.Solved = true;
@@ -406,18 +595,28 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
       }
       Need.push_back(K);
     }
-    if (Need.empty())
-      return;
-    smt::SmtSolver &Solver = solverFor(W, J.FileIdx);
-    size_t PrefixLen = verifier::Verifier::commonGuardPrefix(VCs);
-    std::vector<vir::LExprRef> Prefix(
+    return Need;
+  };
+
+  /// The first PrefixLen shared guard conjuncts of a function's VCs —
+  /// what a session (or a session scope) asserts once.
+  auto funcPrefix = [](const std::vector<vir::VC> &VCs, size_t PrefixLen) {
+    return std::vector<vir::LExprRef>(
         VCs.front().Conjuncts.begin(),
         VCs.front().Conjuncts.begin() + PrefixLen);
-    Solver.beginSession(Prefix, FastTimeout);
+  };
+
+  /// Session checks of one function's remaining obligations. Assumes
+  /// the function's guard prefix is already asserted on \p Solver
+  /// (plain session or pushed scope). Only Valid answers settle slots.
+  auto sessionChecks = [&](smt::SmtSolver &Solver, FuncJob &J,
+                           const std::vector<size_t> &Need,
+                           size_t PrefixLen) {
     for (size_t K : Need) {
-      if (J.Cancelled.load(std::memory_order_relaxed))
+      if (J.Cancelled.load(std::memory_order_relaxed) ||
+          shutdownRequested())
         break; // Slots stay unsolved; the escalation wave skips them too.
-      const vir::VC &VC = VCs[K];
+      const vir::VC &VC = J.FO->VCs[K];
       VCSlot &S = J.Slots[K];
       smt::CheckResult CR = Solver.checkSession(
           verifier::Verifier::sessionExtras(VC, PrefixLen), VC.Cond);
@@ -432,18 +631,85 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
           Cache->store(S.Key, S.R);
       }
     }
+  };
+
+  /// Fast pass over one whole function: prologue, then a single
+  /// incremental session for the rest.
+  auto fastFunc = [&](unsigned W, FuncJob &J) {
+    std::vector<size_t> Need = prePass(J);
+    if (Need.empty())
+      return;
+    smt::SmtSolver &Solver = solverFor(W, J.FileIdx);
+    size_t PrefixLen = verifier::Verifier::commonGuardPrefix(J.FO->VCs);
+    Solver.beginSession(funcPrefix(J.FO->VCs, PrefixLen), FastTimeout);
+    sessionChecks(Solver, J, Need, PrefixLen);
+    Solver.endSession();
+  };
+
+  /// Shared-prelude fast pass over all of one file's functions: the
+  /// background axioms (the session frame) are asserted and lowered
+  /// once, each function's guard prefix stacks as a scope above them.
+  /// Falls back to per-function sessions when the backend lacks
+  /// scoping or the scoped session dies. All jobs come from one plan,
+  /// so every expression outlives the session (the solver memoizes
+  /// lowerings by node address across scope pops).
+  auto fastFile = [&](unsigned W, const std::vector<FuncJob *> &FileJobs) {
+    if (FileJobs.empty())
+      return;
+    smt::SmtSolver &Solver = solverFor(W, FileJobs.front()->FileIdx);
+    Solver.beginSharedSession(FastTimeout);
+    bool Shared = true;
+    for (FuncJob *JP : FileJobs) {
+      FuncJob &J = *JP;
+      if (shutdownRequested())
+        break;
+      std::vector<size_t> Need = prePass(J);
+      if (Need.empty())
+        continue;
+      size_t PrefixLen = verifier::Verifier::commonGuardPrefix(J.FO->VCs);
+      std::vector<vir::LExprRef> Prefix = funcPrefix(J.FO->VCs, PrefixLen);
+      if (Shared && Solver.pushSessionScope(Prefix)) {
+        sessionChecks(Solver, J, Need, PrefixLen);
+        Solver.popSessionScope();
+      } else {
+        // beginSession tears down the shared frame, so sharing cannot
+        // resume mid-file; the rest of the file runs per-function.
+        Shared = false;
+        Solver.beginSession(Prefix, FastTimeout);
+        sessionChecks(Solver, J, Need, PrefixLen);
+        Solver.endSession();
+      }
+    }
     Solver.endSession();
   };
 
   if (Ladder) {
     // Wave 2a — vacuity probes (always full-guard, full-budget: they
     // test guard satisfiability, which slicing would change) and the
-    // per-function fast sessions.
-    for (FuncJob &J : Jobs2) {
-      if (J.VacuityProbe)
+    // fast sessions, in cache-aware dispatch order. With SharePrelude
+    // the fast pass groups per file (one task per file, its functions
+    // serialized on one worker against one shared-frame session);
+    // otherwise one task per function.
+    for (FuncJob *J : Order)
+      if (J->VacuityProbe)
         Pool.submit(
-            [&solveOne, &J](unsigned W) { solveOne(W, J, -1, true); });
-      Pool.submit([&fastFunc, &J](unsigned W) { fastFunc(W, J); });
+            [&solveOne, J](unsigned W) { solveOne(W, *J, -1, true); });
+    if (Opts.SharePrelude) {
+      std::map<size_t, std::vector<FuncJob *>> Grouped;
+      std::vector<size_t> FileOrder;
+      for (FuncJob *J : Order) {
+        auto [It, New] = Grouped.try_emplace(J->FileIdx);
+        if (New)
+          FileOrder.push_back(J->FileIdx);
+        It->second.push_back(J);
+      }
+      for (size_t I : FileOrder)
+        Pool.submit([&fastFile, FJ = std::move(Grouped[I])](unsigned W) {
+          fastFile(W, FJ);
+        });
+    } else {
+      for (FuncJob *J : Order)
+        Pool.submit([&fastFunc, J](unsigned W) { fastFunc(W, *J); });
     }
     Pool.wait();
     // Wave 2b — escalations, one task per *function* running its
@@ -468,7 +734,8 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
     }
     Pool.wait();
   } else {
-    for (FuncJob &J : Jobs2) {
+    for (FuncJob *JP : Order) {
+      FuncJob &J = *JP;
       if (J.VacuityProbe)
         Pool.submit(
             [&solveOne, &J](unsigned W) { solveOne(W, J, -1, true); });
@@ -482,21 +749,26 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
 
   // Aggregation — strictly in source order (files as given, functions
   // and VCs as planned); completion order cannot influence the report.
+  const bool Interrupted = shutdownRequested();
+  Rep.Interrupted = Interrupted;
   Rep.AllVerified = true;
   auto NextJob = Jobs2.begin();
   for (size_t I = 0; I != NumFiles; ++I) {
     FileReport FR;
     FR.Path = Paths[I];
-    FR.Ok = Plans[I].Ok;
-    FR.Error = Plans[I].Error;
+    FR.Ok = Plans[I]->Ok;
+    FR.Error = Plans[I]->Error;
     if (!FR.Ok) {
       ++Rep.NumFrontendErrors;
       Rep.AllVerified = false;
       Rep.Files.push_back(std::move(FR));
       continue;
     }
-    for (const verifier::FunctionObligations &FO : Plans[I].Functions) {
-      if (FO.SkippedUnchanged) {
+    const std::vector<verifier::FunctionObligations> &Funcs =
+        Plans[I]->Functions;
+    for (size_t FIdx = 0; FIdx != Funcs.size(); ++FIdx) {
+      const verifier::FunctionObligations &FO = Funcs[FIdx];
+      if (Skip[I][FIdx]) {
         // Discharged by the manifest: no job was scheduled, nothing
         // touched a solver. Replay the recorded shape (VC count,
         // annotation counts) so totals stay comparable to a cold run.
@@ -556,6 +828,25 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
               {VC.Reason, VC.Loc, S.R.Status, S.R.TimeMs, S.R.Detail});
           if (Opts.Verify.StopAtFirstFailure)
             break;
+        }
+      }
+      if (Interrupted && R.Verified) {
+        // A shutdown request left obligations unsolved with no
+        // observed failure; "verified" would be a lie. Report the
+        // function failed with an explicit cancellation record.
+        bool AnyUnsolved = J.VacuityProbe && !J.Vacuity.Solved;
+        for (const VCSlot &S : J.Slots)
+          if (!S.Solved) {
+            AnyUnsolved = true;
+            break;
+          }
+        if (AnyUnsolved) {
+          R.Verified = false;
+          R.Failures.push_back({"cancelled: shutdown requested",
+                                {},
+                                smt::CheckStatus::Unknown,
+                                0.0,
+                                ""});
         }
       }
       R.VCStats.resize(J.Slots.size());
@@ -638,14 +929,25 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
     Rep.Files.push_back(std::move(FR));
   }
 
+  // Flush = compaction; entries were journal-durable at store time.
+  // Report per-run deltas (see Cache0/Manifest0) so a resident
+  // service's warm request matches a fresh process byte for byte.
   if (Cache) {
     Cache->flush();
-    Rep.Cache = Cache->stats();
+    CacheStats S = Cache->stats();
+    Rep.Cache.Hits = S.Hits - Cache0.Hits;
+    Rep.Cache.Misses = S.Misses - Cache0.Misses;
+    Rep.Cache.Stores = S.Stores - Cache0.Stores;
   }
   if (Manifest) {
     Manifest->flush();
-    Rep.Manifest = Manifest->stats();
+    ManifestStats S = Manifest->stats();
+    Rep.Manifest.Hits = S.Hits - Manifest0.Hits;
+    Rep.Manifest.Misses = S.Misses - Manifest0.Misses;
+    Rep.Manifest.Records = S.Records - Manifest0.Records;
   }
+  if (Rep.Interrupted)
+    Rep.AllVerified = false;
   Rep.WallMs = Wall.millis();
   return Rep;
 }
@@ -795,6 +1097,10 @@ std::string service::toJson(const BatchReport &Rep, bool IncludeTimes,
   if (IncludeTimes)
     W.field("jobs", static_cast<uint64_t>(Rep.Jobs));
   W.field("all_verified", Rep.AllVerified);
+  // Only present when true: normal runs stay byte-identical to
+  // reports written before the field existed.
+  if (Rep.Interrupted)
+    W.field("interrupted", true);
   W.openKey("cache", "{");
   W.field("enabled", Rep.CacheEnabled);
   W.field("dir", Rep.CacheDir);

@@ -32,6 +32,8 @@
 #include "verifier/Verifier.h"
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -55,6 +57,29 @@ struct ServiceOptions {
   /// ablation mode is on (whole-program background axioms are outside
   /// the fingerprint's dependency closure).
   bool Incremental = false;
+  /// Cache-aware scheduling: before dispatch, probe the proof cache
+  /// (ProofCache::contains — no stat traffic) for each obligation's
+  /// canonical key and order functions with the highest cached
+  /// fraction first, so warm work drains the queue early and cold
+  /// solves get the tail. Verdict- and report-neutral: aggregation is
+  /// source-ordered and the probe leaves hit/miss counters alone.
+  bool CacheAware = true;
+  /// Shared-prelude fast pass: one scoped Z3 session per *file* —
+  /// background axioms asserted once at the bottom, each function's
+  /// guard prefix pushed/popped as a scope above (see
+  /// SmtSolver::pushSessionScope). Serializes a file's fast pass onto
+  /// one worker, so it is off by default for CLI batches and on in
+  /// the daemon, whose warm runs are dominated by session setup. Falls
+  /// back to per-function sessions when the backend lacks scoping.
+  bool SharePrelude = false;
+  /// Keep parsed plans resident across run() calls (the daemon's
+  /// reason to exist): a plan is reused when the FNV-1a hash of the
+  /// file's *preprocessed* text (the exact parser input, includes
+  /// spliced) is unchanged — sound because planning is a
+  /// deterministic function of that text and the (fixed) options.
+  /// Functions of a reused plan get their manifest skip decision at
+  /// schedule time instead of plan time.
+  bool ResidentPlans = false;
 };
 
 /// One function's outcome plus its cache interaction.
@@ -104,20 +129,60 @@ struct BatchReport {
   ManifestStats Manifest;
   unsigned NumSkippedUnchanged = 0; ///< Functions discharged unchanged.
   unsigned NumSolvedVCs = 0;        ///< Obligations that reached Z3.
+  /// A shutdown request (signal or daemon stop) cancelled part of the
+  /// run: unsolved obligations report "cancelled", AllVerified is
+  /// false, and the JSON carries "interrupted": true.
+  bool Interrupted = false;
 };
 
 class VerificationService {
 public:
+  /// Opens the proof cache and manifest (when configured) once; they
+  /// stay resident for the service's lifetime, so a long-lived daemon
+  /// pays store load and journal replay at startup, not per request.
   explicit VerificationService(ServiceOptions Opts);
+  ~VerificationService();
 
-  /// Verifies \p Paths (each a .c file) through the scheduler.
+  /// Verifies \p Paths (each a .c file) through the scheduler. Safe
+  /// to call repeatedly; cache/manifest statistics in the report are
+  /// per-run deltas, so a warm rerun reports the same JSON whether it
+  /// runs in a fresh process or a resident service.
   BatchReport run(const std::vector<std::string> &Paths);
+
+  /// Flushes (compacts) the persistent stores now — the graceful-
+  /// shutdown path; run() also flushes at the end of every batch.
+  void flushStores();
 
   const ServiceOptions &options() const { return Opts; }
 
+  /// Resident-store introspection (the daemon's status/cache-stats
+  /// requests). Null when the cache is disabled.
+  const ProofCache *cache() const { return Cache.get(); }
+  const VcManifest *manifest() const { return Manifest.get(); }
+  /// Plans currently resident (ResidentPlans mode).
+  size_t residentPlanCount() const;
+
 private:
+  struct ResidentPlan;
+
   ServiceOptions Opts;
+  std::unique_ptr<ProofCache> Cache;
+  std::unique_ptr<VcManifest> Manifest;
+  /// Parsed plans by path (ResidentPlans mode only), valid while the
+  /// hash of the file's preprocessed text is unchanged. Heap entries:
+  /// run() holds plan pointers across insertions.
+  std::map<std::string, std::unique_ptr<ResidentPlan>> PlanCache;
 };
+
+/// Cooperative shutdown flag shared by signal handlers, the daemon
+/// and the scheduler: once raised, running batches stop dispatching
+/// new obligations (in-flight solves finish; their results are
+/// journal-durable), aggregation marks the report Interrupted, and
+/// stores still flush. Async-signal-safe (a relaxed atomic store).
+void requestShutdown();
+bool shutdownRequested();
+/// Clears the flag (tests and the daemon's between-run re-arm).
+void resetShutdown();
 
 /// Fingerprint of every pipeline option that shapes obligations or
 /// their meaning (instrumentation tactics, axiom mode, tuple budget,

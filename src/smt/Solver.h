@@ -133,6 +133,49 @@ public:
   /// Tears down the session solver and the lowering memo.
   virtual void endSession() = 0;
 
+  //===--------------------------------------------------------------------===//
+  // Shared-prelude sessions
+  //
+  // Functions of one translation unit share their bottom frame — the
+  // background axioms and solver parameters are identical for every
+  // obligation of a file. A *shared* session asserts that frame once
+  // and then stacks per-function scopes above it: pushSessionScope
+  // asserts a function's guard prefix under a solver push, the usual
+  // checkSession calls run against prefix ∧ frame, and
+  // popSessionScope retracts exactly that function's assertions while
+  // the frame (and its lowered terms) stay resident. The daemon's
+  // fast pass uses this to pay axiom assertion once per file instead
+  // of once per function.
+  //
+  // The lifetime contract is the session one, unchanged: every
+  // expression passed to the shared frame *or to any scope* must
+  // outlive endSession() — lowered terms are memoized by node address
+  // for the whole shared session, across scope pops. The scheduler
+  // satisfies this by sharing a session only across functions of one
+  // plan (the plan owns every node). Backends that do not implement
+  // scoping keep the default bodies — pushSessionScope returns false
+  // and the scheduler falls back to one plain session per function,
+  // so sharing is always an optimization, never a requirement.
+  //===--------------------------------------------------------------------===//
+
+  /// Starts a session whose prefix is empty (just the background
+  /// axioms), intended as the base frame for stacked function scopes.
+  virtual void beginSharedSession(unsigned TimeoutMs) {
+    beginSession({}, TimeoutMs);
+  }
+
+  /// Stacks a scope asserting \p Prefix above the current session
+  /// state. Returns false when the backend does not support scoping
+  /// or no session is active; the caller then falls back to plain
+  /// per-function sessions.
+  virtual bool pushSessionScope(const std::vector<vir::LExprRef> &Prefix) {
+    (void)Prefix;
+    return false;
+  }
+
+  /// Retracts the most recent pushSessionScope. No-op without one.
+  virtual void popSessionScope() {}
+
   /// Cooperatively interrupts a check running on another thread (the
   /// portfolio engine cancels losing lanes this way). The interrupted
   /// check returns Unknown. This is the only member safe to call

@@ -436,7 +436,34 @@ public:
     return R;
   }
 
+  bool pushSessionScope(const std::vector<LExprRef> &Prefix) override {
+    if (!Session)
+      return false;
+    try {
+      Session->push();
+      ++ScopeDepth;
+      for (const LExprRef &C : Prefix)
+        Session->add(Lower.lower(C));
+      return true;
+    } catch (const z3::exception &) {
+      endSession(); // Scope depth is unknown now; do not reuse.
+      return false;
+    }
+  }
+
+  void popSessionScope() override {
+    if (!Session || ScopeDepth == 0)
+      return;
+    try {
+      Session->pop();
+      --ScopeDepth;
+    } catch (const z3::exception &) {
+      endSession();
+    }
+  }
+
   void endSession() override {
+    ScopeDepth = 0;
     if (!Session)
       return;
     Session.reset();
@@ -475,6 +502,9 @@ private:
   z3::context Ctx;
   Z3Lowering Lower;
   std::unique_ptr<z3::solver> Session;
+  /// Open pushSessionScope frames (checkSession's push/pop nests
+  /// inside the innermost scope and does not count here).
+  unsigned ScopeDepth = 0;
 };
 
 } // namespace

@@ -14,6 +14,8 @@
 
 #include "cfront/Normalize.h"
 #include "cfront/Parser.h"
+#include "daemon/Client.h"
+#include "daemon/Daemon.h"
 #include "instr/Instrument.h"
 #include "service/Service.h"
 #include "smt/Portfolio.h"
@@ -22,8 +24,10 @@
 #include "vir/Passify.h"
 #include "vir/WpGen.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -37,6 +41,9 @@ void printUsage() {
       "usage: vcdryad [options] <file.c>...\n"
       "       vcdryad batch [options] <dir|manifest|file.c>...\n"
       "       vcdryad check [options] <dir|manifest|file.c>...\n"
+      "       vcdryad serve [options]\n"
+      "       vcdryad client [options] <verify|status|cache-stats|"
+      "shutdown> [paths...]\n"
       "\n"
       "Verifies C programs against DRYAD separation-logic specifications\n"
       "using natural proofs (Pek, Qiu, Madhusudan; PLDI 2014).\n"
@@ -49,6 +56,16 @@ void printUsage() {
       "check mode is batch with --incremental on by default: functions\n"
       "whose stable fingerprint matches a previously all-Valid run are\n"
       "discharged from the manifest without touching the solver.\n"
+      "\n"
+      "serve mode starts a resident daemon on a Unix-domain socket\n"
+      "(default <cache-dir>/serve.sock): the proof cache, manifest and\n"
+      "parsed plans stay warm across requests, the fast pass shares\n"
+      "one Z3 session per file, and scheduling is cache-aware.\n"
+      "client sends one request (newline-delimited JSON; see the\n"
+      "README) and prints the response; `client verify <paths...>`\n"
+      "returns the same JSON report and exit status as check. batch\n"
+      "and check accept --serve-socket=<path> to route the run through\n"
+      "a daemon instead of verifying in-process.\n"
       "\n"
       "options:\n"
       "  --only=<fn>          verify a single function\n"
@@ -99,10 +116,29 @@ void printUsage() {
       "  --changed-only       omit skipped-unchanged functions from the\n"
       "                       per-file JSON listings (totals still\n"
       "                       count them)\n"
-      "  --out=<file>         write the JSON report here (default "
-      "stdout)\n"
+      "  --out=<file>         write the JSON report here ('-' or\n"
+      "                       default: stdout)\n"
       "  --json-times=off     omit timing fields (byte-reproducible "
-      "output)\n");
+      "output)\n"
+      "  --no-cache-aware     dispatch in source order instead of\n"
+      "                       most-cached-first\n"
+      "  --share-prelude      one scoped Z3 session per file in the\n"
+      "                       fast pass (daemon default; --no-share-\n"
+      "                       prelude turns it off there)\n"
+      "  --serve-socket=<p>   route this batch through the daemon at\n"
+      "                       <p> instead of verifying in-process\n"
+      "\n"
+      "serve/client options:\n"
+      "  --socket=<path>      the daemon's socket (default:\n"
+      "                       <resolved cache dir>/serve.sock, both\n"
+      "                       sides, so a client invoked beside the\n"
+      "                       corpus finds the daemon started there)\n"
+      "\n"
+      "SIGINT/SIGTERM interrupt batch, check and serve gracefully:\n"
+      "in-flight solves finish, unsolved obligations report\n"
+      "\"cancelled\", stores flush (every recorded result is already\n"
+      "journal-durable), and the report carries \"interrupted\": "
+      "true.\n");
 }
 
 struct CliOptions {
@@ -117,10 +153,17 @@ struct CliOptions {
   unsigned Jobs = 0; ///< 0: hardware concurrency (explicitly allowed).
   std::string CacheDir = ".vcdryad-cache";
   bool CacheExplicit = false; ///< The user passed --cache=.
-  bool Incremental = false;   ///< Default true in check mode.
+  bool Incremental = false;   ///< Default true in check and serve mode.
   bool ChangedOnly = false;   ///< Omit skipped functions from the JSON.
-  std::string OutPath;        ///< Empty: stdout.
+  std::string OutPath;        ///< Empty or "-": stdout.
   bool JsonTimes = true;
+  bool CacheAware = true;    ///< Most-cached-first dispatch order.
+  bool SharePrelude = false; ///< Scoped per-file fast-pass sessions.
+  // Daemon modes (`vcdryad serve` / `vcdryad client`) and routing.
+  bool Serve = false;
+  bool Client = false;
+  std::string Socket;      ///< serve/client --socket=.
+  std::string ServeSocket; ///< batch/check --serve-socket= routing.
 };
 
 /// Parses `--<flag>=<n>`; false (with a usage error printed) unless
@@ -149,6 +192,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
     // batch with incremental re-verification on by default.
     Cli.Batch = true;
     Cli.Incremental = true;
+    First = 2;
+  } else if (Argc > 1 && std::strcmp(Argv[1], "serve") == 0) {
+    // The resident daemon: warm-path options default on.
+    Cli.Serve = true;
+    Cli.Incremental = true;
+    Cli.SharePrelude = true;
+    First = 2;
+  } else if (Argc > 1 && std::strcmp(Argv[1], "client") == 0) {
+    Cli.Client = true;
     First = 2;
   }
   for (int I = First; I < Argc; ++I) {
@@ -237,6 +289,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.ChangedOnly = true;
     } else if (StartsWith("--out=")) {
       Cli.OutPath = A.substr(6);
+    } else if (A == "--cache-aware") {
+      Cli.CacheAware = true;
+    } else if (A == "--no-cache-aware") {
+      Cli.CacheAware = false;
+    } else if (A == "--share-prelude") {
+      Cli.SharePrelude = true;
+    } else if (A == "--no-share-prelude") {
+      Cli.SharePrelude = false;
+    } else if (StartsWith("--socket=")) {
+      Cli.Socket = A.substr(9);
+    } else if (StartsWith("--serve-socket=")) {
+      Cli.ServeSocket = A.substr(15);
     } else if (StartsWith("--json-times=")) {
       std::string M = A.substr(13);
       if (M == "off")
@@ -288,6 +352,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.Files.push_back(A);
     }
   }
+  if (Cli.Serve)
+    return Cli.Files.empty(); // serve takes no operands.
+  if (Cli.Client)
+    return !Cli.Files.empty(); // client needs at least the op.
   return !Cli.Files.empty();
 }
 
@@ -330,10 +398,98 @@ int runDumps(const CliOptions &Cli, const std::string &Path) {
   return 0;
 }
 
+extern "C" void onShutdownSignal(int) { service::requestShutdown(); }
+
+/// SIGINT/SIGTERM raise the cooperative shutdown flag. No SA_RESTART:
+/// the daemon's blocking accept() must wake with EINTR to observe it.
+void installShutdownHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onShutdownSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0;
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+}
+
+/// Writes \p Body to --out: a path, or stdout for "" and "-".
+bool writeReport(const std::string &OutPath, const std::string &Body) {
+  if (OutPath.empty() || OutPath == "-") {
+    std::fputs(Body.c_str(), stdout);
+    return true;
+  }
+  std::ofstream Out(OutPath, std::ios::binary);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", OutPath.c_str());
+    return false;
+  }
+  Out << Body;
+  return true;
+}
+
+/// Operands sent to a daemon must survive the cwd difference between
+/// the two processes; nonexistent paths pass through untouched so the
+/// daemon reports the usual "no such file" error.
+std::string absolutize(const std::string &Path) {
+  std::error_code EC;
+  std::filesystem::path Abs = std::filesystem::absolute(Path, EC);
+  if (EC)
+    return Path;
+  return Abs.lexically_normal().string();
+}
+
+/// Both sides' default socket: beside the resolved cache directory,
+/// so a client invoked next to the corpus finds the daemon that was
+/// started there without either passing --socket=.
+std::string defaultSocket(const CliOptions &Cli,
+                          const std::vector<std::string> &Operands) {
+  std::string CacheDir = service::resolveCacheDir(
+      Cli.CacheDir, Cli.CacheExplicit, Operands);
+  if (CacheDir.empty())
+    return {};
+  return CacheDir + "/serve.sock";
+}
+
+/// Sends one request and renders the response. Exit status: verify
+/// follows the report's all_verified (0/1); control ops return 0; any
+/// transport or daemon-side error is 2.
+int runClientRequest(const CliOptions &Cli, const std::string &Socket,
+                     const daemon::Request &R) {
+  std::string Response, Error;
+  if (!daemon::sendRequest(Socket, daemon::buildRequest(R), Response,
+                           Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  if (Response.rfind("{\"ok\": false", 0) == 0) {
+    std::fputs(Response.c_str(), stderr);
+    return 2;
+  }
+  if (!writeReport(Cli.OutPath, Response))
+    return 2;
+  if (R.Op == "verify")
+    return Response.find("\"all_verified\": true") != std::string::npos
+               ? 0
+               : 1;
+  return 0;
+}
+
 /// `vcdryad batch`: expand operands, run the parallel verification
 /// service, emit the JSON report. Exit status: 0 all verified, 1 any
-/// failure or frontend error, 2 usage/IO problems.
+/// failure or frontend error, 2 usage/IO problems, 130 interrupted.
+/// With --serve-socket= the operands go to the daemon instead and the
+/// response is rendered identically.
 int runBatch(const CliOptions &Cli) {
+  if (!Cli.ServeSocket.empty()) {
+    daemon::Request R;
+    R.Op = "verify";
+    for (const std::string &F : Cli.Files)
+      R.Paths.push_back(absolutize(F));
+    R.ChangedOnly = Cli.ChangedOnly;
+    R.JsonTimes = Cli.JsonTimes;
+    return runClientRequest(Cli, Cli.ServeSocket, R);
+  }
+
   std::string Error;
   std::vector<std::string> Inputs =
       service::collectBatchInputs(Cli.Files, Error);
@@ -354,22 +510,91 @@ int runBatch(const CliOptions &Cli) {
   SOpts.CacheDir =
       service::resolveCacheDir(Cli.CacheDir, Cli.CacheExplicit, Cli.Files);
   SOpts.Incremental = Cli.Incremental;
+  SOpts.CacheAware = Cli.CacheAware;
+  SOpts.SharePrelude = Cli.SharePrelude;
+  installShutdownHandlers();
   service::VerificationService Service(SOpts);
   service::BatchReport Rep = Service.run(Inputs);
 
   std::string Json = service::toJson(Rep, Cli.JsonTimes, Cli.ChangedOnly);
-  if (Cli.OutPath.empty()) {
-    std::fputs(Json.c_str(), stdout);
-  } else {
-    std::ofstream Out(Cli.OutPath, std::ios::binary);
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   Cli.OutPath.c_str());
+  if (!writeReport(Cli.OutPath, Json))
+    return 2;
+  if (Rep.Interrupted)
+    return 130; // Conventional fatal-SIGINT status; stores are flushed.
+  return Rep.AllVerified ? 0 : 1;
+}
+
+/// `vcdryad serve`: the resident daemon (see daemon/Daemon.h).
+int runServe(const CliOptions &Cli) {
+  service::ServiceOptions SOpts;
+  SOpts.Verify = Cli.Verify;
+  SOpts.Jobs = Cli.Jobs;
+  SOpts.CacheDir = service::resolveCacheDir(Cli.CacheDir,
+                                            Cli.CacheExplicit, {});
+  SOpts.Incremental = Cli.Incremental;
+  SOpts.CacheAware = Cli.CacheAware;
+  SOpts.SharePrelude = Cli.SharePrelude;
+  SOpts.ResidentPlans = true;
+
+  std::string Socket = Cli.Socket;
+  if (Socket.empty()) {
+    if (SOpts.CacheDir.empty()) {
+      std::fprintf(stderr, "error: serve needs --socket= when the cache "
+                           "is disabled (--cache=off)\n");
       return 2;
     }
-    Out << Json;
+    Socket = SOpts.CacheDir + "/serve.sock";
   }
-  return Rep.AllVerified ? 0 : 1;
+
+  daemon::DaemonOptions DOpts;
+  DOpts.SocketPath = Socket;
+  DOpts.Service = SOpts;
+  daemon::Daemon D(DOpts); // Loads stores, replays journals.
+  std::string Error;
+  if (!D.bind(Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  installShutdownHandlers();
+  std::fprintf(stderr, "vcdryad serve: listening on %s (cache: %s)\n",
+               D.socketPath().c_str(),
+               SOpts.CacheDir.empty() ? "off" : SOpts.CacheDir.c_str());
+  int Exit = D.serve();
+  std::fprintf(stderr, "vcdryad serve: shut down\n");
+  return Exit;
+}
+
+/// `vcdryad client <op> [paths...]`.
+int runClient(const CliOptions &Cli) {
+  daemon::Request R;
+  R.Op = Cli.Files.front();
+  if (R.Op != "verify" && R.Op != "status" && R.Op != "cache-stats" &&
+      R.Op != "shutdown") {
+    std::fprintf(stderr, "error: unknown client op '%s' (expected "
+                         "verify, status, cache-stats or shutdown)\n",
+                 R.Op.c_str());
+    return 2;
+  }
+  std::vector<std::string> Operands(Cli.Files.begin() + 1,
+                                    Cli.Files.end());
+  if (R.Op == "verify" && Operands.empty()) {
+    std::fprintf(stderr, "error: client verify needs operands\n");
+    return 2;
+  }
+  for (const std::string &P : Operands)
+    R.Paths.push_back(absolutize(P));
+  R.ChangedOnly = Cli.ChangedOnly;
+  R.JsonTimes = Cli.JsonTimes;
+
+  std::string Socket = Cli.Socket;
+  if (Socket.empty())
+    Socket = defaultSocket(Cli, Operands);
+  if (Socket.empty()) {
+    std::fprintf(stderr, "error: client needs --socket= when the cache "
+                         "is disabled (--cache=off)\n");
+    return 2;
+  }
+  return runClientRequest(Cli, Socket, R);
 }
 
 const char *statusName(smt::CheckStatus S) {
@@ -392,6 +617,10 @@ int main(int Argc, char **Argv) {
     printUsage();
     return 2;
   }
+  if (Cli.Serve)
+    return runServe(Cli);
+  if (Cli.Client)
+    return runClient(Cli);
   if (Cli.Batch)
     return runBatch(Cli);
 

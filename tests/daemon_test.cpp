@@ -1,0 +1,118 @@
+//===- daemon_test.cpp - Daemon wire-protocol tests ------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the serve protocol: request parsing (flat JSON,
+/// unknown-key skipping, malformed-input rejection), the
+/// build/parse round-trip the client and daemon share, and JSON
+/// string escaping. The daemon's socket lifecycle (stale-socket
+/// recovery, graceful shutdown, warm-run reports) is covered end to
+/// end by tests/serve_test.sh.
+///
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Protocol.h"
+
+#include <gtest/gtest.h>
+
+using namespace vcdryad;
+
+namespace {
+
+TEST(ProtocolTest, ParsesVerifyRequest) {
+  daemon::Request R;
+  std::string Error;
+  ASSERT_TRUE(daemon::parseRequest(
+      "{\"op\": \"verify\", \"paths\": [\"/a/b.c\", \"/c\"], "
+      "\"changed_only\": true, \"json_times\": false}",
+      R, Error))
+      << Error;
+  EXPECT_EQ(R.Op, "verify");
+  ASSERT_EQ(R.Paths.size(), 2u);
+  EXPECT_EQ(R.Paths[0], "/a/b.c");
+  EXPECT_EQ(R.Paths[1], "/c");
+  EXPECT_TRUE(R.ChangedOnly);
+  EXPECT_FALSE(R.JsonTimes);
+}
+
+TEST(ProtocolTest, ParsesMinimalRequest) {
+  daemon::Request R;
+  std::string Error;
+  ASSERT_TRUE(daemon::parseRequest("{\"op\":\"status\"}", R, Error))
+      << Error;
+  EXPECT_EQ(R.Op, "status");
+  EXPECT_TRUE(R.Paths.empty());
+  EXPECT_FALSE(R.ChangedOnly);
+  EXPECT_TRUE(R.JsonTimes); // Default on, like the CLI.
+}
+
+TEST(ProtocolTest, SkipsUnknownKeys) {
+  daemon::Request R;
+  std::string Error;
+  ASSERT_TRUE(daemon::parseRequest(
+      "{\"future\": 42, \"op\": \"shutdown\", \"tags\": [\"x\"], "
+      "\"note\": \"hi\", \"flag\": null}",
+      R, Error))
+      << Error;
+  EXPECT_EQ(R.Op, "shutdown");
+  EXPECT_TRUE(R.Paths.empty());
+}
+
+TEST(ProtocolTest, DecodesStringEscapes) {
+  daemon::Request R;
+  std::string Error;
+  ASSERT_TRUE(daemon::parseRequest(
+      "{\"op\": \"verify\", \"paths\": [\"a\\\\b\\n\\\"c\\u0041\"]}",
+      R, Error))
+      << Error;
+  ASSERT_EQ(R.Paths.size(), 1u);
+  EXPECT_EQ(R.Paths[0], "a\\b\n\"cA");
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  daemon::Request R;
+  std::string Error;
+  // Not an object.
+  EXPECT_FALSE(daemon::parseRequest("[1, 2]", R, Error));
+  // Unterminated string.
+  EXPECT_FALSE(daemon::parseRequest("{\"op\": \"ver", R, Error));
+  // Nested objects are not part of the flat protocol.
+  EXPECT_FALSE(
+      daemon::parseRequest("{\"op\": \"verify\", \"k\": {}}", R, Error));
+  // Missing op.
+  EXPECT_FALSE(daemon::parseRequest("{\"paths\": [\"x\"]}", R, Error));
+  EXPECT_EQ(Error, "request has no \"op\" field");
+  // Trailing garbage.
+  EXPECT_FALSE(
+      daemon::parseRequest("{\"op\": \"status\"} extra", R, Error));
+  // Empty line.
+  EXPECT_FALSE(daemon::parseRequest("", R, Error));
+}
+
+TEST(ProtocolTest, BuildParseRoundTrip) {
+  daemon::Request R;
+  R.Op = "verify";
+  R.Paths = {"/tmp/dir with space", "/x/\"quoted\".c"};
+  R.ChangedOnly = true;
+  R.JsonTimes = false;
+  daemon::Request Back;
+  std::string Error;
+  ASSERT_TRUE(daemon::parseRequest(daemon::buildRequest(R), Back, Error))
+      << Error;
+  EXPECT_EQ(Back.Op, R.Op);
+  EXPECT_EQ(Back.Paths, R.Paths);
+  EXPECT_EQ(Back.ChangedOnly, R.ChangedOnly);
+  EXPECT_EQ(Back.JsonTimes, R.JsonTimes);
+}
+
+TEST(ProtocolTest, EscapesControlCharacters) {
+  EXPECT_EQ(daemon::jsonEscape("a\"b\\c\nd\te\x01"),
+            "a\\\"b\\\\c\\nd\\te\\u0001");
+  EXPECT_EQ(daemon::errorResponse("boom"),
+            "{\"ok\": false, \"error\": \"boom\"}\n");
+}
+
+} // namespace

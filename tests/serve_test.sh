@@ -1,0 +1,183 @@
+#!/bin/sh
+# End-to-end gate for the resident verification daemon:
+#   (1) `vcdryad serve` starts, binds its socket, and answers status;
+#   (2) a cold daemon verify returns the corpus verdicts;
+#   (3) a warm daemon verify discharges everything from the resident
+#       manifest with zero obligations reaching Z3 ("solved_vcs": 0)
+#       and reports resident plans in cache-stats;
+#   (4) the warm daemon report is byte-identical to a warm
+#       `vcdryad check` report (modulo the cache-directory path) —
+#       routing through the daemon must not change a single verdict
+#       or counter;
+#   (5) `--serve-socket=` routing on check produces the same report;
+#   (6) a stale socket file left by a dead daemon is reclaimed, and a
+#       second live daemon on the same socket is refused with a clear
+#       diagnostic;
+#   (7) `vcdryad client shutdown` stops the daemon gracefully and the
+#       socket file is unlinked.
+#
+# Usage: serve_test.sh <vcdryad-binary> <corpus-dir>
+set -eu
+
+VCDRYAD=$1
+CORPUS=$(cd "$2" && pwd)  # Absolute: daemon and CLI must agree on paths.
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/vcd-serve.XXXXXX")
+SERVE_PID=
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/daemon/serve.sock"
+
+count() { # count <file> <key> -> integer value of a totals field
+  awk -F': ' "/\"$2\":/ {gsub(/,/, \"\", \$2); print \$2; exit}" "$1"
+}
+
+client() {
+  "$VCDRYAD" client "$@" --socket="$SOCK" --json-times=off
+}
+
+echo "== start daemon =="
+"$VCDRYAD" serve --cache="$WORK/daemon" --socket="$SOCK" --jobs=2 \
+  --timeout=300000 2> "$WORK/serve.log" &
+SERVE_PID=$!
+
+# Wait for the socket to come up (status answers once it is bound).
+i=0
+until client status > "$WORK/status.json" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "FAIL: daemon did not come up" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+grep -q '"ok": true' "$WORK/status.json" || {
+  echo "FAIL: bad status response" >&2
+  cat "$WORK/status.json" >&2
+  exit 1
+}
+
+echo "== cold daemon verify =="
+client verify "$CORPUS" --out="$WORK/cold.json" || {
+  echo "FAIL: cold verify failed" >&2
+  cat "$WORK/cold.json" >&2
+  exit 1
+}
+grep -q '"all_verified": true' "$WORK/cold.json" || {
+  echo "FAIL: corpus did not verify cold" >&2
+  exit 1
+}
+FUNCS=$(count "$WORK/cold.json" functions)
+[ "$FUNCS" -ge 1 ] || { echo "FAIL: no functions reported" >&2; exit 1; }
+
+echo "== warm daemon verify (zero-solve contract) =="
+client verify "$CORPUS" --out="$WORK/warm.json"
+SKIPPED=$(count "$WORK/warm.json" skipped_unchanged)
+SOLVED=$(count "$WORK/warm.json" solved_vcs)
+if [ "$SKIPPED" -ne "$FUNCS" ] || [ "$SOLVED" -ne 0 ]; then
+  echo "FAIL: warm daemon run skipped $SKIPPED/$FUNCS," \
+       "solved $SOLVED VCs (want all skipped, 0 solved)" >&2
+  exit 1
+fi
+
+echo "== cache-stats reports resident state =="
+client cache-stats > "$WORK/stats.json"
+grep -q '"ok": true' "$WORK/stats.json"
+# cache-stats is a one-line response; extract with sed, not count().
+PLANS=$(sed -n 's/.*"resident_plans": \([0-9]*\).*/\1/p' "$WORK/stats.json")
+if [ -z "$PLANS" ] || [ "$PLANS" -lt 1 ]; then
+  echo "FAIL: no resident plans after two verifies" >&2
+  cat "$WORK/stats.json" >&2
+  exit 1
+fi
+
+echo "== warm daemon report == warm check report =="
+# A warm in-process check against its own cache: everything identical
+# except the cache-directory path and the manifest path derived from
+# it.
+"$VCDRYAD" check "$CORPUS" --cache="$WORK/cli" --jobs=2 \
+  --timeout=300000 --json-times=off --out=/dev/null
+"$VCDRYAD" check "$CORPUS" --cache="$WORK/cli" --jobs=2 \
+  --timeout=300000 --json-times=off --out="$WORK/warm_cli.json"
+sed "s#$WORK/cli#CACHEDIR#g" "$WORK/warm_cli.json" > "$WORK/a.json"
+sed "s#$WORK/daemon#CACHEDIR#g" "$WORK/warm.json" > "$WORK/b.json"
+if ! cmp -s "$WORK/a.json" "$WORK/b.json"; then
+  echo "FAIL: warm daemon report differs from warm check report" >&2
+  diff "$WORK/a.json" "$WORK/b.json" >&2 || true
+  exit 1
+fi
+
+echo "== --serve-socket= routing =="
+"$VCDRYAD" check "$CORPUS" --serve-socket="$SOCK" --json-times=off \
+  --out="$WORK/routed.json"
+sed "s#$WORK/daemon#CACHEDIR#g" "$WORK/routed.json" > "$WORK/c.json"
+if ! cmp -s "$WORK/b.json" "$WORK/c.json"; then
+  echo "FAIL: --serve-socket report differs from client verify" >&2
+  diff "$WORK/b.json" "$WORK/c.json" >&2 || true
+  exit 1
+fi
+
+echo "== --out=- writes to stdout =="
+"$VCDRYAD" check "$CORPUS" --serve-socket="$SOCK" --json-times=off \
+  --out=- > "$WORK/dash.json"
+cmp -s "$WORK/routed.json" "$WORK/dash.json" || {
+  echo "FAIL: --out=- differs from --out=file" >&2
+  exit 1
+}
+
+echo "== second daemon on a live socket is refused =="
+if "$VCDRYAD" serve --cache="$WORK/daemon" --socket="$SOCK" \
+     2> "$WORK/dup.log"; then
+  echo "FAIL: second daemon did not refuse to start" >&2
+  exit 1
+fi
+grep -q "already serving" "$WORK/dup.log" || {
+  echo "FAIL: missing already-serving diagnostic" >&2
+  cat "$WORK/dup.log" >&2
+  exit 1
+}
+
+echo "== graceful shutdown over the socket =="
+client shutdown > "$WORK/shutdown.json"
+grep -q '"shutting_down": true' "$WORK/shutdown.json"
+wait "$SERVE_PID"
+SERVE_PID=
+if [ -e "$SOCK" ]; then
+  echo "FAIL: socket file survived shutdown" >&2
+  exit 1
+fi
+
+echo "== stale socket file is reclaimed =="
+# A crashed daemon leaves the socket file behind; the next daemon
+# must probe, unlink, and bind.
+python3 - "$SOCK" <<'EOF' 2>/dev/null || touch "$SOCK"
+import socket, sys
+s = socket.socket(socket.AF_UNIX)
+s.bind(sys.argv[1])
+s.close()
+EOF
+[ -e "$SOCK" ] || { echo "FAIL: could not plant stale socket" >&2; exit 1; }
+"$VCDRYAD" serve --cache="$WORK/daemon" --socket="$SOCK" \
+  2> "$WORK/serve2.log" &
+SERVE_PID=$!
+i=0
+until client status > /dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "FAIL: daemon did not reclaim the stale socket" >&2
+    cat "$WORK/serve2.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+client shutdown > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=
+
+echo "PASS: daemon cold+warm ($FUNCS functions, warm solved_vcs=0)," \
+     "reports byte-identical to check, stale socket reclaimed"

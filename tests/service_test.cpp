@@ -226,6 +226,22 @@ TEST_F(ProofCacheTest, RoundTripThroughDisk) {
   EXPECT_EQ(S.Misses, 1u);
 }
 
+TEST_F(ProofCacheTest, ContainsLeavesStatisticsAlone) {
+  // The cache-aware scheduler probes with contains() before dispatch;
+  // the probe must not inflate the hit/miss counters the report (and
+  // the warm/cold byte-compare gates) are built from.
+  service::ProofCache Cache((Dir / "cache").string());
+  smt::CheckResult Valid;
+  Valid.Status = smt::CheckStatus::Valid;
+  Cache.store(7, Valid);
+  EXPECT_TRUE(Cache.contains(7));
+  EXPECT_FALSE(Cache.contains(8));
+  service::CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 0u);
+  EXPECT_EQ(S.Misses, 0u);
+  EXPECT_EQ(S.Stores, 1u);
+}
+
 TEST_F(ProofCacheTest, OnlyValidResultsPersist) {
   std::string CacheDir = (Dir / "cache").string();
   {
@@ -517,6 +533,112 @@ TEST_F(SchedulerTest, WarmRerunIsAllCacheHits) {
       EXPECT_EQ(Warm.Files[I].Functions[J].Result.Verified,
                 Cold.Files[I].Functions[J].Result.Verified);
   }
+}
+
+TEST_F(SchedulerTest, SharePreludeAndCacheAwareAreVerdictNeutral) {
+  // The daemon's warm-path options — one scoped Z3 session per file
+  // and most-cached-first dispatch — must not change a verdict, a
+  // counter, or a byte of the deterministic report.
+  writeCorpus();
+  std::string Error;
+  std::vector<std::string> Inputs =
+      service::collectBatchInputs({Dir.string()}, Error);
+  ASSERT_EQ(Error, "");
+  auto Run = [&](bool SharePrelude, bool CacheAware,
+                 const std::string &CacheDir) {
+    service::ServiceOptions Opts;
+    Opts.Jobs = 2;
+    Opts.Verify.TimeoutMs = 30000;
+    Opts.CacheDir = CacheDir;
+    Opts.SharePrelude = SharePrelude;
+    Opts.CacheAware = CacheAware;
+    service::VerificationService Service(Opts);
+    return service::toJson(Service.run(Inputs), /*IncludeTimes=*/false);
+  };
+  std::string Plain = Run(false, false, "");
+  EXPECT_EQ(Run(true, false, ""), Plain);
+  // Cache-aware ordering with a warm cache (the interesting case:
+  // non-trivial dispatch reorder) against the same baseline.
+  std::string C1 = (Dir / "c1").string(), C2 = (Dir / "c2").string();
+  Run(false, false, C1);
+  Run(false, true, C2);
+  auto StripCacheFields = [](std::string J) {
+    // The two runs use different cache dirs; blank the "dir" line.
+    size_t P = J.find("\"dir\": ");
+    if (P != std::string::npos) {
+      size_t E = J.find('\n', P);
+      J.erase(P, E - P);
+    }
+    return J;
+  };
+  std::string WarmPlain = StripCacheFields(Run(false, false, C1));
+  std::string WarmAware = StripCacheFields(Run(true, true, C2));
+  EXPECT_EQ(WarmAware, WarmPlain);
+}
+
+TEST_F(SchedulerTest, ResidentPlansReuseAcrossRuns) {
+  writeCorpus();
+  std::string Error;
+  std::vector<std::string> Inputs =
+      service::collectBatchInputs({Dir.string()}, Error);
+  ASSERT_EQ(Error, "");
+  service::ServiceOptions Opts;
+  Opts.Jobs = 2;
+  Opts.Verify.TimeoutMs = 30000;
+  Opts.CacheDir = (Dir / "cache").string();
+  Opts.ResidentPlans = true;
+  service::VerificationService Service(Opts);
+  service::BatchReport Cold = Service.run(Inputs);
+  EXPECT_EQ(Service.residentPlanCount(), 3u);
+  service::BatchReport Warm = Service.run(Inputs);
+  // Per-run stat deltas: the resident warm run reports what a fresh
+  // process would — hits for solved VCs, zero stores.
+  EXPECT_EQ(Warm.Cache.Stores, 0u);
+  EXPECT_GE(Warm.Cache.Hits + Warm.Cache.Misses, 1u);
+  ASSERT_EQ(Warm.Files.size(), Cold.Files.size());
+  for (size_t I = 0; I != Warm.Files.size(); ++I)
+    for (size_t J = 0; J != Warm.Files[I].Functions.size(); ++J)
+      EXPECT_EQ(Warm.Files[I].Functions[J].Result.Verified,
+                Cold.Files[I].Functions[J].Result.Verified);
+  // Editing a file invalidates exactly its plan: the resident count
+  // stays, verdicts still correct.
+  writeFile("a_min.c", R"(
+int min2(int a, int b)
+  _(ensures result <= a && result <= b)
+{
+  if (a < b)
+    return a;
+  return b;
+}
+)");
+  service::BatchReport Edited = Service.run(Inputs);
+  EXPECT_EQ(Service.residentPlanCount(), 3u);
+  EXPECT_TRUE(Edited.Files[0].Ok);
+  EXPECT_TRUE(Edited.Files[0].Functions[0].Result.Verified);
+}
+
+TEST_F(SchedulerTest, ShutdownRequestInterruptsTheRun) {
+  writeCorpus();
+  std::string Error;
+  std::vector<std::string> Inputs =
+      service::collectBatchInputs({Dir.string()}, Error);
+  ASSERT_EQ(Error, "");
+  service::requestShutdown();
+  service::ServiceOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Verify.TimeoutMs = 30000;
+  service::VerificationService Service(Opts);
+  service::BatchReport Rep = Service.run(Inputs);
+  service::resetShutdown();
+  EXPECT_TRUE(Rep.Interrupted);
+  EXPECT_FALSE(Rep.AllVerified);
+  // The report says so in machine-readable form.
+  EXPECT_NE(service::toJson(Rep, false).find("\"interrupted\": true"),
+            std::string::npos);
+  // And a normal run afterwards is unaffected by the cleared flag.
+  service::BatchReport Clean = Service.run(Inputs);
+  EXPECT_FALSE(Clean.Interrupted);
+  EXPECT_EQ(Clean.NumVerified, 3u);
 }
 
 TEST_F(SchedulerTest, ManifestExpansion) {
