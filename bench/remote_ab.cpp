@@ -1,0 +1,265 @@
+//===- remote_ab.cpp - Fleet proof-sharing A/B harness ----------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the shared proof-cache server buys a *second* machine
+/// (default suites: SLL + ExpressOS). End-to-end wall-clock of
+///   (a) a fully cold `vcdryad batch` — fresh cache, no remote, every
+///       obligation solved;
+///   (b) client B — fresh (cold) local cache each round, but a warm
+///       `vcdryad cached` server populated by one client-A run: every
+///       proof arrives over the wire, zero obligations reach Z3.
+/// Then the failure-mode contract: with the server SIGKILLed, a run
+/// with --remote-cache= still pointing at the corpse must produce the
+/// same verdicts — and the same report bytes as a local-only run,
+/// modulo the remote telemetry lines.
+///
+/// Every configuration is a real child process of the CLI binary, so
+/// the numbers include process start, store load, parse, connect and
+/// wire time. Prints the per-round means and the speedup behind the
+/// EXPERIMENTS.md "fleet proof sharing" entry; exits nonzero unless
+/// client B is zero-solve, >= 5x over cold, and byte-stable against
+/// the dead server.
+///
+/// Usage: remote_ab <vcdryad-binary> [suite-dir ...] [rounds]
+///
+//===----------------------------------------------------------------------===//
+
+#include <fcntl.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs a shell command, returns its wall-clock in ms; -1 on nonzero
+/// exit.
+double timedRun(const std::string &Cmd) {
+  double T0 = now();
+  int Rc = std::system(Cmd.c_str());
+  double Ms = now() - T0;
+  if (Rc != 0)
+    return -1.0;
+  return Ms;
+}
+
+double mean(const std::vector<double> &Xs) {
+  double S = 0.0;
+  for (double X : Xs)
+    S += X;
+  return Xs.empty() ? 0.0 : S / static_cast<double>(Xs.size());
+}
+
+/// First "key": N occurrence in the report (the totals / top-level
+/// cache object precedes the per-file listings).
+long jsonField(const std::string &Path, const std::string &Key) {
+  std::ifstream In(Path);
+  std::string Line;
+  std::string Needle = "\"" + Key + "\":";
+  while (std::getline(In, Line)) {
+    size_t P = Line.find(Needle);
+    if (P == std::string::npos)
+      continue;
+    return std::strtol(Line.c_str() + P + Needle.size(), nullptr, 10);
+  }
+  return -1;
+}
+
+/// The report minus the lines that legitimately differ across cache
+/// configurations: remote telemetry, cache traffic, and the cache
+/// directory path.
+std::string stripVariant(const std::string &Path) {
+  static const char *Variant[] = {
+      "\"remote_cache\":",  "\"remote_errors\":", "\"remote_hits\":",
+      "\"remote_misses\":", "\"remote_wait_ms\":", "\"l1_hits\":",
+      "\"l2_hits\":",       "\"hits\":",           "\"misses\":",
+      "\"stores\":",        "\"cache_hits\":",     "\"cache_misses\":",
+      "\"solved_vcs\":",    "\"dir\":"};
+  std::ifstream In(Path);
+  std::ostringstream Out;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    bool Skip = false;
+    for (const char *V : Variant)
+      if (Line.find(V) != std::string::npos)
+        Skip = true;
+    if (!Skip)
+      Out << Line << '\n';
+  }
+  return Out.str();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr, "error: usage: remote_ab <vcdryad-binary> "
+                         "[suite-dir ...] [rounds]\n");
+    return 2;
+  }
+  std::string Tool = Argv[1];
+  std::vector<std::string> Suites;
+  int Rounds = 3;
+  for (int I = 2; I < Argc; ++I) {
+    if (fs::is_directory(Argv[I]))
+      Suites.push_back(Argv[I]);
+    else
+      Rounds = std::atoi(Argv[I]);
+  }
+  if (Suites.empty()) {
+    Suites = {(fs::path(VCDRYAD_BENCHMARK_DIR) / "sll").string(),
+              (fs::path(VCDRYAD_BENCHMARK_DIR) / "expressos").string()};
+  }
+  if (Rounds < 1)
+    Rounds = 1;
+  if (!fs::is_regular_file(Tool)) {
+    std::fprintf(stderr, "error: no such binary: %s\n", Tool.c_str());
+    return 2;
+  }
+  for (const std::string &S : Suites)
+    if (!fs::is_directory(S)) {
+      std::fprintf(stderr, "error: no such suite: %s\n", S.c_str());
+      return 2;
+    }
+
+  fs::path Work = fs::temp_directory_path() / "vcd-remote-ab";
+  fs::remove_all(Work);
+  fs::create_directories(Work);
+  std::string Operands;
+  for (const std::string &S : Suites) {
+    Operands += " " + S;
+    std::printf("suite: %s\n", S.c_str());
+  }
+  std::printf("rounds: %d\n\n", Rounds);
+  std::string Quiet = " --json-times=off 2>/dev/null";
+
+  // The shared server, a real child process on a Unix socket.
+  std::string Sock = (Work / "cached.sock").string();
+  std::string Addr = "unix:" + Sock;
+  pid_t Server = fork();
+  if (Server < 0) {
+    std::fprintf(stderr, "error: fork failed\n");
+    return 1;
+  }
+  if (Server == 0) {
+    std::string Store = "--cache=" + (Work / "server").string();
+    std::string SockFlag = "--socket=" + Sock;
+    int Null = ::open("/dev/null", O_WRONLY);
+    if (Null >= 0) {
+      ::dup2(Null, 1);
+      ::dup2(Null, 2);
+    }
+    execl(Tool.c_str(), Tool.c_str(), "cached", Store.c_str(),
+          SockFlag.c_str(), "--shards=4", nullptr);
+    _exit(127);
+  }
+  for (int I = 0; !fs::exists(Sock); ++I) {
+    if (I > 100) {
+      std::fprintf(stderr, "error: cached server did not come up\n");
+      ::kill(Server, SIGKILL);
+      return 1;
+    }
+    ::usleep(100000);
+  }
+
+  // (a) fully cold: fresh cache, no remote.
+  std::vector<double> Cold;
+  for (int I = 0; I < Rounds; ++I) {
+    fs::path C = Work / ("cold" + std::to_string(I));
+    double Ms = timedRun(Tool + " batch" + Operands + " --cache=" +
+                         C.string() + " --out=/dev/null" + Quiet);
+    if (Ms < 0) {
+      std::fprintf(stderr, "error: cold batch failed\n");
+      ::kill(Server, SIGKILL);
+      return 1;
+    }
+    Cold.push_back(Ms);
+    std::printf("cold batch          round %d: %8.1f ms\n", I + 1, Ms);
+  }
+
+  // Client A populates the server (its own cold run + write-behind).
+  if (timedRun(Tool + " batch" + Operands + " --cache=" +
+               (Work / "cacheA").string() + " --remote-cache=" + Addr +
+               " --out=/dev/null" + Quiet) < 0) {
+    std::fprintf(stderr, "error: client A run failed\n");
+    ::kill(Server, SIGKILL);
+    return 1;
+  }
+
+  // (b) client B: cold local cache every round, warm remote.
+  std::vector<double> RemoteWarm;
+  bool ZeroSolve = true;
+  for (int I = 0; I < Rounds; ++I) {
+    fs::path C = Work / ("cacheB" + std::to_string(I));
+    std::string Rep = (Work / ("b" + std::to_string(I) + ".json")).string();
+    double Ms = timedRun(Tool + " batch" + Operands + " --cache=" +
+                         C.string() + " --remote-cache=" + Addr +
+                         " --out=" + Rep + Quiet);
+    if (Ms < 0) {
+      std::fprintf(stderr, "error: client B run failed\n");
+      ::kill(Server, SIGKILL);
+      return 1;
+    }
+    long Solved = jsonField(Rep, "solved_vcs");
+    if (Solved != 0) {
+      std::fprintf(stderr, "error: client B solved %ld VCs (want 0)\n",
+                   Solved);
+      ZeroSolve = false;
+    }
+    RemoteWarm.push_back(Ms);
+    std::printf("remote-warm batch   round %d: %8.1f ms "
+                "(solved_vcs=%ld)\n",
+                I + 1, Ms, Solved);
+  }
+
+  // Failure mode: SIGKILL the server; verdicts and (stripped) bytes
+  // must match a local-only run.
+  ::kill(Server, SIGKILL);
+  int Status = 0;
+  ::waitpid(Server, &Status, 0);
+  std::string DeadRep = (Work / "dead.json").string();
+  std::string LocalRep = (Work / "local.json").string();
+  bool DeadOk =
+      timedRun(Tool + " batch" + Operands + " --cache=" +
+               (Work / "cacheDead").string() + " --remote-cache=" + Addr +
+               " --remote-timeout-ms=500 --out=" + DeadRep + Quiet) >= 0 &&
+      timedRun(Tool + " batch" + Operands + " --cache=" +
+               (Work / "cacheLocal").string() + " --out=" + LocalRep +
+               Quiet) >= 0;
+  bool ByteStable = DeadOk && stripVariant(DeadRep) == stripVariant(LocalRep);
+  if (!ByteStable)
+    std::fprintf(stderr, "error: dead-server report differs from "
+                         "local-only report\n");
+
+  double ColdMs = mean(Cold), WarmMs = mean(RemoteWarm);
+  double Speedup = WarmMs > 0 ? ColdMs / WarmMs : 0.0;
+  std::printf("\n%-28s %10.1f ms\n", "cold batch (mean):", ColdMs);
+  std::printf("%-28s %10.1f ms\n", "remote-warm batch (mean):", WarmMs);
+  std::printf("\nremote-warm speedup: %.1fx over cold "
+              "(zero-solve: %s, dead-server byte-stable: %s)\n",
+              Speedup, ZeroSolve ? "yes" : "NO",
+              ByteStable ? "yes" : "NO");
+  fs::remove_all(Work);
+  return ZeroSolve && ByteStable && Speedup >= 5.0 ? 0 : 1;
+}

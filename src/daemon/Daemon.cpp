@@ -159,6 +159,17 @@ std::string Daemon::cacheStatsResponse() const {
     Out += ", \"cache_hits\": " + std::to_string(S.Hits);
     Out += ", \"cache_misses\": " + std::to_string(S.Misses);
     Out += ", \"cache_stores\": " + std::to_string(S.Stores);
+    Out += ", \"l1_hits\": " + std::to_string(S.L1Hits);
+    Out += ", \"l2_hits\": " + std::to_string(S.L2Hits);
+    Out += ", \"remote_hits\": " + std::to_string(S.RemoteHits);
+    Out += ", \"remote_misses\": " + std::to_string(S.RemoteMisses);
+    Out += ", \"remote_errors\": " + std::to_string(S.RemoteErrors);
+    Out += ", \"remote_wait_ms\": " + std::to_string(S.RemoteWaitMs);
+    Out += ", \"remote_enabled\": ";
+    Out += C->remoteAttached() ? "true" : "false";
+    if (C->remoteAttached())
+      Out += ", \"remote_cache\": \"" + jsonEscape(C->remoteAddress()) +
+             "\"";
     Out += ", \"cache_journal_bytes\": " + std::to_string(C->journalBytes());
     Out += ", \"cache_journal_recovered\": " +
            std::to_string(C->journalRecovered());

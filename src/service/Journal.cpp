@@ -8,8 +8,11 @@
 
 #include "support/Hash.h"
 
+#include <atomic>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
 
 #include <fcntl.h>
 #include <sys/file.h>
@@ -204,7 +207,8 @@ bool Journal::commit(const std::vector<std::string> &Records) {
     }
     Done += static_cast<size_t>(N);
   }
-  if (Ok && ::fdatasync(Fd) != 0 && errno != EINVAL && errno != ENOSYS) {
+  if (Ok && !noFsync() && ::fdatasync(Fd) != 0 && errno != EINVAL &&
+      errno != ENOSYS) {
     Error = "cannot sync journal '" + Path + "': " + std::strerror(errno);
     Ok = false;
   }
@@ -244,6 +248,25 @@ uint64_t Journal::sizeBytes() const {
   if (::fstat(Fd, &St) != 0)
     return 0;
   return static_cast<uint64_t>(St.st_size);
+}
+
+namespace {
+/// -1 = not yet decided (consult the environment on first query).
+std::atomic<int> NoFsyncFlag{-1};
+} // namespace
+
+void Journal::setNoFsync(bool V) {
+  NoFsyncFlag.store(V ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool Journal::noFsync() {
+  int V = NoFsyncFlag.load(std::memory_order_relaxed);
+  if (V < 0) {
+    const char *Env = std::getenv("VCDRYAD_NO_FSYNC");
+    V = (Env && *Env && std::string_view(Env) != "0") ? 1 : 0;
+    NoFsyncFlag.store(V, std::memory_order_relaxed);
+  }
+  return V == 1;
 }
 
 void Journal::lock() {

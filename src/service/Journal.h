@@ -113,6 +113,16 @@ public:
   void lock();
   void unlock();
 
+  /// Process-wide throughput switch: skip the per-transaction
+  /// fdatasync. Framing still discards torn tails, so crash
+  /// *consistency* is unaffected; crash *durability* degrades to the
+  /// OS writeback interval (a kill -9 can lose the last few commits,
+  /// which merely re-solve). Meant for cache servers and CI runners on
+  /// slow disks. Defaults to off unless VCDRYAD_NO_FSYNC is set to a
+  /// non-"0" value in the environment.
+  static void setNoFsync(bool V);
+  static bool noFsync();
+
 private:
   std::string Path;
   std::string Error;

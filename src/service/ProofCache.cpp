@@ -1,4 +1,4 @@
-//===- ProofCache.cpp - Content-addressed proof result cache ---------------==//
+//===- ProofCache.cpp - Tiered content-addressed proof cache ---------------==//
 //
 // Part of the VCDryad-Repro project.
 //
@@ -8,10 +8,12 @@
 
 #include "support/Hash.h"
 #include "support/StringUtil.h"
+#include "wire/RemoteCache.h"
 
 #include <algorithm>
 #include <atomic>
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -27,6 +29,10 @@ using namespace vcdryad::service;
 namespace fs = std::filesystem;
 
 namespace {
+
+/// Write-behind batch size: the outbox is shipped to the server once
+/// it holds this many records (and unconditionally at flush).
+constexpr size_t OutboxBatch = 128;
 
 /// Parses one store line ("<16-hex key> V <time_ms>"). Strict: the
 /// time field must be a full, garbage-free number. std::from_chars is
@@ -59,6 +65,10 @@ std::string formatMs(double Ms) {
          std::string(3 - Frac.size(), '0') + Frac;
 }
 
+std::string storeLine(uint64_t Key, double Ms) {
+  return hashToHex(Key) + " V " + formatMs(Ms);
+}
+
 } // namespace
 
 ProofCache::ProofCache(std::string DirIn) : Dir(std::move(DirIn)) {
@@ -83,7 +93,7 @@ ProofCache::ProofCache(std::string DirIn) : Dir(std::move(DirIn)) {
       // Last write wins on duplicate keys (a pre-atomic store could
       // carry appended duplicates); flush() compacts to one line per
       // key, so the dedupe also self-heals the store.
-      Entries[Key] = Entry{Ms, false};
+      Entries[Key] = Entry{Ms, false, Origin::Disk};
     }
   }
   // Replay the write-ahead journal on top of the snapshot: results a
@@ -99,18 +109,30 @@ ProofCache::ProofCache(std::string DirIn) : Dir(std::move(DirIn)) {
     double Ms = 0.0;
     if (!parseStoreLine(trim(Rec), Key, Ms))
       continue;
-    Entries.insert_or_assign(Key, Entry{Ms, true});
+    Entries.insert_or_assign(Key, Entry{Ms, true, Origin::Disk});
     ++JournalRecovered;
   }
 }
 
-ProofCache::~ProofCache() { flush(); }
+ProofCache::~ProofCache() {
+  flush();
+  stopWorker();
+}
 
 std::string ProofCache::storePath() const {
   return (fs::path(Dir) / "proofs-v1.txt").string();
 }
 
 void ProofCache::flush() {
+  // Ship locally proven results to the server before compacting, and
+  // let in-flight remote work land — bounded, so a wedged server can
+  // only delay exit by the remote deadline budget, never hang it.
+  if (Remote) {
+    std::unique_lock<std::mutex> Lock(RemoteMu);
+    drainOutboxLocked(/*Force=*/true);
+    awaitWorkerLocked(Lock, Remote->timeoutMs() * 3 + 1000);
+  }
+
   std::lock_guard<std::mutex> Lock(Mu);
   if (Dir.empty())
     return;
@@ -159,7 +181,7 @@ void ProofCache::flush() {
       uint64_t Key = 0;
       double Ms = 0.0;
       if (parseStoreLine(trim(Line), Key, Ms))
-        Entries.try_emplace(Key, Entry{Ms, false});
+        Entries.try_emplace(Key, Entry{Ms, false, Origin::Disk});
     }
   }
   // And records siblings committed to the journal since our load.
@@ -167,7 +189,7 @@ void ProofCache::flush() {
     uint64_t Key = 0;
     double Ms = 0.0;
     if (parseStoreLine(trim(Rec), Key, Ms))
-      Entries.try_emplace(Key, Entry{Ms, false});
+      Entries.try_emplace(Key, Entry{Ms, false, Origin::Disk});
   }
 
   // Write the union to a temp file in the same directory, then
@@ -222,35 +244,300 @@ void ProofCache::flush() {
   Unlock();
 }
 
-std::optional<smt::CheckResult> ProofCache::lookup(uint64_t Key) {
-  std::lock_guard<std::mutex> Lock(Mu);
-  auto It = Entries.find(Key);
-  if (It == Entries.end()) {
-    ++Stats.Misses;
-    return std::nullopt;
+void ProofCache::countHit(const Entry &E) {
+  switch (E.From) {
+  case Origin::Session:
+    ++Stats.L1Hits;
+    break;
+  case Origin::Disk:
+    ++Stats.L2Hits;
+    break;
+  case Origin::Remote:
+    ++Stats.RemoteHits;
+    break;
   }
-  ++Stats.Hits;
-  smt::CheckResult R;
-  R.Status = smt::CheckStatus::Valid;
-  R.TimeMs = It->second.TimeMs;
-  R.Detail = "(cached)";
-  return R;
 }
 
-void ProofCache::store(uint64_t Key, const smt::CheckResult &Result) {
+std::optional<smt::CheckResult> ProofCache::lookup(uint64_t Key,
+                                                   uint64_t AliasKey) {
+  for (bool Waited = false;; Waited = true) {
+    bool PushCanonical = false;
+    double PromotedMs = 0.0;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      auto It = Entries.find(Key);
+      if (It == Entries.end() && AliasKey != 0) {
+        auto AIt = Entries.find(AliasKey);
+        if (AIt != Entries.end()) {
+          // Slice-alias hit: the sliced obligation is proven, and it
+          // is the weaker fact, so this obligation follows. Promote to
+          // the canonical key so future runs (and the fleet, via
+          // write-behind) hit directly. Not a Stores bump — promotion
+          // records no new proof — and no per-promotion journal fsync:
+          // the entry reaches the snapshot at the next compaction, and
+          // losing it merely re-promotes from the still-present alias.
+          Entry Promoted = AIt->second;
+          Promoted.Dirty = true;
+          It = Entries.emplace(Key, Promoted).first;
+          PushCanonical = Remote != nullptr;
+          PromotedMs = Promoted.TimeMs;
+        }
+      }
+      if (It != Entries.end()) {
+        ++Stats.Hits;
+        countHit(It->second);
+        smt::CheckResult R;
+        R.Status = smt::CheckStatus::Valid;
+        R.TimeMs = It->second.TimeMs;
+        R.Detail = "(cached)";
+        if (!PushCanonical)
+          return R;
+        // Outbox touch happens outside Mu (lock discipline: never hold
+        // both), so finish the map work first.
+        std::lock_guard<std::mutex> RLock(RemoteMu);
+        Outbox.push_back(OutRecord{Key, PromotedMs});
+        drainOutboxLocked(/*Force=*/false);
+        return R;
+      }
+    }
+    // Miss so far. If the key is still in remote prefetch flight, wait
+    // (bounded) for the fetch to land and look again — once.
+    if (Waited || !Remote)
+      break;
+    {
+      std::unique_lock<std::mutex> Lock(RemoteMu);
+      auto Pending = [&] {
+        return InFlight.count(Key) != 0 ||
+               (AliasKey != 0 && InFlight.count(AliasKey) != 0);
+      };
+      if (!Pending())
+        break;
+      auto Start = std::chrono::steady_clock::now();
+      IdleCv.wait_for(Lock,
+                      std::chrono::milliseconds(Remote->timeoutMs() * 3 +
+                                                500),
+                      [&] { return !Pending(); });
+      RemoteWaitUs += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - Start)
+              .count());
+    }
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.Misses;
+  return std::nullopt;
+}
+
+void ProofCache::store(uint64_t Key, const smt::CheckResult &Result,
+                       uint64_t AliasKey) {
   if (Result.Status != smt::CheckStatus::Valid)
     return;
+  std::vector<OutRecord> Push;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    std::vector<std::string> Lines;
+    auto [It, Inserted] = Entries.try_emplace(Key);
+    if (Inserted) {
+      It->second = Entry{Result.TimeMs, true, Origin::Session};
+      ++Stats.Stores;
+      Lines.push_back(storeLine(Key, Result.TimeMs));
+      if (Remote)
+        Push.push_back(OutRecord{Key, Result.TimeMs});
+    }
+    if (AliasKey != 0) {
+      // The slice-alias entry: the proof established the *sliced*
+      // obligation (caller guarantees it), which is the reusable,
+      // weaker fact. Same transaction, not a separate Store — reports
+      // count proofs, not index entries.
+      auto [AIt, AliasInserted] = Entries.try_emplace(AliasKey);
+      if (AliasInserted) {
+        AIt->second = Entry{Result.TimeMs, true, Origin::Session};
+        Lines.push_back(storeLine(AliasKey, Result.TimeMs));
+        if (Remote)
+          Push.push_back(OutRecord{AliasKey, Result.TimeMs});
+      }
+    }
+    if (Lines.empty())
+      return;
+    // Journal the entries now: from this moment a kill -9 cannot lose
+    // them, whether or not a compaction ever runs. (Journal IO errors
+    // degrade to snapshot-only durability; flush() still persists.)
+    Wal.commit(Lines);
+  }
+  if (!Push.empty()) {
+    std::lock_guard<std::mutex> RLock(RemoteMu);
+    for (OutRecord &R : Push)
+      Outbox.push_back(R);
+    drainOutboxLocked(/*Force=*/false);
+  }
+}
+
+size_t ProofCache::storeBatch(
+    const std::vector<std::pair<uint64_t, double>> &Records) {
   std::lock_guard<std::mutex> Lock(Mu);
-  auto [It, Inserted] = Entries.try_emplace(Key);
-  if (!Inserted)
+  std::vector<std::string> Lines;
+  size_t Inserted = 0;
+  for (const auto &[Key, Ms] : Records) {
+    auto [It, DidInsert] = Entries.try_emplace(Key);
+    if (!DidInsert)
+      continue;
+    It->second = Entry{Ms, true, Origin::Session};
+    ++Stats.Stores;
+    ++Inserted;
+    Lines.push_back(storeLine(Key, Ms));
+  }
+  // One journal transaction — one fsync — for the whole batch; this is
+  // what makes server-side put-batches and bulk imports cheap.
+  if (!Lines.empty())
+    Wal.commit(Lines);
+  return Inserted;
+}
+
+void ProofCache::attachRemote(std::unique_ptr<wire::RemoteCache> RemoteIn,
+                              uint64_t OptionsHash) {
+  if (!RemoteIn || Remote)
     return;
-  It->second.TimeMs = Result.TimeMs;
-  It->second.Dirty = true;
-  ++Stats.Stores;
-  // Journal the entry now: from this moment a kill -9 cannot lose it,
-  // whether or not a compaction ever runs. (Journal IO errors degrade
-  // to snapshot-only durability; flush() still persists the entry.)
-  Wal.commit(hashToHex(Key) + " V " + formatMs(Result.TimeMs));
+  Remote = std::move(RemoteIn);
+  RemoteOptionsHash = OptionsHash;
+  Worker = std::thread([this] { workerMain(); });
+}
+
+std::string ProofCache::remoteAddress() const {
+  return Remote ? Remote->address() : std::string();
+}
+
+void ProofCache::prefetchAsync(const std::vector<uint64_t> &Keys) {
+  if (!Remote)
+    return;
+  std::vector<uint64_t> Need;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (uint64_t K : Keys)
+      if (K != 0 && Entries.count(K) == 0)
+        Need.push_back(K);
+  }
+  if (Need.empty())
+    return;
+  std::lock_guard<std::mutex> RLock(RemoteMu);
+  RemoteJob Job;
+  Job.Kind = RemoteJob::Fetch;
+  for (uint64_t K : Need)
+    if (InFlight.insert(K).second) // Also dedupes within the batch.
+      Job.Keys.push_back(K);
+  if (!Job.Keys.empty())
+    enqueueLocked(std::move(Job));
+}
+
+void ProofCache::enqueueLocked(RemoteJob Job) {
+  Queue.push_back(std::move(Job));
+  QueueCv.notify_one();
+}
+
+void ProofCache::drainOutboxLocked(bool Force) {
+  if (Outbox.empty() || (!Force && Outbox.size() < OutboxBatch))
+    return;
+  RemoteJob Job;
+  Job.Kind = RemoteJob::Push;
+  Job.Records = std::move(Outbox);
+  Outbox.clear();
+  enqueueLocked(std::move(Job));
+}
+
+void ProofCache::awaitWorkerLocked(std::unique_lock<std::mutex> &Lock,
+                                   unsigned BudgetMs) {
+  auto Start = std::chrono::steady_clock::now();
+  IdleCv.wait_for(Lock, std::chrono::milliseconds(BudgetMs),
+                  [&] { return Queue.empty() && !WorkerBusy; });
+  RemoteWaitUs += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+}
+
+void ProofCache::workerMain() {
+  std::unique_lock<std::mutex> Lock(RemoteMu);
+  for (;;) {
+    QueueCv.wait(Lock, [&] { return WorkerStop || !Queue.empty(); });
+    if (Queue.empty())
+      return; // Stop requested and nothing left to drain.
+    RemoteJob Job = std::move(Queue.front());
+    Queue.pop_front();
+    WorkerBusy = true;
+    Lock.unlock();
+    if (Job.Kind == RemoteJob::Fetch)
+      runFetch(std::move(Job.Keys));
+    else
+      runPush(std::move(Job.Records));
+    Lock.lock();
+    WorkerBusy = false;
+    IdleCv.notify_all();
+  }
+}
+
+void ProofCache::runFetch(std::vector<uint64_t> Keys) {
+  std::vector<wire::ProofRecord> Found;
+  std::string Error;
+  bool Ok = Remote->multiGet(RemoteOptionsHash, Keys, Found, Error);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Ok) {
+      std::vector<std::string> Lines;
+      for (const wire::ProofRecord &R : Found) {
+        auto [It, Inserted] = Entries.try_emplace(R.VcHash);
+        if (!Inserted)
+          continue;
+        double Ms = static_cast<double>(R.SolveTimeMicros) / 1000.0;
+        // Remote-fetched entries persist locally (journal-first, like
+        // everything else) so the *next* run hits in L2 without a
+        // network round-trip — but they are not Stores: that counter
+        // means proofs this client contributed.
+        It->second = Entry{Ms, true, Origin::Remote};
+        Lines.push_back(storeLine(R.VcHash, Ms));
+      }
+      if (!Lines.empty())
+        Wal.commit(Lines); // One fsync for the whole prefetch batch.
+      if (Found.size() < Keys.size())
+        Stats.RemoteMisses += Keys.size() - Found.size();
+    } else {
+      ++Stats.RemoteErrors;
+    }
+  }
+  std::lock_guard<std::mutex> RLock(RemoteMu);
+  for (uint64_t K : Keys)
+    InFlight.erase(K);
+  IdleCv.notify_all();
+}
+
+void ProofCache::runPush(std::vector<OutRecord> Records) {
+  std::vector<wire::ProofRecord> Recs;
+  Recs.reserve(Records.size());
+  for (const OutRecord &R : Records) {
+    wire::ProofRecord P;
+    P.VcHash = R.Key;
+    P.OptionsHash = RemoteOptionsHash;
+    P.SolveTimeMicros = static_cast<uint64_t>(
+        std::llround(std::max(R.TimeMs, 0.0) * 1000.0));
+    Recs.push_back(std::move(P));
+  }
+  uint32_t Accepted = 0;
+  std::string Error;
+  if (!Remote->putBatch(Recs, Accepted, Error)) {
+    // Dropped on the floor by design: the records are locally durable,
+    // the server just does not learn them this run.
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Stats.RemoteErrors;
+  }
+}
+
+void ProofCache::stopWorker() {
+  {
+    std::lock_guard<std::mutex> Lock(RemoteMu);
+    if (!Worker.joinable())
+      return;
+    WorkerStop = true;
+    QueueCv.notify_all();
+  }
+  Worker.join();
 }
 
 bool ProofCache::contains(uint64_t Key) const {
@@ -264,8 +551,14 @@ uint64_t ProofCache::journalBytes() const {
 }
 
 CacheStats ProofCache::stats() const {
-  std::lock_guard<std::mutex> Lock(Mu);
-  return Stats;
+  CacheStats S;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    S = Stats;
+  }
+  std::lock_guard<std::mutex> RLock(RemoteMu);
+  S.RemoteWaitMs = RemoteWaitUs / 1000;
+  return S;
 }
 
 size_t ProofCache::size() const {

@@ -1,4 +1,4 @@
-//===- ProofCache.h - Content-addressed proof result cache ------*- C++ -*-==//
+//===- ProofCache.h - Tiered content-addressed proof cache ------*- C++ -*-==//
 //
 // Part of the VCDryad-Repro project.
 //
@@ -14,6 +14,34 @@
 /// in-memory map and persist to a versioned on-disk store, so
 /// re-verifying an unchanged routine is a pure cache hit and corpus
 /// re-runs / CI become incremental.
+///
+/// The cache is *tiered*:
+///   L1  this process's in-memory map (entries proven this session)
+///   L2  the local journaled on-disk store (entries loaded at open)
+///   L3  an optional remote proof-cache server (`vcdryad cached`),
+///       attached with attachRemote(): a fleet of clients shares one
+///       store, so a VC proven on any machine is a hit on all others.
+/// L1/L2 share the map; the tier split is an origin tag per entry, so
+/// hit statistics attribute each hit to the tier that earned it.
+///
+/// The remote tier is asynchronous and *never* on the solve path:
+/// the scheduler batches one multi-get per function (prefetchAsync)
+/// before dispatch, a single background worker performs the RPC and
+/// folds the results into the map, and lookup() at solve time waits
+/// (bounded) only for keys still in flight. Locally proven results
+/// ride back on write-behind put-batches. Every remote failure mode —
+/// server down, timeout, malformed reply — degrades silently to
+/// local-only operation: verdicts are never affected, failures
+/// surface only as counters (RemoteErrors).
+///
+/// Slice-alias keys: a VC proven via its cone-of-influence slice may
+/// carry a second key, the hash of the *sliced* obligation. lookup()
+/// accepts that alias and, on an alias hit, promotes the entry to the
+/// canonical key. Soundness is directional: the sliced guard is a
+/// weaker hypothesis, so a recorded sliced-obligation proof justifies
+/// any obligation that slices to it; callers only *record* the alias
+/// when the proof actually established the sliced form (see
+/// Service.cpp's AliasSound gate).
 ///
 /// Persistence policy: only Valid outcomes are stored. Invalid results
 /// re-solve so counterexample models stay fresh, and Unknown results
@@ -49,19 +77,39 @@
 #include "service/Journal.h"
 #include "smt/Solver.h"
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace vcdryad {
+
+namespace wire {
+class RemoteCache;
+}
+
 namespace service {
 
 struct CacheStats {
   uint64_t Hits = 0;   ///< lookup() returned a result.
   uint64_t Misses = 0; ///< lookup() found nothing.
   uint64_t Stores = 0; ///< New entries accepted this session.
+  // Per-tier attribution of Hits (L1Hits + L2Hits + RemoteHits == Hits).
+  uint64_t L1Hits = 0;     ///< Served by an entry proven this session.
+  uint64_t L2Hits = 0;     ///< Served by the local on-disk store.
+  uint64_t RemoteHits = 0; ///< Served by a remote-fetched entry.
+  // Remote-tier health (all zero when no remote is attached).
+  uint64_t RemoteMisses = 0; ///< Keys the server was asked for and lacked.
+  uint64_t RemoteErrors = 0; ///< Failed remote operations (degraded ops).
+  uint64_t RemoteWaitMs = 0; ///< Total time lookups blocked on prefetch.
 };
 
 class ProofCache {
@@ -74,19 +122,33 @@ public:
   /// operation; openError() reports them.
   explicit ProofCache(std::string Dir);
 
+  /// Stops the remote worker (draining the write-behind outbox), then
+  /// compacts the store.
+  ~ProofCache();
+
   /// Compacts the store: atomically replaces the snapshot (temp file
   /// + rename) with the union of this cache and the current on-disk
   /// entries (snapshot and journal), under an advisory lock, then
-  /// truncates the journal. Called by the destructor; safe to call
-  /// repeatedly and safe against concurrent flushers in other
-  /// processes or threads. Entries are already journal-durable before
-  /// flush ever runs.
-  ~ProofCache();
+  /// truncates the journal. First drains the remote write-behind
+  /// outbox (bounded wait) so a batch run's proofs reach the server
+  /// before exit. Called by the destructor; safe to call repeatedly
+  /// and safe against concurrent flushers in other processes or
+  /// threads. Entries are already journal-durable before flush ever
+  /// runs.
   void flush();
 
   /// Returns the cached outcome for \p Key, if any. Hit results carry
   /// TimeMs of the *original* solve and a "(cached)" detail marker.
-  std::optional<smt::CheckResult> lookup(uint64_t Key);
+  ///
+  /// \p AliasKey, when nonzero, is the slice-alias of the same
+  /// obligation (hash of its cone-of-influence-sliced form): if the
+  /// canonical key misses but the alias is resident, the entry is
+  /// promoted to \p Key (a hit; Stores is *not* bumped — promotion is
+  /// not a new proof). If either key is still in remote prefetch
+  /// flight, waits for the fetch (bounded by the remote deadline)
+  /// before deciding.
+  std::optional<smt::CheckResult> lookup(uint64_t Key,
+                                         uint64_t AliasKey = 0);
 
   /// True when \p Key is resident, *without* touching the hit/miss
   /// statistics — the cache-aware scheduler's dispatch-ordering probe
@@ -94,8 +156,33 @@ public:
   bool contains(uint64_t Key) const;
 
   /// Records an outcome. Only Valid results are kept (see file
-  /// comment); everything else is ignored.
-  void store(uint64_t Key, const smt::CheckResult &Result);
+  /// comment); everything else is ignored. A nonzero \p AliasKey
+  /// additionally records the slice-alias entry (same transaction,
+  /// not counted in Stores) — pass it only when the proof established
+  /// the *sliced* obligation (the alias is the weaker fact).
+  void store(uint64_t Key, const smt::CheckResult &Result,
+             uint64_t AliasKey = 0);
+
+  /// Batch insert of already-proven Valid records (server put-batches,
+  /// peer imports): one journal transaction — one fsync — for the
+  /// whole batch. Returns the number of newly inserted entries
+  /// (duplicates are ignored); each insertion counts in Stores.
+  size_t storeBatch(const std::vector<std::pair<uint64_t, double>> &Records);
+
+  /// Attaches the remote (L3) tier and starts the prefetch worker.
+  /// \p OptionsHash salts the server-side store key (defense in depth
+  /// on top of the options salt already folded into every VC hash).
+  void attachRemote(std::unique_ptr<wire::RemoteCache> Remote,
+                    uint64_t OptionsHash);
+  bool remoteAttached() const { return Remote != nullptr; }
+  /// The attached server address ("" when none).
+  std::string remoteAddress() const;
+
+  /// Queues an asynchronous remote multi-get for the subset of
+  /// \p Keys not already resident. No-op without a remote tier.
+  /// lookup() on these keys will wait for the fetch if it has not
+  /// landed yet.
+  void prefetchAsync(const std::vector<uint64_t> &Keys);
 
   CacheStats stats() const;
 
@@ -112,12 +199,42 @@ public:
   uint64_t journalBytes() const;
 
 private:
+  /// Which tier an entry came from (attribution of later hits).
+  enum class Origin : uint8_t { Session, Disk, Remote };
+
   struct Entry {
     double TimeMs = 0.0;
     bool Dirty = false; ///< Not yet in the snapshot.
+    Origin From = Origin::Session;
+  };
+
+  /// A locally proven record awaiting write-behind to the server.
+  struct OutRecord {
+    uint64_t Key = 0;
+    double TimeMs = 0.0;
+  };
+
+  struct RemoteJob {
+    enum Kind { Fetch, Push } Kind = Fetch;
+    std::vector<uint64_t> Keys;      ///< Fetch: keys to multi-get.
+    std::vector<OutRecord> Records;  ///< Push: records to put-batch.
   };
 
   std::string storePath() const;
+  void countHit(const Entry &E);
+  /// Enqueues a job for the worker. Caller holds RemoteMu.
+  void enqueueLocked(RemoteJob Job);
+  /// Moves the outbox into a Push job if it is ripe (or \p Force).
+  /// Caller holds RemoteMu.
+  void drainOutboxLocked(bool Force);
+  /// Blocks until the worker queue is empty, bounded. Caller holds
+  /// RemoteMu; wait time is charged to RemoteWaitUs.
+  void awaitWorkerLocked(std::unique_lock<std::mutex> &Lock,
+                         unsigned BudgetMs);
+  void workerMain();
+  void runFetch(std::vector<uint64_t> Keys);
+  void runPush(std::vector<OutRecord> Records);
+  void stopWorker();
 
   mutable std::mutex Mu;
   std::string Dir; ///< Empty: in-memory only.
@@ -126,6 +243,22 @@ private:
   CacheStats Stats;
   Journal Wal;
   size_t JournalRecovered = 0;
+
+  // Remote (L3) tier. RemoteMu guards everything below; it is never
+  // held together with Mu (both the worker and lookup() release one
+  // before taking the other), so there is no lock order to violate.
+  std::unique_ptr<wire::RemoteCache> Remote;
+  uint64_t RemoteOptionsHash = 0;
+  std::thread Worker;
+  mutable std::mutex RemoteMu;
+  std::condition_variable QueueCv;  ///< Worker wakeup.
+  std::condition_variable IdleCv;   ///< Fetch-landed / queue-drained.
+  std::deque<RemoteJob> Queue;
+  std::unordered_set<uint64_t> InFlight; ///< Keys being fetched.
+  std::vector<OutRecord> Outbox;
+  bool WorkerStop = false;
+  bool WorkerBusy = false;
+  uint64_t RemoteWaitUs = 0; ///< Microseconds lookups spent blocked.
 };
 
 } // namespace service

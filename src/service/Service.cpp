@@ -14,6 +14,7 @@
 #include "support/StringUtil.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
+#include "wire/RemoteCache.h"
 
 #include <algorithm>
 #include <atomic>
@@ -176,6 +177,15 @@ struct VCSlot {
   /// Canonical cache key (full guard, full budget); computed during
   /// the fast pass so escalation stores without re-hashing.
   uint64_t Key = 0;
+  /// Slice-alias key: the hash of the cone-of-influence-sliced form of
+  /// the same obligation. 0 when the slice is not proper (nothing was
+  /// sliced away) or the cache is off. Always sound to *look up* (the
+  /// sliced guard is the weaker hypothesis).
+  uint64_t AliasKey = 0;
+  /// True when a fast-pass session proof of this VC establishes
+  /// exactly the sliced obligation (the asserted prefix is contained
+  /// in the slice), making it sound to *record* under AliasKey.
+  bool AliasSound = false;
   /// Time spent on this obligation in the fast session pass.
   double FastMs = 0.0;
   bool Trivial = false;   ///< Settled without any solver call.
@@ -251,6 +261,18 @@ VerificationService::VerificationService(ServiceOptions OptsIn)
   if (!Opts.CacheDir.empty())
     Cache = std::make_unique<ProofCache>(Opts.CacheDir);
 
+  // The remote (L3) tier rides on the local cache: prefetched results
+  // land in the local store, locally proven results write behind to
+  // the server. No local cache, no remote tier.
+  if (Cache && !Opts.RemoteAddress.empty()) {
+    wire::RemoteClientOptions RC;
+    RC.Address = Opts.RemoteAddress;
+    if (Opts.RemoteTimeoutMs != 0)
+      RC.TimeoutMs = Opts.RemoteTimeoutMs;
+    Cache->attachRemote(std::make_unique<wire::RemoteCache>(std::move(RC)),
+                        optionsFingerprint(Opts.Verify));
+  }
+
   // Incremental re-verification: a persisted function-level manifest
   // beside the proof cache. Disabled without a cache directory, and in
   // the quantified-axiom ablation mode, where whole-program background
@@ -292,6 +314,10 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
   if (Cache) {
     Rep.CacheEnabled = true;
     Rep.CacheDir = Opts.CacheDir;
+    if (Cache->remoteAttached()) {
+      Rep.RemoteEnabled = true;
+      Rep.RemoteCacheAddress = Cache->remoteAddress();
+    }
   }
   if (Manifest) {
     Rep.IncrementalEnabled = true;
@@ -449,38 +475,88 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
     return *WS.Solver;
   };
 
-  // Cache-aware dispatch order: probe each obligation's canonical key
-  // against the proof cache (contains() — no hit/miss traffic) and
-  // start the functions with the highest cached fraction first, so
-  // warm work drains early and cold solves occupy the tail. The keys
-  // computed here are kept in the slots and reused by the fast pass,
-  // which hashes each obligation at most once either way. Verdict-
-  // and report-neutral: aggregation stays source-ordered and the
-  // counted lookup() still happens at solve time.
+  // Key pass: hash every non-trivial obligation once, up front — the
+  // canonical key, and, when the cone-of-influence slice is proper,
+  // the slice-alias key (the hash of the sliced obligation). The
+  // slots keep both; the fast pass, escalation, stores and remote
+  // prefetch all reuse them without re-hashing. AliasSound marks VCs
+  // whose fast-pass session asserts exactly the sliced conjunct set
+  // (asserted prefix contained in the slice), where a session proof
+  // may be *recorded* under the alias; lookups through the alias are
+  // sound unconditionally (the sliced guard is weaker).
   std::vector<FuncJob *> Order;
   Order.reserve(Jobs2.size());
   for (FuncJob &J : Jobs2)
     Order.push_back(&J);
-  if (Cache && Opts.CacheAware) {
+  if (Cache) {
     for (FuncJob &J : Jobs2) {
+      const size_t PrefixLen =
+          verifier::Verifier::commonGuardPrefix(J.FO->VCs);
       unsigned Probed = 0, Resident = 0;
       for (size_t K = 0; K != J.FO->VCs.size(); ++K) {
         const vir::VC &VC = J.FO->VCs[K];
         if (verifier::Verifier::triviallyValid(VC))
           continue; // The fast pass never hashes these either.
-        J.Slots[K].Key = smt::hashObligation(
+        VCSlot &S = J.Slots[K];
+        S.Key = smt::hashObligation(
             VC.Guard, VC.Cond, FileSolverOpts[J.FileIdx], Fingerprint);
+        if (VC.Preprocessed && VC.Sliced.size() < VC.Conjuncts.size()) {
+          S.AliasKey =
+              smt::hashObligation(VC.slicedGuard(), VC.Cond,
+                                  FileSolverOpts[J.FileIdx], Fingerprint);
+          // Prefix ⊆ slice? Sliced is ascending, so the prefix is
+          // contained iff its first PrefixLen entries are 0..P-1 —
+          // and then a session check (prefix + sliced extras past the
+          // prefix) asserts the slice exactly.
+          bool PrefixInSlice = VC.Sliced.size() >= PrefixLen;
+          for (size_t P = 0; PrefixInSlice && P != PrefixLen; ++P)
+            PrefixInSlice = VC.Sliced[P] == static_cast<uint32_t>(P);
+          S.AliasSound = PrefixInSlice;
+        }
         ++Probed;
-        if (Cache->contains(J.Slots[K].Key))
+        if (Cache->contains(S.Key) ||
+            (S.AliasKey != 0 && Cache->contains(S.AliasKey)))
           ++Resident;
       }
       J.CachedFrac =
           Probed ? static_cast<double>(Resident) / Probed : 1.0;
     }
-    std::stable_sort(Order.begin(), Order.end(),
-                     [](const FuncJob *A, const FuncJob *B) {
-                       return A->CachedFrac > B->CachedFrac;
-                     });
+    // Cache-aware dispatch order: start the functions with the
+    // highest cached fraction first, so warm work drains early and
+    // cold solves occupy the tail. Verdict- and report-neutral:
+    // aggregation stays source-ordered, the probe above used
+    // contains() (no hit/miss traffic), and the counted lookup()
+    // still happens at solve time.
+    if (Opts.CacheAware)
+      std::stable_sort(Order.begin(), Order.end(),
+                       [](const FuncJob *A, const FuncJob *B) {
+                         return A->CachedFrac > B->CachedFrac;
+                       });
+  }
+
+  // Remote prefetch: one batched multi-get per function, in dispatch
+  // order, before any solver dispatch — by the time a worker reaches
+  // a function, its remote results have usually landed in the local
+  // map. Keys already resident are filtered inside prefetchAsync
+  // (stat-neutral); alias keys ride along so a fleet sibling's sliced
+  // proof is found too. The vacuity probe's key is hashed here the
+  // same way solveOne will re-derive it.
+  if (Cache && Cache->remoteAttached()) {
+    for (FuncJob *J : Order) {
+      std::vector<uint64_t> Keys;
+      Keys.reserve(2 * J->Slots.size() + 1);
+      if (J->VacuityProbe)
+        Keys.push_back(smt::hashObligation(
+            J->VacuityProbe->Guard, vir::mkBool(false),
+            FileSolverOpts[J->FileIdx], Fingerprint));
+      for (const VCSlot &S : J->Slots) {
+        if (S.Key != 0)
+          Keys.push_back(S.Key);
+        if (S.AliasKey != 0)
+          Keys.push_back(S.AliasKey);
+      }
+      Cache->prefetchAsync(Keys);
+    }
   }
 
   // The timeout-escalation ladder: a per-function fast pass (scoped
@@ -533,7 +609,7 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
     VCSlot &S = Idx < 0 ? J.Vacuity : J.Slots[Idx];
     bool Solve = true;
     if (Cache && CacheLookup) {
-      if (auto Hit = Cache->lookup(Key)) {
+      if (auto Hit = Cache->lookup(Key, Idx >= 0 ? S.AliasKey : 0)) {
         CR = *Hit;
         Solve = false;
         S.FromCache = true; // Vacuity hits count too (solved_vcs math).
@@ -578,10 +654,10 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
         continue;
       }
       if (Cache) {
-        if (!S.Key) // The cache-aware probe may have hashed it already.
+        if (!S.Key) // The key pass hashed it already (non-trivial VCs).
           S.Key = smt::hashObligation(
               VC.Guard, VC.Cond, FileSolverOpts[J.FileIdx], Fingerprint);
-        if (auto Hit = Cache->lookup(S.Key)) {
+        if (auto Hit = Cache->lookup(S.Key, S.AliasKey)) {
           S.R = *Hit;
           S.Solved = true;
           S.FromCache = true;
@@ -624,11 +700,15 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
       if (CR.Status == smt::CheckStatus::Valid) {
         // Valid under a weaker guard and shorter budget is Valid for
         // the canonical obligation, so the cache may keep it under
-        // the canonical key.
+        // the canonical key. When the session asserted exactly the
+        // sliced conjunct set (AliasSound), the proof also *is* a
+        // proof of the sliced obligation — record the alias too, so
+        // any sibling VC (here or fleet-wide) that slices to the same
+        // reduced form hits without solving.
         S.Solved = true;
         S.R = std::move(CR);
         if (Cache)
-          Cache->store(S.Key, S.R);
+          Cache->store(S.Key, S.R, S.AliasSound ? S.AliasKey : 0);
       }
     }
   };
@@ -938,6 +1018,12 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
     Rep.Cache.Hits = S.Hits - Cache0.Hits;
     Rep.Cache.Misses = S.Misses - Cache0.Misses;
     Rep.Cache.Stores = S.Stores - Cache0.Stores;
+    Rep.Cache.L1Hits = S.L1Hits - Cache0.L1Hits;
+    Rep.Cache.L2Hits = S.L2Hits - Cache0.L2Hits;
+    Rep.Cache.RemoteHits = S.RemoteHits - Cache0.RemoteHits;
+    Rep.Cache.RemoteMisses = S.RemoteMisses - Cache0.RemoteMisses;
+    Rep.Cache.RemoteErrors = S.RemoteErrors - Cache0.RemoteErrors;
+    Rep.Cache.RemoteWaitMs = S.RemoteWaitMs - Cache0.RemoteWaitMs;
   }
   if (Manifest) {
     Manifest->flush();
@@ -1107,6 +1193,21 @@ std::string service::toJson(const BatchReport &Rep, bool IncludeTimes,
   W.field("hits", Rep.Cache.Hits);
   W.field("misses", Rep.Cache.Misses);
   W.field("stores", Rep.Cache.Stores);
+  // Tier attribution (l1 = this session's proofs, l2 = the local
+  // store, remote = the fleet server). Always present so consumers
+  // need no feature detection; all zero when the tiers are off.
+  W.field("l1_hits", Rep.Cache.L1Hits);
+  W.field("l2_hits", Rep.Cache.L2Hits);
+  W.field("remote_hits", Rep.Cache.RemoteHits);
+  W.field("remote_misses", Rep.Cache.RemoteMisses);
+  W.field("remote_errors", Rep.Cache.RemoteErrors);
+  if (Rep.RemoteEnabled) {
+    W.field("remote_cache", Rep.RemoteCacheAddress);
+    // Blocked-on-prefetch time is timing, so it lives with the other
+    // nondeterministic fields.
+    if (IncludeTimes)
+      W.field("remote_wait_ms", Rep.Cache.RemoteWaitMs);
+  }
   W.field("incremental", Rep.IncrementalEnabled);
   if (Rep.IncrementalEnabled) {
     W.field("manifest", Rep.ManifestPath);

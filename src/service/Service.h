@@ -80,6 +80,15 @@ struct ServiceOptions {
   /// Functions of a reused plan get their manifest skip decision at
   /// schedule time instead of plan time.
   bool ResidentPlans = false;
+  /// Remote proof-cache server ("host:port" or "unix:/path"); empty
+  /// disables the L3 tier. Requires a cache directory (the local
+  /// store is the L2 tier remote results land in). Strictly
+  /// best-effort: a dead or slow server never changes verdicts, only
+  /// the remote_* counters.
+  std::string RemoteAddress;
+  /// Per-request deadline for remote operations; 0 keeps the client
+  /// default (2000 ms).
+  unsigned RemoteTimeoutMs = 0;
 };
 
 /// One function's outcome plus its cache interaction.
@@ -122,6 +131,9 @@ struct BatchReport {
   bool CacheEnabled = false;
   std::string CacheDir;
   CacheStats Cache;
+  /// Remote (L3) proof-cache tier (see ServiceOptions::RemoteAddress).
+  bool RemoteEnabled = false;
+  std::string RemoteCacheAddress;
   double WallMs = 0.0;
   /// Incremental re-verification (see ServiceOptions::Incremental).
   bool IncrementalEnabled = false;

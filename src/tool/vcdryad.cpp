@@ -17,12 +17,15 @@
 #include "daemon/Client.h"
 #include "daemon/Daemon.h"
 #include "instr/Instrument.h"
+#include "service/Journal.h"
 #include "service/Service.h"
 #include "smt/Portfolio.h"
 #include "support/StringUtil.h"
 #include "verifier/Verifier.h"
 #include "vir/Passify.h"
 #include "vir/WpGen.h"
+#include "wire/CacheServer.h"
+#include "wire/RemoteCache.h"
 
 #include <csignal>
 #include <cstdio>
@@ -44,6 +47,7 @@ void printUsage() {
       "       vcdryad serve [options]\n"
       "       vcdryad client [options] <verify|status|cache-stats|"
       "shutdown> [paths...]\n"
+      "       vcdryad cached [options] [stats|shutdown]\n"
       "\n"
       "Verifies C programs against DRYAD separation-logic specifications\n"
       "using natural proofs (Pek, Qiu, Madhusudan; PLDI 2014).\n"
@@ -66,6 +70,15 @@ void printUsage() {
       "returns the same JSON report and exit status as check. batch\n"
       "and check accept --serve-socket=<path> to route the run through\n"
       "a daemon instead of verifying in-process.\n"
+      "\n"
+      "cached mode starts a shared proof-cache server: N journaled\n"
+      "shard stores keyed by the leading bits of each VC hash, spoken\n"
+      "to over a compact binary protocol (TCP and/or Unix socket).\n"
+      "batch, check and serve attach it as an L3 tier with\n"
+      "--remote-cache=, so a proof found by one client is a cache hit\n"
+      "for every other. Strictly best-effort: a dead or slow server\n"
+      "never changes verdicts. `cached stats` / `cached shutdown`\n"
+      "query or stop a running server.\n"
       "\n"
       "options:\n"
       "  --only=<fn>          verify a single function\n"
@@ -127,12 +140,34 @@ void printUsage() {
       "                       prelude turns it off there)\n"
       "  --serve-socket=<p>   route this batch through the daemon at\n"
       "                       <p> instead of verifying in-process\n"
+      "  --remote-cache=<a>   attach the proof-cache server at <a>\n"
+      "                       (host:port or unix:/path) as the L3 tier\n"
+      "                       behind the local cache; misses are\n"
+      "                       prefetched in batches before dispatch and\n"
+      "                       new Valid proofs are pushed write-behind\n"
+      "  --remote-timeout-ms=<n>\n"
+      "                       per-request remote deadline (default\n"
+      "                       2000); timeouts degrade to local-only\n"
+      "  --no-fsync           skip the per-transaction fdatasync in the\n"
+      "                       journals (also $VCDRYAD_NO_FSYNC=1);\n"
+      "                       consistency is unaffected, durability\n"
+      "                       degrades to OS writeback\n"
       "\n"
       "serve/client options:\n"
       "  --socket=<path>      the daemon's socket (default:\n"
       "                       <resolved cache dir>/serve.sock, both\n"
       "                       sides, so a client invoked beside the\n"
       "                       corpus finds the daemon started there)\n"
+      "\n"
+      "cached options:\n"
+      "  --cache=<dir>        shard-store root (resolved like batch;\n"
+      "                       required)\n"
+      "  --shards=<n>         shard stores (default 8)\n"
+      "  --port=<n>           TCP listener port (0 = ephemeral; the\n"
+      "                       bound address is printed on stdout)\n"
+      "  --host=<h>           TCP bind address (default 127.0.0.1)\n"
+      "  --socket=<path>      Unix-socket listener (default\n"
+      "                       <store root>/cached.sock when no --port=)\n"
       "\n"
       "SIGINT/SIGTERM interrupt batch, check and serve gracefully:\n"
       "in-flight solves finish, unsolved obligations report\n"
@@ -162,8 +197,16 @@ struct CliOptions {
   // Daemon modes (`vcdryad serve` / `vcdryad client`) and routing.
   bool Serve = false;
   bool Client = false;
-  std::string Socket;      ///< serve/client --socket=.
+  std::string Socket;      ///< serve/client/cached --socket=.
   std::string ServeSocket; ///< batch/check --serve-socket= routing.
+  // Remote proof-cache tier and the `vcdryad cached` server.
+  bool Cached = false;         ///< `vcdryad cached` subcommand.
+  std::string RemoteAddress;   ///< --remote-cache= (L3 tier).
+  unsigned RemoteTimeoutMs = 0; ///< --remote-timeout-ms= (0: default).
+  bool NoFsync = false;         ///< --no-fsync journal durability trade.
+  std::string Host = "127.0.0.1"; ///< cached --host=.
+  int Port = -1;                  ///< cached --port= (-1: no TCP).
+  unsigned Shards = 8;            ///< cached --shards=.
 };
 
 /// Parses `--<flag>=<n>`; false (with a usage error printed) unless
@@ -201,6 +244,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
     First = 2;
   } else if (Argc > 1 && std::strcmp(Argv[1], "client") == 0) {
     Cli.Client = true;
+    First = 2;
+  } else if (Argc > 1 && std::strcmp(Argv[1], "cached") == 0) {
+    // The shared proof-cache server (or its stats/shutdown client).
+    Cli.Cached = true;
     First = 2;
   }
   for (int I = First; I < Argc; ++I) {
@@ -301,6 +348,37 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.Socket = A.substr(9);
     } else if (StartsWith("--serve-socket=")) {
       Cli.ServeSocket = A.substr(15);
+    } else if (StartsWith("--remote-cache=")) {
+      Cli.RemoteAddress = A.substr(15);
+    } else if (StartsWith("--remote-timeout-ms=")) {
+      if (!parseUnsignedFlag("--remote-timeout-ms", A.substr(20),
+                             Cli.RemoteTimeoutMs))
+        return false;
+    } else if (A == "--no-fsync") {
+      Cli.NoFsync = true;
+    } else if (StartsWith("--host=")) {
+      Cli.Host = A.substr(7);
+    } else if (StartsWith("--port=")) {
+      unsigned P = 0;
+      if (!parseUnsignedFlag("--port", A.substr(7), P))
+        return false;
+      if (P > 65535) {
+        std::fprintf(stderr, "error: --port expects 0..65535, got %u\n",
+                     P);
+        return false;
+      }
+      Cli.Port = static_cast<int>(P);
+    } else if (StartsWith("--shards=")) {
+      if (!parseUnsignedFlag("--shards", A.substr(9), Cli.Shards))
+        return false;
+      if (Cli.Shards == 0 || Cli.Shards > 256) {
+        // A shard is selected by the leading byte of the VC hash, so
+        // widths past 256 cannot spread load any further.
+        std::fprintf(stderr,
+                     "error: --shards expects 1..256, got %u\n",
+                     Cli.Shards);
+        return false;
+      }
     } else if (StartsWith("--json-times=")) {
       std::string M = A.substr(13);
       if (M == "off")
@@ -356,6 +434,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
     return Cli.Files.empty(); // serve takes no operands.
   if (Cli.Client)
     return !Cli.Files.empty(); // client needs at least the op.
+  if (Cli.Cached)
+    return Cli.Files.size() <= 1; // optional stats|shutdown verb.
   return !Cli.Files.empty();
 }
 
@@ -481,6 +561,14 @@ int runClientRequest(const CliOptions &Cli, const std::string &Socket,
 /// response is rendered identically.
 int runBatch(const CliOptions &Cli) {
   if (!Cli.ServeSocket.empty()) {
+    // The daemon owns the cache stack; attaching a second remote tier
+    // client-side would double every get/put. Route the request and
+    // let the daemon's --remote-cache= (if any) apply exactly once.
+    if (!Cli.RemoteAddress.empty())
+      std::fprintf(stderr,
+                   "note: --serve-socket= routes through the daemon; "
+                   "its remote tier applies, the client-side "
+                   "--remote-cache= is ignored\n");
     daemon::Request R;
     R.Op = "verify";
     for (const std::string &F : Cli.Files)
@@ -512,6 +600,10 @@ int runBatch(const CliOptions &Cli) {
   SOpts.Incremental = Cli.Incremental;
   SOpts.CacheAware = Cli.CacheAware;
   SOpts.SharePrelude = Cli.SharePrelude;
+  SOpts.RemoteAddress = Cli.RemoteAddress;
+  SOpts.RemoteTimeoutMs = Cli.RemoteTimeoutMs;
+  if (Cli.NoFsync)
+    service::Journal::setNoFsync(true);
   installShutdownHandlers();
   service::VerificationService Service(SOpts);
   service::BatchReport Rep = Service.run(Inputs);
@@ -535,6 +627,10 @@ int runServe(const CliOptions &Cli) {
   SOpts.CacheAware = Cli.CacheAware;
   SOpts.SharePrelude = Cli.SharePrelude;
   SOpts.ResidentPlans = true;
+  SOpts.RemoteAddress = Cli.RemoteAddress;
+  SOpts.RemoteTimeoutMs = Cli.RemoteTimeoutMs;
+  if (Cli.NoFsync)
+    service::Journal::setNoFsync(true);
 
   std::string Socket = Cli.Socket;
   if (Socket.empty()) {
@@ -597,6 +693,116 @@ int runClient(const CliOptions &Cli) {
   return runClientRequest(Cli, Socket, R);
 }
 
+/// The address `cached stats`/`cached shutdown` (and the printed
+/// listen line) refer to, derived from the same flags the server
+/// mode binds with so a control client started beside the server
+/// needs no explicit address.
+std::string cachedAddress(const CliOptions &Cli, const std::string &Dir) {
+  if (!Cli.RemoteAddress.empty())
+    return Cli.RemoteAddress;
+  if (!Cli.Socket.empty())
+    return "unix:" + Cli.Socket;
+  if (Cli.Port > 0)
+    return Cli.Host + ":" + std::to_string(Cli.Port);
+  if (!Dir.empty())
+    return "unix:" + Dir + "/cached.sock";
+  return {};
+}
+
+/// `vcdryad cached [stats|shutdown]`: the shared proof-cache server,
+/// or a control request against a running one. Exit status: 0 clean,
+/// 2 on bind/transport/usage errors.
+int runCached(const CliOptions &Cli) {
+  std::string Dir =
+      service::resolveCacheDir(Cli.CacheDir, Cli.CacheExplicit, {});
+
+  if (!Cli.Files.empty()) {
+    const std::string &Verb = Cli.Files.front();
+    if (Verb != "stats" && Verb != "shutdown") {
+      std::fprintf(stderr, "error: unknown cached op '%s' (expected "
+                           "stats or shutdown)\n",
+                   Verb.c_str());
+      return 2;
+    }
+    std::string Address = cachedAddress(Cli, Dir);
+    if (Address.empty()) {
+      std::fprintf(stderr, "error: cached %s needs an address "
+                           "(--remote-cache=, --socket= or --port=)\n",
+                   Verb.c_str());
+      return 2;
+    }
+    wire::RemoteClientOptions RC;
+    RC.Address = Address;
+    if (Cli.RemoteTimeoutMs)
+      RC.TimeoutMs = Cli.RemoteTimeoutMs;
+    RC.Retries = 0; // A control op should fail, not linger.
+    wire::RemoteCache Client(std::move(RC));
+    std::string Error;
+    if (Verb == "shutdown") {
+      if (!Client.shutdownServer(Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        return 2;
+      }
+      return 0;
+    }
+    wire::StatsResponse S;
+    if (!Client.stats(S, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    std::string Json =
+        "{\"ok\": true, \"address\": \"" + Address + "\"" +
+        ", \"shards\": " + std::to_string(S.Shards) +
+        ", \"entries\": " + std::to_string(S.Entries) +
+        ", \"gets\": " + std::to_string(S.Gets) +
+        ", \"get_hits\": " + std::to_string(S.GetHits) +
+        ", \"get_misses\": " + std::to_string(S.GetMisses) +
+        ", \"puts\": " + std::to_string(S.Puts) +
+        ", \"put_accepted\": " + std::to_string(S.PutAccepted) +
+        ", \"connections\": " + std::to_string(S.Connections) + "}\n";
+    return writeReport(Cli.OutPath, Json) ? 0 : 2;
+  }
+
+  if (Dir.empty()) {
+    std::fprintf(stderr,
+                 "error: cached needs a store directory (--cache=)\n");
+    return 2;
+  }
+  if (Cli.NoFsync)
+    service::Journal::setNoFsync(true);
+
+  wire::CacheServerOptions CO;
+  CO.Dir = Dir;
+  CO.Shards = Cli.Shards;
+  CO.Host = Cli.Host;
+  CO.Port = Cli.Port;
+  CO.SocketPath = Cli.Socket;
+  if (CO.Port < 0 && CO.SocketPath.empty())
+    CO.SocketPath = Dir + "/cached.sock";
+
+  wire::CacheServer Server(CO);
+  std::string Error;
+  if (!Server.start(Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 2;
+  }
+  installShutdownHandlers();
+  // The listen line goes to stdout (and is flushed) so scripts that
+  // bind an ephemeral --port=0 can scrape the real address.
+  if (Server.port() != 0)
+    std::printf("vcdryad cached: listening on %s:%u\n", CO.Host.c_str(),
+                static_cast<unsigned>(Server.port()));
+  if (!CO.SocketPath.empty())
+    std::printf("vcdryad cached: listening on unix:%s\n",
+                CO.SocketPath.c_str());
+  std::printf("vcdryad cached: %u shards at %s\n", Server.shards(),
+              Dir.c_str());
+  std::fflush(stdout);
+  int Exit = Server.serve();
+  std::fprintf(stderr, "vcdryad cached: shut down\n");
+  return Exit;
+}
+
 const char *statusName(smt::CheckStatus S) {
   switch (S) {
   case smt::CheckStatus::Valid:
@@ -621,6 +827,8 @@ int main(int Argc, char **Argv) {
     return runServe(Cli);
   if (Cli.Client)
     return runClient(Cli);
+  if (Cli.Cached)
+    return runCached(Cli);
   if (Cli.Batch)
     return runBatch(Cli);
 

@@ -1,0 +1,371 @@
+//===- CacheServer.cpp - Sharded remote proof-cache server -----------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/CacheServer.h"
+
+#include "service/Service.h"
+#include "wire/Net.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace vcdryad;
+using namespace vcdryad::wire;
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string errnoString() { return std::strerror(errno); }
+
+/// Send/receive budget per connection-socket operation. Generous: this
+/// bounds a *stalled mid-frame* peer, not idle time (idleness is
+/// handled by poll ticks before recvFrame is ever entered).
+constexpr unsigned ConnIoTimeoutMs = 5000;
+
+void applyConnTimeouts(int Fd) {
+  timeval Tv;
+  Tv.tv_sec = ConnIoTimeoutMs / 1000;
+  Tv.tv_usec = static_cast<long>(ConnIoTimeoutMs % 1000) * 1000;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+}
+
+} // namespace
+
+CacheServer::CacheServer(CacheServerOptions OptsIn)
+    : Opts(std::move(OptsIn)) {
+  if (Opts.Shards == 0)
+    Opts.Shards = 1;
+}
+
+CacheServer::~CacheServer() { closeListeners(); }
+
+bool CacheServer::start(std::string &Error) {
+  if (Opts.Port < 0 && Opts.SocketPath.empty()) {
+    Error = "no listener configured (need a TCP port or a socket path)";
+    return false;
+  }
+  for (unsigned I = 0; I != Opts.Shards; ++I) {
+    auto Store = std::make_unique<service::ProofCache>(
+        (fs::path(Opts.Dir) / ("shard-" + std::to_string(I))).string());
+    if (!Store->openError().empty()) {
+      Error = Store->openError();
+      Stores.clear();
+      return false;
+    }
+    Stores.push_back(std::move(Store));
+  }
+
+  if (Opts.Port >= 0) {
+    addrinfo Hints{};
+    Hints.ai_family = AF_UNSPEC;
+    Hints.ai_socktype = SOCK_STREAM;
+    Hints.ai_flags = AI_PASSIVE;
+    addrinfo *Res = nullptr;
+    int Rc = ::getaddrinfo(Opts.Host.c_str(),
+                           std::to_string(Opts.Port).c_str(), &Hints,
+                           &Res);
+    if (Rc != 0) {
+      Error = "resolve '" + Opts.Host + "': " + ::gai_strerror(Rc);
+      Stores.clear();
+      return false;
+    }
+    for (addrinfo *AI = Res; AI; AI = AI->ai_next) {
+      TcpFd = ::socket(AI->ai_family, AI->ai_socktype, AI->ai_protocol);
+      if (TcpFd < 0)
+        continue;
+      int One = 1;
+      ::setsockopt(TcpFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+      if (::bind(TcpFd, AI->ai_addr, AI->ai_addrlen) == 0 &&
+          ::listen(TcpFd, 64) == 0)
+        break;
+      ::close(TcpFd);
+      TcpFd = -1;
+    }
+    ::freeaddrinfo(Res);
+    if (TcpFd < 0) {
+      Error = "cannot listen on " + Opts.Host + ":" +
+              std::to_string(Opts.Port) + ": " + errnoString();
+      Stores.clear();
+      return false;
+    }
+    // Port 0 asked the kernel for an ephemeral port; read it back.
+    sockaddr_storage Ss{};
+    socklen_t SsLen = sizeof(Ss);
+    if (::getsockname(TcpFd, reinterpret_cast<sockaddr *>(&Ss),
+                      &SsLen) == 0) {
+      if (Ss.ss_family == AF_INET)
+        BoundPort =
+            ntohs(reinterpret_cast<sockaddr_in *>(&Ss)->sin_port);
+      else if (Ss.ss_family == AF_INET6)
+        BoundPort =
+            ntohs(reinterpret_cast<sockaddr_in6 *>(&Ss)->sin6_port);
+    }
+  }
+
+  if (!Opts.SocketPath.empty()) {
+    sockaddr_un Sun{};
+    Sun.sun_family = AF_UNIX;
+    if (Opts.SocketPath.size() >= sizeof(Sun.sun_path)) {
+      Error = "socket path too long: '" + Opts.SocketPath + "'";
+      closeListeners();
+      Stores.clear();
+      return false;
+    }
+    std::memcpy(Sun.sun_path, Opts.SocketPath.c_str(),
+                Opts.SocketPath.size() + 1);
+    UnixFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (UnixFd < 0) {
+      Error = "socket: " + errnoString();
+      closeListeners();
+      Stores.clear();
+      return false;
+    }
+    if (::bind(UnixFd, reinterpret_cast<sockaddr *>(&Sun),
+               sizeof(Sun)) != 0) {
+      // A stale socket file from a crashed server is reclaimable iff
+      // nothing answers on it (same probe discipline as the daemon).
+      bool Reclaimed = false;
+      if (errno == EADDRINUSE) {
+        int Probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (Probe >= 0) {
+          bool Alive = ::connect(Probe,
+                                 reinterpret_cast<sockaddr *>(&Sun),
+                                 sizeof(Sun)) == 0;
+          ::close(Probe);
+          if (!Alive) {
+            ::unlink(Opts.SocketPath.c_str());
+            Reclaimed = ::bind(UnixFd,
+                               reinterpret_cast<sockaddr *>(&Sun),
+                               sizeof(Sun)) == 0;
+          }
+        }
+      }
+      if (!Reclaimed) {
+        Error = "cannot bind '" + Opts.SocketPath +
+                "': " + errnoString();
+        closeListeners();
+        Stores.clear();
+        return false;
+      }
+    }
+    if (::listen(UnixFd, 64) != 0) {
+      Error = "cannot listen on '" + Opts.SocketPath +
+              "': " + errnoString();
+      closeListeners();
+      Stores.clear();
+      return false;
+    }
+  }
+  return true;
+}
+
+void CacheServer::closeListeners() {
+  if (TcpFd >= 0) {
+    ::close(TcpFd);
+    TcpFd = -1;
+  }
+  if (UnixFd >= 0) {
+    ::close(UnixFd);
+    UnixFd = -1;
+  }
+}
+
+int CacheServer::serve() {
+  ::signal(SIGPIPE, SIG_IGN);
+  while (!Stop.load(std::memory_order_relaxed) &&
+         !service::shutdownRequested()) {
+    pollfd Pfds[2];
+    nfds_t N = 0;
+    if (TcpFd >= 0)
+      Pfds[N++] = pollfd{TcpFd, POLLIN, 0};
+    if (UnixFd >= 0)
+      Pfds[N++] = pollfd{UnixFd, POLLIN, 0};
+    int Ready = ::poll(Pfds, N, 200);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue; // Signal: loop re-checks the stop conditions.
+      break;
+    }
+    if (Ready == 0)
+      continue;
+    for (nfds_t I = 0; I != N; ++I) {
+      if (!(Pfds[I].revents & POLLIN))
+        continue;
+      int Cfd = ::accept(Pfds[I].fd, nullptr, nullptr);
+      if (Cfd < 0)
+        continue;
+      applyConnTimeouts(Cfd);
+      Connections.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> Lock(ConnMu);
+      ConnFds.insert(Cfd);
+      ConnThreads.emplace_back([this, Cfd] { handleConnection(Cfd); });
+    }
+  }
+  closeListeners();
+  // Nudge every live connection out of a blocking read, then join:
+  // handlers must never outlive the shard stores.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    Stop.store(true, std::memory_order_relaxed);
+    for (int Fd : ConnFds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> Threads;
+  {
+    std::lock_guard<std::mutex> Lock(ConnMu);
+    Threads.swap(ConnThreads);
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  for (auto &Store : Stores)
+    Store->flush();
+  if (!Opts.SocketPath.empty())
+    ::unlink(Opts.SocketPath.c_str());
+  return 0;
+}
+
+void CacheServer::handleConnection(int Fd) {
+  for (;;) {
+    // Idle-wait on a short tick so the connection observes shutdown
+    // promptly; recvFrame's own timeout only bounds a mid-frame stall.
+    pollfd Pfd{Fd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, 200);
+    if (Stop.load(std::memory_order_relaxed))
+      break;
+    if (Ready == 0)
+      continue;
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    MsgType Type;
+    std::string Payload, Error;
+    if (!recvFrame(Fd, Type, Payload, Error))
+      break; // EOF, IO error, or framing violation: drop.
+    bool Close = false;
+    std::string Resp = handleFrame(Type, Payload, Close);
+    if (Resp.empty())
+      break; // Protocol violation: drop without answering.
+    const char *P = Resp.data();
+    size_t Len = Resp.size();
+    bool SendOk = true;
+    while (Len > 0) {
+      ssize_t W = ::send(Fd, P, Len, MSG_NOSIGNAL);
+      if (W < 0) {
+        if (errno == EINTR)
+          continue;
+        SendOk = false;
+        break;
+      }
+      P += W;
+      Len -= static_cast<size_t>(W);
+    }
+    if (!SendOk || Close)
+      break;
+  }
+  ::close(Fd);
+  std::lock_guard<std::mutex> Lock(ConnMu);
+  ConnFds.erase(Fd);
+}
+
+std::string CacheServer::handleFrame(MsgType Type,
+                                     std::string_view Payload,
+                                     bool &Close) {
+  switch (Type) {
+  case MsgType::GetRequest: {
+    GetRequest Req;
+    if (!unpackExact<GetRequest, unpackGetRequest>(Payload, Req))
+      return {};
+    Gets.fetch_add(1, std::memory_order_relaxed);
+    GetResponse Resp;
+    for (uint64_t VcHash : Req.Keys) {
+      service::ProofCache &Shard = *Stores[shardOf(VcHash)];
+      auto R = Shard.lookup(storeKey(VcHash, Req.OptionsHash));
+      if (!R) {
+        GetMisses.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      GetHits.fetch_add(1, std::memory_order_relaxed);
+      ProofRecord Rec;
+      Rec.VcHash = VcHash;
+      Rec.OptionsHash = Req.OptionsHash;
+      Rec.SolveTimeMicros = static_cast<uint64_t>(
+          std::llround(std::max(R->TimeMs, 0.0) * 1000.0));
+      Resp.Found.push_back(std::move(Rec));
+    }
+    std::string Out;
+    packGetResponse(Out, Resp);
+    return packFrame(MsgType::GetResponse, Out);
+  }
+  case MsgType::PutRequest: {
+    PutRequest Req;
+    if (!unpackExact<PutRequest, unpackPutRequest>(Payload, Req))
+      return {};
+    Puts.fetch_add(1, std::memory_order_relaxed);
+    // Partition by shard so each shard takes one journal transaction
+    // (one fsync) regardless of batch size — and shards never contend.
+    std::vector<std::vector<std::pair<uint64_t, double>>> PerShard(
+        Stores.size());
+    for (const ProofRecord &Rec : Req.Records) {
+      if (Rec.Verdict != static_cast<uint8_t>(WireVerdict::Valid))
+        continue; // Only proven-Valid records are shareable facts.
+      PerShard[shardOf(Rec.VcHash)].emplace_back(
+          storeKey(Rec.VcHash, Rec.OptionsHash),
+          static_cast<double>(Rec.SolveTimeMicros) / 1000.0);
+    }
+    PutResponse Resp;
+    for (size_t I = 0; I != PerShard.size(); ++I)
+      if (!PerShard[I].empty())
+        Resp.Accepted +=
+            static_cast<uint32_t>(Stores[I]->storeBatch(PerShard[I]));
+    PutAccepted.fetch_add(Resp.Accepted, std::memory_order_relaxed);
+    std::string Out;
+    packPutResponse(Out, Resp);
+    return packFrame(MsgType::PutResponse, Out);
+  }
+  case MsgType::StatsRequest: {
+    std::string Out;
+    StatsResponse Resp = statsSnapshot();
+    packStatsResponse(Out, Resp);
+    return packFrame(MsgType::StatsResponse, Out);
+  }
+  case MsgType::Shutdown:
+    requestStop();
+    Close = true;
+    return packFrame(MsgType::Ack, {});
+  default:
+    return {}; // Not a request type: protocol violation.
+  }
+}
+
+StatsResponse CacheServer::statsSnapshot() const {
+  StatsResponse S;
+  S.Shards = static_cast<uint32_t>(Stores.size());
+  for (const auto &Store : Stores)
+    S.Entries += Store->size();
+  S.Gets = Gets.load(std::memory_order_relaxed);
+  S.GetHits = GetHits.load(std::memory_order_relaxed);
+  S.GetMisses = GetMisses.load(std::memory_order_relaxed);
+  S.Puts = Puts.load(std::memory_order_relaxed);
+  S.PutAccepted = PutAccepted.load(std::memory_order_relaxed);
+  S.Connections = Connections.load(std::memory_order_relaxed);
+  return S;
+}

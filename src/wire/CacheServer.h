@@ -1,0 +1,125 @@
+//===- CacheServer.h - Sharded remote proof-cache server --------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `vcdryad cached` process: a proof-cache server any number of
+/// fleet clients share, so a Valid verdict proven on one machine is a
+/// cache hit on every other. Architecture:
+///
+///   - N shards, each its own service::ProofCache (journaled store +
+///     snapshot) rooted at <dir>/shard-NN. A record lands in the
+///     shard selected by the leading byte of its VC hash, so writes
+///     never contend across shards and the store scales with cores.
+///     Shard stores reuse the exact durability stack local caches
+///     use: WAL commit per transaction, crash-safe compaction,
+///     flock'd cross-process safety.
+///   - Listeners: TCP (default 127.0.0.1, port 0 = ephemeral — the
+///     bound port is printed and exposed via port()) and/or a
+///     Unix-domain socket. Both speak the same framed codec.
+///   - One thread per connection; connections are persistent (many
+///     request/response frames until EOF). The accept loop polls
+///     with a short tick so SIGINT/SIGTERM (via
+///     service::requestShutdown) and a wire Shutdown message both
+///     stop the server promptly; shards flush on the way out.
+///
+/// Protocol errors (bad magic, version mismatch, corrupt frame) drop
+/// the connection — the framing layer already guarantees a broken
+/// stream can never be misparsed as a valid request.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_WIRE_CACHESERVER_H
+#define VCDRYAD_WIRE_CACHESERVER_H
+
+#include "service/ProofCache.h"
+#include "wire/Codec.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace vcdryad {
+namespace wire {
+
+struct CacheServerOptions {
+  /// Store root; shard I persists under <Dir>/shard-<I>.
+  std::string Dir;
+  unsigned Shards = 8;
+  /// TCP listener; Port < 0 disables TCP, 0 binds an ephemeral port.
+  std::string Host = "127.0.0.1";
+  int Port = -1;
+  /// Unix-domain listener; empty disables it.
+  std::string SocketPath;
+};
+
+class CacheServer {
+public:
+  explicit CacheServer(CacheServerOptions Opts);
+  ~CacheServer();
+
+  CacheServer(const CacheServer &) = delete;
+  CacheServer &operator=(const CacheServer &) = delete;
+
+  /// Opens the shard stores and binds the listeners. False with
+  /// \p Error on any failure (nothing is left half-bound).
+  bool start(std::string &Error);
+
+  /// Accept loop until a Shutdown frame, requestStop(), or
+  /// service::requestShutdown(). Flushes every shard before
+  /// returning. Returns a process exit code (0 = clean).
+  int serve();
+
+  /// The bound TCP port (after start(); 0 when TCP is disabled).
+  uint16_t port() const { return BoundPort; }
+
+  /// Async stop for in-process embedding (tests); serve() observes it
+  /// within one poll tick.
+  void requestStop() { Stop.store(true, std::memory_order_relaxed); }
+
+  unsigned shards() const { return static_cast<unsigned>(Stores.size()); }
+  /// In-process shard access (tests assert on placement/persistence).
+  service::ProofCache &shard(unsigned I) { return *Stores[I]; }
+
+  StatsResponse statsSnapshot() const;
+
+private:
+  unsigned shardOf(uint64_t VcHash) const {
+    return static_cast<unsigned>((VcHash >> 56) % Stores.size());
+  }
+  void handleConnection(int Fd);
+  /// Dispatches one request frame; empty response means "drop the
+  /// connection" (protocol violation). \p Close requests a graceful
+  /// close after the response is sent.
+  std::string handleFrame(MsgType Type, std::string_view Payload,
+                          bool &Close);
+  void closeListeners();
+
+  CacheServerOptions Opts;
+  std::vector<std::unique_ptr<service::ProofCache>> Stores;
+  int TcpFd = -1;
+  int UnixFd = -1;
+  uint16_t BoundPort = 0;
+  std::atomic<bool> Stop{false};
+  // Connection threads are joined (after a shutdown(2) nudge on their
+  // sockets) before serve() returns, so shard stores always outlive
+  // every handler.
+  std::mutex ConnMu;
+  std::vector<std::thread> ConnThreads;
+  std::unordered_set<int> ConnFds;
+  // Server telemetry (StatsResponse).
+  std::atomic<uint64_t> Gets{0}, GetHits{0}, GetMisses{0};
+  std::atomic<uint64_t> Puts{0}, PutAccepted{0}, Connections{0};
+};
+
+} // namespace wire
+} // namespace vcdryad
+
+#endif // VCDRYAD_WIRE_CACHESERVER_H

@@ -1,0 +1,297 @@
+//===- Codec.cpp - Proof-sharing wire codec ---------------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/Codec.h"
+
+#include "support/Hash.h"
+
+using namespace vcdryad;
+using namespace vcdryad::wire;
+
+//===----------------------------------------------------------------------===//
+// Primitives
+//===----------------------------------------------------------------------===//
+
+void wire::packU8(std::string &Out, uint8_t V) {
+  Out.push_back(static_cast<char>(V));
+}
+
+void wire::packU16(std::string &Out, uint16_t V) {
+  for (int I = 0; I != 2; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void wire::packU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void wire::packU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void wire::packString(std::string &Out, std::string_view S) {
+  if (S.size() > MaxProvenanceBytes)
+    S = S.substr(0, MaxProvenanceBytes);
+  packU16(Out, static_cast<uint16_t>(S.size()));
+  Out.append(S.data(), S.size());
+}
+
+bool wire::unpackU8(std::string_view Buf, size_t &Pos, uint8_t &V) {
+  if (Buf.size() - Pos < 1 || Pos > Buf.size())
+    return false;
+  V = static_cast<uint8_t>(Buf[Pos++]);
+  return true;
+}
+
+bool wire::unpackU16(std::string_view Buf, size_t &Pos, uint16_t &V) {
+  if (Pos > Buf.size() || Buf.size() - Pos < 2)
+    return false;
+  V = 0;
+  for (int I = 0; I != 2; ++I)
+    V = static_cast<uint16_t>(
+        V | static_cast<uint16_t>(static_cast<uint8_t>(Buf[Pos + I]))
+                << (8 * I));
+  Pos += 2;
+  return true;
+}
+
+bool wire::unpackU32(std::string_view Buf, size_t &Pos, uint32_t &V) {
+  if (Pos > Buf.size() || Buf.size() - Pos < 4)
+    return false;
+  V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<uint8_t>(Buf[Pos + I]))
+         << (8 * I);
+  Pos += 4;
+  return true;
+}
+
+bool wire::unpackU64(std::string_view Buf, size_t &Pos, uint64_t &V) {
+  if (Pos > Buf.size() || Buf.size() - Pos < 8)
+    return false;
+  V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<uint8_t>(Buf[Pos + I]))
+         << (8 * I);
+  Pos += 8;
+  return true;
+}
+
+bool wire::unpackString(std::string_view Buf, size_t &Pos, std::string &S) {
+  uint16_t Len = 0;
+  if (!unpackU16(Buf, Pos, Len))
+    return false;
+  if (Len > MaxProvenanceBytes || Buf.size() - Pos < Len)
+    return false;
+  S.assign(Buf.data() + Pos, Len);
+  Pos += Len;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Messages
+//===----------------------------------------------------------------------===//
+
+void wire::packProofRecord(std::string &Out, const ProofRecord &R) {
+  packU64(Out, R.VcHash);
+  packU64(Out, R.OptionsHash);
+  packU8(Out, R.Verdict);
+  packU64(Out, R.SolveTimeMicros);
+  packString(Out, R.Provenance);
+}
+
+bool wire::unpackProofRecord(std::string_view Buf, size_t &Pos,
+                             ProofRecord &R) {
+  return unpackU64(Buf, Pos, R.VcHash) &&
+         unpackU64(Buf, Pos, R.OptionsHash) &&
+         unpackU8(Buf, Pos, R.Verdict) &&
+         unpackU64(Buf, Pos, R.SolveTimeMicros) &&
+         unpackString(Buf, Pos, R.Provenance);
+}
+
+namespace {
+
+/// Vector count prefix, bounded so a corrupt count cannot drive a
+/// multi-gigabyte reserve. Elements are at least MinElemBytes each,
+/// so any count the remaining buffer cannot hold is rejected here.
+bool unpackCount(std::string_view Buf, size_t &Pos, size_t MinElemBytes,
+                 uint32_t &Count) {
+  if (!wire::unpackU32(Buf, Pos, Count))
+    return false;
+  return static_cast<uint64_t>(Count) * MinElemBytes <= Buf.size() - Pos;
+}
+
+} // namespace
+
+void wire::packGetRequest(std::string &Out, const GetRequest &M) {
+  packU64(Out, M.OptionsHash);
+  packU32(Out, static_cast<uint32_t>(M.Keys.size()));
+  for (uint64_t K : M.Keys)
+    packU64(Out, K);
+}
+
+bool wire::unpackGetRequest(std::string_view Buf, size_t &Pos,
+                            GetRequest &M) {
+  if (!unpackU64(Buf, Pos, M.OptionsHash))
+    return false;
+  uint32_t N = 0;
+  if (!unpackCount(Buf, Pos, 8, N))
+    return false;
+  M.Keys.clear();
+  M.Keys.reserve(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    uint64_t K = 0;
+    if (!unpackU64(Buf, Pos, K))
+      return false;
+    M.Keys.push_back(K);
+  }
+  return true;
+}
+
+namespace {
+
+/// ProofRecord floor: 8+8+1+8 fixed bytes + 2 string length.
+constexpr size_t MinRecordBytes = 27;
+
+void packRecordVec(std::string &Out,
+                   const std::vector<ProofRecord> &Records) {
+  wire::packU32(Out, static_cast<uint32_t>(Records.size()));
+  for (const ProofRecord &R : Records)
+    wire::packProofRecord(Out, R);
+}
+
+bool unpackRecordVec(std::string_view Buf, size_t &Pos,
+                     std::vector<ProofRecord> &Records) {
+  uint32_t N = 0;
+  if (!unpackCount(Buf, Pos, MinRecordBytes, N))
+    return false;
+  Records.clear();
+  Records.reserve(N);
+  for (uint32_t I = 0; I != N; ++I) {
+    ProofRecord R;
+    if (!wire::unpackProofRecord(Buf, Pos, R))
+      return false;
+    Records.push_back(std::move(R));
+  }
+  return true;
+}
+
+} // namespace
+
+void wire::packGetResponse(std::string &Out, const GetResponse &M) {
+  packRecordVec(Out, M.Found);
+}
+
+bool wire::unpackGetResponse(std::string_view Buf, size_t &Pos,
+                             GetResponse &M) {
+  return unpackRecordVec(Buf, Pos, M.Found);
+}
+
+void wire::packPutRequest(std::string &Out, const PutRequest &M) {
+  packRecordVec(Out, M.Records);
+}
+
+bool wire::unpackPutRequest(std::string_view Buf, size_t &Pos,
+                            PutRequest &M) {
+  return unpackRecordVec(Buf, Pos, M.Records);
+}
+
+void wire::packPutResponse(std::string &Out, const PutResponse &M) {
+  packU32(Out, M.Accepted);
+}
+
+bool wire::unpackPutResponse(std::string_view Buf, size_t &Pos,
+                             PutResponse &M) {
+  return unpackU32(Buf, Pos, M.Accepted);
+}
+
+void wire::packStatsResponse(std::string &Out, const StatsResponse &M) {
+  packU32(Out, M.Shards);
+  packU64(Out, M.Entries);
+  packU64(Out, M.Gets);
+  packU64(Out, M.GetHits);
+  packU64(Out, M.GetMisses);
+  packU64(Out, M.Puts);
+  packU64(Out, M.PutAccepted);
+  packU64(Out, M.Connections);
+}
+
+bool wire::unpackStatsResponse(std::string_view Buf, size_t &Pos,
+                               StatsResponse &M) {
+  return unpackU32(Buf, Pos, M.Shards) && unpackU64(Buf, Pos, M.Entries) &&
+         unpackU64(Buf, Pos, M.Gets) && unpackU64(Buf, Pos, M.GetHits) &&
+         unpackU64(Buf, Pos, M.GetMisses) && unpackU64(Buf, Pos, M.Puts) &&
+         unpackU64(Buf, Pos, M.PutAccepted) &&
+         unpackU64(Buf, Pos, M.Connections);
+}
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+std::string wire::packFrame(MsgType Type, std::string_view Payload) {
+  std::string Out;
+  Out.reserve(FrameHeaderBytes + Payload.size());
+  packU32(Out, FrameMagic);
+  packU16(Out, WireVersion);
+  packU16(Out, static_cast<uint16_t>(Type));
+  packU32(Out, static_cast<uint32_t>(Payload.size()));
+  packU64(Out, Fnv1a().bytes(Payload.data(), Payload.size()).digest());
+  Out.append(Payload.data(), Payload.size());
+  return Out;
+}
+
+FrameStatus wire::peekFrame(std::string_view Buf, MsgType &Type,
+                            std::string_view &Payload, size_t &FrameLen) {
+  // Validate eagerly, field by field: a bad magic or version is
+  // reported even from a short prefix, so a desynchronized stream
+  // fails fast instead of waiting for bytes that never come.
+  size_t Pos = 0;
+  uint32_t Magic = 0;
+  if (Buf.size() >= 4) {
+    (void)unpackU32(Buf, Pos, Magic);
+    if (Magic != FrameMagic)
+      return FrameStatus::BadMagic;
+  }
+  uint16_t Version = 0;
+  if (Buf.size() >= 6) {
+    (void)unpackU16(Buf, Pos, Version);
+    if (Version != WireVersion)
+      return FrameStatus::BadVersion;
+  }
+  uint32_t Len = 0;
+  if (Buf.size() >= 12) {
+    uint16_t RawType = 0;
+    size_t P = 6;
+    (void)unpackU16(Buf, P, RawType);
+    (void)unpackU32(Buf, P, Len);
+    if (Len > MaxPayloadBytes)
+      return FrameStatus::Oversized;
+  }
+  if (Buf.size() < FrameHeaderBytes)
+    return FrameStatus::NeedMore;
+  size_t P = 6;
+  uint16_t RawType = 0;
+  uint64_t Sum = 0;
+  (void)unpackU16(Buf, P, RawType);
+  (void)unpackU32(Buf, P, Len);
+  (void)unpackU64(Buf, P, Sum);
+  if (Buf.size() - FrameHeaderBytes < Len)
+    return FrameStatus::NeedMore;
+  std::string_view Body = Buf.substr(FrameHeaderBytes, Len);
+  if (Fnv1a().bytes(Body.data(), Body.size()).digest() != Sum)
+    return FrameStatus::BadChecksum;
+  Type = static_cast<MsgType>(RawType);
+  Payload = Body;
+  FrameLen = FrameHeaderBytes + Len;
+  return FrameStatus::Ok;
+}
+
+uint64_t wire::storeKey(uint64_t VcHash, uint64_t OptionsHash) {
+  return Fnv1a().u64(VcHash).u64(OptionsHash).digest();
+}

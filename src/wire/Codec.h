@@ -1,0 +1,213 @@
+//===- Codec.h - Proof-sharing wire codec -----------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary wire format of the fleet proof-sharing protocol spoken
+/// between the tiered cache client (service/ProofCache L3) and the
+/// `vcdryad cached` shard server. One codec definition, no ad-hoc
+/// parsing anywhere else: every message type below gets a mechanical
+/// pack/unpack pair in the style a schema compiler (xdrgen) would
+/// emit from a `protocol.xdr`, and both endpoints link the exact same
+/// functions — a field added here is added everywhere or nowhere.
+///
+/// Schema (the `protocol.xdr` analog; all integers little-endian,
+/// fixed width, strings u16-length-prefixed, vectors u32-counted):
+///
+///   frame          = magic:u32("VCDW") version:u16 type:u16
+///                    payload_len:u32 checksum:u64(fnv1a payload)
+///                    payload:bytes[payload_len]
+///   ProofRecord    = vc_hash:u64 options_hash:u64 verdict:u8
+///                    solve_time_us:u64 provenance:string<=255
+///   GetRequest     = options_hash:u64 keys:u64[]          (multi-get;
+///                    one key is the degenerate get)
+///   GetResponse    = found:ProofRecord[]
+///   PutRequest     = records:ProofRecord[]                (put-batch)
+///   PutResponse    = accepted:u32
+///   StatsRequest   = (empty)
+///   StatsResponse  = shards:u32 entries:u64 gets:u64 get_hits:u64
+///                    get_misses:u64 puts:u64 put_accepted:u64
+///                    connections:u64
+///   Shutdown       = (empty)
+///   Ack            = (empty)
+///
+/// Framing is length-prefixed and checksummed: a frame is rejected —
+/// never partially consumed — on bad magic, an unknown version, an
+/// oversized length, or a checksum mismatch, so a corrupt or
+/// truncated stream degrades to a transport error the client's
+/// fallback path absorbs. The version is bumped on any layout change;
+/// mixed-version fleets fail closed (BadVersion), they never
+/// misparse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_WIRE_CODEC_H
+#define VCDRYAD_WIRE_CODEC_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vcdryad {
+namespace wire {
+
+/// "VCDW" as a little-endian u32 ('V' is the lowest byte on the wire).
+constexpr uint32_t FrameMagic = 0x57444356u;
+constexpr uint16_t WireVersion = 1;
+/// Frame header: magic u32 + version u16 + type u16 + len u32 + sum u64.
+constexpr size_t FrameHeaderBytes = 20;
+/// Sanity cap on one payload. A multi-get over the whole SLL+ExpressOS
+/// corpus is a few KiB; 4 MiB is framing garbage, not a real batch.
+constexpr uint32_t MaxPayloadBytes = 4u << 20;
+/// Provenance strings are telemetry; cap them so a record stays small.
+constexpr size_t MaxProvenanceBytes = 255;
+
+enum class MsgType : uint16_t {
+  GetRequest = 1,
+  GetResponse = 2,
+  PutRequest = 3,
+  PutResponse = 4,
+  StatsRequest = 5,
+  StatsResponse = 6,
+  Shutdown = 7,
+  Ack = 8,
+};
+
+/// Verdicts on the wire. Only Valid is ever stored (the proof cache's
+/// persistence policy); the field exists so the format does not need
+/// a version bump if that policy is ever relaxed.
+enum class WireVerdict : uint8_t { Valid = 1 };
+
+/// One shareable proof result: the content-addressed obligation hash,
+/// the options fingerprint it was solved under, the verdict, the
+/// original solve time (microseconds — survives sub-ms fast-pass
+/// times), and who proved it ("host/pid", telemetry only).
+struct ProofRecord {
+  uint64_t VcHash = 0;
+  uint64_t OptionsHash = 0;
+  uint8_t Verdict = static_cast<uint8_t>(WireVerdict::Valid);
+  uint64_t SolveTimeMicros = 0;
+  std::string Provenance;
+
+  bool operator==(const ProofRecord &O) const {
+    return VcHash == O.VcHash && OptionsHash == O.OptionsHash &&
+           Verdict == O.Verdict && SolveTimeMicros == O.SolveTimeMicros &&
+           Provenance == O.Provenance;
+  }
+};
+
+struct GetRequest {
+  uint64_t OptionsHash = 0;
+  std::vector<uint64_t> Keys;
+};
+
+struct GetResponse {
+  std::vector<ProofRecord> Found;
+};
+
+struct PutRequest {
+  std::vector<ProofRecord> Records;
+};
+
+struct PutResponse {
+  uint32_t Accepted = 0;
+};
+
+struct StatsResponse {
+  uint32_t Shards = 0;
+  uint64_t Entries = 0;
+  uint64_t Gets = 0;
+  uint64_t GetHits = 0;
+  uint64_t GetMisses = 0;
+  uint64_t Puts = 0;
+  uint64_t PutAccepted = 0;
+  uint64_t Connections = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Primitive pack/unpack (the generated code's runtime)
+//===----------------------------------------------------------------------===//
+
+void packU8(std::string &Out, uint8_t V);
+void packU16(std::string &Out, uint16_t V);
+void packU32(std::string &Out, uint32_t V);
+void packU64(std::string &Out, uint64_t V);
+/// u16 length prefix; truncates at MaxProvenanceBytes on pack.
+void packString(std::string &Out, std::string_view S);
+
+/// Every unpack consumes from \p Buf at \p Pos and returns false —
+/// leaving \p Pos unspecified — on truncation or a bound violation.
+bool unpackU8(std::string_view Buf, size_t &Pos, uint8_t &V);
+bool unpackU16(std::string_view Buf, size_t &Pos, uint16_t &V);
+bool unpackU32(std::string_view Buf, size_t &Pos, uint32_t &V);
+bool unpackU64(std::string_view Buf, size_t &Pos, uint64_t &V);
+bool unpackString(std::string_view Buf, size_t &Pos, std::string &S);
+
+//===----------------------------------------------------------------------===//
+// Message pack/unpack (what xdrgen would emit per schema entry)
+//===----------------------------------------------------------------------===//
+
+void packProofRecord(std::string &Out, const ProofRecord &R);
+bool unpackProofRecord(std::string_view Buf, size_t &Pos, ProofRecord &R);
+
+void packGetRequest(std::string &Out, const GetRequest &M);
+bool unpackGetRequest(std::string_view Buf, size_t &Pos, GetRequest &M);
+
+void packGetResponse(std::string &Out, const GetResponse &M);
+bool unpackGetResponse(std::string_view Buf, size_t &Pos, GetResponse &M);
+
+void packPutRequest(std::string &Out, const PutRequest &M);
+bool unpackPutRequest(std::string_view Buf, size_t &Pos, PutRequest &M);
+
+void packPutResponse(std::string &Out, const PutResponse &M);
+bool unpackPutResponse(std::string_view Buf, size_t &Pos, PutResponse &M);
+
+void packStatsResponse(std::string &Out, const StatsResponse &M);
+bool unpackStatsResponse(std::string_view Buf, size_t &Pos,
+                         StatsResponse &M);
+
+/// Unpacks a full message payload: the per-type unpack must consume
+/// exactly \p Buf (trailing bytes are a framing error, not padding).
+template <typename M, bool (*Unpack)(std::string_view, size_t &, M &)>
+bool unpackExact(std::string_view Buf, M &Out) {
+  size_t Pos = 0;
+  return Unpack(Buf, Pos, Out) && Pos == Buf.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+enum class FrameStatus {
+  Ok,          ///< A complete, validated frame starts at Buf[0].
+  NeedMore,    ///< Prefix of a valid frame; read more bytes.
+  BadMagic,    ///< Not our protocol (or a desynchronized stream).
+  BadVersion,  ///< A future (or corrupted) codec version.
+  Oversized,   ///< payload_len exceeds MaxPayloadBytes.
+  BadChecksum, ///< Payload bytes do not match the header checksum.
+};
+
+/// Serializes one frame: header (with payload checksum) + payload.
+std::string packFrame(MsgType Type, std::string_view Payload);
+
+/// Validates the frame at the head of \p Buf. On Ok, \p Type and
+/// \p Payload (a view into \p Buf) and \p FrameLen (bytes consumed)
+/// are set. Never consumes on error — the caller decides whether to
+/// drop the connection (servers do) or surface a transport error.
+FrameStatus peekFrame(std::string_view Buf, MsgType &Type,
+                      std::string_view &Payload, size_t &FrameLen);
+
+/// The server-side store key of one record: the VC hash crossed with
+/// the options hash. hashObligation already salts in the options
+/// fingerprint, so the fold is defense in depth against any future
+/// salt-scheme drift between client versions — two clients disagree
+/// on either component and they simply miss, never alias.
+uint64_t storeKey(uint64_t VcHash, uint64_t OptionsHash);
+
+} // namespace wire
+} // namespace vcdryad
+
+#endif // VCDRYAD_WIRE_CODEC_H

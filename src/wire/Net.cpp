@@ -1,0 +1,213 @@
+//===- Net.cpp - Socket plumbing for the proof-sharing protocol -------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/Net.h"
+
+#include "support/StringUtil.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace vcdryad;
+using namespace vcdryad::wire;
+
+namespace {
+
+std::string errnoString() { return std::strerror(errno); }
+
+/// Applies the remaining deadline as kernel-level send/receive
+/// timeouts so every subsequent blocking read/write on the fd is
+/// budget-bounded without per-call poll bookkeeping.
+void applyIoTimeout(int Fd, unsigned TimeoutMs) {
+  if (TimeoutMs == 0)
+    TimeoutMs = 1; // A zero timeval means "block forever" — never that.
+  timeval Tv;
+  Tv.tv_sec = TimeoutMs / 1000;
+  Tv.tv_usec = static_cast<long>(TimeoutMs % 1000) * 1000;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+}
+
+int connectDeadline(int Fd, const sockaddr *Addr, socklen_t Len,
+                    unsigned TimeoutMs, std::string &Error) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+  int Rc = ::connect(Fd, Addr, Len);
+  if (Rc != 0 && errno != EINPROGRESS) {
+    Error = "connect: " + errnoString();
+    ::close(Fd);
+    return -1;
+  }
+  if (Rc != 0) {
+    pollfd Pfd{Fd, POLLOUT, 0};
+    int N = ::poll(&Pfd, 1, static_cast<int>(TimeoutMs));
+    if (N <= 0) {
+      Error = N == 0 ? "connect: timed out" : "poll: " + errnoString();
+      ::close(Fd);
+      return -1;
+    }
+    int Err = 0;
+    socklen_t ErrLen = sizeof(Err);
+    if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &Err, &ErrLen) != 0 ||
+        Err != 0) {
+      Error = "connect: " + std::string(std::strerror(Err ? Err : errno));
+      ::close(Fd);
+      return -1;
+    }
+  }
+  ::fcntl(Fd, F_SETFL, Flags);
+  applyIoTimeout(Fd, TimeoutMs);
+  return Fd;
+}
+
+} // namespace
+
+bool wire::parseAddress(const std::string &Spec, Address &Out,
+                        std::string &Error) {
+  Out = Address{};
+  if (startsWith(Spec, "unix:")) {
+    Out.IsUnix = true;
+    Out.Path = Spec.substr(5);
+    if (Out.Path.empty()) {
+      Error = "empty unix socket path in '" + Spec + "'";
+      return false;
+    }
+    return true;
+  }
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 ||
+      Colon + 1 == Spec.size()) {
+    Error = "expected host:port or unix:/path, got '" + Spec + "'";
+    return false;
+  }
+  std::optional<unsigned long> Port = parseUnsigned(Spec.substr(Colon + 1));
+  if (!Port || *Port == 0 || *Port > 65535) {
+    Error = "invalid port in '" + Spec + "'";
+    return false;
+  }
+  Out.Host = Spec.substr(0, Colon);
+  Out.Port = static_cast<uint16_t>(*Port);
+  return true;
+}
+
+int wire::connectWithDeadline(const Address &Addr, unsigned TimeoutMs,
+                              std::string &Error) {
+  if (Addr.IsUnix) {
+    sockaddr_un Sun{};
+    Sun.sun_family = AF_UNIX;
+    if (Addr.Path.size() >= sizeof(Sun.sun_path)) {
+      Error = "unix socket path too long: '" + Addr.Path + "'";
+      return -1;
+    }
+    std::memcpy(Sun.sun_path, Addr.Path.c_str(), Addr.Path.size() + 1);
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0) {
+      Error = "socket: " + errnoString();
+      return -1;
+    }
+    return connectDeadline(Fd, reinterpret_cast<sockaddr *>(&Sun),
+                           sizeof(Sun), TimeoutMs, Error);
+  }
+
+  addrinfo Hints{};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  int Rc = ::getaddrinfo(Addr.Host.c_str(),
+                         std::to_string(Addr.Port).c_str(), &Hints, &Res);
+  if (Rc != 0) {
+    Error = "resolve '" + Addr.Host + "': " + ::gai_strerror(Rc);
+    return -1;
+  }
+  int Fd = -1;
+  for (addrinfo *AI = Res; AI; AI = AI->ai_next) {
+    Fd = ::socket(AI->ai_family, AI->ai_socktype, AI->ai_protocol);
+    if (Fd < 0)
+      continue;
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    Fd = connectDeadline(Fd, AI->ai_addr, AI->ai_addrlen, TimeoutMs,
+                         Error);
+    if (Fd >= 0)
+      break;
+  }
+  ::freeaddrinfo(Res);
+  if (Fd < 0 && Error.empty())
+    Error = "cannot connect to " + Addr.Host;
+  return Fd;
+}
+
+bool wire::sendFrame(int Fd, MsgType Type, std::string_view Payload,
+                     std::string &Error) {
+  std::string Frame = packFrame(Type, Payload);
+  const char *P = Frame.data();
+  size_t Len = Frame.size();
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = "send: " + errnoString();
+      return false;
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool wire::recvFrame(int Fd, MsgType &Type, std::string &Payload,
+                     std::string &Error) {
+  std::string Buf;
+  char Chunk[1 << 16];
+  for (;;) {
+    std::string_view Body;
+    size_t FrameLen = 0;
+    switch (peekFrame(Buf, Type, Body, FrameLen)) {
+    case FrameStatus::Ok:
+      Payload.assign(Body.data(), Body.size());
+      return true;
+    case FrameStatus::NeedMore:
+      break;
+    case FrameStatus::BadMagic:
+      Error = "frame: bad magic";
+      return false;
+    case FrameStatus::BadVersion:
+      Error = "frame: protocol version mismatch";
+      return false;
+    case FrameStatus::Oversized:
+      Error = "frame: oversized payload";
+      return false;
+    case FrameStatus::BadChecksum:
+      Error = "frame: checksum mismatch";
+      return false;
+    }
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Error = (errno == EAGAIN || errno == EWOULDBLOCK)
+                  ? "recv: timed out"
+                  : "recv: " + errnoString();
+      return false;
+    }
+    if (N == 0) {
+      Error = Buf.empty() ? "recv: connection closed"
+                          : "recv: truncated frame";
+      return false;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}

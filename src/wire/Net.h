@@ -1,0 +1,63 @@
+//===- Net.h - Socket plumbing for the proof-sharing protocol ---*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport under the wire codec, shared by the RemoteCache
+/// client and the `vcdryad cached` server: address parsing
+/// ("host:port" or "unix:/path"), deadline-bounded connect, and
+/// whole-frame send/receive built on Codec.h framing. Everything here
+/// reports failures as error strings, never exceptions — the cache
+/// tiers treat any transport problem as a miss.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_WIRE_NET_H
+#define VCDRYAD_WIRE_NET_H
+
+#include "wire/Codec.h"
+
+#include <cstdint>
+#include <string>
+
+namespace vcdryad {
+namespace wire {
+
+/// A parsed server address. Two forms:
+///   "unix:/path/to/socket"  — Unix-domain stream socket
+///   "host:port"             — TCP (numeric or resolvable host)
+struct Address {
+  bool IsUnix = false;
+  std::string Path; ///< Unix socket path.
+  std::string Host; ///< TCP host.
+  uint16_t Port = 0;
+};
+
+/// Parses \p Spec into \p Out; false with \p Error set on a malformed
+/// address (no port, port out of range, empty path).
+bool parseAddress(const std::string &Spec, Address &Out,
+                  std::string &Error);
+
+/// Connects with a deadline: non-blocking connect + poll, then the
+/// socket is switched back to blocking with SO_RCVTIMEO/SO_SNDTIMEO
+/// set to the remaining budget. Returns the fd, or -1 with \p Error.
+int connectWithDeadline(const Address &Addr, unsigned TimeoutMs,
+                        std::string &Error);
+
+/// Writes one whole frame; false on any IO error (including a send
+/// timeout from SO_SNDTIMEO).
+bool sendFrame(int Fd, MsgType Type, std::string_view Payload,
+               std::string &Error);
+
+/// Reads exactly one frame, validating as bytes arrive (peekFrame).
+/// False on EOF, IO errors, receive timeout, or a framing violation
+/// (\p Error names which). \p Payload is an owned copy.
+bool recvFrame(int Fd, MsgType &Type, std::string &Payload,
+               std::string &Error);
+
+} // namespace wire
+} // namespace vcdryad
+
+#endif // VCDRYAD_WIRE_NET_H

@@ -1,0 +1,176 @@
+//===- RemoteCache.cpp - Remote proof-cache client (L3 tier) ----------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/RemoteCache.h"
+
+#include "wire/Net.h"
+
+#include <thread>
+
+#include <unistd.h>
+
+using namespace vcdryad;
+using namespace vcdryad::wire;
+
+std::string RemoteCache::defaultProvenance() {
+  char Host[256] = "?";
+  ::gethostname(Host, sizeof(Host) - 1);
+  Host[sizeof(Host) - 1] = '\0';
+  return std::string(Host) + "/" + std::to_string(::getpid());
+}
+
+RemoteCache::RemoteCache(RemoteClientOptions OptsIn)
+    : Opts(std::move(OptsIn)) {
+  std::string Error;
+  AddrValid = parseAddress(Opts.Address, Addr, Error);
+  if (Opts.Provenance.empty())
+    Opts.Provenance = defaultProvenance();
+}
+
+RemoteCache::~RemoteCache() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  disconnectLocked();
+}
+
+void RemoteCache::disconnectLocked() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool RemoteCache::rpcOnce(MsgType Type, const std::string &Payload,
+                          MsgType ExpectType, std::string &RespPayload,
+                          std::string &Error) {
+  if (Fd < 0) {
+    Fd = connectWithDeadline(Addr, Opts.TimeoutMs, Error);
+    if (Fd < 0)
+      return false;
+    ++Stats.Reconnects;
+  }
+  if (!sendFrame(Fd, Type, Payload, Error)) {
+    disconnectLocked();
+    return false;
+  }
+  MsgType Got;
+  if (!recvFrame(Fd, Got, RespPayload, Error)) {
+    disconnectLocked();
+    return false;
+  }
+  if (Got != ExpectType) {
+    Error = "unexpected response type " +
+            std::to_string(static_cast<unsigned>(Got));
+    disconnectLocked();
+    return false;
+  }
+  return true;
+}
+
+bool RemoteCache::rpc(MsgType Type, const std::string &Payload,
+                      MsgType ExpectType, std::string &RespPayload,
+                      std::string &Error) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Stats.Ops;
+  if (!AddrValid) {
+    Error = "invalid remote address '" + Opts.Address + "'";
+    ++Stats.Errors;
+    return false;
+  }
+  // Circuit breaker: a dead server must not cost a connect timeout
+  // per operation. Open after BreakerThreshold consecutive failures;
+  // after the cool-down the next operation probes again (half-open).
+  if (BreakerOpen) {
+    auto Elapsed = std::chrono::steady_clock::now() - BreakerOpenedAt;
+    if (Elapsed <
+        std::chrono::milliseconds(Opts.BreakerCooldownMs)) {
+      Error = "remote cache unavailable (circuit open)";
+      ++Stats.Errors;
+      return false;
+    }
+    BreakerOpen = false; // Half-open: one probe.
+  }
+  unsigned Backoff = Opts.BackoffMs;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    if (rpcOnce(Type, Payload, ExpectType, RespPayload, Error)) {
+      ConsecutiveFailures = 0;
+      return true;
+    }
+    if (Attempt >= Opts.Retries)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(Backoff));
+    Backoff *= 2;
+  }
+  if (++ConsecutiveFailures >= Opts.BreakerThreshold) {
+    BreakerOpen = true;
+    BreakerOpenedAt = std::chrono::steady_clock::now();
+  }
+  ++Stats.Errors;
+  return false;
+}
+
+bool RemoteCache::multiGet(uint64_t OptionsHash,
+                           const std::vector<uint64_t> &Keys,
+                           std::vector<ProofRecord> &Found,
+                           std::string &Error) {
+  GetRequest Req;
+  Req.OptionsHash = OptionsHash;
+  Req.Keys = Keys;
+  std::string Payload, Resp;
+  packGetRequest(Payload, Req);
+  if (!rpc(MsgType::GetRequest, Payload, MsgType::GetResponse, Resp,
+           Error))
+    return false;
+  GetResponse R;
+  if (!unpackExact<GetResponse, unpackGetResponse>(Resp, R)) {
+    Error = "malformed GetResponse";
+    return false;
+  }
+  Found = std::move(R.Found);
+  return true;
+}
+
+bool RemoteCache::putBatch(const std::vector<ProofRecord> &Records,
+                           uint32_t &Accepted, std::string &Error) {
+  PutRequest Req;
+  Req.Records = Records;
+  for (ProofRecord &R : Req.Records)
+    if (R.Provenance.empty())
+      R.Provenance = Opts.Provenance;
+  std::string Payload, Resp;
+  packPutRequest(Payload, Req);
+  if (!rpc(MsgType::PutRequest, Payload, MsgType::PutResponse, Resp,
+           Error))
+    return false;
+  PutResponse R;
+  if (!unpackExact<PutResponse, unpackPutResponse>(Resp, R)) {
+    Error = "malformed PutResponse";
+    return false;
+  }
+  Accepted = R.Accepted;
+  return true;
+}
+
+bool RemoteCache::stats(StatsResponse &Out, std::string &Error) {
+  std::string Resp;
+  if (!rpc(MsgType::StatsRequest, {}, MsgType::StatsResponse, Resp,
+           Error))
+    return false;
+  if (!unpackExact<StatsResponse, unpackStatsResponse>(Resp, Out)) {
+    Error = "malformed StatsResponse";
+    return false;
+  }
+  return true;
+}
+
+bool RemoteCache::shutdownServer(std::string &Error) {
+  std::string Resp;
+  return rpc(MsgType::Shutdown, {}, MsgType::Ack, Resp, Error);
+}
+
+RemoteClientStats RemoteCache::clientStats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}

@@ -1,0 +1,128 @@
+//===- RemoteCache.h - Remote proof-cache client (L3 tier) ------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the fleet proof-sharing protocol: a thin,
+/// thread-safe RPC wrapper over the wire codec that the tiered
+/// ProofCache uses as its L3. Design constraints, in order:
+///
+///   1. Verdicts are never affected. Every operation returns false on
+///      any transport, framing, or server problem; the caller treats
+///      that exactly like a miss and solves locally.
+///   2. Latency is bounded. Each request runs under a per-request
+///      deadline (connect + send + receive all inside it), with a
+///      bounded number of retries under exponential backoff.
+///   3. A dead server costs almost nothing. After a few consecutive
+///      failures the circuit breaker opens and operations fail fast
+///      (no syscalls) until a cool-down elapses, so a fleet client
+///      outliving its server degrades to local-only speed.
+///
+/// The connection is persistent across requests (request/response
+/// frames over one stream) and transparently re-established after
+/// errors. One in-flight request at a time (internal mutex) — the
+/// ProofCache funnels all remote traffic through its single prefetch
+/// worker anyway.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_WIRE_REMOTECACHE_H
+#define VCDRYAD_WIRE_REMOTECACHE_H
+
+#include "wire/Codec.h"
+#include "wire/Net.h"
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace wire {
+
+struct RemoteClientOptions {
+  /// "host:port" or "unix:/path".
+  std::string Address;
+  /// Per-request deadline (covers connect, send and receive).
+  unsigned TimeoutMs = 2000;
+  /// Additional attempts after the first failure.
+  unsigned Retries = 2;
+  /// First backoff; doubles per retry (50, 100, ...).
+  unsigned BackoffMs = 50;
+  /// Consecutive failed operations before the breaker opens.
+  unsigned BreakerThreshold = 3;
+  /// How long an open breaker rejects without trying (then half-open:
+  /// the next operation probes the server again).
+  unsigned BreakerCooldownMs = 30000;
+  /// Telemetry identity stamped on put records ("host/pid" default).
+  std::string Provenance;
+};
+
+struct RemoteClientStats {
+  uint64_t Ops = 0;       ///< Operations attempted (breaker-rejected too).
+  uint64_t Errors = 0;    ///< Operations that failed (incl. fast-fail).
+  uint64_t Reconnects = 0;
+};
+
+class RemoteCache {
+public:
+  explicit RemoteCache(RemoteClientOptions Opts);
+  ~RemoteCache();
+
+  RemoteCache(const RemoteCache &) = delete;
+  RemoteCache &operator=(const RemoteCache &) = delete;
+
+  const std::string &address() const { return Opts.Address; }
+  unsigned timeoutMs() const { return Opts.TimeoutMs; }
+  /// False when the address failed to parse; every op fails fast.
+  bool valid() const { return AddrValid; }
+
+  /// Multi-get: fills \p Found with the records the server holds for
+  /// \p Keys (subset, any order). False on any failure.
+  bool multiGet(uint64_t OptionsHash, const std::vector<uint64_t> &Keys,
+                std::vector<ProofRecord> &Found, std::string &Error);
+
+  /// Put-batch; \p Accepted is the count of records the server took
+  /// (duplicates and non-Valid verdicts are silently dropped there).
+  bool putBatch(const std::vector<ProofRecord> &Records,
+                uint32_t &Accepted, std::string &Error);
+
+  bool stats(StatsResponse &Out, std::string &Error);
+
+  /// Asks the server to shut down gracefully (flush shards, exit).
+  bool shutdownServer(std::string &Error);
+
+  RemoteClientStats clientStats() const;
+
+  /// The default provenance string: "<hostname>/<pid>".
+  static std::string defaultProvenance();
+
+private:
+  /// One request/response exchange with retry, backoff and breaker
+  /// accounting. \p ExpectType is the only acceptable response type.
+  bool rpc(MsgType Type, const std::string &Payload, MsgType ExpectType,
+           std::string &RespPayload, std::string &Error);
+  bool rpcOnce(MsgType Type, const std::string &Payload,
+               MsgType ExpectType, std::string &RespPayload,
+               std::string &Error);
+  void disconnectLocked();
+
+  RemoteClientOptions Opts;
+  bool AddrValid = false;
+  Address Addr;
+
+  mutable std::mutex Mu;
+  int Fd = -1;
+  unsigned ConsecutiveFailures = 0;
+  std::chrono::steady_clock::time_point BreakerOpenedAt{};
+  bool BreakerOpen = false;
+  RemoteClientStats Stats;
+};
+
+} // namespace wire
+} // namespace vcdryad
+
+#endif // VCDRYAD_WIRE_REMOTECACHE_H

@@ -44,7 +44,7 @@ run_batch "$WORK/warm.json"
 strip_counters() {
   # solved_vcs counts obligations that reached Z3, which is exactly
   # what a warm cache avoids — it differs cold vs warm by design.
-  grep -v -E '"(hits|misses|stores|cache_hits|cache_misses|solved_vcs|reason|loc|detail)":' "$1"
+  grep -v -E '"(hits|misses|stores|cache_hits|cache_misses|l1_hits|l2_hits|remote_hits|remote_misses|remote_errors|remote_wait_ms|remote_cache|solved_vcs|reason|loc|detail)":' "$1"
 }
 strip_counters "$WORK/cold.json" > "$WORK/cold.stripped"
 strip_counters "$WORK/warm.json" > "$WORK/warm.stripped"

@@ -1,0 +1,358 @@
+//===- remote_cache_test.cpp - Fleet proof-sharing integration ------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// In-process integration tests of the remote proof-cache stack: a real
+// CacheServer on an ephemeral TCP port (and a Unix socket), a real
+// RemoteCache client, and the tiered ProofCache gluing them together.
+// The properties under test are exactly the protocol's promises:
+// records round-trip, land in the shard their hash selects, survive a
+// server restart, and a dead server degrades to local-only verdicts
+// with only the error counters to show for it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ProofCache.h"
+#include "wire/CacheServer.h"
+#include "wire/RemoteCache.h"
+
+#include "gtest/gtest.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace vcdryad;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct TempDir {
+  fs::path Path;
+  TempDir() {
+    Path = fs::temp_directory_path() /
+           ("vcd-remote-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(Counter++));
+    fs::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+  static int Counter;
+};
+int TempDir::Counter = 0;
+
+/// A CacheServer serving on a background thread; joins on destruction.
+struct ServerFixture {
+  wire::CacheServer Server;
+  std::thread Thread;
+  bool Started = false;
+
+  explicit ServerFixture(wire::CacheServerOptions Opts)
+      : Server(std::move(Opts)) {
+    std::string Error;
+    Started = Server.start(Error);
+    EXPECT_TRUE(Started) << Error;
+    if (Started)
+      Thread = std::thread([this] { Server.serve(); });
+  }
+  ~ServerFixture() { stop(); }
+  void stop() {
+    if (Thread.joinable()) {
+      Server.requestStop();
+      Thread.join();
+    }
+  }
+  std::string tcpAddress() const {
+    return "127.0.0.1:" + std::to_string(Server.port());
+  }
+};
+
+wire::RemoteClientOptions fastClient(std::string Address) {
+  wire::RemoteClientOptions RC;
+  RC.Address = std::move(Address);
+  RC.TimeoutMs = 2000;
+  RC.Retries = 1;
+  RC.BackoffMs = 10;
+  return RC;
+}
+
+smt::CheckResult validResult(double Ms) {
+  smt::CheckResult R;
+  R.Status = smt::CheckStatus::Valid;
+  R.TimeMs = Ms;
+  return R;
+}
+
+TEST(RemoteCacheServer, MultiGetPutBatchRoundTripTcp) {
+  TempDir Dir;
+  wire::CacheServerOptions SO;
+  SO.Dir = Dir.str();
+  SO.Shards = 4;
+  SO.Port = 0; // Ephemeral.
+  ServerFixture S(SO);
+  ASSERT_TRUE(S.Started);
+  ASSERT_NE(S.Server.port(), 0);
+
+  wire::RemoteCache Client(fastClient(S.tcpAddress()));
+  std::string Error;
+
+  // Cold: nothing there.
+  std::vector<wire::ProofRecord> Found;
+  ASSERT_TRUE(Client.multiGet(7, {1, 2, 3}, Found, Error)) << Error;
+  EXPECT_TRUE(Found.empty());
+
+  // Put a batch spanning several shards (high byte varies).
+  std::vector<wire::ProofRecord> Records;
+  for (uint64_t I = 0; I < 16; ++I) {
+    wire::ProofRecord R;
+    R.VcHash = (I << 56) | (0x1000 + I);
+    R.OptionsHash = 7;
+    R.SolveTimeMicros = 1500 * (I + 1);
+    R.Provenance = "test/1";
+    Records.push_back(R);
+  }
+  uint32_t Accepted = 0;
+  ASSERT_TRUE(Client.putBatch(Records, Accepted, Error)) << Error;
+  EXPECT_EQ(Accepted, 16u);
+  // A duplicate put is accepted as zero new records.
+  ASSERT_TRUE(Client.putBatch(Records, Accepted, Error)) << Error;
+  EXPECT_EQ(Accepted, 0u);
+
+  // Multi-get returns exactly the stored subset, options-hash keyed.
+  std::vector<uint64_t> Keys;
+  for (const auto &R : Records)
+    Keys.push_back(R.VcHash);
+  Keys.push_back(0xdead); // Never stored.
+  Found.clear();
+  ASSERT_TRUE(Client.multiGet(7, Keys, Found, Error)) << Error;
+  EXPECT_EQ(Found.size(), 16u);
+  Found.clear();
+  ASSERT_TRUE(Client.multiGet(8, Keys, Found, Error)) << Error;
+  EXPECT_TRUE(Found.empty()) << "different options hash must miss";
+
+  // Records landed in the shard the leading byte selects.
+  unsigned NonEmpty = 0;
+  for (unsigned I = 0; I < S.Server.shards(); ++I)
+    NonEmpty += S.Server.shard(I).size() > 0;
+  EXPECT_EQ(NonEmpty, 4u) << "16 hashes with 16 distinct high bytes over "
+                             "4 shards must touch every shard";
+
+  wire::StatsResponse Stats;
+  ASSERT_TRUE(Client.stats(Stats, Error)) << Error;
+  EXPECT_EQ(Stats.Shards, 4u);
+  EXPECT_EQ(Stats.Entries, 16u);
+  EXPECT_EQ(Stats.PutAccepted, 16u);
+}
+
+TEST(RemoteCacheServer, PersistsAcrossRestartOnUnixSocket) {
+  TempDir Dir;
+  std::string Sock = Dir.str() + "/cached.sock";
+  wire::ProofRecord R;
+  R.VcHash = 0x1234567890abcdefull;
+  R.OptionsHash = 42;
+  R.SolveTimeMicros = 2500;
+
+  {
+    wire::CacheServerOptions SO;
+    SO.Dir = Dir.str() + "/store";
+    SO.Shards = 2;
+    SO.SocketPath = Sock;
+    ServerFixture S(SO);
+    ASSERT_TRUE(S.Started);
+    wire::RemoteCache Client(fastClient("unix:" + Sock));
+    std::string Error;
+    uint32_t Accepted = 0;
+    ASSERT_TRUE(Client.putBatch({R}, Accepted, Error)) << Error;
+    EXPECT_EQ(Accepted, 1u);
+  } // Server stops, shards flush.
+
+  {
+    wire::CacheServerOptions SO;
+    SO.Dir = Dir.str() + "/store";
+    SO.Shards = 2;
+    SO.SocketPath = Sock; // Stale socket file: must be reclaimed.
+    ServerFixture S(SO);
+    ASSERT_TRUE(S.Started);
+    wire::RemoteCache Client(fastClient("unix:" + Sock));
+    std::string Error;
+    std::vector<wire::ProofRecord> Found;
+    ASSERT_TRUE(Client.multiGet(42, {R.VcHash}, Found, Error)) << Error;
+    ASSERT_EQ(Found.size(), 1u);
+    EXPECT_EQ(Found[0].VcHash, R.VcHash);
+    EXPECT_EQ(Found[0].SolveTimeMicros, 2500u);
+  }
+}
+
+TEST(RemoteCacheClient, DeadServerDegradesAndBreakerOpens) {
+  // Nothing listens here (port 1 is never a cache server).
+  wire::RemoteClientOptions RC = fastClient("127.0.0.1:1");
+  RC.TimeoutMs = 200;
+  RC.Retries = 0;
+  RC.BreakerThreshold = 2;
+  wire::RemoteCache Client(std::move(RC));
+  std::string Error;
+  std::vector<wire::ProofRecord> Found;
+  for (int I = 0; I < 5; ++I)
+    EXPECT_FALSE(Client.multiGet(1, {1}, Found, Error));
+  wire::RemoteClientStats CS = Client.clientStats();
+  EXPECT_EQ(CS.Ops, 5u);
+  EXPECT_EQ(CS.Errors, 5u);
+}
+
+TEST(RemoteCacheClient, MalformedAddressFailsFast) {
+  wire::RemoteCache Client(fastClient("not-an-address"));
+  EXPECT_FALSE(Client.valid());
+  std::string Error;
+  std::vector<wire::ProofRecord> Found;
+  EXPECT_FALSE(Client.multiGet(1, {1}, Found, Error));
+}
+
+//===----------------------------------------------------------------------===//
+// The tiered ProofCache on top of the live server
+//===----------------------------------------------------------------------===//
+
+TEST(TieredProofCache, PrefetchServesRemoteHitsAndAttributesTiers) {
+  TempDir Dir;
+  wire::CacheServerOptions SO;
+  SO.Dir = Dir.str() + "/server";
+  SO.Shards = 2;
+  SO.Port = 0;
+  ServerFixture S(SO);
+  ASSERT_TRUE(S.Started);
+  const uint64_t OptsHash = 99;
+
+  // Client A proves two obligations; write-behind pushes them.
+  {
+    service::ProofCache A(Dir.str() + "/cacheA");
+    A.attachRemote(
+        std::make_unique<wire::RemoteCache>(fastClient(S.tcpAddress())),
+        OptsHash);
+    A.store(101, validResult(12.0));
+    A.store(202, validResult(3.5));
+    A.flush(); // Drains the outbox to the server.
+  }
+  wire::StatsResponse Stats;
+  {
+    wire::RemoteCache Probe(fastClient(S.tcpAddress()));
+    std::string Error;
+    ASSERT_TRUE(Probe.stats(Stats, Error)) << Error;
+  }
+  ASSERT_EQ(Stats.Entries, 2u) << "write-behind must reach the server";
+
+  // Client B, disjoint local store: prefetch then lookup must hit,
+  // attributed to the remote tier, without bumping Stores.
+  service::ProofCache B(Dir.str() + "/cacheB");
+  B.attachRemote(
+      std::make_unique<wire::RemoteCache>(fastClient(S.tcpAddress())),
+      OptsHash);
+  B.prefetchAsync({101, 202, 303});
+  auto R1 = B.lookup(101);
+  auto R2 = B.lookup(202);
+  auto R3 = B.lookup(303);
+  ASSERT_TRUE(R1.has_value());
+  EXPECT_EQ(R1->Status, smt::CheckStatus::Valid);
+  EXPECT_NEAR(R1->TimeMs, 12.0, 0.01);
+  ASSERT_TRUE(R2.has_value());
+  EXPECT_FALSE(R3.has_value());
+  service::CacheStats BS = B.stats();
+  EXPECT_EQ(BS.Hits, 2u);
+  EXPECT_EQ(BS.RemoteHits, 2u);
+  EXPECT_EQ(BS.L1Hits, 0u);
+  EXPECT_EQ(BS.L2Hits, 0u);
+  EXPECT_EQ(BS.Misses, 1u);
+  EXPECT_EQ(BS.RemoteMisses, 1u);
+  EXPECT_EQ(BS.Stores, 0u) << "remote inserts are not local stores";
+}
+
+TEST(TieredProofCache, TierAttributionL1VsL2) {
+  TempDir Dir;
+  {
+    service::ProofCache C(Dir.str() + "/cache");
+    C.store(1, validResult(1.0));
+    service::CacheStats S = C.stats();
+    ASSERT_TRUE(C.lookup(1).has_value());
+    S = C.stats();
+    EXPECT_EQ(S.L1Hits, 1u) << "same-session entry is an L1 hit";
+    EXPECT_EQ(S.L2Hits, 0u);
+  }
+  {
+    service::ProofCache C(Dir.str() + "/cache");
+    ASSERT_TRUE(C.lookup(1).has_value());
+    service::CacheStats S = C.stats();
+    EXPECT_EQ(S.L1Hits, 0u);
+    EXPECT_EQ(S.L2Hits, 1u) << "disk-loaded entry is an L2 hit";
+  }
+}
+
+TEST(TieredProofCache, AliasPromotionHitsWithoutStoreBump) {
+  service::ProofCache C; // In-memory.
+  // Stored under the alias (sliced) key only.
+  C.store(555, validResult(2.0));
+  service::CacheStats S0 = C.stats();
+  EXPECT_EQ(S0.Stores, 1u);
+  // Canonical key misses, alias hits: promoted, counted as a hit.
+  auto R = C.lookup(444, 555);
+  ASSERT_TRUE(R.has_value());
+  service::CacheStats S1 = C.stats();
+  EXPECT_EQ(S1.Hits, 1u);
+  EXPECT_EQ(S1.Stores, 1u) << "promotion is not a new proof";
+  // Now the canonical key is resident on its own.
+  EXPECT_TRUE(C.contains(444));
+}
+
+TEST(TieredProofCache, DeadRemoteNeverChangesVerdicts) {
+  TempDir Dir;
+  service::ProofCache C(Dir.str() + "/cache");
+  wire::RemoteClientOptions RC = fastClient("127.0.0.1:1");
+  RC.TimeoutMs = 100;
+  RC.Retries = 0;
+  C.attachRemote(std::make_unique<wire::RemoteCache>(std::move(RC)), 5);
+  C.prefetchAsync({1, 2, 3});
+  EXPECT_FALSE(C.lookup(1).has_value());
+  C.store(9, validResult(1.0));
+  auto R = C.lookup(9);
+  ASSERT_TRUE(R.has_value()) << "local tiers must be unaffected";
+  C.flush(); // Must not hang on the dead push.
+  service::CacheStats S = C.stats();
+  EXPECT_GE(S.RemoteErrors, 1u);
+  EXPECT_EQ(S.Hits, 1u);
+}
+
+TEST(TieredProofCache, ServerStoppedMidRunDegrades) {
+  TempDir Dir;
+  auto SO = wire::CacheServerOptions();
+  SO.Dir = Dir.str() + "/server";
+  SO.Shards = 1;
+  SO.Port = 0;
+  auto S = std::make_unique<ServerFixture>(SO);
+  ASSERT_TRUE(S->Started);
+
+  service::ProofCache C(Dir.str() + "/cache");
+  wire::RemoteClientOptions RC = fastClient(S->tcpAddress());
+  RC.TimeoutMs = 300;
+  RC.Retries = 0;
+  C.attachRemote(std::make_unique<wire::RemoteCache>(std::move(RC)), 5);
+  C.store(1, validResult(1.0));
+  C.flush();
+  ASSERT_EQ(S->Server.shard(0).size(), 1u);
+
+  S->stop(); // Server gone; the client must degrade, not fail.
+  C.prefetchAsync({42});
+  EXPECT_FALSE(C.lookup(42).has_value());
+  C.store(2, validResult(1.0));
+  ASSERT_TRUE(C.lookup(2).has_value());
+  C.flush();
+}
+
+} // namespace

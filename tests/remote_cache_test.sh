@@ -1,0 +1,158 @@
+#!/bin/sh
+# End-to-end gate for fleet proof sharing (`vcdryad cached`):
+#   (1) a cached server starts, binds its Unix socket, and answers
+#       `cached stats`;
+#   (2) client A (cold local cache, cold server) verifies the corpus
+#       and its write-behind puts populate the server;
+#   (3) client B on a *disjoint* local cache dir verifies the same
+#       corpus with zero obligations reaching Z3 ("solved_vcs": 0)
+#       and >= 90% of its cache lookups served by the remote tier;
+#   (4) with the server SIGKILLed, a third client still reports the
+#       same verdicts — and the same report bytes as a local-only run
+#       modulo the remote telemetry lines;
+#   (5) `cached shutdown` stops a live server gracefully.
+#
+# Usage: remote_cache_test.sh <vcdryad-binary> <corpus-dir>
+set -eu
+
+VCDRYAD=$1
+CORPUS=$(cd "$2" && pwd)
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/vcd-remote.XXXXXX")
+CACHED_PID=
+cleanup() {
+  [ -n "$CACHED_PID" ] && kill "$CACHED_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/cached.sock"
+ADDR="unix:$SOCK"
+
+count() { # count <file> <key> -> integer value of a totals field
+  awk -F': ' "/\"$2\":/ {gsub(/,/, \"\", \$2); print \$2; exit}" "$1"
+}
+
+start_server() {
+  "$VCDRYAD" cached --cache="$WORK/server" --shards=4 --socket="$SOCK" \
+    > "$WORK/cached.log" 2>&1 &
+  CACHED_PID=$!
+  i=0
+  until "$VCDRYAD" cached stats --remote-cache="$ADDR" \
+      > "$WORK/stats.json" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+      echo "FAIL: cached server did not come up" >&2
+      cat "$WORK/cached.log" >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+}
+
+echo "== start cached server =="
+start_server
+grep -q '"ok": true' "$WORK/stats.json" || {
+  echo "FAIL: bad cached stats response" >&2
+  cat "$WORK/stats.json" >&2
+  exit 1
+}
+
+echo "== client A: cold run populates the server =="
+"$VCDRYAD" batch "$CORPUS" --jobs=2 --cache="$WORK/cacheA" \
+  --remote-cache="$ADDR" --timeout=300000 --json-times=off \
+  --out="$WORK/a.json" || {
+  echo "FAIL: client A run failed" >&2
+  exit 1
+}
+grep -q '"all_verified": true' "$WORK/a.json" || {
+  echo "FAIL: corpus did not verify on client A" >&2
+  exit 1
+}
+"$VCDRYAD" cached stats --remote-cache="$ADDR" > "$WORK/stats.json"
+ENTRIES=$(sed -n 's/.*"entries": \([0-9]*\).*/\1/p' "$WORK/stats.json")
+if [ -z "$ENTRIES" ] || [ "$ENTRIES" -lt 1 ]; then
+  echo "FAIL: server holds no entries after client A" >&2
+  cat "$WORK/stats.json" >&2
+  exit 1
+fi
+
+echo "== client B: disjoint cache dir, zero-solve via remote =="
+"$VCDRYAD" batch "$CORPUS" --jobs=2 --cache="$WORK/cacheB" \
+  --remote-cache="$ADDR" --timeout=300000 --json-times=off \
+  --out="$WORK/b.json"
+SOLVED=$(count "$WORK/b.json" solved_vcs)
+HITS=$(count "$WORK/b.json" hits)
+MISSES=$(count "$WORK/b.json" misses)
+RHITS=$(count "$WORK/b.json" remote_hits)
+TOTAL=$((HITS + MISSES))
+if [ "$SOLVED" -ne 0 ]; then
+  echo "FAIL: client B solved $SOLVED VCs (want 0: every proof should" \
+       "come from the server)" >&2
+  exit 1
+fi
+# remote_hits * 10 >= lookups * 9  <=>  >= 90% served remotely.
+if [ "$TOTAL" -eq 0 ] || [ $((RHITS * 10)) -lt $((TOTAL * 9)) ]; then
+  echo "FAIL: remote hit rate below 90% ($RHITS remote hits /" \
+       "$TOTAL lookups)" >&2
+  exit 1
+fi
+
+echo "== verdicts agree between A and B =="
+strip_variant() {
+  # Cache traffic and remote telemetry differ between the runs by
+  # design; the verdicts and totals must not.
+  grep -v -E '"(hits|misses|stores|cache_hits|cache_misses|l1_hits|l2_hits|remote_hits|remote_misses|remote_errors|remote_wait_ms|remote_cache|solved_vcs|dir)":' "$1"
+}
+strip_variant "$WORK/a.json" > "$WORK/a.stripped"
+strip_variant "$WORK/b.json" > "$WORK/b.stripped"
+cmp -s "$WORK/a.stripped" "$WORK/b.stripped" || {
+  echo "FAIL: client B verdicts differ from client A" >&2
+  diff "$WORK/a.stripped" "$WORK/b.stripped" >&2 || true
+  exit 1
+}
+
+echo "== SIGKILL the server: verdicts must not change =="
+kill -9 "$CACHED_PID" 2>/dev/null || true
+wait "$CACHED_PID" 2>/dev/null || true
+CACHED_PID=
+"$VCDRYAD" batch "$CORPUS" --jobs=2 --cache="$WORK/cacheC" \
+  --remote-cache="$ADDR" --remote-timeout-ms=500 --timeout=300000 \
+  --json-times=off --out="$WORK/c.json"
+grep -q '"all_verified": true' "$WORK/c.json" || {
+  echo "FAIL: dead server changed verdicts" >&2
+  exit 1
+}
+# Identical bytes to a local-only run, modulo the remote telemetry
+# lines (remote_cache/remote_errors are the only trace of the outage)
+# and the cache-directory path.
+"$VCDRYAD" batch "$CORPUS" --jobs=2 --cache="$WORK/cacheD" \
+  --timeout=300000 --json-times=off --out="$WORK/d.json"
+strip_remote() {
+  grep -v -E '"(remote_cache|remote_errors|remote_wait_ms|dir)":' "$1"
+}
+strip_remote "$WORK/c.json" > "$WORK/c.stripped"
+strip_remote "$WORK/d.json" > "$WORK/d.stripped"
+cmp -s "$WORK/c.stripped" "$WORK/d.stripped" || {
+  echo "FAIL: dead-server report differs from local-only report" >&2
+  diff "$WORK/c.stripped" "$WORK/d.stripped" >&2 || true
+  exit 1
+}
+
+echo "== graceful shutdown =="
+rm -f "$SOCK"
+start_server
+"$VCDRYAD" cached shutdown --remote-cache="$ADDR"
+wait "$CACHED_PID" || {
+  echo "FAIL: cached server exited non-zero on shutdown" >&2
+  cat "$WORK/cached.log" >&2
+  exit 1
+}
+CACHED_PID=
+if [ -e "$SOCK" ]; then
+  echo "FAIL: socket file survived shutdown" >&2
+  exit 1
+fi
+
+echo "PASS: client B zero-solve with $RHITS/$TOTAL remote hits;" \
+     "$ENTRIES entries on the server; dead-server run byte-stable"

@@ -1,0 +1,287 @@
+//===- wire_test.cpp - Proof-sharing wire codec tests ---------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The wire format is the fleet's compatibility contract: these tests
+// pin the exact bytes (endianness included) with golden vectors,
+// round-trip randomized messages, and drive the framing layer through
+// every rejection path — truncation at each prefix length, corrupt
+// checksums, foreign magic, future versions, oversized lengths, and
+// trailing garbage inside a payload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "wire/Codec.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace vcdryad;
+using namespace vcdryad::wire;
+
+namespace {
+
+std::string bytes(std::initializer_list<unsigned> L) {
+  std::string S;
+  for (unsigned B : L)
+    S.push_back(static_cast<char>(B));
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Golden vectors: the on-wire bytes, spelled out. A failure here means
+// the format changed and WireVersion must be bumped.
+//===----------------------------------------------------------------------===//
+
+TEST(WireGolden, PrimitivesAreLittleEndian) {
+  std::string Out;
+  packU16(Out, 0x1234);
+  EXPECT_EQ(Out, bytes({0x34, 0x12}));
+  Out.clear();
+  packU32(Out, 0xdeadbeefu);
+  EXPECT_EQ(Out, bytes({0xef, 0xbe, 0xad, 0xde}));
+  Out.clear();
+  packU64(Out, 0x0123456789abcdefull);
+  EXPECT_EQ(Out, bytes({0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01}));
+}
+
+TEST(WireGolden, ProofRecordLayout) {
+  ProofRecord R;
+  R.VcHash = 0x0123456789abcdefull;
+  R.OptionsHash = 0x1122334455667788ull;
+  R.Verdict = 1;
+  R.SolveTimeMicros = 0xff;
+  R.Provenance = "ab";
+  std::string Out;
+  packProofRecord(Out, R);
+  EXPECT_EQ(Out,
+            bytes({0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01,  // vc
+                   0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // opts
+                   0x01,                                            // verdict
+                   0xff, 0, 0, 0, 0, 0, 0, 0,                       // time
+                   0x02, 0x00, 'a', 'b'}));                         // prov
+}
+
+TEST(WireGolden, EmptyFrameHeader) {
+  // An Ack frame: magic "VCDW", version 1, type 8, zero-length
+  // payload, checksum = FNV-1a offset basis (hash of no bytes).
+  std::string F = packFrame(MsgType::Ack, "");
+  EXPECT_EQ(F.size(), FrameHeaderBytes);
+  EXPECT_EQ(F, bytes({'V', 'C', 'D', 'W',          // magic (LE u32)
+                      0x01, 0x00,                   // version
+                      0x08, 0x00,                   // type
+                      0x00, 0x00, 0x00, 0x00,       // payload_len
+                      0x25, 0x23, 0x22, 0x84,       // fnv1a("") LE
+                      0xe4, 0x9c, 0xf2, 0xcb}));
+}
+
+//===----------------------------------------------------------------------===//
+// Round trips
+//===----------------------------------------------------------------------===//
+
+ProofRecord randomRecord(std::mt19937_64 &Rng) {
+  ProofRecord R;
+  R.VcHash = Rng();
+  R.OptionsHash = Rng();
+  R.Verdict = 1;
+  R.SolveTimeMicros = Rng() >> (Rng() % 64);
+  size_t Len = Rng() % 32;
+  for (size_t I = 0; I < Len; ++I)
+    R.Provenance.push_back(static_cast<char>('a' + Rng() % 26));
+  return R;
+}
+
+TEST(WireRoundTrip, RandomizedRecordsAndMessages) {
+  std::mt19937_64 Rng(0xdeadbeef); // Deterministic: a seed, not time.
+  for (int Iter = 0; Iter < 200; ++Iter) {
+    GetRequest Get;
+    Get.OptionsHash = Rng();
+    size_t NKeys = Rng() % 64;
+    for (size_t I = 0; I < NKeys; ++I)
+      Get.Keys.push_back(Rng());
+    std::string Buf;
+    packGetRequest(Buf, Get);
+    GetRequest Get2;
+    ASSERT_TRUE((unpackExact<GetRequest, unpackGetRequest>(Buf, Get2)));
+    EXPECT_EQ(Get.OptionsHash, Get2.OptionsHash);
+    EXPECT_EQ(Get.Keys, Get2.Keys);
+
+    PutRequest Put;
+    size_t NRecs = Rng() % 16;
+    for (size_t I = 0; I < NRecs; ++I)
+      Put.Records.push_back(randomRecord(Rng));
+    Buf.clear();
+    packPutRequest(Buf, Put);
+    PutRequest Put2;
+    ASSERT_TRUE((unpackExact<PutRequest, unpackPutRequest>(Buf, Put2)));
+    EXPECT_EQ(Put.Records, Put2.Records);
+  }
+}
+
+TEST(WireRoundTrip, StatsResponse) {
+  StatsResponse S;
+  S.Shards = 8;
+  S.Entries = 12345;
+  S.Gets = 1;
+  S.GetHits = 2;
+  S.GetMisses = 3;
+  S.Puts = 4;
+  S.PutAccepted = 5;
+  S.Connections = 6;
+  std::string Buf;
+  packStatsResponse(Buf, S);
+  StatsResponse S2;
+  ASSERT_TRUE((unpackExact<StatsResponse, unpackStatsResponse>(Buf, S2)));
+  EXPECT_EQ(S2.Shards, 8u);
+  EXPECT_EQ(S2.Entries, 12345u);
+  EXPECT_EQ(S2.Connections, 6u);
+}
+
+TEST(WireRoundTrip, ProvenanceTruncatesAtCap) {
+  ProofRecord R;
+  R.Provenance.assign(MaxProvenanceBytes + 100, 'x');
+  std::string Buf;
+  packProofRecord(Buf, R);
+  ProofRecord R2;
+  ASSERT_TRUE((unpackExact<ProofRecord, unpackProofRecord>(Buf, R2)));
+  EXPECT_EQ(R2.Provenance.size(), MaxProvenanceBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Framing: every rejection path, never a misparse
+//===----------------------------------------------------------------------===//
+
+std::string sampleFrame() {
+  GetRequest Get;
+  Get.OptionsHash = 0x42;
+  Get.Keys = {1, 2, 3};
+  std::string Payload;
+  packGetRequest(Payload, Get);
+  return packFrame(MsgType::GetRequest, Payload);
+}
+
+TEST(WireFraming, CompleteFrameParses) {
+  std::string F = sampleFrame();
+  MsgType Type;
+  std::string_view Payload;
+  size_t Len = 0;
+  ASSERT_EQ(peekFrame(F, Type, Payload, Len), FrameStatus::Ok);
+  EXPECT_EQ(Type, MsgType::GetRequest);
+  EXPECT_EQ(Len, F.size());
+  GetRequest Get;
+  ASSERT_TRUE((unpackExact<GetRequest, unpackGetRequest>(Payload, Get)));
+  EXPECT_EQ(Get.Keys, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(WireFraming, TruncationAtEveryPrefixNeedsMore) {
+  std::string F = sampleFrame();
+  MsgType Type;
+  std::string_view Payload;
+  size_t Len = 0;
+  for (size_t N = 0; N < F.size(); ++N) {
+    std::string Prefix = F.substr(0, N);
+    EXPECT_EQ(peekFrame(Prefix, Type, Payload, Len),
+              FrameStatus::NeedMore)
+        << "prefix length " << N;
+  }
+}
+
+TEST(WireFraming, CorruptPayloadIsBadChecksum) {
+  std::string F = sampleFrame();
+  for (size_t I = FrameHeaderBytes; I < F.size(); ++I) {
+    std::string Corrupt = F;
+    Corrupt[I] = static_cast<char>(Corrupt[I] ^ 0x5a);
+    MsgType Type;
+    std::string_view Payload;
+    size_t Len = 0;
+    EXPECT_EQ(peekFrame(Corrupt, Type, Payload, Len),
+              FrameStatus::BadChecksum)
+        << "flipped payload byte " << I;
+  }
+}
+
+TEST(WireFraming, ForeignMagicRejected) {
+  std::string F = sampleFrame();
+  F[0] = 'X';
+  MsgType Type;
+  std::string_view Payload;
+  size_t Len = 0;
+  EXPECT_EQ(peekFrame(F, Type, Payload, Len), FrameStatus::BadMagic);
+  // An HTTP request (the classic wrong-port accident) must not parse.
+  std::string Http = "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+  EXPECT_EQ(peekFrame(Http, Type, Payload, Len), FrameStatus::BadMagic);
+}
+
+TEST(WireFraming, FutureVersionFailsClosed) {
+  std::string F = sampleFrame();
+  F[4] = 0x02; // version LE low byte
+  MsgType Type;
+  std::string_view Payload;
+  size_t Len = 0;
+  EXPECT_EQ(peekFrame(F, Type, Payload, Len), FrameStatus::BadVersion);
+}
+
+TEST(WireFraming, OversizedLengthRejected) {
+  std::string F = sampleFrame();
+  // payload_len sits at offset 8; write 4 MiB + 1, little-endian.
+  uint32_t Huge = MaxPayloadBytes + 1;
+  for (int I = 0; I < 4; ++I)
+    F[8 + I] = static_cast<char>((Huge >> (8 * I)) & 0xff);
+  MsgType Type;
+  std::string_view Payload;
+  size_t Len = 0;
+  EXPECT_EQ(peekFrame(F, Type, Payload, Len), FrameStatus::Oversized);
+}
+
+TEST(WireFraming, TrailingBytesInsidePayloadRejected) {
+  // unpackExact is the anti-smuggling gate: a payload with valid
+  // leading structure but extra bytes is a framing error.
+  GetRequest Get;
+  Get.Keys = {7};
+  std::string Payload;
+  packGetRequest(Payload, Get);
+  Payload.push_back('\0');
+  GetRequest Out;
+  EXPECT_FALSE((unpackExact<GetRequest, unpackGetRequest>(Payload, Out)));
+}
+
+TEST(WireFraming, TruncatedPayloadStructureRejected) {
+  PutRequest Put;
+  Put.Records.push_back(ProofRecord{});
+  std::string Payload;
+  packPutRequest(Payload, Put);
+  for (size_t N = 4; N < Payload.size(); ++N) {
+    PutRequest Out;
+    EXPECT_FALSE((unpackExact<PutRequest, unpackPutRequest>(
+        std::string_view(Payload).substr(0, N), Out)))
+        << "payload prefix " << N;
+  }
+}
+
+TEST(WireFraming, BackToBackFramesPeelOneAtATime) {
+  std::string Stream = sampleFrame() + packFrame(MsgType::Ack, "");
+  MsgType Type;
+  std::string_view Payload;
+  size_t Len = 0;
+  ASSERT_EQ(peekFrame(Stream, Type, Payload, Len), FrameStatus::Ok);
+  EXPECT_EQ(Type, MsgType::GetRequest);
+  std::string Rest = Stream.substr(Len);
+  ASSERT_EQ(peekFrame(Rest, Type, Payload, Len), FrameStatus::Ok);
+  EXPECT_EQ(Type, MsgType::Ack);
+  EXPECT_TRUE(Payload.empty());
+}
+
+TEST(WireStoreKey, FoldsBothComponents) {
+  uint64_t K = storeKey(1, 2);
+  EXPECT_NE(K, storeKey(1, 3));
+  EXPECT_NE(K, storeKey(2, 2));
+  EXPECT_EQ(K, storeKey(1, 2)); // Deterministic.
+}
+
+} // namespace
