@@ -1,0 +1,157 @@
+//===- isolation_ab.cpp - Solver-isolation overhead A/B harness ------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what crash isolation costs (default suites: SLL +
+/// ExpressOS). End-to-end wall-clock of
+///   (a) `vcdryad batch --cache=off` — every obligation solved by the
+///       in-process Z3 backend;
+///   (b) the same run with `--isolate-solvers` — every obligation
+///       solved in supervised `solve-worker` child processes, so the
+///       delta is spawn + init + frame-codec + pipe time.
+/// Both runs write `--json-times=off` reports, which must be
+/// byte-identical: isolation buys a fault boundary, never a verdict.
+///
+/// Every configuration is a real child process of the CLI binary, so
+/// the numbers include process start, worker spawn, and wire time.
+/// Prints the per-round means and the overhead behind the
+/// EXPERIMENTS.md "crash-isolated solver workers" entry; exits
+/// nonzero unless the reports are byte-identical and the isolation
+/// overhead stays within 15% of in-process wall-clock.
+///
+/// Usage: isolation_ab <vcdryad-binary> [suite-dir ...] [rounds]
+///
+//===----------------------------------------------------------------------===//
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs a shell command, returns its wall-clock in ms; -1 on nonzero
+/// exit.
+double timedRun(const std::string &Cmd) {
+  double T0 = now();
+  int Rc = std::system(Cmd.c_str());
+  double Ms = now() - T0;
+  if (Rc != 0)
+    return -1.0;
+  return Ms;
+}
+
+double mean(const std::vector<double> &Xs) {
+  double S = 0.0;
+  for (double X : Xs)
+    S += X;
+  return Xs.empty() ? 0.0 : S / static_cast<double>(Xs.size());
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr, "error: usage: isolation_ab <vcdryad-binary> "
+                         "[suite-dir ...] [rounds]\n");
+    return 2;
+  }
+  std::string Tool = Argv[1];
+  std::vector<std::string> Suites;
+  int Rounds = 3;
+  for (int I = 2; I < Argc; ++I) {
+    if (fs::is_directory(Argv[I]))
+      Suites.push_back(Argv[I]);
+    else
+      Rounds = std::atoi(Argv[I]);
+  }
+  if (Suites.empty()) {
+    Suites = {(fs::path(VCDRYAD_BENCHMARK_DIR) / "sll").string(),
+              (fs::path(VCDRYAD_BENCHMARK_DIR) / "expressos").string()};
+  }
+  if (Rounds < 1)
+    Rounds = 1;
+  if (!fs::is_regular_file(Tool)) {
+    std::fprintf(stderr, "error: no such binary: %s\n", Tool.c_str());
+    return 2;
+  }
+  for (const std::string &S : Suites)
+    if (!fs::is_directory(S)) {
+      std::fprintf(stderr, "error: no such suite: %s\n", S.c_str());
+      return 2;
+    }
+
+  fs::path Work = fs::temp_directory_path() / "vcd-isolation-ab";
+  fs::remove_all(Work);
+  fs::create_directories(Work);
+  std::string Operands;
+  for (const std::string &S : Suites) {
+    Operands += " " + S;
+    std::printf("suite: %s\n", S.c_str());
+  }
+  std::printf("rounds: %d\n\n", Rounds);
+  // Cache off: both sides must solve every obligation, so the delta
+  // is pure isolation machinery.
+  std::string Common = " --cache=off --json-times=off 2>/dev/null";
+
+  std::vector<double> InProc, Isolated;
+  std::string InProcRep = (Work / "inproc.json").string();
+  std::string IsoRep = (Work / "iso.json").string();
+  for (int I = 0; I < Rounds; ++I) {
+    double Ms = timedRun(Tool + " batch" + Operands + " --out=" +
+                         InProcRep + Common);
+    if (Ms < 0) {
+      std::fprintf(stderr, "error: in-process batch failed\n");
+      return 1;
+    }
+    InProc.push_back(Ms);
+    std::printf("in-process batch    round %d: %8.1f ms\n", I + 1, Ms);
+  }
+  for (int I = 0; I < Rounds; ++I) {
+    double Ms = timedRun(Tool + " batch" + Operands +
+                         " --isolate-solvers --out=" + IsoRep + Common);
+    if (Ms < 0) {
+      std::fprintf(stderr, "error: isolated batch failed\n");
+      return 1;
+    }
+    Isolated.push_back(Ms);
+    std::printf("isolated batch      round %d: %8.1f ms\n", I + 1, Ms);
+  }
+
+  bool ByteStable = slurp(InProcRep) == slurp(IsoRep);
+  if (!ByteStable)
+    std::fprintf(stderr, "error: --isolate-solvers changed the stripped "
+                         "report\n");
+
+  double A = mean(InProc), B = mean(Isolated);
+  double OverheadPct = A > 0 ? (B - A) / A * 100.0 : 0.0;
+  std::printf("\n%-28s %10.1f ms\n", "in-process batch (mean):", A);
+  std::printf("%-28s %10.1f ms\n", "isolated batch (mean):", B);
+  std::printf("\nisolation overhead: %+.1f%% wall-clock "
+              "(byte-stable report: %s)\n",
+              OverheadPct, ByteStable ? "yes" : "NO");
+  fs::remove_all(Work);
+  return ByteStable && OverheadPct <= 15.0 ? 0 : 1;
+}

@@ -42,7 +42,9 @@ int connectTo(const std::string &SocketPath) {
 
 bool writeAll(int Fd, const char *Data, size_t Len) {
   while (Len > 0) {
-    ssize_t N = ::write(Fd, Data, Len);
+    // MSG_NOSIGNAL: a daemon that died between connect and write must
+    // surface as a transport error, not kill the client process.
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
         continue;

@@ -20,15 +20,14 @@ using namespace vcdryad::daemon;
 
 namespace {
 
-/// Hard cap on a request line: requests are an op plus a path list,
-/// so anything past this is a protocol violation, not a big batch.
-constexpr size_t MaxRequestBytes = 1u << 20;
-
 bool writeAll(int Fd, const std::string &Data) {
   const char *P = Data.data();
   size_t Len = Data.size();
   while (Len > 0) {
-    ssize_t N = ::write(Fd, P, Len);
+    // MSG_NOSIGNAL: even if this process never installed the SIG_IGN
+    // in serve() (embedders calling handleConnection paths, tests), a
+    // vanished client yields EPIPE here, not SIGPIPE.
+    ssize_t N = ::send(Fd, P, Len, MSG_NOSIGNAL);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -40,9 +39,12 @@ bool writeAll(int Fd, const std::string &Data) {
   return true;
 }
 
+enum class ReadStatus { Ok, TooLarge, IoError };
+
 /// Reads up to the first '\n' (consumed, not included) or EOF.
-/// False on read errors or an oversized request.
-bool readRequestLine(int Fd, std::string &Line) {
+/// Distinguishes an oversized request (answerable with a clean error)
+/// from a broken transport (nobody left to answer).
+ReadStatus readRequestLine(int Fd, std::string &Line, size_t MaxBytes) {
   Line.clear();
   char Buf[4096];
   for (;;) {
@@ -50,16 +52,16 @@ bool readRequestLine(int Fd, std::string &Line) {
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      return false;
+      return ReadStatus::IoError;
     }
     if (N == 0)
-      return true; // EOF before a newline: take what we have.
+      return ReadStatus::Ok; // EOF before a newline: take what we have.
     for (ssize_t I = 0; I < N; ++I) {
       if (Buf[I] == '\n')
-        return true;
+        return ReadStatus::Ok;
       Line += Buf[I];
-      if (Line.size() > MaxRequestBytes)
-        return false;
+      if (Line.size() > MaxBytes)
+        return ReadStatus::TooLarge;
     }
   }
 }
@@ -143,6 +145,8 @@ std::string Daemon::statusResponse() const {
   Out += Opts.Service.SharePrelude ? "true" : "false";
   Out += ", \"cache_aware\": ";
   Out += Opts.Service.CacheAware ? "true" : "false";
+  Out += ", \"isolate_solvers\": ";
+  Out += Opts.Service.IsolateSolvers ? "true" : "false";
   Out += ", \"resident_plans\": " + std::to_string(Svc.residentPlanCount());
   Out += "}\n";
   return Out;
@@ -196,9 +200,18 @@ std::string Daemon::cacheStatsResponse() const {
 bool Daemon::handleConnection(int Fd) {
   ++Requests;
   std::string Line;
-  if (!readRequestLine(Fd, Line)) {
-    writeAll(Fd, errorResponse("cannot read request (oversized or IO "
-                               "error)"));
+  size_t Cap = Opts.MaxRequestBytes ? Opts.MaxRequestBytes : 4u << 20;
+  switch (readRequestLine(Fd, Line, Cap)) {
+  case ReadStatus::Ok:
+    break;
+  case ReadStatus::TooLarge:
+    writeAll(Fd, errorResponse(
+                     "request too large (over " + std::to_string(Cap) +
+                     " bytes); split the batch or raise "
+                     "--max-request-mb="));
+    return false;
+  case ReadStatus::IoError:
+    // The transport is gone; a response would only earn an EPIPE.
     return false;
   }
   Request R;

@@ -45,6 +45,12 @@ namespace daemon {
 
 struct DaemonOptions {
   std::string SocketPath;
+  /// Hard cap on one request line (newline-delimited JSON). Requests
+  /// are an op plus a path list, so anything past a few MB is a
+  /// protocol violation or a hostile peer, not a big batch; oversized
+  /// requests are drained no further and answered with a clean
+  /// `{"ok": false}` error instead of tying up the accept loop.
+  size_t MaxRequestBytes = 4u << 20;
   service::ServiceOptions Service;
 };
 

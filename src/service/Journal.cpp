@@ -269,6 +269,37 @@ bool Journal::noFsync() {
   return V == 1;
 }
 
+void Journal::syncPath(const std::string &P) {
+  if (noFsync() || P.empty())
+    return;
+  int Fd = ::open(P.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd); // Best-effort (see header).
+  ::close(Fd);
+}
+
+void Journal::syncDirOf(const std::string &P) {
+  if (noFsync() || P.empty())
+    return;
+  // The containing directory: everything before the last separator,
+  // "." for bare names (relative store paths resolve against cwd),
+  // "/" for root-anchored names.
+  size_t Slash = P.find_last_of('/');
+  std::string Dir;
+  if (Slash == std::string::npos)
+    Dir = ".";
+  else if (Slash == 0)
+    Dir = "/";
+  else
+    Dir = P.substr(0, Slash);
+  int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (Fd < 0)
+    return;
+  ::fsync(Fd);
+  ::close(Fd);
+}
+
 void Journal::lock() {
   if (Fd >= 0)
     ::flock(Fd, LOCK_EX);

@@ -123,6 +123,19 @@ public:
   static void setNoFsync(bool V);
   static bool noFsync();
 
+  /// Durability helpers for the stores' replace-by-rename compaction,
+  /// honoring the same noFsync() switch. syncPath fsyncs the file at
+  /// \p Path (the freshly written temp snapshot, before rename);
+  /// syncDirOf fsyncs the *directory containing* \p Path — rename(2)
+  /// alone only orders the data, the new directory entry itself is
+  /// not durable until its directory is synced, so a crash right
+  /// after compaction could otherwise resurrect the old snapshot
+  /// *after* the journal was truncated, silently dropping proofs.
+  /// Best-effort: failures are ignored (worst case is the pre-rename
+  /// durability we always had).
+  static void syncPath(const std::string &Path);
+  static void syncDirOf(const std::string &Path);
+
 private:
   std::string Path;
   std::string Error;

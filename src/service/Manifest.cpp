@@ -222,6 +222,11 @@ void VcManifest::flush() {
       return;
     }
   }
+  // Same durability order as ProofCache::flush: data sync before the
+  // rename, directory sync after — the rename is only durable once
+  // its directory entry is, and the journal truncation below must
+  // never outrun it.
+  Journal::syncPath(Tmp);
   std::error_code EC;
   fs::rename(Tmp, storePath(), EC);
   if (EC) {
@@ -232,6 +237,7 @@ void VcManifest::flush() {
     Unlock();
     return;
   }
+  Journal::syncDirOf(storePath());
   // The snapshot now holds everything the journal did; truncate it.
   // (On rename failure we keep the journal — records stay durable
   // even when the snapshot cannot be replaced.)

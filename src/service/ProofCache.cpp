@@ -225,6 +225,11 @@ void ProofCache::flush() {
       return;
     }
   }
+  // fsync data before rename, the directory after: without the second
+  // sync the rename itself is not durable, and a crash could revive
+  // the old snapshot after the journal truncation below — losing
+  // proofs that were durable before compaction started.
+  Journal::syncPath(Tmp);
   std::error_code EC;
   fs::rename(Tmp, storePath(), EC);
   if (EC) {
@@ -235,6 +240,7 @@ void ProofCache::flush() {
     Unlock();
     return;
   }
+  Journal::syncDirOf(storePath());
   // The snapshot now holds everything the journal did; truncate it.
   // (If the rename had failed we would keep the journal — entries
   // stay durable even when the snapshot cannot be replaced.)

@@ -7,6 +7,7 @@
 #include "service/Service.h"
 
 #include "cfront/Lexer.h"
+#include "service/SolverPool.h"
 #include "smt/Portfolio.h"
 #include "smt/VcHash.h"
 #include "support/Diagnostics.h"
@@ -255,6 +256,28 @@ uint64_t preprocessedTextHash(const std::string &Path) {
 
 VerificationService::VerificationService(ServiceOptions OptsIn)
     : Opts(std::move(OptsIn)) {
+  // Crash isolation: one supervised worker pool for the service's
+  // lifetime; its factory rides into every solver the verifier and
+  // the scheduler create. The cap tracks the worst concurrent demand
+  // (a session worker plus a portfolio race per job); beyond it, or
+  // after flap-degradation, solvers fall back in-process with
+  // identical verdicts.
+  if (Opts.IsolateSolvers) {
+    PoolOptions PO;
+    PO.MemMb = Opts.SolverMemMb;
+    PO.CpuS = Opts.SolverCpuS;
+    unsigned Jobs =
+        Opts.Jobs ? Opts.Jobs : std::thread::hardware_concurrency();
+    if (Jobs == 0)
+      Jobs = 1;
+    unsigned Lanes = Opts.Verify.Portfolio;
+    if (Lanes <= 1 && !Opts.Verify.PortfolioProfiles.empty())
+      Lanes = static_cast<unsigned>(Opts.Verify.PortfolioProfiles.size());
+    PO.MaxWorkers = Jobs * (1 + (Lanes >= 2 ? Lanes : 1));
+    Pool = std::make_unique<SolverPool>(std::move(PO));
+    Opts.Verify.MakeSolver = Pool->factory();
+  }
+
   // The stores open once and stay resident: a long-lived service pays
   // snapshot load and journal replay at startup, not per request, and
   // run() reports per-run stat deltas against them.
@@ -469,7 +492,7 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
     WorkerState &WS = Workers[W];
     if (WS.Key != Key) {
       std::lock_guard<std::mutex> Lock(CreateMu);
-      WS.Solver = smt::createZ3Solver(SO);
+      WS.Solver = smt::createSolver(SO);
       WS.Key = Key;
     }
     return *WS.Solver;
@@ -947,9 +970,11 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
           St.SolveTimeMs = S.R.TimeMs;
         St.Escalated = S.Escalated;
         St.Trivial = S.Trivial;
+        St.GoalHash = vir::stableExprHash(VC.Cond);
         if (S.Solved) {
           St.Status = S.R.Status;
           St.WinnerProfile = S.Winner;
+          St.Retries = S.R.Retries;
         } else {
           // Never solved: skipped by first-failure cancellation, not
           // a solver Unknown. Reports must keep the two apart.
@@ -1167,6 +1192,10 @@ const char *statusString(smt::CheckStatus S) {
     return "invalid";
   case smt::CheckStatus::Unknown:
     return "unknown";
+  case smt::CheckStatus::Crashed:
+    return "crashed";
+  case smt::CheckStatus::ResourceLimit:
+    return "resource-limit";
   }
   return "?";
 }
@@ -1286,6 +1315,13 @@ std::string service::toJson(const BatchReport &Rep, bool IncludeTimes,
                                            : statusString(St.Status)));
           if (!St.WinnerProfile.empty())
             W.field("profile", St.WinnerProfile);
+          // Isolation diagnostics. goal_hash is the stable identity
+          // VCDRYAD_FAULT matches against (%016x of the goal's content
+          // hash); retries counts bounded fresh-worker re-solves. Both
+          // ride behind IncludeTimes so --json-times=off reports stay
+          // byte-identical whether solving ran isolated or in-process.
+          W.field("goal_hash", hashToHex(St.GoalHash));
+          W.field("retries", static_cast<uint64_t>(St.Retries));
           W.close("}");
         }
         W.close("]");

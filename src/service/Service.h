@@ -40,6 +40,8 @@
 namespace vcdryad {
 namespace service {
 
+class SolverPool;
+
 struct ServiceOptions {
   verifier::VerifyOptions Verify;
   /// Worker threads; 0 picks the hardware concurrency.
@@ -89,6 +91,18 @@ struct ServiceOptions {
   /// Per-request deadline for remote operations; 0 keeps the client
   /// default (2000 ms).
   unsigned RemoteTimeoutMs = 0;
+  /// Crash isolation: run every solver in a supervised out-of-process
+  /// worker (`vcdryad solve-worker`, see service/SolverPool). A
+  /// worker crash/OOM/hang costs one obligation (retried once), never
+  /// the process. Verdict- and report-neutral apart from the
+  /// per-obligation "crashed"/"resource-limit" outcomes faults
+  /// produce. Off by default for CLI batches; the daemon turns it on.
+  bool IsolateSolvers = false;
+  /// RLIMIT_AS per worker in MiB (0 = unlimited; whole address space,
+  /// Z3 included — values below ~256 starve the solver).
+  unsigned SolverMemMb = 0;
+  /// RLIMIT_CPU per worker in seconds (0 = unlimited).
+  unsigned SolverCpuS = 0;
 };
 
 /// One function's outcome plus its cache interaction.
@@ -174,10 +188,14 @@ public:
   /// Plans currently resident (ResidentPlans mode).
   size_t residentPlanCount() const;
 
+  /// The supervised worker pool (IsolateSolvers mode; null otherwise).
+  const SolverPool *solverPool() const { return Pool.get(); }
+
 private:
   struct ResidentPlan;
 
   ServiceOptions Opts;
+  std::unique_ptr<SolverPool> Pool;
   std::unique_ptr<ProofCache> Cache;
   std::unique_ptr<VcManifest> Manifest;
   /// Parsed plans by path (ResidentPlans mode only), valid while the

@@ -1,0 +1,601 @@
+//===- SolverPool.cpp - Supervised out-of-process solver pool --------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SolverPool.h"
+
+#include "smt/Worker.h"
+#include "smt/WorkerProto.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+extern char **environ;
+
+using namespace vcdryad;
+using namespace vcdryad::service;
+
+namespace {
+
+/// Z3 touches global parameter tables on first-context construction;
+/// in-process fallback solvers can be created from any worker thread
+/// at any time, so creation is serialized here (the scheduler's own
+/// CreateMu only covers its call sites).
+std::mutex InProcCreateMu;
+
+std::unique_ptr<smt::SmtSolver> makeInProcess(const smt::SolverOptions &SO) {
+  std::lock_guard<std::mutex> L(InProcCreateMu);
+  return smt::createZ3Solver(SO);
+}
+
+/// How a worker round trip can fail, classified for the verdict.
+struct Death {
+  smt::CheckStatus Status = smt::CheckStatus::Crashed;
+  std::string Detail;
+  bool Interrupted = false;
+};
+
+//===----------------------------------------------------------------------===//
+// IsolatedSolver
+//===----------------------------------------------------------------------===//
+
+/// One solver slot backed by a worker process. Single-threaded like
+/// every SmtSolver (interrupt() excepted); respawns its worker on
+/// demand through the pool's supervision policy.
+class IsolatedSolver : public smt::SmtSolver {
+public:
+  IsolatedSolver(SolverPool &Pool, smt::SolverOptions SO)
+      : Pool(Pool), Opts(std::move(SO)) {
+    // The factory handle must not outlive into the child options (it
+    // is not serialized, and the worker must never recurse into us).
+    Opts.MakeSolver = nullptr;
+  }
+
+  ~IsolatedSolver() override { killChild(false); }
+
+  smt::CheckResult checkValid(const vir::LExprRef &Guard,
+                              const vir::LExprRef &Goal) override {
+    if (InProc)
+      return InProc->checkValid(Guard, Goal);
+    // Mirrors the in-process contract: checkValid ends any session.
+    SessionOpen = SessionDead = false;
+    Death Last;
+    for (unsigned Attempt = 0; Attempt <= 1; ++Attempt) {
+      if (Attempt == 1)
+        Pool.noteRetry();
+      if (!ensureWorker(/*ForRetry=*/Attempt == 1)) {
+        fallbackLocal();
+        return InProc->checkValid(Guard, Goal);
+      }
+      std::string Req;
+      smt::packCheckValid(Req, Guard, Goal);
+      std::string Resp;
+      wire::MsgType RespType;
+      smt::PipeStatus PS = roundTrip(wire::MsgType::WkCheckValid, Req,
+                                     solveDeadlineMs(Opts.TimeoutMs),
+                                     RespType, Resp);
+      if (PS == smt::PipeStatus::Ok && RespType == wire::MsgType::WkResult) {
+        smt::CheckResult R;
+        size_t Pos = 0;
+        if (smt::unpackResult(Resp, Pos, R)) {
+          R.Retries = Attempt;
+          return R;
+        }
+        PS = smt::PipeStatus::Malformed;
+      }
+      Last = handleDeath(PS);
+      if (Last.Interrupted) {
+        smt::CheckResult R;
+        R.Status = smt::CheckStatus::Unknown;
+        R.Detail = "interrupted";
+        return R;
+      }
+    }
+    smt::CheckResult R;
+    R.Status = Last.Status;
+    R.Detail = Last.Detail + " (after 1 retry)";
+    R.Retries = 1;
+    return R;
+  }
+
+  std::string toSmtLib(const vir::LExprRef &Guard,
+                       const vir::LExprRef &Goal) override {
+    // Debug-only path; no reason to ship it over the pipe.
+    if (InProc)
+      return InProc->toSmtLib(Guard, Goal);
+    return makeInProcess(Opts)->toSmtLib(Guard, Goal);
+  }
+
+  void beginSession(const std::vector<vir::LExprRef> &Prefix,
+                    unsigned TimeoutMs) override {
+    if (InProc)
+      return InProc->beginSession(Prefix, TimeoutMs);
+    SessionOpen = true;
+    SessionDead = false;
+    SessionTimeoutMs = smt::resolveTimeout(TimeoutMs, Opts.TimeoutMs);
+    if (!ensureWorker(false)) {
+      // No worker and no slot: the session is stillborn; every
+      // checkSession reports Unknown and the ladder escalates.
+      SessionDead = true;
+      return;
+    }
+    std::string Req;
+    smt::packBeginSession(Req, TimeoutMs, Prefix);
+    std::string Resp;
+    wire::MsgType RespType;
+    smt::PipeStatus PS =
+        roundTrip(wire::MsgType::WkBeginSession, Req,
+                  static_cast<int>(Pool.options().ControlTimeoutMs),
+                  RespType, Resp);
+    if (PS != smt::PipeStatus::Ok || RespType != wire::MsgType::WkOk) {
+      handleDeath(PS);
+      SessionDead = true;
+    }
+  }
+
+  smt::CheckResult checkSession(const std::vector<vir::LExprRef> &Extra,
+                                const vir::LExprRef &Goal) override {
+    if (InProc)
+      return InProc->checkSession(Extra, Goal);
+    smt::CheckResult R;
+    if (!SessionOpen || SessionDead || Pid < 0) {
+      R.Detail = "no active session";
+      return R;
+    }
+    std::string Req;
+    smt::packCheckSession(Req, Extra, Goal);
+    std::string Resp;
+    wire::MsgType RespType;
+    smt::PipeStatus PS =
+        roundTrip(wire::MsgType::WkCheckSession, Req,
+                  solveDeadlineMs(SessionTimeoutMs), RespType, Resp);
+    if (PS == smt::PipeStatus::Ok && RespType == wire::MsgType::WkResult) {
+      size_t Pos = 0;
+      if (smt::unpackResult(Resp, Pos, R))
+        return R;
+      PS = smt::PipeStatus::Malformed;
+    }
+    // A death mid-session is not retried here: the session state died
+    // with the worker. The escalation ladder re-proves this VC at
+    // full budget in a fresh worker — that is the bounded retry.
+    Death D = handleDeath(PS);
+    SessionDead = true;
+    R.Status = D.Interrupted ? smt::CheckStatus::Unknown : D.Status;
+    R.Detail = D.Interrupted ? "interrupted" : D.Detail;
+    return R;
+  }
+
+  void endSession() override {
+    if (InProc)
+      return InProc->endSession();
+    if (SessionOpen && !SessionDead && Pid >= 0) {
+      std::string Resp;
+      wire::MsgType RespType;
+      smt::PipeStatus PS =
+          roundTrip(wire::MsgType::WkEndSession, {},
+                    static_cast<int>(Pool.options().ControlTimeoutMs),
+                    RespType, Resp);
+      if (PS != smt::PipeStatus::Ok)
+        handleDeath(PS);
+    }
+    SessionOpen = SessionDead = false;
+  }
+
+  void beginSharedSession(unsigned TimeoutMs) override {
+    if (InProc)
+      return InProc->beginSharedSession(TimeoutMs);
+    SessionOpen = true;
+    SessionDead = false;
+    SessionTimeoutMs = smt::resolveTimeout(TimeoutMs, Opts.TimeoutMs);
+    if (!ensureWorker(false)) {
+      SessionDead = true;
+      return;
+    }
+    std::string Req;
+    wire::packU32(Req, TimeoutMs);
+    std::string Resp;
+    wire::MsgType RespType;
+    smt::PipeStatus PS =
+        roundTrip(wire::MsgType::WkBeginShared, Req,
+                  static_cast<int>(Pool.options().ControlTimeoutMs),
+                  RespType, Resp);
+    if (PS != smt::PipeStatus::Ok || RespType != wire::MsgType::WkOk) {
+      handleDeath(PS);
+      SessionDead = true;
+    }
+  }
+
+  bool pushSessionScope(const std::vector<vir::LExprRef> &Prefix) override {
+    if (InProc)
+      return InProc->pushSessionScope(Prefix);
+    if (!SessionOpen || SessionDead || Pid < 0)
+      return false;
+    std::string Req;
+    smt::packExprDag(Req, Prefix);
+    std::string Resp;
+    wire::MsgType RespType;
+    smt::PipeStatus PS =
+        roundTrip(wire::MsgType::WkPushScope, Req,
+                  static_cast<int>(Pool.options().ControlTimeoutMs),
+                  RespType, Resp);
+    if (PS == smt::PipeStatus::Ok && RespType == wire::MsgType::WkBool) {
+      size_t Pos = 0;
+      uint8_t Ok = 0;
+      if (wire::unpackU8(Resp, Pos, Ok))
+        return Ok != 0;
+      PS = smt::PipeStatus::Malformed;
+    }
+    handleDeath(PS);
+    SessionDead = true;
+    return false;
+  }
+
+  void popSessionScope() override {
+    if (InProc)
+      return InProc->popSessionScope();
+    if (!SessionOpen || SessionDead || Pid < 0)
+      return;
+    std::string Resp;
+    wire::MsgType RespType;
+    smt::PipeStatus PS =
+        roundTrip(wire::MsgType::WkPopScope, {},
+                  static_cast<int>(Pool.options().ControlTimeoutMs),
+                  RespType, Resp);
+    if (PS != smt::PipeStatus::Ok || RespType != wire::MsgType::WkOk) {
+      handleDeath(PS);
+      SessionDead = true;
+    }
+  }
+
+  void interrupt() override {
+    InterruptFlag.store(true, std::memory_order_relaxed);
+    if (InProc)
+      return InProc->interrupt();
+    std::lock_guard<std::mutex> L(PidMu);
+    if (Pid >= 0)
+      ::kill(Pid, SIGKILL); // The blocked round trip sees EOF.
+  }
+
+private:
+  /// Wall-clock deadline for a solving round trip: solver budget plus
+  /// watchdog grace; an unlimited budget disables the watchdog (EOF
+  /// still detects deaths instantly).
+  int solveDeadlineMs(unsigned BudgetMs) const {
+    if (BudgetMs == 0)
+      return -1;
+    return static_cast<int>(BudgetMs + Pool.options().WatchdogGraceMs);
+  }
+
+  bool ensureWorker(bool ForRetry) {
+    if (Pid >= 0)
+      return true;
+    if (!Pool.reserveSlot())
+      return false;
+    unsigned Delay = Pool.backoffDelayMs(ConsecutiveSpawnFailures);
+    if (Delay > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(Delay));
+    if (!spawn(ForRetry) || !init()) {
+      if (Pid >= 0) {
+        killChild(true);
+      } else {
+        Pool.noteExit(true); // Slot reserved, spawn never ran.
+      }
+      ++ConsecutiveSpawnFailures;
+      return false;
+    }
+    ConsecutiveSpawnFailures = 0;
+    return true;
+  }
+
+  bool spawn(bool ForRetry) {
+    int Req[2] = {-1, -1}, Resp[2] = {-1, -1};
+    if (::pipe(Req) != 0)
+      return false;
+    if (::pipe(Resp) != 0) {
+      ::close(Req[0]);
+      ::close(Req[1]);
+      return false;
+    }
+    std::string Bin = Pool.options().WorkerBin;
+    std::string MemFlag = "--mem-mb=" + std::to_string(Pool.options().MemMb);
+    std::string CpuFlag = "--cpu-s=" + std::to_string(Pool.options().CpuS);
+    const char *Argv[] = {Bin.c_str(), "solve-worker", MemFlag.c_str(),
+                          CpuFlag.c_str(), nullptr};
+    // Retry workers get VCDRYAD_FAULT_RETRY so `-once` injected
+    // faults do not re-fire; built before fork (no allocation in the
+    // child between fork and exec).
+    std::vector<char *> Envp;
+    static char RetryVar[] = "VCDRYAD_FAULT_RETRY=1";
+    if (ForRetry) {
+      for (char **E = environ; *E; ++E)
+        Envp.push_back(*E);
+      Envp.push_back(RetryVar);
+      Envp.push_back(nullptr);
+    }
+    pid_t Child = ::fork();
+    if (Child < 0) {
+      ::close(Req[0]);
+      ::close(Req[1]);
+      ::close(Resp[0]);
+      ::close(Resp[1]);
+      return false;
+    }
+    if (Child == 0) {
+      ::dup2(Req[0], STDIN_FILENO);
+      ::dup2(Resp[1], STDOUT_FILENO);
+      ::close(Req[0]);
+      ::close(Req[1]);
+      ::close(Resp[0]);
+      ::close(Resp[1]);
+      if (ForRetry)
+        ::execve(Bin.c_str(), const_cast<char *const *>(Argv), Envp.data());
+      else
+        ::execv(Bin.c_str(), const_cast<char *const *>(Argv));
+      _exit(127);
+    }
+    ::close(Req[0]);
+    ::close(Resp[1]);
+    // Parent ends must not leak into later workers' children: a held
+    // write end would mask a sibling's death (no EOF).
+    ::fcntl(Req[1], F_SETFD, FD_CLOEXEC);
+    ::fcntl(Resp[0], F_SETFD, FD_CLOEXEC);
+    {
+      std::lock_guard<std::mutex> L(PidMu);
+      Pid = Child;
+    }
+    InFd = Req[1];
+    OutFd = Resp[0];
+    Acc.clear();
+    Pool.noteSpawned();
+    return true;
+  }
+
+  /// The Init handshake doubles as a liveness probe: a wrong binary
+  /// (or an exec failure) answers with garbage or EOF within the
+  /// control deadline and the spawn is rejected instead of hanging.
+  bool init() {
+    std::string Req;
+    smt::packInit(Req, Opts);
+    std::string Resp;
+    wire::MsgType RespType;
+    smt::PipeStatus PS =
+        roundTrip(wire::MsgType::WkInit, Req,
+                  static_cast<int>(Pool.options().ControlTimeoutMs),
+                  RespType, Resp);
+    return PS == smt::PipeStatus::Ok && RespType == wire::MsgType::WkOk;
+  }
+
+  smt::PipeStatus roundTrip(wire::MsgType Type, std::string_view Payload,
+                            int DeadlineMs, wire::MsgType &RespType,
+                            std::string &Resp) {
+    smt::PipeStatus PS = smt::writeFrame(InFd, Type, Payload);
+    if (PS != smt::PipeStatus::Ok)
+      return PS == smt::PipeStatus::Error ? smt::PipeStatus::Eof : PS;
+    return smt::readFrame(OutFd, Acc, RespType, Resp, DeadlineMs);
+  }
+
+  /// Kills/reaps the worker after a failed round trip and classifies
+  /// the failure for the verdict. Also feeds flap detection.
+  Death handleDeath(smt::PipeStatus PS) {
+    Death D;
+    bool Hung = PS == smt::PipeStatus::Timeout;
+    int Status = killChild(false, /*Reap=*/true);
+    if (InterruptFlag.exchange(false, std::memory_order_relaxed)) {
+      D.Interrupted = true;
+      Pool.noteExit(/*Unexpected=*/false);
+      return D;
+    }
+    if (Hung) {
+      D.Status = smt::CheckStatus::ResourceLimit;
+      D.Detail = "solver worker hit the wall-clock watchdog";
+    } else if (WIFEXITED(Status) &&
+               WEXITSTATUS(Status) == smt::WorkerExitOom) {
+      D.Status = smt::CheckStatus::ResourceLimit;
+      D.Detail = "solver worker hit its memory limit (RLIMIT_AS)";
+    } else if (WIFEXITED(Status) &&
+               WEXITSTATUS(Status) == smt::WorkerExitCpuLimit) {
+      D.Status = smt::CheckStatus::ResourceLimit;
+      D.Detail = "solver worker hit its cpu limit (RLIMIT_CPU)";
+    } else if (WIFSIGNALED(Status)) {
+      D.Status = smt::CheckStatus::Crashed;
+      D.Detail = "solver worker killed by signal " +
+                 std::to_string(WTERMSIG(Status));
+    } else {
+      D.Status = smt::CheckStatus::Crashed;
+      D.Detail = "solver worker exited with code " +
+                 std::to_string(WIFEXITED(Status) ? WEXITSTATUS(Status)
+                                                  : Status);
+    }
+    Pool.noteExit(/*Unexpected=*/true);
+    return D;
+  }
+
+  /// Closes the pipes and reaps the child. Returns the wait status
+  /// (0 when there was no child). SIGKILL first: the worker may be
+  /// wedged in a solve and EOF alone would not stop it.
+  int killChild(bool CountAsExit, bool Reap = false) {
+    pid_t P;
+    {
+      std::lock_guard<std::mutex> L(PidMu);
+      P = Pid;
+      Pid = -1;
+    }
+    if (P < 0)
+      return 0;
+    if (InFd >= 0)
+      ::close(InFd);
+    if (OutFd >= 0)
+      ::close(OutFd);
+    InFd = OutFd = -1;
+    Acc.clear();
+    int Status = 0;
+    ::kill(P, SIGKILL);
+    while (::waitpid(P, &Status, 0) < 0 && errno == EINTR)
+      ;
+    (void)Reap;
+    if (CountAsExit)
+      Pool.noteExit(/*Unexpected=*/true);
+    else if (!Reap)
+      Pool.noteExit(/*Unexpected=*/false); // Destructor path.
+    return Status;
+  }
+
+  void fallbackLocal() {
+    if (!InProc)
+      InProc = makeInProcess(Opts);
+  }
+
+  SolverPool &Pool;
+  smt::SolverOptions Opts;
+  std::mutex PidMu;
+  pid_t Pid = -1;
+  int InFd = -1;  ///< Parent writes requests here.
+  int OutFd = -1; ///< Parent reads responses here.
+  std::string Acc;
+  unsigned SessionTimeoutMs = 0;
+  bool SessionOpen = false;
+  bool SessionDead = false;
+  unsigned ConsecutiveSpawnFailures = 0;
+  std::atomic<bool> InterruptFlag{false};
+  std::unique_ptr<smt::SmtSolver> InProc;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SolverPool
+//===----------------------------------------------------------------------===//
+
+std::string service::resolveWorkerBin(const std::string &Explicit) {
+  if (!Explicit.empty())
+    return Explicit;
+  if (const char *Env = std::getenv("VCDRYAD_WORKER_BIN"))
+    if (*Env)
+      return Env;
+  char Buf[4096];
+  ssize_t N = ::readlink("/proc/self/exe", Buf, sizeof(Buf) - 1);
+  if (N <= 0)
+    return std::string();
+  Buf[N] = '\0';
+  return Buf;
+}
+
+SolverPool::SolverPool(PoolOptions O) : Opts(std::move(O)) {
+  // Writing a request frame races the worker's death: a child whose
+  // exec failed (or that just crashed) closes the pipe's read end,
+  // and the parent's write must surface as EPIPE — not as a SIGPIPE
+  // that kills the host process. Pipes have no MSG_NOSIGNAL, so the
+  // disposition is the only guard; only replace the default one, a
+  // host that installed its own handler knows what it is doing.
+  struct sigaction SA;
+  if (::sigaction(SIGPIPE, nullptr, &SA) == 0 &&
+      SA.sa_handler == SIG_DFL) {
+    SA.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &SA, nullptr);
+  }
+  Opts.WorkerBin = resolveWorkerBin(Opts.WorkerBin);
+  if (Opts.WorkerBin.empty()) {
+    std::lock_guard<std::mutex> L(Mu);
+    Stats.Degraded = true;
+    if (!WarnedDegraded) {
+      WarnedDegraded = true;
+      std::fprintf(stderr, "vcdryad: cannot resolve a solve-worker binary; "
+                           "solver isolation disabled\n");
+    }
+  }
+}
+
+SolverPool::~SolverPool() = default;
+
+std::unique_ptr<smt::SmtSolver>
+SolverPool::makeSolver(const smt::SolverOptions &SOpts) {
+  if (degraded()) {
+    noteFallback();
+    return makeInProcess(SOpts);
+  }
+  return std::make_unique<IsolatedSolver>(*this, SOpts);
+}
+
+smt::SolverFactory SolverPool::factory() {
+  return [this](const smt::SolverOptions &SO) { return makeSolver(SO); };
+}
+
+PoolStats SolverPool::stats() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Stats;
+}
+
+bool SolverPool::degraded() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Stats.Degraded;
+}
+
+bool SolverPool::reserveSlot() {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Stats.Degraded)
+    return false;
+  if (Opts.MaxWorkers > 0 && Stats.Live >= Opts.MaxWorkers) {
+    ++Stats.Fallbacks;
+    return false;
+  }
+  ++Stats.Live;
+  return true;
+}
+
+void SolverPool::noteSpawned() {
+  std::lock_guard<std::mutex> L(Mu);
+  ++Stats.Spawns;
+}
+
+void SolverPool::noteExit(bool Unexpected) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Stats.Live > 0)
+    --Stats.Live;
+  if (!Unexpected)
+    return;
+  ++Stats.Deaths;
+  auto Now = std::chrono::steady_clock::now();
+  RecentDeaths.push_back(Now);
+  auto WindowStart = Now - std::chrono::milliseconds(Opts.FlapWindowMs);
+  while (!RecentDeaths.empty() && RecentDeaths.front() < WindowStart)
+    RecentDeaths.pop_front();
+  if (Opts.FlapK > 0 && RecentDeaths.size() >= Opts.FlapK &&
+      !Stats.Degraded) {
+    Stats.Degraded = true;
+    if (!WarnedDegraded) {
+      WarnedDegraded = true;
+      std::fprintf(stderr,
+                   "vcdryad: solver workers died %zu times in %u ms; "
+                   "degrading to in-process solving\n",
+                   RecentDeaths.size(), Opts.FlapWindowMs);
+    }
+  }
+}
+
+void SolverPool::noteRetry() {
+  std::lock_guard<std::mutex> L(Mu);
+  ++Stats.Retries;
+}
+
+void SolverPool::noteFallback() {
+  std::lock_guard<std::mutex> L(Mu);
+  ++Stats.Fallbacks;
+}
+
+unsigned SolverPool::backoffDelayMs(unsigned ConsecutiveFailures) const {
+  if (ConsecutiveFailures == 0)
+    return 0;
+  unsigned Shift = ConsecutiveFailures > 8 ? 8 : ConsecutiveFailures;
+  unsigned Delay = Opts.BackoffBaseMs << (Shift - 1);
+  return Delay > Opts.BackoffCapMs ? Opts.BackoffCapMs : Delay;
+}

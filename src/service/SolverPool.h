@@ -1,0 +1,138 @@
+//===- SolverPool.h - Supervised out-of-process solver pool -----*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The crash-isolation boundary of the pipeline: a supervised pool of
+/// `vcdryad solve-worker` child processes, each hosting one Z3 solver
+/// behind the smt/WorkerProto pipe protocol. The pool hands out
+/// SmtSolver instances (smt::SolverFactory-compatible) that are
+/// drop-in replacements for the in-process backend; a worker that
+/// segfaults, OOMs against its RLIMIT_AS, burns past RLIMIT_CPU, or
+/// hangs into the wall-clock watchdog costs one obligation — retried
+/// once in a fresh worker — never the process, the daemon, or the
+/// journaled stores.
+///
+/// Supervision state machine, per pool:
+///
+///   Healthy --spawn-on-demand (up to MaxWorkers)--> Healthy
+///   Healthy --unexpected death--> Healthy (respawn w/ exp. backoff)
+///   Healthy --FlapK unexpected deaths in FlapWindowMs--> Degraded
+///   Degraded: permanent for the pool's lifetime; every subsequent
+///             solver request returns the in-process backend, with a
+///             one-time stderr warning. Verdict-neutral by design.
+///
+/// Interrupt (portfolio lane cancellation) SIGKILLs the child; such
+/// deaths are expected and do not count toward flap detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SERVICE_SOLVERPOOL_H
+#define VCDRYAD_SERVICE_SOLVERPOOL_H
+
+#include "smt/Solver.h"
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace vcdryad {
+namespace service {
+
+struct PoolOptions {
+  /// Worker executable. Empty = $VCDRYAD_WORKER_BIN, else the running
+  /// binary itself (/proc/self/exe) — the tool hosts the
+  /// `solve-worker` subcommand, so self-exec is the common case.
+  std::string WorkerBin;
+  /// RLIMIT_AS per worker in MiB (0 = unlimited). Whole address
+  /// space, Z3 included: values below ~256 starve the solver.
+  unsigned MemMb = 0;
+  /// RLIMIT_CPU per worker in seconds (0 = unlimited).
+  unsigned CpuS = 0;
+  /// Concurrent-worker soft cap (0 = unlimited). Requests beyond the
+  /// cap get the in-process backend — verdicts are unaffected, only
+  /// the fault boundary narrows.
+  unsigned MaxWorkers = 0;
+  /// Degrade after this many unexpected deaths inside FlapWindowMs.
+  unsigned FlapK = 6;
+  unsigned FlapWindowMs = 10000;
+  /// Respawn backoff: BackoffBaseMs * 2^consecutive-failures, capped.
+  /// Small constants on purpose — obligations block on respawn.
+  unsigned BackoffBaseMs = 25;
+  unsigned BackoffCapMs = 400;
+  /// Wall-clock watchdog slack added to a check's solver budget; a
+  /// worker silent past budget+grace is declared hung and killed.
+  unsigned WatchdogGraceMs = 10000;
+  /// Deadline for non-solving round trips (init, session control).
+  unsigned ControlTimeoutMs = 120000;
+};
+
+struct PoolStats {
+  uint64_t Spawns = 0;         ///< Workers successfully started.
+  uint64_t Deaths = 0;         ///< Unexpected worker deaths.
+  uint64_t Retries = 0;        ///< Bounded per-check retries taken.
+  uint64_t Fallbacks = 0;      ///< In-process solvers handed out.
+  uint64_t Live = 0;           ///< Workers currently running.
+  bool Degraded = false;
+};
+
+/// The supervisor. Thread-safe; one pool serves every worker thread
+/// of a batch run (and every portfolio lane). Solvers handed out hold
+/// a reference to the pool — the pool must outlive them.
+class SolverPool {
+public:
+  explicit SolverPool(PoolOptions O);
+  ~SolverPool();
+
+  SolverPool(const SolverPool &) = delete;
+  SolverPool &operator=(const SolverPool &) = delete;
+
+  /// One isolated solver (or the in-process backend when degraded /
+  /// over cap). Never returns null.
+  std::unique_ptr<smt::SmtSolver> makeSolver(const smt::SolverOptions &SOpts);
+
+  /// An smt::SolverFactory view of makeSolver, for SolverOptions /
+  /// VerifyOptions plumbing. Captures `this`.
+  smt::SolverFactory factory();
+
+  PoolStats stats() const;
+  bool degraded() const;
+  const PoolOptions &options() const { return Opts; }
+
+  // Supervision callbacks for the solvers this pool hands out.
+
+  /// Reserves a worker slot. False when degraded or at MaxWorkers;
+  /// the caller then falls back in-process. On true the slot is held
+  /// until noteExit().
+  bool reserveSlot();
+  void noteSpawned();
+  /// Records a worker exit and releases its slot. \p Unexpected
+  /// deaths (crash, OOM, watchdog) feed flap detection; interrupt
+  /// kills and clean shutdowns do not.
+  void noteExit(bool Unexpected);
+  void noteRetry();
+  void noteFallback();
+  /// Backoff before the Nth consecutive failed respawn (0 = none).
+  unsigned backoffDelayMs(unsigned ConsecutiveFailures) const;
+
+private:
+  PoolOptions Opts;
+  mutable std::mutex Mu;
+  PoolStats Stats;
+  std::deque<std::chrono::steady_clock::time_point> RecentDeaths;
+  bool WarnedDegraded = false;
+};
+
+/// Resolves the worker binary path per the PoolOptions::WorkerBin
+/// rules. Empty result = resolution failed (no /proc, no env).
+std::string resolveWorkerBin(const std::string &Explicit);
+
+} // namespace service
+} // namespace vcdryad
+
+#endif // VCDRYAD_SERVICE_SOLVERPOOL_H

@@ -115,7 +115,7 @@ PortfolioResult smt::checkPortfolio(const SolverOptions &Base,
       SolverOptions SO = Base;
       if (!Lanes.empty())
         SO.Profile = Lanes[I];
-      Solvers[I] = createZ3Solver(SO);
+      Solvers[I] = createSolver(SO);
       Outs[I].Profile = SO.Profile.Name;
     }
   }

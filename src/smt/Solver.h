@@ -17,6 +17,7 @@
 
 #include "vir/LExpr.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -29,6 +30,14 @@ enum class CheckStatus {
   Valid,   ///< Guard entails Goal.
   Invalid, ///< Counterexample found.
   Unknown, ///< Timeout / incompleteness.
+  /// An out-of-process solver worker died (segfault, abort, external
+  /// kill) while solving this obligation — after the bounded retry.
+  /// Only the isolated path produces this; it is never cached.
+  Crashed,
+  /// An out-of-process worker hit a resource limit (RLIMIT_AS memory
+  /// cap, RLIMIT_CPU, or the parent's wall-clock watchdog). Like
+  /// Crashed, per-obligation, post-retry, and never cached.
+  ResourceLimit,
 };
 
 struct CheckResult {
@@ -36,6 +45,9 @@ struct CheckResult {
   /// Counterexample model (Invalid) or solver message (Unknown).
   std::string Detail;
   double TimeMs = 0.0;
+  /// Times this check was re-run in a fresh worker after a worker
+  /// death (0 on the in-process path; at most 1 — retry is bounded).
+  unsigned Retries = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -67,6 +79,18 @@ struct TacticProfile {
   std::vector<std::pair<std::string, std::string>> Params;
 };
 
+struct SolverOptions;
+
+/// Pluggable solver construction: when set, createSolver() routes
+/// through this hook instead of the in-process Z3 backend. The
+/// isolated-worker pool installs itself here, so every creation site
+/// (verifier, batch scheduler, portfolio lanes) picks up isolation
+/// without knowing about it. The hook is *not* part of the
+/// cache-keying option hash — isolation must not change verdicts, so
+/// it must not change keys.
+using SolverFactory =
+    std::function<std::unique_ptr<class SmtSolver>(const SolverOptions &)>;
+
 struct SolverOptions {
   /// Per-check budget in milliseconds; 0 = unlimited.
   unsigned TimeoutMs = 60000;
@@ -76,6 +100,8 @@ struct SolverOptions {
   size_t MaxModelChars = 4000;
   /// Parameter overrides of this solver's tactic profile.
   TacticProfile Profile;
+  /// Optional construction hook (see SolverFactory). Null = in-process.
+  SolverFactory MakeSolver;
 };
 
 /// One solving session; reusable across checks of one program.
@@ -186,6 +212,18 @@ public:
 };
 
 std::unique_ptr<SmtSolver> createZ3Solver(const SolverOptions &Opts = {});
+
+/// The creation entry point every solving site uses: defers to
+/// Opts.MakeSolver when installed (isolated workers), else the
+/// in-process Z3 backend. The in-process contract — one instance, one
+/// thread; serialize creation — applies either way.
+std::unique_ptr<SmtSolver> createSolver(const SolverOptions &Opts);
+
+/// True when \p S is a final verdict the ladder should not escalate
+/// and the cache should never store: a crash or resource-limit event.
+constexpr bool isFailureEvent(CheckStatus S) {
+  return S == CheckStatus::Crashed || S == CheckStatus::ResourceLimit;
+}
 
 } // namespace smt
 } // namespace vcdryad

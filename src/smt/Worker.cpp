@@ -1,0 +1,257 @@
+//===- Worker.cpp - Out-of-process solver worker ---------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Worker.h"
+
+#include "smt/Solver.h"
+#include "smt/WorkerProto.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <sys/resource.h>
+#include <unistd.h>
+
+using namespace vcdryad;
+using namespace vcdryad::smt;
+
+//===----------------------------------------------------------------------===//
+// Fault injection
+//===----------------------------------------------------------------------===//
+
+FaultSpec FaultSpec::parse(const char *Env) {
+  FaultSpec F;
+  if (!Env || !*Env)
+    return F;
+  std::string S(Env);
+  size_t Colon = S.find(':');
+  std::string Kind = Colon == std::string::npos ? S : S.substr(0, Colon);
+  F.HexPrefix = Colon == std::string::npos ? "" : S.substr(Colon + 1);
+  if (Kind.size() > 5 && Kind.compare(Kind.size() - 5, 5, "-once") == 0) {
+    F.Once = true;
+    Kind.resize(Kind.size() - 5);
+  }
+  if (Kind == "crash")
+    F.K = Kind::Crash;
+  else if (Kind == "hang")
+    F.K = Kind::Hang;
+  else if (Kind == "oom")
+    F.K = Kind::Oom;
+  else
+    F.K = Kind::None;
+  return F;
+}
+
+bool FaultSpec::matches(uint64_t GoalHash) const {
+  if (K == Kind::None)
+    return false;
+  if (HexPrefix.empty() || HexPrefix == "*")
+    return true;
+  char Hex[17];
+  std::snprintf(Hex, sizeof(Hex), "%016llx",
+                static_cast<unsigned long long>(GoalHash));
+  return std::strncmp(Hex, HexPrefix.c_str(), HexPrefix.size()) == 0;
+}
+
+uint64_t smt::faultTargetHash(const vir::LExprRef &Goal) {
+  return vir::stableExprHash(Goal);
+}
+
+namespace {
+
+[[noreturn]] void triggerOom() {
+  // Allocate-and-touch until the limit bites. Under RLIMIT_AS the
+  // mmap fails and operator new throws well before the safety cap;
+  // the cap keeps an unlimited worker from hurting the host.
+  constexpr size_t Chunk = 32u << 20;
+  constexpr size_t SafetyCap = 1u << 30;
+  std::vector<char *> Hog;
+  size_t Total = 0;
+  try {
+    while (Total < SafetyCap) {
+      char *P = new char[Chunk];
+      for (size_t I = 0; I < Chunk; I += 4096)
+        P[I] = static_cast<char>(I);
+      Hog.push_back(P);
+      Total += Chunk;
+    }
+  } catch (const std::bad_alloc &) {
+  }
+  _exit(WorkerExitOom);
+}
+
+void maybeInjectFault(const FaultSpec &Fault, const vir::LExprRef &Goal) {
+  if (!Fault.matches(faultTargetHash(Goal)))
+    return;
+  switch (Fault.K) {
+  case FaultSpec::Kind::Crash:
+    std::abort();
+  case FaultSpec::Kind::Hang:
+    for (;;)
+      ::pause(); // The parent's wall-clock watchdog reaps us.
+  case FaultSpec::Kind::Oom:
+    triggerOom();
+  case FaultSpec::Kind::None:
+    break;
+  }
+}
+
+extern "C" void onCpuLimit(int) { _exit(WorkerExitCpuLimit); }
+
+bool applyLimits(unsigned MemMb, unsigned CpuS) {
+  if (MemMb > 0) {
+    rlimit L{};
+    L.rlim_cur = L.rlim_max = static_cast<rlim_t>(MemMb) << 20;
+    if (::setrlimit(RLIMIT_AS, &L) != 0)
+      return false;
+  }
+  if (CpuS > 0) {
+    // Soft limit delivers SIGXCPU (caught -> distinct exit code);
+    // the hard limit is a SIGKILL backstop if the handler is stuck.
+    rlimit L{};
+    L.rlim_cur = CpuS;
+    L.rlim_max = CpuS + 5;
+    if (::setrlimit(RLIMIT_CPU, &L) != 0)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int smt::runSolveWorker(const std::vector<std::string> &Args) {
+  unsigned MemMb = 0, CpuS = 0;
+  for (const std::string &A : Args) {
+    if (A.rfind("--mem-mb=", 0) == 0)
+      MemMb = static_cast<unsigned>(std::strtoul(A.c_str() + 9, nullptr, 10));
+    else if (A.rfind("--cpu-s=", 0) == 0)
+      CpuS = static_cast<unsigned>(std::strtoul(A.c_str() + 8, nullptr, 10));
+    else {
+      std::fprintf(stderr, "solve-worker: unknown flag '%s'\n", A.c_str());
+      return WorkerExitProtocol;
+    }
+  }
+  // A parent that vanishes closes our pipes; the next write must
+  // surface EPIPE, not kill us mid-classification.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGXCPU, onCpuLimit);
+  if (!applyLimits(MemMb, CpuS)) {
+    std::fprintf(stderr, "solve-worker: setrlimit failed: %s\n",
+                 std::strerror(errno));
+    return WorkerExitProtocol;
+  }
+
+  FaultSpec Fault = FaultSpec::parse(std::getenv("VCDRYAD_FAULT"));
+  if (Fault.Once && std::getenv("VCDRYAD_FAULT_RETRY"))
+    Fault.K = FaultSpec::Kind::None; // Retry workers skip -once faults.
+
+  SolverOptions Opts;
+  std::unique_ptr<SmtSolver> Solver;
+  // Session expressions must outlive endSession (the lowering memo is
+  // keyed by node address); the arena interns weakly, so the worker
+  // pins every session root until the session ends.
+  std::vector<vir::LExprRef> SessionPins;
+  std::string Acc, Payload, Out;
+
+  for (;;) {
+    wire::MsgType Type;
+    PipeStatus PS = readFrame(STDIN_FILENO, Acc, Type, Payload, -1);
+    if (PS == PipeStatus::Eof)
+      return WorkerExitOk; // Parent closed the pipe: normal shutdown.
+    if (PS != PipeStatus::Ok)
+      return WorkerExitProtocol;
+
+    size_t Pos = 0;
+    Out.clear();
+    wire::MsgType RespType = wire::MsgType::WkOk;
+    try {
+      switch (Type) {
+      case wire::MsgType::WkInit: {
+        SolverOptions NewOpts;
+        if (!unpackInit(Payload, Pos, NewOpts))
+          return WorkerExitProtocol;
+        Opts = std::move(NewOpts);
+        Solver = createZ3Solver(Opts);
+        SessionPins.clear();
+        break;
+      }
+      case wire::MsgType::WkCheckValid: {
+        vir::LExprRef Guard, Goal;
+        if (!Solver || !unpackCheckValid(Payload, Pos, Guard, Goal))
+          return WorkerExitProtocol;
+        maybeInjectFault(Fault, Goal);
+        CheckResult R = Solver->checkValid(Guard, Goal);
+        SessionPins.clear(); // checkValid ends any active session.
+        packResult(Out, R);
+        RespType = wire::MsgType::WkResult;
+        break;
+      }
+      case wire::MsgType::WkBeginSession: {
+        unsigned TimeoutMs = 0;
+        std::vector<vir::LExprRef> Prefix;
+        if (!Solver || !unpackBeginSession(Payload, Pos, TimeoutMs, Prefix))
+          return WorkerExitProtocol;
+        SessionPins = Prefix;
+        Solver->beginSession(Prefix, TimeoutMs);
+        break;
+      }
+      case wire::MsgType::WkCheckSession: {
+        std::vector<vir::LExprRef> Extra;
+        vir::LExprRef Goal;
+        if (!Solver || !unpackCheckSession(Payload, Pos, Extra, Goal))
+          return WorkerExitProtocol;
+        SessionPins.insert(SessionPins.end(), Extra.begin(), Extra.end());
+        SessionPins.push_back(Goal);
+        maybeInjectFault(Fault, Goal);
+        CheckResult R = Solver->checkSession(Extra, Goal);
+        packResult(Out, R);
+        RespType = wire::MsgType::WkResult;
+        break;
+      }
+      case wire::MsgType::WkEndSession:
+        if (!Solver)
+          return WorkerExitProtocol;
+        Solver->endSession();
+        SessionPins.clear();
+        break;
+      case wire::MsgType::WkBeginShared: {
+        uint32_t TimeoutMs = 0;
+        if (!Solver || !wire::unpackU32(Payload, Pos, TimeoutMs))
+          return WorkerExitProtocol;
+        SessionPins.clear();
+        Solver->beginSharedSession(TimeoutMs);
+        break;
+      }
+      case wire::MsgType::WkPushScope: {
+        std::vector<vir::LExprRef> Prefix;
+        if (!Solver || !unpackExprDag(Payload, Pos, Prefix))
+          return WorkerExitProtocol;
+        // Scope pins persist across popSessionScope by contract (the
+        // lowering memo spans the whole shared session).
+        SessionPins.insert(SessionPins.end(), Prefix.begin(), Prefix.end());
+        bool Ok = Solver->pushSessionScope(Prefix);
+        wire::packU8(Out, Ok ? 1 : 0);
+        RespType = wire::MsgType::WkBool;
+        break;
+      }
+      case wire::MsgType::WkPopScope:
+        if (!Solver)
+          return WorkerExitProtocol;
+        Solver->popSessionScope();
+        break;
+      default:
+        return WorkerExitProtocol;
+      }
+    } catch (const std::bad_alloc &) {
+      _exit(WorkerExitOom);
+    }
+    if (writeFrame(STDOUT_FILENO, RespType, Out) != PipeStatus::Ok)
+      return WorkerExitProtocol;
+  }
+}

@@ -1,0 +1,74 @@
+//===- Worker.h - Out-of-process solver worker ------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `vcdryad solve-worker` entry point: a single-threaded loop
+/// that hosts one in-process Z3 solver behind the WorkerProto framing
+/// on stdin/stdout. The worker applies its own resource limits
+/// (RLIMIT_AS / RLIMIT_CPU) so a runaway solve kills only this
+/// process; the supervising pool classifies the death and retries.
+///
+/// Deterministic fault injection, honored *only* here (the parent
+/// never reads it): VCDRYAD_FAULT=<kind>:<hex-prefix> with kind one
+/// of crash / hang / oom (optionally suffixed -once). The prefix is
+/// matched against the goal's stable content hash in lowercase hex;
+/// "*" or an empty prefix matches every obligation. A -once fault is
+/// suppressed when VCDRYAD_FAULT_RETRY is set — the pool sets that
+/// variable in workers it respawns for a bounded retry, so
+/// "crash-once:<h>" deterministically exercises the retried-Valid
+/// path end-to-end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SMT_WORKER_H
+#define VCDRYAD_SMT_WORKER_H
+
+#include "vir/LExpr.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace smt {
+
+/// Worker exit codes the supervisor classifies. Anything else (and
+/// any signal death) is a crash.
+enum WorkerExitCode {
+  WorkerExitOk = 0,
+  WorkerExitProtocol = 2,  ///< Malformed frame / unexpected message.
+  WorkerExitOom = 77,      ///< Self-detected allocation failure.
+  WorkerExitCpuLimit = 78, ///< SIGXCPU (RLIMIT_CPU soft limit).
+};
+
+/// A parsed VCDRYAD_FAULT specification.
+struct FaultSpec {
+  enum class Kind { None, Crash, Hang, Oom };
+  Kind K = Kind::None;
+  bool Once = false;
+  std::string HexPrefix;
+
+  /// Parses "<kind>[-once]:<hex-prefix>"; Kind::None on null/bad input.
+  static FaultSpec parse(const char *Env);
+
+  /// True when this spec targets the obligation hashed \p GoalHash.
+  bool matches(uint64_t GoalHash) const;
+};
+
+/// The obligation identity faults are targeted by: the goal's stable
+/// content hash, identical across processes, runs, and ladder rungs
+/// (escalation re-checks the same goal under a wider guard).
+uint64_t faultTargetHash(const vir::LExprRef &Goal);
+
+/// Runs the worker loop on stdin/stdout until EOF. \p Args are the
+/// argv entries after `solve-worker`: --mem-mb=N (RLIMIT_AS),
+/// --cpu-s=N (RLIMIT_CPU). Returns the process exit code.
+int runSolveWorker(const std::vector<std::string> &Args);
+
+} // namespace smt
+} // namespace vcdryad
+
+#endif // VCDRYAD_SMT_WORKER_H

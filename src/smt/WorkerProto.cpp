@@ -1,0 +1,337 @@
+//===- WorkerProto.cpp - Solver-worker wire protocol -----------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/WorkerProto.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <poll.h>
+#include <unistd.h>
+#include <unordered_map>
+
+using namespace vcdryad;
+using namespace vcdryad::smt;
+
+//===----------------------------------------------------------------------===//
+// Long byte strings
+//===----------------------------------------------------------------------===//
+
+void smt::packBytes(std::string &Out, std::string_view S) {
+  wire::packU32(Out, static_cast<uint32_t>(S.size()));
+  Out.append(S.data(), S.size());
+}
+
+bool smt::unpackBytes(std::string_view Buf, size_t &Pos, std::string &S) {
+  uint32_t Len = 0;
+  if (!wire::unpackU32(Buf, Pos, Len))
+    return false;
+  if (Buf.size() - Pos < Len)
+    return false;
+  S.assign(Buf.data() + Pos, Len);
+  Pos += Len;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression DAGs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr uint8_t MaxOpTag = static_cast<uint8_t>(vir::LOp::Forall);
+constexpr uint8_t MaxSortTag = static_cast<uint8_t>(vir::Sort::ArrLocInt);
+
+/// Post-order DAG walk assigning each distinct node an index and
+/// emitting it once, children first (so every arg index in the
+/// serialization refers backward).
+class DagPacker {
+public:
+  explicit DagPacker(std::string &Out) : Nodes(), Out(Out) {}
+
+  uint32_t visit(const vir::LExprRef &E) {
+    auto It = Index.find(E.get());
+    if (It != Index.end())
+      return It->second;
+    std::vector<uint32_t> ArgIds;
+    ArgIds.reserve(E->Args.size());
+    for (const vir::LExprRef &A : E->Args)
+      ArgIds.push_back(visit(A));
+    uint32_t Id = static_cast<uint32_t>(Nodes.size());
+    Nodes.push_back({});
+    std::string &N = Nodes.back();
+    wire::packU8(N, static_cast<uint8_t>(E->Op));
+    wire::packU8(N, static_cast<uint8_t>(E->ExprSort));
+    packBytes(N, E->Name);
+    wire::packU64(N, static_cast<uint64_t>(E->IntVal));
+    wire::packU32(N, static_cast<uint32_t>(ArgIds.size()));
+    for (uint32_t A : ArgIds)
+      wire::packU32(N, A);
+    Index.emplace(E.get(), Id);
+    return Id;
+  }
+
+  void finish(const std::vector<uint32_t> &Roots) {
+    wire::packU32(Out, static_cast<uint32_t>(Nodes.size()));
+    for (const std::string &N : Nodes)
+      Out += N;
+    wire::packU32(Out, static_cast<uint32_t>(Roots.size()));
+    for (uint32_t R : Roots)
+      wire::packU32(Out, R);
+  }
+
+private:
+  std::unordered_map<const vir::LExpr *, uint32_t> Index;
+  std::vector<std::string> Nodes;
+  std::string &Out;
+};
+
+} // namespace
+
+void smt::packExprDag(std::string &Out,
+                      const std::vector<vir::LExprRef> &Roots) {
+  DagPacker P(Out);
+  std::vector<uint32_t> RootIds;
+  RootIds.reserve(Roots.size());
+  for (const vir::LExprRef &R : Roots)
+    RootIds.push_back(P.visit(R));
+  P.finish(RootIds);
+}
+
+bool smt::unpackExprDag(std::string_view Buf, size_t &Pos,
+                        std::vector<vir::LExprRef> &Roots) {
+  Roots.clear();
+  uint32_t NodeCount = 0;
+  if (!wire::unpackU32(Buf, Pos, NodeCount))
+    return false;
+  // Each node costs at least 14 bytes on the wire; reject counts the
+  // remaining payload cannot possibly hold before allocating.
+  if (NodeCount > (Buf.size() - Pos) / 14 + 1)
+    return false;
+  std::vector<vir::LExprRef> Nodes;
+  Nodes.reserve(NodeCount);
+  for (uint32_t I = 0; I < NodeCount; ++I) {
+    uint8_t OpTag = 0, SortTag = 0;
+    std::string Name;
+    uint64_t IntBits = 0;
+    uint32_t Argc = 0;
+    if (!wire::unpackU8(Buf, Pos, OpTag) ||
+        !wire::unpackU8(Buf, Pos, SortTag) || !unpackBytes(Buf, Pos, Name) ||
+        !wire::unpackU64(Buf, Pos, IntBits) ||
+        !wire::unpackU32(Buf, Pos, Argc))
+      return false;
+    if (OpTag > MaxOpTag || SortTag > MaxSortTag)
+      return false;
+    std::vector<vir::LExprRef> Args;
+    Args.reserve(Argc);
+    for (uint32_t A = 0; A < Argc; ++A) {
+      uint32_t ArgId = 0;
+      // Child-before-parent order: args may only index backward.
+      if (!wire::unpackU32(Buf, Pos, ArgId) || ArgId >= I)
+        return false;
+      Args.push_back(Nodes[ArgId]);
+    }
+    Nodes.push_back(vir::internRaw(static_cast<vir::LOp>(OpTag),
+                                   static_cast<vir::Sort>(SortTag),
+                                   std::move(Name),
+                                   static_cast<int64_t>(IntBits),
+                                   std::move(Args)));
+  }
+  uint32_t RootCount = 0;
+  if (!wire::unpackU32(Buf, Pos, RootCount))
+    return false;
+  if (RootCount > NodeCount)
+    return false;
+  Roots.reserve(RootCount);
+  for (uint32_t I = 0; I < RootCount; ++I) {
+    uint32_t Id = 0;
+    if (!wire::unpackU32(Buf, Pos, Id) || Id >= NodeCount)
+      return false;
+    Roots.push_back(Nodes[Id]);
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Request / response bodies
+//===----------------------------------------------------------------------===//
+
+void smt::packInit(std::string &Out, const SolverOptions &Opts) {
+  wire::packU32(Out, Opts.TimeoutMs);
+  wire::packU32(Out, static_cast<uint32_t>(Opts.MaxModelChars));
+  packBytes(Out, Opts.Profile.Name);
+  wire::packU32(Out, static_cast<uint32_t>(Opts.Profile.Params.size()));
+  for (const auto &[K, V] : Opts.Profile.Params) {
+    packBytes(Out, K);
+    packBytes(Out, V);
+  }
+  packExprDag(Out, Opts.BackgroundAxioms);
+}
+
+bool smt::unpackInit(std::string_view Buf, size_t &Pos, SolverOptions &Opts) {
+  uint32_t Timeout = 0, ModelChars = 0, ParamCount = 0;
+  if (!wire::unpackU32(Buf, Pos, Timeout) ||
+      !wire::unpackU32(Buf, Pos, ModelChars) ||
+      !unpackBytes(Buf, Pos, Opts.Profile.Name) ||
+      !wire::unpackU32(Buf, Pos, ParamCount))
+    return false;
+  Opts.TimeoutMs = Timeout;
+  Opts.MaxModelChars = ModelChars;
+  Opts.Profile.Params.clear();
+  for (uint32_t I = 0; I < ParamCount; ++I) {
+    std::string K, V;
+    if (!unpackBytes(Buf, Pos, K) || !unpackBytes(Buf, Pos, V))
+      return false;
+    Opts.Profile.Params.emplace_back(std::move(K), std::move(V));
+  }
+  return unpackExprDag(Buf, Pos, Opts.BackgroundAxioms);
+}
+
+void smt::packCheckValid(std::string &Out, const vir::LExprRef &Guard,
+                         const vir::LExprRef &Goal) {
+  packExprDag(Out, {Guard, Goal});
+}
+
+bool smt::unpackCheckValid(std::string_view Buf, size_t &Pos,
+                           vir::LExprRef &Guard, vir::LExprRef &Goal) {
+  std::vector<vir::LExprRef> Roots;
+  if (!unpackExprDag(Buf, Pos, Roots) || Roots.size() != 2)
+    return false;
+  Guard = std::move(Roots[0]);
+  Goal = std::move(Roots[1]);
+  return true;
+}
+
+void smt::packResult(std::string &Out, const CheckResult &R) {
+  wire::packU8(Out, static_cast<uint8_t>(R.Status));
+  packBytes(Out, R.Detail);
+  uint64_t Bits = 0;
+  static_assert(sizeof(Bits) == sizeof(R.TimeMs));
+  std::memcpy(&Bits, &R.TimeMs, sizeof(Bits));
+  wire::packU64(Out, Bits);
+}
+
+bool smt::unpackResult(std::string_view Buf, size_t &Pos, CheckResult &R) {
+  uint8_t Status = 0;
+  uint64_t Bits = 0;
+  if (!wire::unpackU8(Buf, Pos, Status) || !unpackBytes(Buf, Pos, R.Detail) ||
+      !wire::unpackU64(Buf, Pos, Bits))
+    return false;
+  if (Status > static_cast<uint8_t>(CheckStatus::ResourceLimit))
+    return false;
+  R.Status = static_cast<CheckStatus>(Status);
+  std::memcpy(&R.TimeMs, &Bits, sizeof(Bits));
+  R.Retries = 0;
+  return true;
+}
+
+void smt::packBeginSession(std::string &Out, unsigned TimeoutMs,
+                           const std::vector<vir::LExprRef> &Prefix) {
+  wire::packU32(Out, TimeoutMs);
+  packExprDag(Out, Prefix);
+}
+
+bool smt::unpackBeginSession(std::string_view Buf, size_t &Pos,
+                             unsigned &TimeoutMs,
+                             std::vector<vir::LExprRef> &Prefix) {
+  uint32_t Timeout = 0;
+  if (!wire::unpackU32(Buf, Pos, Timeout))
+    return false;
+  TimeoutMs = Timeout;
+  return unpackExprDag(Buf, Pos, Prefix);
+}
+
+void smt::packCheckSession(std::string &Out,
+                           const std::vector<vir::LExprRef> &Extra,
+                           const vir::LExprRef &Goal) {
+  std::vector<vir::LExprRef> Roots = Extra;
+  Roots.push_back(Goal);
+  packExprDag(Out, Roots);
+}
+
+bool smt::unpackCheckSession(std::string_view Buf, size_t &Pos,
+                             std::vector<vir::LExprRef> &Extra,
+                             vir::LExprRef &Goal) {
+  std::vector<vir::LExprRef> Roots;
+  if (!unpackExprDag(Buf, Pos, Roots) || Roots.empty())
+    return false;
+  Goal = std::move(Roots.back());
+  Roots.pop_back();
+  Extra = std::move(Roots);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Framed pipe I/O
+//===----------------------------------------------------------------------===//
+
+PipeStatus smt::writeFrame(int Fd, wire::MsgType Type,
+                           std::string_view Payload) {
+  std::string Frame = wire::packFrame(Type, Payload);
+  const char *P = Frame.data();
+  size_t Len = Frame.size();
+  while (Len > 0) {
+    ssize_t N = ::write(Fd, P, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return errno == EPIPE ? PipeStatus::Eof : PipeStatus::Error;
+    }
+    P += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return PipeStatus::Ok;
+}
+
+PipeStatus smt::readFrame(int Fd, std::string &Acc, wire::MsgType &Type,
+                          std::string &Payload, int TimeoutMs) {
+  // The deadline covers the whole frame: a worker that dribbles a
+  // header and then hangs still trips the watchdog.
+  struct pollfd Pfd = {Fd, POLLIN, 0};
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(TimeoutMs);
+  for (;;) {
+    std::string_view Body;
+    size_t FrameLen = 0;
+    wire::FrameStatus FS =
+        wire::peekFrame(Acc, Type, Body, FrameLen, WorkerMaxPayloadBytes);
+    if (FS == wire::FrameStatus::Ok) {
+      Payload.assign(Body.data(), Body.size());
+      Acc.erase(0, FrameLen);
+      return PipeStatus::Ok;
+    }
+    if (FS != wire::FrameStatus::NeedMore)
+      return PipeStatus::Malformed;
+
+    int Remaining = -1;
+    if (TimeoutMs >= 0) {
+      auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (Left <= 0)
+        return PipeStatus::Timeout;
+      Remaining = static_cast<int>(Left);
+    }
+    int R = ::poll(&Pfd, 1, Remaining);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return PipeStatus::Error;
+    }
+    if (R == 0)
+      return PipeStatus::Timeout;
+    char Buf[65536];
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return PipeStatus::Error;
+    }
+    if (N == 0)
+      return PipeStatus::Eof;
+    Acc.append(Buf, static_cast<size_t>(N));
+  }
+}

@@ -1,0 +1,136 @@
+//===- WorkerProto.h - Solver-worker wire protocol --------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The length-prefixed request/response protocol spoken over pipes
+/// between the supervised solver pool (service/SolverPool) and a
+/// `vcdryad solve-worker` child process. It reuses the wire/Codec
+/// framing (magic + version + type + length + checksum) and pack
+/// primitives; the worker-specific payloads here are the expression
+/// DAG serialization and the per-operation request/response bodies.
+///
+/// Payload schema (little-endian; `bytes` = u32-length-prefixed):
+///
+///   ExprDag        = nodes:u32 { op:u8 sort:u8 name:bytes intval:u64
+///                    args:u32[u32] } roots:u32[u32]
+///                    (nodes in child-before-parent order; arg and
+///                    root values index the node list)
+///   WkInit         = timeout_ms:u32 max_model_chars:u32
+///                    profile_name:bytes params:{bytes bytes}[u32]
+///                    axioms:ExprDag
+///   WkCheckValid   = dag:ExprDag with exactly 2 roots [guard, goal]
+///   WkResult       = status:u8 detail:bytes time_ms:u64(double bits)
+///   WkBeginSession = timeout_ms:u32 prefix:ExprDag
+///   WkCheckSession = dag:ExprDag; last root is the goal, the rest
+///                    are the extra conjuncts
+///   WkBeginShared  = timeout_ms:u32
+///   WkPushScope    = prefix:ExprDag
+///   WkEndSession / WkPopScope / WkOk = (empty)
+///   WkBool         = ok:u8
+///
+/// The DAG codec re-interns nodes on the receiving side with
+/// vir::internRaw, so a round-tripped expression is node-for-node the
+/// structure that was sent (factories are bypassed: the wire carries
+/// already-canonical terms). Hash-consing then makes repeated
+/// subterms across the messages of one session resolve to the same
+/// nodes in the worker, which keeps its lowering memo warm exactly
+/// like the in-process session path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SMT_WORKERPROTO_H
+#define VCDRYAD_SMT_WORKERPROTO_H
+
+#include "smt/Solver.h"
+#include "vir/LExpr.h"
+#include "wire/Codec.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vcdryad {
+namespace smt {
+
+/// Frame payload cap on the worker pipes. Unlike cache-server frames
+/// (keys and verdicts, 4 MiB cap), one worker frame can carry a whole
+/// function's guard-prefix DAG; SLL_rotate's is ~3.5k conjuncts.
+constexpr uint32_t WorkerMaxPayloadBytes = 256u << 20;
+
+//===----------------------------------------------------------------------===//
+// Long byte strings (u32-prefixed; wire::packString caps at 255)
+//===----------------------------------------------------------------------===//
+
+void packBytes(std::string &Out, std::string_view S);
+bool unpackBytes(std::string_view Buf, size_t &Pos, std::string &S);
+
+//===----------------------------------------------------------------------===//
+// Expression DAGs
+//===----------------------------------------------------------------------===//
+
+/// Serializes the DAG reachable from \p Roots, child-before-parent,
+/// each shared node exactly once.
+void packExprDag(std::string &Out, const std::vector<vir::LExprRef> &Roots);
+
+/// Reconstructs a packed DAG through the interning arena. False on a
+/// malformed payload (bad indices, out-of-range op/sort tags).
+bool unpackExprDag(std::string_view Buf, size_t &Pos,
+                   std::vector<vir::LExprRef> &Roots);
+
+//===----------------------------------------------------------------------===//
+// Request / response bodies
+//===----------------------------------------------------------------------===//
+
+void packInit(std::string &Out, const SolverOptions &Opts);
+bool unpackInit(std::string_view Buf, size_t &Pos, SolverOptions &Opts);
+
+void packCheckValid(std::string &Out, const vir::LExprRef &Guard,
+                    const vir::LExprRef &Goal);
+bool unpackCheckValid(std::string_view Buf, size_t &Pos,
+                      vir::LExprRef &Guard, vir::LExprRef &Goal);
+
+void packResult(std::string &Out, const CheckResult &R);
+bool unpackResult(std::string_view Buf, size_t &Pos, CheckResult &R);
+
+void packBeginSession(std::string &Out, unsigned TimeoutMs,
+                      const std::vector<vir::LExprRef> &Prefix);
+bool unpackBeginSession(std::string_view Buf, size_t &Pos,
+                        unsigned &TimeoutMs,
+                        std::vector<vir::LExprRef> &Prefix);
+
+void packCheckSession(std::string &Out,
+                      const std::vector<vir::LExprRef> &Extra,
+                      const vir::LExprRef &Goal);
+bool unpackCheckSession(std::string_view Buf, size_t &Pos,
+                        std::vector<vir::LExprRef> &Extra,
+                        vir::LExprRef &Goal);
+
+//===----------------------------------------------------------------------===//
+// Framed pipe I/O
+//===----------------------------------------------------------------------===//
+
+enum class PipeStatus {
+  Ok,        ///< One frame read/written.
+  Eof,       ///< Peer closed the pipe (worker exit / parent gone).
+  Timeout,   ///< Deadline expired before a complete frame arrived.
+  Malformed, ///< Framing violation; the stream is unusable.
+  Error,     ///< read/write/poll failure (errno preserved).
+};
+
+/// Writes one frame; short writes and EINTR are retried. Eof on
+/// EPIPE (requires SIGPIPE to be ignored, which both endpoints do).
+PipeStatus writeFrame(int Fd, wire::MsgType Type, std::string_view Payload);
+
+/// Reads one complete frame into \p Type / \p Payload, buffering
+/// partial reads in \p Acc across calls. \p TimeoutMs < 0 blocks
+/// indefinitely; the deadline spans the whole frame, not one read.
+PipeStatus readFrame(int Fd, std::string &Acc, wire::MsgType &Type,
+                     std::string &Payload, int TimeoutMs);
+
+} // namespace smt
+} // namespace vcdryad
+
+#endif // VCDRYAD_SMT_WORKERPROTO_H

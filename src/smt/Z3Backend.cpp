@@ -512,3 +512,9 @@ private:
 std::unique_ptr<SmtSolver> smt::createZ3Solver(const SolverOptions &Opts) {
   return std::make_unique<Z3SolverImpl>(Opts);
 }
+
+std::unique_ptr<SmtSolver> smt::createSolver(const SolverOptions &Opts) {
+  if (Opts.MakeSolver)
+    return Opts.MakeSolver(Opts);
+  return createZ3Solver(Opts);
+}

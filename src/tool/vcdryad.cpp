@@ -19,7 +19,9 @@
 #include "instr/Instrument.h"
 #include "service/Journal.h"
 #include "service/Service.h"
+#include "service/SolverPool.h"
 #include "smt/Portfolio.h"
+#include "smt/Worker.h"
 #include "support/StringUtil.h"
 #include "verifier/Verifier.h"
 #include "vir/Passify.h"
@@ -48,6 +50,7 @@ void printUsage() {
       "       vcdryad client [options] <verify|status|cache-stats|"
       "shutdown> [paths...]\n"
       "       vcdryad cached [options] [stats|shutdown]\n"
+      "       vcdryad solve-worker [--mem-mb=<n>] [--cpu-s=<n>]\n"
       "\n"
       "Verifies C programs against DRYAD separation-logic specifications\n"
       "using natural proofs (Pek, Qiu, Madhusudan; PLDI 2014).\n"
@@ -152,12 +155,25 @@ void printUsage() {
       "                       journals (also $VCDRYAD_NO_FSYNC=1);\n"
       "                       consistency is unaffected, durability\n"
       "                       degrades to OS writeback\n"
+      "  --isolate-solvers    run every solver in a supervised\n"
+      "                       out-of-process worker (vcdryad\n"
+      "                       solve-worker): a crash, OOM or hang costs\n"
+      "                       one obligation (retried once in a fresh\n"
+      "                       worker), never the batch. Default off\n"
+      "                       here, on in serve mode\n"
+      "                       (--no-isolate-solvers turns it off)\n"
+      "  --solver-mem-mb=<n>  RLIMIT_AS per worker in MiB (0 =\n"
+      "                       unlimited; values below ~256 starve Z3)\n"
+      "  --solver-cpu-s=<n>   RLIMIT_CPU per worker in seconds (0 =\n"
+      "                       unlimited)\n"
       "\n"
       "serve/client options:\n"
       "  --socket=<path>      the daemon's socket (default:\n"
       "                       <resolved cache dir>/serve.sock, both\n"
       "                       sides, so a client invoked beside the\n"
       "                       corpus finds the daemon started there)\n"
+      "  --max-request-mb=<n> reject client requests larger than this\n"
+      "                       (serve; default 4)\n"
       "\n"
       "cached options:\n"
       "  --cache=<dir>        shard-store root (resolved like batch;\n"
@@ -207,6 +223,11 @@ struct CliOptions {
   std::string Host = "127.0.0.1"; ///< cached --host=.
   int Port = -1;                  ///< cached --port= (-1: no TCP).
   unsigned Shards = 8;            ///< cached --shards=.
+  // Crash isolation (service/SolverPool). serve defaults it on.
+  bool IsolateSolvers = false;
+  unsigned SolverMemMb = 0;   ///< --solver-mem-mb= (RLIMIT_AS, MiB).
+  unsigned SolverCpuS = 0;    ///< --solver-cpu-s= (RLIMIT_CPU, s).
+  unsigned MaxRequestMb = 4;  ///< serve --max-request-mb=.
 };
 
 /// Parses `--<flag>=<n>`; false (with a usage error printed) unless
@@ -237,10 +258,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
     Cli.Incremental = true;
     First = 2;
   } else if (Argc > 1 && std::strcmp(Argv[1], "serve") == 0) {
-    // The resident daemon: warm-path options default on.
+    // The resident daemon: warm-path options default on. Crash
+    // isolation too — a daemon exists to survive its workload, so a
+    // solver crash must cost one obligation, not the resident stores.
     Cli.Serve = true;
     Cli.Incremental = true;
     Cli.SharePrelude = true;
+    Cli.IsolateSolvers = true;
     First = 2;
   } else if (Argc > 1 && std::strcmp(Argv[1], "client") == 0) {
     Cli.Client = true;
@@ -356,6 +380,27 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
         return false;
     } else if (A == "--no-fsync") {
       Cli.NoFsync = true;
+    } else if (A == "--isolate-solvers") {
+      Cli.IsolateSolvers = true;
+    } else if (A == "--no-isolate-solvers") {
+      Cli.IsolateSolvers = false;
+    } else if (StartsWith("--solver-mem-mb=")) {
+      if (!parseUnsignedFlag("--solver-mem-mb", A.substr(16),
+                             Cli.SolverMemMb))
+        return false;
+    } else if (StartsWith("--solver-cpu-s=")) {
+      if (!parseUnsignedFlag("--solver-cpu-s", A.substr(15),
+                             Cli.SolverCpuS))
+        return false;
+    } else if (StartsWith("--max-request-mb=")) {
+      if (!parseUnsignedFlag("--max-request-mb", A.substr(17),
+                             Cli.MaxRequestMb))
+        return false;
+      if (Cli.MaxRequestMb == 0) {
+        std::fprintf(stderr,
+                     "error: --max-request-mb expects a cap >= 1\n");
+        return false;
+      }
     } else if (StartsWith("--host=")) {
       Cli.Host = A.substr(7);
     } else if (StartsWith("--port=")) {
@@ -602,6 +647,9 @@ int runBatch(const CliOptions &Cli) {
   SOpts.SharePrelude = Cli.SharePrelude;
   SOpts.RemoteAddress = Cli.RemoteAddress;
   SOpts.RemoteTimeoutMs = Cli.RemoteTimeoutMs;
+  SOpts.IsolateSolvers = Cli.IsolateSolvers;
+  SOpts.SolverMemMb = Cli.SolverMemMb;
+  SOpts.SolverCpuS = Cli.SolverCpuS;
   if (Cli.NoFsync)
     service::Journal::setNoFsync(true);
   installShutdownHandlers();
@@ -629,6 +677,9 @@ int runServe(const CliOptions &Cli) {
   SOpts.ResidentPlans = true;
   SOpts.RemoteAddress = Cli.RemoteAddress;
   SOpts.RemoteTimeoutMs = Cli.RemoteTimeoutMs;
+  SOpts.IsolateSolvers = Cli.IsolateSolvers;
+  SOpts.SolverMemMb = Cli.SolverMemMb;
+  SOpts.SolverCpuS = Cli.SolverCpuS;
   if (Cli.NoFsync)
     service::Journal::setNoFsync(true);
 
@@ -644,6 +695,7 @@ int runServe(const CliOptions &Cli) {
 
   daemon::DaemonOptions DOpts;
   DOpts.SocketPath = Socket;
+  DOpts.MaxRequestBytes = static_cast<size_t>(Cli.MaxRequestMb) << 20;
   DOpts.Service = SOpts;
   daemon::Daemon D(DOpts); // Loads stores, replays journals.
   std::string Error;
@@ -811,6 +863,10 @@ const char *statusName(smt::CheckStatus S) {
     return "INVALID";
   case smt::CheckStatus::Unknown:
     return "UNKNOWN";
+  case smt::CheckStatus::Crashed:
+    return "CRASHED";
+  case smt::CheckStatus::ResourceLimit:
+    return "RESOURCE-LIMIT";
   }
   return "?";
 }
@@ -818,6 +874,18 @@ const char *statusName(smt::CheckStatus S) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  // The out-of-process solver helper reuses this binary (argv[0] is
+  // typically /proc/self/exe of the supervising parent); dispatch
+  // before any option parsing so its flag namespace stays private.
+  if (Argc > 1 && std::strcmp(Argv[1], "solve-worker") == 0)
+    return smt::runSolveWorker(
+        std::vector<std::string>(Argv + 2, Argv + Argc));
+
+  // A peer vanishing mid-write (daemon client gone, cache server
+  // restarting, worker killed) must surface as EPIPE on that one
+  // descriptor, never as process death.
+  std::signal(SIGPIPE, SIG_IGN);
+
   CliOptions Cli;
   if (!parseArgs(Argc, Argv, Cli)) {
     printUsage();
@@ -831,6 +899,18 @@ int main(int Argc, char **Argv) {
     return runCached(Cli);
   if (Cli.Batch)
     return runBatch(Cli);
+
+  // Single-file mode shares the isolation machinery: one pool for the
+  // whole invocation, its factory copied into every solver the
+  // verifier builds (sessions, escalations, portfolio lanes).
+  std::unique_ptr<service::SolverPool> Pool;
+  if (Cli.IsolateSolvers) {
+    service::PoolOptions PO;
+    PO.MemMb = Cli.SolverMemMb;
+    PO.CpuS = Cli.SolverCpuS;
+    Pool = std::make_unique<service::SolverPool>(std::move(PO));
+    Cli.Verify.MakeSolver = Pool->factory();
+  }
 
   int Exit = 0;
   for (const std::string &Path : Cli.Files) {

@@ -157,6 +157,7 @@ smt::SolverOptions Verifier::solverOptions(const ProgramPlan &Plan) const {
   smt::SolverOptions SOpts;
   SOpts.TimeoutMs = Opts.TimeoutMs;
   SOpts.BackgroundAxioms = Plan.BackgroundAxioms;
+  SOpts.MakeSolver = Opts.MakeSolver;
   return SOpts;
 }
 
@@ -227,6 +228,7 @@ FunctionResult Verifier::checkFunction(const FunctionObligations &FO,
                                        smt::SmtSolver &Solver) const {
   smt::SolverOptions SOpts;
   SOpts.TimeoutMs = Opts.TimeoutMs;
+  SOpts.MakeSolver = Opts.MakeSolver;
   return checkFunction(FO, Solver, SOpts);
 }
 
@@ -265,6 +267,7 @@ FunctionResult Verifier::checkFunction(const FunctionObligations &FO,
     const vir::VC &VC = FO.VCs[I];
     VCStat &St = FR.VCStats[I];
     St.Reason = VC.Reason;
+    St.GoalHash = vir::stableExprHash(VC.Cond);
     St.AssumesTotal = static_cast<unsigned>(VC.Conjuncts.size());
     St.AssumesSliced = static_cast<unsigned>(
         VC.Preprocessed ? VC.Sliced.size() : VC.Conjuncts.size());
@@ -334,6 +337,7 @@ FunctionResult Verifier::checkFunction(const FunctionObligations &FO,
       St.SolveTimeMs += CR.TimeMs;
     }
     St.Status = CR.Status;
+    St.Retries += CR.Retries;
     if (FastPass) {
       St.Escalated = true;
       ++FR.Escalations;
@@ -372,7 +376,7 @@ ProgramResult Verifier::verifyProgram(cfront::Program &Prog,
   }
 
   std::unique_ptr<smt::SmtSolver> Solver =
-      smt::createZ3Solver(solverOptions(Plan));
+      smt::createSolver(solverOptions(Plan));
 
   Result.Ok = true;
   Result.AllVerified = true;

@@ -80,6 +80,12 @@ struct VerifyOptions {
   /// fingerprints are not computed and nothing is skipped.
   std::function<bool(const std::string &Name, uint64_t Fingerprint)>
       SkipUnchanged;
+  /// Solver construction hook, copied into every SolverOptions this
+  /// verifier builds (one-shot checks, session solvers, portfolio
+  /// lanes). The isolated-worker pool installs its factory here;
+  /// unset means in-process Z3. Must be verdict-neutral — it is not
+  /// part of any cache or manifest key.
+  smt::SolverFactory MakeSolver;
 };
 
 /// Outcome of one proof obligation.
@@ -116,6 +122,12 @@ struct VCStat {
   /// The tactic profile that settled an escalated obligation when the
   /// portfolio rung is on (empty otherwise).
   std::string WinnerProfile;
+  /// Bounded fresh-worker retries taken for this obligation (isolated
+  /// solving only; always 0 in-process).
+  unsigned Retries = 0;
+  /// Stable content hash of the goal — the identity VCDRYAD_FAULT
+  /// targets; exposed in vc_stats so tests can aim fault injection.
+  uint64_t GoalHash = 0;
 };
 
 struct FunctionResult {

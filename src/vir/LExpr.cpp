@@ -462,6 +462,11 @@ LExprRef vir::rebuild(const LExprRef &E, std::vector<LExprRef> NewArgs) {
                         std::move(NewArgs));
 }
 
+LExprRef vir::internRaw(LOp Op, Sort S, std::string Name, int64_t IntVal,
+                        std::vector<LExprRef> Args) {
+  return arena().intern(Op, S, std::move(Name), IntVal, std::move(Args));
+}
+
 void vir::visit(const LExprRef &E,
                 const std::function<void(const LExpr &)> &Fn) {
   Fn(*E);

@@ -169,6 +169,15 @@ LExprRef mkForall(std::vector<LExprRef> BoundVars, LExprRef Body);
 /// substitution, simplification).
 LExprRef rebuild(const LExprRef &E, std::vector<LExprRef> NewArgs);
 
+/// Interns a node from its raw components, bypassing the factory
+/// canonicalizations (mkAnd's empty/singleton collapse etc.). For
+/// mechanical reconstruction of already-canonical structure — the
+/// worker-protocol codec deserializing a shipped DAG — where the
+/// result must be node-for-node identical to the source expression.
+/// \p Args must be interned nodes.
+LExprRef internRaw(LOp Op, Sort S, std::string Name, int64_t IntVal,
+                   std::vector<LExprRef> Args);
+
 /// Structural equality (same ops, names, constants, children). O(1)
 /// for interned nodes (pointer identity); a memoized structural walk
 /// remains as the fallback for legacy un-interned nodes.

@@ -247,7 +247,8 @@ std::string wire::packFrame(MsgType Type, std::string_view Payload) {
 }
 
 FrameStatus wire::peekFrame(std::string_view Buf, MsgType &Type,
-                            std::string_view &Payload, size_t &FrameLen) {
+                            std::string_view &Payload, size_t &FrameLen,
+                            uint32_t MaxPayload) {
   // Validate eagerly, field by field: a bad magic or version is
   // reported even from a short prefix, so a desynchronized stream
   // fails fast instead of waiting for bytes that never come.
@@ -270,7 +271,7 @@ FrameStatus wire::peekFrame(std::string_view Buf, MsgType &Type,
     size_t P = 6;
     (void)unpackU16(Buf, P, RawType);
     (void)unpackU32(Buf, P, Len);
-    if (Len > MaxPayloadBytes)
+    if (Len > MaxPayload)
       return FrameStatus::Oversized;
   }
   if (Buf.size() < FrameHeaderBytes)

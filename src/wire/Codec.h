@@ -74,6 +74,23 @@ enum class MsgType : uint16_t {
   StatsResponse = 6,
   Shutdown = 7,
   Ack = 8,
+
+  // Solver-worker protocol (smt/WorkerProto): the pipe-framed
+  // request/response pairs between the supervised pool and a
+  // `vcdryad solve-worker` child. Numbered from 32 so cache-server
+  // messages and worker messages can never be confused on a
+  // misdirected stream.
+  WkInit = 32,          ///< SolverOptions; child answers WkOk.
+  WkCheckValid = 33,    ///< (timeout, guard, goal); answers WkResult.
+  WkResult = 34,        ///< CheckResult of a WkCheckValid/WkCheckSession.
+  WkBeginSession = 35,  ///< (timeout, prefix conjuncts); answers WkOk.
+  WkCheckSession = 36,  ///< (extra conjuncts, goal); answers WkResult.
+  WkEndSession = 37,    ///< (); answers WkOk.
+  WkBeginShared = 38,   ///< (timeout); answers WkOk.
+  WkPushScope = 39,     ///< (prefix conjuncts); answers WkBool.
+  WkPopScope = 40,      ///< (); answers WkOk.
+  WkOk = 41,            ///< Empty acknowledgement.
+  WkBool = 42,          ///< One u8 (pushSessionScope's result).
 };
 
 /// Verdicts on the wire. Only Valid is ever stored (the proof cache's
@@ -197,8 +214,12 @@ std::string packFrame(MsgType Type, std::string_view Payload);
 /// \p Payload (a view into \p Buf) and \p FrameLen (bytes consumed)
 /// are set. Never consumes on error — the caller decides whether to
 /// drop the connection (servers do) or surface a transport error.
+/// \p MaxPayload is the Oversized threshold: cache-server streams
+/// keep the 4 MiB default; the solver-worker pipes raise it (a
+/// whole-function guard prefix DAG is legitimately larger).
 FrameStatus peekFrame(std::string_view Buf, MsgType &Type,
-                      std::string_view &Payload, size_t &FrameLen);
+                      std::string_view &Payload, size_t &FrameLen,
+                      uint32_t MaxPayload = MaxPayloadBytes);
 
 /// The server-side store key of one record: the VC hash crossed with
 /// the options hash. hashObligation already salts in the options

@@ -1,0 +1,163 @@
+#!/bin/sh
+# Crash-isolation gate for the out-of-process solver pool:
+#   (1) verdict neutrality: a --json-times=off batch report with
+#       --isolate-solvers is byte-identical to the in-process one;
+#   (2) targeted fault isolation: VCDRYAD_FAULT=crash:<goal-hash>
+#       turns exactly the VCs with that goal hash into "crashed"
+#       (with the bounded retry accounted), every other VC still
+#       proves "valid" — one worker death never poisons a neighbour;
+#   (3) soak: a resident daemon with solver isolation survives at
+#       least 5 SIGKILLed workers mid-verify with stable verdicts on
+#       every round and a healthy status afterwards.
+#
+# Usage: fault_injection_test.sh <vcdryad-binary> <corpus-dir>
+set -eu
+
+VCDRYAD=$1
+CORPUS=$(cd "$2" && pwd)  # Absolute: daemon and CLI must agree on paths.
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/vcd-fault.XXXXXX")
+SERVE_PID=
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SOCK="$WORK/serve.sock"
+
+echo "== isolated report is byte-identical to in-process =="
+"$VCDRYAD" batch "$CORPUS" --cache=off --json-times=off --jobs=2 \
+  --timeout=300000 --out="$WORK/inproc.json"
+"$VCDRYAD" batch "$CORPUS" --cache=off --json-times=off --jobs=2 \
+  --timeout=300000 --isolate-solvers --out="$WORK/iso.json"
+if ! cmp -s "$WORK/inproc.json" "$WORK/iso.json"; then
+  echo "FAIL: --isolate-solvers changed the stripped report" >&2
+  diff "$WORK/inproc.json" "$WORK/iso.json" >&2 || true
+  exit 1
+fi
+
+echo "== targeted fault hits exactly its goal hash =="
+# One corpus file, solved isolated with per-VC stats; pick the first
+# goal hash and crash-inject it. Fault matching is goal identity, so
+# every VC sharing the hash must crash (retried once) and every other
+# VC must stay valid.
+ONE=$(ls "$CORPUS"/*.c | head -n 1)  # In place: relative includes work.
+"$VCDRYAD" batch "$ONE" --cache=off --jobs=1 --timeout=300000 \
+  --isolate-solvers --out="$WORK/base.json"
+# The LAST non-trivial hash in solve order: the VCs before it prove
+# valid before the fault fires, so the run shows healthy and crashed
+# verdicts side by side (first-failure cancellation then skips
+# whatever follows). Trivially-discharged VCs never reach a worker,
+# so a fault pinned to one would not fire at all.
+HASH=$(awk '
+  /"trivial":/   { triv = ($2 == "true,") }
+  /"goal_hash":/ { if (!triv) { gh = $2; gsub(/[",]/, "", gh) } }
+  END { print gh }
+' "$WORK/base.json")
+if [ -z "$HASH" ]; then
+  echo "FAIL: no goal_hash in the baseline vc_stats" >&2
+  exit 1
+fi
+if VCDRYAD_FAULT="crash:$HASH" "$VCDRYAD" batch "$ONE" --cache=off \
+     --jobs=1 --timeout=300000 --isolate-solvers --out="$WORK/fault.json"
+then
+  echo "FAIL: crash-injected batch still exited 0" >&2
+  exit 1
+fi
+# vc_stats rows emit status before goal_hash before retries; check the
+# triple once the row's retries line closes it out. The fault may only
+# crash VCs with the injected hash (with the bounded retry accounted);
+# every other VC either proves valid or is skipped by first-failure
+# cancellation — never crashed, and at least one must still prove.
+awk -v H="$HASH" '
+  /"status":/   { st = $2; gsub(/[",]/, "", st) }
+  /"goal_hash":/ { gh = $2; gsub(/[",]/, "", gh) }
+  /"retries":/  { r = $2; gsub(/[",]/, "", r)
+                  if (gh == H) {
+                    if (st == "crashed" && r == "1") crashed++
+                    else if (st != "cancelled") bad = 1
+                  } else {
+                    if (st == "valid") proved++
+                    else if (st != "cancelled") bad = 1
+                  }
+                  gh = "" }
+  END { exit (crashed < 1 || proved < 1 || bad) ? 1 : 0 }
+' "$WORK/fault.json" || {
+  echo "FAIL: fault on $HASH did not map to exactly its VCs" >&2
+  cat "$WORK/fault.json" >&2
+  exit 1
+}
+
+echo "== soak: daemon survives SIGKILLed workers =="
+# Cache and manifest off so every round solves for real (and spawns
+# workers to kill); serve turns --isolate-solvers on by default.
+"$VCDRYAD" serve --cache=off --no-incremental --socket="$SOCK" --jobs=2 \
+  --timeout=300000 2> "$WORK/serve.log" &
+SERVE_PID=$!
+i=0
+until "$VCDRYAD" client status --socket="$SOCK" > /dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "FAIL: daemon did not come up" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+KILLS=0
+ROUND=0
+while [ "$KILLS" -lt 5 ] && [ "$ROUND" -lt 60 ]; do
+  ROUND=$((ROUND + 1))
+  "$VCDRYAD" client verify "$CORPUS" --socket="$SOCK" --json-times=off \
+    --out="$WORK/soak.json" &
+  VPID=$!
+  # Hunt for a live worker (a solve-worker child of the daemon) while
+  # the verify runs; SIGKILL at most one per round so the bounded
+  # retry deterministically absorbs the death.
+  KILLED=0
+  while kill -0 "$VPID" 2>/dev/null; do
+    if [ "$KILLED" -eq 0 ]; then
+      W=$(pgrep -P "$SERVE_PID" -f solve-worker | head -n 1 || true)
+      if [ -n "$W" ] && kill -9 "$W" 2>/dev/null; then
+        KILLED=1
+        KILLS=$((KILLS + 1))
+      fi
+    fi
+  done
+  wait "$VPID" || {
+    echo "FAIL: soak verify round $ROUND failed" >&2
+    cat "$WORK/soak.json" >&2
+    exit 1
+  }
+  grep -q '"all_verified": true' "$WORK/soak.json" || {
+    echo "FAIL: verdicts unstable on soak round $ROUND" >&2
+    cat "$WORK/soak.json" >&2
+    exit 1
+  }
+done
+if [ "$KILLS" -lt 5 ]; then
+  echo "FAIL: only landed $KILLS worker kills in $ROUND rounds" >&2
+  exit 1
+fi
+
+# The daemon must still be up and answering after the carnage, and a
+# clean final verify must agree with the baseline verdicts.
+kill -0 "$SERVE_PID" 2>/dev/null || {
+  echo "FAIL: daemon died during the soak" >&2
+  cat "$WORK/serve.log" >&2
+  exit 1
+}
+"$VCDRYAD" client verify "$CORPUS" --socket="$SOCK" --json-times=off \
+  --out="$WORK/final.json"
+grep -q '"all_verified": true' "$WORK/final.json" || {
+  echo "FAIL: final verify after soak is not clean" >&2
+  exit 1
+}
+"$VCDRYAD" client shutdown --socket="$SOCK" > /dev/null
+wait "$SERVE_PID" || true
+SERVE_PID=
+
+echo "PASS: isolated report byte-identical, fault pinned to $HASH," \
+     "daemon survived $KILLS worker kills in $ROUND rounds"

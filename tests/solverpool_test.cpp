@@ -1,0 +1,273 @@
+//===- solverpool_test.cpp - Supervised worker pool tests ------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end tests of service/SolverPool against real `vcdryad
+// solve-worker` child processes (the built tool binary, injected via
+// the VCDRYAD_BIN compile definition). Fault injection uses the
+// worker-side VCDRYAD_FAULT hook, so every failure mode here is a
+// genuine process death: SIGABRT, RLIMIT_AS, the wall-clock watchdog.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SolverPool.h"
+#include "smt/Solver.h"
+#include "vir/LExpr.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace vcdryad;
+using namespace vcdryad::service;
+
+namespace {
+
+/// Clears VCDRYAD_FAULT on scope exit so one test's injected fault
+/// never leaks into the next worker spawned.
+struct FaultGuard {
+  explicit FaultGuard(const char *Spec) {
+    ::setenv("VCDRYAD_FAULT", Spec, 1);
+  }
+  ~FaultGuard() { ::unsetenv("VCDRYAD_FAULT"); }
+};
+
+PoolOptions baseOptions() {
+  PoolOptions PO;
+  PO.WorkerBin = VCDRYAD_BIN; // The built tool: self-hosts solve-worker.
+  return PO;
+}
+
+smt::SolverOptions solverOptions(unsigned TimeoutMs = 30000) {
+  smt::SolverOptions SO;
+  SO.TimeoutMs = TimeoutMs;
+  return SO;
+}
+
+/// x == 1 |- x == 1 : Valid through any backend.
+void validObligation(vir::LExprRef &Guard, vir::LExprRef &Goal) {
+  auto X = vir::mkVar("x", vir::Sort::Int);
+  Guard = vir::mkEq(X, vir::mkInt(1));
+  Goal = vir::mkEq(X, vir::mkInt(1));
+}
+
+TEST(SolverPool, IsolatedVerdictsMatchInProcess) {
+  SolverPool Pool(baseOptions());
+  auto Solver = Pool.makeSolver(solverOptions());
+  auto Local = smt::createZ3Solver(solverOptions());
+
+  vir::LExprRef Guard, Goal;
+  validObligation(Guard, Goal);
+  smt::CheckResult Iso = Solver->checkValid(Guard, Goal);
+  smt::CheckResult Ref = Local->checkValid(Guard, Goal);
+  EXPECT_EQ(Iso.Status, smt::CheckStatus::Valid);
+  EXPECT_EQ(Iso.Status, Ref.Status);
+  EXPECT_EQ(Iso.Retries, 0u);
+
+  // Invalid side too: x == 1 does not follow from true.
+  auto X = vir::mkVar("x", vir::Sort::Int);
+  smt::CheckResult Iso2 =
+      Solver->checkValid(vir::mkBool(true), vir::mkEq(X, vir::mkInt(1)));
+  smt::CheckResult Ref2 =
+      Local->checkValid(vir::mkBool(true), vir::mkEq(X, vir::mkInt(1)));
+  EXPECT_EQ(Iso2.Status, smt::CheckStatus::Invalid);
+  EXPECT_EQ(Iso2.Status, Ref2.Status);
+
+  PoolStats S = Pool.stats();
+  EXPECT_EQ(S.Spawns, 1u);
+  EXPECT_EQ(S.Deaths, 0u);
+  EXPECT_FALSE(S.Degraded);
+}
+
+TEST(SolverPool, SessionPathMatchesInProcess) {
+  SolverPool Pool(baseOptions());
+  auto Solver = Pool.makeSolver(solverOptions());
+
+  auto X = vir::mkVar("x", vir::Sort::Int);
+  auto Pos = vir::mkIntLt(vir::mkInt(0), X);
+  Solver->beginSession({Pos}, 30000);
+  smt::CheckResult R1 =
+      Solver->checkSession({}, vir::mkIntLe(vir::mkInt(0), X));
+  EXPECT_EQ(R1.Status, smt::CheckStatus::Valid);
+  smt::CheckResult R2 = Solver->checkSession(
+      {vir::mkIntLt(X, vir::mkInt(2))}, vir::mkEq(X, vir::mkInt(1)));
+  EXPECT_EQ(R2.Status, smt::CheckStatus::Valid);
+  Solver->endSession();
+
+  // Scoped shared-session surface.
+  Solver->beginSharedSession(30000);
+  ASSERT_TRUE(Solver->pushSessionScope({Pos}));
+  smt::CheckResult R3 =
+      Solver->checkSession({}, vir::mkNe(X, vir::mkInt(0)));
+  EXPECT_EQ(R3.Status, smt::CheckStatus::Valid);
+  Solver->popSessionScope();
+  Solver->endSession();
+}
+
+TEST(SolverPool, CrashOnceRetriesToValid) {
+  FaultGuard Fault("crash-once:*");
+  SolverPool Pool(baseOptions());
+  auto Solver = Pool.makeSolver(solverOptions());
+
+  vir::LExprRef Guard, Goal;
+  validObligation(Guard, Goal);
+  smt::CheckResult R = Solver->checkValid(Guard, Goal);
+  // First worker aborts; the respawned retry worker runs with
+  // VCDRYAD_FAULT_RETRY set, suppressing the -once fault: the bounded
+  // retry deterministically lands the true verdict.
+  EXPECT_EQ(R.Status, smt::CheckStatus::Valid);
+  EXPECT_EQ(R.Retries, 1u);
+
+  PoolStats S = Pool.stats();
+  EXPECT_EQ(S.Deaths, 1u);
+  EXPECT_EQ(S.Retries, 1u);
+  EXPECT_EQ(S.Spawns, 2u);
+  EXPECT_FALSE(S.Degraded);
+}
+
+TEST(SolverPool, PersistentCrashYieldsCrashedAfterOneRetry) {
+  FaultGuard Fault("crash:*");
+  PoolOptions PO = baseOptions();
+  PO.FlapK = 100; // Keep flap detection out of this test's way.
+  SolverPool Pool(PO);
+  auto Solver = Pool.makeSolver(solverOptions());
+
+  vir::LExprRef Guard, Goal;
+  validObligation(Guard, Goal);
+  smt::CheckResult R = Solver->checkValid(Guard, Goal);
+  EXPECT_EQ(R.Status, smt::CheckStatus::Crashed);
+  EXPECT_EQ(R.Retries, 1u);
+  EXPECT_NE(R.Detail.find("after 1 retry"), std::string::npos) << R.Detail;
+  EXPECT_NE(R.Detail.find("signal"), std::string::npos) << R.Detail;
+  EXPECT_EQ(Pool.stats().Deaths, 2u); // Attempt + the single retry.
+}
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define VCD_ASAN 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define VCD_ASAN 1
+#endif
+
+TEST(SolverPool, OomTripsRlimitAs) {
+#ifdef VCD_ASAN
+  // ASan reserves terabytes of shadow address space, so any RLIMIT_AS
+  // a worker could honor kills it at startup instead of mid-solve;
+  // the pool then (correctly) falls back in-process and the premise
+  // of this test is gone.
+  GTEST_SKIP() << "RLIMIT_AS is meaningless under AddressSanitizer";
+#endif
+  FaultGuard Fault("oom:*");
+  PoolOptions PO = baseOptions();
+  PO.MemMb = 256; // Enough for Z3 startup, far below the 1 GiB hog cap.
+  PO.FlapK = 100;
+  SolverPool Pool(PO);
+  auto Solver = Pool.makeSolver(solverOptions());
+
+  vir::LExprRef Guard, Goal;
+  validObligation(Guard, Goal);
+  smt::CheckResult R = Solver->checkValid(Guard, Goal);
+  EXPECT_EQ(R.Status, smt::CheckStatus::ResourceLimit);
+  EXPECT_NE(R.Detail.find("RLIMIT_AS"), std::string::npos) << R.Detail;
+  EXPECT_EQ(R.Retries, 1u);
+}
+
+TEST(SolverPool, HangTripsWallClockWatchdog) {
+  FaultGuard Fault("hang:*");
+  PoolOptions PO = baseOptions();
+  PO.WatchdogGraceMs = 400; // Short grace: the test budget is small.
+  PO.FlapK = 100;
+  SolverPool Pool(PO);
+  auto Solver = Pool.makeSolver(solverOptions(/*TimeoutMs=*/200));
+
+  vir::LExprRef Guard, Goal;
+  validObligation(Guard, Goal);
+  smt::CheckResult R = Solver->checkValid(Guard, Goal);
+  EXPECT_EQ(R.Status, smt::CheckStatus::ResourceLimit);
+  EXPECT_NE(R.Detail.find("watchdog"), std::string::npos) << R.Detail;
+  EXPECT_EQ(Pool.stats().Deaths, 2u);
+}
+
+TEST(SolverPool, FlapDetectionDegradesToInProcess) {
+  FaultGuard Fault("crash:*");
+  PoolOptions PO = baseOptions();
+  PO.FlapK = 2; // Two rapid deaths (one obligation's attempt+retry).
+  SolverPool Pool(PO);
+  auto Solver = Pool.makeSolver(solverOptions());
+
+  vir::LExprRef Guard, Goal;
+  validObligation(Guard, Goal);
+  smt::CheckResult R1 = Solver->checkValid(Guard, Goal);
+  EXPECT_EQ(R1.Status, smt::CheckStatus::Crashed);
+  EXPECT_TRUE(Pool.degraded());
+
+  // The same solver object falls back in-process on its next check —
+  // with the fault still exported, proving no worker is consulted.
+  smt::CheckResult R2 = Solver->checkValid(Guard, Goal);
+  EXPECT_EQ(R2.Status, smt::CheckStatus::Valid);
+
+  // And so does every solver the degraded pool hands out afterwards.
+  auto Solver2 = Pool.makeSolver(solverOptions());
+  smt::CheckResult R3 = Solver2->checkValid(Guard, Goal);
+  EXPECT_EQ(R3.Status, smt::CheckStatus::Valid);
+  EXPECT_GE(Pool.stats().Fallbacks, 1u);
+  EXPECT_TRUE(Pool.stats().Degraded);
+}
+
+TEST(SolverPool, MaxWorkersCapFallsBackInProcess) {
+  PoolOptions PO = baseOptions();
+  PO.MaxWorkers = 1;
+  SolverPool Pool(PO);
+  auto S1 = Pool.makeSolver(solverOptions());
+  auto S2 = Pool.makeSolver(solverOptions());
+
+  vir::LExprRef Guard, Goal;
+  validObligation(Guard, Goal);
+  // S1 occupies the only slot; S2's spawn attempt must fall back
+  // in-process and still produce the right verdict.
+  EXPECT_EQ(S1->checkValid(Guard, Goal).Status, smt::CheckStatus::Valid);
+  EXPECT_EQ(S2->checkValid(Guard, Goal).Status, smt::CheckStatus::Valid);
+  PoolStats S = Pool.stats();
+  EXPECT_EQ(S.Spawns, 1u);
+  EXPECT_GE(S.Fallbacks, 1u);
+}
+
+TEST(SolverPool, ResolveWorkerBin) {
+  EXPECT_EQ(resolveWorkerBin("/explicit/path"), "/explicit/path");
+  ::setenv("VCDRYAD_WORKER_BIN", "/from/env", 1);
+  EXPECT_EQ(resolveWorkerBin(""), "/from/env");
+  ::unsetenv("VCDRYAD_WORKER_BIN");
+  // Fallback: the running test binary via /proc/self/exe.
+  std::string Self = resolveWorkerBin("");
+  EXPECT_NE(Self.find("solverpool_test"), std::string::npos) << Self;
+}
+
+TEST(SolverPool, BackoffGrowsAndCaps) {
+  PoolOptions PO = baseOptions();
+  PO.BackoffBaseMs = 25;
+  PO.BackoffCapMs = 400;
+  SolverPool Pool(PO);
+  EXPECT_EQ(Pool.backoffDelayMs(0), 0u);
+  EXPECT_EQ(Pool.backoffDelayMs(1), 25u);
+  EXPECT_EQ(Pool.backoffDelayMs(2), 50u);
+  EXPECT_EQ(Pool.backoffDelayMs(5), 400u);   // 25<<4 = 400 == cap.
+  EXPECT_EQ(Pool.backoffDelayMs(50), 400u);  // Shift clamped, capped.
+}
+
+TEST(SolverPool, MissingWorkerBinaryDegradesNotCrashes) {
+  PoolOptions PO;
+  PO.WorkerBin = "/nonexistent/vcdryad-worker";
+  SolverPool Pool(PO);
+  auto Solver = Pool.makeSolver(solverOptions());
+  vir::LExprRef Guard, Goal;
+  validObligation(Guard, Goal);
+  // Exec failure -> child exits 127 -> init round-trip fails ->
+  // fallback in-process. The verdict must still be right.
+  smt::CheckResult R = Solver->checkValid(Guard, Goal);
+  EXPECT_EQ(R.Status, smt::CheckStatus::Valid);
+}
+
+} // namespace

@@ -1,0 +1,319 @@
+//===- workerproto_test.cpp - Solver-worker wire protocol tests ------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+//
+// Codec-level tests for smt/WorkerProto: expression-DAG round-trips
+// through the interning arena, request/response body round-trips,
+// malformed-payload rejection, and the framed pipe I/O (including the
+// whole-frame deadline). No worker processes are spawned here — that
+// is solverpool_test's job.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Worker.h"
+#include "smt/WorkerProto.h"
+#include "vir/LExpr.h"
+#include "wire/Codec.h"
+
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace vcdryad;
+using namespace vcdryad::smt;
+
+namespace {
+
+/// A small but representative guard: shared subterms, every leaf
+/// kind, an application, a store/select chain and a quantifier.
+vir::LExprRef sampleGuard() {
+  auto X = vir::mkVar("x", vir::Sort::Loc);
+  auto Y = vir::mkVar("y", vir::Sort::Loc);
+  auto K = vir::mkVar("k", vir::Sort::Int);
+  auto Next = vir::mkVar("next", vir::Sort::ArrLocLoc);
+  auto Keys = vir::mkApp("keys", vir::Sort::SetInt, {X});
+  auto Upd = vir::mkStore(Next, X, Y);
+  return vir::mkAnd(
+      {vir::mkNe(X, vir::mkNil()),
+       vir::mkEq(vir::mkSelect(Upd, X), Y),
+       vir::mkMember(K, Keys),
+       vir::mkImplies(vir::mkIntLe(vir::mkInt(0), K),
+                      vir::mkIntLt(K, vir::mkIntAdd(K, vir::mkInt(1)))),
+       vir::mkForall({vir::mkVar("q", vir::Sort::Int)},
+                     vir::mkEq(vir::mkVar("q", vir::Sort::Int),
+                               vir::mkVar("q", vir::Sort::Int)))});
+}
+
+TEST(WorkerProtoDag, RoundTripIsIdentical) {
+  auto Guard = sampleGuard();
+  auto Goal = vir::mkEq(vir::mkVar("x", vir::Sort::Loc),
+                        vir::mkVar("y", vir::Sort::Loc));
+  std::string Buf;
+  packExprDag(Buf, {Guard, Goal});
+  size_t Pos = 0;
+  std::vector<vir::LExprRef> Roots;
+  ASSERT_TRUE(unpackExprDag(Buf, Pos, Roots));
+  EXPECT_EQ(Pos, Buf.size());
+  ASSERT_EQ(Roots.size(), 2u);
+  // Hash-consing makes round-trip identity literal pointer identity.
+  EXPECT_EQ(Roots[0], Guard);
+  EXPECT_EQ(Roots[1], Goal);
+  EXPECT_EQ(vir::stableExprHash(Roots[0]), vir::stableExprHash(Guard));
+}
+
+TEST(WorkerProtoDag, SharedSubtermsPackOnce) {
+  auto X = vir::mkVar("x", vir::Sort::Int);
+  auto Sum = vir::mkIntAdd(X, X);
+  auto Twice = vir::mkAnd(vir::mkEq(Sum, Sum), vir::mkIntLe(X, Sum));
+  std::string Shared, Unshared;
+  packExprDag(Shared, {Twice});
+  // An equally deep expression without sharing must be bigger.
+  auto Y1 = vir::mkVar("y1", vir::Sort::Int);
+  auto Y2 = vir::mkVar("y2", vir::Sort::Int);
+  auto Y3 = vir::mkVar("y3", vir::Sort::Int);
+  auto Distinct = vir::mkAnd(
+      vir::mkEq(vir::mkIntAdd(Y1, Y2), vir::mkIntAdd(Y2, Y3)),
+      vir::mkIntLe(Y3, vir::mkIntAdd(Y1, Y3)));
+  packExprDag(Unshared, {Distinct});
+  EXPECT_LT(Shared.size(), Unshared.size());
+}
+
+TEST(WorkerProtoDag, EmptyRootsRoundTrip) {
+  std::string Buf;
+  packExprDag(Buf, {});
+  size_t Pos = 0;
+  std::vector<vir::LExprRef> Roots;
+  ASSERT_TRUE(unpackExprDag(Buf, Pos, Roots));
+  EXPECT_TRUE(Roots.empty());
+}
+
+TEST(WorkerProtoDag, ForwardArgIndexRejected) {
+  // One node whose argument indexes itself: child-before-parent order
+  // makes any non-backward index malformed.
+  std::string Buf;
+  wire::packU32(Buf, 1);                           // node count
+  Buf.push_back(static_cast<char>(vir::LOp::Not)); // op
+  Buf.push_back(static_cast<char>(vir::Sort::Bool));
+  wire::packU32(Buf, 0); // name len
+  wire::packU64(Buf, 0); // intval
+  wire::packU32(Buf, 1); // argc
+  wire::packU32(Buf, 0); // arg -> itself
+  wire::packU32(Buf, 1); // roots
+  wire::packU32(Buf, 0);
+  size_t Pos = 0;
+  std::vector<vir::LExprRef> Roots;
+  EXPECT_FALSE(unpackExprDag(Buf, Pos, Roots));
+}
+
+TEST(WorkerProtoDag, TruncationAtEveryPrefixRejected) {
+  std::string Buf;
+  packExprDag(Buf, {sampleGuard()});
+  for (size_t Len = 0; Len < Buf.size(); ++Len) {
+    size_t Pos = 0;
+    std::vector<vir::LExprRef> Roots;
+    EXPECT_FALSE(
+        unpackExprDag(std::string_view(Buf.data(), Len), Pos, Roots))
+        << "prefix of length " << Len << " must not parse";
+  }
+}
+
+TEST(WorkerProtoDag, OutOfRangeTagsRejected) {
+  std::string Buf;
+  packExprDag(Buf, {vir::mkBool(true)});
+  // Byte 4 is the first node's op tag, byte 5 its sort tag.
+  for (size_t Off : {size_t{4}, size_t{5}}) {
+    std::string Bad = Buf;
+    Bad[Off] = static_cast<char>(0xee);
+    size_t Pos = 0;
+    std::vector<vir::LExprRef> Roots;
+    EXPECT_FALSE(unpackExprDag(Bad, Pos, Roots));
+  }
+}
+
+TEST(WorkerProtoBodies, InitRoundTrip) {
+  SolverOptions SO;
+  SO.TimeoutMs = 1234;
+  SO.MaxModelChars = 9000;
+  SO.Profile.Name = "no-mbqi";
+  SO.Profile.Params = {{"auto_config", "false"}, {"mbqi", "false"}};
+  SO.BackgroundAxioms = {sampleGuard()};
+  std::string Buf;
+  packInit(Buf, SO);
+  SolverOptions Out;
+  size_t Pos = 0;
+  ASSERT_TRUE(unpackInit(Buf, Pos, Out));
+  EXPECT_EQ(Pos, Buf.size());
+  EXPECT_EQ(Out.TimeoutMs, 1234u);
+  EXPECT_EQ(Out.MaxModelChars, 9000u);
+  EXPECT_EQ(Out.Profile.Name, "no-mbqi");
+  ASSERT_EQ(Out.Profile.Params.size(), 2u);
+  EXPECT_EQ(Out.Profile.Params[1].first, "mbqi");
+  ASSERT_EQ(Out.BackgroundAxioms.size(), 1u);
+  EXPECT_EQ(Out.BackgroundAxioms[0], SO.BackgroundAxioms[0]);
+}
+
+TEST(WorkerProtoBodies, CheckValidRoundTrip) {
+  auto Guard = sampleGuard();
+  auto Goal = vir::mkBool(false);
+  std::string Buf;
+  packCheckValid(Buf, Guard, Goal);
+  vir::LExprRef G2, C2;
+  size_t Pos = 0;
+  ASSERT_TRUE(unpackCheckValid(Buf, Pos, G2, C2));
+  EXPECT_EQ(G2, Guard);
+  EXPECT_EQ(C2, Goal);
+}
+
+TEST(WorkerProtoBodies, ResultRoundTripAllStatuses) {
+  for (CheckStatus S :
+       {CheckStatus::Valid, CheckStatus::Invalid, CheckStatus::Unknown,
+        CheckStatus::Crashed, CheckStatus::ResourceLimit}) {
+    CheckResult R;
+    R.Status = S;
+    R.Detail = "detail for status " +
+               std::to_string(static_cast<int>(S));
+    R.TimeMs = 12.625; // Exactly representable: survives the bit cast.
+    std::string Buf;
+    packResult(Buf, R);
+    CheckResult Out;
+    size_t Pos = 0;
+    ASSERT_TRUE(unpackResult(Buf, Pos, Out));
+    EXPECT_EQ(Out.Status, S);
+    EXPECT_EQ(Out.Detail, R.Detail);
+    EXPECT_DOUBLE_EQ(Out.TimeMs, 12.625);
+  }
+}
+
+TEST(WorkerProtoBodies, ResultRejectsBadStatusTag) {
+  CheckResult R;
+  R.Status = CheckStatus::Valid;
+  std::string Buf;
+  packResult(Buf, R);
+  Buf[0] = static_cast<char>(0x7f);
+  CheckResult Out;
+  size_t Pos = 0;
+  EXPECT_FALSE(unpackResult(Buf, Pos, Out));
+}
+
+TEST(WorkerProtoBodies, SessionBodiesRoundTrip) {
+  auto A = vir::mkVar("a", vir::Sort::Bool);
+  auto B = vir::mkVar("b", vir::Sort::Bool);
+  std::string Buf;
+  packBeginSession(Buf, 500, {A, B});
+  unsigned Timeout = 0;
+  std::vector<vir::LExprRef> Prefix;
+  size_t Pos = 0;
+  ASSERT_TRUE(unpackBeginSession(Buf, Pos, Timeout, Prefix));
+  EXPECT_EQ(Timeout, 500u);
+  ASSERT_EQ(Prefix.size(), 2u);
+  EXPECT_EQ(Prefix[0], A);
+  EXPECT_EQ(Prefix[1], B);
+
+  Buf.clear();
+  auto Goal = vir::mkNot(B);
+  packCheckSession(Buf, {A}, Goal);
+  std::vector<vir::LExprRef> Extra;
+  vir::LExprRef G2;
+  Pos = 0;
+  ASSERT_TRUE(unpackCheckSession(Buf, Pos, Extra, G2));
+  ASSERT_EQ(Extra.size(), 1u);
+  EXPECT_EQ(Extra[0], A);
+  EXPECT_EQ(G2, Goal);
+}
+
+TEST(WorkerProtoFraming, PipeRoundTrip) {
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+  std::string Payload = "hello worker";
+  EXPECT_EQ(writeFrame(Fds[1], wire::MsgType::WkCheckValid, Payload),
+            PipeStatus::Ok);
+  std::string Acc, Out;
+  wire::MsgType Type{};
+  EXPECT_EQ(readFrame(Fds[0], Acc, Type, Out, 2000), PipeStatus::Ok);
+  EXPECT_EQ(Type, wire::MsgType::WkCheckValid);
+  EXPECT_EQ(Out, Payload);
+  ::close(Fds[1]);
+  EXPECT_EQ(readFrame(Fds[0], Acc, Type, Out, 100), PipeStatus::Eof);
+  ::close(Fds[0]);
+}
+
+TEST(WorkerProtoFraming, DeadlineSpansWholeFrame) {
+  // A writer that trickles one byte at a time must not reset the
+  // reader's budget: the deadline covers the frame, not each poll.
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+  std::string Frame;
+  {
+    std::string Whole;
+    wire::packU32(Whole, 0); // placeholder; use writeFrame into a pipe
+  }
+  // Build a full frame by writing into a temp pipe and reading it back.
+  int Tmp[2];
+  ASSERT_EQ(::pipe(Tmp), 0);
+  ASSERT_EQ(writeFrame(Tmp[1], wire::MsgType::WkOk, "xyz"),
+            PipeStatus::Ok);
+  char Raw[64];
+  ssize_t N = ::read(Tmp[0], Raw, sizeof(Raw));
+  ASSERT_GT(N, 0);
+  ::close(Tmp[0]);
+  ::close(Tmp[1]);
+  Frame.assign(Raw, static_cast<size_t>(N));
+
+  std::thread Trickler([&] {
+    for (char C : Frame) {
+      (void)!::write(Fds[1], &C, 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+  });
+  std::string Acc, Out;
+  wire::MsgType Type{};
+  // Frame is ~26 bytes at 40ms/byte ≈ 1s+; a 300ms whole-frame
+  // deadline must expire even though every single poll sees progress.
+  EXPECT_EQ(readFrame(Fds[0], Acc, Type, Out, 300), PipeStatus::Timeout);
+  Trickler.join();
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(WorkerFaults, SpecParsing) {
+  FaultSpec None = FaultSpec::parse(nullptr);
+  EXPECT_EQ(None.K, FaultSpec::Kind::None);
+  FaultSpec Bad = FaultSpec::parse("sigsegv:12");
+  EXPECT_EQ(Bad.K, FaultSpec::Kind::None);
+
+  FaultSpec Crash = FaultSpec::parse("crash:1fc1");
+  EXPECT_EQ(Crash.K, FaultSpec::Kind::Crash);
+  EXPECT_FALSE(Crash.Once);
+  EXPECT_EQ(Crash.HexPrefix, "1fc1");
+
+  FaultSpec Once = FaultSpec::parse("oom-once:*");
+  EXPECT_EQ(Once.K, FaultSpec::Kind::Oom);
+  EXPECT_TRUE(Once.Once);
+
+  FaultSpec Hang = FaultSpec::parse("hang:");
+  EXPECT_EQ(Hang.K, FaultSpec::Kind::Hang);
+}
+
+TEST(WorkerFaults, PrefixMatching) {
+  // 0x1fc1ea30df31b198 renders as "1fc1ea30df31b198".
+  const uint64_t H = 0x1fc1ea30df31b198ull;
+  EXPECT_TRUE(FaultSpec::parse("crash:*").matches(H));
+  EXPECT_TRUE(FaultSpec::parse("crash:").matches(H));
+  EXPECT_TRUE(FaultSpec::parse("crash:1fc1").matches(H));
+  EXPECT_TRUE(FaultSpec::parse("crash:1fc1ea30df31b198").matches(H));
+  EXPECT_FALSE(FaultSpec::parse("crash:2fc1").matches(H));
+  EXPECT_FALSE(FaultSpec::parse("crash:1fc2").matches(H));
+  // Leading zeros are part of the fixed-width rendering.
+  EXPECT_TRUE(FaultSpec::parse("crash:000a").matches(0x000a000000000000ull));
+}
+
+TEST(WorkerFaults, TargetHashIsTheStableGoalHash) {
+  auto Goal = vir::mkEq(vir::mkVar("p", vir::Sort::Loc), vir::mkNil());
+  EXPECT_EQ(faultTargetHash(Goal), vir::stableExprHash(Goal));
+}
+
+} // namespace
