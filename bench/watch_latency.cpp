@@ -1,0 +1,230 @@
+//===- watch_latency.cpp - Watch-mode save-to-verdict latency ---------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the edit loop the watch mode exists for: with a daemon
+/// resident and warm (`vcdryad serve --watch`), how long from saving
+/// a watched .c file to the re-verify verdict landing in the event
+/// ring?  Each round appends a comment to one file (a realistic
+/// no-op save), then polls `client events --since=<cursor>` until the
+/// event for that file appears. The number includes the debounce
+/// window, the plan rebuild, and the (cache-warm) verify itself —
+/// everything a user waits for between hitting save and seeing the
+/// verdict.  Prints per-save latencies plus mean/max; exits nonzero
+/// unless the warm mean stays under 1 second on the SLL suite.
+///
+/// On platforms where the daemon reports watch mode unsupported (no
+/// inotify) the harness prints a notice and exits 0.
+///
+/// Usage: watch_latency <vcdryad-binary> [sll-suite-dir] [saves]
+///
+//===----------------------------------------------------------------------===//
+
+#include "daemon/Client.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace vcdryad;
+namespace fs = std::filesystem;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs a shell command and returns its stdout; empty on failure.
+std::string capture(const std::string &Cmd) {
+  std::string Out;
+  FILE *P = ::popen(Cmd.c_str(), "r");
+  if (!P)
+    return Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), P)) > 0)
+    Out.append(Buf, N);
+  ::pclose(P);
+  return Out;
+}
+
+/// Pulls the integer value of `"Key": <n>` out of a flat JSON line.
+uint64_t intField(const std::string &Json, const std::string &Key) {
+  std::string Needle = "\"" + Key + "\": ";
+  size_t At = Json.find(Needle);
+  if (At == std::string::npos)
+    return 0;
+  return std::strtoull(Json.c_str() + At + Needle.size(), nullptr, 10);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr, "error: usage: watch_latency <vcdryad-binary> "
+                         "[sll-suite-dir] [saves]\n");
+    return 2;
+  }
+  std::string Tool = Argv[1];
+  std::string Suite =
+      Argc > 2 ? Argv[2]
+               : (fs::path(VCDRYAD_BENCHMARK_DIR) / "sll").string();
+  int Saves = Argc > 3 ? std::atoi(Argv[3]) : 6;
+  if (Saves < 1)
+    Saves = 1;
+  if (!fs::is_regular_file(Tool)) {
+    std::fprintf(stderr, "error: no such binary: %s\n", Tool.c_str());
+    return 2;
+  }
+  if (!fs::is_directory(Suite)) {
+    std::fprintf(stderr, "error: no such suite: %s\n", Suite.c_str());
+    return 2;
+  }
+
+  // Scratch copy so the appends never touch the checked-in suite;
+  // laid out so `#include "../include/sll.h"` still resolves.
+  fs::path Work = fs::temp_directory_path() / "vcd-watch-latency";
+  fs::remove_all(Work);
+  fs::path Corpus = Work / "corpus" / "sll";
+  fs::create_directories(Corpus);
+  fs::create_directories(Work / "corpus" / "include");
+  std::vector<fs::path> Files;
+  for (const auto &E : fs::directory_iterator(Suite))
+    if (E.path().extension() == ".c") {
+      fs::copy_file(E.path(), Corpus / E.path().filename());
+      Files.push_back(Corpus / E.path().filename());
+    }
+  fs::copy_file(fs::path(Suite).parent_path() / "include" / "sll.h",
+                Work / "corpus" / "include" / "sll.h");
+  if (Files.empty()) {
+    std::fprintf(stderr, "error: no .c files in suite: %s\n",
+                 Suite.c_str());
+    return 2;
+  }
+
+  fs::path Cache = Work / "daemon";
+  std::string Sock = (Cache / "serve.sock").string();
+  pid_t Serve = fork();
+  if (Serve < 0) {
+    std::fprintf(stderr, "error: fork failed\n");
+    return 1;
+  }
+  if (Serve == 0) {
+    execl(Tool.c_str(), Tool.c_str(), "serve",
+          ("--cache=" + Cache.string()).c_str(),
+          ("--socket=" + Sock).c_str(),
+          ("--watch=" + Corpus.string()).c_str(),
+          "--watch-debounce-ms=100", nullptr);
+    _exit(127);
+  }
+  for (int I = 0; !daemon::probeSocket(Sock); ++I) {
+    if (I > 100) {
+      std::fprintf(stderr, "error: daemon did not come up\n");
+      ::kill(Serve, SIGKILL);
+      return 1;
+    }
+    ::usleep(100000);
+  }
+  std::string ClientPfx =
+      Tool + " client";
+  std::string ClientSfx = " --socket=" + Sock + " --json-times=off";
+
+  std::string WatchStatus =
+      capture(ClientPfx + " watch-status" + ClientSfx + " 2>/dev/null");
+  if (WatchStatus.find("\"watch_supported\": false") !=
+      std::string::npos) {
+    std::printf("watch mode unsupported on this platform; skipping\n");
+    std::system((ClientPfx + " shutdown" + ClientSfx +
+                 " >/dev/null 2>&1").c_str());
+    ::waitpid(Serve, nullptr, 0);
+    fs::remove_all(Work);
+    return 0;
+  }
+
+  // Prime: one cold verify so every later save hits warm caches and
+  // resident plans — the steady state the edit loop lives in.
+  std::printf("suite: %s (%zu files), saves: %d\n", Suite.c_str(),
+              Files.size(), Saves);
+  double T0 = now();
+  if (std::system((ClientPfx + " verify " + Corpus.string() + ClientSfx +
+                   " --out=/dev/null 2>/dev/null")
+                      .c_str()) != 0) {
+    std::fprintf(stderr, "error: priming verify failed\n");
+    ::kill(Serve, SIGKILL);
+    return 1;
+  }
+  std::printf("cold prime:            %8.1f ms\n\n", now() - T0);
+
+  std::vector<double> Latencies;
+  bool AllVerified = true;
+  for (int I = 0; I < Saves; ++I) {
+    const fs::path &Target = Files[static_cast<size_t>(I) % Files.size()];
+    uint64_t Cursor = intField(
+        capture(ClientPfx + " events" + ClientSfx), "last_seq");
+    double Saved = now();
+    {
+      std::ofstream F(Target, std::ios::app);
+      F << "// save " << I << "\n";
+    } // close() fires IN_CLOSE_WRITE.
+    std::string Events;
+    for (;;) {
+      Events = capture(ClientPfx + " events --since=" +
+                       std::to_string(Cursor) + ClientSfx);
+      if (Events.find(Target.filename().string()) != std::string::npos)
+        break;
+      if (now() - Saved > 30000.0) {
+        std::fprintf(stderr, "error: no event for %s within 30s\n",
+                     Target.c_str());
+        ::kill(Serve, SIGKILL);
+        return 1;
+      }
+      ::usleep(10000);
+    }
+    double Ms = now() - Saved;
+    if (Events.find("\"verified\": true") == std::string::npos)
+      AllVerified = false;
+    Latencies.push_back(Ms);
+    std::printf("save -> verdict %-18s %8.1f ms\n",
+                Target.filename().c_str(), Ms);
+  }
+
+  std::system((ClientPfx + " shutdown" + ClientSfx +
+               " >/dev/null 2>&1").c_str());
+  ::waitpid(Serve, nullptr, 0);
+  fs::remove_all(Work);
+
+  double Mean = 0.0, Max = 0.0;
+  for (double L : Latencies) {
+    Mean += L;
+    if (L > Max)
+      Max = L;
+  }
+  Mean /= static_cast<double>(Latencies.size());
+  std::printf("\n%-24s %8.1f ms\n", "save -> verdict (mean):", Mean);
+  std::printf("%-24s %8.1f ms\n", "save -> verdict (max):", Max);
+  if (!AllVerified) {
+    std::fprintf(stderr, "error: a watched re-verify reported failure\n");
+    return 1;
+  }
+  if (Mean >= 1000.0) {
+    std::fprintf(stderr,
+                 "error: warm save->verdict mean %.1f ms >= 1000 ms\n",
+                 Mean);
+    return 1;
+  }
+  std::printf("\nwarm save -> verdict stays under the 1 s budget\n");
+  return 0;
+}

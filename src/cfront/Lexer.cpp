@@ -293,9 +293,12 @@ std::vector<Token> cfront::lex(const std::string &Source,
 
 std::string cfront::preprocess(const std::string &Source,
                                const std::string &BaseDir,
-                               DiagnosticEngine &Diag) {
+                               DiagnosticEngine &Diag,
+                               std::set<std::string> *IncludeClosure) {
   std::string Out;
-  std::set<std::string> Seen;
+  std::set<std::string> Seen; // Every resolved include, transitively.
   preprocessInto(Source, BaseDir, Seen, Out, Diag);
+  if (IncludeClosure)
+    *IncludeClosure = std::move(Seen);
   return Out;
 }

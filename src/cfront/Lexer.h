@@ -19,6 +19,7 @@
 #include "support/Diagnostics.h"
 #include "support/SourceLoc.h"
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -74,9 +75,14 @@ std::vector<Token> lex(const std::string &Source, DiagnosticEngine &Diag);
 
 /// Expands `#include "file"` directives of \p Source textually,
 /// resolving relative to \p BaseDir; each file is included at most
-/// once. Unresolvable includes are reported to \p Diag.
+/// once. Unresolvable includes are reported to \p Diag. When
+/// \p IncludeClosure is non-null it receives the resolved path of
+/// every include directive encountered (transitively, deduplicated) —
+/// the exact file set whose bytes feed the preprocessed text, which
+/// is what watch mode must monitor to invalidate a resident plan.
 std::string preprocess(const std::string &Source, const std::string &BaseDir,
-                       DiagnosticEngine &Diag);
+                       DiagnosticEngine &Diag,
+                       std::set<std::string> *IncludeClosure = nullptr);
 
 } // namespace cfront
 } // namespace vcdryad

@@ -7,13 +7,26 @@
 #include "daemon/Daemon.h"
 
 #include "daemon/Client.h"
+#include "support/Timer.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <set>
+
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#ifdef __linux__
+#include <sys/inotify.h>
+#endif
 
 using namespace vcdryad;
 using namespace vcdryad::daemon;
@@ -66,16 +79,107 @@ ReadStatus readRequestLine(int Fd, std::string &Line, size_t MaxBytes) {
   }
 }
 
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+std::string dirOf(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  if (Slash == std::string::npos)
+    return ".";
+  if (Slash == 0)
+    return "/";
+  return Path.substr(0, Slash);
+}
+
+/// Parses VCDRYAD_TEST_ACCEPT_ERRORS ("ECONNABORTED,EMFILE,...") into
+/// errno values; unknown names are ignored. Test-only fault injection
+/// for the accept classification paths.
+std::deque<int> parseInjectedAcceptErrors() {
+  std::deque<int> Out;
+  const char *Env = std::getenv("VCDRYAD_TEST_ACCEPT_ERRORS");
+  if (!Env || !*Env)
+    return Out;
+  static const std::pair<const char *, int> Names[] = {
+      {"EINTR", EINTR},     {"ECONNABORTED", ECONNABORTED},
+      {"EMFILE", EMFILE},   {"ENFILE", ENFILE},
+      {"ENOMEM", ENOMEM},   {"ENOBUFS", ENOBUFS},
+      {"EAGAIN", EAGAIN},   {"EINVAL", EINVAL},
+      {"EBADF", EBADF},
+#ifdef EPROTO
+      {"EPROTO", EPROTO},
+#endif
+  };
+  std::string S(Env);
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    std::string Name = S.substr(Pos, Comma - Pos);
+    for (const auto &[N, V] : Names)
+      if (Name == N)
+        Out.push_back(V);
+    Pos = Comma + 1;
+  }
+  return Out;
+}
+
+/// "12.3" — one decimal, matching the report renderer's style.
+std::string formatMs(double Ms) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", Ms);
+  return Buf;
+}
+
 } // namespace
 
+AcceptAction daemon::classifyAcceptError(int Err) {
+  switch (Err) {
+  case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+  case EWOULDBLOCK:
+#endif
+    return AcceptAction::Done;
+  case EINTR:
+  case ECONNABORTED: // Peer hung up between connect() and accept().
+#ifdef EPROTO
+  case EPROTO:
+#endif
+    return AcceptAction::Retry;
+  case EMFILE:
+  case ENFILE:
+  case ENOMEM:
+  case ENOBUFS:
+    return AcceptAction::Backoff;
+  case EBADF:
+  case EINVAL:
+  case ENOTSOCK:
+  case EOPNOTSUPP:
+    return AcceptAction::Fatal;
+  default:
+    // A surprise errno is not a reason to die; pause and retry.
+    return AcceptAction::Backoff;
+  }
+}
+
 Daemon::Daemon(DaemonOptions O)
-    : Opts(std::move(O)), Svc(Opts.Service) {}
+    : Opts(std::move(O)), Svc(Opts.Service), Debounce(Opts.DebounceMs),
+      Events(Opts.EventRingCap) {}
 
 Daemon::~Daemon() {
   if (ListenFd >= 0) {
     ::close(ListenFd);
     ::unlink(Opts.SocketPath.c_str());
   }
+}
+
+uint64_t Daemon::nowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 bool Daemon::bind(std::string &Error) {
@@ -132,11 +236,15 @@ bool Daemon::bind(std::string &Error) {
   return true;
 }
 
+//===----------------------------------------------------------------------===//
+// Responses
+//===----------------------------------------------------------------------===//
+
 std::string Daemon::statusResponse() const {
   std::string Out = "{\"ok\": true, \"pid\": " +
                     std::to_string(static_cast<long>(::getpid())) +
                     ", \"socket\": \"" + jsonEscape(Opts.SocketPath) +
-                    "\", \"requests\": " + std::to_string(Requests);
+                    "\", \"requests\": " + std::to_string(Requests.load());
   Out += ", \"cache_dir\": \"" +
          jsonEscape(Opts.Service.CacheDir) + "\"";
   Out += ", \"incremental\": ";
@@ -148,6 +256,11 @@ std::string Daemon::statusResponse() const {
   Out += ", \"isolate_solvers\": ";
   Out += Opts.Service.IsolateSolvers ? "true" : "false";
   Out += ", \"resident_plans\": " + std::to_string(Svc.residentPlanCount());
+  Out += ", \"watch_supported\": ";
+  Out += InotifyFd >= 0 ? "true" : "false";
+  Out += ", \"watched_files\": " + std::to_string(Registry.fileCount());
+  Out += ", \"verifying\": ";
+  Out += Verifying.load() ? "true" : "false";
   Out += "}\n";
   return Out;
 }
@@ -197,7 +310,237 @@ std::string Daemon::cacheStatsResponse() const {
   return Out;
 }
 
-bool Daemon::handleConnection(int Fd) {
+std::string Daemon::watchStatusResponse() const {
+  std::string Out = "{\"ok\": true, \"watch_supported\": ";
+  Out += InotifyFd >= 0 ? "true" : "false";
+  Out += ", \"watched_files\": " + std::to_string(Registry.fileCount());
+  Out += ", \"watched_paths\": " + std::to_string(Registry.pathCount());
+  Out += ", \"debounce_ms\": " + std::to_string(Debounce.quietWindowMs());
+  Out += ", \"pending\": " + std::to_string(Debounce.pending());
+  Out += ", \"verifying\": ";
+  Out += Verifying.load() ? "true" : "false";
+  Out += ", \"last_event_seq\": " + std::to_string(Events.lastSeq());
+  Out += "}\n";
+  return Out;
+}
+
+std::string Daemon::eventsResponse(uint64_t Since) const {
+  std::vector<service::WatchEvent> Es = Events.since(Since);
+  std::string Out =
+      "{\"ok\": true, \"last_seq\": " + std::to_string(Events.lastSeq());
+  Out += ", \"events\": [";
+  for (size_t I = 0; I < Es.size(); ++I) {
+    const service::WatchEvent &E = Es[I];
+    if (I)
+      Out += ", ";
+    Out += "{\"seq\": " + std::to_string(E.Seq);
+    Out += ", \"path\": \"" + jsonEscape(E.Path) + "\"";
+    Out += ", \"trigger\": \"" + jsonEscape(E.Trigger) + "\"";
+    Out += ", \"verified\": ";
+    Out += E.Verified ? "true" : "false";
+    Out += ", \"functions\": " + std::to_string(E.Functions);
+    Out += ", \"failed\": " + std::to_string(E.Failed);
+    Out += ", \"wall_ms\": " + formatMs(E.WallMs);
+    Out += "}";
+  }
+  Out += "]}\n";
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Watch plumbing
+//===----------------------------------------------------------------------===//
+
+void Daemon::applyWatchDelta(const service::WatchRegistry::Delta &D) {
+#ifdef __linux__
+  if (InotifyFd < 0)
+    return;
+  for (const std::string &P : D.Added) {
+    std::string Dir = dirOf(P);
+    auto It = DirWatch.find(Dir);
+    if (It != DirWatch.end()) {
+      ++It->second.second;
+      continue;
+    }
+    // Watch the *directory*, filtered by name on delivery: an editor
+    // that saves via tempfile + rename replaces the inode, and a
+    // file watch would silently follow the deleted one.
+    int Wd = ::inotify_add_watch(InotifyFd, Dir.c_str(),
+                                 IN_CLOSE_WRITE | IN_MOVED_TO);
+    if (Wd < 0) {
+      std::fprintf(stderr,
+                   "vcdryad serve: cannot watch directory '%s': %s\n",
+                   Dir.c_str(), std::strerror(errno));
+      continue;
+    }
+    DirWatch[Dir] = {Wd, 1};
+    WdDir[Wd] = Dir;
+  }
+  for (const std::string &P : D.Removed) {
+    std::string Dir = dirOf(P);
+    auto It = DirWatch.find(Dir);
+    if (It == DirWatch.end())
+      continue;
+    if (--It->second.second == 0) {
+      ::inotify_rm_watch(InotifyFd, It->second.first);
+      WdDir.erase(It->second.first);
+      DirWatch.erase(It);
+    }
+  }
+#else
+  (void)D;
+#endif
+}
+
+void Daemon::watchAddFile(const std::string &CFile) {
+  applyWatchDelta(Registry.add(CFile));
+}
+
+void Daemon::watchRemoveFile(const std::string &CFile) {
+  applyWatchDelta(Registry.remove(CFile));
+}
+
+void Daemon::handleInotify() {
+#ifdef __linux__
+  // Sized and aligned for at least one maximal event (see inotify(7)).
+  alignas(8) char Buf[4096];
+  for (;;) {
+    ssize_t N = ::read(InotifyFd, Buf, sizeof(Buf));
+    if (N <= 0)
+      break; // EAGAIN: drained (the fd is non-blocking).
+    for (char *P = Buf; P < Buf + N;) {
+      auto *Ev = reinterpret_cast<struct inotify_event *>(P);
+      P += sizeof(struct inotify_event) + Ev->len;
+      if (Ev->len == 0)
+        continue; // Directory-level event; names are what we filter by.
+      auto It = WdDir.find(Ev->wd);
+      if (It == WdDir.end())
+        continue; // Raced with inotify_rm_watch.
+      std::string Path = It->second + "/" + Ev->name;
+      // Only paths in some watched closure matter; everything else in
+      // the directory (editor tempfiles, build artifacts) is noise.
+      if (!Registry.owners(Path).empty())
+        Debounce.note(Path, nowMs());
+    }
+  }
+#endif
+}
+
+void Daemon::dispatchRipe() {
+  std::vector<std::string> Ripe = Debounce.takeRipe(nowMs());
+  if (Ripe.empty())
+    return;
+  // Union of owning files across the ripe paths, first trigger wins
+  // (a header edit plus its .c edit in one burst is one re-verify).
+  std::vector<std::pair<std::string, std::string>> Triggers;
+  std::set<std::string> SeenFiles;
+  for (const std::string &P : Ripe)
+    for (const std::string &F : Registry.owners(P))
+      if (SeenFiles.insert(F).second)
+        Triggers.emplace_back(F, P);
+  if (Triggers.empty())
+    return;
+  // Refresh closures now, at save time: an edit that adds or drops
+  // #includes re-wires the directory watches before the next event.
+  for (const auto &[F, T] : Triggers)
+    watchAddFile(F);
+  VerifyJob J;
+  for (const auto &[F, T] : Triggers)
+    J.Inputs.push_back(F);
+  J.Triggers = std::move(Triggers);
+  enqueue(std::move(J));
+}
+
+//===----------------------------------------------------------------------===//
+// Worker thread
+//===----------------------------------------------------------------------===//
+
+void Daemon::enqueue(VerifyJob Job) {
+  {
+    std::lock_guard<std::mutex> Lock(JobMu);
+    JobQueue.push_back(std::move(Job));
+  }
+  JobCv.notify_one();
+}
+
+void Daemon::startWorker() {
+  WorkerStop = false;
+  Worker = std::thread([this] { workerLoop(); });
+}
+
+void Daemon::stopWorker() {
+  {
+    std::lock_guard<std::mutex> Lock(JobMu);
+    WorkerStop = true;
+  }
+  JobCv.notify_all();
+  if (Worker.joinable())
+    Worker.join();
+  // Whatever the worker never got to: clients deserve an answer, not
+  // a hang-up mid-wait.
+  for (VerifyJob &J : JobQueue) {
+    if (J.ClientFd >= 0) {
+      writeAll(J.ClientFd, errorResponse("daemon shutting down"));
+      ::close(J.ClientFd);
+    }
+  }
+  JobQueue.clear();
+}
+
+void Daemon::workerLoop() {
+  for (;;) {
+    VerifyJob Job;
+    {
+      std::unique_lock<std::mutex> Lock(JobMu);
+      JobCv.wait(Lock, [this] { return WorkerStop || !JobQueue.empty(); });
+      if (WorkerStop)
+        return; // Leftovers are answered by stopWorker().
+      Job = std::move(JobQueue.front());
+      JobQueue.pop_front();
+    }
+    runJob(Job);
+  }
+}
+
+void Daemon::runJob(VerifyJob &Job) {
+  Verifying.store(true);
+  Timer Wall;
+  service::BatchReport Rep = Svc.run(Job.Inputs);
+  double WallMs = Wall.millis();
+  Verifying.store(false);
+
+  if (Job.ClientFd >= 0) {
+    writeAll(Job.ClientFd,
+             service::toJson(Rep, Job.JsonTimes, Job.ChangedOnly));
+    ::close(Job.ClientFd);
+    return;
+  }
+  // Watch job: one ring entry per affected file. A coalesced burst
+  // re-verified several files in one run; each entry carries that
+  // run's wall time (the save-to-verdict latency a client observes).
+  for (const auto &[File, Trigger] : Job.Triggers) {
+    service::WatchEvent E;
+    E.Path = File;
+    E.Trigger = Trigger;
+    E.WallMs = WallMs;
+    for (const service::FileReport &FR : Rep.Files) {
+      if (FR.Path != File)
+        continue;
+      E.Functions = static_cast<unsigned>(FR.Functions.size());
+      for (const service::FunctionReport &Fn : FR.Functions)
+        if (!Fn.Result.Verified)
+          ++E.Failed;
+      E.Verified = FR.Ok && E.Failed == 0;
+    }
+    Events.append(std::move(E));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Connections
+//===----------------------------------------------------------------------===//
+
+Daemon::ConnResult Daemon::handleConnection(int Fd) {
   ++Requests;
   std::string Line;
   size_t Cap = Opts.MaxRequestBytes ? Opts.MaxRequestBytes : 4u << 20;
@@ -209,16 +552,16 @@ bool Daemon::handleConnection(int Fd) {
                      "request too large (over " + std::to_string(Cap) +
                      " bytes); split the batch or raise "
                      "--max-request-mb="));
-    return false;
+    return ConnResult::Done;
   case ReadStatus::IoError:
     // The transport is gone; a response would only earn an EPIPE.
-    return false;
+    return ConnResult::Done;
   }
   Request R;
   std::string Error;
   if (!parseRequest(Line, R, Error)) {
     writeAll(Fd, errorResponse("malformed request: " + Error));
-    return false;
+    return ConnResult::Done;
   }
 
   if (R.Op == "verify") {
@@ -226,32 +569,116 @@ bool Daemon::handleConnection(int Fd) {
         service::collectBatchInputs(R.Paths, Error);
     if (!Error.empty()) {
       writeAll(Fd, errorResponse(Error));
-      return false;
+      return ConnResult::Done;
     }
     if (Inputs.empty()) {
       writeAll(Fd, errorResponse("verify operands contain no .c files"));
-      return false;
+      return ConnResult::Done;
     }
-    service::BatchReport Rep = Svc.run(Inputs);
-    writeAll(Fd, service::toJson(Rep, R.JsonTimes, R.ChangedOnly));
-    return false;
+    // Off the event thread: the worker runs the batch, answers and
+    // closes the fd; status/events stay answerable meanwhile.
+    VerifyJob J;
+    J.ClientFd = Fd;
+    J.Inputs = std::move(Inputs);
+    J.JsonTimes = R.JsonTimes;
+    J.ChangedOnly = R.ChangedOnly;
+    enqueue(std::move(J));
+    return ConnResult::Handed;
   }
   if (R.Op == "status") {
     writeAll(Fd, statusResponse());
-    return false;
+    return ConnResult::Done;
   }
   if (R.Op == "cache-stats") {
     writeAll(Fd, cacheStatsResponse());
-    return false;
+    return ConnResult::Done;
+  }
+  if (R.Op == "watch-add" || R.Op == "watch-rm") {
+    if (InotifyFd < 0) {
+      writeAll(Fd, errorResponse("watch mode unsupported on this "
+                                 "platform (inotify unavailable)"));
+      return ConnResult::Done;
+    }
+    std::vector<std::string> Inputs =
+        service::collectBatchInputs(R.Paths, Error);
+    if (!Error.empty()) {
+      writeAll(Fd, errorResponse(Error));
+      return ConnResult::Done;
+    }
+    if (Inputs.empty()) {
+      writeAll(Fd, errorResponse(R.Op + " operands contain no .c files"));
+      return ConnResult::Done;
+    }
+    for (const std::string &F : Inputs) {
+      if (R.Op == "watch-add")
+        watchAddFile(F);
+      else
+        watchRemoveFile(F);
+    }
+    writeAll(Fd, "{\"ok\": true, \"watched_files\": " +
+                     std::to_string(Registry.fileCount()) +
+                     ", \"watched_paths\": " +
+                     std::to_string(Registry.pathCount()) + "}\n");
+    return ConnResult::Done;
+  }
+  if (R.Op == "watch-status") {
+    writeAll(Fd, watchStatusResponse());
+    return ConnResult::Done;
+  }
+  if (R.Op == "events") {
+    writeAll(Fd, eventsResponse(R.Since));
+    return ConnResult::Done;
   }
   if (R.Op == "shutdown") {
     writeAll(Fd, "{\"ok\": true, \"shutting_down\": true}\n");
     service::requestShutdown();
-    return true;
+    return ConnResult::Shutdown;
   }
   writeAll(Fd, errorResponse("unknown op '" + R.Op + "'"));
-  return false;
+  return ConnResult::Done;
 }
+
+bool Daemon::acceptClients() {
+  for (;;) {
+    int Err;
+    if (!InjectedAcceptErrors.empty()) {
+      // Fault injection: consume one scripted errno through the same
+      // classification the real accept path uses.
+      Err = InjectedAcceptErrors.front();
+      InjectedAcceptErrors.pop_front();
+    } else {
+      int Fd = ::accept(ListenFd, nullptr, nullptr);
+      if (Fd >= 0) {
+        ConnResult CR = handleConnection(Fd);
+        if (CR != ConnResult::Handed)
+          ::close(Fd);
+        continue; // Drain whatever else queued behind this one.
+      }
+      Err = errno;
+    }
+    switch (classifyAcceptError(Err)) {
+    case AcceptAction::Done:
+      return true; // EAGAIN: the listener is drained.
+    case AcceptAction::Retry:
+      continue; // That connection died; the next may be fine.
+    case AcceptAction::Backoff:
+      std::fprintf(stderr,
+                   "vcdryad serve: accept failed (%s); backing off "
+                   "%u ms\n",
+                   std::strerror(Err), Opts.AcceptBackoffMs);
+      ::poll(nullptr, 0, static_cast<int>(Opts.AcceptBackoffMs));
+      return true; // Re-enter the event loop; readiness re-polls.
+    case AcceptAction::Fatal:
+      std::fprintf(stderr, "vcdryad serve: accept failed: %s\n",
+                   std::strerror(Err));
+      return false;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The event loop
+//===----------------------------------------------------------------------===//
 
 int Daemon::serve() {
   if (ListenFd < 0)
@@ -260,21 +687,77 @@ int Daemon::serve() {
   // writeAll sees the EPIPE instead.
   std::signal(SIGPIPE, SIG_IGN);
 
+  if (!setNonBlocking(ListenFd)) {
+    std::fprintf(stderr,
+                 "vcdryad serve: cannot make listener non-blocking: %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+
+  // Self-pipe: requestShutdown() (often signal-handler context)
+  // writes one byte; poll() wakes instead of sleeping out its
+  // timeout with the flag already raised.
+  if (::pipe(WakePipe) != 0) {
+    std::fprintf(stderr, "vcdryad serve: cannot create wake pipe: %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+  setNonBlocking(WakePipe[0]);
+  setNonBlocking(WakePipe[1]);
+  service::setShutdownWakeFd(WakePipe[1]);
+
+#ifdef __linux__
+  InotifyFd = ::inotify_init1(IN_NONBLOCK | IN_CLOEXEC);
+  // Failure (fd exhaustion, ancient kernel) degrades to "watch
+  // unsupported", the same answer other platforms give.
+#endif
+
+  InjectedAcceptErrors = parseInjectedAcceptErrors();
+  startWorker();
+
+  for (const std::string &P : Opts.WatchPaths)
+    watchAddFile(P);
+
   int Exit = 0;
   while (!service::shutdownRequested()) {
-    int Fd = ::accept(ListenFd, nullptr, nullptr);
-    if (Fd < 0) {
+    struct pollfd Pfds[3];
+    Pfds[0] = {ListenFd, POLLIN, 0};
+    Pfds[1] = {WakePipe[0], POLLIN, 0};
+    nfds_t N = 2;
+    if (InotifyFd >= 0)
+      Pfds[N++] = {InotifyFd, POLLIN, 0};
+
+    int R = ::poll(Pfds, N, Debounce.nextDeadlineMs(nowMs()));
+    if (R < 0) {
       if (errno == EINTR)
         continue; // Signal: the loop condition re-checks the flag.
-      std::fprintf(stderr, "vcdryad serve: accept failed: %s\n",
+      std::fprintf(stderr, "vcdryad serve: poll failed: %s\n",
                    std::strerror(errno));
       Exit = 1;
       break;
     }
-    bool Shutdown = handleConnection(Fd);
-    ::close(Fd);
-    if (Shutdown)
+    if (Pfds[1].revents) {
+      char Drain[64];
+      while (::read(WakePipe[0], Drain, sizeof(Drain)) > 0)
+        ;
+    }
+    if (InotifyFd >= 0 && Pfds[2].revents)
+      handleInotify();
+    if (Pfds[0].revents && !acceptClients()) {
+      Exit = 1;
       break;
+    }
+    dispatchRipe();
+  }
+
+  stopWorker();
+  service::setShutdownWakeFd(-1);
+  ::close(WakePipe[0]);
+  ::close(WakePipe[1]);
+  WakePipe[0] = WakePipe[1] = -1;
+  if (InotifyFd >= 0) {
+    ::close(InotifyFd); // Kernel drops all watches with the fd.
+    InotifyFd = -1;
   }
 
   // Graceful exit: compact the journaled stores (everything already

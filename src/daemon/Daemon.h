@@ -14,19 +14,42 @@
 /// the process, and the scheduler runs with shared-prelude Z3
 /// sessions and cache-aware dispatch on by default.
 ///
+/// Architecture: a poll()-driven event loop over three fd classes —
+/// the listen socket, an inotify fd (Linux; elsewhere watch requests
+/// are answered "unsupported" and the rest of the daemon is
+/// unaffected), and a self-pipe that signal handlers poke through
+/// service::setShutdownWakeFd so a SIGTERM interrupts the poll()
+/// immediately. Verify work never runs on the event thread: requests
+/// and watch-triggered re-verifies are queued to a single worker
+/// thread, so `status`, `cache-stats` and `events` answer while a
+/// batch is in flight. One worker (not a pool) keeps runs serialized
+/// — the service's stores assume one batch at a time, and verify
+/// responses stay byte-identical to `vcdryad check`.
+///
+/// Watch mode: `watch-add` registers .c files plus their preprocessed
+/// #include closures (service::WatchRegistry) with per-directory
+/// inotify watches — directories, not files, so rename-over-save
+/// (vim, emacs, clang-format -i) keeps watching the path, not a
+/// deleted inode. Kernel events are debounced (service::Debouncer):
+/// a burst of writes to one path collapses into a single re-verify
+/// of exactly the .c files whose closure contains it, and each
+/// outcome lands in a bounded in-memory ring (service::EventRing)
+/// that clients poll with `events` + a since-cursor.
+///
 /// Lifecycle:
 ///   bind()   — create + bind the socket, with stale-socket recovery:
 ///              an existing socket file is probe-connected first; a
 ///              live daemon is a hard error ("already serving"), a
 ///              dead one (connect refused — the kernel keeps the file
 ///              but nobody listens) is unlinked and the path reused.
-///   serve()  — accept loop, one request per connection (see
+///   serve()  — the event loop, one request per connection (see
 ///              Protocol.h), until a shutdown request arrives over
 ///              the socket or a signal raises
 ///              service::requestShutdown(). In-flight batches observe
 ///              the same flag and stop dispatching; their completed
 ///              results are already journal-durable.
-///   exit     — flush (compact) the stores, close and unlink the
+///   exit     — stop the worker (queued clients get a clean error),
+///              flush (compact) the stores, close and unlink the
 ///              socket.
 ///
 //===----------------------------------------------------------------------===//
@@ -36,9 +59,18 @@
 
 #include "daemon/Protocol.h"
 #include "service/Service.h"
+#include "service/Watch.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 namespace vcdryad {
 namespace daemon {
@@ -51,8 +83,41 @@ struct DaemonOptions {
   /// requests are drained no further and answered with a clean
   /// `{"ok": false}` error instead of tying up the accept loop.
   size_t MaxRequestBytes = 4u << 20;
+  /// .c files (or dirs/manifests, pre-expanded by the CLI) to watch
+  /// from startup — `vcdryad serve --watch=...`. Equivalent to a
+  /// `watch-add` for each once the loop is up.
+  std::vector<std::string> WatchPaths;
+  /// Debounce quiet window: a watched path must be event-free this
+  /// long before its re-verify dispatches (see service::Debouncer).
+  unsigned DebounceMs = 100;
+  /// Watch-outcome ring capacity (see service::EventRing).
+  size_t EventRingCap = 256;
+  /// Pause after an accept() resource failure (EMFILE/ENFILE/ENOMEM)
+  /// before the loop retries — long enough for fds to close, short
+  /// enough that a recovered daemon answers promptly.
+  unsigned AcceptBackoffMs = 50;
   service::ServiceOptions Service;
 };
+
+/// What the serve loop does with a failed accept(). Transient
+/// conditions must not kill a daemon that other builds depend on:
+///   Done    — no connection waiting (EAGAIN on a non-blocking
+///             listener); go back to poll().
+///   Retry   — this connection is gone but the next may be fine
+///             (EINTR, ECONNABORTED: the peer hung up between
+///             connect and accept; EPROTO); accept again now.
+///   Backoff — resource exhaustion (EMFILE/ENFILE: fd limits;
+///             ENOMEM/ENOBUFS): nothing accept()s until something
+///             frees up, so sleep briefly and re-enter the loop.
+///             Unknown errnos land here too — pausing on a surprise
+///             beats dying on one.
+///   Fatal   — the listener itself is broken (EBADF, EINVAL,
+///             ENOTSOCK, EOPNOTSUPP); no retry can help.
+enum class AcceptAction { Done, Retry, Backoff, Fatal };
+
+/// Classifies \p Err (an accept() errno). Pure — unit-tested
+/// directly, and the serve loop's only accept error policy.
+AcceptAction classifyAcceptError(int Err);
 
 class Daemon {
 public:
@@ -66,7 +131,7 @@ public:
   /// serving on the path or the bind fails.
   bool bind(std::string &Error);
 
-  /// Runs the accept loop until shutdown; flushes the stores and
+  /// Runs the event loop until shutdown; flushes the stores and
   /// unlinks the socket on the way out. Returns the process exit
   /// code: 0 on a clean shutdown (signal or shutdown request), 1 when
   /// the listener failed.
@@ -76,15 +141,96 @@ public:
   service::VerificationService &service() { return Svc; }
 
 private:
-  /// Serves one connection; true when a shutdown request was handled.
-  bool handleConnection(int Fd);
+  /// One verify batch for the worker thread: either a client request
+  /// (ClientFd >= 0 — the worker writes the report and closes the
+  /// fd) or a watch-triggered re-verify (ClientFd < 0 — the worker
+  /// appends one EventRing entry per (file, trigger) pair).
+  struct VerifyJob {
+    int ClientFd = -1;
+    std::vector<std::string> Inputs;
+    bool JsonTimes = true;
+    bool ChangedOnly = false;
+    /// Watch jobs: the re-verified file and the changed path that
+    /// caused it, one pair per affected file.
+    std::vector<std::pair<std::string, std::string>> Triggers;
+  };
+
+  /// Outcome of one accepted connection.
+  enum class ConnResult {
+    Done,     ///< Answered inline; caller closes the fd.
+    Handed,   ///< Fd ownership moved to the worker queue.
+    Shutdown, ///< A shutdown request was handled (flag already raised).
+  };
+
+  ConnResult handleConnection(int Fd);
   std::string statusResponse() const;
   std::string cacheStatsResponse() const;
+  std::string watchStatusResponse() const;
+  std::string eventsResponse(uint64_t Since) const;
+
+  /// Accepts until the (non-blocking) listener drains. False on a
+  /// fatal listener error (serve() exits with code 1).
+  bool acceptClients();
+  /// Registers \p CFile (and its include closure) for watching;
+  /// refreshes the closure when already registered.
+  void watchAddFile(const std::string &CFile);
+  void watchRemoveFile(const std::string &CFile);
+  /// Mirrors a registry delta into per-directory inotify watches
+  /// (refcounted per (file, path) edge).
+  void applyWatchDelta(const service::WatchRegistry::Delta &D);
+  /// Drains the inotify fd, noting events on watched paths.
+  void handleInotify();
+  /// Dispatches debounce-ripe paths as one re-verify job over the
+  /// union of their owning files (closures refreshed first, so an
+  /// edit that adds/removes #includes re-wires the watches).
+  void dispatchRipe();
+
+  void startWorker();
+  void stopWorker();
+  void workerLoop();
+  void runJob(VerifyJob &Job);
+  void enqueue(VerifyJob Job);
+
+  static uint64_t nowMs();
 
   DaemonOptions Opts;
   service::VerificationService Svc;
   int ListenFd = -1;
-  uint64_t Requests = 0; ///< Connections served (status telemetry).
+  /// Self-pipe: [0] polled by the loop, [1] registered with
+  /// service::setShutdownWakeFd so requestShutdown() (signal-handler
+  /// context included) wakes the poll().
+  int WakePipe[2] = {-1, -1};
+  int InotifyFd = -1; ///< -1: watch unsupported on this platform.
+
+  /// Connections served (status telemetry). Atomic: read by
+  /// statusResponse on the event thread model but also visible to
+  /// tests through status while the worker runs.
+  std::atomic<uint64_t> Requests{0};
+  /// True while the worker is inside Svc.run() (watch-status field;
+  /// also what the responsiveness tests assert against).
+  std::atomic<bool> Verifying{false};
+
+  // Watch state. Registry/Debounce and the inotify maps are event-
+  // thread-only; Events is shared with the worker (internally locked).
+  service::WatchRegistry Registry;
+  service::Debouncer Debounce;
+  service::EventRing Events;
+  /// Canonical directory -> (inotify wd, refcount of (file, path)
+  /// edges inside it).
+  std::map<std::string, std::pair<int, unsigned>> DirWatch;
+  std::map<int, std::string> WdDir; ///< Reverse: wd -> directory.
+
+  /// Injected accept() errnos (VCDRYAD_TEST_ACCEPT_ERRORS) consumed
+  /// one per accept attempt — deterministic coverage of the
+  /// classify/backoff paths that real kernels rarely produce on cue.
+  std::deque<int> InjectedAcceptErrors;
+
+  // Worker thread plumbing.
+  std::thread Worker;
+  std::mutex JobMu;
+  std::condition_variable JobCv;
+  std::deque<VerifyJob> JobQueue;
+  bool WorkerStop = false;
 };
 
 } // namespace daemon

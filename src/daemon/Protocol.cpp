@@ -65,6 +65,8 @@ std::string daemon::buildRequest(const Request &R) {
     Out += ", \"changed_only\": true";
   if (!R.JsonTimes)
     Out += ", \"json_times\": false";
+  if (R.Since != 0)
+    Out += ", \"since\": " + std::to_string(R.Since);
   Out += "}";
   return Out;
 }
@@ -113,10 +115,58 @@ struct Cursor {
     return false;
   }
 
-  /// JSON string with the usual escapes; \uXXXX decodes the Basic
-  /// Latin range and replaces anything above with '?' (request fields
-  /// are paths and keywords; nothing in the protocol needs non-ASCII
-  /// round-tripping).
+  /// Reads the four hex digits of a \uXXXX escape. The `\u` is
+  /// already consumed. Returns false (with Error set) on truncation
+  /// or a non-hex digit.
+  bool parseHex4(unsigned &V) {
+    if (Pos + 4 > S.size()) {
+      fail("truncated \\u escape");
+      return false;
+    }
+    V = 0;
+    for (int I = 0; I < 4; ++I) {
+      char H = S[Pos++];
+      V <<= 4;
+      if (H >= '0' && H <= '9')
+        V |= static_cast<unsigned>(H - '0');
+      else if (H >= 'a' && H <= 'f')
+        V |= static_cast<unsigned>(H - 'a' + 10);
+      else if (H >= 'A' && H <= 'F')
+        V |= static_cast<unsigned>(H - 'A' + 10);
+      else {
+        fail("bad \\u escape");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Appends code point \p CP as UTF-8 (1-4 bytes; callers guarantee
+  /// CP <= 0x10FFFF and never a surrogate).
+  static void appendUtf8(std::string &Out, unsigned CP) {
+    if (CP < 0x80) {
+      Out += static_cast<char>(CP);
+    } else if (CP < 0x800) {
+      Out += static_cast<char>(0xC0 | (CP >> 6));
+      Out += static_cast<char>(0x80 | (CP & 0x3F));
+    } else if (CP < 0x10000) {
+      Out += static_cast<char>(0xE0 | (CP >> 12));
+      Out += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (CP & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (CP >> 18));
+      Out += static_cast<char>(0x80 | ((CP >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (CP & 0x3F));
+    }
+  }
+
+  /// JSON string with the usual escapes. \uXXXX decodes to UTF-8 —
+  /// request fields carry file paths, and paths are allowed to be
+  /// non-ASCII — including surrogate pairs (😀 is one
+  /// 4-byte code point). An unpaired surrogate is a parse error, not
+  /// a replacement character: silently mangling a path would make the
+  /// daemon verify the wrong file.
   std::string parseString() {
     std::string Out;
     if (!eat('"'))
@@ -154,26 +204,31 @@ struct Cursor {
         Out += '\f';
         break;
       case 'u': {
-        if (Pos + 4 > S.size()) {
-          fail("truncated \\u escape");
+        unsigned V = 0;
+        if (!parseHex4(V))
+          return Out;
+        if (V >= 0xDC00 && V <= 0xDFFF) {
+          fail("unpaired low surrogate in \\u escape");
           return Out;
         }
-        unsigned V = 0;
-        for (int I = 0; I < 4; ++I) {
-          char H = S[Pos++];
-          V <<= 4;
-          if (H >= '0' && H <= '9')
-            V |= static_cast<unsigned>(H - '0');
-          else if (H >= 'a' && H <= 'f')
-            V |= static_cast<unsigned>(H - 'a' + 10);
-          else if (H >= 'A' && H <= 'F')
-            V |= static_cast<unsigned>(H - 'A' + 10);
-          else {
-            fail("bad \\u escape");
+        if (V >= 0xD800 && V <= 0xDBFF) {
+          // High surrogate: JSON spells astral code points as a
+          // \uHHHH\uLLLL pair; both halves are required.
+          if (Pos + 2 > S.size() || S[Pos] != '\\' || S[Pos + 1] != 'u') {
+            fail("unpaired high surrogate in \\u escape");
             return Out;
           }
+          Pos += 2;
+          unsigned Lo = 0;
+          if (!parseHex4(Lo))
+            return Out;
+          if (Lo < 0xDC00 || Lo > 0xDFFF) {
+            fail("unpaired high surrogate in \\u escape");
+            return Out;
+          }
+          V = 0x10000 + ((V - 0xD800) << 10) + (Lo - 0xDC00);
         }
-        Out += V < 0x80 ? static_cast<char>(V) : '?';
+        appendUtf8(Out, V);
         break;
       }
       default:
@@ -195,19 +250,32 @@ struct Cursor {
     return false;
   }
 
-  /// Skips a number (the protocol defines no numeric fields today;
-  /// accepting them keeps unknown-key skipping honest).
-  void skipNumber() {
-    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+'))
+  /// Consumes a number and returns its non-negative integer value
+  /// (0 for anything negative or fractional — "since" is the only
+  /// numeric field and cursors are unsigned; accepting the full
+  /// numeric grammar keeps unknown-key skipping honest).
+  uint64_t parseNumber() {
+    bool Neg = false;
+    if (Pos < S.size() && (S[Pos] == '-' || S[Pos] == '+')) {
+      Neg = S[Pos] == '-';
       ++Pos;
+    }
     size_t Start = Pos;
+    uint64_t V = 0;
+    bool Integral = true;
     while (Pos < S.size() &&
            (std::isdigit(static_cast<unsigned char>(S[Pos])) ||
             S[Pos] == '.' || S[Pos] == 'e' || S[Pos] == 'E' ||
-            S[Pos] == '-' || S[Pos] == '+'))
+            S[Pos] == '-' || S[Pos] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(S[Pos])))
+        V = V * 10 + static_cast<uint64_t>(S[Pos] - '0');
+      else
+        Integral = false;
       ++Pos;
+    }
     if (Pos == Start)
       fail("expected a value");
+    return Neg || !Integral ? 0 : V;
   }
 };
 
@@ -256,7 +324,9 @@ bool daemon::parseRequest(const std::string &Line, Request &R,
       } else if (C.parseKeyword("null")) {
         // Ignored: null means "not set" for every request field.
       } else {
-        C.skipNumber();
+        uint64_t V = C.parseNumber();
+        if (Key == "since")
+          R.Since = V;
       }
     } while (!C.failed() && C.peek(',') && C.eat(','));
   }

@@ -19,6 +19,10 @@
 ///   {"op": "status"}
 ///   {"op": "cache-stats"}
 ///   {"op": "shutdown"}
+///   {"op": "watch-add", "paths": ["/abs/file.c", ...]}
+///   {"op": "watch-rm", "paths": ["/abs/file.c", ...]}
+///   {"op": "watch-status"}
+///   {"op": "events", "since": 0}
 ///
 /// Responses: verify returns exactly the `vcdryad check` JSON report
 /// (schema vcdryad-batch-v1); control requests return a one-line
@@ -36,6 +40,7 @@
 #ifndef VCDRYAD_DAEMON_PROTOCOL_H
 #define VCDRYAD_DAEMON_PROTOCOL_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -45,9 +50,12 @@ namespace daemon {
 /// One parsed request line.
 struct Request {
   std::string Op;                 ///< verify | status | cache-stats | shutdown
-  std::vector<std::string> Paths; ///< verify operands (files/dirs/manifests).
+                                  ///< | watch-add | watch-rm | watch-status
+                                  ///< | events
+  std::vector<std::string> Paths; ///< verify/watch operands.
   bool ChangedOnly = false;       ///< verify: --changed-only rendering.
   bool JsonTimes = true;          ///< verify: include timing fields.
+  uint64_t Since = 0;             ///< events: return entries with seq > this.
 };
 
 /// Parses one request line. Returns false with \p Error set on

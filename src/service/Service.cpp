@@ -8,6 +8,7 @@
 
 #include "cfront/Lexer.h"
 #include "service/SolverPool.h"
+#include "service/Watch.h"
 #include "smt/Portfolio.h"
 #include "smt/VcHash.h"
 #include "support/Diagnostics.h"
@@ -26,6 +27,8 @@
 #include <set>
 #include <sstream>
 #include <thread>
+
+#include <unistd.h>
 
 using namespace vcdryad;
 using namespace vcdryad::service;
@@ -50,10 +53,21 @@ uint64_t service::optionsFingerprint(const verifier::VerifyOptions &O) {
 
 namespace {
 std::atomic<bool> ShutdownFlag{false};
+/// Self-pipe write end a poll()-based event loop registered (or -1).
+/// An atomic int, not a pipe class: requestShutdown() runs in signal
+/// handlers and may only load + write(2).
+std::atomic<int> ShutdownWakeFd{-1};
 } // namespace
 
 void service::requestShutdown() {
   ShutdownFlag.store(true, std::memory_order_relaxed);
+  int Fd = ShutdownWakeFd.load(std::memory_order_relaxed);
+  if (Fd >= 0) {
+    // Wake the event loop out of poll(). Both write(2) and a full
+    // pipe (EAGAIN) are fine: one byte in flight already wakes it.
+    unsigned char B = 1;
+    [[maybe_unused]] ssize_t N = ::write(Fd, &B, 1);
+  }
 }
 
 bool service::shutdownRequested() {
@@ -62,6 +76,10 @@ bool service::shutdownRequested() {
 
 void service::resetShutdown() {
   ShutdownFlag.store(false, std::memory_order_relaxed);
+}
+
+void service::setShutdownWakeFd(int Fd) {
+  ShutdownWakeFd.store(Fd, std::memory_order_relaxed);
 }
 
 namespace {
@@ -318,6 +336,7 @@ void VerificationService::flushStores() {
 }
 
 size_t VerificationService::residentPlanCount() const {
+  std::lock_guard<std::mutex> Lock(PlanMu);
   return PlanCache.size();
 }
 
@@ -380,16 +399,23 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
   // preprocessed text it was parsed from is unchanged (planning is
   // deterministic given that text), so header edits behind #include
   // invalidate correctly even though the .c file itself is untouched.
-  if (Opts.ResidentPlans)
+  // Keys are canonical paths: `./foo.c`, `foo.c` and a symlink to it
+  // are one plan, not three.
+  std::vector<std::string> PlanKeys(NumFiles);
+  if (Opts.ResidentPlans) {
+    for (size_t I = 0; I != NumFiles; ++I)
+      PlanKeys[I] = canonicalPath(Paths[I]);
+    std::lock_guard<std::mutex> Lock(PlanMu);
     for (size_t I = 0; I != NumFiles; ++I) {
       TextHashes[I] = preprocessedTextHash(Paths[I]);
-      auto It = PlanCache.find(Paths[I]);
+      auto It = PlanCache.find(PlanKeys[I]);
       if (TextHashes[I] != 0 && It != PlanCache.end() &&
           It->second->TextHash == TextHashes[I]) {
         Plans[I] = &It->second->Plan;
         Reused[I] = 1;
       }
     }
+  }
 
   std::vector<smt::SolverOptions> FileSolverOpts(NumFiles);
 
@@ -420,11 +446,20 @@ BatchReport VerificationService::run(const std::vector<std::string> &Paths) {
     // text and must not be replayed.
     if (Opts.ResidentPlans && TextHashes[I] != 0 &&
         !(!FreshPlans[I].Ok && shutdownRequested())) {
-      auto P = std::make_unique<ResidentPlan>();
-      P->TextHash = TextHashes[I];
-      P->Plan = std::move(FreshPlans[I]);
-      Plans[I] = &P->Plan;
-      PlanCache.insert_or_assign(Paths[I], std::move(P));
+      std::lock_guard<std::mutex> Lock(PlanMu);
+      auto It = PlanCache.find(PlanKeys[I]);
+      if (It != PlanCache.end() && It->second->TextHash == TextHashes[I]) {
+        // A duplicate spelling earlier in this batch already cached
+        // this plan; point at it instead of destroying it out from
+        // under the earlier index's Plans pointer.
+        Plans[I] = &It->second->Plan;
+      } else {
+        auto P = std::make_unique<ResidentPlan>();
+        P->TextHash = TextHashes[I];
+        P->Plan = std::move(FreshPlans[I]);
+        Plans[I] = &P->Plan;
+        PlanCache.insert_or_assign(PlanKeys[I], std::move(P));
+      }
     } else {
       Plans[I] = &FreshPlans[I];
     }

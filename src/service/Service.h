@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -198,10 +199,20 @@ private:
   std::unique_ptr<SolverPool> Pool;
   std::unique_ptr<ProofCache> Cache;
   std::unique_ptr<VcManifest> Manifest;
-  /// Parsed plans by path (ResidentPlans mode only), valid while the
-  /// hash of the file's preprocessed text is unchanged. Heap entries:
-  /// run() holds plan pointers across insertions.
+  /// Parsed plans by *canonical* path (ResidentPlans mode only), valid
+  /// while the hash of the file's preprocessed text is unchanged.
+  /// Canonical keys (service::canonicalPath — realpath) make `./foo.c`,
+  /// `foo.c` and a symlinked spelling reuse one plan instead of
+  /// double-planning, and let watch-mode inotify paths find the plan a
+  /// client registered under a different spelling. Heap entries: run()
+  /// holds plan pointers across insertions.
   std::map<std::string, std::unique_ptr<ResidentPlan>> PlanCache;
+  /// Guards PlanCache map operations only (find/insert/size): run()
+  /// executes on the daemon's verify worker while status requests read
+  /// residentPlanCount() from the event thread. Plan contents need no
+  /// lock — a plan is immutable once inserted and entries are heap-
+  /// allocated, so map mutation never moves them.
+  mutable std::mutex PlanMu;
 };
 
 /// Cooperative shutdown flag shared by signal handlers, the daemon
@@ -213,6 +224,10 @@ void requestShutdown();
 bool shutdownRequested();
 /// Clears the flag (tests and the daemon's between-run re-arm).
 void resetShutdown();
+/// Registers a self-pipe write end that requestShutdown() pokes (one
+/// byte, async-signal-safe) so a poll()-based event loop wakes
+/// immediately instead of waiting out its timeout. -1 unregisters.
+void setShutdownWakeFd(int Fd);
 
 /// Fingerprint of every pipeline option that shapes obligations or
 /// their meaning (instrumentation tactics, axiom mode, tuple budget,

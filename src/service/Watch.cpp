@@ -1,0 +1,183 @@
+//===- Watch.cpp - Watch-mode primitives -----------------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Watch.h"
+
+#include "cfront/Lexer.h"
+#include "support/Diagnostics.h"
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <filesystem>
+
+using namespace vcdryad;
+using namespace vcdryad::service;
+
+namespace fs = std::filesystem;
+
+std::string service::canonicalPath(const std::string &Path) {
+  std::error_code EC;
+  fs::path C = fs::canonical(Path, EC);
+  if (!EC)
+    return C.string();
+  // Nonexistent (or unreadable) paths still normalize stably so a
+  // later lookup under the same spelling finds the same key.
+  fs::path A = fs::absolute(Path, EC);
+  if (EC)
+    return Path;
+  return A.lexically_normal().string();
+}
+
+std::vector<std::string> service::includeClosure(const std::string &CFile) {
+  std::string Canon = canonicalPath(CFile);
+  std::vector<std::string> Out;
+  Out.push_back(Canon);
+  std::optional<std::string> Text = readFile(Canon);
+  if (!Text)
+    return Out; // Just the file: nothing to splice, nothing to watch.
+  size_t Slash = Canon.find_last_of('/');
+  std::string Dir = Slash == std::string::npos ? "" : Canon.substr(0, Slash);
+  DiagnosticEngine Diag; // Missing includes: verifier's problem, not ours.
+  std::set<std::string> Includes;
+  (void)cfront::preprocess(*Text, Dir, Diag, &Includes);
+  std::set<std::string> Seen{Canon};
+  for (const std::string &Inc : Includes) {
+    std::string C = canonicalPath(Inc);
+    if (Seen.insert(C).second)
+      Out.push_back(C);
+  }
+  std::sort(Out.begin() + 1, Out.end()); // File first, includes sorted.
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Debouncer
+//===----------------------------------------------------------------------===//
+
+int Debouncer::nextDeadlineMs(uint64_t NowMs) const {
+  if (LastEvent.empty())
+    return -1;
+  uint64_t Oldest = UINT64_MAX;
+  for (const auto &[Path, At] : LastEvent)
+    Oldest = std::min(Oldest, At);
+  uint64_t Ripe = Oldest + QuietMs;
+  return Ripe <= NowMs ? 0 : static_cast<int>(Ripe - NowMs);
+}
+
+std::vector<std::string> Debouncer::takeRipe(uint64_t NowMs) {
+  std::vector<std::string> Out;
+  for (auto It = LastEvent.begin(); It != LastEvent.end();) {
+    if (NowMs >= It->second + QuietMs) {
+      Out.push_back(It->first);
+      It = LastEvent.erase(It);
+    } else {
+      ++It;
+    }
+  }
+  return Out; // Sorted: map order.
+}
+
+//===----------------------------------------------------------------------===//
+// EventRing
+//===----------------------------------------------------------------------===//
+
+uint64_t EventRing::append(WatchEvent E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  E.Seq = NextSeq++;
+  Ring.push_back(std::move(E));
+  if (Ring.size() > Cap)
+    Ring.erase(Ring.begin(), Ring.begin() + (Ring.size() - Cap));
+  return Ring.back().Seq;
+}
+
+std::vector<WatchEvent> EventRing::since(uint64_t Cursor) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<WatchEvent> Out;
+  for (const WatchEvent &E : Ring)
+    if (E.Seq > Cursor)
+      Out.push_back(E);
+  return Out;
+}
+
+uint64_t EventRing::lastSeq() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return NextSeq - 1;
+}
+
+size_t EventRing::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Ring.size();
+}
+
+//===----------------------------------------------------------------------===//
+// WatchRegistry
+//===----------------------------------------------------------------------===//
+
+WatchRegistry::Delta WatchRegistry::add(const std::string &CFile) {
+  Delta D;
+  D.File = canonicalPath(CFile);
+  std::vector<std::string> Closure = includeClosure(D.File);
+  std::set<std::string> New(Closure.begin(), Closure.end());
+  std::set<std::string> &Old = ClosureOf[D.File]; // Empty on first add.
+  for (const std::string &P : New)
+    if (!Old.count(P)) {
+      D.Added.push_back(P);
+      OwnersOf[P].insert(D.File);
+    }
+  for (const std::string &P : Old)
+    if (!New.count(P)) {
+      D.Removed.push_back(P);
+      auto It = OwnersOf.find(P);
+      if (It != OwnersOf.end()) {
+        It->second.erase(D.File);
+        if (It->second.empty())
+          OwnersOf.erase(It);
+      }
+    }
+  Old = std::move(New);
+  return D;
+}
+
+WatchRegistry::Delta WatchRegistry::remove(const std::string &CFile) {
+  Delta D;
+  std::string Canon = canonicalPath(CFile);
+  auto It = ClosureOf.find(Canon);
+  if (It == ClosureOf.end())
+    return D; // D.File empty: not registered.
+  D.File = Canon;
+  for (const std::string &P : It->second) {
+    D.Removed.push_back(P);
+    auto OIt = OwnersOf.find(P);
+    if (OIt != OwnersOf.end()) {
+      OIt->second.erase(Canon);
+      if (OIt->second.empty())
+        OwnersOf.erase(OIt);
+    }
+  }
+  ClosureOf.erase(It);
+  return D;
+}
+
+std::vector<std::string>
+WatchRegistry::owners(const std::string &Path) const {
+  auto It = OwnersOf.find(Path);
+  if (It == OwnersOf.end()) {
+    // Event paths arrive canonical (the daemon watches canonical
+    // directories), but a client querying by hand may not bother.
+    It = OwnersOf.find(canonicalPath(Path));
+    if (It == OwnersOf.end())
+      return {};
+  }
+  return std::vector<std::string>(It->second.begin(), It->second.end());
+}
+
+std::vector<std::string> WatchRegistry::files() const {
+  std::vector<std::string> Out;
+  Out.reserve(ClosureOf.size());
+  for (const auto &[File, Closure] : ClosureOf)
+    Out.push_back(File);
+  return Out;
+}

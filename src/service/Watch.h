@@ -1,0 +1,202 @@
+//===- Watch.h - Watch-mode primitives --------------------------*- C++ -*-==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service-side building blocks of daemon watch mode, kept free
+/// of any inotify/kqueue dependency so they unit-test as plain data
+/// structures and port to any notification backend:
+///
+///   Debouncer     — coalesces rapid file events (editor save dances:
+///                   tempfile + rename, multi-write saves) into one
+///                   ripe notification per path per quiet window.
+///   EventRing     — the bounded, monotonically-sequenced in-memory
+///                   log of re-verify outcomes the daemon's `events`
+///                   op serves; clients poll with a since-cursor.
+///   WatchRegistry — watched .c files and their preprocessed
+///                   #include closures, with the reverse map from any
+///                   closure path (the thing inotify reports) back to
+///                   the owning .c files that must re-verify.
+///
+/// All paths handled here are canonical (realpath): the registry
+/// canonicalizes on registration, so client spellings (`./foo.c`,
+/// symlinks) and kernel event paths resolve to the same entry — the
+/// same normalization the resident plan cache keys by.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VCDRYAD_SERVICE_WATCH_H
+#define VCDRYAD_SERVICE_WATCH_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vcdryad {
+namespace service {
+
+/// Canonical spelling of \p Path: symlinks resolved and dot segments
+/// folded (realpath) when the file exists; absolute + lexically
+/// normal otherwise, so nonexistent paths still normalize stably.
+/// The resident plan cache and the watch registry both key by this,
+/// which is what makes `./foo.c`, `foo.c` and a symlinked spelling
+/// hit the same resident plan.
+std::string canonicalPath(const std::string &Path);
+
+/// One watched file's preprocessed #include closure: the file itself
+/// plus every file its (transitive) `#include "..."` directives
+/// splice, all canonical. Exactly the inputs whose bytes feed
+/// preprocessedTextHash — i.e. the set of paths whose change can
+/// invalidate the file's resident plan. Unreadable includes are
+/// simply absent (the verifier will report them; the watcher cannot).
+std::vector<std::string> includeClosure(const std::string &CFile);
+
+//===----------------------------------------------------------------------===//
+// Debouncer
+//===----------------------------------------------------------------------===//
+
+/// Coalesces bursts of events on the same path into a single ripe
+/// notification once the path has been quiet for a full window.
+/// Editors do not save atomically-once: vim writes a probe file,
+/// renames the original away and writes anew; others write in chunks
+/// or save-then-format. Each event on a pending path restarts its
+/// window, so a burst collapses to one notification ~QuietMs after
+/// the last write. Time is injected by the caller (monotonic ms), so
+/// the policy is deterministic under test.
+///
+/// Not thread-safe: owned and driven by the daemon's event thread.
+class Debouncer {
+public:
+  explicit Debouncer(unsigned QuietWindowMs = 100)
+      : QuietMs(QuietWindowMs) {}
+
+  /// Records an event on \p Path at \p NowMs (restarts its window).
+  void note(const std::string &Path, uint64_t NowMs) {
+    LastEvent[Path] = NowMs;
+  }
+
+  /// Milliseconds until the next pending path ripens: 0 when one is
+  /// ripe already, -1 when nothing is pending (poll() conventions).
+  int nextDeadlineMs(uint64_t NowMs) const;
+
+  /// Removes and returns every path quiet for >= the window, sorted
+  /// (deterministic dispatch order for coalesced multi-path bursts).
+  std::vector<std::string> takeRipe(uint64_t NowMs);
+
+  size_t pending() const { return LastEvent.size(); }
+  unsigned quietWindowMs() const { return QuietMs; }
+
+private:
+  unsigned QuietMs;
+  std::map<std::string, uint64_t> LastEvent; ///< Path -> last event ms.
+};
+
+//===----------------------------------------------------------------------===//
+// EventRing
+//===----------------------------------------------------------------------===//
+
+/// One re-verify outcome, as served by the daemon's `events` op.
+struct WatchEvent {
+  uint64_t Seq = 0;    ///< Monotonic (from 1); assigned by append().
+  std::string Path;    ///< The re-verified .c file (canonical).
+  std::string Trigger; ///< The changed path that caused it.
+  bool Verified = false;
+  unsigned Functions = 0; ///< Functions in the re-verified file.
+  unsigned Failed = 0;    ///< Functions that failed.
+  /// Wall time of the re-verify run that produced this outcome. A
+  /// coalesced burst re-verifies several files in one run; each of
+  /// its events carries that run's wall time.
+  double WallMs = 0.0;
+};
+
+/// Bounded in-memory log of watch outcomes with monotonic sequence
+/// numbers. Appends evict the oldest entry beyond the capacity;
+/// readers poll `since(Cursor)` and advance their cursor to the last
+/// Seq they saw — a reader that falls more than the capacity behind
+/// simply misses the evicted prefix (lastSeq() exposes the gap).
+///
+/// Thread-safe: the daemon's verify worker appends while the event
+/// thread answers `events` requests.
+class EventRing {
+public:
+  explicit EventRing(size_t Capacity = 256)
+      : Cap(Capacity ? Capacity : 1) {}
+
+  /// Stamps \p E with the next sequence number and appends it;
+  /// returns the assigned Seq.
+  uint64_t append(WatchEvent E);
+
+  /// Events with Seq > \p Cursor, oldest first (bounded by what is
+  /// still retained).
+  std::vector<WatchEvent> since(uint64_t Cursor) const;
+
+  uint64_t lastSeq() const;
+  size_t size() const;
+  size_t capacity() const { return Cap; }
+
+private:
+  size_t Cap;
+  mutable std::mutex Mu;
+  uint64_t NextSeq = 1;
+  std::vector<WatchEvent> Ring; ///< Oldest first; bounded by Cap.
+};
+
+//===----------------------------------------------------------------------===//
+// WatchRegistry
+//===----------------------------------------------------------------------===//
+
+/// Watched .c files and their include closures, with the reverse
+/// path -> owners map the event loop consults on every kernel event.
+///
+/// Not thread-safe: owned and driven by the daemon's event thread.
+class WatchRegistry {
+public:
+  /// Edge changes of one add(): which closure paths this file newly
+  /// watches and which it dropped — the daemon mirrors exactly these
+  /// deltas into per-directory inotify watches (refcounted per
+  /// file/path edge, so adds and removes stay balanced).
+  struct Delta {
+    std::string File;                 ///< Canonical .c path.
+    std::vector<std::string> Added;   ///< New (file, path) edges.
+    std::vector<std::string> Removed; ///< Dropped (file, path) edges.
+  };
+
+  /// (Re-)registers \p CFile: canonicalizes, computes the current
+  /// include closure, and replaces any previous registration —
+  /// re-adding after a save picks up include-set changes. The closure
+  /// always contains the file itself.
+  Delta add(const std::string &CFile);
+
+  /// Unregisters \p CFile (any spelling). Returns the dropped edges;
+  /// Delta.File is empty when the file was not registered.
+  Delta remove(const std::string &CFile);
+
+  /// The .c files whose plans depend on \p Path (itself included),
+  /// sorted. Empty when the path is not in any watched closure.
+  std::vector<std::string> owners(const std::string &Path) const;
+
+  bool contains(const std::string &CFile) const {
+    return ClosureOf.count(canonicalPath(CFile)) != 0;
+  }
+
+  /// Watched .c files, sorted.
+  std::vector<std::string> files() const;
+
+  size_t fileCount() const { return ClosureOf.size(); }
+  /// Distinct paths across all closures (.c files included).
+  size_t pathCount() const { return OwnersOf.size(); }
+
+private:
+  std::map<std::string, std::set<std::string>> ClosureOf; ///< .c -> paths
+  std::map<std::string, std::set<std::string>> OwnersOf;  ///< path -> .c
+};
+
+} // namespace service
+} // namespace vcdryad
+
+#endif // VCDRYAD_SERVICE_WATCH_H

@@ -46,9 +46,11 @@ void printUsage() {
       "usage: vcdryad [options] <file.c>...\n"
       "       vcdryad batch [options] <dir|manifest|file.c>...\n"
       "       vcdryad check [options] <dir|manifest|file.c>...\n"
-      "       vcdryad serve [options]\n"
+      "       vcdryad serve [options] [--watch=<path>...]\n"
       "       vcdryad client [options] <verify|status|cache-stats|"
-      "shutdown> [paths...]\n"
+      "shutdown|\n"
+      "                      watch-add|watch-rm|watch-status|events> "
+      "[paths...]\n"
       "       vcdryad cached [options] [stats|shutdown]\n"
       "       vcdryad solve-worker [--mem-mb=<n>] [--cpu-s=<n>]\n"
       "\n"
@@ -73,6 +75,14 @@ void printUsage() {
       "returns the same JSON report and exit status as check. batch\n"
       "and check accept --serve-socket=<path> to route the run through\n"
       "a daemon instead of verifying in-process.\n"
+      "\n"
+      "watch mode (Linux) re-verifies on save: `serve --watch=<path>`\n"
+      "or `client watch-add <files...>` registers .c files plus their\n"
+      "#include closures with inotify; edits are debounced (editor\n"
+      "save dances collapse to one run), re-verified off the event\n"
+      "thread, and the outcomes land in a bounded ring that `client\n"
+      "events --since=<seq>` polls. `watch-status` reports the\n"
+      "registry; `watch-rm` unregisters.\n"
       "\n"
       "cached mode starts a shared proof-cache server: N journaled\n"
       "shard stores keyed by the leading bits of each VC hash, spoken\n"
@@ -174,6 +184,14 @@ void printUsage() {
       "                       corpus finds the daemon started there)\n"
       "  --max-request-mb=<n> reject client requests larger than this\n"
       "                       (serve; default 4)\n"
+      "  --watch=<path>       watch these .c files (dirs/manifests\n"
+      "                       expand like batch operands) from startup;\n"
+      "                       repeatable (serve, Linux)\n"
+      "  --watch-debounce-ms=<n>\n"
+      "                       quiet window before a save dispatches its\n"
+      "                       re-verify (serve; default 100)\n"
+      "  --since=<seq>        only events newer than this cursor\n"
+      "                       (client events; default 0 = all retained)\n"
       "\n"
       "cached options:\n"
       "  --cache=<dir>        shard-store root (resolved like batch;\n"
@@ -228,6 +246,10 @@ struct CliOptions {
   unsigned SolverMemMb = 0;   ///< --solver-mem-mb= (RLIMIT_AS, MiB).
   unsigned SolverCpuS = 0;    ///< --solver-cpu-s= (RLIMIT_CPU, s).
   unsigned MaxRequestMb = 4;  ///< serve --max-request-mb=.
+  // Watch mode (`serve --watch=...`, `client watch-*`/`events`).
+  std::vector<std::string> WatchPaths; ///< serve --watch= (repeatable).
+  unsigned WatchDebounceMs = 100;      ///< serve --watch-debounce-ms=.
+  unsigned Since = 0;                  ///< client events --since=.
 };
 
 /// Parses `--<flag>=<n>`; false (with a usage error printed) unless
@@ -370,6 +392,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Cli) {
       Cli.SharePrelude = false;
     } else if (StartsWith("--socket=")) {
       Cli.Socket = A.substr(9);
+    } else if (StartsWith("--watch=")) {
+      Cli.WatchPaths.push_back(A.substr(8));
+    } else if (StartsWith("--watch-debounce-ms=")) {
+      if (!parseUnsignedFlag("--watch-debounce-ms", A.substr(20),
+                             Cli.WatchDebounceMs))
+        return false;
+    } else if (StartsWith("--since=")) {
+      if (!parseUnsignedFlag("--since", A.substr(8), Cli.Since))
+        return false;
     } else if (StartsWith("--serve-socket=")) {
       Cli.ServeSocket = A.substr(15);
     } else if (StartsWith("--remote-cache=")) {
@@ -696,6 +727,25 @@ int runServe(const CliOptions &Cli) {
   daemon::DaemonOptions DOpts;
   DOpts.SocketPath = Socket;
   DOpts.MaxRequestBytes = static_cast<size_t>(Cli.MaxRequestMb) << 20;
+  DOpts.DebounceMs = Cli.WatchDebounceMs;
+  // --watch= operands expand like batch operands (dirs, manifests, .c
+  // files) to the .c set the daemon registers once the loop is up.
+  if (!Cli.WatchPaths.empty()) {
+    std::vector<std::string> Abs;
+    for (const std::string &P : Cli.WatchPaths)
+      Abs.push_back(absolutize(P));
+    std::string WatchError;
+    DOpts.WatchPaths = service::collectBatchInputs(Abs, WatchError);
+    if (!WatchError.empty()) {
+      std::fprintf(stderr, "error: --watch: %s\n", WatchError.c_str());
+      return 2;
+    }
+    if (DOpts.WatchPaths.empty()) {
+      std::fprintf(stderr,
+                   "error: --watch operands contain no .c files\n");
+      return 2;
+    }
+  }
   DOpts.Service = SOpts;
   daemon::Daemon D(DOpts); // Loads stores, replays journals.
   std::string Error;
@@ -717,22 +767,28 @@ int runClient(const CliOptions &Cli) {
   daemon::Request R;
   R.Op = Cli.Files.front();
   if (R.Op != "verify" && R.Op != "status" && R.Op != "cache-stats" &&
-      R.Op != "shutdown") {
-    std::fprintf(stderr, "error: unknown client op '%s' (expected "
-                         "verify, status, cache-stats or shutdown)\n",
+      R.Op != "shutdown" && R.Op != "watch-add" && R.Op != "watch-rm" &&
+      R.Op != "watch-status" && R.Op != "events") {
+    std::fprintf(stderr,
+                 "error: unknown client op '%s' (expected verify, "
+                 "status, cache-stats, shutdown, watch-add, watch-rm, "
+                 "watch-status or events)\n",
                  R.Op.c_str());
     return 2;
   }
   std::vector<std::string> Operands(Cli.Files.begin() + 1,
                                     Cli.Files.end());
-  if (R.Op == "verify" && Operands.empty()) {
-    std::fprintf(stderr, "error: client verify needs operands\n");
+  if ((R.Op == "verify" || R.Op == "watch-add" || R.Op == "watch-rm") &&
+      Operands.empty()) {
+    std::fprintf(stderr, "error: client %s needs operands\n",
+                 R.Op.c_str());
     return 2;
   }
   for (const std::string &P : Operands)
     R.Paths.push_back(absolutize(P));
   R.ChangedOnly = Cli.ChangedOnly;
   R.JsonTimes = Cli.JsonTimes;
+  R.Since = Cli.Since;
 
   std::string Socket = Cli.Socket;
   if (Socket.empty())

@@ -14,7 +14,10 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "daemon/Daemon.h"
 #include "daemon/Protocol.h"
+
+#include <cerrno>
 
 #include <gtest/gtest.h>
 
@@ -113,6 +116,96 @@ TEST(ProtocolTest, EscapesControlCharacters) {
             "a\\\"b\\\\c\\nd\\te\\u0001");
   EXPECT_EQ(daemon::errorResponse("boom"),
             "{\"ok\": false, \"error\": \"boom\"}\n");
+}
+
+TEST(ProtocolTest, DecodesUnicodeEscapesToUtf8) {
+  daemon::Request R;
+  std::string Error;
+  // \u00e9 (é, 2 bytes), \u4e2d (中, 3 bytes), and a surrogate pair
+  // \ud83d\ude00 (😀, U+1F600, 4 bytes) — real UTF-8, not '?'.
+  ASSERT_TRUE(daemon::parseRequest(
+      "{\"op\": \"verify\", \"paths\": "
+      "[\"caf\\u00e9.c\", \"\\u4e2d.c\", \"\\ud83d\\ude00.c\"]}",
+      R, Error))
+      << Error;
+  ASSERT_EQ(R.Paths.size(), 3u);
+  EXPECT_EQ(R.Paths[0], "caf\xC3\xA9.c");
+  EXPECT_EQ(R.Paths[1], "\xE4\xB8\xAD.c");
+  EXPECT_EQ(R.Paths[2], "\xF0\x9F\x98\x80.c");
+}
+
+TEST(ProtocolTest, RejectsUnpairedSurrogates) {
+  daemon::Request R;
+  std::string Error;
+  // A lone high surrogate, a lone low surrogate, and a high one
+  // followed by a non-surrogate: all malformed JSON — a mangled
+  // path must be an error, not a silent '?'.
+  EXPECT_FALSE(daemon::parseRequest(
+      "{\"op\": \"verify\", \"paths\": [\"\\ud83d.c\"]}", R, Error));
+  EXPECT_FALSE(daemon::parseRequest(
+      "{\"op\": \"verify\", \"paths\": [\"\\ude00.c\"]}", R, Error));
+  EXPECT_FALSE(daemon::parseRequest(
+      "{\"op\": \"verify\", \"paths\": [\"\\ud83dx\"]}", R, Error));
+  EXPECT_FALSE(daemon::parseRequest(
+      "{\"op\": \"verify\", \"paths\": [\"\\ud83d\\u0041\"]}", R,
+      Error));
+}
+
+TEST(ProtocolTest, NonAsciiPathsSurviveBuildParseRoundTrip) {
+  daemon::Request R;
+  R.Op = "verify";
+  R.Paths = {"/tmp/caf\xC3\xA9.c"}; // Raw UTF-8 passes through verbatim.
+  daemon::Request Back;
+  std::string Error;
+  ASSERT_TRUE(daemon::parseRequest(daemon::buildRequest(R), Back, Error))
+      << Error;
+  EXPECT_EQ(Back.Paths, R.Paths);
+}
+
+TEST(ProtocolTest, ParsesSinceCursor) {
+  daemon::Request R;
+  std::string Error;
+  ASSERT_TRUE(daemon::parseRequest(
+      "{\"op\": \"events\", \"since\": 42}", R, Error))
+      << Error;
+  EXPECT_EQ(R.Op, "events");
+  EXPECT_EQ(R.Since, 42u);
+  // Default when absent.
+  ASSERT_TRUE(daemon::parseRequest("{\"op\": \"events\"}", R, Error));
+  EXPECT_EQ(R.Since, 0u);
+}
+
+TEST(ProtocolTest, SinceSurvivesBuildParseRoundTrip) {
+  daemon::Request R;
+  R.Op = "events";
+  R.Since = 123456789u;
+  daemon::Request Back;
+  std::string Error;
+  ASSERT_TRUE(daemon::parseRequest(daemon::buildRequest(R), Back, Error))
+      << Error;
+  EXPECT_EQ(Back.Op, "events");
+  EXPECT_EQ(Back.Since, R.Since);
+}
+
+TEST(ProtocolTest, ClassifiesAcceptErrors) {
+  using daemon::AcceptAction;
+  using daemon::classifyAcceptError;
+  // No connection waiting on a non-blocking listener.
+  EXPECT_EQ(classifyAcceptError(EAGAIN), AcceptAction::Done);
+  // Transient per-connection failures: retry immediately.
+  EXPECT_EQ(classifyAcceptError(EINTR), AcceptAction::Retry);
+  EXPECT_EQ(classifyAcceptError(ECONNABORTED), AcceptAction::Retry);
+  // Resource exhaustion: back off, never die.
+  EXPECT_EQ(classifyAcceptError(EMFILE), AcceptAction::Backoff);
+  EXPECT_EQ(classifyAcceptError(ENFILE), AcceptAction::Backoff);
+  EXPECT_EQ(classifyAcceptError(ENOMEM), AcceptAction::Backoff);
+  EXPECT_EQ(classifyAcceptError(ENOBUFS), AcceptAction::Backoff);
+  // Unknown errnos get the cautious treatment too.
+  EXPECT_EQ(classifyAcceptError(EIO), AcceptAction::Backoff);
+  // A broken listener is unrecoverable.
+  EXPECT_EQ(classifyAcceptError(EBADF), AcceptAction::Fatal);
+  EXPECT_EQ(classifyAcceptError(EINVAL), AcceptAction::Fatal);
+  EXPECT_EQ(classifyAcceptError(ENOTSOCK), AcceptAction::Fatal);
 }
 
 } // namespace

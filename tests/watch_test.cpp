@@ -1,0 +1,371 @@
+//===- watch_test.cpp - Watch-mode primitive tests -------------------------==//
+//
+// Part of the VCDryad-Repro project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the service-side watch-mode building blocks: path
+/// canonicalization (the resident plan cache's key normalization),
+/// include-closure computation, the debouncer's quiet-window policy
+/// (time injected, fully deterministic), the bounded event ring, and
+/// the watch registry's path -> owners reverse map. The daemon's
+/// end-to-end watch loop (inotify, debounced re-verify, event
+/// polling) is covered by tests/watch_test.sh.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Service.h"
+#include "service/Watch.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+using namespace vcdryad;
+namespace fs = std::filesystem;
+
+namespace {
+
+class WatchTempDirTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = fs::path(::testing::TempDir()) /
+          ("vcd_watch_" +
+           std::to_string(
+               ::testing::UnitTest::GetInstance()->random_seed()) +
+           "_" + ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name());
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  void TearDown() override { fs::remove_all(Dir); }
+
+  void writeFile(const std::string &Rel, const std::string &Text) {
+    fs::path P = Dir / Rel;
+    fs::create_directories(P.parent_path());
+    std::ofstream Out(P);
+    Out << Text;
+  }
+
+  fs::path Dir;
+};
+
+//===----------------------------------------------------------------------===//
+// canonicalPath
+//===----------------------------------------------------------------------===//
+
+using WatchPathTest = WatchTempDirTest;
+
+TEST_F(WatchPathTest, FoldsDotSegments) {
+  writeFile("foo.c", "int x;\n");
+  std::string Canon = service::canonicalPath((Dir / "foo.c").string());
+  EXPECT_EQ(service::canonicalPath((Dir / "." / "foo.c").string()),
+            Canon);
+  EXPECT_EQ(service::canonicalPath((Dir / "sub" / ".." / "foo.c").string()),
+            Canon);
+}
+
+TEST_F(WatchPathTest, ResolvesSymlinks) {
+  writeFile("real.c", "int x;\n");
+  std::error_code EC;
+  fs::create_symlink(Dir / "real.c", Dir / "link.c", EC);
+  if (EC)
+    GTEST_SKIP() << "filesystem does not support symlinks";
+  EXPECT_EQ(service::canonicalPath((Dir / "link.c").string()),
+            service::canonicalPath((Dir / "real.c").string()));
+}
+
+TEST_F(WatchPathTest, NonexistentPathsNormalizeStably) {
+  // No realpath to resolve, but two spellings of the same missing
+  // file must still land on one key.
+  std::string A =
+      service::canonicalPath((Dir / "missing.c").string());
+  std::string B =
+      service::canonicalPath((Dir / "." / "missing.c").string());
+  EXPECT_EQ(A, B);
+  EXPECT_FALSE(A.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// includeClosure
+//===----------------------------------------------------------------------===//
+
+TEST_F(WatchPathTest, IncludeClosureIsFilePlusTransitiveIncludes) {
+  writeFile("include/h2.h", "int two;\n");
+  writeFile("include/h1.h", "#include \"h2.h\"\nint one;\n");
+  writeFile("src/foo.c", "#include \"../include/h1.h\"\nint foo;\n");
+  std::vector<std::string> Closure =
+      service::includeClosure((Dir / "src" / "foo.c").string());
+  ASSERT_EQ(Closure.size(), 3u);
+  // The file itself leads; includes follow sorted and canonical.
+  EXPECT_EQ(Closure[0],
+            service::canonicalPath((Dir / "src" / "foo.c").string()));
+  EXPECT_EQ(Closure[1],
+            service::canonicalPath((Dir / "include" / "h1.h").string()));
+  EXPECT_EQ(Closure[2],
+            service::canonicalPath((Dir / "include" / "h2.h").string()));
+}
+
+TEST_F(WatchPathTest, IncludeClosureOfUnreadableFileIsJustTheFile) {
+  std::vector<std::string> Closure =
+      service::includeClosure((Dir / "gone.c").string());
+  ASSERT_EQ(Closure.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Debouncer
+//===----------------------------------------------------------------------===//
+
+TEST(WatchDebounceTest, IdleMeansNoDeadline) {
+  service::Debouncer D(100);
+  EXPECT_EQ(D.nextDeadlineMs(1000), -1);
+  EXPECT_TRUE(D.takeRipe(1000).empty());
+  EXPECT_EQ(D.pending(), 0u);
+}
+
+TEST(WatchDebounceTest, RipensOnlyAfterQuietWindow) {
+  service::Debouncer D(100);
+  D.note("/a.c", 1000);
+  EXPECT_EQ(D.pending(), 1u);
+  EXPECT_EQ(D.nextDeadlineMs(1000), 100);
+  EXPECT_EQ(D.nextDeadlineMs(1060), 40);
+  EXPECT_TRUE(D.takeRipe(1099).empty()); // One ms early: not yet.
+  std::vector<std::string> Ripe = D.takeRipe(1100);
+  ASSERT_EQ(Ripe.size(), 1u);
+  EXPECT_EQ(Ripe[0], "/a.c");
+  EXPECT_EQ(D.pending(), 0u);
+}
+
+TEST(WatchDebounceTest, BurstCoalescesAndRestartsTheWindow) {
+  // The editor save dance: several writes in quick succession must
+  // produce ONE ripe notification, timed from the LAST write.
+  service::Debouncer D(100);
+  D.note("/a.c", 1000);
+  D.note("/a.c", 1050);
+  D.note("/a.c", 1090);
+  EXPECT_EQ(D.pending(), 1u);
+  EXPECT_TRUE(D.takeRipe(1100).empty()); // 1000 + 100, but restarted.
+  EXPECT_TRUE(D.takeRipe(1189).empty());
+  std::vector<std::string> Ripe = D.takeRipe(1190);
+  ASSERT_EQ(Ripe.size(), 1u);
+  EXPECT_TRUE(D.takeRipe(2000).empty()); // Consumed; nothing left.
+}
+
+TEST(WatchDebounceTest, PathsRipenIndependently) {
+  service::Debouncer D(100);
+  D.note("/a.c", 1000);
+  D.note("/b.c", 1080);
+  EXPECT_EQ(D.nextDeadlineMs(1090), 10); // /a.c is the oldest.
+  std::vector<std::string> First = D.takeRipe(1100);
+  ASSERT_EQ(First.size(), 1u);
+  EXPECT_EQ(First[0], "/a.c");
+  EXPECT_EQ(D.pending(), 1u);
+  std::vector<std::string> Second = D.takeRipe(1180);
+  ASSERT_EQ(Second.size(), 1u);
+  EXPECT_EQ(Second[0], "/b.c");
+}
+
+TEST(WatchDebounceTest, SimultaneouslyRipePathsReturnSorted) {
+  service::Debouncer D(10);
+  D.note("/z.c", 1000);
+  D.note("/a.c", 1000);
+  std::vector<std::string> Ripe = D.takeRipe(1010);
+  ASSERT_EQ(Ripe.size(), 2u);
+  EXPECT_EQ(Ripe[0], "/a.c");
+  EXPECT_EQ(Ripe[1], "/z.c");
+}
+
+//===----------------------------------------------------------------------===//
+// EventRing
+//===----------------------------------------------------------------------===//
+
+service::WatchEvent mkEvent(const std::string &Path) {
+  service::WatchEvent E;
+  E.Path = Path;
+  E.Trigger = Path;
+  E.Verified = true;
+  return E;
+}
+
+TEST(WatchRingTest, SequencesAreMonotonicFromOne) {
+  service::EventRing Ring(8);
+  EXPECT_EQ(Ring.lastSeq(), 0u);
+  EXPECT_EQ(Ring.append(mkEvent("/a.c")), 1u);
+  EXPECT_EQ(Ring.append(mkEvent("/b.c")), 2u);
+  EXPECT_EQ(Ring.lastSeq(), 2u);
+  EXPECT_EQ(Ring.size(), 2u);
+}
+
+TEST(WatchRingTest, SinceCursorReturnsOnlyNewer) {
+  service::EventRing Ring(8);
+  Ring.append(mkEvent("/a.c"));
+  Ring.append(mkEvent("/b.c"));
+  Ring.append(mkEvent("/c.c"));
+  std::vector<service::WatchEvent> All = Ring.since(0);
+  ASSERT_EQ(All.size(), 3u);
+  EXPECT_EQ(All[0].Seq, 1u);
+  std::vector<service::WatchEvent> Tail = Ring.since(2);
+  ASSERT_EQ(Tail.size(), 1u);
+  EXPECT_EQ(Tail[0].Path, "/c.c");
+  EXPECT_TRUE(Ring.since(3).empty());
+  EXPECT_TRUE(Ring.since(99).empty()); // Future cursors are harmless.
+}
+
+TEST(WatchRingTest, EvictsOldestBeyondCapacity) {
+  service::EventRing Ring(3);
+  for (int I = 0; I < 5; ++I)
+    Ring.append(mkEvent("/f" + std::to_string(I) + ".c"));
+  EXPECT_EQ(Ring.size(), 3u);
+  EXPECT_EQ(Ring.lastSeq(), 5u); // Sequences never reset on eviction.
+  std::vector<service::WatchEvent> Kept = Ring.since(0);
+  ASSERT_EQ(Kept.size(), 3u);
+  EXPECT_EQ(Kept[0].Seq, 3u); // 1 and 2 were evicted.
+  EXPECT_EQ(Kept[2].Seq, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// WatchRegistry
+//===----------------------------------------------------------------------===//
+
+using WatchRegistryTest = WatchTempDirTest;
+
+TEST_F(WatchRegistryTest, AddRegistersClosureAndReverseMap) {
+  writeFile("include/sll.h", "int h;\n");
+  writeFile("src/a.c", "#include \"../include/sll.h\"\nint a;\n");
+  service::WatchRegistry Reg;
+  std::string A = (Dir / "src" / "a.c").string();
+  service::WatchRegistry::Delta D = Reg.add(A);
+  EXPECT_EQ(D.File, service::canonicalPath(A));
+  EXPECT_EQ(D.Added.size(), 2u); // The file and the header.
+  EXPECT_TRUE(D.Removed.empty());
+  EXPECT_EQ(Reg.fileCount(), 1u);
+  EXPECT_EQ(Reg.pathCount(), 2u);
+  EXPECT_TRUE(Reg.contains(A));
+
+  std::string H =
+      service::canonicalPath((Dir / "include" / "sll.h").string());
+  std::vector<std::string> Owners = Reg.owners(H);
+  ASSERT_EQ(Owners.size(), 1u);
+  EXPECT_EQ(Owners[0], service::canonicalPath(A));
+  // The .c file owns itself.
+  EXPECT_EQ(Reg.owners(service::canonicalPath(A)).size(), 1u);
+}
+
+TEST_F(WatchRegistryTest, SharedHeaderHasAllOwners) {
+  writeFile("include/sll.h", "int h;\n");
+  writeFile("src/a.c", "#include \"../include/sll.h\"\nint a;\n");
+  writeFile("src/b.c", "#include \"../include/sll.h\"\nint b;\n");
+  service::WatchRegistry Reg;
+  Reg.add((Dir / "src" / "a.c").string());
+  Reg.add((Dir / "src" / "b.c").string());
+  std::vector<std::string> Owners = Reg.owners(
+      service::canonicalPath((Dir / "include" / "sll.h").string()));
+  EXPECT_EQ(Owners.size(), 2u); // A header edit re-verifies both.
+}
+
+TEST_F(WatchRegistryTest, ReAddRefreshesTheClosure) {
+  writeFile("h1.h", "int one;\n");
+  writeFile("h2.h", "int two;\n");
+  writeFile("a.c", "#include \"h1.h\"\nint a;\n");
+  service::WatchRegistry Reg;
+  std::string A = (Dir / "a.c").string();
+  Reg.add(A);
+  EXPECT_EQ(Reg.owners(service::canonicalPath((Dir / "h1.h").string()))
+                .size(),
+            1u);
+  // The edit swaps h1 for h2; re-adding must move the watch edges.
+  writeFile("a.c", "#include \"h2.h\"\nint a;\n");
+  service::WatchRegistry::Delta D = Reg.add(A);
+  ASSERT_EQ(D.Added.size(), 1u);
+  EXPECT_EQ(D.Added[0],
+            service::canonicalPath((Dir / "h2.h").string()));
+  ASSERT_EQ(D.Removed.size(), 1u);
+  EXPECT_EQ(D.Removed[0],
+            service::canonicalPath((Dir / "h1.h").string()));
+  EXPECT_TRUE(
+      Reg.owners(service::canonicalPath((Dir / "h1.h").string()))
+          .empty());
+}
+
+TEST_F(WatchRegistryTest, RemoveDropsAllEdges) {
+  writeFile("h.h", "int h;\n");
+  writeFile("a.c", "#include \"h.h\"\nint a;\n");
+  service::WatchRegistry Reg;
+  std::string A = (Dir / "a.c").string();
+  Reg.add(A);
+  service::WatchRegistry::Delta D = Reg.remove(A);
+  EXPECT_EQ(D.File, service::canonicalPath(A));
+  EXPECT_EQ(D.Removed.size(), 2u);
+  EXPECT_EQ(Reg.fileCount(), 0u);
+  EXPECT_EQ(Reg.pathCount(), 0u);
+  // Removing an unknown file is a no-op, not an error.
+  EXPECT_TRUE(Reg.remove(A).File.empty());
+}
+
+TEST_F(WatchRegistryTest, SpellingsCollapseToOneRegistration) {
+  writeFile("a.c", "int a;\n");
+  service::WatchRegistry Reg;
+  Reg.add((Dir / "a.c").string());
+  Reg.add((Dir / "." / "a.c").string());
+  EXPECT_EQ(Reg.fileCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Resident plan cache keying (the canonicalization bugfix)
+//===----------------------------------------------------------------------===//
+
+using WatchPlanCacheTest = WatchTempDirTest;
+
+TEST_F(WatchPlanCacheTest, PlanCacheKeysAreCanonical) {
+  writeFile("min.c", R"(
+int min2(int a, int b)
+  _(ensures result <= a && result <= b)
+  _(ensures result == a || result == b)
+{
+  if (a < b)
+    return a;
+  return b;
+}
+)");
+  service::ServiceOptions Opts;
+  Opts.ResidentPlans = true;
+  service::VerificationService Svc(Opts);
+  std::string Plain = (Dir / "min.c").string();
+  std::string Dotted = (Dir / "." / "min.c").string();
+  // Two spellings of one file in one batch: one resident plan, and
+  // both report entries keep their as-given paths.
+  service::BatchReport Rep = Svc.run({Plain, Dotted});
+  ASSERT_EQ(Rep.Files.size(), 2u);
+  EXPECT_EQ(Rep.Files[0].Path, Plain);
+  EXPECT_EQ(Rep.Files[1].Path, Dotted);
+  EXPECT_EQ(Svc.residentPlanCount(), 1u);
+  // A re-run under yet another spelling reuses the plan too.
+  Svc.run({Dotted});
+  EXPECT_EQ(Svc.residentPlanCount(), 1u);
+}
+
+TEST_F(WatchPlanCacheTest, SymlinkSpellingSharesThePlan) {
+  writeFile("real.c", R"(
+int id(int a)
+  _(ensures result == a)
+{
+  return a;
+}
+)");
+  std::error_code EC;
+  fs::create_symlink(Dir / "real.c", Dir / "alias.c", EC);
+  if (EC)
+    GTEST_SKIP() << "filesystem does not support symlinks";
+  service::ServiceOptions Opts;
+  Opts.ResidentPlans = true;
+  service::VerificationService Svc(Opts);
+  Svc.run({(Dir / "real.c").string()});
+  EXPECT_EQ(Svc.residentPlanCount(), 1u);
+  Svc.run({(Dir / "alias.c").string()});
+  EXPECT_EQ(Svc.residentPlanCount(), 1u); // Hit, not a second plan.
+}
+
+} // namespace

@@ -1,0 +1,306 @@
+#!/bin/sh
+# End-to-end gate for daemon watch mode:
+#   (1) `vcdryad serve --watch=<dir>` registers the .c files plus the
+#       shared header (#include closure) and watch-status reports it;
+#   (2) the daemon answers watch-status within 5s while a cold verify
+#       is in flight (verifies run off the event thread);
+#   (3) a rename-over-save edit (the editor tempfile dance) produces
+#       one debounced re-verify event with the right verdict;
+#   (4) introducing a bug flips the event verdict to failed; reverting
+#       flips it back;
+#   (5) a rapid 5-write burst coalesces into exactly one re-verify;
+#   (6) a header edit re-verifies every dependent .c file;
+#   (7) watch-rm stops events for the removed file;
+#   (8) injected accept() failures (ECONNABORTED, EMFILE, ENOMEM) do
+#       not kill the daemon;
+#   (9) non-ASCII paths verify, both as raw UTF-8 and as \uXXXX
+#       escapes on the wire.
+# Exits 77 (ctest SKIP) where the daemon reports watch mode
+# unsupported (no inotify).
+#
+# Usage: watch_test.sh <vcdryad-binary> <sll-corpus-dir>
+set -eu
+
+VCDRYAD=$1
+SLL=$(cd "$2" && pwd)
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/vcd-watch.XXXXXX")
+SERVE_PID=
+cleanup() {
+  [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Scratch corpus: a 3-file slice of the SLL suite plus its shared
+# header, laid out so `#include "../include/sll.h"` resolves.
+SRC="$WORK/corpus/sll"
+mkdir -p "$SRC" "$WORK/corpus/include" "$WORK/pristine"
+for f in find_rec.c insert_front.c copy_rec.c; do
+  cp "$SLL/$f" "$SRC/$f"
+  cp "$SLL/$f" "$WORK/pristine/$f"
+done
+cp "$SLL/../include/sll.h" "$WORK/corpus/include/sll.h"
+
+SOCK="$WORK/daemon/serve.sock"
+
+client() {
+  "$VCDRYAD" client "$@" --socket="$SOCK" --json-times=off
+}
+
+field() { # field <file> <key> -> integer value from a one-line response
+  sed -n "s/.*\"$2\": \([0-9]*\).*/\1/p" "$1"
+}
+
+last_seq() {
+  client events > "$WORK/seq.json"
+  field "$WORK/seq.json" last_seq
+}
+
+wait_events() { # wait_events <since-cursor> <min-new-events>
+  i=0
+  while :; do
+    client events --since="$1" > "$WORK/events.json" 2>/dev/null || true
+    # One event object per re-verified file, all on one line; split on
+    # commas so grep -c counts occurrences rather than lines.
+    n=$(tr ',' '\n' < "$WORK/events.json" | grep -c '"seq": ' || true)
+    [ "$n" -ge "$2" ] && return 0
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "FAIL: waited for $2 events after cursor $1, got $n" >&2
+      cat "$WORK/events.json" >&2
+      return 1
+    fi
+    sleep 0.2
+  done
+}
+
+echo "== start daemon with --watch =="
+"$VCDRYAD" serve --cache="$WORK/daemon" --socket="$SOCK" --jobs=2 \
+  --timeout=300000 --watch="$SRC" --watch-debounce-ms=250 \
+  2> "$WORK/serve.log" &
+SERVE_PID=$!
+
+i=0
+until client watch-status > "$WORK/ws.json" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "FAIL: daemon did not come up" >&2
+    cat "$WORK/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+if grep -q '"watch_supported": false' "$WORK/ws.json"; then
+  echo "SKIP: watch mode unsupported on this platform" >&2
+  client shutdown > /dev/null 2>&1 || true
+  wait "$SERVE_PID" 2>/dev/null || true
+  SERVE_PID=
+  exit 77
+fi
+
+echo "== registry covers the .c files plus the shared header =="
+WF=$(field "$WORK/ws.json" watched_files)
+WP=$(field "$WORK/ws.json" watched_paths)
+if [ "$WF" -ne 3 ] || [ "$WP" -ne 4 ]; then
+  echo "FAIL: watch-status reports $WF files / $WP paths" \
+       "(want 3 / 4)" >&2
+  cat "$WORK/ws.json" >&2
+  exit 1
+fi
+
+echo "== status answers during an in-flight cold verify =="
+client verify "$SRC" --out="$WORK/cold.json" &
+VERIFY_PID=$!
+if command -v timeout > /dev/null 2>&1; then
+  timeout 5 "$VCDRYAD" client watch-status --socket="$SOCK" \
+    --json-times=off > "$WORK/mid.json" || {
+    echo "FAIL: watch-status did not answer mid-verify" >&2
+    exit 1
+  }
+else
+  client watch-status > "$WORK/mid.json"
+fi
+wait "$VERIFY_PID" || {
+  echo "FAIL: cold verify failed" >&2
+  cat "$WORK/cold.json" >&2
+  exit 1
+}
+grep -q '"all_verified": true' "$WORK/cold.json" || {
+  echo "FAIL: scratch corpus did not verify" >&2
+  exit 1
+}
+
+echo "== rename-over-save triggers one re-verify event =="
+CUR=$(last_seq)
+cp "$SRC/find_rec.c" "$WORK/tmp.c"
+printf '// touched\n' >> "$WORK/tmp.c"
+mv "$WORK/tmp.c" "$SRC/find_rec.c"
+wait_events "$CUR" 1
+grep -q 'find_rec\.c' "$WORK/events.json" || {
+  echo "FAIL: event does not name find_rec.c" >&2
+  cat "$WORK/events.json" >&2
+  exit 1
+}
+grep -q '"verified": true' "$WORK/events.json" || {
+  echo "FAIL: benign edit reported a failed verdict" >&2
+  cat "$WORK/events.json" >&2
+  exit 1
+}
+
+echo "== a bug flips the event verdict =="
+CUR=$(last_seq)
+sed 's/    return 0;/    return 1;/' "$SRC/find_rec.c" > "$WORK/tmp.c"
+mv "$WORK/tmp.c" "$SRC/find_rec.c"
+wait_events "$CUR" 1
+grep -q '"verified": false' "$WORK/events.json" || {
+  echo "FAIL: buggy edit still reported verified" >&2
+  cat "$WORK/events.json" >&2
+  exit 1
+}
+
+echo "== reverting flips it back =="
+CUR=$(last_seq)
+cp "$WORK/pristine/find_rec.c" "$WORK/tmp.c"
+mv "$WORK/tmp.c" "$SRC/find_rec.c"
+wait_events "$CUR" 1
+grep -q '"verified": true' "$WORK/events.json" || {
+  echo "FAIL: reverted file still reported failed" >&2
+  cat "$WORK/events.json" >&2
+  exit 1
+}
+
+echo "== a 5-write burst coalesces into one re-verify =="
+CUR=$(last_seq)
+for i in 1 2 3 4 5; do
+  printf '// burst %s\n' "$i" >> "$SRC/insert_front.c"
+done
+wait_events "$CUR" 1
+# Let a second (wrong) dispatch surface before counting.
+sleep 1
+client events --since="$CUR" > "$WORK/events.json"
+N=$(tr ',' '\n' < "$WORK/events.json" | grep -c '"seq": ' || true)
+if [ "$N" -ne 1 ]; then
+  echo "FAIL: burst produced $N events (want 1)" >&2
+  cat "$WORK/events.json" >&2
+  exit 1
+fi
+grep -q 'insert_front\.c' "$WORK/events.json" || {
+  echo "FAIL: burst event does not name insert_front.c" >&2
+  exit 1
+}
+
+echo "== a header edit re-verifies every dependent =="
+CUR=$(last_seq)
+printf '// header touched\n' >> "$WORK/corpus/include/sll.h"
+wait_events "$CUR" 3
+for f in find_rec insert_front copy_rec; do
+  grep -q "$f\.c" "$WORK/events.json" || {
+    echo "FAIL: header edit did not re-verify $f.c" >&2
+    cat "$WORK/events.json" >&2
+    exit 1
+  }
+done
+
+echo "== watch-rm stops events for the removed file =="
+client watch-rm "$SRC/find_rec.c" > "$WORK/rm.json"
+WF=$(field "$WORK/rm.json" watched_files)
+[ "$WF" -eq 2 ] || {
+  echo "FAIL: watched_files is $WF after watch-rm (want 2)" >&2
+  exit 1
+}
+CUR=$(last_seq)
+printf '// ignored\n' >> "$SRC/find_rec.c"
+sleep 1.5
+client events --since="$CUR" > "$WORK/events.json"
+N=$(tr ',' '\n' < "$WORK/events.json" | grep -c '"seq": ' || true)
+[ "$N" -eq 0 ] || {
+  echo "FAIL: removed file still produced $N events" >&2
+  cat "$WORK/events.json" >&2
+  exit 1
+}
+# watch-add brings it back.
+client watch-add "$SRC/find_rec.c" > "$WORK/add.json"
+WF=$(field "$WORK/add.json" watched_files)
+[ "$WF" -eq 3 ] || {
+  echo "FAIL: watched_files is $WF after watch-add (want 3)" >&2
+  exit 1
+}
+
+echo "== graceful shutdown =="
+client shutdown > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=
+
+echo "== injected accept() failures do not kill the daemon =="
+VCDRYAD_TEST_ACCEPT_ERRORS="ECONNABORTED,EMFILE,ENOMEM" \
+  "$VCDRYAD" serve --cache="$WORK/daemon" --socket="$SOCK" --jobs=2 \
+  --timeout=300000 2> "$WORK/serve2.log" &
+SERVE_PID=$!
+i=0
+until client status > "$WORK/status.json" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "FAIL: daemon with injected accept errors never answered" >&2
+    cat "$WORK/serve2.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+kill -0 "$SERVE_PID" || {
+  echo "FAIL: daemon died on injected accept errors" >&2
+  cat "$WORK/serve2.log" >&2
+  exit 1
+}
+grep -q "backing off" "$WORK/serve2.log" || {
+  echo "FAIL: no backoff diagnostic for injected EMFILE/ENOMEM" >&2
+  cat "$WORK/serve2.log" >&2
+  exit 1
+}
+
+echo "== non-ASCII paths verify =="
+mkdir -p "$WORK/corpus/nonascii"
+cp "$WORK/pristine/find_rec.c" "$WORK/corpus/nonascii/café.c"
+client verify "$WORK/corpus/nonascii/café.c" \
+  --out="$WORK/cafe.json" || {
+  echo "FAIL: raw UTF-8 path did not verify" >&2
+  cat "$WORK/cafe.json" >&2
+  exit 1
+}
+grep -q '"all_verified": true' "$WORK/cafe.json" || {
+  echo "FAIL: non-ASCII path verify reported failure" >&2
+  exit 1
+}
+# The same path spelled with \uXXXX escapes on the wire.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$SOCK" "$WORK/corpus/nonascii" > "$WORK/esc.json" <<'EOF'
+import socket, sys
+s = socket.socket(socket.AF_UNIX)
+s.connect(sys.argv[1])
+req = ('{"op": "verify", "paths": ["%s/caf\\u00e9.c"], '
+       '"json_times": false}\n') % sys.argv[2]
+s.sendall(req.encode())
+s.shutdown(socket.SHUT_WR)
+buf = b""
+while True:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    buf += chunk
+sys.stdout.write(buf.decode())
+EOF
+  grep -q '"all_verified": true' "$WORK/esc.json" || {
+    echo "FAIL: \\uXXXX-escaped path did not verify" >&2
+    cat "$WORK/esc.json" >&2
+    exit 1
+  }
+fi
+
+client shutdown > /dev/null
+wait "$SERVE_PID"
+SERVE_PID=
+
+echo "PASS: watch mode end to end (debounced re-verify, verdict" \
+     "flips, burst coalescing, header fan-out, watch-rm, accept" \
+     "fault injection, non-ASCII paths)"
